@@ -1,0 +1,76 @@
+"""Shared benchmark utilities.
+
+Every benchmark prints its experiment table (visible with ``pytest -s``)
+and appends it to ``benchmarks/results.json``, so EXPERIMENTS.md can be
+refreshed from one place after a run.
+
+Scale knob: set ``MC_BENCH_SCALE=full`` for paper-sized sweeps; the
+default ``quick`` keeps the whole suite laptop-friendly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+RESULTS_PATH = Path(__file__).parent / "results.json"
+
+SCALE = os.environ.get("MC_BENCH_SCALE", "quick")
+
+
+def full_scale() -> bool:
+    return SCALE == "full"
+
+
+def record_experiment(experiment_id: str, title: str, rows: list[dict], notes: str = "") -> None:
+    """Print an experiment table and persist it to the results file."""
+    print(f"\n=== {experiment_id}: {title} ===")
+    if rows:
+        headers = list(rows[0].keys())
+        widths = {
+            h: max(len(h), *(len(_fmt(row[h])) for row in rows)) for h in headers
+        }
+        print("  " + "  ".join(h.ljust(widths[h]) for h in headers))
+        for row in rows:
+            print("  " + "  ".join(_fmt(row[h]).ljust(widths[h]) for h in headers))
+    if notes:
+        print(f"  -- {notes}")
+
+    existing = {}
+    if RESULTS_PATH.exists():
+        try:
+            existing = json.loads(RESULTS_PATH.read_text())
+        except ValueError:
+            existing = {}
+    existing[experiment_id] = {
+        "title": title,
+        "scale": SCALE,
+        "recorded_at": time.strftime("%Y-%m-%d %H:%M:%S"),
+        "rows": rows,
+        "notes": notes,
+    }
+    RESULTS_PATH.write_text(json.dumps(existing, indent=2))
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def stopwatch(fn, *args, **kwargs):
+    """(elapsed_seconds, result) of one call."""
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return time.perf_counter() - start, result
+
+
+@pytest.fixture()
+def registry():
+    from repro.http.registry import TransportRegistry
+
+    return TransportRegistry()

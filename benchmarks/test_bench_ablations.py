@@ -1,0 +1,153 @@
+"""Ablations — measuring the platform's design choices in isolation.
+
+- AB1: file-reference vs inline passing of large values (§2's file
+  resources; the matrix application's data-flow choice);
+- AB2: synchronous vs asynchronous job processing (§2's dual mode);
+- AB3: in-process vs TCP transport across payload sizes (the two-transport
+  design).
+"""
+
+import pytest
+
+from benchmarks.conftest import record_experiment, stopwatch
+from repro.apps.cas.kernel import RationalMatrix
+from repro.apps.cas.service import cas_service_config
+from repro.client import ServiceProxy
+from repro.container import ServiceContainer
+from repro.http.client import RestClient
+
+
+def test_ab1_file_references_vs_inline(registry, benchmark):
+    """Chain three CAS ops (invert → mul → mul); with file passing the
+    intermediates never transit the client or the job representations."""
+    container = ServiceContainer("ab1", handlers=2, registry=registry)
+    try:
+        container.deploy(cas_service_config(name="cas-inline", packaging="python"))
+        container.deploy(
+            cas_service_config(name="cas-files", packaging="python", file_results=True)
+        )
+        n = 48
+        matrix = RationalMatrix.hilbert(n).to_json()
+        rows = []
+        for name in ("cas-inline", "cas-files"):
+            proxy = ServiceProxy(container.service_uri(name), registry)
+
+            def chain():
+                first = proxy(op="invert", a=matrix, timeout=300)["result"]
+                second = proxy(op="mul", a=first, b=first, timeout=300)["result"]
+                proxy(op="mul", a=second, b=first, timeout=300)
+
+            elapsed, _ = stopwatch(chain)
+            rows.append({"passing": name.split("-")[1], "chain_wall_s": round(elapsed, 3)})
+        record_experiment(
+            "AB1",
+            f"3-op CAS chain on Hilbert {n}: inline values vs file references",
+            rows,
+            notes="file refs keep job representations small and move bytes service-to-service",
+        )
+        # file passing must not be slower than inline beyond noise
+        inline, files = rows[0]["chain_wall_s"], rows[1]["chain_wall_s"]
+        assert files < inline * 1.25, rows
+        proxy = ServiceProxy(container.service_uri("cas-files"), registry)
+        small = RationalMatrix.hilbert(8).to_json()
+        benchmark(lambda: proxy(op="invert", a=small, timeout=60))
+    finally:
+        container.shutdown()
+
+
+def test_ab2_sync_vs_async_mode(registry, benchmark):
+    """§2: results returned inline when immediate (sync) vs job polling."""
+    container = ServiceContainer("ab2", handlers=2, registry=registry)
+    try:
+        for name, mode in (("echo-sync", "sync"), ("echo-async", "async")):
+            container.deploy(
+                {
+                    "description": {
+                        "name": name,
+                        "inputs": {"v": {"schema": True}},
+                        "outputs": {"v": {"schema": True}},
+                    },
+                    "adapter": "python",
+                    "config": {"callable": lambda v: {"v": v}},
+                    "mode": mode,
+                }
+            )
+        rows = []
+        for name in ("echo-sync", "echo-async"):
+            proxy = ServiceProxy(container.service_uri(name), registry)
+            total = 0.0
+            repeats = 100
+            for _ in range(repeats):
+                elapsed, _ = stopwatch(lambda: proxy(v=1, timeout=30))
+                total += elapsed
+            rows.append({"mode": name.split("-")[1], "mean_ms": round(total / repeats * 1000, 3)})
+        record_experiment(
+            "AB2",
+            "Trivial request: synchronous inline completion vs async job + poll",
+            rows,
+            notes="async latency is dominated by the client's default 50 ms "
+            "poll interval — the price of not blocking the service",
+        )
+        sync_ms, async_ms = rows[0]["mean_ms"], rows[1]["mean_ms"]
+        assert sync_ms < async_ms, rows
+        proxy = ServiceProxy(container.service_uri("echo-sync"), registry)
+        benchmark(lambda: proxy(v=1, timeout=30))
+    finally:
+        container.shutdown()
+
+
+def test_ab3_transport_cost_by_payload(registry, benchmark):
+    """local:// dispatch vs loopback TCP across file sizes."""
+    container = ServiceContainer("ab3", handlers=2, registry=registry)
+    try:
+        sizes = {"1KiB": 1024, "64KiB": 64 * 1024, "1MiB": 1024 * 1024}
+
+        def filer(context, size):
+            blob = context.store_file(b"x" * size, name="blob.bin")
+            return {"blob": blob}
+
+        container.deploy(
+            {
+                "description": {
+                    "name": "filer",
+                    "inputs": {"size": {"schema": {"type": "integer"}}},
+                    "outputs": {"blob": {"schema": True}},
+                },
+                "adapter": "python",
+                "config": {"callable": filer},
+                "mode": "sync",
+            }
+        )
+        server = container.serve()
+        rows = []
+        for label, size in sizes.items():
+            for transport, base in (("local", container.local_base), ("http", server.base_url)):
+                client = RestClient(registry)
+                created = client.post(f"{base}/services/filer", payload={"size": size})
+                file_path = created["results"]["blob"]["$file"]
+                repeats = 20
+                total = 0.0
+                for _ in range(repeats):
+                    elapsed, content = stopwatch(client.get_bytes, file_path)
+                    total += elapsed
+                assert len(content) == size
+                rows.append(
+                    {
+                        "payload": label,
+                        "transport": transport,
+                        "mean_ms": round(total / repeats * 1000, 3),
+                    }
+                )
+        record_experiment(
+            "AB3",
+            "File download latency: in-process vs loopback TCP transport",
+            rows,
+        )
+        client = RestClient(registry)
+        created = client.post(
+            container.local_base + "/services/filer", payload={"size": 1024}
+        )
+        path = created["results"]["blob"]["$file"]
+        benchmark(lambda: client.get_bytes(path))
+    finally:
+        container.shutdown()

@@ -1,0 +1,99 @@
+"""Experiment F1 — the container architecture (Fig. 1) under load.
+
+Fig. 1 shows requests flowing through a queue into a configurable pool of
+handler threads. Measured here: makespan of a batch of jobs as the
+handler pool grows — the architecture's scaling knob — plus raw
+dispatch throughput for trivial jobs.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import record_experiment, stopwatch
+from repro.client import ServiceProxy
+from repro.container import ServiceContainer
+
+JOB_SECONDS = 0.05
+N_JOBS = 24
+POOL_SIZES = [1, 2, 4, 8]
+
+
+def sleep_config(name="sleeper"):
+    def sleep_job(duration):
+        time.sleep(duration)
+        return {"slept": duration}
+
+    return {
+        "description": {
+            "name": name,
+            "inputs": {"duration": {"schema": {"type": "number"}}},
+            "outputs": {"slept": {"schema": {"type": "number"}}},
+        },
+        "adapter": "python",
+        "config": {"callable": sleep_job},
+    }
+
+
+def test_handler_pool_scaling(registry, benchmark):
+    rows = []
+    for handlers in POOL_SIZES:
+        container = ServiceContainer(f"f1-{handlers}", handlers=handlers, registry=registry)
+        try:
+            container.deploy(sleep_config())
+            proxy = ServiceProxy(container.service_uri("sleeper"), registry)
+
+            def run_batch():
+                handles = [proxy.submit(duration=JOB_SECONDS) for _ in range(N_JOBS)]
+                for handle in handles:
+                    handle.result(timeout=60, poll=0.005)
+
+            elapsed, _ = stopwatch(run_batch)
+            ideal = N_JOBS * JOB_SECONDS / handlers
+            rows.append(
+                {
+                    "handlers": handlers,
+                    "makespan_s": round(elapsed, 3),
+                    "ideal_s": round(ideal, 3),
+                    "efficiency_pct": round(ideal / elapsed * 100.0, 1),
+                }
+            )
+        finally:
+            container.shutdown()
+    record_experiment(
+        "F1",
+        "Job-manager makespan vs handler-pool size (Fig. 1 architecture)",
+        rows,
+        notes=f"{N_JOBS} jobs x {JOB_SECONDS}s each",
+    )
+    makespans = [row["makespan_s"] for row in rows]
+    assert makespans == sorted(makespans, reverse=True), rows
+    assert makespans[-1] < makespans[0] / 3, rows
+
+    container = ServiceContainer("f1-throughput", handlers=4, registry=registry)
+    try:
+        container.deploy(sleep_config())
+        proxy = ServiceProxy(container.service_uri("sleeper"), registry)
+        benchmark(lambda: proxy(duration=0.0, timeout=30))
+    finally:
+        container.shutdown()
+
+
+def test_deploy_density(registry, benchmark):
+    """The Service Manager holds many services without request slowdown."""
+    container = ServiceContainer("f1-density", handlers=2, registry=registry)
+    try:
+        for index in range(50):
+            config = sleep_config(name=f"svc-{index:03d}")
+            container.deploy(config)
+        proxy = ServiceProxy(container.service_uri("svc-025"), registry)
+        elapsed, _ = stopwatch(lambda: proxy(duration=0.0, timeout=30))
+        record_experiment(
+            "F1b",
+            "Request latency with 50 services deployed",
+            [{"services": 50, "request_s": round(elapsed, 4)}],
+        )
+        assert elapsed < 1.0
+        benchmark(lambda: proxy(duration=0.0, timeout=30))
+    finally:
+        container.shutdown()

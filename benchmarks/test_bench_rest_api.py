@@ -1,0 +1,94 @@
+"""Experiment T1 — the unified REST API (Table 1) under measurement.
+
+Table 1 is the interface contract; its conformance lives in
+``tests/integration/test_rest_conformance.py``. This benchmark measures
+the latency of each resource/method pair over both transports, which is
+the platform cost every service interaction pays.
+"""
+
+import pytest
+
+from benchmarks.conftest import record_experiment, stopwatch
+from repro.container import ServiceContainer
+from repro.http.client import RestClient
+
+
+@pytest.fixture()
+def live(registry):
+    container = ServiceContainer("t1", handlers=4, registry=registry)
+
+    def echo(context, value):
+        blob = context.store_file(b"x" * 4096, name="blob.bin")
+        return {"echoed": value, "blob": blob}
+
+    container.deploy(
+        {
+            "description": {
+                "name": "echo",
+                "inputs": {"value": {"schema": True}},
+                "outputs": {"echoed": {"schema": True}, "blob": {"schema": True}},
+            },
+            "adapter": "python",
+            "config": {"callable": echo},
+            "mode": "sync",
+        }
+    )
+    server = container.serve()
+    yield container, server
+    container.shutdown()
+
+
+def _measure(client, base, repeats=50):
+    timings = {}
+
+    def timed(label, fn):
+        total = 0.0
+        for _ in range(repeats):
+            elapsed, _result = stopwatch(fn)
+            total += elapsed
+        timings[label] = total / repeats * 1000.0  # ms
+
+    job = client.post(base, payload={"value": 1})
+    file_path = job["results"]["blob"]["$file"]
+
+    timed("GET service (describe)", lambda: client.get(base))
+    timed("POST service (submit, sync)", lambda: client.post(base, payload={"value": 1}))
+    timed("GET job", lambda: client.get(job["uri"]))
+    timed("GET file (4 KiB)", lambda: client.get_bytes(file_path))
+    timed(
+        "GET file (ranged)",
+        lambda: client.get_bytes(file_path, headers={"Range": "bytes=0-127"}),
+    )
+    # deletes are one-shot, so time create+delete pairs minus plain creates
+    elapsed_pair, _ = stopwatch(
+        lambda: client.delete(client.post(base, payload={"value": 3})["uri"])
+    )
+    elapsed_create, _ = stopwatch(lambda: client.post(base, payload={"value": 4}))
+    timings["DELETE job"] = max(0.0, (elapsed_pair - elapsed_create) * 1000.0)
+    return timings
+
+
+def test_rest_api_latency_both_transports(registry, live, benchmark):
+    container, server = live
+    rows = []
+    local_client = RestClient(registry)
+    local_timings = _measure(local_client, container.local_base + "/services/echo")
+    http_client = RestClient(registry)
+    http_timings = _measure(http_client, server.base_url + "/services/echo")
+    for label in local_timings:
+        rows.append(
+            {
+                "operation": label,
+                "local_ms": round(local_timings[label], 3),
+                "http_ms": round(http_timings[label], 3),
+            }
+        )
+    record_experiment(
+        "T1",
+        "Unified REST API latency per Table 1 operation",
+        rows,
+        notes="local = in-process transport; http = loopback TCP",
+    )
+    # sanity: everything completes in interactive time on both transports
+    assert all(row["http_ms"] < 250 for row in rows), rows
+    benchmark(lambda: local_client.get(container.local_base + "/services/echo"))

@@ -1,0 +1,122 @@
+"""Experiment F3 — the security mechanism (Fig. 3) cost and decisions.
+
+Fig. 3's mechanism sits on every request when enabled, so its cost is the
+relevant figure: per-request overhead of certificate authentication plus
+allow/deny/proxy authorization, compared against an unsecured container.
+"""
+
+import pytest
+
+from benchmarks.conftest import record_experiment, stopwatch
+from repro.client import ServiceProxy
+from repro.container import ServiceContainer
+from repro.security import (
+    CertificateAuthority,
+    IdentityBroker,
+    OpenIdProvider,
+    client_headers,
+)
+
+REPEATS = 200
+
+
+def echo_config(security=None):
+    config = {
+        "description": {
+            "name": "echo",
+            "inputs": {"v": {"schema": True}},
+            "outputs": {"v": {"schema": True}},
+        },
+        "adapter": "python",
+        "config": {"callable": lambda v: {"v": v}},
+        "mode": "sync",
+    }
+    if security is not None:
+        config["security"] = security
+    return config
+
+
+def _mean_call_ms(proxy):
+    total = 0.0
+    for _ in range(REPEATS):
+        elapsed, _result = stopwatch(proxy, v=1)
+        total += elapsed
+    return total / REPEATS * 1000.0
+
+
+def test_security_overhead_per_request(registry, benchmark):
+    ca = CertificateAuthority()
+    provider = OpenIdProvider("google")
+
+    plain = ServiceContainer("f3-plain", handlers=2, registry=registry)
+    plain.deploy(echo_config())
+
+    secured = ServiceContainer("f3-secured", handlers=2, registry=registry)
+    secured.enable_security(ca, identity_broker=IdentityBroker([provider]))
+    secured.deploy(
+        echo_config(security={"allow": ["CN=alice", "https://google.example/bob"], "proxies": ["CN=wms"]})
+    )
+    try:
+        rows = []
+        plain_proxy = ServiceProxy(plain.service_uri("echo"), registry)
+        rows.append({"client": "no security", "mean_ms": round(_mean_call_ms(plain_proxy), 3)})
+
+        cert_headers = client_headers(certificate=ca.issue("CN=alice"))
+        cert_proxy = ServiceProxy(secured.service_uri("echo"), registry, headers=cert_headers)
+        rows.append({"client": "certificate", "mean_ms": round(_mean_call_ms(cert_proxy), 3)})
+
+        openid_headers = client_headers(openid_assertion=provider.issue_assertion("bob"))
+        openid_proxy = ServiceProxy(secured.service_uri("echo"), registry, headers=openid_headers)
+        rows.append({"client": "openid", "mean_ms": round(_mean_call_ms(openid_proxy), 3)})
+
+        delegated = client_headers(certificate=ca.issue("CN=wms"), on_behalf_of="CN=alice")
+        delegated_proxy = ServiceProxy(secured.service_uri("echo"), registry, headers=delegated)
+        rows.append({"client": "proxy delegation", "mean_ms": round(_mean_call_ms(delegated_proxy), 3)})
+
+        record_experiment(
+            "F3",
+            "Per-request cost of authentication + authorization (Fig. 3)",
+            rows,
+        )
+        base = rows[0]["mean_ms"]
+        for row in rows[1:]:
+            assert row["mean_ms"] < base + 5.0, rows  # security adds < 5 ms
+
+        benchmark(lambda: cert_proxy(v=1))
+    finally:
+        plain.shutdown()
+        secured.shutdown()
+
+
+def test_decision_matrix_correct_and_fast(registry, benchmark):
+    """Every row of the allow/deny/proxy decision space, timed in bulk."""
+    from repro.security import AccessPolicy, Identity
+    from repro.security.errors import AuthorizationError
+
+    policy = AccessPolicy(allow={"CN=a"}, deny={"CN=d"}, proxies={"CN=p"})
+    cases = [
+        (Identity("CN=a", "certificate"), None, True),
+        (Identity("CN=b", "certificate"), None, False),
+        (Identity("CN=d", "certificate"), None, False),
+        (Identity("CN=p", "certificate"), "CN=a", True),
+        (Identity("CN=p", "certificate"), "CN=d", False),
+        (Identity("CN=x", "certificate"), "CN=a", False),
+    ]
+
+    def run_matrix():
+        for identity, on_behalf, expected in cases:
+            try:
+                policy.decide(identity, on_behalf)
+                outcome = True
+            except AuthorizationError:
+                outcome = False
+            assert outcome is expected, (identity, on_behalf)
+
+    run_matrix()
+    elapsed, _ = stopwatch(lambda: [run_matrix() for _ in range(1000)])
+    record_experiment(
+        "F3b",
+        "6-case authorization decision matrix, 1000 evaluations",
+        [{"total_s": round(elapsed, 4), "per_decision_us": round(elapsed / 6000 * 1e6, 2)}],
+    )
+    benchmark(run_matrix)

@@ -1,0 +1,68 @@
+"""Experiment C3 — publishing an application as a service.
+
+Paper (§4): "it usually takes from tens of minutes to a couple of hours
+to produce a new service including service deployment and debugging ...
+In many cases service development reduces to writing a service
+configuration file."
+
+The human part can't be benchmarked; what the platform contributes can:
+deploying a configuration-only service (no code written) and serving its
+first request is measured here, and it is milliseconds.
+"""
+
+import sys
+
+import pytest
+
+from benchmarks.conftest import record_experiment, stopwatch
+from repro.client import ServiceProxy
+from repro.container import ServiceContainer
+
+
+def command_config(name):
+    return {
+        "description": {
+            "name": name,
+            "title": "Doubler",
+            "description": "Doubles an integer, exposed from a plain executable.",
+            "inputs": {"n": {"schema": {"type": "integer"}}},
+            "outputs": {"doubled": {"schema": {"type": "integer"}}},
+        },
+        "adapter": "command",
+        "config": {
+            "command": f"{sys.executable} -c \"import sys; print(int(sys.argv[1]) * 2)\" {{n}}",
+            "outputs": {"doubled": {"stdout": True, "json": True}},
+        },
+    }
+
+
+def test_config_only_deployment_latency(registry, benchmark):
+    container = ServiceContainer("c3", handlers=2, registry=registry)
+    try:
+        deploy_time, service = stopwatch(container.deploy, command_config("double-0"))
+        proxy = ServiceProxy(container.service_uri("double-0"), registry)
+        first_call_time, outputs = stopwatch(proxy, n=21, timeout=60)
+        assert outputs["doubled"] == 42
+        describe_time, _ = stopwatch(proxy.describe)
+
+        # deploy a batch to get a stable average
+        total, _ = stopwatch(
+            lambda: [container.deploy(command_config(f"double-{i}")) for i in range(1, 21)]
+        )
+        rows = [
+            {"step": "deploy one service (config only)", "time_ms": round(deploy_time * 1000, 3)},
+            {"step": "mean of 20 more deploys", "time_ms": round(total / 20 * 1000, 3)},
+            {"step": "first request (spawns process)", "time_ms": round(first_call_time * 1000, 2)},
+            {"step": "introspection (GET description)", "time_ms": round(describe_time * 1000, 3)},
+        ]
+        record_experiment(
+            "C3",
+            "Publishing an existing executable as a service (paper: config file only)",
+            rows,
+            notes="no code written: description + command template",
+        )
+        assert deploy_time < 0.5
+        assert total / 20 < 0.5
+        benchmark(lambda: proxy(n=2, timeout=30))
+    finally:
+        container.shutdown()

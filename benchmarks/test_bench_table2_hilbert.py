@@ -1,0 +1,95 @@
+"""Experiment T2 — Table 2: Hilbert matrix inversion, serial vs MathCloud.
+
+Paper (Table 2): serial Maxima vs 4-block-decomposition MathCloud runs of
+Hilbert N×N inversion, N = 250…500, speedup growing 1.60 → 2.73.
+
+Here: serial = one CAS process inverting the whole matrix (the "serial
+execution in Maxima" column); parallel = the distributed block/Schur
+algorithm whose 8 CAS jobs run as separate OS processes through the
+service container. Sizes are scaled to laptop budgets (exact-rational
+cost grows superlinearly, so the *shape* — parallel wins, and wins more
+as N grows — is preserved at smaller N).
+"""
+
+import pytest
+
+from benchmarks.conftest import full_scale, record_experiment, stopwatch
+from repro.apps.cas.kernel import RationalMatrix
+from repro.apps.cas.service import cas_service_config, run_subprocess
+from repro.apps.matrix import DistributedInverter
+from repro.container import ServiceContainer
+
+SIZES = [60, 90, 120, 150] if full_scale() else [48, 76, 104]
+
+
+@pytest.fixture()
+def cas_container(registry):
+    container = ServiceContainer("cas-bench", handlers=8, registry=registry)
+    # file_results: intermediates travel as file resources, the paper's
+    # data-passing mode for this application (§2/§4)
+    container.deploy(cas_service_config(name="cas", packaging="subprocess", file_results=True))
+    yield container
+    container.shutdown()
+
+
+def serial_invert_in_one_process(matrix_json):
+    """The baseline: one external CAS run, like the paper's serial Maxima."""
+    return run_subprocess("invert", a=matrix_json)
+
+
+def test_table2_hilbert_inversion(registry, cas_container, benchmark):
+    inverter = DistributedInverter([cas_container.service_uri("cas")], registry)
+    rows = []
+    for n in SIZES:
+        matrix = RationalMatrix.hilbert(n)
+        matrix_json = matrix.to_json()
+        serial_time, serial_envelope = stopwatch(serial_invert_in_one_process, matrix_json)
+        parallel_time, (inverse, trace) = stopwatch(inverter.invert, matrix)
+        # correctness: both paths produce the exact inverse
+        assert RationalMatrix.from_json(serial_envelope["result"]) == inverse
+        assert (matrix @ inverse).is_identity()
+        rows.append(
+            {
+                "N": n,
+                "serial_s": round(serial_time, 3),
+                "parallel_s": round(parallel_time, 3),
+                "speedup": round(serial_time / parallel_time, 2),
+            }
+        )
+    record_experiment(
+        "T2",
+        "Hilbert NxN inversion: serial CAS vs 4-block MathCloud (paper: 1.60→2.73)",
+        rows,
+        notes="paper N=250..500 on Maxima; scaled to laptop N, same shape",
+    )
+    # The paper's shape: speedup grows with N, crossing 1.0. On a 1-core
+    # host the crossover sits near N≈100 and jitters a few percent with
+    # load, so the floor leaves noise margin; full scale is comfortably >1.
+    speedups = [row["speedup"] for row in rows]
+    assert speedups == sorted(speedups), rows
+    assert speedups[-1] > 0.95, rows
+    assert speedups[-1] > 1.0 or not full_scale(), rows
+
+    # headline measurement for pytest-benchmark: the largest parallel run
+    matrix = RationalMatrix.hilbert(SIZES[-1])
+    benchmark.pedantic(lambda: inverter.invert(matrix), rounds=1, iterations=1)
+
+
+def test_table2_result_size_blowup(benchmark):
+    """The Table 2 context: symbolic intermediate results blow up with N
+    ("representation reached hundreds of megabytes" in the paper)."""
+    sizes = [20, 40, 60]
+    rows = []
+    for n in sizes:
+        inverse = RationalMatrix.hilbert(n).inverse()
+        rows.append({"N": n, "inverse_chars": inverse.digit_size()})
+    record_experiment(
+        "T2b",
+        "Exact-inverse representation size grows superlinearly with N",
+        rows,
+    )
+    growth_small = rows[1]["inverse_chars"] / rows[0]["inverse_chars"]
+    growth_large = rows[2]["inverse_chars"] / rows[1]["inverse_chars"]
+    assert rows[2]["inverse_chars"] > 8 * rows[0]["inverse_chars"]
+    assert growth_small > 2 and growth_large > 2
+    benchmark.pedantic(lambda: RationalMatrix.hilbert(40).inverse(), rounds=1, iterations=1)

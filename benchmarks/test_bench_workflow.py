@@ -1,0 +1,139 @@
+"""Experiment F2 — the workflow engine (Fig. 2 behaviour).
+
+The editor's runtime promise is that independent blocks run concurrently
+and per-block state streams out. Measured here: per-block engine
+overhead on service chains, and fan-out efficiency — N parallel slow
+service blocks should take ≈ one block's time, not N.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import record_experiment, stopwatch
+from repro.container import ServiceContainer
+from repro.workflow.engine import WorkflowEngine
+from repro.workflow.model import (
+    InputBlock,
+    OutputBlock,
+    ScriptBlock,
+    ServiceBlock,
+    Workflow,
+    DataType,
+)
+
+BLOCK_SECONDS = 0.15
+FANOUTS = [1, 2, 4, 8]
+
+
+@pytest.fixture()
+def services(registry):
+    container = ServiceContainer("f2", handlers=16, registry=registry)
+
+    def identity(x):
+        return {"x": x}
+
+    def slow(x):
+        time.sleep(BLOCK_SECONDS)
+        return {"x": x}
+
+    for name, fn in (("fast", identity), ("slow", slow)):
+        container.deploy(
+            {
+                "description": {
+                    "name": name,
+                    "inputs": {"x": {"schema": {"type": "number"}}},
+                    "outputs": {"x": {"schema": {"type": "number"}}},
+                },
+                "adapter": "python",
+                "config": {"callable": fn},
+            }
+        )
+    yield container
+    container.shutdown()
+
+
+def chain_workflow(container, registry, length):
+    workflow = Workflow(f"chain-{length}")
+    workflow.add(InputBlock("n", type=DataType.NUMBER))
+    previous = "n.value"
+    for index in range(length):
+        block = ServiceBlock(f"s{index}", uri=container.service_uri("fast"))
+        block.introspect(registry)
+        workflow.add(block)
+        workflow.connect(previous, f"s{index}.x")
+        previous = f"s{index}.x"
+    workflow.add(OutputBlock("out", type=DataType.NUMBER))
+    workflow.connect(previous, "out.value")
+    return workflow
+
+
+def fanout_workflow(container, registry, width):
+    workflow = Workflow(f"fan-{width}")
+    workflow.add(InputBlock("n", type=DataType.NUMBER))
+    names = []
+    for index in range(width):
+        block = ServiceBlock(f"p{index}", uri=container.service_uri("slow"))
+        block.introspect(registry)
+        workflow.add(block)
+        workflow.connect("n.value", f"p{index}.x")
+        names.append(f"v{index}")
+    gather = ScriptBlock(
+        "gather",
+        code="total = " + (" + ".join(names) if names else "0"),
+        input_names=names,
+        output_names=["total"],
+    )
+    workflow.add(gather)
+    for index in range(width):
+        workflow.connect(f"p{index}.x", f"gather.v{index}")
+    workflow.add(OutputBlock("out"))
+    workflow.connect("gather.total", "out.value")
+    return workflow
+
+
+def test_per_block_overhead(registry, services, benchmark):
+    engine = WorkflowEngine(registry, poll=0.002, max_parallel=16)
+    rows = []
+    for length in (1, 4, 8, 16):
+        workflow = chain_workflow(services, registry, length)
+        elapsed, outputs = stopwatch(engine.execute, workflow, {"n": 1})
+        assert outputs == {"out": 1}
+        rows.append(
+            {
+                "chain_length": length,
+                "wall_s": round(elapsed, 4),
+                "per_block_ms": round(elapsed / length * 1000.0, 2),
+            }
+        )
+    record_experiment("F2", "Engine overhead per (no-op) service block", rows)
+    assert rows[-1]["per_block_ms"] < 100, rows
+    workflow = chain_workflow(services, registry, 4)
+    benchmark(lambda: engine.execute(workflow, {"n": 1}))
+
+
+def test_fanout_parallel_efficiency(registry, services, benchmark):
+    engine = WorkflowEngine(registry, poll=0.002, max_parallel=16)
+    rows = []
+    for width in FANOUTS:
+        workflow = fanout_workflow(services, registry, width)
+        elapsed, _ = stopwatch(engine.execute, workflow, {"n": 1})
+        rows.append(
+            {
+                "fanout": width,
+                "wall_s": round(elapsed, 3),
+                "serial_equiv_s": round(width * BLOCK_SECONDS, 3),
+                "parallel_efficiency_pct": round(
+                    width * BLOCK_SECONDS / elapsed / width * 100.0, 1
+                ),
+            }
+        )
+    record_experiment(
+        "F2b",
+        "Fan-out of slow service blocks: wall time vs serial equivalent",
+        rows,
+    )
+    widest = rows[-1]
+    assert widest["wall_s"] < widest["serial_equiv_s"] / 2, rows
+    workflow = fanout_workflow(services, registry, 4)
+    benchmark.pedantic(lambda: engine.execute(workflow, {"n": 1}), rounds=1, iterations=1)

@@ -1,0 +1,41 @@
+"""MathCloud reproduction.
+
+A pure-Python reproduction of the MathCloud platform (Afanasiev,
+Sukhoroslov, Voloshinov, 2013): publication and reuse of scientific
+applications as RESTful web services with a unified REST API, a service
+container with pluggable adapters, a service catalogue, a workflow
+management system and a lightweight security mechanism.
+
+The most commonly used entry points are re-exported here (lazily, so that
+subpackages stay importable in isolation)::
+
+    from repro import ServiceContainer, ServiceProxy, Workflow
+
+See ``DESIGN.md`` at the repository root for the full system inventory.
+"""
+
+from importlib import import_module
+from typing import Any
+
+__version__ = "1.0.0"
+
+#: Re-exported name → defining module.
+_EXPORTS = {
+    "JobHandle": "repro.client.client",
+    "JobState": "repro.core.jobs",
+    "Parameter": "repro.core.description",
+    "ServiceContainer": "repro.container.container",
+    "ServiceDescription": "repro.core.description",
+    "ServiceProxy": "repro.client.client",
+    "TransportRegistry": "repro.http.registry",
+    "Workflow": "repro.workflow.model",
+}
+
+__all__ = [*sorted(_EXPORTS), "__version__"]
+
+
+def __getattr__(name: str) -> Any:
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}")
+    return getattr(import_module(module_name), name)

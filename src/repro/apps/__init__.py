@@ -1,0 +1,12 @@
+"""Applications built on the MathCloud platform (paper §4).
+
+- :mod:`repro.apps.cas` — an exact-arithmetic computer-algebra kernel
+  (the Maxima stand-in) and its computational-service packaging;
+- :mod:`repro.apps.matrix` — "error-free" inversion of ill-conditioned
+  matrices via block decomposition and the Schur complement (Table 2);
+- :mod:`repro.apps.xray` — interpretation of X-ray diffractometry data of
+  carbonaceous films over a library of carbon nanostructures;
+- :mod:`repro.apps.optimization` — optimization modeling: an AMPL-subset
+  translator, LP solvers, a solver-pool dispatcher and the Dantzig–Wolfe
+  decomposition for multi-commodity transportation.
+"""

@@ -1,0 +1,39 @@
+"""Exact-arithmetic computer algebra kernel (the Maxima stand-in).
+
+The matrix-inversion application (paper §4, [9]) used the Maxima CAS for
+"error-free" symbolic computation over exact rationals. This subpackage
+provides the equivalent kernel: matrices of ``fractions.Fraction`` with
+exact inverse, product and Schur operations, whose intermediate results
+grow in digit size on ill-conditioned inputs exactly the way Maxima's
+symbolic output does — the property the paper's Table 2 measures.
+
+The kernel is packaged two ways:
+
+- :mod:`repro.apps.cas.cli` — a standalone process (like a Maxima run)
+  invoked per job; concurrent jobs get genuine OS-level parallelism;
+- :mod:`repro.apps.cas.service` — ready-made service configurations for
+  both the subprocess and the in-process packaging.
+
+Exports resolve lazily so the CLI subprocess does not pay for the service
+stack's import chain on every job.
+"""
+
+from importlib import import_module
+from typing import Any
+
+_EXPORTS = {
+    "CasError": "repro.apps.cas.kernel",
+    "OPERATIONS": "repro.apps.cas.operations",
+    "RationalMatrix": "repro.apps.cas.kernel",
+    "apply_operation": "repro.apps.cas.operations",
+    "cas_service_config": "repro.apps.cas.service",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str) -> Any:
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro.apps.cas' has no attribute {name!r}")
+    return getattr(import_module(module_name), name)

@@ -1,0 +1,62 @@
+"""The CAS as a standalone process (one "Maxima run" per invocation).
+
+::
+
+    python -m repro.apps.cas.cli --op invert  --a a.json  --out result.json
+    python -m repro.apps.cas.cli --op mulsub  --a a.json --b b.json --c c.json --out r.json
+    python -m repro.apps.cas.cli --op hilbert --n 50 --out h.json
+
+Operand files contain matrix JSON (``{"rows": [["1/2", ...], ...]}``);
+the output file receives the :func:`~repro.apps.cas.operations.apply_operation`
+envelope. The container's Command adapter drives exactly this interface,
+so concurrent CAS jobs are separate OS processes — genuine parallelism,
+as with the paper's external Maxima processes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.apps.cas.kernel import CasError
+from repro.apps.cas.operations import OPERATIONS, apply_operation
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="cas", description="Exact rational matrix operations.")
+    parser.add_argument("--op", required=True, choices=sorted(OPERATIONS))
+    parser.add_argument("--a", help="path to operand A (matrix JSON)")
+    parser.add_argument("--b", help="path to operand B (matrix JSON)")
+    parser.add_argument("--c", help="path to operand C (matrix JSON)")
+    parser.add_argument("--n", type=int, help="size for the 'hilbert' generator")
+    parser.add_argument("--out", required=True, help="path for the result JSON")
+    return parser
+
+
+def _load(path: str | None):
+    if path is None:
+        return None
+    return json.loads(Path(path).read_text())
+
+
+def main(argv: list[str] | None = None) -> int:
+    options = build_parser().parse_args(argv)
+    try:
+        envelope = apply_operation(
+            options.op,
+            a=_load(options.a),
+            b=_load(options.b),
+            c=_load(options.c),
+            n=options.n,
+        )
+    except (CasError, OSError, ValueError) as error:
+        print(f"cas error: {error}", file=sys.stderr)
+        return 1
+    Path(options.out).write_text(json.dumps(envelope))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,219 @@
+"""Exact rational matrices: the computational core of the CAS.
+
+Entries are ``fractions.Fraction``; every operation is error-free. On
+ill-conditioned inputs (Hilbert matrices being the canonical example) the
+numerators/denominators of intermediate results grow to hundreds or
+thousands of digits — the "symbolic representation ... reached up to
+hundreds of megabytes" effect the paper reports.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Any, Iterable
+
+
+class CasError(Exception):
+    """Algebraic failure: shape mismatch, singular matrix, bad input."""
+
+
+def _to_fraction(value: Any) -> Fraction:
+    if isinstance(value, Fraction):
+        return value
+    if isinstance(value, bool):
+        raise CasError(f"matrix entries must be rational numbers, got {value!r}")
+    if isinstance(value, int):
+        return Fraction(value)
+    if isinstance(value, str):
+        try:
+            return Fraction(value)
+        except (ValueError, ZeroDivisionError) as exc:
+            raise CasError(f"bad rational literal {value!r}: {exc}") from exc
+    if isinstance(value, float):
+        # floats are exact binary rationals; accept them explicitly
+        return Fraction(value).limit_denominator(10**12)
+    raise CasError(f"matrix entries must be rational numbers, got {type(value).__name__}")
+
+
+class RationalMatrix:
+    """An immutable-by-convention dense matrix over exact rationals."""
+
+    __slots__ = ("rows",)
+
+    def __init__(self, rows: Iterable[Iterable[Any]]):
+        self.rows: list[list[Fraction]] = [[_to_fraction(v) for v in row] for row in rows]
+        if not self.rows or not self.rows[0]:
+            raise CasError("matrix must be non-empty")
+        width = len(self.rows[0])
+        if any(len(row) != width for row in self.rows):
+            raise CasError("matrix rows have inconsistent lengths")
+
+    # -------------------------------------------------------- constructors
+
+    @classmethod
+    def identity(cls, n: int) -> "RationalMatrix":
+        return cls([[Fraction(int(i == j)) for j in range(n)] for i in range(n)])
+
+    @classmethod
+    def zeros(cls, n: int, m: int | None = None) -> "RationalMatrix":
+        m = n if m is None else m
+        return cls([[Fraction(0)] * m for _ in range(n)])
+
+    @classmethod
+    def hilbert(cls, n: int) -> "RationalMatrix":
+        """The n×n Hilbert matrix H[i][j] = 1/(i+j+1) — the paper's
+        canonical ill-conditioned test input."""
+        return cls([[Fraction(1, i + j + 1) for j in range(n)] for i in range(n)])
+
+    # -------------------------------------------------------------- shape
+
+    @property
+    def n_rows(self) -> int:
+        return len(self.rows)
+
+    @property
+    def n_cols(self) -> int:
+        return len(self.rows[0])
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.n_rows, self.n_cols
+
+    @property
+    def square(self) -> bool:
+        return self.n_rows == self.n_cols
+
+    # ---------------------------------------------------------- arithmetic
+
+    def _check_same_shape(self, other: "RationalMatrix", op: str) -> None:
+        if self.shape != other.shape:
+            raise CasError(f"cannot {op} matrices of shapes {self.shape} and {other.shape}")
+
+    def __add__(self, other: "RationalMatrix") -> "RationalMatrix":
+        self._check_same_shape(other, "add")
+        return RationalMatrix(
+            [[a + b for a, b in zip(ra, rb)] for ra, rb in zip(self.rows, other.rows)]
+        )
+
+    def __sub__(self, other: "RationalMatrix") -> "RationalMatrix":
+        self._check_same_shape(other, "subtract")
+        return RationalMatrix(
+            [[a - b for a, b in zip(ra, rb)] for ra, rb in zip(self.rows, other.rows)]
+        )
+
+    def __neg__(self) -> "RationalMatrix":
+        return RationalMatrix([[-a for a in row] for row in self.rows])
+
+    def __matmul__(self, other: "RationalMatrix") -> "RationalMatrix":
+        if self.n_cols != other.n_rows:
+            raise CasError(
+                f"cannot multiply {self.shape} by {other.shape}: inner dimensions differ"
+            )
+        transposed = list(zip(*other.rows))
+        return RationalMatrix(
+            [[sum(a * b for a, b in zip(row, col)) for col in transposed] for row in self.rows]
+        )
+
+    def scale(self, factor: Any) -> "RationalMatrix":
+        scalar = _to_fraction(factor)
+        return RationalMatrix([[scalar * a for a in row] for row in self.rows])
+
+    def transpose(self) -> "RationalMatrix":
+        return RationalMatrix([list(column) for column in zip(*self.rows)])
+
+    def inverse(self) -> "RationalMatrix":
+        """Exact inverse via Gauss–Jordan elimination with row pivoting."""
+        if not self.square:
+            raise CasError(f"cannot invert a non-square {self.shape} matrix")
+        n = self.n_rows
+        work = [list(row) + identity_row for row, identity_row in zip(self.rows, RationalMatrix.identity(n).rows)]
+        for col in range(n):
+            pivot_row = next((r for r in range(col, n) if work[r][col] != 0), None)
+            if pivot_row is None:
+                raise CasError("matrix is singular")
+            if pivot_row != col:
+                work[col], work[pivot_row] = work[pivot_row], work[col]
+            pivot = work[col][col]
+            work[col] = [v / pivot for v in work[col]]
+            for r in range(n):
+                if r != col and work[r][col] != 0:
+                    factor = work[r][col]
+                    work[r] = [v - factor * p for v, p in zip(work[r], work[col])]
+        return RationalMatrix([row[n:] for row in work])
+
+    # -------------------------------------------------------------- blocks
+
+    def block(self, row0: int, row1: int, col0: int, col1: int) -> "RationalMatrix":
+        """The submatrix rows[row0:row1] × cols[col0:col1]."""
+        if not (0 <= row0 < row1 <= self.n_rows and 0 <= col0 < col1 <= self.n_cols):
+            raise CasError(f"block ({row0}:{row1}, {col0}:{col1}) out of range for {self.shape}")
+        return RationalMatrix([row[col0:col1] for row in self.rows[row0:row1]])
+
+    def split_2x2(self, split: int | None = None) -> tuple["RationalMatrix", ...]:
+        """The paper's 4-block decomposition: (A11, A12, A21, A22)."""
+        if not self.square:
+            raise CasError("2x2 block split needs a square matrix")
+        n = self.n_rows
+        if n < 2:
+            raise CasError("matrix too small to split")
+        m = split if split is not None else n // 2
+        if not 0 < m < n:
+            raise CasError(f"split {m} out of range for size {n}")
+        return (
+            self.block(0, m, 0, m),
+            self.block(0, m, m, n),
+            self.block(m, n, 0, m),
+            self.block(m, n, m, n),
+        )
+
+    @classmethod
+    def assemble_2x2(
+        cls,
+        a11: "RationalMatrix",
+        a12: "RationalMatrix",
+        a21: "RationalMatrix",
+        a22: "RationalMatrix",
+    ) -> "RationalMatrix":
+        if a11.n_rows != a12.n_rows or a21.n_rows != a22.n_rows:
+            raise CasError("block row heights do not match")
+        if a11.n_cols != a21.n_cols or a12.n_cols != a22.n_cols:
+            raise CasError("block column widths do not match")
+        top = [ra + rb for ra, rb in zip(a11.rows, a12.rows)]
+        bottom = [ra + rb for ra, rb in zip(a21.rows, a22.rows)]
+        return cls(top + bottom)
+
+    # ----------------------------------------------------------- equality
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, RationalMatrix) and self.rows == other.rows
+
+    def __hash__(self) -> int:
+        return hash(tuple(tuple(row) for row in self.rows))
+
+    def is_identity(self) -> bool:
+        return self.square and self == RationalMatrix.identity(self.n_rows)
+
+    # -------------------------------------------------------- diagnostics
+
+    def digit_size(self) -> int:
+        """Total characters in the exact representation — the paper's
+        "symbolic representation ... reached hundreds of megabytes" metric."""
+        return sum(len(str(v)) for row in self.rows for v in row)
+
+    def max_denominator_digits(self) -> int:
+        return max(len(str(v.denominator)) for row in self.rows for v in row)
+
+    # ------------------------------------------------------- serialization
+
+    def to_json(self) -> dict[str, Any]:
+        """JSON form: entries as exact ``"p/q"`` strings."""
+        return {"rows": [[str(v) for v in row] for row in self.rows]}
+
+    @classmethod
+    def from_json(cls, document: Any) -> "RationalMatrix":
+        if not isinstance(document, dict) or "rows" not in document:
+            raise CasError("matrix JSON must be an object with 'rows'")
+        return cls(document["rows"])
+
+    def __repr__(self) -> str:
+        return f"RationalMatrix({self.n_rows}x{self.n_cols})"

@@ -1,0 +1,65 @@
+"""The CAS service's operation set.
+
+Each operation takes up to three matrices. The fused operations
+(``mulsub``, ``muladd``, ``negmul``) exist because the distributed
+inversion algorithm is communication-bound: fusing `A − B·C` into one
+service call halves the payload traffic for the Schur steps.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable
+
+from repro.apps.cas.kernel import CasError, RationalMatrix
+
+#: op name -> (arity, function)
+OPERATIONS: dict[str, tuple[int, Callable[..., RationalMatrix]]] = {
+    "invert": (1, lambda a: a.inverse()),
+    "neg": (1, lambda a: -a),
+    "transpose": (1, lambda a: a.transpose()),
+    "add": (2, lambda a, b: a + b),
+    "sub": (2, lambda a, b: a - b),
+    "mul": (2, lambda a, b: a @ b),
+    "negmul": (2, lambda a, b: -(a @ b)),
+    "mulsub": (3, lambda a, b, c: a - b @ c),
+    "muladd": (3, lambda a, b, c: a + b @ c),
+    "hilbert": (0, lambda: None),  # handled specially (takes n, not matrices)
+}
+
+
+def apply_operation(
+    op: str,
+    a: Any = None,
+    b: Any = None,
+    c: Any = None,
+    n: int | None = None,
+) -> dict[str, Any]:
+    """Run one CAS operation on JSON matrix payloads.
+
+    Returns ``{"result": <matrix JSON>, "elapsed": seconds,
+    "result_size": chars}``. Raises :class:`CasError` on bad requests.
+    """
+    if op not in OPERATIONS:
+        raise CasError(f"unknown operation {op!r}; available: {sorted(OPERATIONS)}")
+    started = time.perf_counter()
+    if op == "hilbert":
+        if not isinstance(n, int) or n < 1:
+            raise CasError("operation 'hilbert' needs a positive integer 'n'")
+        result = RationalMatrix.hilbert(n)
+    else:
+        arity, function = OPERATIONS[op]
+        operands = []
+        for name, payload in zip(("a", "b", "c"), (a, b, c)):
+            if len(operands) == arity:
+                break
+            if payload is None:
+                raise CasError(f"operation {op!r} needs operand {name!r}")
+            operands.append(RationalMatrix.from_json(payload))
+        result = function(*operands)
+    elapsed = time.perf_counter() - started
+    return {
+        "result": result.to_json(),
+        "elapsed": elapsed,
+        "result_size": result.digit_size(),
+    }

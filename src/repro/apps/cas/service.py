@@ -1,0 +1,124 @@
+"""Service configurations exposing the CAS through the unified REST API.
+
+Two packagings of the same service contract:
+
+- ``packaging="subprocess"`` (default) — each job runs ``python -m
+  repro.apps.cas.cli`` as its own OS process (one "Maxima run" per job,
+  exactly the paper's setup). Concurrent CAS jobs therefore execute in
+  genuine parallel — the property the Table 2 benchmark depends on.
+- ``packaging="python"`` — in-process via the Python adapter; faster per
+  call (no interpreter start-up), used by tests and small examples.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+from typing import Any
+
+from repro.core.errors import AdapterError
+from repro.apps.cas.operations import OPERATIONS, apply_operation
+
+#: Matrix payloads are bulk data (megabytes of digit strings for large
+#: ill-conditioned inputs); the schema deliberately stops at the envelope
+#: so request validation stays O(1) in the matrix size — the kernel
+#: re-checks every entry anyway when it parses the fractions.
+MATRIX_SCHEMA: dict[str, Any] = {
+    "type": "object",
+    "required": ["rows"],
+    "properties": {"rows": {"type": "array", "minItems": 1}},
+}
+
+_DESCRIPTION: dict[str, Any] = {
+    "title": "Computer algebra service",
+    "description": (
+        "Exact rational matrix operations (Maxima stand-in): inversion, "
+        "products, fused Schur-complement steps and Hilbert generation."
+    ),
+    "inputs": {
+        "op": {"schema": {"type": "string", "enum": sorted(OPERATIONS)}},
+        "a": {"schema": MATRIX_SCHEMA, "required": False},
+        "b": {"schema": MATRIX_SCHEMA, "required": False},
+        "c": {"schema": MATRIX_SCHEMA, "required": False},
+        "n": {"schema": {"type": "integer", "minimum": 1}, "required": False},
+    },
+    "outputs": {
+        "result": {"schema": MATRIX_SCHEMA},
+        "elapsed": {"schema": {"type": "number"}},
+        "result_size": {"schema": {"type": "integer"}},
+    },
+    "tags": ["cas", "linear-algebra", "exact-arithmetic"],
+}
+
+
+def run_inprocess(op: str, a: Any = None, b: Any = None, c: Any = None, n: int | None = None):
+    """The python-adapter callable: run the operation in this interpreter."""
+    return apply_operation(op, a=a, b=b, c=c, n=n)
+
+
+def run_subprocess(op: str, a: Any = None, b: Any = None, c: Any = None, n: int | None = None):
+    """The subprocess callable: one CLI process per job (a "Maxima run")."""
+    with tempfile.TemporaryDirectory(prefix="cas-") as scratch_name:
+        scratch = Path(scratch_name)
+        argv = [sys.executable, "-m", "repro.apps.cas.cli", "--op", op, "--out", str(scratch / "result.json")]
+        for name, payload in (("a", a), ("b", b), ("c", c)):
+            if payload is not None:
+                path = scratch / f"{name}.json"
+                path.write_text(json.dumps(payload))
+                argv.extend([f"--{name}", str(path)])
+        if n is not None:
+            argv.extend(["--n", str(n)])
+        completed = subprocess.run(argv, capture_output=True, text=True)
+        if completed.returncode != 0:
+            raise AdapterError(
+                f"CAS process failed (exit {completed.returncode}): {completed.stderr.strip()}"
+            )
+        return json.loads((scratch / "result.json").read_text())
+
+
+def _file_passing(callable_fn):
+    """Wrap a CAS callable so the result matrix travels as a file resource.
+
+    Exactly-ill-conditioned intermediates reach megabytes of digits; the
+    paper's inversion application moved them between services as file
+    resources rather than inline values (§2: "some of these values may
+    contain identifiers of file resources"). Input file references are
+    resolved by the adapter before the callable runs; this wrapper stores
+    the output matrix in the job's file store and returns its reference,
+    so job representations (polled repeatedly) stay small and downstream
+    services fetch the content directly from this service.
+    """
+
+    def with_files(context, **inputs):
+        envelope = callable_fn(**inputs)
+        content = json.dumps(envelope["result"]).encode("utf-8")
+        reference = context.store_file(
+            content, name="result-matrix.json", content_type="application/json"
+        )
+        return {**envelope, "result": reference}
+
+    return with_files
+
+
+def cas_service_config(
+    name: str = "cas", packaging: str = "subprocess", file_results: bool = False
+) -> dict[str, Any]:
+    """A deployable service configuration for the CAS.
+
+    With ``file_results=True`` the result matrix is returned as a file
+    reference instead of an inline value (see :func:`_file_passing`).
+    """
+    callables = {"subprocess": run_subprocess, "python": run_inprocess}
+    if packaging not in callables:
+        raise ValueError(f"unknown packaging {packaging!r} (use 'subprocess' or 'python')")
+    callable_fn = callables[packaging]
+    if file_results:
+        callable_fn = _file_passing(callable_fn)
+    return {
+        "description": {"name": name, **_DESCRIPTION},
+        "adapter": "python",
+        "config": {"callable": callable_fn},
+    }

@@ -1,0 +1,29 @@
+"""'Error-free' inversion of ill-conditioned matrices (paper §4, [9]).
+
+The application inverts Hilbert-type matrices exactly, two ways:
+
+- *serial*: one CAS job inverts the whole matrix (the paper's "serial
+  execution time in Maxima" column of Table 2);
+- *distributed*: the matrix is split into a 2×2 block grid and inverted
+  via the Schur complement, with the block operations running as
+  concurrent jobs on CAS services (the "parallel execution time in
+  MathCloud (using 4-block decomposition)" column).
+
+Provided as a plain algorithm (:mod:`repro.apps.matrix.blockinv`), as a
+service-pool driver (:class:`~repro.apps.matrix.blockinv.DistributedInverter`)
+and as a WMS workflow (:mod:`repro.apps.matrix.workflow_def`).
+"""
+
+from repro.apps.matrix.blockinv import (
+    DistributedInverter,
+    block_invert_local,
+    serial_invert,
+)
+from repro.apps.matrix.workflow_def import build_inversion_workflow
+
+__all__ = [
+    "DistributedInverter",
+    "block_invert_local",
+    "build_inversion_workflow",
+    "serial_invert",
+]

@@ -1,0 +1,37 @@
+"""Optimization modeling as computational web services (paper §4, [12-13]).
+
+The paper integrates "various optimization solvers intended for basic
+classes of mathematical programming problems and translators of AMPL
+optimization modeling language", with a dispatcher service that runs AMPL
+scripts in distributed mode against a pool of solver services, validated
+on Dantzig–Wolfe decomposition of multi-commodity transportation.
+
+This subpackage builds that stack from scratch:
+
+- :mod:`repro.apps.optimization.lp` — the linear-program interchange form;
+- :mod:`repro.apps.optimization.ampl` — an AMPL-subset translator
+  (lexer → parser → AST → grounder → LP);
+- :mod:`repro.apps.optimization.solvers` — a two-phase primal simplex with
+  dual extraction, branch & bound for integers, and a scipy/HiGHS wrapper
+  (the "different solvers" of the paper);
+- :mod:`repro.apps.optimization.services` — translator and solver service
+  configurations;
+- :mod:`repro.apps.optimization.dispatcher` — the solver-pool dispatcher;
+- :mod:`repro.apps.optimization.multicommodity` — instance generation and
+  models for the multi-commodity transportation problem;
+- :mod:`repro.apps.optimization.dantzig_wolfe` — Dantzig–Wolfe column
+  generation with subproblems solved in parallel by remote services.
+"""
+
+from repro.apps.optimization.ampl import AmplError, translate
+from repro.apps.optimization.lp import Constraint, LinearProgram, SolverResult
+from repro.apps.optimization.solvers import solve_lp
+
+__all__ = [
+    "AmplError",
+    "Constraint",
+    "LinearProgram",
+    "SolverResult",
+    "solve_lp",
+    "translate",
+]

@@ -1,0 +1,50 @@
+"""An AMPL-subset modeling-language translator.
+
+The paper's optimization services are built around "translators of AMPL
+optimization modeling language"; this subpackage implements the subset
+those services need, as a conventional compiler pipeline:
+
+- :mod:`~repro.apps.optimization.ampl.lexer` — tokens with positions;
+- :mod:`~repro.apps.optimization.ampl.parser` — recursive descent into a
+  typed AST (:mod:`~repro.apps.optimization.ampl.ast_nodes`);
+- :mod:`~repro.apps.optimization.ampl.data` — the AMPL ``data`` section
+  (set lists and indexed parameter tables);
+- :mod:`~repro.apps.optimization.ampl.grounder` — instantiates indexed
+  constraints over their sets and emits a
+  :class:`~repro.apps.optimization.lp.LinearProgram`.
+
+Supported language::
+
+    set ORIG;  set DEST;
+    param supply {ORIG} >= 0;
+    param cost {ORIG, DEST};
+    var Trans {i in ORIG, j in DEST} >= 0, <= capacity[i, j];
+    minimize total_cost: sum {i in ORIG, j in DEST} cost[i, j] * Trans[i, j];
+    subject to Supply {i in ORIG}:
+        sum {j in DEST} Trans[i, j] <= supply[i];
+
+:func:`translate` runs the whole pipeline: model text (+ data text or
+JSON) in, LP out.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.apps.optimization.ampl.data import parse_data
+from repro.apps.optimization.ampl.errors import AmplError, AmplSyntaxError
+from repro.apps.optimization.ampl.grounder import ground
+from repro.apps.optimization.ampl.parser import parse_model
+from repro.apps.optimization.lp import LinearProgram
+
+
+def translate(model_text: str, data: "str | dict[str, Any] | None" = None) -> LinearProgram:
+    """Model text plus data (AMPL data section text, or the JSON form
+    ``{"sets": ..., "params": ...}``) → a ground :class:`LinearProgram`."""
+    model = parse_model(model_text)
+    if isinstance(data, str):
+        data = parse_data(data)
+    return ground(model, data or {})
+
+
+__all__ = ["AmplError", "AmplSyntaxError", "ground", "parse_data", "parse_model", "translate"]

@@ -1,0 +1,106 @@
+"""AMPL abstract syntax tree."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+Expr = Union["Num", "SymRef", "Sum", "Bin", "Neg"]
+
+
+@dataclass(frozen=True)
+class Num:
+    value: float
+
+
+@dataclass(frozen=True)
+class SymRef:
+    """A reference to a parameter, variable or index symbol, possibly
+    subscripted: ``cost[i, j]`` or bare ``supply`` / ``i``."""
+
+    name: str
+    subscripts: tuple[Expr, ...] = ()
+
+
+@dataclass(frozen=True)
+class Sum:
+    """``sum {i in A, j in B} body``."""
+
+    bindings: tuple[tuple[str, str], ...]  # (index var, set name)
+    body: Expr
+
+
+@dataclass(frozen=True)
+class Bin:
+    op: str  # + - * /
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class Neg:
+    operand: Expr
+
+
+@dataclass
+class Indexing:
+    """``{i in ORIG, j in DEST}`` — or positional ``{ORIG, DEST}``."""
+
+    bindings: list[tuple[str, str]]  # (index var or "", set name)
+
+    @property
+    def set_names(self) -> list[str]:
+        return [set_name for _, set_name in self.bindings]
+
+    @property
+    def dimensions(self) -> int:
+        return len(self.bindings)
+
+
+@dataclass
+class SetDecl:
+    name: str
+
+
+@dataclass
+class ParamDecl:
+    name: str
+    indexing: Indexing | None = None
+    default: float | None = None
+    #: declared restrictions, kept for validation: list of (relop, value)
+    restrictions: list[tuple[str, float]] = field(default_factory=list)
+
+
+@dataclass
+class VarDecl:
+    name: str
+    indexing: Indexing | None = None
+    lower: Expr | None = None
+    upper: Expr | None = None
+    integer: bool = False
+    binary: bool = False
+
+
+@dataclass
+class Objective:
+    name: str
+    sense: str  # "min" | "max"
+    expr: Expr
+
+
+@dataclass
+class ConstraintDecl:
+    name: str
+    indexing: Indexing | None
+    left: Expr
+    relop: str  # <= >= =
+    right: Expr
+
+
+@dataclass
+class Model:
+    sets: dict[str, SetDecl] = field(default_factory=dict)
+    params: dict[str, ParamDecl] = field(default_factory=dict)
+    variables: dict[str, VarDecl] = field(default_factory=dict)
+    objective: Objective | None = None
+    constraints: list[ConstraintDecl] = field(default_factory=list)

@@ -1,0 +1,158 @@
+"""The AMPL ``data`` section.
+
+Supported statements::
+
+    set ORIG := GARY CLEV PITT;
+    param supply := GARY 1400  CLEV 2600  PITT 2900;
+    param cost := GARY FRA 39  GARY DET 14  CLEV FRA 27;   # tuple keys
+    param demand default 0 := FRA 900;
+    param T := 4;                                           # scalar
+
+The result is the JSON data form the grounder consumes::
+
+    {"sets": {"ORIG": ["GARY", ...]},
+     "params": {"supply": {"GARY": 1400, ...},
+                "cost": {"GARY": {"FRA": 39, ...}, ...},
+                "T": 4},
+     "defaults": {"demand": 0}}
+
+Key dimensionality is inferred from the value stream: tokens before each
+number are the key tuple, and every entry of one parameter must use the
+same number of key tokens.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.apps.optimization.ampl.errors import AmplSyntaxError
+from repro.apps.optimization.ampl.lexer import Token, TokenKind, tokenize
+
+
+def _key_token(token: Token) -> str:
+    if token.kind in (TokenKind.IDENT, TokenKind.STRING, TokenKind.KEYWORD):
+        return str(token.value)
+    if token.kind is TokenKind.NUMBER:
+        value = float(token.value)
+        return str(int(value)) if value.is_integer() else str(value)
+    raise AmplSyntaxError(f"bad data key {token.text!r}", token.line, token.column)
+
+
+def _store(target: dict[str, Any], keys: list[str], value: float) -> None:
+    node = target
+    for key in keys[:-1]:
+        node = node.setdefault(key, {})
+        if not isinstance(node, dict):
+            raise AmplSyntaxError(f"inconsistent key depth at {key!r}")
+    node[keys[-1]] = value
+
+
+def parse_data(source: str) -> dict[str, Any]:
+    """Parse an AMPL data section into the JSON data form."""
+    tokens = tokenize(source)
+    position = 0
+    sets: dict[str, list[str]] = {}
+    params: dict[str, Any] = {}
+    defaults: dict[str, float] = {}
+
+    def current() -> Token:
+        return tokens[position]
+
+    def advance() -> Token:
+        nonlocal position
+        token = tokens[position]
+        if token.kind is not TokenKind.EOF:
+            position += 1
+        return token
+
+    def expect(kind: TokenKind) -> Token:
+        if current().kind is not kind:
+            raise AmplSyntaxError(
+                f"expected {kind.value!r}, found {current().text!r}",
+                current().line,
+                current().column,
+            )
+        return advance()
+
+    # an optional leading "data;" marker, as in AMPL files
+    if current().is_keyword("data"):
+        advance()
+        expect(TokenKind.SEMICOLON)
+
+    while current().kind is not TokenKind.EOF:
+        token = advance()
+        if token.is_keyword("set"):
+            name = expect(TokenKind.IDENT).text
+            expect(TokenKind.ASSIGN)
+            elements: list[str] = []
+            while current().kind is not TokenKind.SEMICOLON:
+                elements.append(_key_token(advance()))
+            expect(TokenKind.SEMICOLON)
+            sets[name] = elements
+        elif token.is_keyword("param"):
+            name = expect(TokenKind.IDENT).text
+            if current().is_keyword("default"):
+                advance()
+                negative = current().kind is TokenKind.MINUS
+                if negative:
+                    advance()
+                value_token = expect(TokenKind.NUMBER)
+                defaults[name] = -float(value_token.value) if negative else float(value_token.value)
+                if current().kind is TokenKind.SEMICOLON:
+                    advance()
+                    continue
+            expect(TokenKind.ASSIGN)
+            entries: list[tuple[list[str], float]] = []
+            pending: list[Token] = []
+            while current().kind is not TokenKind.SEMICOLON:
+                pending.append(advance())
+                # a NUMBER terminates an entry iff the next token starts a new
+                # key run or the statement ends — detected by uniform width
+            expect(TokenKind.SEMICOLON)
+            entries = _split_entries(name, pending)
+            if len(entries) == 1 and not entries[0][0]:
+                params[name] = entries[0][1]  # scalar
+            else:
+                table: dict[str, Any] = {}
+                for keys, value in entries:
+                    _store(table, keys, value)
+                params[name] = table
+        else:
+            raise AmplSyntaxError(
+                f"expected 'set' or 'param', found {token.text!r}", token.line, token.column
+            )
+    return {"sets": sets, "params": params, "defaults": defaults}
+
+
+def _split_entries(name: str, stream: list[Token]) -> list[tuple[list[str], float]]:
+    """Split a flat token stream into (key-tuple, value) entries.
+
+    The value is always the last NUMBER of each entry; the key width is
+    inferred from the position of the first number and must be uniform.
+    """
+    if not stream:
+        raise AmplSyntaxError(f"param {name!r} has no data")
+    width = next(
+        (i for i, token in enumerate(stream) if token.kind is TokenKind.NUMBER), None
+    )
+    if width is None:
+        raise AmplSyntaxError(f"param {name!r} has keys but no values")
+    entry_size = width + 1
+    if len(stream) % entry_size != 0:
+        raise AmplSyntaxError(
+            f"param {name!r}: data stream does not split into uniform "
+            f"{width}-key entries"
+        )
+    entries: list[tuple[list[str], float]] = []
+    for start in range(0, len(stream), entry_size):
+        chunk = stream[start : start + entry_size]
+        value_token = chunk[-1]
+        if value_token.kind is not TokenKind.NUMBER:
+            raise AmplSyntaxError(
+                f"param {name!r}: expected a value, found {value_token.text!r}",
+                value_token.line,
+                value_token.column,
+            )
+        keys = [_key_token(token) for token in chunk[:-1]]
+        entries.append((keys, float(value_token.value)))
+    return entries

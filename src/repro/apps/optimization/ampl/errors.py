@@ -1,0 +1,21 @@
+"""AMPL translator errors."""
+
+from __future__ import annotations
+
+
+class AmplError(Exception):
+    """Base class for modeling-language failures."""
+
+
+class AmplSyntaxError(AmplError):
+    """Lexical or grammatical error, with source position."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        location = f" at line {line}, column {column}" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class AmplGroundingError(AmplError):
+    """Semantic error while instantiating the model over its data."""

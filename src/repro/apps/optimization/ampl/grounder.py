@@ -1,0 +1,280 @@
+"""The grounder: model AST + data → ground :class:`LinearProgram`.
+
+Instantiates every indexed variable and constraint over the cross product
+of its index sets, folding each expression into an affine form
+``(coefficients over variables, constant)``. Nonlinearities (a product of
+two variables) are rejected with a precise message.
+
+Ground variable names follow AMPL display syntax: ``Trans['GARY','FRA']``
+becomes ``Trans[GARY,FRA]``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Iterator
+
+from repro.apps.optimization.ampl.ast_nodes import (
+    Bin,
+    ConstraintDecl,
+    Expr,
+    Indexing,
+    Model,
+    Neg,
+    Num,
+    Sum,
+    SymRef,
+    VarDecl,
+)
+from repro.apps.optimization.ampl.errors import AmplGroundingError
+from repro.apps.optimization.lp import Constraint, LinearProgram
+
+
+class _Affine:
+    """coefs·x + constant, the folding target for expressions."""
+
+    __slots__ = ("coefs", "constant")
+
+    def __init__(self, coefs: dict[str, float] | None = None, constant: float = 0.0):
+        self.coefs = coefs or {}
+        self.constant = constant
+
+    @property
+    def is_constant(self) -> bool:
+        return not self.coefs
+
+    def __add__(self, other: "_Affine") -> "_Affine":
+        coefs = dict(self.coefs)
+        for name, coef in other.coefs.items():
+            coefs[name] = coefs.get(name, 0.0) + coef
+        return _Affine(coefs, self.constant + other.constant)
+
+    def __sub__(self, other: "_Affine") -> "_Affine":
+        coefs = dict(self.coefs)
+        for name, coef in other.coefs.items():
+            coefs[name] = coefs.get(name, 0.0) - coef
+        return _Affine(coefs, self.constant - other.constant)
+
+    def scaled(self, factor: float) -> "_Affine":
+        return _Affine({n: c * factor for n, c in self.coefs.items()}, self.constant * factor)
+
+
+def _var_key(name: str, elements: tuple[str, ...]) -> str:
+    return f"{name}[{','.join(elements)}]" if elements else name
+
+
+class _Grounder:
+    def __init__(self, model: Model, data: dict[str, Any]):
+        self.model = model
+        self.sets: dict[str, list[str]] = {
+            name: list(elements) for name, elements in data.get("sets", {}).items()
+        }
+        self.params: dict[str, Any] = dict(data.get("params", {}))
+        self.defaults: dict[str, float] = dict(data.get("defaults", {}))
+        for name in model.sets:
+            if name not in self.sets:
+                raise AmplGroundingError(f"no data for set {name!r}")
+
+    # --------------------------------------------------------- param/set
+
+    def set_elements(self, name: str) -> list[str]:
+        if name not in self.model.sets:
+            raise AmplGroundingError(f"unknown set {name!r}")
+        return self.sets[name]
+
+    def param_value(self, name: str, keys: tuple[str, ...]) -> float:
+        declaration = self.model.params[name]
+        expected = declaration.indexing.dimensions if declaration.indexing else 0
+        if len(keys) != expected:
+            raise AmplGroundingError(
+                f"param {name!r} expects {expected} subscript(s), got {len(keys)}"
+            )
+        node: Any = self.params.get(name)
+        for key in keys:
+            if isinstance(node, dict):
+                node = node.get(key)
+            else:
+                node = None
+            if node is None:
+                break
+        if node is None:
+            if name in self.defaults:
+                return self.defaults[name]
+            if declaration.default is not None:
+                return declaration.default
+            subscript = f"[{','.join(keys)}]" if keys else ""
+            raise AmplGroundingError(f"no data for param {name}{subscript}")
+        if not isinstance(node, (int, float)) or isinstance(node, bool):
+            raise AmplGroundingError(f"param {name!r}: data at {keys} is not a number")
+        value = float(node)
+        for relop, limit in declaration.restrictions:
+            satisfied = {
+                ">=": value >= limit,
+                "<=": value <= limit,
+                ">": value > limit,
+                "<": value < limit,
+                "=": value == limit,
+            }.get(relop, True)
+            if not satisfied:
+                raise AmplGroundingError(
+                    f"param {name}{list(keys)} = {value} violates declared {relop} {limit}"
+                )
+        return value
+
+    # -------------------------------------------------------- expressions
+
+    def _subscript_values(
+        self, subscripts: tuple[Expr, ...], env: dict[str, str]
+    ) -> tuple[str, ...]:
+        values: list[str] = []
+        for expression in subscripts:
+            if isinstance(expression, SymRef) and not expression.subscripts:
+                if expression.name in env:
+                    values.append(env[expression.name])
+                    continue
+                values.append(expression.name)  # a literal member name
+                continue
+            if isinstance(expression, Num):
+                value = expression.value
+                values.append(str(int(value)) if value.is_integer() else str(value))
+                continue
+            raise AmplGroundingError(
+                f"unsupported subscript expression {expression!r} (use index vars or literals)"
+            )
+        return tuple(values)
+
+    def fold(self, expression: Expr, env: dict[str, str]) -> _Affine:
+        """Fold an expression into affine form under index bindings ``env``."""
+        if isinstance(expression, Num):
+            return _Affine(constant=expression.value)
+        if isinstance(expression, Neg):
+            return self.fold(expression.operand, env).scaled(-1.0)
+        if isinstance(expression, SymRef):
+            name = expression.name
+            if name in self.model.variables:
+                keys = self._subscript_values(expression.subscripts, env)
+                self._check_var_subscripts(name, keys)
+                return _Affine({_var_key(name, keys): 1.0})
+            if name in self.model.params:
+                keys = self._subscript_values(expression.subscripts, env)
+                return _Affine(constant=self.param_value(name, keys))
+            if name in env and not expression.subscripts:
+                # a bare index variable used as a number (rare); reject —
+                # set members are symbolic here
+                raise AmplGroundingError(f"index {name!r} cannot be used as a number")
+            raise AmplGroundingError(f"unknown symbol {name!r}")
+        if isinstance(expression, Sum):
+            total = _Affine()
+            for combination in self._bindings_product(expression.bindings):
+                inner = dict(env)
+                inner.update(combination)
+                total = total + self.fold(expression.body, inner)
+            return total
+        if isinstance(expression, Bin):
+            left = self.fold(expression.left, env)
+            right = self.fold(expression.right, env)
+            if expression.op == "+":
+                return left + right
+            if expression.op == "-":
+                return left - right
+            if expression.op == "*":
+                if left.is_constant:
+                    return right.scaled(left.constant)
+                if right.is_constant:
+                    return left.scaled(right.constant)
+                raise AmplGroundingError("nonlinear term: product of two variable expressions")
+            if expression.op == "/":
+                if not right.is_constant:
+                    raise AmplGroundingError("nonlinear term: division by a variable expression")
+                if right.constant == 0:
+                    raise AmplGroundingError("division by zero in model expression")
+                return left.scaled(1.0 / right.constant)
+        raise AmplGroundingError(f"cannot fold expression {expression!r}")
+
+    def _check_var_subscripts(self, name: str, keys: tuple[str, ...]) -> None:
+        declaration = self.model.variables[name]
+        expected = declaration.indexing.dimensions if declaration.indexing else 0
+        if len(keys) != expected:
+            raise AmplGroundingError(
+                f"variable {name!r} expects {expected} subscript(s), got {len(keys)}"
+            )
+
+    def _bindings_product(
+        self, bindings: tuple[tuple[str, str], ...] | list[tuple[str, str]]
+    ) -> Iterator[dict[str, str]]:
+        names = [index_name for index_name, _ in bindings]
+        element_lists = [self.set_elements(set_name) for _, set_name in bindings]
+        for combination in itertools.product(*element_lists):
+            yield {n: e for n, e in zip(names, combination) if n}
+
+    # ------------------------------------------------------------- ground
+
+    def _indexing_tuples(self, indexing: Indexing | None) -> Iterator[tuple[dict[str, str], tuple[str, ...]]]:
+        if indexing is None:
+            yield {}, ()
+            return
+        element_lists = [self.set_elements(set_name) for set_name in indexing.set_names]
+        names = [index_name for index_name, _ in indexing.bindings]
+        for combination in itertools.product(*element_lists):
+            env = {n: e for n, e in zip(names, combination) if n}
+            yield env, tuple(combination)
+
+    def _ground_variable_bounds(self, lp: LinearProgram, declaration: VarDecl) -> None:
+        for env, elements in self._indexing_tuples(declaration.indexing):
+            key = _var_key(declaration.name, elements)
+            low: float | None = None
+            high: float | None = None
+            if declaration.binary:
+                low, high = 0.0, 1.0
+                lp.integers.add(key)
+            if declaration.integer:
+                lp.integers.add(key)
+            if declaration.lower is not None:
+                folded = self.fold(declaration.lower, env)
+                if not folded.is_constant:
+                    raise AmplGroundingError(f"variable {key}: lower bound is not constant")
+                low = folded.constant
+            if declaration.upper is not None:
+                folded = self.fold(declaration.upper, env)
+                if not folded.is_constant:
+                    raise AmplGroundingError(f"variable {key}: upper bound is not constant")
+                high = folded.constant
+            lp.bounds[key] = (low, high)
+
+    def ground(self) -> LinearProgram:
+        objective = self.model.objective
+        lp = LinearProgram(sense=objective.sense, name=objective.name)
+        for declaration in self.model.variables.values():
+            self._ground_variable_bounds(lp, declaration)
+        folded_objective = self.fold(objective.expr, {})
+        lp.objective = {n: c for n, c in folded_objective.coefs.items() if c != 0.0}
+        lp.objective_constant = folded_objective.constant
+        for declaration in self.model.constraints:
+            for env, elements in self._indexing_tuples(declaration.indexing):
+                left = self.fold(declaration.left, env)
+                right = self.fold(declaration.right, env)
+                combined = left - right
+                name = _var_key(declaration.name, elements)
+                coefs = {n: c for n, c in combined.coefs.items() if c != 0.0}
+                if not coefs:
+                    # constant row: verify it holds, then drop it
+                    holds = {
+                        "<=": combined.constant <= 0,
+                        ">=": combined.constant >= 0,
+                        "=": combined.constant == 0,
+                    }[declaration.relop]
+                    if not holds:
+                        raise AmplGroundingError(
+                            f"constraint {name} is constant and violated"
+                        )
+                    continue
+                lp.constraints.append(
+                    Constraint(name=name, coefs=coefs, relop=declaration.relop, rhs=-combined.constant)
+                )
+        lp.validate()
+        return lp
+
+
+def ground(model: Model, data: dict[str, Any]) -> LinearProgram:
+    """Instantiate ``model`` over ``data``; returns the ground LP."""
+    return _Grounder(model, data).ground()

@@ -1,0 +1,164 @@
+"""AMPL lexer.
+
+Keywords are recognized case-sensitively (as in AMPL). ``#`` and
+``/* */`` comments are skipped. ``subject to`` arrives as two IDENT-like
+keyword tokens; the parser assembles them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.apps.optimization.ampl.errors import AmplSyntaxError
+
+KEYWORDS = frozenset(
+    "set param var minimize maximize subject to sum in integer binary default data".split()
+)
+
+
+class TokenKind(Enum):
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    NUMBER = "number"
+    STRING = "string"
+    LBRACE = "{"
+    RBRACE = "}"
+    LBRACKET = "["
+    RBRACKET = "]"
+    LPAREN = "("
+    RPAREN = ")"
+    COMMA = ","
+    SEMICOLON = ";"
+    COLON = ":"
+    ASSIGN = ":="
+    LE = "<="
+    GE = ">="
+    EQ = "="
+    EQEQ = "=="
+    LT = "<"
+    GT = ">"
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    value: object = None
+    line: int = 0
+    column: int = 0
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.text == word
+
+
+_PUNCTUATION = {
+    ":=": TokenKind.ASSIGN,
+    "<=": TokenKind.LE,
+    ">=": TokenKind.GE,
+    "==": TokenKind.EQEQ,
+    "{": TokenKind.LBRACE,
+    "}": TokenKind.RBRACE,
+    "[": TokenKind.LBRACKET,
+    "]": TokenKind.RBRACKET,
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    ",": TokenKind.COMMA,
+    ";": TokenKind.SEMICOLON,
+    ":": TokenKind.COLON,
+    "=": TokenKind.EQ,
+    "<": TokenKind.LT,
+    ">": TokenKind.GT,
+    "+": TokenKind.PLUS,
+    "-": TokenKind.MINUS,
+    "*": TokenKind.STAR,
+    "/": TokenKind.SLASH,
+}
+
+
+def tokenize(source: str) -> list[Token]:
+    tokens: list[Token] = []
+    position, line, column = 0, 1, 1
+
+    def advance(count: int = 1) -> None:
+        nonlocal position, line, column
+        for _ in range(count):
+            if position < len(source):
+                if source[position] == "\n":
+                    line += 1
+                    column = 1
+                else:
+                    column += 1
+                position += 1
+
+    def peek(offset: int = 0) -> str:
+        index = position + offset
+        return source[index] if index < len(source) else ""
+
+    while position < len(source):
+        char = peek()
+        if char in " \t\r\n":
+            advance()
+        elif char == "#":
+            while peek() and peek() != "\n":
+                advance()
+        elif char == "/" and peek(1) == "*":
+            start_line, start_column = line, column
+            advance(2)
+            while not (peek() == "*" and peek(1) == "/"):
+                if not peek():
+                    raise AmplSyntaxError("unterminated comment", start_line, start_column)
+                advance()
+            advance(2)
+        elif char in "'\"":
+            quote, start_line, start_column = char, line, column
+            advance()
+            chars: list[str] = []
+            while peek() != quote:
+                if not peek() or peek() == "\n":
+                    raise AmplSyntaxError("unterminated string", start_line, start_column)
+                chars.append(peek())
+                advance()
+            advance()
+            text = "".join(chars)
+            tokens.append(Token(TokenKind.STRING, text, text, start_line, start_column))
+        elif char.isdigit() or (char == "." and peek(1).isdigit()):
+            start, start_line, start_column = position, line, column
+            while peek().isdigit():
+                advance()
+            if peek() == "." and peek(1).isdigit():
+                advance()
+                while peek().isdigit():
+                    advance()
+            if peek() in "eE" and (peek(1).isdigit() or (peek(1) in "+-" and peek(2).isdigit())):
+                advance()
+                if peek() in "+-":
+                    advance()
+                while peek().isdigit():
+                    advance()
+            text = source[start:position]
+            tokens.append(Token(TokenKind.NUMBER, text, float(text), start_line, start_column))
+        elif char.isalpha() or char == "_":
+            start, start_line, start_column = position, line, column
+            while peek().isalnum() or peek() == "_":
+                advance()
+            text = source[start:position]
+            kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+            tokens.append(Token(kind, text, text, start_line, start_column))
+        else:
+            two = char + peek(1)
+            if two in _PUNCTUATION:
+                tokens.append(Token(_PUNCTUATION[two], two, None, line, column))
+                advance(2)
+            elif char in _PUNCTUATION:
+                tokens.append(Token(_PUNCTUATION[char], char, None, line, column))
+                advance()
+            else:
+                raise AmplSyntaxError(f"unexpected character {char!r}", line, column)
+    tokens.append(Token(TokenKind.EOF, "", None, line, column))
+    return tokens

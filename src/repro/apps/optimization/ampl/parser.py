@@ -1,0 +1,254 @@
+"""AMPL recursive-descent parser.
+
+Grammar (the supported subset)::
+
+    model       := (declaration ';')*
+    declaration := 'set' IDENT
+                 | 'param' IDENT [indexing] param_attr*
+                 | 'var' IDENT [indexing] var_attr (',' var_attr)*
+                 | ('minimize'|'maximize') IDENT ':' expr
+                 | 'subject' 'to' IDENT [indexing] ':' expr relop expr
+    indexing    := '{' index_binding (',' index_binding)* '}'
+    index_binding := IDENT 'in' IDENT | IDENT          # named or positional
+    param_attr  := relop NUMBER | 'default' NUMBER
+    var_attr    := '>=' expr | '<=' expr | 'integer' | 'binary'
+    expr        := term (('+'|'-') term)*
+    term        := unary (('*'|'/') unary)*
+    unary       := '-' unary | primary
+    primary     := NUMBER | ref | sum | '(' expr ')'
+    sum         := 'sum' '{' named_binding (',' named_binding)* '}' term
+    ref         := IDENT ['[' expr (',' expr)* ']']
+    relop       := '<=' | '>=' | '=' | '=='
+"""
+
+from __future__ import annotations
+
+from repro.apps.optimization.ampl.ast_nodes import (
+    Bin,
+    ConstraintDecl,
+    Expr,
+    Indexing,
+    Model,
+    Neg,
+    Num,
+    Objective,
+    ParamDecl,
+    SetDecl,
+    Sum,
+    SymRef,
+    VarDecl,
+)
+from repro.apps.optimization.ampl.errors import AmplSyntaxError
+from repro.apps.optimization.ampl.lexer import Token, TokenKind, tokenize
+
+_RELOPS = {TokenKind.LE: "<=", TokenKind.GE: ">=", TokenKind.EQ: "=", TokenKind.EQEQ: "="}
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.position = 0
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.position]
+
+    def _advance(self) -> Token:
+        token = self.current
+        if token.kind is not TokenKind.EOF:
+            self.position += 1
+        return token
+
+    def _error(self, message: str) -> AmplSyntaxError:
+        token = self.current
+        found = token.text or "end of input"
+        return AmplSyntaxError(f"{message}, found {found!r}", token.line, token.column)
+
+    def _expect(self, kind: TokenKind) -> Token:
+        if self.current.kind is not kind:
+            raise self._error(f"expected {kind.value!r}")
+        return self._advance()
+
+    def _accept(self, kind: TokenKind) -> Token | None:
+        if self.current.kind is kind:
+            return self._advance()
+        return None
+
+    def _expect_keyword(self, word: str) -> Token:
+        if not self.current.is_keyword(word):
+            raise self._error(f"expected keyword {word!r}")
+        return self._advance()
+
+    def _ident(self) -> str:
+        return self._expect(TokenKind.IDENT).text
+
+    # -------------------------------------------------------------- model
+
+    def model(self) -> Model:
+        model = Model()
+        while self.current.kind is not TokenKind.EOF:
+            self._declaration(model)
+            self._expect(TokenKind.SEMICOLON)
+        if model.objective is None:
+            raise AmplSyntaxError("model has no objective (minimize/maximize)")
+        return model
+
+    def _declare(self, table: dict, name: str, value, what: str) -> None:
+        if name in table:
+            raise self._error(f"duplicate {what} {name!r}")
+        table[name] = value
+
+    def _declaration(self, model: Model) -> None:
+        token = self.current
+        if token.is_keyword("set"):
+            self._advance()
+            name = self._ident()
+            self._declare(model.sets, name, SetDecl(name), "set")
+        elif token.is_keyword("param"):
+            self._advance()
+            model_param = self._param_decl()
+            self._declare(model.params, model_param.name, model_param, "param")
+        elif token.is_keyword("var"):
+            self._advance()
+            variable = self._var_decl()
+            self._declare(model.variables, variable.name, variable, "var")
+        elif token.is_keyword("minimize") or token.is_keyword("maximize"):
+            sense = "min" if token.text == "minimize" else "max"
+            self._advance()
+            name = self._ident()
+            self._expect(TokenKind.COLON)
+            if model.objective is not None:
+                raise self._error("model already has an objective")
+            model.objective = Objective(name, sense, self.expr())
+        elif token.is_keyword("subject"):
+            self._advance()
+            self._expect_keyword("to")
+            model.constraints.append(self._constraint_decl())
+        else:
+            raise self._error("expected a declaration (set/param/var/minimize/subject to)")
+
+    def _indexing(self, require_names: bool = False) -> Indexing:
+        self._expect(TokenKind.LBRACE)
+        bindings: list[tuple[str, str]] = []
+        while True:
+            first = self._ident()
+            if self.current.is_keyword("in"):
+                self._advance()
+                bindings.append((first, self._ident()))
+            else:
+                if require_names:
+                    raise self._error(f"binding {first!r} needs 'in <SET>'")
+                bindings.append(("", first))
+            if not self._accept(TokenKind.COMMA):
+                break
+        self._expect(TokenKind.RBRACE)
+        return Indexing(bindings)
+
+    def _param_decl(self) -> ParamDecl:
+        name = self._ident()
+        indexing = self._indexing() if self.current.kind is TokenKind.LBRACE else None
+        declaration = ParamDecl(name, indexing)
+        while True:
+            if self.current.kind in _RELOPS or self.current.kind in (TokenKind.LT, TokenKind.GT):
+                relop_token = self._advance()
+                value = self._signed_number()
+                declaration.restrictions.append((relop_token.text, value))
+            elif self.current.is_keyword("default"):
+                self._advance()
+                declaration.default = self._signed_number()
+            else:
+                return declaration
+
+    def _signed_number(self) -> float:
+        negative = self._accept(TokenKind.MINUS) is not None
+        value = float(self._expect(TokenKind.NUMBER).value)
+        return -value if negative else value
+
+    def _var_decl(self) -> VarDecl:
+        name = self._ident()
+        indexing = self._indexing() if self.current.kind is TokenKind.LBRACE else None
+        declaration = VarDecl(name, indexing)
+        while True:
+            if self._accept(TokenKind.GE):
+                declaration.lower = self.expr()
+            elif self._accept(TokenKind.LE):
+                declaration.upper = self.expr()
+            elif self.current.is_keyword("integer"):
+                self._advance()
+                declaration.integer = True
+            elif self.current.is_keyword("binary"):
+                self._advance()
+                declaration.binary = True
+            elif self._accept(TokenKind.COMMA):
+                continue
+            else:
+                return declaration
+
+    def _constraint_decl(self) -> ConstraintDecl:
+        name = self._ident()
+        indexing = (
+            self._indexing(require_names=True) if self.current.kind is TokenKind.LBRACE else None
+        )
+        self._expect(TokenKind.COLON)
+        left = self.expr()
+        if self.current.kind not in _RELOPS:
+            raise self._error("expected a constraint relation (<=, >=, =)")
+        relop = _RELOPS[self._advance().kind]
+        right = self.expr()
+        return ConstraintDecl(name, indexing, left, relop, right)
+
+    # --------------------------------------------------------- expressions
+
+    def expr(self) -> Expr:
+        left = self._term()
+        while self.current.kind in (TokenKind.PLUS, TokenKind.MINUS):
+            op = self._advance().text
+            left = Bin(op, left, self._term())
+        return left
+
+    def _term(self) -> Expr:
+        left = self._unary()
+        while self.current.kind in (TokenKind.STAR, TokenKind.SLASH):
+            op = self._advance().text
+            left = Bin(op, left, self._unary())
+        return left
+
+    def _unary(self) -> Expr:
+        if self._accept(TokenKind.MINUS):
+            return Neg(self._unary())
+        return self._primary()
+
+    def _primary(self) -> Expr:
+        token = self.current
+        if token.kind is TokenKind.NUMBER:
+            self._advance()
+            return Num(float(token.value))
+        if token.is_keyword("sum"):
+            self._advance()
+            indexing = self._indexing(require_names=True)
+            body = self._term()  # sum binds tighter than +/- (AMPL semantics)
+            return Sum(tuple(indexing.bindings), body)
+        if token.kind is TokenKind.LPAREN:
+            self._advance()
+            inner = self.expr()
+            self._expect(TokenKind.RPAREN)
+            return inner
+        if token.kind is TokenKind.STRING:
+            # a quoted set member, used as a subscript: x['GARY']
+            self._advance()
+            return SymRef(str(token.value))
+        if token.kind is TokenKind.IDENT:
+            name = self._advance().text
+            if self._accept(TokenKind.LBRACKET):
+                subscripts = [self.expr()]
+                while self._accept(TokenKind.COMMA):
+                    subscripts.append(self.expr())
+                self._expect(TokenKind.RBRACKET)
+                return SymRef(name, tuple(subscripts))
+            return SymRef(name)
+        raise self._error("expected an expression")
+
+
+def parse_model(source: str) -> Model:
+    """Parse AMPL model text into a :class:`Model`."""
+    return _Parser(tokenize(source)).model()

@@ -1,0 +1,59 @@
+"""Command-line optimization tools (the solver as an external process).
+
+::
+
+    python -m repro.apps.optimization.cli translate --model m.mod --data d.dat --out lp.json
+    python -m repro.apps.optimization.cli solve --lp lp.json --solver simplex --out r.json
+
+The subprocess packaging of solver services launches ``solve``; it is also
+a usable standalone tool.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.apps.optimization.ampl import AmplError, translate
+from repro.apps.optimization.lp import LinearProgram, LpError
+from repro.apps.optimization.solvers import SOLVERS, solve_lp
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="optimize")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    translate_cmd = commands.add_parser("translate", help="AMPL model+data to LP JSON")
+    translate_cmd.add_argument("--model", required=True)
+    translate_cmd.add_argument("--data")
+    translate_cmd.add_argument("--out", required=True)
+
+    solve_cmd = commands.add_parser("solve", help="solve an LP JSON file")
+    solve_cmd.add_argument("--lp", required=True)
+    solve_cmd.add_argument("--solver", default="simplex", choices=sorted(SOLVERS))
+    solve_cmd.add_argument("--out", required=True)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    options = build_parser().parse_args(argv)
+    try:
+        if options.command == "translate":
+            model_text = Path(options.model).read_text()
+            data_text = Path(options.data).read_text() if options.data else None
+            lp = translate(model_text, data_text)
+            Path(options.out).write_text(json.dumps(lp.to_json()))
+        else:
+            lp = LinearProgram.from_json(json.loads(Path(options.lp).read_text()))
+            result = solve_lp(lp, solver=options.solver)
+            Path(options.out).write_text(json.dumps(result.to_json()))
+    except (AmplError, LpError, OSError, ValueError) as error:
+        print(f"optimize error: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,240 @@
+"""Dantzig–Wolfe decomposition for multi-commodity transportation.
+
+"The proposed approach has been validated by the example of Dantzig–Wolfe
+decomposition algorithm for multi-commodity transportation problem."
+(paper §4)
+
+The coupling capacity rows stay in the *restricted master problem*; each
+commodity's transportation polytope is represented by convex combinations
+of its extreme points, generated on demand: at every iteration the master
+duals price the arcs and the per-commodity *pricing subproblems* — which
+are independent — are solved either locally or **in parallel on a pool of
+remote solver services** via :class:`~repro.apps.optimization.dispatcher.SolverPool`.
+That remote mode is the paper's "any optimization algorithm written as an
+AMPL script ... run in distributed mode".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.apps.optimization.dispatcher import SolverPool
+from repro.apps.optimization.lp import Constraint, LinearProgram, SolverResult
+from repro.apps.optimization.multicommodity import (
+    MultiCommodityInstance,
+    commodity_subproblem,
+)
+from repro.apps.optimization.solvers import solve_lp
+
+_TOL = 1e-7
+#: Penalty cost for capacity overflow in the master; keeps the restricted
+#: master feasible before enough columns exist.
+_OVERFLOW_COST = 1e6
+
+
+class DantzigWolfeError(Exception):
+    """Decomposition failure (infeasible subproblem, no convergence)."""
+
+
+@dataclass
+class DwColumn:
+    """One extreme point of a commodity's transportation polytope."""
+
+    commodity: str
+    flows: dict[tuple[str, str], float]
+    cost: float  # true cost c_k · x
+
+
+@dataclass
+class DwIterationStats:
+    iteration: int
+    master_objective: float
+    new_columns: int
+    min_reduced_cost: float
+
+
+@dataclass
+class DwResult:
+    objective: float
+    flows: dict[str, dict[tuple[str, str], float]]
+    iterations: int
+    columns: int
+    history: list[DwIterationStats] = field(default_factory=list)
+
+    def to_summary(self) -> dict[str, Any]:
+        return {
+            "objective": self.objective,
+            "iterations": self.iterations,
+            "columns": self.columns,
+        }
+
+
+SubproblemSolver = Callable[[list[LinearProgram]], list[SolverResult]]
+
+
+def _local_subproblem_solver(solver: str) -> SubproblemSolver:
+    def solve_batch(programs: list[LinearProgram]) -> list[SolverResult]:
+        return [solve_lp(lp, solver=solver) for lp in programs]
+
+    return solve_batch
+
+
+class DantzigWolfe:
+    """The column-generation driver."""
+
+    def __init__(
+        self,
+        instance: MultiCommodityInstance,
+        master_solver: str = "scipy",
+        subproblem_solver: SubproblemSolver | None = None,
+        pool: SolverPool | None = None,
+        max_iterations: int = 100,
+    ):
+        self.instance = instance
+        self.master_solver = master_solver
+        if pool is not None:
+            self.solve_subproblems: SubproblemSolver = pool.solve_all
+        else:
+            self.solve_subproblems = subproblem_solver or _local_subproblem_solver("scipy")
+        self.max_iterations = max_iterations
+        self.columns: dict[str, list[DwColumn]] = {k: [] for k in instance.commodities}
+
+    # ------------------------------------------------------------- master
+
+    def _build_master(self) -> LinearProgram:
+        instance = self.instance
+        lp = LinearProgram(sense="min", name="dw-master")
+        for k, columns in self.columns.items():
+            for p, column in enumerate(columns):
+                lp.objective[f"lambda[{k},{p}]"] = column.cost
+        for i, j in instance.arcs():
+            coefs: dict[str, float] = {}
+            for k, columns in self.columns.items():
+                for p, column in enumerate(columns):
+                    flow = column.flows.get((i, j), 0.0)
+                    if flow:
+                        coefs[f"lambda[{k},{p}]"] = flow
+            overflow = f"overflow[{i},{j}]"
+            coefs[overflow] = -1.0
+            lp.objective[overflow] = _OVERFLOW_COST
+            lp.constraints.append(
+                Constraint(
+                    name=f"capacity[{i},{j}]",
+                    coefs=coefs,
+                    relop="<=",
+                    rhs=instance.capacity[i][j],
+                )
+            )
+        for k, columns in self.columns.items():
+            lp.constraints.append(
+                Constraint(
+                    name=f"convexity[{k}]",
+                    coefs={f"lambda[{k},{p}]": 1.0 for p in range(len(columns))},
+                    relop="=",
+                    rhs=1.0,
+                )
+            )
+        return lp
+
+    # ------------------------------------------------------------ pricing
+
+    def _extract_column(self, commodity: str, result: SolverResult) -> DwColumn:
+        if not result.optimal:
+            raise DantzigWolfeError(
+                f"subproblem for {commodity!r} is {result.status}: instance infeasible?"
+            )
+        flows: dict[tuple[str, str], float] = {}
+        for i in self.instance.origins:
+            for j in self.instance.destinations:
+                value = result.values.get(f"x[{i},{j}]", 0.0)
+                if abs(value) > _TOL:
+                    flows[(i, j)] = value
+        true_cost = sum(
+            self.instance.cost[commodity][i][j] * flow for (i, j), flow in flows.items()
+        )
+        return DwColumn(commodity=commodity, flows=flows, cost=true_cost)
+
+    def _price(self, arc_prices: dict[tuple[str, str], float]) -> list[SolverResult]:
+        programs = [
+            commodity_subproblem(self.instance, k, arc_prices)
+            for k in self.instance.commodities
+        ]
+        return self.solve_subproblems(programs)
+
+    # -------------------------------------------------------------- solve
+
+    def solve(self) -> DwResult:
+        """Run column generation to optimality."""
+        # initial columns: each commodity's uncapacitated optimum
+        for commodity, result in zip(self.instance.commodities, self._price({})):
+            self.columns[commodity].append(self._extract_column(commodity, result))
+
+        history: list[DwIterationStats] = []
+        master_result: SolverResult | None = None
+        for iteration in range(1, self.max_iterations + 1):
+            master = self._build_master()
+            master_result = solve_lp(master, solver=self.master_solver)
+            if not master_result.optimal:
+                raise DantzigWolfeError(f"master LP is {master_result.status}")
+            arc_prices = {
+                (i, j): master_result.duals.get(f"capacity[{i},{j}]", 0.0)
+                for i, j in self.instance.arcs()
+            }
+            sigma = {
+                k: master_result.duals.get(f"convexity[{k}]", 0.0)
+                for k in self.instance.commodities
+            }
+            new_columns = 0
+            min_reduced = 0.0
+            for commodity, result in zip(self.instance.commodities, self._price(arc_prices)):
+                column = self._extract_column(commodity, result)
+                reduced_cost = result.objective - sigma[commodity]
+                min_reduced = min(min_reduced, reduced_cost)
+                if reduced_cost < -_TOL:
+                    self.columns[commodity].append(column)
+                    new_columns += 1
+            history.append(
+                DwIterationStats(
+                    iteration=iteration,
+                    master_objective=master_result.objective,
+                    new_columns=new_columns,
+                    min_reduced_cost=min_reduced,
+                )
+            )
+            if new_columns == 0:
+                return self._finish(master_result, history)
+        raise DantzigWolfeError(
+            f"no convergence after {self.max_iterations} iterations"
+        )
+
+    def _finish(self, master_result: SolverResult, history: list[DwIterationStats]) -> DwResult:
+        overflow = sum(
+            value
+            for name, value in master_result.values.items()
+            if name.startswith("overflow[") and value > _TOL
+        )
+        if overflow > 1e-5:
+            raise DantzigWolfeError(
+                f"master still uses {overflow:.4g} units of capacity overflow: "
+                "the instance is infeasible under its arc capacities"
+            )
+        flows: dict[str, dict[tuple[str, str], float]] = {
+            k: {} for k in self.instance.commodities
+        }
+        objective = 0.0
+        for k, columns in self.columns.items():
+            for p, column in enumerate(columns):
+                weight = master_result.values.get(f"lambda[{k},{p}]", 0.0)
+                if weight <= _TOL:
+                    continue
+                objective += weight * column.cost
+                for arc, flow in column.flows.items():
+                    flows[k][arc] = flows[k].get(arc, 0.0) + weight * flow
+        return DwResult(
+            objective=objective,
+            flows=flows,
+            iterations=len(history),
+            columns=sum(len(c) for c in self.columns.values()),
+            history=history,
+        )

@@ -1,0 +1,166 @@
+"""The linear-program interchange form.
+
+Every producer (the AMPL grounder, the multi-commodity builder, the
+Dantzig–Wolfe master) and every consumer (simplex, branch & bound, the
+scipy wrapper, solver services) speaks this one representation, and it has
+a stable JSON form so LPs travel through the unified REST API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+RELOPS = ("<=", ">=", "=")
+
+
+class LpError(Exception):
+    """Malformed linear program."""
+
+
+@dataclass
+class Constraint:
+    """One linear constraint ``coefs · x  relop  rhs``."""
+
+    name: str
+    coefs: dict[str, float]
+    relop: str
+    rhs: float
+
+    def __post_init__(self) -> None:
+        if self.relop not in RELOPS:
+            raise LpError(f"constraint {self.name!r}: bad relation {self.relop!r}")
+
+
+@dataclass
+class LinearProgram:
+    """A (mixed-integer) linear program.
+
+    Variable bounds default to ``(0, None)`` — the natural domain for the
+    application models here; free variables are declared explicitly.
+    """
+
+    sense: str = "min"
+    objective: dict[str, float] = field(default_factory=dict)
+    objective_constant: float = 0.0
+    constraints: list[Constraint] = field(default_factory=list)
+    bounds: dict[str, tuple[float | None, float | None]] = field(default_factory=dict)
+    integers: set[str] = field(default_factory=set)
+    name: str = "lp"
+
+    def __post_init__(self) -> None:
+        if self.sense not in ("min", "max"):
+            raise LpError(f"sense must be 'min' or 'max', got {self.sense!r}")
+
+    @property
+    def variables(self) -> list[str]:
+        """All variables, in first-mention order (objective, constraints,
+        bounds, integers)."""
+        seen: dict[str, None] = {}
+        for name in self.objective:
+            seen.setdefault(name)
+        for constraint in self.constraints:
+            for name in constraint.coefs:
+                seen.setdefault(name)
+        for name in self.bounds:
+            seen.setdefault(name)
+        for name in sorted(self.integers):
+            seen.setdefault(name)
+        return list(seen)
+
+    def bound(self, variable: str) -> tuple[float | None, float | None]:
+        return self.bounds.get(variable, (0.0, None))
+
+    def validate(self) -> None:
+        for variable, (low, high) in self.bounds.items():
+            if low is not None and high is not None and low > high:
+                raise LpError(f"variable {variable!r}: bounds [{low}, {high}] are empty")
+        names = set()
+        for constraint in self.constraints:
+            if constraint.name in names:
+                raise LpError(f"duplicate constraint name {constraint.name!r}")
+            names.add(constraint.name)
+
+    # ------------------------------------------------------- serialization
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "sense": self.sense,
+            "objective": dict(self.objective),
+            "objective_constant": self.objective_constant,
+            "constraints": [
+                {"name": c.name, "coefs": dict(c.coefs), "relop": c.relop, "rhs": c.rhs}
+                for c in self.constraints
+            ],
+            "bounds": {v: list(b) for v, b in self.bounds.items()},
+            "integers": sorted(self.integers),
+        }
+
+    @classmethod
+    def from_json(cls, document: dict[str, Any]) -> "LinearProgram":
+        if not isinstance(document, dict):
+            raise LpError("LP document must be an object")
+        try:
+            lp = cls(
+                name=document.get("name", "lp"),
+                sense=document.get("sense", "min"),
+                objective={k: float(v) for k, v in document.get("objective", {}).items()},
+                objective_constant=float(document.get("objective_constant", 0.0)),
+                constraints=[
+                    Constraint(
+                        name=c["name"],
+                        coefs={k: float(v) for k, v in c["coefs"].items()},
+                        relop=c["relop"],
+                        rhs=float(c["rhs"]),
+                    )
+                    for c in document.get("constraints", [])
+                ],
+                bounds={
+                    v: (None if b[0] is None else float(b[0]), None if b[1] is None else float(b[1]))
+                    for v, b in document.get("bounds", {}).items()
+                },
+                integers=set(document.get("integers", [])),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise LpError(f"malformed LP document: {exc}") from exc
+        lp.validate()
+        return lp
+
+
+@dataclass
+class SolverResult:
+    """The outcome of a solve."""
+
+    status: str  # "optimal" | "infeasible" | "unbounded"
+    objective: float | None = None
+    values: dict[str, float] = field(default_factory=dict)
+    #: Dual value per constraint name (LPs only, when the solver provides them).
+    duals: dict[str, float] = field(default_factory=dict)
+    iterations: int = 0
+    solver: str = ""
+
+    @property
+    def optimal(self) -> bool:
+        return self.status == "optimal"
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "status": self.status,
+            "objective": self.objective,
+            "values": dict(self.values),
+            "duals": dict(self.duals),
+            "iterations": self.iterations,
+            "solver": self.solver,
+        }
+
+    @classmethod
+    def from_json(cls, document: dict[str, Any]) -> "SolverResult":
+        return cls(
+            status=document["status"],
+            objective=document.get("objective"),
+            values=dict(document.get("values", {})),
+            duals=dict(document.get("duals", {})),
+            iterations=int(document.get("iterations", 0)),
+            solver=document.get("solver", ""),
+        )

@@ -1,0 +1,223 @@
+"""Multi-commodity transportation: instances, models, formulations.
+
+The validation problem of the paper's optimization work: several
+commodities share arc capacities between origins and destinations. The
+monolithic LP couples the commodities only through the capacity rows —
+exactly the structure Dantzig–Wolfe decomposition exploits.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.apps.optimization.lp import Constraint, LinearProgram
+
+
+@dataclass
+class MultiCommodityInstance:
+    """One instance: origins × destinations arcs shared by commodities."""
+
+    origins: list[str]
+    destinations: list[str]
+    commodities: list[str]
+    #: supply[k][i], demand[k][j], cost[k][i][j], capacity[i][j]
+    supply: dict[str, dict[str, float]]
+    demand: dict[str, dict[str, float]]
+    cost: dict[str, dict[str, dict[str, float]]]
+    capacity: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    def arcs(self) -> list[tuple[str, str]]:
+        return [(i, j) for i in self.origins for j in self.destinations]
+
+    def total_demand(self, commodity: str) -> float:
+        return sum(self.demand[commodity].values())
+
+
+def generate_instance(
+    n_origins: int = 3,
+    n_destinations: int = 4,
+    n_commodities: int = 3,
+    seed: int = 7,
+    tightness: float = 0.75,
+) -> MultiCommodityInstance:
+    """A random feasible instance.
+
+    The instance is feasible *by construction*: a random base flow routing
+    every commodity's demand is built first, and arc capacities are set
+    just above the base flow's arc totals. ``tightness`` in (0, 1] controls
+    how close capacities sit to that flow — near 1.0 the coupling
+    constraints bind hard, which is what makes the decomposition
+    interesting.
+    """
+    if not 0.0 < tightness <= 1.0:
+        raise ValueError("tightness must be in (0, 1]")
+    rng = random.Random(seed)
+    origins = [f"o{i}" for i in range(n_origins)]
+    destinations = [f"d{j}" for j in range(n_destinations)]
+    commodities = [f"k{k}" for k in range(n_commodities)]
+
+    demand = {
+        k: {j: float(rng.randint(10, 40)) for j in destinations} for k in commodities
+    }
+    supply: dict[str, dict[str, float]] = {}
+    for k in commodities:
+        total = sum(demand[k].values())
+        shares = [rng.random() + 0.2 for _ in origins]
+        scale = total * 1.3 / sum(shares)
+        supply[k] = {i: round(share * scale, 1) for i, share in zip(origins, shares)}
+    cost = {
+        k: {i: {j: float(rng.randint(2, 30)) for j in destinations} for i in origins}
+        for k in commodities
+    }
+
+    # base flow: greedily route each commodity's demand through the supplies
+    base_flow = {i: {j: 0.0 for j in destinations} for i in origins}
+    for k in commodities:
+        remaining = dict(supply[k])
+        for j in destinations:
+            needed = demand[k][j]
+            for i in sorted(origins, key=lambda _: rng.random()):
+                if needed <= 0:
+                    break
+                take = min(needed, remaining[i])
+                base_flow[i][j] += take
+                remaining[i] -= take
+                needed -= take
+
+    slack = (1.0 - tightness) + 0.05  # capacities sit ≥5% above the base flow
+    capacity = {
+        i: {
+            j: round(base_flow[i][j] * (1.0 + slack * (0.5 + rng.random())) + 1.0, 1)
+            for j in destinations
+        }
+        for i in origins
+    }
+    return MultiCommodityInstance(
+        origins=origins,
+        destinations=destinations,
+        commodities=commodities,
+        supply=supply,
+        demand=demand,
+        cost=cost,
+        capacity=capacity,
+    )
+
+
+def _x(k: str, i: str, j: str) -> str:
+    return f"x[{k},{i},{j}]"
+
+
+def full_lp(instance: MultiCommodityInstance) -> LinearProgram:
+    """The monolithic formulation (the Dantzig–Wolfe reference optimum)."""
+    lp = LinearProgram(sense="min", name="multicommodity")
+    for k in instance.commodities:
+        for i in instance.origins:
+            for j in instance.destinations:
+                lp.objective[_x(k, i, j)] = instance.cost[k][i][j]
+    for k in instance.commodities:
+        for i in instance.origins:
+            lp.constraints.append(
+                Constraint(
+                    name=f"supply[{k},{i}]",
+                    coefs={_x(k, i, j): 1.0 for j in instance.destinations},
+                    relop="<=",
+                    rhs=instance.supply[k][i],
+                )
+            )
+        for j in instance.destinations:
+            lp.constraints.append(
+                Constraint(
+                    name=f"demand[{k},{j}]",
+                    coefs={_x(k, i, j): 1.0 for i in instance.origins},
+                    relop=">=",
+                    rhs=instance.demand[k][j],
+                )
+            )
+    for i in instance.origins:
+        for j in instance.destinations:
+            lp.constraints.append(
+                Constraint(
+                    name=f"capacity[{i},{j}]",
+                    coefs={_x(k, i, j): 1.0 for k in instance.commodities},
+                    relop="<=",
+                    rhs=instance.capacity[i][j],
+                )
+            )
+    lp.validate()
+    return lp
+
+
+def commodity_subproblem(
+    instance: MultiCommodityInstance,
+    commodity: str,
+    arc_prices: dict[tuple[str, str], float] | None = None,
+) -> LinearProgram:
+    """Commodity ``commodity``'s transportation problem with reduced costs
+    ``c[i][j] − price[i, j]`` (the Dantzig–Wolfe pricing subproblem)."""
+    arc_prices = arc_prices or {}
+    lp = LinearProgram(sense="min", name=f"sub[{commodity}]")
+    for i in instance.origins:
+        for j in instance.destinations:
+            lp.objective[f"x[{i},{j}]"] = instance.cost[commodity][i][j] - arc_prices.get(
+                (i, j), 0.0
+            )
+    for i in instance.origins:
+        lp.constraints.append(
+            Constraint(
+                name=f"supply[{i}]",
+                coefs={f"x[{i},{j}]": 1.0 for j in instance.destinations},
+                relop="<=",
+                rhs=instance.supply[commodity][i],
+            )
+        )
+    for j in instance.destinations:
+        lp.constraints.append(
+            Constraint(
+                name=f"demand[{j}]",
+                coefs={f"x[{i},{j}]": 1.0 for i in instance.origins},
+                relop=">=",
+                rhs=instance.demand[commodity][j],
+            )
+        )
+    lp.validate()
+    return lp
+
+
+AMPL_MODEL = """
+set ORIG; set DEST; set PROD;
+param supply {PROD, ORIG} >= 0;
+param demand {PROD, DEST} >= 0;
+param cost {PROD, ORIG, DEST} >= 0;
+param capacity {ORIG, DEST} >= 0;
+var Trans {p in PROD, i in ORIG, j in DEST} >= 0;
+minimize total_cost:
+    sum {p in PROD, i in ORIG, j in DEST} cost[p, i, j] * Trans[p, i, j];
+subject to Supply {p in PROD, i in ORIG}:
+    sum {j in DEST} Trans[p, i, j] <= supply[p, i];
+subject to Demand {p in PROD, j in DEST}:
+    sum {i in ORIG} Trans[p, i, j] >= demand[p, j];
+subject to Capacity {i in ORIG, j in DEST}:
+    sum {p in PROD} Trans[p, i, j] <= capacity[i, j];
+"""
+
+
+def ampl_data(instance: MultiCommodityInstance) -> dict[str, Any]:
+    """The instance in the grounder's JSON data form for :data:`AMPL_MODEL`."""
+    return {
+        "sets": {
+            "ORIG": list(instance.origins),
+            "DEST": list(instance.destinations),
+            "PROD": list(instance.commodities),
+        },
+        "params": {
+            "supply": {k: dict(v) for k, v in instance.supply.items()},
+            "demand": {k: dict(v) for k, v in instance.demand.items()},
+            "cost": {
+                k: {i: dict(js) for i, js in per_origin.items()}
+                for k, per_origin in instance.cost.items()
+            },
+            "capacity": {i: dict(js) for i, js in instance.capacity.items()},
+        },
+    }

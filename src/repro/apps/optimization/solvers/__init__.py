@@ -1,0 +1,46 @@
+"""LP/MIP solvers — the "pool of different solvers" of the paper.
+
+- :mod:`repro.apps.optimization.solvers.simplex` — a dense two-phase
+  primal simplex written from scratch, with dual extraction (needed by
+  Dantzig–Wolfe) and Bland anti-cycling;
+- :mod:`repro.apps.optimization.solvers.branch_bound` — branch & bound
+  over any LP solver for integer variables;
+- :mod:`repro.apps.optimization.solvers.scipy_solver` — a wrapper around
+  ``scipy.optimize.linprog`` (HiGHS), standing in for the commercial
+  solvers the paper integrated.
+
+:func:`solve_lp` picks by name, which is how solver services are
+parameterized.
+"""
+
+from __future__ import annotations
+
+from repro.apps.optimization.lp import LinearProgram, SolverResult
+from repro.apps.optimization.solvers.branch_bound import solve_mip
+from repro.apps.optimization.solvers.scipy_solver import solve_with_scipy
+from repro.apps.optimization.solvers.simplex import SimplexError, solve_with_simplex
+
+SOLVERS = {
+    "simplex": solve_with_simplex,
+    "scipy": solve_with_scipy,
+}
+
+
+def solve_lp(lp: LinearProgram, solver: str = "simplex") -> SolverResult:
+    """Solve ``lp`` with the named solver; integer variables route through
+    branch & bound automatically."""
+    if solver not in SOLVERS:
+        raise ValueError(f"unknown solver {solver!r}; available: {sorted(SOLVERS)}")
+    if lp.integers:
+        return solve_mip(lp, relaxation_solver=SOLVERS[solver])
+    return SOLVERS[solver](lp)
+
+
+__all__ = [
+    "SOLVERS",
+    "SimplexError",
+    "solve_lp",
+    "solve_mip",
+    "solve_with_scipy",
+    "solve_with_simplex",
+]

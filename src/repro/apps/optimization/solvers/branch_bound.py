@@ -1,0 +1,91 @@
+"""Branch & bound for mixed-integer programs.
+
+Works over any LP relaxation solver: solve the relaxation, pick the most
+fractional integer variable, branch with tightened bounds, prune by bound
+against the incumbent. Best-first exploration keeps the tree small on the
+transportation-style instances the applications produce.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import replace as dataclass_replace
+from typing import Callable
+
+from repro.apps.optimization.lp import LinearProgram, SolverResult
+
+_INT_TOL = 1e-6
+
+
+def _most_fractional(result: SolverResult, integers: set[str]) -> str | None:
+    worst_name, worst_gap = None, _INT_TOL
+    for name in sorted(integers):
+        value = result.values.get(name, 0.0)
+        gap = abs(value - round(value))
+        if gap > worst_gap:
+            worst_name, worst_gap = name, gap
+    return worst_name
+
+
+def _with_bound(lp: LinearProgram, variable: str, low: float | None, high: float | None) -> LinearProgram:
+    old_low, old_high = lp.bound(variable)
+    new_low = old_low if low is None else max(low, old_low if old_low is not None else low)
+    new_high = old_high if high is None else min(high, old_high if old_high is not None else high)
+    bounds = dict(lp.bounds)
+    bounds[variable] = (new_low, new_high)
+    return dataclass_replace(lp, bounds=bounds, constraints=list(lp.constraints))
+
+
+def solve_mip(
+    lp: LinearProgram,
+    relaxation_solver: Callable[[LinearProgram], SolverResult],
+    max_nodes: int = 10000,
+) -> SolverResult:
+    """Best-first branch & bound; returns the integer optimum."""
+    sense_factor = 1.0 if lp.sense == "min" else -1.0
+    counter = itertools.count()
+    incumbent: SolverResult | None = None
+    nodes_explored = 0
+    heap: list[tuple[float, int, LinearProgram]] = []
+
+    root = relaxation_solver(lp)
+    if root.status != "optimal":
+        return SolverResult(status=root.status, solver=f"bb+{root.solver}")
+    heapq.heappush(heap, (sense_factor * root.objective, next(counter), lp))
+
+    while heap and nodes_explored < max_nodes:
+        bound_key, _, node = heapq.heappop(heap)
+        if incumbent is not None and bound_key >= sense_factor * incumbent.objective - 1e-9:
+            continue  # pruned by bound
+        relaxed = relaxation_solver(node)
+        nodes_explored += 1
+        if relaxed.status != "optimal":
+            continue
+        if incumbent is not None and sense_factor * relaxed.objective >= sense_factor * incumbent.objective - 1e-9:
+            continue
+        branch_variable = _most_fractional(relaxed, lp.integers)
+        if branch_variable is None:
+            # integral: round off float dust and accept as incumbent
+            values = dict(relaxed.values)
+            for name in lp.integers:
+                values[name] = float(round(values.get(name, 0.0)))
+            incumbent = SolverResult(
+                status="optimal",
+                objective=relaxed.objective,
+                values=values,
+                iterations=relaxed.iterations,
+                solver=f"bb+{relaxed.solver}",
+            )
+            continue
+        value = relaxed.values[branch_variable]
+        down = _with_bound(node, branch_variable, None, math.floor(value))
+        up = _with_bound(node, branch_variable, math.ceil(value), None)
+        for child in (down, up):
+            heapq.heappush(heap, (sense_factor * relaxed.objective, next(counter), child))
+
+    if incumbent is None:
+        return SolverResult(status="infeasible", solver="bb")
+    incumbent.iterations = nodes_explored
+    return incumbent

@@ -1,0 +1,90 @@
+"""The HiGHS-backed solver (via ``scipy.optimize.linprog``).
+
+Stands in for the external/commercial solvers the paper's optimization
+services integrated: a second, independent implementation behind the same
+solver-service contract, which also cross-checks the from-scratch simplex
+in the test suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.apps.optimization.lp import LinearProgram, SolverResult
+
+
+def solve_with_scipy(lp: LinearProgram) -> SolverResult:
+    """Solve an LP with HiGHS; integer variables are ignored here (branch &
+    bound handles them at a higher level)."""
+    lp.validate()
+    variables = lp.variables
+    if not variables:
+        return SolverResult(status="optimal", objective=lp.objective_constant, solver="scipy")
+    index = {name: i for i, name in enumerate(variables)}
+    sign = 1.0 if lp.sense == "min" else -1.0
+    cost = np.zeros(len(variables))
+    for name, coef in lp.objective.items():
+        cost[index[name]] = sign * coef
+
+    a_ub_rows, b_ub, ub_names = [], [], []
+    a_eq_rows, b_eq, eq_names = [], [], []
+    for constraint in lp.constraints:
+        row = np.zeros(len(variables))
+        for name, coef in constraint.coefs.items():
+            row[index[name]] = coef
+        if constraint.relop == "<=":
+            a_ub_rows.append(row)
+            b_ub.append(constraint.rhs)
+            ub_names.append(constraint.name)
+        elif constraint.relop == ">=":
+            a_ub_rows.append(-row)
+            b_ub.append(-constraint.rhs)
+            ub_names.append(constraint.name)
+        else:
+            a_eq_rows.append(row)
+            b_eq.append(constraint.rhs)
+            eq_names.append(constraint.name)
+
+    outcome = linprog(
+        cost,
+        A_ub=np.array(a_ub_rows) if a_ub_rows else None,
+        b_ub=np.array(b_ub) if b_ub else None,
+        A_eq=np.array(a_eq_rows) if a_eq_rows else None,
+        b_eq=np.array(b_eq) if b_eq else None,
+        bounds=[lp.bound(name) for name in variables],
+        method="highs",
+    )
+
+    if outcome.status == 2:
+        return SolverResult(status="infeasible", solver="scipy")
+    if outcome.status == 3:
+        return SolverResult(status="unbounded", solver="scipy")
+    if not outcome.success:
+        return SolverResult(status="infeasible", solver="scipy")
+
+    values = {name: float(outcome.x[index[name]]) for name in variables}
+    objective = sign * float(outcome.fun) + lp.objective_constant
+
+    # Dual convention (matching the simplex solver): the marginal change of
+    # the *original* objective per unit increase of the constraint's rhs.
+    # HiGHS marginals are ∂z_min/∂b for the rows as passed, so >= rows
+    # (negated on entry) flip sign, and maximization flips again.
+    duals: dict[str, float] = {}
+    relop_of = {c.name: c.relop for c in lp.constraints}
+    if outcome.ineqlin is not None:
+        for name, marginal in zip(ub_names, np.atleast_1d(outcome.ineqlin.marginals)):
+            flip = -1.0 if relop_of[name] == ">=" else 1.0
+            duals[name] = sign * flip * float(marginal)
+    if outcome.eqlin is not None:
+        for name, marginal in zip(eq_names, np.atleast_1d(outcome.eqlin.marginals)):
+            duals[name] = sign * float(marginal)
+
+    return SolverResult(
+        status="optimal",
+        objective=objective,
+        values=values,
+        duals=duals,
+        iterations=int(getattr(outcome, "nit", 0)),
+        solver="scipy",
+    )

@@ -1,0 +1,267 @@
+"""A dense two-phase primal simplex with dual extraction.
+
+The solver works on a *standardized* copy of the program:
+
+1. maximization becomes minimization of the negated objective;
+2. every variable is shifted/mirrored/split so the working variables are
+   all nonnegative (upper bounds become extra rows);
+3. every constraint becomes an equality with a slack or surplus column,
+   rows are sign-normalized so the right-hand side is nonnegative;
+4. phase 1 minimizes the sum of one artificial per row; phase 2 minimizes
+   the true cost with artificials barred from entering.
+
+Bland's rule keeps it cycle-free. After phase 2, constraint duals come
+from solving ``Bᵀ y = c_B`` against the original row order — the piece
+Dantzig–Wolfe needs for column pricing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps.optimization.lp import LinearProgram, SolverResult
+
+_TOL = 1e-9
+
+
+class SimplexError(Exception):
+    """Solver failure that is not an LP status (iteration explosion, bug)."""
+
+
+@dataclass
+class _VarMap:
+    """How one original variable maps onto working columns."""
+
+    kind: str  # "shift" | "mirror" | "split"
+    column: int
+    negative_column: int = -1  # for "split"
+    offset: float = 0.0  # value = offset + x  (shift) or offset - x (mirror)
+
+
+@dataclass
+class _Standardized:
+    matrix: np.ndarray  # m x n equality system, rhs >= 0
+    rhs: np.ndarray
+    cost: np.ndarray
+    cost_constant: float
+    var_maps: dict[str, _VarMap]
+    #: per original-constraint: (row index, sign applied to the row)
+    row_of_constraint: list[tuple[int, float]]
+    n_structural: int  # columns before slacks
+
+
+def _standardize(lp: LinearProgram) -> _Standardized:
+    lp.validate()
+    variables = lp.variables
+    sign = 1.0 if lp.sense == "min" else -1.0
+
+    columns: list[dict[int, float]] = []  # per working column: row -> coef (filled later)
+    var_maps: dict[str, _VarMap] = {}
+    extra_rows: list[tuple[dict[str, float], str, float, str]] = []  # upper bound rows
+
+    for name in variables:
+        low, high = lp.bound(name)
+        if low is None and high is None:
+            var_maps[name] = _VarMap("split", column=len(columns), negative_column=len(columns) + 1)
+            columns.extend(({}, {}))
+        elif low is None:  # only an upper bound: mirror x = high - x'
+            var_maps[name] = _VarMap("mirror", column=len(columns), offset=float(high))
+            columns.append({})
+        else:
+            var_maps[name] = _VarMap("shift", column=len(columns), offset=float(low))
+            columns.append({})
+            if high is not None:
+                extra_rows.append(({name: 1.0}, "<=", float(high), f"_ub[{name}]"))
+
+    all_rows = [(c.coefs, c.relop, float(c.rhs), c.name) for c in lp.constraints] + extra_rows
+    m = len(all_rows)
+    n_structural = len(columns)
+    n_slack = sum(1 for _, relop, _, _ in all_rows if relop in ("<=", ">="))
+    matrix = np.zeros((m, n_structural + n_slack), dtype=float)
+    rhs = np.zeros(m, dtype=float)
+    cost = np.zeros(n_structural + n_slack, dtype=float)
+    cost_constant = sign * lp.objective_constant
+
+    def apply_var(row: int, name: str, coef: float, scale: float) -> float:
+        """Write a variable's contribution into the matrix; returns the
+        rhs adjustment caused by offsets."""
+        mapping = var_maps[name]
+        if mapping.kind == "split":
+            matrix[row, mapping.column] += scale * coef
+            matrix[row, mapping.negative_column] -= scale * coef
+            return 0.0
+        if mapping.kind == "mirror":  # value = offset - x'
+            matrix[row, mapping.column] -= scale * coef
+            return scale * coef * mapping.offset
+        matrix[row, mapping.column] += scale * coef  # shift: value = offset + x'
+        return scale * coef * mapping.offset
+
+    slack_column = n_structural
+    row_of_constraint: list[tuple[int, float]] = []
+    for row, (coefs, relop, b, _name) in enumerate(all_rows):
+        moved = 0.0
+        for name, coef in coefs.items():
+            moved += apply_var(row, name, float(coef), 1.0)
+        b -= moved
+        if relop == "<=":
+            matrix[row, slack_column] = 1.0
+            slack_column += 1
+        elif relop == ">=":
+            matrix[row, slack_column] = -1.0
+            slack_column += 1
+        row_sign = 1.0
+        if b < 0:
+            matrix[row, :] *= -1.0
+            b = -b
+            row_sign = -1.0
+        rhs[row] = b
+        if row < len(lp.constraints):
+            row_of_constraint.append((row, row_sign))
+
+    for name, coef in lp.objective.items():
+        if name not in var_maps:
+            continue
+        mapping = var_maps[name]
+        value = sign * float(coef)
+        if mapping.kind == "split":
+            cost[mapping.column] += value
+            cost[mapping.negative_column] -= value
+        elif mapping.kind == "mirror":
+            cost[mapping.column] -= value
+            cost_constant += value * mapping.offset
+        else:
+            cost[mapping.column] += value
+            cost_constant += value * mapping.offset
+
+    return _Standardized(
+        matrix=matrix,
+        rhs=rhs,
+        cost=cost,
+        cost_constant=cost_constant,
+        var_maps=var_maps,
+        row_of_constraint=row_of_constraint,
+        n_structural=n_structural,
+    )
+
+
+def _run_simplex(
+    tableau: np.ndarray,
+    basis: list[int],
+    cost: np.ndarray,
+    allowed: np.ndarray,
+    max_iterations: int,
+) -> tuple[str, int]:
+    """Primal simplex on ``[A | b]`` with basis ``basis``; ``cost`` covers
+    every column of A. Returns (status, iterations)."""
+    m = tableau.shape[0]
+    iterations = 0
+    # scale the optimality tolerance with the cost magnitude: big-M style
+    # penalty costs otherwise turn float dust into spurious entering columns
+    reduced_tol = _TOL * max(1.0, float(np.abs(cost).max()))
+    while True:
+        if iterations >= max_iterations:
+            return "iteration_limit", iterations
+        y = cost[basis] @ tableau[:, :-1]
+        reduced = cost - y
+        candidates = np.where(allowed & (reduced < -reduced_tol))[0]
+        if candidates.size == 0:
+            return "optimal", iterations
+        entering = int(candidates[0])  # Bland: smallest index
+        column = tableau[:, entering]
+        positive = column > _TOL
+        if not positive.any():
+            return "unbounded", iterations
+        ratios = np.full(m, np.inf)
+        ratios[positive] = tableau[positive, -1] / column[positive]
+        best = ratios.min()
+        leaving_candidates = [r for r in range(m) if positive[r] and ratios[r] <= best + _TOL]
+        leaving = min(leaving_candidates, key=lambda r: basis[r])  # Bland on exit
+        pivot = tableau[leaving, entering]
+        tableau[leaving, :] /= pivot
+        for row in range(m):
+            if row != leaving and abs(tableau[row, entering]) > _TOL:
+                tableau[row, :] -= tableau[row, entering] * tableau[leaving, :]
+        basis[leaving] = entering
+        iterations += 1
+
+
+def solve_with_simplex(lp: LinearProgram, max_iterations: int | None = None) -> SolverResult:
+    """Solve an LP; returns primal values, objective and constraint duals."""
+    form = _standardize(lp)
+    m, n = form.matrix.shape
+    if max_iterations is None:
+        max_iterations = 2000 + 50 * (m + n)
+
+    # phase 1: artificials on every row
+    work = np.hstack([form.matrix, np.eye(m), form.rhs.reshape(-1, 1)])
+    basis = list(range(n, n + m))
+    phase1_cost = np.concatenate([np.zeros(n), np.ones(m)])
+    allowed = np.ones(n + m, dtype=bool)
+    status, iterations1 = _run_simplex(work, basis, phase1_cost, allowed, max_iterations)
+    if status == "iteration_limit":
+        raise SimplexError("phase 1 exceeded the iteration limit")
+    infeasibility = float(phase1_cost[basis] @ work[:, -1])
+    if infeasibility > 1e-7:
+        return SolverResult(status="infeasible", iterations=iterations1, solver="simplex")
+
+    # drive any remaining artificials out of the basis where possible
+    for row in range(m):
+        if basis[row] >= n:
+            pivot_candidates = np.where(np.abs(work[row, :n]) > _TOL)[0]
+            if pivot_candidates.size:
+                entering = int(pivot_candidates[0])
+                pivot = work[row, entering]
+                work[row, :] /= pivot
+                for other in range(m):
+                    if other != row and abs(work[other, entering]) > _TOL:
+                        work[other, :] -= work[other, entering] * work[row, :]
+                basis[row] = entering
+
+    # phase 2: real costs, artificial columns barred
+    phase2_cost = np.concatenate([form.cost, np.zeros(m)])
+    allowed = np.concatenate([np.ones(n, dtype=bool), np.zeros(m, dtype=bool)])
+    status, iterations2 = _run_simplex(work, basis, phase2_cost, allowed, max_iterations)
+    if status == "iteration_limit":
+        raise SimplexError("phase 2 exceeded the iteration limit")
+    if status == "unbounded":
+        return SolverResult(
+            status="unbounded", iterations=iterations1 + iterations2, solver="simplex"
+        )
+
+    solution = np.zeros(n + m)
+    for row, column in enumerate(basis):
+        solution[column] = work[row, -1]
+
+    values: dict[str, float] = {}
+    for name, mapping in form.var_maps.items():
+        if mapping.kind == "split":
+            values[name] = float(solution[mapping.column] - solution[mapping.negative_column])
+        elif mapping.kind == "mirror":
+            values[name] = float(mapping.offset - solution[mapping.column])
+        else:
+            values[name] = float(mapping.offset + solution[mapping.column])
+
+    sense_sign = 1.0 if lp.sense == "min" else -1.0
+    objective = sense_sign * (float(form.cost @ solution[:n]) + form.cost_constant)
+
+    # duals: y = c_B B^{-1} against the *original* (pre-pivot) columns
+    original = np.hstack([form.matrix, np.eye(m)])
+    basis_matrix = original[:, basis]
+    try:
+        y = np.linalg.solve(basis_matrix.T, phase2_cost[basis])
+    except np.linalg.LinAlgError:
+        y = np.linalg.lstsq(basis_matrix.T, phase2_cost[basis], rcond=None)[0]
+    duals: dict[str, float] = {}
+    for constraint, (row, row_sign) in zip(lp.constraints, form.row_of_constraint):
+        duals[constraint.name] = sense_sign * row_sign * float(y[row])
+
+    return SolverResult(
+        status="optimal",
+        objective=objective,
+        values=values,
+        duals=duals,
+        iterations=iterations1 + iterations2,
+        solver="simplex",
+    )

@@ -1,0 +1,37 @@
+"""X-ray diffractometry of carbonaceous films (paper §4, [10-11]).
+
+The application interprets X-ray scattering measurements of films
+deposited in the T-10 tokamak by solving an optimization problem over a
+broad class of carbon nanostructures: scattering curves are computed for
+each candidate structure (the paper ran these in parallel as grid jobs),
+then the measured curve is decomposed into a nonnegative mixture of
+candidate curves by several solvers (run on a cluster), and
+post-processing reports the most probable topology/size distribution —
+the published finding being the prevalence of *low-aspect-ratio toroids*.
+
+No tokamak film is available offline, so measurements are synthesized
+from a planted toroid-dominated mixture plus noise
+(:mod:`repro.apps.xray.synthetic`); the analysis pipeline then has ground
+truth to recover. Everything else matches the paper's computing scheme:
+per-structure curve jobs through the grid adapter, three fitting solvers
+through the cluster adapter, workflow orchestration on top.
+"""
+
+from repro.apps.xray.fitting import FIT_SOLVERS, FitResult, fit_mixture
+from repro.apps.xray.scattering import debye_curve, default_q_grid
+from repro.apps.xray.structures import StructureSpec, build_structure, standard_library
+from repro.apps.xray.synthetic import synthesize_measurement
+from repro.apps.xray.workflow import XRayAnalysis
+
+__all__ = [
+    "FIT_SOLVERS",
+    "FitResult",
+    "StructureSpec",
+    "XRayAnalysis",
+    "build_structure",
+    "debye_curve",
+    "default_q_grid",
+    "fit_mixture",
+    "standard_library",
+    "synthesize_measurement",
+]

@@ -1,0 +1,63 @@
+"""Command-line entry points for the X-ray computations.
+
+These are the executables the grid and cluster adapters launch::
+
+    python -m repro.apps.xray.cli curve --spec spec.json --q q.json --out curve.json
+    python -m repro.apps.xray.cli fit --curves c.json --measured m.json \
+        --solver nnls --out fit.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.apps.xray.fitting import FIT_SOLVERS, fit_mixture
+from repro.apps.xray.scattering import debye_curve
+from repro.apps.xray.structures import StructureSpec, build_structure
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="xray")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    curve = commands.add_parser("curve", help="compute one structure's scattering curve")
+    curve.add_argument("--spec", required=True, help="StructureSpec JSON file")
+    curve.add_argument("--q", required=True, help="JSON file with the q grid (list)")
+    curve.add_argument("--out", required=True)
+
+    fit = commands.add_parser("fit", help="fit mixture weights to a measured curve")
+    fit.add_argument("--curves", required=True, help="JSON matrix (q points × structures)")
+    fit.add_argument("--measured", required=True, help="JSON list")
+    fit.add_argument("--solver", default="nnls", choices=sorted(FIT_SOLVERS))
+    fit.add_argument("--out", required=True)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    options = build_parser().parse_args(argv)
+    try:
+        if options.command == "curve":
+            spec = StructureSpec.from_json(json.loads(Path(options.spec).read_text()))
+            q_grid = np.array(json.loads(Path(options.q).read_text()), dtype=float)
+            curve = debye_curve(build_structure(spec), q_grid)
+            Path(options.out).write_text(
+                json.dumps({"structure": spec.name, "curve": [float(v) for v in curve]})
+            )
+        else:
+            curves = json.loads(Path(options.curves).read_text())
+            measured = json.loads(Path(options.measured).read_text())
+            result = fit_mixture(curves, measured, solver=options.solver)
+            Path(options.out).write_text(json.dumps(result.to_json()))
+    except (OSError, ValueError, KeyError) as error:
+        print(f"xray error: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,175 @@
+"""Service configurations for the X-ray computing scheme.
+
+Matches the paper's deployment: scattering curves as *grid* jobs
+("performed by a grid application"), mixture fits as *cluster* jobs
+("three different solvers running on a cluster"), plus fast in-process
+variants of both for tests and examples.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any
+
+import numpy as np
+
+from repro.apps.xray.fitting import FIT_SOLVERS, fit_mixture
+from repro.apps.xray.scattering import debye_curve
+from repro.apps.xray.structures import StructureSpec, build_structure
+from repro.core.errors import AdapterError
+
+SPEC_SCHEMA: dict[str, Any] = {
+    "type": "object",
+    "required": ["kind", "name"],
+    "properties": {
+        "kind": {"enum": ["torus", "tube", "sphere", "flake"]},
+        "name": {"type": "string"},
+        "params": {"type": "object"},
+    },
+}
+
+_CURVE_DESCRIPTION = {
+    "title": "Scattering curve",
+    "description": "Computes the Debye scattering curve of one carbon nanostructure.",
+    "inputs": {
+        "spec": {"schema": SPEC_SCHEMA},
+        "q": {"schema": {"type": "array", "items": {"type": "number"}, "minItems": 1}},
+    },
+    "outputs": {"curve": {"schema": {"type": "object"}}},
+    "tags": ["xray", "scattering", "grid"],
+}
+
+_FIT_DESCRIPTION = {
+    "title": "Mixture fit",
+    "description": "Fits nonnegative mixture weights of candidate curves to a measurement.",
+    "inputs": {
+        "curves": {"schema": {"type": "array"}},
+        "measured": {"schema": {"type": "array", "items": {"type": "number"}}},
+        "solver": {
+            "schema": {"enum": sorted(FIT_SOLVERS)},
+            "required": False,
+            "default": "nnls",
+        },
+    },
+    "outputs": {"fit": {"schema": {"type": "object"}}},
+    "tags": ["xray", "optimization", "cluster"],
+}
+
+
+def _curve_inprocess(spec: dict[str, Any], q: list[float]) -> dict[str, Any]:
+    try:
+        structure = StructureSpec.from_json(spec)
+        curve = debye_curve(build_structure(structure), np.array(q, dtype=float))
+    except (ValueError, KeyError) as exc:
+        raise AdapterError(f"curve computation failed: {exc}") from exc
+    return {"curve": {"structure": structure.name, "curve": [float(v) for v in curve]}}
+
+
+def _fit_inprocess(curves: list, measured: list, solver: str = "nnls") -> dict[str, Any]:
+    try:
+        result = fit_mixture(curves, measured, solver=solver)
+    except ValueError as exc:
+        raise AdapterError(f"fit failed: {exc}") from exc
+    return {"fit": result.to_json()}
+
+
+def _with_simulated_latency(callable_fn, latency: float):
+    """Model remote (grid/cluster) execution time with a calibrated delay.
+
+    Used by benchmarks on hosts without spare cores: the real computation
+    still runs, but each job also waits as a remote machine would, so the
+    *coordination* behaviour (parallel submission, queueing) is measurable.
+    """
+    import time
+
+    def with_latency(**kwargs):
+        time.sleep(latency)
+        return callable_fn(**kwargs)
+
+    return with_latency
+
+
+def curve_service_config(
+    name: str = "xray-curve",
+    backend: str = "python",
+    broker: str = "",
+    vo: str = "",
+    owner: str = "",
+    simulated_latency: float = 0.0,
+) -> dict[str, Any]:
+    """The curve service: in-process (``backend="python"``) or as grid jobs
+    (``backend="grid"``, needing a registered broker resource, a VO and a
+    grid credential)."""
+    description = {"name": name, **_CURVE_DESCRIPTION}
+    if backend == "python":
+        callable_fn = _curve_inprocess
+        if simulated_latency > 0:
+            callable_fn = _with_simulated_latency(callable_fn, simulated_latency)
+        return {
+            "description": description,
+            "adapter": "python",
+            "config": {"callable": callable_fn},
+        }
+    if backend != "grid":
+        raise ValueError(f"unknown backend {backend!r} (use 'python' or 'grid')")
+    if not (broker and vo and owner):
+        raise ValueError("grid backend needs broker, vo and owner")
+    jdl = (
+        "[\n"
+        f'  Executable = "{sys.executable}";\n'
+        '  Arguments = "-m repro.apps.xray.cli curve --spec {file:spec} '
+        '--q {file:q} --out curve.json";\n'
+        '  StdOutput = "out.txt";\n'
+        '  StdError = "err.txt";\n'
+        f'  VirtualOrganisation = "{vo}";\n'
+        '  OutputSandbox = {"curve.json", "out.txt", "err.txt"};\n'
+        "]"
+    )
+    return {
+        "description": description,
+        "adapter": "grid",
+        "config": {
+            "broker": broker,
+            "jdl": jdl,
+            "owner": owner,
+            "outputs": {"curve": {"sandbox": "curve.json", "json": True}},
+        },
+    }
+
+
+def fit_service_config(
+    name: str = "xray-fit",
+    backend: str = "python",
+    cluster: str = "",
+    simulated_latency: float = 0.0,
+) -> dict[str, Any]:
+    """The fit service: in-process or as cluster batch jobs."""
+    description = {"name": name, **_FIT_DESCRIPTION}
+    if backend == "python":
+        callable_fn = _fit_inprocess
+        if simulated_latency > 0:
+            callable_fn = _with_simulated_latency(callable_fn, simulated_latency)
+        return {
+            "description": description,
+            "adapter": "python",
+            "config": {"callable": callable_fn},
+        }
+    if backend != "cluster":
+        raise ValueError(f"unknown backend {backend!r} (use 'python' or 'cluster')")
+    if not cluster:
+        raise ValueError("cluster backend needs a cluster resource name")
+    command = (
+        f"{sys.executable} -m repro.apps.xray.cli fit "
+        "--curves {file:curves} --measured {file:measured} "
+        "--solver {solver} --out fit.json"
+    )
+    return {
+        "description": description,
+        "adapter": "cluster",
+        "config": {
+            "cluster": cluster,
+            "command": command,
+            "stage_out": ["fit.json"],
+            "outputs": {"fit": {"file": "fit.json", "json": True}},
+        },
+    }

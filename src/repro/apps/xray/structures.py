@@ -1,0 +1,174 @@
+"""Carbon nanostructure geometry.
+
+Atom positions for the structure families considered in the paper's
+analysis — toroids, tubules, spherical shells (fullerene-like) and flat
+flakes — on a roughly uniform ~0.25 nm carbon–carbon spacing. Geometry,
+not chemistry: the Debye scattering curve only needs pair distances.
+
+Lengths are in nanometres; scattering vectors in nm⁻¹.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+#: Approximate carbon-carbon spacing used to grid the surfaces, nm.
+CC_SPACING = 0.25
+
+
+@dataclass(frozen=True)
+class StructureSpec:
+    """One candidate nanostructure."""
+
+    kind: str  # "torus" | "tube" | "sphere" | "flake"
+    name: str
+    params: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def aspect_ratio(self) -> float | None:
+        """R/r for toroids, length/diameter for tubes; None otherwise."""
+        if self.kind == "torus":
+            return self.params["major_radius"] / self.params["minor_radius"]
+        if self.kind == "tube":
+            return self.params["length"] / (2 * self.params["radius"])
+        return None
+
+    def to_json(self) -> dict[str, Any]:
+        return {"kind": self.kind, "name": self.name, "params": dict(self.params)}
+
+    @classmethod
+    def from_json(cls, document: dict[str, Any]) -> "StructureSpec":
+        return cls(
+            kind=document["kind"],
+            name=document["name"],
+            params={k: float(v) for k, v in document.get("params", {}).items()},
+        )
+
+
+def _ring_counts(length: float) -> int:
+    return max(3, int(round(length / CC_SPACING)))
+
+
+def torus_atoms(major_radius: float, minor_radius: float) -> np.ndarray:
+    """Points on a torus surface (ring of rings)."""
+    if major_radius <= minor_radius:
+        raise ValueError("torus needs major_radius > minor_radius")
+    n_major = _ring_counts(2 * math.pi * major_radius)
+    n_minor = _ring_counts(2 * math.pi * minor_radius)
+    atoms = []
+    for i in range(n_major):
+        phi = 2 * math.pi * i / n_major
+        for j in range(n_minor):
+            theta = 2 * math.pi * j / n_minor
+            radial = major_radius + minor_radius * math.cos(theta)
+            atoms.append(
+                (
+                    radial * math.cos(phi),
+                    radial * math.sin(phi),
+                    minor_radius * math.sin(theta),
+                )
+            )
+    return np.array(atoms)
+
+
+def tube_atoms(radius: float, length: float) -> np.ndarray:
+    """Points on an open cylinder (single-wall tubule)."""
+    n_around = _ring_counts(2 * math.pi * radius)
+    n_along = _ring_counts(length)
+    atoms = []
+    for i in range(n_along):
+        z = length * (i / max(1, n_along - 1) - 0.5)
+        for j in range(n_around):
+            theta = 2 * math.pi * j / n_around
+            atoms.append((radius * math.cos(theta), radius * math.sin(theta), z))
+    return np.array(atoms)
+
+
+def sphere_atoms(radius: float) -> np.ndarray:
+    """Points on a spherical shell (Fibonacci lattice; fullerene-like)."""
+    area_per_atom = CC_SPACING**2
+    count = max(12, int(round(4 * math.pi * radius**2 / area_per_atom)))
+    golden = math.pi * (3.0 - math.sqrt(5.0))
+    indices = np.arange(count)
+    z = 1.0 - 2.0 * (indices + 0.5) / count
+    ring_radius = np.sqrt(np.maximum(0.0, 1.0 - z * z))
+    theta = golden * indices
+    return radius * np.column_stack(
+        [ring_radius * np.cos(theta), ring_radius * np.sin(theta), z]
+    )
+
+
+def flake_atoms(radius: float) -> np.ndarray:
+    """Points on a flat disc (graphene flake) on a triangular grid."""
+    atoms = []
+    row_height = CC_SPACING * math.sqrt(3) / 2
+    n_rows = int(radius / row_height)
+    for row in range(-n_rows, n_rows + 1):
+        y = row * row_height
+        offset = (row % 2) * CC_SPACING / 2
+        half_width = math.sqrt(max(0.0, radius**2 - y**2))
+        n_cols = int(half_width / CC_SPACING)
+        for col in range(-n_cols, n_cols + 1):
+            atoms.append((col * CC_SPACING + offset, y, 0.0))
+    if not atoms:
+        atoms.append((0.0, 0.0, 0.0))
+    return np.array(atoms)
+
+
+_BUILDERS = {
+    "torus": lambda p: torus_atoms(p["major_radius"], p["minor_radius"]),
+    "tube": lambda p: tube_atoms(p["radius"], p["length"]),
+    "sphere": lambda p: sphere_atoms(p["radius"]),
+    "flake": lambda p: flake_atoms(p["radius"]),
+}
+
+
+def build_structure(spec: StructureSpec) -> np.ndarray:
+    """Atom coordinates (N×3, nm) for a structure spec."""
+    builder = _BUILDERS.get(spec.kind)
+    if builder is None:
+        raise ValueError(f"unknown structure kind {spec.kind!r}; have {sorted(_BUILDERS)}")
+    try:
+        return builder(spec.params)
+    except KeyError as exc:
+        raise ValueError(f"structure {spec.name!r} is missing parameter {exc}") from exc
+
+
+def small_library() -> list[StructureSpec]:
+    """A reduced candidate library (~50–150 atoms per structure) for tests
+    and examples where the full library's curve time is unwelcome."""
+    return [
+        StructureSpec("torus", name="torus-low", params={"major_radius": 0.8, "minor_radius": 0.35}),
+        StructureSpec("torus", name="torus-high", params={"major_radius": 1.4, "minor_radius": 0.25}),
+        StructureSpec("tube", name="tube", params={"radius": 0.35, "length": 1.6}),
+        StructureSpec("sphere", name="sphere", params={"radius": 0.5}),
+        StructureSpec("flake", name="flake", params={"radius": 0.7}),
+    ]
+
+
+def standard_library() -> list[StructureSpec]:
+    """The candidate library: the structure families of the paper, sized a
+    few nanometres ("few-nanometer-wide carbon toroids")."""
+    specs: list[StructureSpec] = []
+    for major, minor in ((1.2, 0.5), (1.6, 0.4), (2.0, 0.35)):
+        ratio = major / minor
+        specs.append(
+            StructureSpec(
+                "torus",
+                name=f"torus-ar{ratio:.1f}",
+                params={"major_radius": major, "minor_radius": minor},
+            )
+        )
+    for radius, length in ((0.4, 2.0), (0.6, 4.0)):
+        specs.append(
+            StructureSpec("tube", name=f"tube-r{radius}-l{length}", params={"radius": radius, "length": length})
+        )
+    for radius in (0.5, 1.0):
+        specs.append(StructureSpec("sphere", name=f"sphere-r{radius}", params={"radius": radius}))
+    for radius in (0.8, 1.5):
+        specs.append(StructureSpec("flake", name=f"flake-r{radius}", params={"radius": radius}))
+    return specs

@@ -1,0 +1,171 @@
+"""The X-ray analysis orchestration.
+
+The paper's computing scheme: "parallel calculations of scattering curves
+for individual nanostructures (performed by a grid application) with
+subsequent solution of optimization problems (performed by three different
+solvers running on a cluster) to determine the most probable topological
+and size distribution of nanostructures", plus post-processing and
+plotting steps.
+
+:class:`XRayAnalysis` drives the scheme over live services: one curve job
+per library structure (all in flight concurrently), then one fit job per
+solver, then consensus (lowest residual), aggregation by topology and a
+text plot — the paper's data-preparation/post-processing steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.apps.xray.fitting import FitResult
+from repro.apps.xray.structures import StructureSpec
+from repro.client.client import ServiceProxy
+from repro.http.registry import TransportRegistry
+
+#: Aspect-ratio threshold separating "low" from "high" toroids.
+LOW_ASPECT_RATIO = 4.0
+
+
+@dataclass
+class XRayReport:
+    """The analysis outcome."""
+
+    library: list[StructureSpec]
+    fits: list[FitResult]
+    best: FitResult
+    #: normalized mixture share per structure kind
+    kind_shares: dict[str, float]
+    #: share of toroid mass sitting in low-aspect-ratio toroids
+    low_aspect_toroid_share: float
+    conclusion: str
+    plot: str = ""
+    curves: dict[str, list[float]] = field(default_factory=dict)
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "kind_shares": dict(self.kind_shares),
+            "low_aspect_toroid_share": self.low_aspect_toroid_share,
+            "conclusion": self.conclusion,
+            "best_solver": self.best.solver,
+            "residuals": {fit.solver: fit.residual for fit in self.fits},
+            "weights": [float(w) for w in self.best.weights],
+        }
+
+
+def ascii_plot(q_grid: np.ndarray, measured: np.ndarray, fitted: np.ndarray, width: int = 60) -> str:
+    """A terminal plot of measured (●) vs fitted (○) intensity."""
+    lines = ["I(q)  measured=●  fitted=○"]
+    low = min(measured.min(), fitted.min())
+    high = max(measured.max(), fitted.max())
+    span = max(high - low, 1e-12)
+    step = max(1, len(q_grid) // 20)
+    for index in range(0, len(q_grid), step):
+        m_pos = int((measured[index] - low) / span * (width - 1))
+        f_pos = int((fitted[index] - low) / span * (width - 1))
+        row = [" "] * width
+        row[f_pos] = "○"
+        row[m_pos] = "●" if m_pos != f_pos else "◉"
+        lines.append(f"q={q_grid[index]:5.1f} |" + "".join(row))
+    return "\n".join(lines)
+
+
+class XRayAnalysis:
+    """Drives the full analysis over curve and fit services."""
+
+    def __init__(
+        self,
+        curve_service_uri: str,
+        fit_service_uri: str,
+        registry: TransportRegistry | None = None,
+        solvers: tuple[str, ...] = ("nnls", "projected-gradient", "multiplicative"),
+    ):
+        registry = registry or TransportRegistry()
+        self.curve_service = ServiceProxy(curve_service_uri, registry)
+        self.fit_service = ServiceProxy(fit_service_uri, registry)
+        self.solvers = solvers
+
+    def compute_curves(
+        self, library: list[StructureSpec], q_grid: np.ndarray, timeout: float = 300.0
+    ) -> dict[str, list[float]]:
+        """One curve job per structure, all submitted before any is awaited
+        (the paper's parallel grid phase)."""
+        q_list = [float(v) for v in q_grid]
+        handles = [
+            self.curve_service.submit(spec=spec.to_json(), q=q_list) for spec in library
+        ]
+        curves: dict[str, list[float]] = {}
+        for spec, handle in zip(library, handles):
+            outputs = handle.result(timeout=timeout, poll=0.01)
+            curves[spec.name] = outputs["curve"]["curve"]
+        return curves
+
+    def run_fits(
+        self,
+        curves: dict[str, list[float]],
+        library: list[StructureSpec],
+        measured: np.ndarray,
+        timeout: float = 300.0,
+    ) -> list[FitResult]:
+        """One fit job per solver (the cluster phase), in parallel."""
+        matrix = [list(row) for row in np.column_stack([curves[s.name] for s in library])]
+        measured_list = [float(v) for v in measured]
+        handles = [
+            self.fit_service.submit(curves=matrix, measured=measured_list, solver=solver)
+            for solver in self.solvers
+        ]
+        return [
+            FitResult.from_json(handle.result(timeout=timeout, poll=0.01)["fit"])
+            for handle in handles
+        ]
+
+    def analyse(
+        self,
+        library: list[StructureSpec],
+        q_grid: np.ndarray,
+        measured: np.ndarray,
+        timeout: float = 300.0,
+    ) -> XRayReport:
+        curves = self.compute_curves(library, q_grid, timeout=timeout)
+        fits = self.run_fits(curves, library, measured, timeout=timeout)
+        best = min(fits, key=lambda fit: fit.residual)
+        report = postprocess(library, fits, best)
+        matrix = np.column_stack([curves[s.name] for s in library])
+        report.curves = curves
+        report.plot = ascii_plot(np.asarray(q_grid), np.asarray(measured), matrix @ best.weights)
+        return report
+
+
+def postprocess(
+    library: list[StructureSpec], fits: list[FitResult], best: FitResult
+) -> XRayReport:
+    """Aggregate the best fit into topology/size conclusions."""
+    weights = np.maximum(best.weights, 0.0)
+    total = weights.sum() or 1.0
+    kind_shares: dict[str, float] = {}
+    toroid_mass = low_toroid_mass = 0.0
+    for spec, weight in zip(library, weights):
+        kind_shares[spec.kind] = kind_shares.get(spec.kind, 0.0) + float(weight) / float(total)
+        if spec.kind == "torus":
+            toroid_mass += float(weight)
+            if (spec.aspect_ratio or 99.0) < LOW_ASPECT_RATIO:
+                low_toroid_mass += float(weight)
+    low_share = low_toroid_mass / toroid_mass if toroid_mass > 0 else 0.0
+    dominant_kind = max(kind_shares, key=kind_shares.get)
+    if dominant_kind == "torus" and low_share > 0.5:
+        conclusion = (
+            "low-aspect-ratio toroids prevail "
+            f"({kind_shares['torus']:.0%} toroid mass, {low_share:.0%} of it low-aspect)"
+        )
+    else:
+        conclusion = f"dominant topology: {dominant_kind} ({kind_shares[dominant_kind]:.0%})"
+    return XRayReport(
+        library=list(library),
+        fits=list(fits),
+        best=best,
+        kind_shares=kind_shares,
+        low_aspect_toroid_share=low_share,
+        conclusion=conclusion,
+    )

@@ -1,0 +1,16 @@
+"""A TORQUE-like cluster resource manager (substrate).
+
+The paper's Cluster adapter translates service requests into batch jobs
+"submitted to computing cluster via TORQUE resource manager". No cluster is
+available here, so this subpackage provides a faithful laptop-scale
+stand-in: named compute nodes with slot counts, a FIFO scheduler with slot
+accounting and walltime enforcement, and the classic ``qsub``/``qstat``/
+``qdel`` control surface. Jobs really execute (shell commands in scratch
+directories, or in-process callables), so services backed by the cluster
+do real work.
+"""
+
+from repro.batch.cluster import Cluster, ComputeNode
+from repro.batch.job import BatchJob, BatchJobState, JobResources
+
+__all__ = ["BatchJob", "BatchJobState", "Cluster", "ComputeNode", "JobResources"]

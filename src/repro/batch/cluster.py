@@ -1,0 +1,313 @@
+"""The cluster: nodes, slot-accounting FIFO scheduler, qsub/qstat/qdel.
+
+Scheduling model (deliberately the classic TORQUE one):
+
+- every node has a fixed number of slots (processors);
+- a job asking for ``nodes × ppn`` needs that many nodes each with ``ppn``
+  free slots, simultaneously;
+- the queue is FIFO: the head job blocks smaller jobs behind it (no
+  backfill) — matching default TORQUE behaviour and keeping job start
+  order predictable for tests;
+- walltime is enforced: commands are killed, callables are flagged through
+  the job's cooperative cancel event and reported as walltime failures.
+
+Jobs execute for real — shell commands in throwaway scratch directories,
+callables on a worker thread — so cluster-backed services do actual work.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import shutil
+import subprocess
+import tempfile
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.batch.job import BatchJob, BatchJobState
+
+
+@dataclass
+class ComputeNode:
+    """One node: a name and a slot count."""
+
+    name: str
+    slots: int = 4
+
+    def __post_init__(self) -> None:
+        if self.slots < 1:
+            raise ValueError("a node needs at least one slot")
+
+
+class ClusterError(Exception):
+    """Submission or control-command failure (unknown job, oversized request)."""
+
+
+class Cluster:
+    """A TORQUE-like resource manager over simulated nodes.
+
+    The public surface mirrors the command-line tools: :meth:`qsub`,
+    :meth:`qstat`, :meth:`qdel`, plus :meth:`wait` and lifecycle control.
+    """
+
+    def __init__(self, nodes: list[ComputeNode] | None = None, name: str = "cluster"):
+        self.name = name
+        self.nodes = nodes or [ComputeNode("node01", slots=4)]
+        seen: set[str] = set()
+        for node in self.nodes:
+            if node.name in seen:
+                raise ValueError(f"duplicate node name {node.name!r}")
+            seen.add(node.name)
+        self._free = {node.name: node.slots for node in self.nodes}
+        self._queue: list[BatchJob] = []
+        self._jobs: dict[str, BatchJob] = {}
+        self._ids = itertools.count(1)
+        self._lock = threading.Lock()
+        self._wake = threading.Condition(self._lock)
+        self._shutdown = False
+        self._scheduler = threading.Thread(
+            target=self._schedule_loop, name=f"{name}-sched", daemon=True
+        )
+        self._scheduler.start()
+
+    # ------------------------------------------------------------- control
+
+    def qsub(self, job: BatchJob) -> str:
+        """Submit a job; returns its id (``<n>.<cluster>`` like TORQUE)."""
+        if job.resources.ppn > max(node.slots for node in self.nodes):
+            raise ClusterError(
+                f"job {job.name!r} asks ppn={job.resources.ppn}, "
+                f"larger than any node on {self.name}"
+            )
+        if job.resources.nodes > len(self.nodes):
+            raise ClusterError(
+                f"job {job.name!r} asks {job.resources.nodes} nodes, "
+                f"cluster {self.name} has {len(self.nodes)}"
+            )
+        with self._lock:
+            if self._shutdown:
+                raise ClusterError(f"cluster {self.name} is shut down")
+            job.id = f"{next(self._ids)}.{self.name}"
+            job.state = BatchJobState.QUEUED
+            self._jobs[job.id] = job
+            self._queue.append(job)
+            self._wake.notify_all()
+        return job.id
+
+    def qstat(self, job_id: str) -> dict[str, object]:
+        """Status record for one job (raises for unknown ids, like qstat)."""
+        job = self._get(job_id)
+        return {
+            "id": job.id,
+            "name": job.name,
+            "state": job.state.torque_code,
+            "detail": job.state.value,
+            "exit_status": job.exit_status,
+            "nodes": list(job.node_names),
+        }
+
+    def qdel(self, job_id: str) -> None:
+        """Cancel a queued or running job."""
+        job = self._get(job_id)
+        with self._lock:
+            if job.state is BatchJobState.QUEUED:
+                self._queue.remove(job)
+                self._finish(job, BatchJobState.CANCELLED, reason="deleted by qdel")
+                return
+        # running (or already terminal): signal cooperatively; the runner
+        # notices and reports CANCELLED.
+        job._cancel.set()
+
+    def get_job(self, job_id: str) -> BatchJob:
+        return self._get(job_id)
+
+    def wait(self, job_id: str, timeout: float | None = None) -> BatchJob:
+        job = self._get(job_id)
+        if not job.wait(timeout):
+            raise TimeoutError(f"job {job_id} still {job.state.value} after {timeout}s")
+        return job
+
+    def jobs(self) -> list[BatchJob]:
+        with self._lock:
+            return list(self._jobs.values())
+
+    @property
+    def total_slots(self) -> int:
+        return sum(node.slots for node in self.nodes)
+
+    @property
+    def free_slots(self) -> int:
+        with self._lock:
+            return sum(self._free.values())
+
+    def shutdown(self) -> None:
+        """Stop scheduling; queued jobs are cancelled, running jobs signalled."""
+        with self._lock:
+            self._shutdown = True
+            doomed = list(self._queue)
+            self._queue.clear()
+            for job in doomed:
+                self._finish(job, BatchJobState.CANCELLED, reason="cluster shutdown")
+            self._wake.notify_all()
+        for job in self.jobs():
+            if job.state is BatchJobState.RUNNING:
+                job._cancel.set()
+
+    # ----------------------------------------------------------- internals
+
+    def _get(self, job_id: str) -> BatchJob:
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise ClusterError(f"unknown job id {job_id!r}")
+        return job
+
+    def _finish(self, job: BatchJob, state: BatchJobState, reason: str = "", exit_status: int | None = None) -> None:
+        """Must hold no locks that the waiter needs; sets the done event."""
+        job.state = state
+        job.failure_reason = reason
+        if exit_status is not None:
+            job.exit_status = exit_status
+        job.finished = time.time()
+        job._done.set()
+
+    def _try_allocate(self, job: BatchJob) -> list[str] | None:
+        """Pick nodes for the job; returns node names or None (under lock)."""
+        chosen: list[str] = []
+        for node in self.nodes:
+            if self._free[node.name] >= job.resources.ppn:
+                chosen.append(node.name)
+                if len(chosen) == job.resources.nodes:
+                    for name in chosen:
+                        self._free[name] -= job.resources.ppn
+                    return chosen
+        return None
+
+    def _release(self, job: BatchJob) -> None:
+        with self._lock:
+            for name in job.node_names:
+                self._free[name] += job.resources.ppn
+            self._wake.notify_all()
+
+    def _schedule_loop(self) -> None:
+        while True:
+            with self._lock:
+                while not self._shutdown and not (self._queue and self._head_fits()):
+                    self._wake.wait(timeout=0.5)
+                    if self._shutdown:
+                        break
+                if self._shutdown:
+                    return
+                job = self._queue.pop(0)
+                job.node_names = self._try_allocate(job) or []
+            if not job.node_names:  # lost a race; requeue at the head
+                with self._lock:
+                    self._queue.insert(0, job)
+                continue
+            job.state = BatchJobState.RUNNING
+            job.started = time.time()
+            threading.Thread(
+                target=self._run_job, args=(job,), name=f"{self.name}-{job.id}", daemon=True
+            ).start()
+
+    def _head_fits(self) -> bool:
+        """Whether the queue head could be allocated right now (under lock)."""
+        job = self._queue[0]
+        available = sum(1 for node in self.nodes if self._free[node.name] >= job.resources.ppn)
+        return available >= job.resources.nodes
+
+    def _run_job(self, job: BatchJob) -> None:
+        try:
+            if job.command is not None:
+                self._run_command(job)
+            else:
+                self._run_function(job)
+        except Exception as exc:  # noqa: BLE001 - a job must never kill the runner
+            self._finish(job, BatchJobState.FAILED, reason=f"runner error: {exc}")
+        finally:
+            self._release(job)
+
+    def _run_command(self, job: BatchJob) -> None:
+        scratch = Path(tempfile.mkdtemp(prefix=f"batch-{self.name}-"))
+        try:
+            for name, content in job.stage_in.items():
+                target = scratch / name
+                target.parent.mkdir(parents=True, exist_ok=True)
+                target.write_bytes(content)
+            process = subprocess.Popen(
+                job.command,
+                cwd=scratch,
+                stdin=subprocess.PIPE,
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                env=None if not job.env else {**os.environ, **job.env},
+                text=True,
+            )
+            deadline = time.time() + job.resources.walltime
+            try:
+                if job.stdin:
+                    process.stdin.write(job.stdin)
+                process.stdin.close()
+                while process.poll() is None:
+                    if job._cancel.is_set():
+                        process.kill()
+                        process.wait()
+                        self._finish(job, BatchJobState.CANCELLED, reason="deleted by qdel")
+                        return
+                    if time.time() > deadline:
+                        process.kill()
+                        process.wait()
+                        self._finish(job, BatchJobState.FAILED, reason="walltime exceeded")
+                        return
+                    time.sleep(0.01)
+            finally:
+                job.stdout = process.stdout.read()
+                job.stderr = process.stderr.read()
+            for name in job.stage_out:
+                path = scratch / name
+                if path.exists():
+                    job.output_files[name] = path.read_bytes()
+            code = process.returncode
+            if code == 0:
+                self._finish(job, BatchJobState.COMPLETED, exit_status=0)
+            else:
+                self._finish(
+                    job,
+                    BatchJobState.FAILED,
+                    reason=f"exit status {code}",
+                    exit_status=code,
+                )
+        finally:
+            shutil.rmtree(scratch, ignore_errors=True)
+
+    def _run_function(self, job: BatchJob) -> None:
+        deadline = time.time() + job.resources.walltime
+        box: dict[str, object] = {}
+
+        def call() -> None:
+            try:
+                box["result"] = job.function(job)
+            except Exception as exc:  # noqa: BLE001
+                box["error"] = exc
+
+        worker = threading.Thread(target=call, name=f"{job.id}-fn", daemon=True)
+        worker.start()
+        while worker.is_alive():
+            if job._cancel.is_set():
+                worker.join(timeout=1.0)
+                self._finish(job, BatchJobState.CANCELLED, reason="deleted by qdel")
+                return
+            if time.time() > deadline:
+                self._finish(job, BatchJobState.FAILED, reason="walltime exceeded")
+                return
+            worker.join(timeout=0.01)
+        if job._cancel.is_set():
+            self._finish(job, BatchJobState.CANCELLED, reason="deleted by qdel")
+        elif "error" in box:
+            self._finish(job, BatchJobState.FAILED, reason=str(box["error"]))
+        else:
+            job.result = box.get("result")
+            self._finish(job, BatchJobState.COMPLETED, exit_status=0)

@@ -1,0 +1,101 @@
+"""Batch job model for the TORQUE-like resource manager."""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable
+
+
+class BatchJobState(str, Enum):
+    """Job lifecycle, with the TORQUE single-letter codes users know."""
+
+    QUEUED = "QUEUED"
+    RUNNING = "RUNNING"
+    COMPLETED = "COMPLETED"
+    FAILED = "FAILED"
+    CANCELLED = "CANCELLED"
+
+    @property
+    def torque_code(self) -> str:
+        """The ``qstat`` status letter (terminal states all show ``C``)."""
+        return {"QUEUED": "Q", "RUNNING": "R"}.get(self.value, "C")
+
+    @property
+    def terminal(self) -> bool:
+        return self in (BatchJobState.COMPLETED, BatchJobState.FAILED, BatchJobState.CANCELLED)
+
+
+@dataclass(frozen=True)
+class JobResources:
+    """The ``-l`` resource request: nodes, processors per node, walltime."""
+
+    nodes: int = 1
+    ppn: int = 1
+    walltime: float = 3600.0
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1 or self.ppn < 1:
+            raise ValueError("nodes and ppn must be >= 1")
+        if self.walltime <= 0:
+            raise ValueError("walltime must be positive")
+
+    @property
+    def slots(self) -> int:
+        return self.nodes * self.ppn
+
+
+@dataclass(eq=False)
+class BatchJob:
+    """One batch job: a shell command or an in-process callable.
+
+    Exactly one of ``command`` (argv list, run in a scratch directory) or
+    ``function`` (called with the job) must be given. Results land in
+    ``stdout``/``stderr``/``exit_status``/``result``.
+    """
+
+    name: str = "job"
+    command: list[str] | None = None
+    function: Callable[["BatchJob"], Any] | None = None
+    resources: JobResources = field(default_factory=JobResources)
+    #: Text piped to the command's stdin.
+    stdin: str = ""
+    #: Files written into the scratch directory before launch: name → bytes.
+    stage_in: dict[str, bytes] = field(default_factory=dict)
+    #: Scratch-relative names to collect after the run.
+    stage_out: list[str] = field(default_factory=list)
+    env: dict[str, str] = field(default_factory=dict)
+
+    # -- filled in by the cluster --
+    id: str = ""
+    state: BatchJobState = BatchJobState.QUEUED
+    node_names: list[str] = field(default_factory=list)
+    submitted: float = field(default_factory=time.time)
+    started: float | None = None
+    finished: float | None = None
+    exit_status: int | None = None
+    stdout: str = ""
+    stderr: str = ""
+    #: Collected ``stage_out`` files: name → bytes.
+    output_files: dict[str, bytes] = field(default_factory=dict)
+    #: Return value when ``function`` was used.
+    result: Any = None
+    #: Why the job failed (walltime, exception text, nonzero exit).
+    failure_reason: str = ""
+    _done: threading.Event = field(default_factory=threading.Event, repr=False)
+    _cancel: threading.Event = field(default_factory=threading.Event, repr=False)
+
+    def __post_init__(self) -> None:
+        if (self.command is None) == (self.function is None):
+            raise ValueError("exactly one of command/function must be set")
+
+    @property
+    def cancelled_requested(self) -> bool:
+        """Cooperative cancellation flag for ``function`` payloads."""
+        return self._cancel.is_set()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the job reaches a terminal state."""
+        return self._done.wait(timeout)

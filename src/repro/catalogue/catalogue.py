@@ -1,0 +1,233 @@
+"""The catalogue: publication, discovery, monitoring and annotation.
+
+Publishing takes "a URI of the service and a few tags describing it"; the
+catalogue then "retrieves service description via the unified REST API,
+performs indexing and stores description along with specified tags"
+(paper §3.2). A background pinger keeps availability current, and entries
+can be tagged by users after publication (the paper's "collaborative
+Web 2.0" feature).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.catalogue.index import InvertedIndex
+from repro.catalogue.snippets import make_snippet
+from repro.http.client import ClientError, RestClient
+from repro.http.registry import TransportRegistry
+from repro.http.transport import TransportError
+
+
+class CatalogueError(Exception):
+    """Publication or lookup failure."""
+
+
+@dataclass
+class CatalogueEntry:
+    """One published service."""
+
+    uri: str
+    description: dict[str, Any]
+    tags: set[str] = field(default_factory=set)
+    available: bool = True
+    published_at: float = field(default_factory=time.time)
+    last_ping: float | None = None
+
+    @property
+    def name(self) -> str:
+        return str(self.description.get("name", ""))
+
+    @property
+    def title(self) -> str:
+        return str(self.description.get("title", "")) or self.name
+
+    def index_text(self) -> str:
+        """The searchable text: name, title, prose, parameters and tags."""
+        parts = [
+            self.name,
+            self.title,
+            str(self.description.get("description", "")),
+            " ".join(self.tags),
+        ]
+        for group in ("inputs", "outputs"):
+            for parameter_name, spec in self.description.get(group, {}).items():
+                parts.append(parameter_name)
+                if isinstance(spec, dict):
+                    parts.append(str(spec.get("title", "")))
+        return " ".join(part for part in parts if part)
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "uri": self.uri,
+            "description": self.description,
+            "tags": sorted(self.tags),
+            "available": self.available,
+            "published_at": self.published_at,
+            "last_ping": self.last_ping,
+        }
+
+    @classmethod
+    def from_json(cls, document: dict[str, Any]) -> "CatalogueEntry":
+        return cls(
+            uri=document["uri"],
+            description=document["description"],
+            tags=set(document.get("tags", [])),
+            available=bool(document.get("available", True)),
+            published_at=float(document.get("published_at", time.time())),
+            last_ping=document.get("last_ping"),
+        )
+
+
+class Catalogue:
+    """Discovery, monitoring and annotation of computational web services."""
+
+    def __init__(self, registry: TransportRegistry | None = None):
+        self.registry = registry or TransportRegistry()
+        self._client = RestClient(self.registry)
+        self._entries: dict[str, CatalogueEntry] = {}
+        self._index = InvertedIndex()
+        self._lock = threading.Lock()
+        self._pinger: threading.Thread | None = None
+        self._stop_pinger = threading.Event()
+
+    # ---------------------------------------------------------- publication
+
+    def publish(self, uri: str, tags: list[str] | None = None) -> CatalogueEntry:
+        """Register a service by URI; its description is fetched and indexed."""
+        uri = uri.rstrip("/")
+        try:
+            description = self._client.get(uri)
+        except (ClientError, TransportError) as exc:
+            raise CatalogueError(f"cannot retrieve service description from {uri!r}: {exc}") from exc
+        if not isinstance(description, dict) or "name" not in description:
+            raise CatalogueError(f"{uri!r} did not return a service description")
+        entry = CatalogueEntry(uri=uri, description=description, tags=set(tags or []))
+        with self._lock:
+            self._entries[uri] = entry
+        self._index.add(uri, entry.index_text())
+        return entry
+
+    def unpublish(self, uri: str) -> None:
+        uri = uri.rstrip("/")
+        with self._lock:
+            if uri not in self._entries:
+                raise CatalogueError(f"service {uri!r} is not published")
+            del self._entries[uri]
+        self._index.remove(uri)
+
+    def entry(self, uri: str) -> CatalogueEntry:
+        with self._lock:
+            entry = self._entries.get(uri.rstrip("/"))
+        if entry is None:
+            raise CatalogueError(f"service {uri!r} is not published")
+        return entry
+
+    def entries(self) -> list[CatalogueEntry]:
+        with self._lock:
+            return list(self._entries.values())
+
+    def add_tags(self, uri: str, tags: list[str]) -> CatalogueEntry:
+        """User tagging (the catalogue's collaborative feature)."""
+        entry = self.entry(uri)
+        entry.tags.update(tags)
+        self._index.add(entry.uri, entry.index_text())
+        return entry
+
+    # -------------------------------------------------------------- search
+
+    def search(
+        self,
+        query: str,
+        tag: str | None = None,
+        available_only: bool = False,
+        limit: int = 20,
+    ) -> list[dict[str, Any]]:
+        """Ranked full-text search with optional filters.
+
+        Each hit carries the entry plus a highlighted snippet. An empty
+        query with a tag filter lists that tag's services (newest first).
+        """
+        if query.strip():
+            ranked = self._index.search(query)
+            ordered = [self._entries.get(uri) for uri, _ in ranked]
+        else:
+            ordered = sorted(self.entries(), key=lambda e: -e.published_at)
+        hits: list[dict[str, Any]] = []
+        for entry in ordered:
+            if entry is None:
+                continue
+            if tag is not None and tag not in entry.tags:
+                continue
+            if available_only and not entry.available:
+                continue
+            hits.append(
+                {
+                    "uri": entry.uri,
+                    "name": entry.name,
+                    "title": entry.title,
+                    "tags": sorted(entry.tags),
+                    "available": entry.available,
+                    "snippet": make_snippet(entry.index_text(), query),
+                }
+            )
+            if len(hits) >= limit:
+                break
+        return hits
+
+    # ----------------------------------------------------------- monitoring
+
+    def ping(self, uri: str) -> bool:
+        """Probe one service; updates and returns its availability."""
+        entry = self.entry(uri)
+        try:
+            self._client.get(entry.uri)
+            entry.available = True
+        except (ClientError, TransportError):
+            entry.available = False
+        entry.last_ping = time.time()
+        return entry.available
+
+    def ping_all(self) -> dict[str, bool]:
+        return {entry.uri: self.ping(entry.uri) for entry in self.entries()}
+
+    def start_pinger(self, interval: float = 30.0) -> None:
+        """Run :meth:`ping_all` periodically on a background thread."""
+        if self._pinger is not None:
+            raise RuntimeError("pinger already running")
+        self._stop_pinger.clear()
+
+        def loop() -> None:
+            while not self._stop_pinger.wait(interval):
+                self.ping_all()
+
+        self._pinger = threading.Thread(target=loop, name="catalogue-pinger", daemon=True)
+        self._pinger.start()
+
+    def stop_pinger(self) -> None:
+        if self._pinger is None:
+            return
+        self._stop_pinger.set()
+        self._pinger.join(timeout=5)
+        self._pinger = None
+
+    # ---------------------------------------------------------- persistence
+
+    def save(self, path: str | Path) -> None:
+        documents = [entry.to_json() for entry in self.entries()]
+        Path(path).write_text(json.dumps(documents, indent=2))
+
+    def load(self, path: str | Path) -> int:
+        """Load previously saved entries (merging by URI); returns count."""
+        documents = json.loads(Path(path).read_text())
+        for document in documents:
+            entry = CatalogueEntry.from_json(document)
+            with self._lock:
+                self._entries[entry.uri] = entry
+            self._index.add(entry.uri, entry.index_text())
+        return len(documents)

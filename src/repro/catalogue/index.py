@@ -1,0 +1,115 @@
+"""Inverted index with TF-IDF cosine ranking.
+
+Small by design — the catalogue indexes service descriptions, which are
+short documents — but a real search engine in miniature: postings lists,
+log-scaled term frequencies, inverse document frequency and cosine
+normalization, so multi-term queries rank sensibly.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from collections import Counter
+
+_TOKEN = re.compile(r"[a-z0-9]+")
+
+#: Words too common in service descriptions to be discriminative.
+STOP_WORDS = frozenset(
+    "a an and are as at be by for from has in is it of on or the this to with".split()
+)
+
+
+def tokenize(text: str) -> list[str]:
+    """Lowercased alphanumeric tokens, stop words removed.
+
+    CamelCase and snake_case identifiers split on their seams so that a
+    query for "matrix" finds a service named ``invertMatrix`` or
+    ``matrix_tools``.
+    """
+    seamed = re.sub(r"(?<=[a-z0-9])(?=[A-Z])", " ", text)
+    tokens = _TOKEN.findall(seamed.lower())
+    return [token for token in tokens if token not in STOP_WORDS]
+
+
+class InvertedIndex:
+    """Thread-safe document index over string keys."""
+
+    def __init__(self) -> None:
+        self._postings: dict[str, dict[str, int]] = {}  # term -> doc -> tf
+        self._doc_terms: dict[str, Counter[str]] = {}
+        self._lock = threading.Lock()
+
+    def add(self, doc_id: str, text: str) -> None:
+        """(Re)index a document; replaces any previous content."""
+        terms = Counter(tokenize(text))
+        with self._lock:
+            self._remove_locked(doc_id)
+            self._doc_terms[doc_id] = terms
+            for term, frequency in terms.items():
+                self._postings.setdefault(term, {})[doc_id] = frequency
+
+    def remove(self, doc_id: str) -> None:
+        with self._lock:
+            self._remove_locked(doc_id)
+
+    def _remove_locked(self, doc_id: str) -> None:
+        terms = self._doc_terms.pop(doc_id, None)
+        if not terms:
+            return
+        for term in terms:
+            postings = self._postings.get(term)
+            if postings is not None:
+                postings.pop(doc_id, None)
+                if not postings:
+                    del self._postings[term]
+
+    def __contains__(self, doc_id: object) -> bool:
+        with self._lock:
+            return doc_id in self._doc_terms
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._doc_terms)
+
+    def search(self, query: str, limit: int | None = None) -> list[tuple[str, float]]:
+        """Rank documents for ``query`` by TF-IDF cosine similarity.
+
+        Returns ``(doc_id, score)`` pairs, best first. An empty or
+        all-stop-word query matches nothing.
+        """
+        query_terms = Counter(tokenize(query))
+        if not query_terms:
+            return []
+        with self._lock:
+            corpus_size = len(self._doc_terms)
+            if corpus_size == 0:
+                return []
+            scores: dict[str, float] = {}
+            for term, query_tf in query_terms.items():
+                postings = self._postings.get(term)
+                if not postings:
+                    continue
+                idf = math.log((1 + corpus_size) / (1 + len(postings))) + 1.0
+                query_weight = (1 + math.log(query_tf)) * idf
+                for doc_id, doc_tf in postings.items():
+                    doc_weight = (1 + math.log(doc_tf)) * idf
+                    scores[doc_id] = scores.get(doc_id, 0.0) + query_weight * doc_weight
+            if not scores:
+                return []
+            # cosine normalization by document vector length
+            for doc_id in list(scores):
+                length = math.sqrt(
+                    sum(
+                        ((1 + math.log(tf)) * self._idf_locked(term, corpus_size)) ** 2
+                        for term, tf in self._doc_terms[doc_id].items()
+                    )
+                )
+                scores[doc_id] /= length or 1.0
+        ranked = sorted(scores.items(), key=lambda pair: (-pair[1], pair[0]))
+        return ranked[:limit] if limit is not None else ranked
+
+    def _idf_locked(self, term: str, corpus_size: int) -> float:
+        postings = self._postings.get(term, {})
+        return math.log((1 + corpus_size) / (1 + len(postings))) + 1.0

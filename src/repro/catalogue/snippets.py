@@ -1,0 +1,56 @@
+"""Search-result snippets: "short snippets of each found service with
+highlighted query terms" (paper §3.2)."""
+
+from __future__ import annotations
+
+import re
+
+from repro.catalogue.index import tokenize
+
+
+def _term_spans(text: str, terms: set[str]) -> list[tuple[int, int]]:
+    """Character spans of query-term occurrences (word-boundary matches)."""
+    spans: list[tuple[int, int]] = []
+    for term in terms:
+        for match in re.finditer(rf"\b{re.escape(term)}\w*", text, flags=re.IGNORECASE):
+            spans.append(match.span())
+    return sorted(spans)
+
+
+def make_snippet(text: str, query: str, width: int = 160, mark: str = "**") -> str:
+    """A window of ``text`` around the densest cluster of query terms.
+
+    Matched terms are wrapped in ``mark`` (``**term**`` reads well both in
+    terminals and when rendered). Falls back to the head of the text when
+    no term occurs.
+    """
+    collapsed = " ".join(text.split())
+    terms = set(tokenize(query))
+    spans = _term_spans(collapsed, terms)
+    if not spans:
+        head = collapsed[:width]
+        return head + ("…" if len(collapsed) > width else "")
+
+    # choose the window starting at each span that covers the most spans
+    best_start, best_count = spans[0][0], 0
+    for start, _ in spans:
+        window_end = start + width
+        count = sum(1 for s, e in spans if s >= start and e <= window_end)
+        if count > best_count:
+            best_start, best_count = start, count
+    window_start = max(0, best_start - 20)
+    window_end = min(len(collapsed), window_start + width)
+
+    pieces: list[str] = []
+    cursor = window_start
+    for start, end in spans:
+        if start < window_start or end > window_end:
+            continue
+        pieces.append(collapsed[cursor:start])
+        pieces.append(f"{mark}{collapsed[start:end]}{mark}")
+        cursor = end
+    pieces.append(collapsed[cursor:window_end])
+    snippet = "".join(pieces)
+    prefix = "…" if window_start > 0 else ""
+    suffix = "…" if window_end < len(collapsed) else ""
+    return prefix + snippet + suffix

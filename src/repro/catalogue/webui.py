@@ -1,0 +1,75 @@
+"""The catalogue's browser interface.
+
+"[The catalogue] is implemented as a web application with interface and
+functionality similar to modern search engines." (§3.2) — a search box,
+ranked results with highlighted snippets, tags and availability badges.
+Served at ``GET /ui`` of the catalogue application; the form round-trips
+through ``GET /ui?q=…`` so it works without JavaScript.
+"""
+
+from __future__ import annotations
+
+import html
+import re
+from typing import Any
+
+_PAGE = """<!DOCTYPE html>
+<html>
+<head>
+<meta charset="utf-8">
+<title>MathCloud service catalogue</title>
+<style>
+ body {{ font-family: sans-serif; margin: 2em auto; max-width: 48em; }}
+ form {{ margin-bottom: 2em; }}
+ input[type=text] {{ width: 70%; padding: 0.5em; font-size: 1.1em; }}
+ .hit {{ margin-bottom: 1.4em; }}
+ .hit a {{ font-size: 1.1em; }}
+ .snippet {{ color: #333; }}
+ .snippet em {{ background: #ffef9e; font-style: normal; }}
+ .meta {{ color: #0a7a0a; font-size: 0.85em; }}
+ .dead {{ color: #b00; font-size: 0.85em; }}
+ .tag {{ background: #eef; border-radius: 3px; padding: 0 0.4em; font-size: 0.8em; }}
+</style>
+</head>
+<body>
+<h1>Service catalogue</h1>
+<form method="get" action="/ui">
+  <input type="text" name="q" value="{query}" placeholder="search services...">
+  <button type="submit">Search</button>
+</form>
+{results}
+</body>
+</html>
+"""
+
+
+def _snippet_html(snippet: str) -> str:
+    """Convert the catalogue's ``**term**`` highlights to ``<em>``."""
+    escaped = html.escape(snippet)
+    return re.sub(r"\*\*(.+?)\*\*", r"<em>\1</em>", escaped)
+
+
+def render_search_page(query: str, hits: list[dict[str, Any]]) -> str:
+    """The search page, with results when a query was given."""
+    if not query:
+        results = "<p>Enter a query to search the published services.</p>"
+    elif not hits:
+        results = f"<p>No services match <b>{html.escape(query)}</b>.</p>"
+    else:
+        blocks = []
+        for hit in hits:
+            tags = " ".join(f'<span class="tag">{html.escape(t)}</span>' for t in hit["tags"])
+            status = (
+                '<span class="meta">available</span>'
+                if hit["available"]
+                else '<span class="dead">unavailable</span>'
+            )
+            blocks.append(
+                '<div class="hit">'
+                f'<a href="{html.escape(hit["uri"], quote=True)}">{html.escape(hit["title"])}</a> '
+                f"{status}<br>"
+                f'<span class="snippet">{_snippet_html(hit["snippet"])}</span><br>'
+                f"{tags}</div>"
+            )
+        results = "\n".join(blocks)
+    return _PAGE.format(query=html.escape(query, quote=True), results=results)

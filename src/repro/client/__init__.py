@@ -1,0 +1,16 @@
+"""Clients for computational web services (paper §3.5).
+
+- :mod:`repro.client.client` — the Python client: a
+  :class:`~repro.client.client.ServiceProxy` wraps one service URI, and a
+  :class:`~repro.client.client.JobHandle` tracks one submitted job.
+- :mod:`repro.client.cli` — the command-line client (``mathcloud`` /
+  ``python -m repro.client.cli``), covering describe/submit/status/
+  result/cancel/fetch plus catalogue search.
+
+Since the access is plain REST+JSON, any HTTP client works too — these
+are conveniences, not requirements (the paper's argument for REST).
+"""
+
+from repro.client.client import JobFailedError, JobHandle, ServiceProxy
+
+__all__ = ["JobFailedError", "JobHandle", "ServiceProxy"]

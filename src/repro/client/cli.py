@@ -1,0 +1,180 @@
+"""The command-line client.
+
+::
+
+    mathcloud describe  http://host:9000/services/invert
+    mathcloud submit    http://host:9000/services/invert -p n=200 --wait
+    mathcloud status    http://host:9000/services/invert/jobs/j-1
+    mathcloud result    http://host:9000/services/invert/jobs/j-1
+    mathcloud cancel    http://host:9000/services/invert/jobs/j-1
+    mathcloud fetch     <file-uri> -o curve.json
+    mathcloud search    http://host:9100 "matrix inversion" --tag cas
+
+Parameters given as ``-p name=value`` are parsed as JSON when possible and
+fall back to strings, so ``-p n=4 -p mode=block`` does what it looks like.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Sequence
+
+from repro.client.client import JobFailedError, JobHandle, ServiceProxy
+from repro.http.client import ClientError, RestClient
+from repro.http.registry import TransportRegistry
+from repro.http.transport import TransportError
+
+
+def parse_parameter(text: str) -> tuple[str, Any]:
+    """Parse one ``name=value`` option (value as JSON, else string)."""
+    name, separator, raw = text.partition("=")
+    if not separator or not name:
+        raise argparse.ArgumentTypeError(f"expected name=value, got {text!r}")
+    try:
+        return name, json.loads(raw)
+    except ValueError:
+        return name, raw
+
+
+def parse_header(text: str) -> tuple[str, str]:
+    name, separator, value = text.partition(":")
+    if not separator or not name:
+        raise argparse.ArgumentTypeError(f"expected Name:value, got {text!r}")
+    return name.strip(), value.strip()
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="mathcloud", description="Command-line client for MathCloud services."
+    )
+    parser.add_argument(
+        "-H",
+        "--header",
+        type=parse_header,
+        action="append",
+        default=[],
+        help="extra request header (repeatable), e.g. -H 'X-On-Behalf-Of:CN=alice'",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    describe = commands.add_parser("describe", help="show a service description")
+    describe.add_argument("service_uri")
+
+    submit = commands.add_parser("submit", help="submit a request to a service")
+    submit.add_argument("service_uri")
+    submit.add_argument(
+        "-p", "--param", type=parse_parameter, action="append", default=[], dest="params"
+    )
+    submit.add_argument("--inputs-json", help="all inputs as one JSON object")
+    submit.add_argument("--wait", action="store_true", help="poll until the job finishes")
+    submit.add_argument("--timeout", type=float, default=None)
+
+    for name, help_text in (
+        ("status", "show a job representation"),
+        ("result", "wait for a job and print its results"),
+        ("cancel", "cancel a job / delete its data"),
+    ):
+        sub = commands.add_parser(name, help=help_text)
+        sub.add_argument("job_uri")
+        if name == "result":
+            sub.add_argument("--timeout", type=float, default=None)
+
+    fetch = commands.add_parser("fetch", help="download a file resource")
+    fetch.add_argument("file_uri")
+    fetch.add_argument("-o", "--output", help="write to file instead of stdout")
+
+    search = commands.add_parser("search", help="query a service catalogue")
+    search.add_argument("catalogue_uri")
+    search.add_argument("query", nargs="?", default="")
+    search.add_argument("--tag", default=None)
+    search.add_argument("--available-only", action="store_true")
+    return parser
+
+
+def _print_json(data: Any, stream: Any) -> None:
+    json.dump(data, stream, indent=2, ensure_ascii=False)
+    stream.write("\n")
+
+
+def main(
+    argv: Sequence[str] | None = None,
+    registry: TransportRegistry | None = None,
+    stdout: Any = None,
+    stderr: Any = None,
+) -> int:
+    """CLI entry point; ``registry`` is injectable for in-process testing."""
+    stdout = stdout or sys.stdout
+    stderr = stderr or sys.stderr
+    parser = build_parser()
+    options = parser.parse_args(argv)
+    headers = dict(options.header)
+    registry = registry or TransportRegistry()
+    try:
+        return _dispatch(options, registry, headers, stdout)
+    except JobFailedError as error:
+        print(f"error: {error}", file=stderr)
+        return 3
+    except (ClientError, TransportError) as error:
+        print(f"error: {error}", file=stderr)
+        return 2
+
+
+def _dispatch(
+    options: argparse.Namespace,
+    registry: TransportRegistry,
+    headers: dict[str, str],
+    stdout: Any,
+) -> int:
+    if options.command == "describe":
+        proxy = ServiceProxy(options.service_uri, registry, headers=headers)
+        _print_json(proxy.describe_raw(), stdout)
+        return 0
+
+    if options.command == "submit":
+        proxy = ServiceProxy(options.service_uri, registry, headers=headers)
+        inputs = dict(options.params)
+        if options.inputs_json:
+            inputs = {**json.loads(options.inputs_json), **inputs}
+        handle = proxy.submit_dict(inputs)
+        if options.wait:
+            handle.wait(timeout=options.timeout)
+        _print_json(handle.representation, stdout)
+        return 0
+
+    client = RestClient(registry, headers=headers)
+    if options.command == "status":
+        _print_json(client.get(options.job_uri), stdout)
+        return 0
+    if options.command == "result":
+        handle = JobHandle(options.job_uri, client)
+        _print_json(handle.result(timeout=options.timeout), stdout)
+        return 0
+    if options.command == "cancel":
+        client.delete(options.job_uri)
+        print("cancelled", file=stdout)
+        return 0
+    if options.command == "fetch":
+        content = client.get_bytes(options.file_uri)
+        if options.output:
+            with open(options.output, "wb") as sink:
+                sink.write(content)
+            print(f"wrote {len(content)} bytes to {options.output}", file=stdout)
+        else:
+            stdout.write(content.decode("utf-8", errors="replace"))
+        return 0
+    if options.command == "search":
+        query: dict[str, Any] = {"q": options.query}
+        if options.tag:
+            query["tag"] = options.tag
+        if options.available_only:
+            query["available"] = "true"
+        results = client.get(options.catalogue_uri.rstrip("/") + "/search", query=query)
+        _print_json(results, stdout)
+        return 0
+    raise AssertionError(f"unhandled command {options.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

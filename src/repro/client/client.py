@@ -1,0 +1,141 @@
+"""The Python client library.
+
+Typical use::
+
+    proxy = ServiceProxy("http://host:9000/services/invert")
+    print(proxy.describe().inputs)
+
+    job = proxy.submit(n=200, method="block")
+    result = job.result(timeout=600)       # waits, raises on failure
+
+    quick = proxy(n=10)                     # submit + wait in one call
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Mapping
+
+from repro.core.description import ServiceDescription
+from repro.core.filerefs import file_uri, is_file_ref
+from repro.core.jobs import JobState
+from repro.http.client import RestClient
+from repro.http.registry import TransportRegistry
+
+
+class JobFailedError(Exception):
+    """The job ended FAILED or CANCELLED; carries the service's error."""
+
+    def __init__(self, state: str, error: str, job_uri: str):
+        super().__init__(f"job {job_uri} ended {state}: {error}")
+        self.state = state
+        self.error = error
+        self.job_uri = job_uri
+
+
+class JobHandle:
+    """A client-side view of one job resource."""
+
+    def __init__(self, uri: str, client: RestClient):
+        self.uri = uri
+        self._client = client
+        self._last: dict[str, Any] = {}
+
+    def refresh(self) -> dict[str, Any]:
+        """``GET`` the job resource and cache its representation."""
+        self._last = self._client.get(self.uri)
+        return self._last
+
+    @property
+    def representation(self) -> dict[str, Any]:
+        return self._last or self.refresh()
+
+    @property
+    def state(self) -> JobState:
+        return JobState(self.representation["state"])
+
+    @property
+    def done(self) -> bool:
+        return JobState(self.refresh()["state"]).terminal
+
+    def wait(self, timeout: float | None = None, poll: float = 0.05) -> "JobHandle":
+        """Poll until the job is terminal (the paper's async usage)."""
+        deadline = None if timeout is None else time.time() + timeout
+        interval = poll
+        while True:
+            if JobState(self.refresh()["state"]).terminal:
+                return self
+            if deadline is not None and time.time() > deadline:
+                raise TimeoutError(f"job {self.uri} still {self._last['state']} after {timeout}s")
+            time.sleep(interval)
+            interval = min(interval * 1.5, 1.0)  # gentle backoff
+
+    def result(self, timeout: float | None = None, poll: float = 0.05) -> dict[str, Any]:
+        """Wait for completion and return the outputs (or raise)."""
+        self.wait(timeout=timeout, poll=poll)
+        state = self._last["state"]
+        if state != JobState.DONE.value:
+            raise JobFailedError(state, self._last.get("error", ""), self.uri)
+        return self._last.get("results", {})
+
+    def cancel(self) -> None:
+        """``DELETE`` the job resource (cancel or clean up)."""
+        self._client.delete(self.uri)
+
+    def fetch(self, output: str | Mapping[str, Any]) -> bytes:
+        """Download an output file, by output name or reference envelope."""
+        if isinstance(output, str):
+            reference = self.result().get(output)
+            if not is_file_ref(reference):
+                raise ValueError(f"output {output!r} is not a file reference")
+        else:
+            reference = dict(output)
+        return self._client.get_bytes(file_uri(reference))
+
+    def __repr__(self) -> str:
+        state = self._last.get("state", "?")
+        return f"JobHandle({self.uri!r}, state={state})"
+
+
+class ServiceProxy:
+    """A client-side view of one computational web service."""
+
+    def __init__(
+        self,
+        uri: str,
+        registry: TransportRegistry | None = None,
+        headers: Mapping[str, str] | None = None,
+    ):
+        self.uri = uri.rstrip("/")
+        self._client = RestClient(registry, base=self.uri, headers=headers)
+
+    def with_headers(self, headers: Mapping[str, str]) -> "ServiceProxy":
+        """A copy sending extra headers (credentials, delegation)."""
+        proxy = ServiceProxy.__new__(ServiceProxy)
+        proxy.uri = self.uri
+        proxy._client = self._client.with_headers(headers)
+        return proxy
+
+    def describe(self) -> ServiceDescription:
+        """Introspect the service (``GET`` on the service resource)."""
+        return ServiceDescription.from_json(self._client.get())
+
+    def describe_raw(self) -> dict[str, Any]:
+        return self._client.get()
+
+    def submit_dict(self, inputs: dict[str, Any]) -> JobHandle:
+        """``POST`` a request; returns the handle of the created job."""
+        created = self._client.post(payload=inputs)
+        handle = JobHandle(created["uri"], self._client)
+        handle._last = created
+        return handle
+
+    def submit(self, **inputs: Any) -> JobHandle:
+        return self.submit_dict(inputs)
+
+    def __call__(self, timeout: float | None = None, **inputs: Any) -> dict[str, Any]:
+        """Submit and wait: the synchronous convenience call."""
+        return self.submit_dict(inputs).result(timeout=timeout)
+
+    def __repr__(self) -> str:
+        return f"ServiceProxy({self.uri!r})"

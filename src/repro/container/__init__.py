@@ -1,0 +1,26 @@
+"""Everest — the MathCloud service container (paper §3.1, Fig. 1).
+
+The container turns applications into computational web services: it
+keeps a list of deployed services and their configurations (*Service
+Manager*), converts incoming requests into asynchronous jobs served by a
+configurable pool of handler threads (*Job Manager*), and delegates the
+actual request processing to pluggable *adapters*:
+
+- :class:`~repro.container.adapters.command.CommandAdapter` — run a shell
+  command in a scratch directory (the paper's Command adapter);
+- :class:`~repro.container.adapters.python_adapter.PythonAdapter` — call
+  a Python function in-process (the paper's Java adapter, transposed);
+- :class:`~repro.container.adapters.cluster.ClusterAdapter` — submit a
+  batch job to a TORQUE-like cluster (:mod:`repro.batch`);
+- :class:`~repro.container.adapters.grid.GridAdapter` — submit a JDL job
+  through the gLite-like broker (:mod:`repro.grid`).
+
+Every deployed service is published through the unified REST API and gets
+an auto-generated web page (:mod:`repro.container.webui`).
+"""
+
+from repro.container.adapters.base import Adapter, JobContext
+from repro.container.config import ServiceConfig
+from repro.container.container import ServiceContainer
+
+__all__ = ["Adapter", "JobContext", "ServiceConfig", "ServiceContainer"]

@@ -1,0 +1,55 @@
+"""Pluggable adapters: how the container processes service requests.
+
+Each adapter implements the standard interface through which the container
+"passes request parameters, monitors the job state and receives results"
+(paper §3.1). The registry below maps configuration names to classes;
+:func:`create_adapter` is used by the container at deploy time.
+"""
+
+from __future__ import annotations
+
+from repro.container.adapters.base import Adapter, JobContext
+from repro.container.adapters.cluster import ClusterAdapter
+from repro.container.adapters.command import CommandAdapter
+from repro.container.adapters.grid import GridAdapter
+from repro.container.adapters.python_adapter import PythonAdapter
+from repro.core.errors import ConfigurationError
+
+#: Configuration name → adapter class.
+ADAPTER_TYPES: dict[str, type[Adapter]] = {
+    CommandAdapter.kind: CommandAdapter,
+    PythonAdapter.kind: PythonAdapter,
+    ClusterAdapter.kind: ClusterAdapter,
+    GridAdapter.kind: GridAdapter,
+}
+
+
+def create_adapter(kind: str) -> Adapter:
+    """Instantiate the adapter registered under ``kind``."""
+    adapter_class = ADAPTER_TYPES.get(kind)
+    if adapter_class is None:
+        raise ConfigurationError(
+            f"unknown adapter {kind!r}; available: {sorted(ADAPTER_TYPES)}"
+        )
+    return adapter_class()
+
+
+def register_adapter_type(adapter_class: type[Adapter]) -> None:
+    """Register a custom adapter class ("attach arbitrary service
+    implementations and computing resources", paper §3.1)."""
+    if not adapter_class.kind:
+        raise ConfigurationError("adapter class must define a non-empty 'kind'")
+    ADAPTER_TYPES[adapter_class.kind] = adapter_class
+
+
+__all__ = [
+    "ADAPTER_TYPES",
+    "Adapter",
+    "ClusterAdapter",
+    "CommandAdapter",
+    "GridAdapter",
+    "JobContext",
+    "PythonAdapter",
+    "create_adapter",
+    "register_adapter_type",
+]

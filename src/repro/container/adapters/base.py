@@ -1,0 +1,136 @@
+"""The adapter interface and the job context adapters execute against."""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Protocol
+
+from repro.core.description import ServiceDescription
+from repro.core.errors import AdapterError
+from repro.core.filerefs import file_uri, is_file_ref, make_file_ref
+from repro.core.files import FileStore
+from repro.core.jobs import Job
+from repro.http.client import ClientError, RestClient
+from repro.http.registry import TransportRegistry
+from repro.http.transport import TransportError
+
+
+class ResourceResolver(Protocol):
+    """Looks up named backend resources (clusters, grid brokers, callables)
+    registered with the container."""
+
+    def resource(self, name: str) -> Any: ...
+
+
+class JobContext:
+    """Everything an adapter may touch while processing one job.
+
+    The context mediates all I/O: resolving input file references (fetching
+    them from wherever in the federation they live), storing output files
+    as subordinate file resources, and exposing the cooperative
+    cancellation flag.
+    """
+
+    def __init__(
+        self,
+        job: Job,
+        description: ServiceDescription,
+        files: FileStore,
+        registry: TransportRegistry,
+        base_uri_fn: Any,
+        resources: ResourceResolver,
+    ):
+        self.job = job
+        self.description = description
+        self.files = files
+        self.registry = registry
+        self._base_uri_fn = base_uri_fn
+        self.resources = resources
+
+    @property
+    def inputs(self) -> dict[str, Any]:
+        return self.job.inputs
+
+    @property
+    def cancelled(self) -> bool:
+        return self.job.cancel_event.is_set()
+
+    @property
+    def service_base_uri(self) -> str:
+        return self._base_uri_fn() if callable(self._base_uri_fn) else str(self._base_uri_fn)
+
+    # -------------------------------------------------------------- input
+
+    def fetch_file(self, reference: dict[str, Any]) -> bytes:
+        """Download the content behind a file reference."""
+        uri = file_uri(reference)
+        try:
+            return RestClient(self.registry).get_bytes(uri)
+        except (ClientError, TransportError) as exc:
+            raise AdapterError(f"cannot fetch input file {uri!r}: {exc}") from exc
+
+    def input_bytes(self, name: str) -> bytes:
+        """An input value as bytes: file refs are fetched, scalars/structures
+        are rendered as JSON (strings as UTF-8 text)."""
+        value = self.inputs[name]
+        if is_file_ref(value):
+            return self.fetch_file(value)
+        if isinstance(value, str):
+            return value.encode("utf-8")
+        return json.dumps(value).encode("utf-8")
+
+    def resolve_input(self, name: str) -> Any:
+        """An input value with file refs fetched and JSON-decoded.
+
+        The fetched content is parsed as JSON when possible, else returned
+        as text.
+        """
+        value = self.inputs[name]
+        if not is_file_ref(value):
+            return value
+        content = self.fetch_file(value)
+        try:
+            return json.loads(content)
+        except (ValueError, UnicodeDecodeError):
+            return content.decode("utf-8", errors="replace")
+
+    def resolved_inputs(self) -> dict[str, Any]:
+        return {name: self.resolve_input(name) for name in self.inputs}
+
+    # ------------------------------------------------------------- output
+
+    def store_file(
+        self,
+        content: bytes,
+        name: str = "",
+        content_type: str = "application/octet-stream",
+    ) -> dict[str, Any]:
+        """Store an output file under this job; returns its reference."""
+        entry = self.files.put(content, job_id=self.job.id, name=name, content_type=content_type)
+        uri = f"{self.service_base_uri}/jobs/{self.job.id}/files/{entry.id}"
+        return make_file_ref(uri, name=name, size=entry.size, content_type=content_type)
+
+
+class Adapter:
+    """Base class of the pluggable request processors.
+
+    Lifecycle: one adapter instance per deployed service. ``configure`` is
+    called once at deploy time with the *internal service configuration*
+    (paper §3.1) and should reject bad configurations eagerly; ``execute``
+    is called per job on a handler thread and returns the output parameter
+    values; ``cancel`` is called when a client deletes a live job.
+    """
+
+    #: The configuration name of this adapter type ("command", "python"...).
+    kind: str = ""
+
+    def configure(self, config: dict[str, Any], resources: ResourceResolver) -> None:
+        """Validate and absorb the internal service configuration."""
+
+    def execute(self, context: JobContext) -> dict[str, Any]:
+        """Process one job; blocking. Returns output parameter values."""
+        raise NotImplementedError
+
+    def cancel(self, context: JobContext) -> None:
+        """Best-effort abort of a running job (the cancel event is already
+        set; override to propagate to external backends)."""

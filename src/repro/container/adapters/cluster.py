@@ -1,0 +1,177 @@
+"""The Cluster adapter: services backed by a TORQUE-like batch system.
+
+"Performs translation of service request into a batch job submitted to
+computing cluster via TORQUE resource manager." (paper §3.1)
+
+Configuration::
+
+    {
+      "cluster": "hpc1",                 # container-registered Cluster
+      "command": "python3 run.py {file:task} result.json",
+      "stage_out": ["result.json"],
+      "outputs": {
+        "result": {"file": "result.json", "json": true},
+        "log":    {"stdout": true}
+      },
+      "resources": {"nodes": 1, "ppn": 2, "walltime": 600}
+    }
+
+Command templating follows the Command adapter's rules, except that
+``{file:param}`` stages the input into the batch job's sandbox (the
+scratch directory on the execution node) instead of a local temp dir.
+"""
+
+from __future__ import annotations
+
+import json
+import shlex
+from typing import Any
+
+from repro.batch import BatchJob, BatchJobState, Cluster, JobResources
+from repro.container.adapters.base import Adapter, JobContext, ResourceResolver
+from repro.core.errors import AdapterError, ConfigurationError
+
+
+class ClusterAdapter(Adapter):
+    kind = "cluster"
+
+    def __init__(self) -> None:
+        self.cluster: Cluster | None = None
+        self.command_template = ""
+        self.stage_out: list[str] = []
+        self.output_specs: dict[str, dict[str, Any]] = {}
+        self.resources = JobResources()
+        self._active: dict[str, str] = {}  # service job id -> batch job id
+
+    def configure(self, config: dict[str, Any], resources: ResourceResolver) -> None:
+        cluster_name = config.get("cluster")
+        if isinstance(cluster_name, Cluster):
+            self.cluster = cluster_name
+        elif isinstance(cluster_name, str) and cluster_name:
+            try:
+                backend = resources.resource(cluster_name)
+            except KeyError as exc:
+                raise ConfigurationError(f"unknown cluster resource {cluster_name!r}") from exc
+            if not isinstance(backend, Cluster):
+                raise ConfigurationError(f"resource {cluster_name!r} is not a Cluster")
+            self.cluster = backend
+        else:
+            raise ConfigurationError("cluster adapter requires a 'cluster'")
+        self.command_template = config.get("command", "")
+        if not self.command_template:
+            raise ConfigurationError("cluster adapter requires a 'command'")
+        self.stage_out = list(config.get("stage_out", []))
+        self.output_specs = dict(config.get("outputs", {}))
+        spec = config.get("resources", {})
+        self.resources = JobResources(
+            nodes=int(spec.get("nodes", 1)),
+            ppn=int(spec.get("ppn", 1)),
+            walltime=float(spec.get("walltime", 3600.0)),
+        )
+
+    def _build_batch_job(self, context: JobContext) -> BatchJob:
+        stage_in: dict[str, bytes] = {}
+        argv: list[str] = []
+        for token in shlex.split(self.command_template):
+            argv.append(self._render(token, context, stage_in))
+        return BatchJob(
+            name=f"{context.description.name}-{context.job.id}",
+            command=argv,
+            stage_in=stage_in,
+            stage_out=list(self.stage_out),
+            resources=self.resources,
+        )
+
+    def _render(self, token: str, context: JobContext, stage_in: dict[str, bytes]) -> str:
+        from repro.container.adapters.command import render_value
+
+        pieces: list[str] = []
+        position = 0
+        while position < len(token):
+            char = token[position]
+            if token.startswith("{{", position):
+                pieces.append("{")
+                position += 2
+            elif token.startswith("}}", position):
+                pieces.append("}")
+                position += 2
+            elif char == "{":
+                end = token.find("}", position)
+                if end < 0:
+                    raise AdapterError(f"unbalanced '{{' in command token {token!r}")
+                placeholder = token[position + 1 : end]
+                if placeholder.startswith("file:"):
+                    name = placeholder[len("file:") :]
+                    if name not in context.inputs:
+                        raise AdapterError(f"command references unknown input {name!r}")
+                    sandbox_name = f"input-{name}"
+                    stage_in[sandbox_name] = context.input_bytes(name)
+                    pieces.append(sandbox_name)
+                elif placeholder in context.inputs:
+                    pieces.append(render_value(context.inputs[placeholder]))
+                else:
+                    raise AdapterError(f"command references unknown input {placeholder!r}")
+                position = end + 1
+            else:
+                pieces.append(char)
+                position += 1
+        return "".join(pieces)
+
+    def execute(self, context: JobContext) -> dict[str, Any]:
+        assert self.cluster is not None, "adapter not configured"
+        batch_job = self._build_batch_job(context)
+        self.cluster.qsub(batch_job)
+        self._active[context.job.id] = batch_job.id
+        try:
+            while not batch_job.wait(timeout=0.02):
+                if context.cancelled:
+                    self.cluster.qdel(batch_job.id)
+                    batch_job.wait(timeout=5)
+                    raise AdapterError("job cancelled")
+        finally:
+            self._active.pop(context.job.id, None)
+        if batch_job.state is BatchJobState.CANCELLED:
+            raise AdapterError("batch job was cancelled")
+        if batch_job.state is not BatchJobState.COMPLETED:
+            raise AdapterError(
+                f"batch job failed ({batch_job.failure_reason}): {batch_job.stderr[-2000:]}"
+            )
+        return self._collect_outputs(batch_job, context)
+
+    def cancel(self, context: JobContext) -> None:
+        batch_id = self._active.get(context.job.id)
+        if batch_id is not None:
+            self.cluster.qdel(batch_id)
+
+    def _collect_outputs(self, batch_job: BatchJob, context: JobContext) -> dict[str, Any]:
+        outputs: dict[str, Any] = {}
+        for name, spec in self.output_specs.items():
+            if spec.get("stdout"):
+                value: Any = batch_job.stdout
+            elif spec.get("stderr"):
+                value = batch_job.stderr
+            elif spec.get("exit_code"):
+                outputs[name] = batch_job.exit_status
+                continue
+            else:
+                file_name = spec.get("file", "")
+                if file_name not in batch_job.output_files:
+                    raise AdapterError(
+                        f"batch job did not produce file {file_name!r} for output {name!r}"
+                    )
+                content = batch_job.output_files[file_name]
+                if spec.get("as_file"):
+                    outputs[name] = context.store_file(
+                        content,
+                        name=file_name,
+                        content_type=spec.get("content_type", "application/octet-stream"),
+                    )
+                    continue
+                value = content.decode("utf-8", errors="replace")
+            if spec.get("json"):
+                try:
+                    value = json.loads(value)
+                except ValueError as exc:
+                    raise AdapterError(f"output {name!r} is not valid JSON: {exc}") from exc
+            outputs[name] = value
+        return outputs

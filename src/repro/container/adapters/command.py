@@ -1,0 +1,224 @@
+"""The Command adapter: services backed by an executable.
+
+"Converts service request to an execution of specified command in a
+separate process. The internal service configuration contains the command
+to execute and information about mappings between service parameters and
+command line arguments or external files." (paper §3.1)
+
+Configuration::
+
+    {
+      "command": "python3 invert.py --n {n} --matrix {file:matrix}",
+      "stdin": "{payload}",              # optional stdin template
+      "outputs": {
+        "inverse": {"file": "result.json", "json": true},
+        "log":     {"stdout": true},
+        "report":  {"file": "report.txt", "as_file": true,
+                     "content_type": "text/plain"}
+      },
+      "timeout": 300,
+      "allow_nonzero_exit": false
+    }
+
+Template placeholders: ``{param}`` substitutes the input value into the
+token (scalars as text, structures as JSON); ``{file:param}`` materializes
+the input — file references are downloaded — as a file in the scratch
+directory and substitutes its path. The command string is tokenized with
+shell rules but executed *without* a shell.
+
+Output mappings: ``{"stdout": true}`` / ``{"stderr": true}`` capture the
+streams, ``{"exit_code": true}`` the status, ``{"file": name}`` reads a
+produced file — parsed as JSON with ``"json": true``, or stored as a file
+resource (returned by reference) with ``"as_file": true``.
+"""
+
+from __future__ import annotations
+
+import json
+import shlex
+import subprocess
+import tempfile
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.container.adapters.base import Adapter, JobContext, ResourceResolver
+from repro.core.errors import AdapterError, ConfigurationError
+
+def render_value(value: Any) -> str:
+    """How an input value appears when substituted into a command."""
+    if isinstance(value, str):
+        return value
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    return json.dumps(value)
+
+
+def render_token(token: str, context: JobContext, scratch: Path, file_counter: list[int]) -> str:
+    """Substitute every ``{param}`` / ``{file:param}`` in one token.
+
+    Literal braces are written ``{{`` and ``}}`` (as in ``str.format``), so
+    commands may contain JSON or shell constructs untouched.
+    """
+    pieces: list[str] = []
+    position = 0
+    while position < len(token):
+        char = token[position]
+        if token.startswith("{{", position):
+            pieces.append("{")
+            position += 2
+        elif token.startswith("}}", position):
+            pieces.append("}")
+            position += 2
+        elif char == "{":
+            end = token.find("}", position)
+            if end < 0:
+                raise AdapterError(f"unbalanced '{{' in command token {token!r}")
+            placeholder = token[position + 1 : end]
+            if placeholder.startswith("file:"):
+                name = placeholder[len("file:") :]
+                if name not in context.inputs:
+                    raise AdapterError(f"command references unknown input {name!r}")
+                file_counter[0] += 1
+                path = scratch / f"input-{file_counter[0]}-{name}"
+                path.write_bytes(context.input_bytes(name))
+                pieces.append(str(path))
+            elif placeholder == "workdir":
+                pieces.append(str(scratch))
+            elif placeholder in context.inputs:
+                pieces.append(render_value(context.inputs[placeholder]))
+            else:
+                raise AdapterError(f"command references unknown input {placeholder!r}")
+            position = end + 1
+        else:
+            pieces.append(char)
+            position += 1
+    return "".join(pieces)
+
+
+class CommandAdapter(Adapter):
+    kind = "command"
+
+    def __init__(self) -> None:
+        self.command_template = ""
+        self.stdin_template: str | None = None
+        self.output_specs: dict[str, dict[str, Any]] = {}
+        self.timeout = 3600.0
+        self.allow_nonzero_exit = False
+
+    def configure(self, config: dict[str, Any], resources: ResourceResolver) -> None:
+        self.command_template = config.get("command", "")
+        if not self.command_template:
+            raise ConfigurationError("command adapter requires a 'command'")
+        try:
+            shlex.split(self.command_template)
+        except ValueError as exc:
+            raise ConfigurationError(f"unparsable command template: {exc}") from exc
+        self.stdin_template = config.get("stdin")
+        self.timeout = float(config.get("timeout", 3600.0))
+        self.allow_nonzero_exit = bool(config.get("allow_nonzero_exit", False))
+        self.output_specs = dict(config.get("outputs", {}))
+        for name, spec in self.output_specs.items():
+            if not isinstance(spec, dict):
+                raise ConfigurationError(f"output mapping {name!r} must be an object")
+            sources = [k for k in ("stdout", "stderr", "exit_code", "file") if k in spec]
+            if len(sources) != 1:
+                raise ConfigurationError(
+                    f"output mapping {name!r} needs exactly one of stdout/stderr/exit_code/file"
+                )
+
+    def execute(self, context: JobContext) -> dict[str, Any]:
+        with tempfile.TemporaryDirectory(prefix="mc-command-") as scratch_name:
+            scratch = Path(scratch_name)
+            counter = [0]
+            argv = [
+                render_token(token, context, scratch, counter)
+                for token in shlex.split(self.command_template)
+            ]
+            stdin_text = None
+            if self.stdin_template is not None:
+                stdin_text = render_token(self.stdin_template, context, scratch, counter)
+            completed = self._run(argv, stdin_text, scratch, context)
+            if completed.returncode != 0 and not self.allow_nonzero_exit:
+                tail = (completed.stderr or "")[-2000:]
+                raise AdapterError(
+                    f"command exited with status {completed.returncode}: {tail}"
+                )
+            return self._collect_outputs(completed, scratch, context)
+
+    def _run(
+        self,
+        argv: list[str],
+        stdin_text: str | None,
+        scratch: Path,
+        context: JobContext,
+    ) -> subprocess.CompletedProcess:
+        process = subprocess.Popen(
+            argv,
+            cwd=scratch,
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        deadline = time.time() + self.timeout
+        try:
+            if stdin_text:
+                process.stdin.write(stdin_text)
+            process.stdin.close()
+        except BrokenPipeError:
+            pass
+        while process.poll() is None:
+            if context.cancelled:
+                process.kill()
+                process.wait()
+                raise AdapterError("job cancelled")
+            if time.time() > deadline:
+                process.kill()
+                process.wait()
+                raise AdapterError(f"command exceeded timeout of {self.timeout}s")
+            time.sleep(0.005)
+        stdout = process.stdout.read()
+        stderr = process.stderr.read()
+        return subprocess.CompletedProcess(argv, process.returncode, stdout, stderr)
+
+    def _collect_outputs(
+        self,
+        completed: subprocess.CompletedProcess,
+        scratch: Path,
+        context: JobContext,
+    ) -> dict[str, Any]:
+        outputs: dict[str, Any] = {}
+        for name, spec in self.output_specs.items():
+            if spec.get("stdout"):
+                value: Any = completed.stdout
+            elif spec.get("stderr"):
+                value = completed.stderr
+            elif spec.get("exit_code"):
+                outputs[name] = completed.returncode
+                continue
+            else:
+                path = scratch / spec["file"]
+                if not path.exists():
+                    raise AdapterError(
+                        f"command did not produce expected file {spec['file']!r} for output {name!r}"
+                    )
+                if spec.get("as_file"):
+                    outputs[name] = context.store_file(
+                        path.read_bytes(),
+                        name=Path(spec["file"]).name,
+                        content_type=spec.get("content_type", "application/octet-stream"),
+                    )
+                    continue
+                value = path.read_text()
+            if spec.get("json"):
+                try:
+                    value = json.loads(value)
+                except ValueError as exc:
+                    raise AdapterError(f"output {name!r} is not valid JSON: {exc}") from exc
+            elif spec.get("strip"):
+                value = value.strip()
+            outputs[name] = value
+        return outputs

@@ -1,0 +1,175 @@
+"""The Grid adapter: services backed by the gLite-like grid.
+
+"Performs translation of service request into a grid job submitted to the
+European Grid Infrastructure ... The internal service configuration
+contains the name of grid virtual organization, the path to the grid job
+description file and information about mappings between service parameters
+and job arguments or files." (paper §3.1)
+
+Configuration::
+
+    {
+      "broker": "egi",                       # container-registered GridBroker
+      "jdl": "[ Executable = ...; Arguments = \"{n} {file:task}\"; ... ]",
+      "owner": "CN=everest-container",        # grid credential used to submit
+      "outputs": {
+        "curve": {"sandbox": "curve.json", "json": true},
+        "log":   {"sandbox": "out.txt"}
+      },
+      "walltime": 600
+    }
+
+The JDL text is a template: ``{param}`` placeholders inside *string
+literals* are substituted with input values, and ``{file:param}`` stages
+the input into the job's input sandbox and substitutes the sandbox file
+name. The rendered JDL must parse (bad templates fail the job with a
+JDL syntax error, exactly as gLite submission would).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.container.adapters.base import Adapter, JobContext, ResourceResolver
+from repro.core.errors import AdapterError, ConfigurationError
+from repro.grid import GridBroker, GridJobState, JdlError
+from repro.grid.broker import GridError
+
+
+class GridAdapter(Adapter):
+    kind = "grid"
+
+    def __init__(self) -> None:
+        self.broker: GridBroker | None = None
+        self.jdl_template = ""
+        self.owner = ""
+        self.output_specs: dict[str, dict[str, Any]] = {}
+        self.walltime = 3600.0
+        self._active: dict[str, str] = {}
+
+    def configure(self, config: dict[str, Any], resources: ResourceResolver) -> None:
+        broker = config.get("broker")
+        if isinstance(broker, GridBroker):
+            self.broker = broker
+        elif isinstance(broker, str) and broker:
+            try:
+                backend = resources.resource(broker)
+            except KeyError as exc:
+                raise ConfigurationError(f"unknown broker resource {broker!r}") from exc
+            if not isinstance(backend, GridBroker):
+                raise ConfigurationError(f"resource {broker!r} is not a GridBroker")
+            self.broker = backend
+        else:
+            raise ConfigurationError("grid adapter requires a 'broker'")
+        self.jdl_template = config.get("jdl", "")
+        if not self.jdl_template:
+            raise ConfigurationError("grid adapter requires a 'jdl' template")
+        self.owner = config.get("owner", "")
+        if not self.owner:
+            raise ConfigurationError("grid adapter requires an 'owner' credential")
+        self.output_specs = dict(config.get("outputs", {}))
+        self.walltime = float(config.get("walltime", 3600.0))
+
+    def _render(self, context: JobContext) -> tuple[str, dict[str, bytes]]:
+        sandbox: dict[str, bytes] = {}
+        text = self.jdl_template
+        rendered: list[str] = []
+        position = 0
+        while True:
+            start = text.find("{", position)
+            if start < 0:
+                rendered.append(text[position:])
+                break
+            # JDL's own list braces contain quotes/attribute text, not
+            # identifiers; treat {name} / {file:name} as placeholders only.
+            end = text.find("}", start)
+            if end < 0:
+                rendered.append(text[position:])
+                break
+            inner = text[start + 1 : end].strip()
+            if inner.startswith("file:"):
+                name = inner[len("file:") :]
+                if name not in context.inputs:
+                    raise AdapterError(f"JDL references unknown input {name!r}")
+                sandbox_name = f"input-{name}"
+                sandbox[sandbox_name] = context.input_bytes(name)
+                rendered.append(text[position:start] + sandbox_name)
+                position = end + 1
+            elif inner.isidentifier() and inner in context.inputs:
+                value = context.inputs[inner]
+                if isinstance(value, str):
+                    replacement = value
+                elif isinstance(value, bool):
+                    replacement = "true" if value else "false"
+                elif isinstance(value, (int, float)):
+                    replacement = repr(value)
+                else:
+                    replacement = json.dumps(value).replace("\\", "\\\\").replace('"', '\\"')
+                rendered.append(text[position:start] + replacement)
+                position = end + 1
+            else:
+                rendered.append(text[position : end + 1])
+                position = end + 1
+        jdl = "".join(rendered)
+        if sandbox:
+            declared = ", ".join(f'"{name}"' for name in sandbox)
+            if "InputSandbox" not in jdl:
+                jdl = jdl.rstrip().rstrip("]") + f"  InputSandbox = {{{declared}}};\n]"
+        return jdl, sandbox
+
+    def execute(self, context: JobContext) -> dict[str, Any]:
+        assert self.broker is not None, "adapter not configured"
+        jdl, sandbox = self._render(context)
+        try:
+            grid_job = self.broker.submit(
+                jdl, owner=self.owner, input_sandbox=sandbox, walltime=self.walltime
+            )
+        except (GridError, JdlError) as exc:
+            raise AdapterError(f"grid submission failed: {exc}") from exc
+        self._active[context.job.id] = grid_job.id
+        try:
+            while not grid_job.batch_job.wait(timeout=0.02):
+                if context.cancelled:
+                    self.broker.cancel(grid_job.id)
+                    grid_job.batch_job.wait(timeout=5)
+                    raise AdapterError("job cancelled")
+        finally:
+            self._active.pop(context.job.id, None)
+        if grid_job.state is GridJobState.CANCELLED:
+            raise AdapterError("grid job was cancelled")
+        if grid_job.state is not GridJobState.DONE:
+            raise AdapterError(f"grid job aborted: {grid_job.failure_reason}")
+        return self._collect_outputs(grid_job.output_sandbox(), context)
+
+    def cancel(self, context: JobContext) -> None:
+        grid_id = self._active.get(context.job.id)
+        if grid_id is not None:
+            try:
+                self.broker.cancel(grid_id)
+            except GridError:
+                pass
+
+    def _collect_outputs(self, sandbox: dict[str, bytes], context: JobContext) -> dict[str, Any]:
+        outputs: dict[str, Any] = {}
+        for name, spec in self.output_specs.items():
+            file_name = spec.get("sandbox", "")
+            if file_name not in sandbox:
+                raise AdapterError(
+                    f"grid job did not return sandbox file {file_name!r} for output {name!r}"
+                )
+            content = sandbox[file_name]
+            if spec.get("as_file"):
+                outputs[name] = context.store_file(
+                    content,
+                    name=file_name,
+                    content_type=spec.get("content_type", "application/octet-stream"),
+                )
+            elif spec.get("json"):
+                try:
+                    outputs[name] = json.loads(content)
+                except ValueError as exc:
+                    raise AdapterError(f"output {name!r} is not valid JSON: {exc}") from exc
+            else:
+                outputs[name] = content.decode("utf-8", errors="replace")
+        return outputs

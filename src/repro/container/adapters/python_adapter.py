@@ -1,0 +1,90 @@
+"""The Python adapter: services backed by an in-process callable.
+
+The paper's Java adapter "performs invocation of a specified Java class
+inside the current Java virtual machine"; transposed to Python, the
+adapter calls a function in the current interpreter.
+
+Configuration (one of)::
+
+    {"callable": "package.module:function"}   # imported at deploy time
+    {"callable": "registered-name"}           # container-registered callable
+    {"callable": <callable object>}           # programmatic deployment
+
+The callable receives the job's *resolved* inputs as keyword arguments
+(file references already fetched and decoded) and returns a dict of output
+values. A callable that declares a leading ``context`` parameter receives
+the :class:`~repro.container.adapters.base.JobContext` as well — that is
+how a service stores output files or honours cancellation.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+from typing import Any, Callable
+
+from repro.container.adapters.base import Adapter, JobContext, ResourceResolver
+from repro.core.errors import AdapterError, ConfigurationError
+
+
+def resolve_callable(spec: Any, resources: ResourceResolver) -> Callable[..., Any]:
+    """Turn a configuration value into a callable (see module docstring)."""
+    if callable(spec):
+        return spec
+    if not isinstance(spec, str) or not spec:
+        raise ConfigurationError("python adapter requires a 'callable'")
+    if ":" in spec:
+        module_name, _, attribute = spec.partition(":")
+        try:
+            module = importlib.import_module(module_name)
+        except ImportError as exc:
+            raise ConfigurationError(f"cannot import module {module_name!r}: {exc}") from exc
+        target = getattr(module, attribute, None)
+        if not callable(target):
+            raise ConfigurationError(f"{spec!r} does not name a callable")
+        return target
+    try:
+        target = resources.resource(spec)
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"{spec!r} is neither 'module:function' nor a registered callable"
+        ) from exc
+    if not callable(target):
+        raise ConfigurationError(f"registered resource {spec!r} is not callable")
+    return target
+
+
+class PythonAdapter(Adapter):
+    kind = "python"
+
+    def __init__(self) -> None:
+        self._callable: Callable[..., Any] | None = None
+        self._wants_context = False
+
+    def configure(self, config: dict[str, Any], resources: ResourceResolver) -> None:
+        self._callable = resolve_callable(config.get("callable"), resources)
+        try:
+            parameters = list(inspect.signature(self._callable).parameters)
+        except (TypeError, ValueError):
+            parameters = []
+        self._wants_context = bool(parameters) and parameters[0] == "context"
+
+    def execute(self, context: JobContext) -> dict[str, Any]:
+        assert self._callable is not None, "adapter not configured"
+        inputs = context.resolved_inputs()
+        try:
+            if self._wants_context:
+                result = self._callable(context, **inputs)
+            else:
+                result = self._callable(**inputs)
+        except AdapterError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - service code is arbitrary
+            raise AdapterError(f"service callable raised {type(exc).__name__}: {exc}") from exc
+        if result is None:
+            return {}
+        if not isinstance(result, dict):
+            raise AdapterError(
+                f"service callable must return a dict of outputs, got {type(result).__name__}"
+            )
+        return result

@@ -1,0 +1,105 @@
+"""Service configuration: the deployment unit of the container.
+
+"The configuration of each service consists of two parts: public service
+description which is provided to service clients; internal service
+configuration which is used during request processing." (paper §3.1)
+
+A configuration is a JSON document (or equivalent dict)::
+
+    {
+      "description": { ... ServiceDescription JSON ... },
+      "adapter": "command",
+      "config": { ... adapter-specific internal configuration ... },
+      "mode": "async",                 # or "sync"
+      "security": {                     # optional access policy
+        "allow": ["CN=alice"],
+        "deny": [],
+        "proxies": ["CN=wms"],
+        "anonymous": false
+      }
+    }
+
+This is what makes publishing an existing application configuration-only:
+for command/cluster/grid services no code is written at all.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.core.description import ServiceDescription
+from repro.core.errors import ConfigurationError
+from repro.security.authz import AccessPolicy
+
+_MODES = ("async", "sync")
+
+
+def policy_from_config(spec: dict[str, Any] | None) -> AccessPolicy | None:
+    """Build an :class:`AccessPolicy` from the ``security`` block."""
+    if spec is None:
+        return None
+    if not isinstance(spec, dict):
+        raise ConfigurationError("'security' must be an object")
+    unknown = set(spec) - {"allow", "deny", "proxies", "anonymous"}
+    if unknown:
+        raise ConfigurationError(f"unknown security keys: {sorted(unknown)}")
+    allow = spec.get("allow")
+    return AccessPolicy(
+        allow=set(allow) if allow is not None else None,
+        deny=set(spec.get("deny", [])),
+        proxies=set(spec.get("proxies", [])),
+        allow_anonymous=bool(spec.get("anonymous", False)),
+    )
+
+
+@dataclass
+class ServiceConfig:
+    """A validated service configuration ready for deployment."""
+
+    description: ServiceDescription
+    adapter: str
+    config: dict[str, Any] = field(default_factory=dict)
+    mode: str = "async"
+    policy: AccessPolicy | None = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in _MODES:
+            raise ConfigurationError(f"mode must be one of {_MODES}, got {self.mode!r}")
+        if not self.adapter:
+            raise ConfigurationError("a service configuration needs an 'adapter'")
+
+    @property
+    def name(self) -> str:
+        return self.description.name
+
+    @classmethod
+    def from_dict(cls, document: dict[str, Any]) -> "ServiceConfig":
+        if not isinstance(document, dict):
+            raise ConfigurationError("service configuration must be an object")
+        unknown = set(document) - {"description", "adapter", "config", "mode", "security"}
+        if unknown:
+            raise ConfigurationError(f"unknown configuration keys: {sorted(unknown)}")
+        if "description" not in document:
+            raise ConfigurationError("service configuration needs a 'description'")
+        return cls(
+            description=ServiceDescription.from_json(document["description"]),
+            adapter=document.get("adapter", ""),
+            config=dict(document.get("config", {})),
+            mode=document.get("mode", "async"),
+            policy=policy_from_config(document.get("security")),
+        )
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "ServiceConfig":
+        """Load a configuration from a JSON file (the paper's deploy unit)."""
+        path = Path(path)
+        try:
+            document = json.loads(path.read_text())
+        except OSError as exc:
+            raise ConfigurationError(f"cannot read {path}: {exc}") from exc
+        except ValueError as exc:
+            raise ConfigurationError(f"{path} is not valid JSON: {exc}") from exc
+        return cls.from_dict(document)

@@ -1,0 +1,235 @@
+"""The service container: deployment, publication and serving.
+
+A :class:`ServiceContainer` owns one REST application, one job manager and
+any number of deployed services. It can publish itself two ways at once:
+
+- in process — the container binds itself into a
+  :class:`~repro.http.registry.TransportRegistry` under
+  ``local://<name>`` at construction, so its services are immediately
+  reachable by other components sharing the registry;
+- over TCP — :meth:`serve` starts a :class:`~repro.http.server.RestServer`
+  and switches advertised service URIs to the public ``http://`` address.
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.container.adapters import create_adapter
+from repro.container.config import ServiceConfig
+from repro.container.jobmanager import JobManager
+from repro.container.service import DeployedService
+from repro.container.webui import render_index_page, render_service_page
+from repro.core.api import mount_service, unmount_service
+from repro.core.errors import ConfigurationError
+from repro.http.app import RestApp
+from repro.http.messages import HttpError, Request, Response
+from repro.http.registry import TransportRegistry
+from repro.http.server import RestServer
+from repro.security.authz import AccessPolicy
+from repro.security.identity import IdentityBroker
+from repro.security.middleware import SecurityMiddleware
+from repro.security.pki import CertificateAuthority
+
+
+class ServiceContainer:
+    """Everest: builds, deploys and publishes computational web services."""
+
+    def __init__(
+        self,
+        name: str = "everest",
+        handlers: int = 4,
+        registry: TransportRegistry | None = None,
+    ):
+        self.name = name
+        self.registry = registry or TransportRegistry()
+        self.app = RestApp(name)
+        self.job_manager = JobManager(handlers=handlers, name=name)
+        self._services: dict[str, DeployedService] = {}
+        self._resources: dict[str, Any] = {}
+        self._policies: dict[str, AccessPolicy] = {}
+        self._lock = threading.Lock()
+        self._server: RestServer | None = None
+        self.local_base = self.registry.bind_local(name, self.app)
+        self._security: SecurityMiddleware | None = None
+        self.app.route("GET", "/", self._index)
+        self.app.route("GET", "/services", self._index)
+        self.app.route("GET", "/ui", self._index_ui)
+
+    # ----------------------------------------------------------- publishing
+
+    @property
+    def base_uri(self) -> str:
+        """The advertised URI prefix (http when served, local otherwise)."""
+        if self._server is not None:
+            return self._server.base_url
+        return self.local_base
+
+    def service_uri(self, name: str) -> str:
+        return f"{self.base_uri}/services/{name}"
+
+    def serve(self, host: str = "127.0.0.1", port: int = 0) -> RestServer:
+        """Expose the container over TCP; returns the running server."""
+        if self._server is not None:
+            raise RuntimeError("container is already serving")
+        self._server = RestServer(self.app, host=host, port=port).start()
+        return self._server
+
+    def shutdown(self) -> None:
+        """Stop serving and the handler pool (deployed services stay queryable
+        in process until the interpreter exits)."""
+        if self._server is not None:
+            self._server.stop()
+            self._server = None
+        self.job_manager.shutdown()
+        self.registry.unbind_local(self.name)
+
+    # ------------------------------------------------------------- security
+
+    def enable_security(
+        self,
+        ca: CertificateAuthority,
+        identity_broker: IdentityBroker | None = None,
+    ) -> None:
+        """Protect every service with the common security mechanism.
+
+        Per-service policies come from each configuration's ``security``
+        block; services without one remain open.
+        """
+        if self._security is not None:
+            raise RuntimeError("security is already enabled")
+        self._security = SecurityMiddleware(
+            ca, identity_broker=identity_broker, policy_resolver=self._policy_for
+        )
+        self.app.add_middleware(self._security)
+
+    def set_policy(self, service_name: str, policy: AccessPolicy | None) -> None:
+        """Set or clear a deployed service's access policy at runtime
+        (the administrator's allow/deny/proxy lists, paper §3.4)."""
+        with self._lock:
+            if service_name not in self._services:
+                raise ConfigurationError(f"no service {service_name!r} deployed")
+            if policy is None:
+                self._policies.pop(service_name, None)
+            else:
+                self._policies[service_name] = policy
+
+    def _policy_for(self, path: str) -> AccessPolicy | None:
+        if not path.startswith("/services/"):
+            return None
+        service_name = path[len("/services/") :].split("/", 1)[0]
+        return self._policies.get(service_name)
+
+    # ------------------------------------------------------------ resources
+
+    def register_resource(self, name: str, resource: Any) -> None:
+        """Attach a named backend (a Cluster, a GridBroker, a callable) that
+        service configurations may reference."""
+        with self._lock:
+            if name in self._resources:
+                raise ConfigurationError(f"resource {name!r} already registered")
+            self._resources[name] = resource
+
+    def resource(self, name: str) -> Any:
+        with self._lock:
+            if name not in self._resources:
+                raise KeyError(name)
+            return self._resources[name]
+
+    # ----------------------------------------------------------- deployment
+
+    def deploy(self, config: ServiceConfig | dict[str, Any]) -> DeployedService:
+        """Deploy a service from its configuration and publish it."""
+        if isinstance(config, dict):
+            config = ServiceConfig.from_dict(config)
+        with self._lock:
+            if config.name in self._services:
+                raise ConfigurationError(f"service {config.name!r} is already deployed")
+        adapter = create_adapter(config.adapter)
+        adapter.configure(config.config, self)
+        service = DeployedService(
+            config=config,
+            adapter=adapter,
+            job_manager=self.job_manager,
+            registry=self.registry,
+            base_uri_fn=lambda name=config.name: self.service_uri(name),
+            resources=self,
+        )
+        base_path = f"/services/{config.name}"
+        mount_service(
+            self.app,
+            base_path,
+            service,
+            base_uri=lambda name=config.name: self.service_uri(name),
+        )
+        self.app.route("GET", f"{base_path}/ui", self._make_ui_handler(service))
+        with self._lock:
+            self._services[config.name] = service
+            if config.policy is not None:
+                self._policies[config.name] = config.policy
+        return service
+
+    def deploy_directory(self, path: "str | Path") -> list[DeployedService]:
+        """Deploy every ``*.json`` service configuration in a directory.
+
+        The paper's container reads its deployment set "at startup from
+        configuration files"; this is that startup step, usable any time.
+        Files are processed in name order; the first bad file aborts the
+        call (already-deployed services from the same call stay deployed,
+        and the error names the offending file).
+        """
+        directory = Path(path)
+        if not directory.is_dir():
+            raise ConfigurationError(f"{directory} is not a directory")
+        deployed: list[DeployedService] = []
+        for config_path in sorted(directory.glob("*.json")):
+            try:
+                deployed.append(self.deploy(ServiceConfig.from_file(config_path)))
+            except ConfigurationError as exc:
+                raise ConfigurationError(f"{config_path.name}: {exc}") from exc
+        return deployed
+
+    def undeploy(self, name: str) -> None:
+        with self._lock:
+            service = self._services.pop(name, None)
+            self._policies.pop(name, None)
+        if service is None:
+            raise ConfigurationError(f"no service {name!r} deployed")
+        unmount_service(self.app, f"/services/{name}")
+
+    def service(self, name: str) -> DeployedService:
+        with self._lock:
+            if name not in self._services:
+                raise KeyError(name)
+            return self._services[name]
+
+    @property
+    def services(self) -> list[DeployedService]:
+        with self._lock:
+            return list(self._services.values())
+
+    # ------------------------------------------------------------- handlers
+
+    def _index(self, request: Request) -> Response:
+        entries = [
+            {
+                "name": service.name,
+                "title": service.description.title,
+                "uri": self.service_uri(service.name),
+            }
+            for service in self.services
+        ]
+        return Response.json({"container": self.name, "services": entries})
+
+    def _index_ui(self, request: Request) -> Response:
+        descriptions = [service.description for service in self.services]
+        return Response.html(render_index_page(self.name, descriptions))
+
+    def _make_ui_handler(self, service: DeployedService) -> Callable[[Request], Response]:
+        def handler(request: Request) -> Response:
+            page = render_service_page(service.description, self.service_uri(service.name))
+            return Response.html(page)
+
+        return handler

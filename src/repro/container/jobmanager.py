@@ -1,0 +1,101 @@
+"""The Job Manager: queue plus a configurable pool of handler threads.
+
+"The requests are converted into asynchronous jobs and placed in a queue
+served by a configurable pool of handler threads. During job processing,
+handler thread invokes adapter specified in the service configuration."
+(paper §3.1)
+
+The pool is shared by every service deployed in the container, so the pool
+size bounds the container's processing concurrency (benchmark F1 sweeps
+it).
+"""
+
+from __future__ import annotations
+
+import logging
+import queue
+import threading
+import traceback
+from typing import Any, Callable
+
+from repro.core.errors import AdapterError, ServiceError
+from repro.core.jobs import Job, JobState
+
+logger = logging.getLogger(__name__)
+
+#: A unit of work: the job and the thunk that runs its adapter.
+_Task = tuple[Job, Callable[[], dict[str, Any]]]
+
+
+class JobManager:
+    """Runs adapter executions for queued jobs on a fixed thread pool."""
+
+    def __init__(self, handlers: int = 4, name: str = "everest"):
+        if handlers < 1:
+            raise ValueError("the handler pool needs at least one thread")
+        self.handlers = handlers
+        self._queue: "queue.Queue[_Task | None]" = queue.Queue()
+        self._threads = [
+            threading.Thread(
+                target=self._worker, name=f"{name}-handler-{index}", daemon=True
+            )
+            for index in range(handlers)
+        ]
+        for thread in self._threads:
+            thread.start()
+        self._stopped = False
+
+    def enqueue(self, job: Job, execute: Callable[[], dict[str, Any]]) -> None:
+        """Queue one job; ``execute`` is the adapter invocation thunk."""
+        if self._stopped:
+            raise ServiceError("container is shut down")
+        self._queue.put((job, execute))
+
+    def run_job(self, job: Job, execute: Callable[[], dict[str, Any]]) -> None:
+        """Process a job in the calling thread (sync-mode services)."""
+        self._process(job, execute)
+
+    @property
+    def queued(self) -> int:
+        return self._queue.qsize()
+
+    def shutdown(self, wait: bool = True) -> None:
+        self._stopped = True
+        for _ in self._threads:
+            self._queue.put(None)
+        if wait:
+            for thread in self._threads:
+                thread.join(timeout=5)
+
+    # ----------------------------------------------------------- internals
+
+    def _worker(self) -> None:
+        while True:
+            task = self._queue.get()
+            if task is None:
+                return
+            job, execute = task
+            self._process(job, execute)
+
+    @staticmethod
+    def _process(job: Job, execute: Callable[[], dict[str, Any]]) -> None:
+        if job.state.terminal:  # cancelled while queued
+            return
+        try:
+            job.mark_running()
+        except ServiceError:
+            return  # lost the race against a cancel
+        try:
+            outputs = execute()
+        except AdapterError as error:
+            job.try_finish(lambda: (JobState.FAILED, error.message))
+            return
+        except Exception as error:  # noqa: BLE001 - adapters may misbehave
+            logger.error(
+                "adapter crashed for job %s\n%s", job.id, traceback.format_exc()
+            )
+            job.try_finish(
+                lambda: (JobState.FAILED, f"internal adapter error: {error}")
+            )
+            return
+        job.try_finish(lambda: (JobState.DONE, outputs))

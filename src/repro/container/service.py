@@ -1,0 +1,139 @@
+"""A deployed service: the backend the unified REST API is mounted on.
+
+Connects the pieces: the public description validates requests, the job
+manager schedules them, the adapter processes them, the file store holds
+their file resources. Output values are checked against the declared
+output parameters before a job is marked DONE — a service that breaks its
+own contract fails loudly instead of shipping malformed results.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.container.adapters.base import Adapter, JobContext
+from repro.container.config import ServiceConfig
+from repro.container.jobmanager import JobManager
+from repro.core.description import ServiceDescription
+from repro.core.errors import AdapterError
+from repro.core.filerefs import is_file_ref
+from repro.core.files import FileEntry, FileStore
+from repro.core.jobs import Job, JobStore
+from repro.http.messages import Request
+from repro.http.registry import TransportRegistry
+from repro.jsonschema import ValidationError, validate
+
+
+class DeployedService:
+    """One service living in a container (implements ``ServiceBackend``)."""
+
+    def __init__(
+        self,
+        config: ServiceConfig,
+        adapter: Adapter,
+        job_manager: JobManager,
+        registry: TransportRegistry,
+        base_uri_fn: Callable[[], str],
+        resources: Any,
+    ):
+        self.config = config
+        self.adapter = adapter
+        self.job_manager = job_manager
+        self.registry = registry
+        self.base_uri_fn = base_uri_fn
+        self.resources = resources
+        self.jobs = JobStore()
+        self.files = FileStore()
+
+    @property
+    def description(self) -> ServiceDescription:
+        return self.config.description
+
+    @property
+    def name(self) -> str:
+        return self.config.name
+
+    # ------------------------------------------------------ ServiceBackend
+
+    def describe(self) -> dict[str, Any]:
+        return self.description.to_json()
+
+    def submit(self, inputs: dict[str, Any], request: Request) -> Job:
+        values = self.description.validate_inputs(inputs)
+        job = Job(service=self.name, inputs=values)
+        access = request.context.get("access")
+        if access is not None:
+            job.extra["owner"] = access.effective_id
+        self.jobs.add(job)
+        context = JobContext(
+            job=job,
+            description=self.description,
+            files=self.files,
+            registry=self.registry,
+            base_uri_fn=self.base_uri_fn,
+            resources=self.resources,
+        )
+        thunk = lambda: self._execute_checked(context)  # noqa: E731
+        if self.config.mode == "sync":
+            self.job_manager.run_job(job, thunk)
+        else:
+            self.job_manager.enqueue(job, thunk)
+        return job
+
+    def get_job(self, job_id: str) -> Job:
+        return self.jobs.get(job_id)
+
+    def delete_job(self, job_id: str) -> None:
+        """Cancel a live job or destroy a finished one (paper §2)."""
+        job = self.jobs.get(job_id)
+        if not job.state.terminal:
+            job.mark_cancelled()
+            context = JobContext(
+                job=job,
+                description=self.description,
+                files=self.files,
+                registry=self.registry,
+                base_uri_fn=self.base_uri_fn,
+                resources=self.resources,
+            )
+            self.adapter.cancel(context)
+        self.jobs.remove(job_id)
+        self.files.delete_job_files(job_id)
+
+    def get_file(self, job_id: str, file_id: str) -> FileEntry:
+        self.jobs.get(job_id)  # 404 for unknown jobs
+        return self.files.get(file_id, job_id=job_id)
+
+    # ----------------------------------------------------------- internals
+
+    def _execute_checked(self, context: JobContext) -> dict[str, Any]:
+        outputs = self.adapter.execute(context)
+        self._check_outputs(outputs)
+        return outputs
+
+    def _check_outputs(self, outputs: dict[str, Any]) -> None:
+        if not isinstance(outputs, dict):
+            raise AdapterError(
+                f"adapter returned {type(outputs).__name__}, expected a dict of outputs"
+            )
+        problems: list[str] = []
+        declared = {parameter.name: parameter for parameter in self.description.outputs}
+        for name in outputs:
+            if name not in declared:
+                problems.append(f"undeclared output parameter {name!r}")
+        for name, parameter in declared.items():
+            if name not in outputs:
+                if parameter.required:
+                    problems.append(f"missing declared output parameter {name!r}")
+                continue
+            value = outputs[name]
+            if is_file_ref(value):
+                continue
+            try:
+                validate(value, parameter.schema)
+            except ValidationError as exc:
+                problems.append(f"output {name!r}: {exc}")
+        if problems:
+            raise AdapterError(
+                f"service {self.name!r} violated its output contract: " + "; ".join(problems)
+            )

@@ -1,0 +1,114 @@
+"""Auto-generated web interface for deployed services.
+
+"In addition to this, container automatically generates a complementary
+web interface allowing users to access the service via a web browser."
+(paper §3.1)
+
+The page is a self-contained HTML document: a form generated from the
+service description, and a small JavaScript snippet that submits the form
+as JSON through the unified REST API and polls the job resource — the
+Ajax-native integration the paper argues REST+JSON buys over big Web
+services.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+
+from repro.core.description import Parameter, ServiceDescription
+
+_PAGE = """<!DOCTYPE html>
+<html>
+<head>
+<meta charset="utf-8">
+<title>{title}</title>
+<style>
+ body {{ font-family: sans-serif; margin: 2em; max-width: 50em; }}
+ label {{ display: block; margin-top: 1em; font-weight: bold; }}
+ .hint {{ color: #666; font-size: 0.85em; }}
+ textarea, input {{ width: 100%; box-sizing: border-box; font-family: monospace; }}
+ #state {{ font-weight: bold; }}
+ pre {{ background: #f4f4f4; padding: 1em; overflow-x: auto; }}
+</style>
+</head>
+<body>
+<h1>{title}</h1>
+<p>{description}</p>
+<form id="job-form">
+{fields}
+<p><button type="submit">Submit</button></p>
+</form>
+<p>Job state: <span id="state">—</span></p>
+<pre id="result"></pre>
+<script>
+const SERVICE_URI = {service_uri_json};
+const SCHEMAS = {schemas_json};
+document.getElementById('job-form').addEventListener('submit', async (event) => {{
+  event.preventDefault();
+  const inputs = {{}};
+  for (const [name, schema] of Object.entries(SCHEMAS)) {{
+    const field = document.getElementById('param-' + name);
+    if (!field || field.value === '') continue;
+    try {{ inputs[name] = JSON.parse(field.value); }}
+    catch (e) {{ inputs[name] = field.value; }}
+  }}
+  const created = await fetch(SERVICE_URI, {{
+    method: 'POST',
+    headers: {{'Content-Type': 'application/json'}},
+    body: JSON.stringify(inputs),
+  }}).then(r => r.json());
+  const poll = async () => {{
+    const job = await fetch(created.uri).then(r => r.json());
+    document.getElementById('state').textContent = job.state;
+    if (job.state === 'DONE' || job.state === 'FAILED' || job.state === 'CANCELLED') {{
+      document.getElementById('result').textContent = JSON.stringify(job, null, 2);
+    }} else {{
+      setTimeout(poll, 500);
+    }}
+  }};
+  poll();
+}});
+</script>
+</body>
+</html>
+"""
+
+
+def _field(parameter: Parameter) -> str:
+    schema_text = html.escape(json.dumps(parameter.schema))
+    title = html.escape(parameter.title or parameter.name)
+    required = "" if parameter.required else " (optional)"
+    default = "" if parameter.default is None else html.escape(json.dumps(parameter.default))
+    return (
+        f'<label for="param-{parameter.name}">{title}{required}</label>\n'
+        f'<span class="hint">schema: {schema_text}</span>\n'
+        f'<textarea id="param-{parameter.name}" rows="2">{default}</textarea>'
+    )
+
+
+def render_service_page(description: ServiceDescription, service_uri: str) -> str:
+    """The HTML page served at ``GET <service>/ui``."""
+    fields = "\n".join(_field(parameter) for parameter in description.inputs)
+    return _PAGE.format(
+        title=html.escape(description.title or description.name),
+        description=html.escape(description.description),
+        fields=fields,
+        service_uri_json=json.dumps(service_uri),
+        schemas_json=json.dumps({p.name: p.schema for p in description.inputs}),
+    )
+
+
+def render_index_page(container_name: str, services: list[ServiceDescription]) -> str:
+    """The HTML index listing every deployed service."""
+    rows = "\n".join(
+        f'<li><a href="/services/{d.name}/ui">{html.escape(d.title or d.name)}</a>'
+        f' — {html.escape(d.description or "")}</li>'
+        for d in sorted(services, key=lambda d: d.name)
+    )
+    return (
+        "<!DOCTYPE html>\n<html><head><meta charset='utf-8'>"
+        f"<title>{html.escape(container_name)}</title></head>\n"
+        f"<body><h1>Services deployed in {html.escape(container_name)}</h1>\n"
+        f"<ul>\n{rows}\n</ul></body></html>"
+    )

@@ -1,0 +1,42 @@
+"""The unified REST API of a computational web service (paper §2, Table 1).
+
+This is MathCloud's primary contribution: one fixed remote interface that
+every computational service implements, regardless of what runs behind it.
+
+- :mod:`repro.core.description` — service descriptions: named input/output
+  parameters, each described by JSON Schema (introspection support).
+- :mod:`repro.core.jobs` — asynchronous jobs with the paper's state machine
+  (``WAITING``/``RUNNING``/``DONE`` plus failure states) and a thread-safe
+  store.
+- :mod:`repro.core.files` — file resources subordinate to jobs; large
+  parameter values travel by reference (:mod:`repro.core.filerefs`).
+- :mod:`repro.core.api` — mounts the Table 1 resource/method matrix onto a
+  :class:`~repro.http.app.RestApp` for any object implementing the
+  :class:`~repro.core.api.ServiceBackend` protocol.
+"""
+
+from repro.core.api import ServiceBackend, mount_service
+from repro.core.description import Parameter, ServiceDescription
+from repro.core.errors import BadInputError, JobNotFoundError, ServiceError
+from repro.core.filerefs import FILE_SCHEMA, file_uri, is_file_ref, make_file_ref
+from repro.core.files import FileEntry, FileStore
+from repro.core.jobs import Job, JobState, JobStore
+
+__all__ = [
+    "BadInputError",
+    "FILE_SCHEMA",
+    "FileEntry",
+    "FileStore",
+    "Job",
+    "JobNotFoundError",
+    "JobState",
+    "JobStore",
+    "Parameter",
+    "ServiceBackend",
+    "ServiceDescription",
+    "ServiceError",
+    "file_uri",
+    "is_file_ref",
+    "make_file_ref",
+    "mount_service",
+]

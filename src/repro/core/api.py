@@ -1,0 +1,133 @@
+"""Mounting the Table 1 resource/method matrix onto a REST application.
+
+=========  =======================  ===========================  =====================
+Resource   GET                      POST                         DELETE
+=========  =======================  ===========================  =====================
+Service    service description      submit request (create job)  —
+Job        job status and results   —                            cancel job / delete data
+File       file data (ranged)       —                            —
+=========  =======================  ===========================  =====================
+
+Any object implementing :class:`ServiceBackend` — the container's deployed
+services, the workflow management service's composite services — gets the
+exact same wire interface from :func:`mount_service`. That uniformity is
+what makes MathCloud services interoperable and composable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Protocol
+
+from repro.core.errors import ServiceError
+from repro.core.files import FileEntry
+from repro.core.jobs import Job
+from repro.http.app import RestApp
+from repro.http.messages import HttpError, Request, Response
+
+
+class ServiceBackend(Protocol):
+    """What a computational service must provide to be mounted."""
+
+    def describe(self) -> dict[str, Any]:
+        """The JSON service description (``GET`` on the service resource)."""
+        ...
+
+    def submit(self, inputs: dict[str, Any], request: Request) -> Job:
+        """Create a job for ``inputs``; may complete it synchronously."""
+        ...
+
+    def get_job(self, job_id: str) -> Job: ...
+
+    def delete_job(self, job_id: str) -> None:
+        """Cancel a live job, or delete a finished job and its files."""
+        ...
+
+    def get_file(self, job_id: str, file_id: str) -> FileEntry: ...
+
+
+def job_uri(base_uri: str, job_id: str) -> str:
+    return f"{base_uri}/jobs/{job_id}"
+
+
+def file_uri_for(base_uri: str, job_id: str, file_id: str) -> str:
+    return f"{job_uri(base_uri, job_id)}/files/{file_id}"
+
+
+def _to_http_error(error: ServiceError) -> HttpError:
+    return HttpError(error.http_status, error.message, details=error.details)
+
+
+def mount_service(
+    app: RestApp,
+    base_path: str,
+    backend: ServiceBackend,
+    base_uri: "str | Callable[[], str]" = "",
+) -> None:
+    """Wire the unified REST API for ``backend`` under ``base_path``.
+
+    ``base_uri`` is the absolute URI prefix advertised in representations
+    (job/file links); it defaults to the relative ``base_path``. A callable
+    may be passed when the public address is not fixed yet (a container's
+    advertised URI switches from ``local://`` to ``http://`` once served).
+    """
+
+    def _advertised() -> str:
+        current = base_uri() if callable(base_uri) else base_uri
+        return (current or base_path).rstrip("/")
+
+    def describe(request: Request) -> Response:
+        document = dict(backend.describe())
+        document["uri"] = _advertised()
+        return Response.json(document)
+
+    def submit(request: Request) -> Response:
+        inputs = request.json if request.body else {}
+        try:
+            job = backend.submit(inputs, request)
+        except ServiceError as error:
+            raise _to_http_error(error) from error
+        location = job_uri(_advertised(), job.id)
+        return Response.created(location, job.representation(uri=location))
+
+    def get_job(request: Request, job_id: str) -> Response:
+        try:
+            job = backend.get_job(job_id)
+        except ServiceError as error:
+            raise _to_http_error(error) from error
+        return Response.json(job.representation(uri=job_uri(_advertised(), job_id)))
+
+    def delete_job(request: Request, job_id: str) -> Response:
+        try:
+            backend.delete_job(job_id)
+        except ServiceError as error:
+            raise _to_http_error(error) from error
+        return Response.no_content()
+
+    def get_file(request: Request, job_id: str, file_id: str) -> Response:
+        try:
+            entry = backend.get_file(job_id, file_id)
+        except ServiceError as error:
+            raise _to_http_error(error) from error
+        span = request.byte_range(entry.size)
+        response = Response(status=200, body=entry.content)
+        response.headers.set("Content-Type", entry.content_type)
+        response.headers.set("Accept-Ranges", "bytes")
+        if entry.name:
+            response.headers.set("Content-Disposition", f'attachment; filename="{entry.name}"')
+        if span is not None:
+            start, end = span
+            response.status = 206
+            response.body = entry.content[start : end + 1]
+            response.headers.set("Content-Range", f"bytes {start}-{end}/{entry.size}")
+        return response
+
+    app.route("GET", base_path, describe)
+    app.route("POST", base_path, submit)
+    app.route("GET", f"{base_path}/jobs/{{job_id}}", get_job)
+    app.route("DELETE", f"{base_path}/jobs/{{job_id}}", delete_job)
+    app.route("GET", f"{base_path}/jobs/{{job_id}}/files/{{file_id}}", get_file)
+
+
+def unmount_service(app: RestApp, base_path: str) -> int:
+    """Remove every route mounted under ``base_path``."""
+    return app.router.remove_prefix(base_path)

@@ -1,0 +1,179 @@
+"""Service descriptions: the introspection half of the unified interface.
+
+A computational service advertises its problem contract — named input and
+output parameters, each described by JSON Schema — through ``GET`` on the
+service resource. Clients, the catalogue and the workflow editor all build
+on this description (the editor, for instance, generates a block's ports
+from it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.core.errors import BadInputError, ConfigurationError
+from repro.core.filerefs import is_file_ref
+from repro.jsonschema import SchemaError, ValidationError, check_schema, validate
+
+#: Service names become URI path segments, so keep them URL-safe.
+_NAME_ALPHABET = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789-_.")
+
+
+def check_service_name(name: str) -> str:
+    """Validate a service name; returns it unchanged for chaining."""
+    if not name or not set(name) <= _NAME_ALPHABET:
+        raise ConfigurationError(
+            f"invalid service name {name!r}: use letters, digits, '-', '_' and '.'"
+        )
+    return name
+
+
+@dataclass
+class Parameter:
+    """One named input or output parameter of a computational service."""
+
+    name: str
+    schema: dict[str, Any] | bool = True
+    title: str = ""
+    required: bool = True
+    default: Any = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("parameter name must be non-empty")
+        try:
+            check_schema(self.schema)
+        except SchemaError as exc:
+            raise ConfigurationError(f"parameter {self.name!r}: {exc}") from exc
+
+    def to_json(self) -> dict[str, Any]:
+        document: dict[str, Any] = {"schema": self.schema}
+        if self.title:
+            document["title"] = self.title
+        if not self.required:
+            document["required"] = False
+        if self.default is not None:
+            document["default"] = self.default
+        return document
+
+    @classmethod
+    def from_json(cls, name: str, document: dict[str, Any]) -> "Parameter":
+        if not isinstance(document, dict):
+            raise ConfigurationError(f"parameter {name!r} description must be an object")
+        return cls(
+            name=name,
+            schema=document.get("schema", True),
+            title=document.get("title", ""),
+            required=document.get("required", True),
+            default=document.get("default"),
+        )
+
+
+@dataclass
+class ServiceDescription:
+    """The public description served at the service resource (``GET``)."""
+
+    name: str
+    title: str = ""
+    description: str = ""
+    inputs: list[Parameter] = field(default_factory=list)
+    outputs: list[Parameter] = field(default_factory=list)
+    tags: list[str] = field(default_factory=list)
+    version: str = ""
+
+    def __post_init__(self) -> None:
+        check_service_name(self.name)
+        for group_name, group in (("inputs", self.inputs), ("outputs", self.outputs)):
+            seen: set[str] = set()
+            for parameter in group:
+                if parameter.name in seen:
+                    raise ConfigurationError(
+                        f"duplicate {group_name} parameter {parameter.name!r} in service {self.name!r}"
+                    )
+                seen.add(parameter.name)
+
+    def input(self, name: str) -> Parameter:
+        return self._find(self.inputs, name, "input")
+
+    def output(self, name: str) -> Parameter:
+        return self._find(self.outputs, name, "output")
+
+    @staticmethod
+    def _find(group: Iterable[Parameter], name: str, kind: str) -> Parameter:
+        for parameter in group:
+            if parameter.name == name:
+                return parameter
+        raise KeyError(f"no {kind} parameter {name!r}")
+
+    def validate_inputs(self, values: dict[str, Any]) -> dict[str, Any]:
+        """Check a request's input values against this description.
+
+        Returns a normalized copy: defaults applied for absent optional
+        parameters. Raises :class:`BadInputError` listing every problem at
+        once — clients get one actionable message rather than a drip.
+
+        File references are structural values (``{"$file": uri}``); they are
+        accepted for any parameter since the referenced content, not the
+        reference envelope, is what the parameter schema describes.
+        """
+        if not isinstance(values, dict):
+            raise BadInputError("input parameters must be a JSON object")
+        problems: list[str] = []
+        known = {parameter.name for parameter in self.inputs}
+        for name in values:
+            if name not in known:
+                problems.append(f"unknown input parameter {name!r}")
+        normalized: dict[str, Any] = {}
+        for parameter in self.inputs:
+            if parameter.name in values:
+                value = values[parameter.name]
+                if not is_file_ref(value):
+                    try:
+                        validate(value, parameter.schema)
+                    except ValidationError as exc:
+                        problems.append(f"input {parameter.name!r}: {exc}")
+                normalized[parameter.name] = value
+            elif parameter.default is not None:
+                normalized[parameter.name] = parameter.default
+            elif parameter.required:
+                problems.append(f"missing required input parameter {parameter.name!r}")
+        if problems:
+            raise BadInputError(
+                f"invalid request to service {self.name!r}", details=problems
+            )
+        return normalized
+
+    def to_json(self) -> dict[str, Any]:
+        document: dict[str, Any] = {
+            "name": self.name,
+            "title": self.title,
+            "description": self.description,
+            "inputs": {p.name: p.to_json() for p in self.inputs},
+            "outputs": {p.name: p.to_json() for p in self.outputs},
+        }
+        if self.tags:
+            document["tags"] = list(self.tags)
+        if self.version:
+            document["version"] = self.version
+        return document
+
+    @classmethod
+    def from_json(cls, document: dict[str, Any]) -> "ServiceDescription":
+        if not isinstance(document, dict) or "name" not in document:
+            raise ConfigurationError("service description must be an object with a 'name'")
+        return cls(
+            name=document["name"],
+            title=document.get("title", ""),
+            description=document.get("description", ""),
+            inputs=[
+                Parameter.from_json(name, spec)
+                for name, spec in document.get("inputs", {}).items()
+            ],
+            outputs=[
+                Parameter.from_json(name, spec)
+                for name, spec in document.get("outputs", {}).items()
+            ],
+            tags=list(document.get("tags", [])),
+            version=document.get("version", ""),
+        )

@@ -1,0 +1,52 @@
+"""Error types shared across the platform's service-side components."""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class ServiceError(Exception):
+    """Base class for errors raised while operating a computational service."""
+
+    http_status = 500
+
+    def __init__(self, message: str, details: Any = None):
+        super().__init__(message)
+        self.message = message
+        self.details = details
+
+
+class BadInputError(ServiceError):
+    """A request's input parameters are missing or fail schema validation."""
+
+    http_status = 422
+
+
+class JobNotFoundError(ServiceError):
+    """A job (or one of its subordinate files) does not exist."""
+
+    http_status = 404
+
+
+class FileNotFoundError_(ServiceError):
+    """A file resource does not exist under the addressed job."""
+
+    http_status = 404
+
+
+class JobStateError(ServiceError):
+    """An operation is incompatible with the job's current state."""
+
+    http_status = 409
+
+
+class ConfigurationError(ServiceError):
+    """A service configuration is malformed or inconsistent."""
+
+    http_status = 400
+
+
+class AdapterError(ServiceError):
+    """Request processing failed inside an adapter or its backend."""
+
+    http_status = 500

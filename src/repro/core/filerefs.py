@@ -1,0 +1,63 @@
+"""File references: passing large parameter values by URI.
+
+The unified interface lets any input or output value "contain identifiers
+of file resources" (paper §2). The platform's convention for such an
+identifier is a small JSON envelope::
+
+    {"$file": "<absolute URI of the file resource>",
+     "name": "matrix.json",          # optional display name
+     "size": 1048576,                 # optional content length
+     "contentType": "application/json"}
+
+Adapters resolve references by fetching the URI through the transport
+registry, so a file may live on any service in the federation — including
+a job of another service, which is exactly how workflow data flows.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+#: JSON Schema describing the reference envelope itself. Services whose
+#: parameters are inherently file-valued can use this as the parameter
+#: schema; validation of a reference then needs no special-casing.
+FILE_SCHEMA: dict[str, Any] = {
+    "type": "object",
+    "required": ["$file"],
+    "properties": {
+        "$file": {"type": "string", "minLength": 1},
+        "name": {"type": "string"},
+        "size": {"type": "integer", "minimum": 0},
+        "contentType": {"type": "string"},
+    },
+    "format": "file",
+}
+
+
+def is_file_ref(value: Any) -> bool:
+    """Whether ``value`` is a file-reference envelope."""
+    return isinstance(value, dict) and isinstance(value.get("$file"), str)
+
+
+def make_file_ref(
+    uri: str,
+    name: str = "",
+    size: int | None = None,
+    content_type: str = "",
+) -> dict[str, Any]:
+    """Build a file-reference envelope for ``uri``."""
+    reference: dict[str, Any] = {"$file": uri}
+    if name:
+        reference["name"] = name
+    if size is not None:
+        reference["size"] = size
+    if content_type:
+        reference["contentType"] = content_type
+    return reference
+
+
+def file_uri(reference: dict[str, Any]) -> str:
+    """Extract the URI from a reference envelope."""
+    if not is_file_ref(reference):
+        raise ValueError(f"not a file reference: {reference!r}")
+    return reference["$file"]

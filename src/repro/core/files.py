@@ -1,0 +1,90 @@
+"""File resources: the third resource type of the unified interface.
+
+A file resource represents "a part of client request or job result provided
+as a remote file" (paper §2). Files are subordinate to jobs — deleting a
+job destroys its files — and their content is retrievable fully or
+partially via ``GET`` (byte ranges).
+
+The store keeps content in memory; the platform's files are job-scoped and
+transient, and an in-memory store keeps single-process federations (tests,
+benchmarks) hermetic.
+"""
+
+from __future__ import annotations
+
+import threading
+import uuid
+from dataclasses import dataclass, field
+
+from repro.core.errors import FileNotFoundError_
+
+
+def new_file_id() -> str:
+    return "f-" + uuid.uuid4().hex[:12]
+
+
+@dataclass
+class FileEntry:
+    """One stored file: content plus the metadata served with it."""
+
+    content: bytes
+    name: str = ""
+    content_type: str = "application/octet-stream"
+    job_id: str = ""
+    id: str = field(default_factory=new_file_id)
+
+    @property
+    def size(self) -> int:
+        return len(self.content)
+
+
+class FileStore:
+    """Thread-safe file storage for one service, indexed by job."""
+
+    def __init__(self) -> None:
+        self._files: dict[str, FileEntry] = {}
+        self._by_job: dict[str, list[str]] = {}
+        self._lock = threading.Lock()
+
+    def put(
+        self,
+        content: bytes,
+        job_id: str,
+        name: str = "",
+        content_type: str = "application/octet-stream",
+    ) -> FileEntry:
+        """Store ``content`` as a new file subordinate to ``job_id``."""
+        entry = FileEntry(content=content, name=name, content_type=content_type, job_id=job_id)
+        with self._lock:
+            self._files[entry.id] = entry
+            self._by_job.setdefault(job_id, []).append(entry.id)
+        return entry
+
+    def get(self, file_id: str, job_id: str | None = None) -> FileEntry:
+        """Fetch a file; with ``job_id``, enforce the subordination check."""
+        with self._lock:
+            entry = self._files.get(file_id)
+        if entry is None or (job_id is not None and entry.job_id != job_id):
+            raise FileNotFoundError_(f"no file {file_id!r}" + (f" under job {job_id!r}" if job_id else ""))
+        return entry
+
+    def delete_job_files(self, job_id: str) -> int:
+        """Destroy every file subordinate to ``job_id``; returns the count."""
+        with self._lock:
+            ids = self._by_job.pop(job_id, [])
+            for file_id in ids:
+                self._files.pop(file_id, None)
+        return len(ids)
+
+    def job_files(self, job_id: str) -> list[FileEntry]:
+        with self._lock:
+            return [self._files[i] for i in self._by_job.get(job_id, []) if i in self._files]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._files)
+
+    @property
+    def total_bytes(self) -> int:
+        with self._lock:
+            return sum(entry.size for entry in self._files.values())

@@ -1,0 +1,184 @@
+"""Jobs: asynchronous request processing with the paper's state machine.
+
+A client's ``POST`` to the service resource creates a subordinate *job*
+resource. The job advances ``WAITING → RUNNING → DONE`` (the three states
+named in the paper), or ends in ``FAILED``/``CANCELLED``. The
+representation returned by ``GET`` carries status, inputs and — once the
+job is ``DONE`` — the output parameter values.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable
+
+from repro.core.errors import JobNotFoundError, JobStateError
+
+
+class JobState(str, Enum):
+    """Lifecycle of a job resource (paper §2)."""
+
+    WAITING = "WAITING"
+    RUNNING = "RUNNING"
+    DONE = "DONE"
+    FAILED = "FAILED"
+    CANCELLED = "CANCELLED"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (JobState.DONE, JobState.FAILED, JobState.CANCELLED)
+
+
+#: Legal state transitions; anything else is a programming error.
+_TRANSITIONS: dict[JobState, set[JobState]] = {
+    JobState.WAITING: {JobState.RUNNING, JobState.CANCELLED, JobState.FAILED},
+    JobState.RUNNING: {JobState.DONE, JobState.FAILED, JobState.CANCELLED},
+    JobState.DONE: set(),
+    JobState.FAILED: set(),
+    JobState.CANCELLED: set(),
+}
+
+
+def new_job_id() -> str:
+    return "j-" + uuid.uuid4().hex[:12]
+
+
+@dataclass(eq=False)
+class Job:
+    """One request being processed by a computational service.
+
+    Jobs have identity semantics (a job equals only itself), matching their
+    nature as mutable, stateful resources.
+
+    Mutations go through the transition methods, which enforce the state
+    machine and are safe to call from handler threads; readers use
+    :meth:`representation` to get a consistent snapshot.
+    """
+
+    service: str
+    inputs: dict[str, Any]
+    id: str = field(default_factory=new_job_id)
+    state: JobState = JobState.WAITING
+    results: dict[str, Any] | None = None
+    error: str | None = None
+    created: float = field(default_factory=time.time)
+    started: float | None = None
+    finished: float | None = None
+    #: Extra representation fields (e.g. per-block workflow states).
+    extra: dict[str, Any] = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False, compare=False)
+    #: Set when a cancel arrives; adapters poll it for cooperative abort.
+    cancel_event: threading.Event = field(default_factory=threading.Event, repr=False, compare=False)
+
+    def _transition(self, target: JobState) -> None:
+        if target not in _TRANSITIONS[self.state]:
+            raise JobStateError(f"job {self.id}: cannot go {self.state.value} → {target.value}")
+        self.state = target
+
+    def mark_running(self) -> None:
+        with self._lock:
+            self._transition(JobState.RUNNING)
+            self.started = time.time()
+
+    def mark_done(self, results: dict[str, Any]) -> None:
+        with self._lock:
+            self._transition(JobState.DONE)
+            self.results = results
+            self.finished = time.time()
+
+    def mark_failed(self, error: str) -> None:
+        with self._lock:
+            self._transition(JobState.FAILED)
+            self.error = error
+            self.finished = time.time()
+
+    def mark_cancelled(self) -> None:
+        with self._lock:
+            self._transition(JobState.CANCELLED)
+            self.finished = time.time()
+        self.cancel_event.set()
+
+    def try_finish(self, outcome: Callable[[], tuple[JobState, Any]]) -> bool:
+        """Finish the job unless it was cancelled concurrently.
+
+        ``outcome`` runs under the job lock and returns ``(DONE, results)``
+        or ``(FAILED, error_message)``. Returns False when the job is
+        already terminal (e.g. a cancel won the race).
+        """
+        with self._lock:
+            if self.state.terminal:
+                return False
+            target, value = outcome()
+            self._transition(target)
+            if target is JobState.DONE:
+                self.results = value
+            else:
+                self.error = str(value)
+            self.finished = time.time()
+            return True
+
+    def representation(self, uri: str = "") -> dict[str, Any]:
+        """The JSON representation served by ``GET`` on the job resource."""
+        with self._lock:
+            document: dict[str, Any] = {
+                "id": self.id,
+                "service": self.service,
+                "state": self.state.value,
+                "created": self.created,
+                "inputs": self.inputs,
+            }
+            if uri:
+                document["uri"] = uri
+            if self.started is not None:
+                document["started"] = self.started
+            if self.finished is not None:
+                document["finished"] = self.finished
+            if self.state is JobState.DONE:
+                document["results"] = self.results
+            if self.error is not None:
+                document["error"] = self.error
+            document.update(self.extra)
+            return document
+
+
+class JobStore:
+    """Thread-safe registry of a service's jobs."""
+
+    def __init__(self) -> None:
+        self._jobs: dict[str, Job] = {}
+        self._lock = threading.Lock()
+
+    def add(self, job: Job) -> Job:
+        with self._lock:
+            self._jobs[job.id] = job
+        return job
+
+    def get(self, job_id: str) -> Job:
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise JobNotFoundError(f"no job {job_id!r}")
+        return job
+
+    def remove(self, job_id: str) -> Job:
+        with self._lock:
+            job = self._jobs.pop(job_id, None)
+        if job is None:
+            raise JobNotFoundError(f"no job {job_id!r}")
+        return job
+
+    def list(self) -> list[Job]:
+        with self._lock:
+            return list(self._jobs.values())
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._jobs)
+
+    def __contains__(self, job_id: object) -> bool:
+        with self._lock:
+            return job_id in self._jobs

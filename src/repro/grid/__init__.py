@@ -1,0 +1,28 @@
+"""A gLite-like grid infrastructure (substrate).
+
+The paper's Grid adapter submits jobs "to the European Grid Infrastructure,
+which is based on gLite middleware". This subpackage is the offline
+stand-in: several grid *sites* (each backed by a
+:class:`~repro.batch.Cluster`), *virtual organizations* gating access, and
+a *resource broker* that parses ClassAd-style JDL job descriptions —
+implemented as a proper little language (lexer, recursive-descent parser,
+AST, evaluator) in :mod:`repro.grid.jdl` — evaluates each job's
+``Requirements`` expression against site attributes, ranks the matches and
+forwards the job to the chosen site's batch system.
+"""
+
+from repro.grid.broker import GridBroker, GridJob, GridJobState
+from repro.grid.jdl import JdlError, evaluate, parse_jdl
+from repro.grid.site import GridSite
+from repro.grid.vo import VirtualOrganization
+
+__all__ = [
+    "GridBroker",
+    "GridJob",
+    "GridJobState",
+    "GridSite",
+    "JdlError",
+    "VirtualOrganization",
+    "evaluate",
+    "parse_jdl",
+]

@@ -1,0 +1,269 @@
+"""The resource broker: JDL in, matched-and-executed grid job out.
+
+The broker mirrors the gLite WMS pipeline at laptop scale:
+
+1. parse the JDL document;
+2. authorize the submitter against the job's ``VirtualOrganisation``;
+3. *match*: evaluate ``Requirements`` against every site that supports the
+   VO (evaluation errors mean "no match", as in ClassAds);
+4. *rank*: evaluate ``Rank`` (default: free CPUs) and pick the best site;
+5. forward the job to the site's batch system with staged sandboxes;
+6. track it through the gLite state ladder
+   (``SUBMITTED → WAITING → READY → SCHEDULED → RUNNING → DONE``).
+"""
+
+from __future__ import annotations
+
+import shlex
+import threading
+import uuid
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+from repro.batch import BatchJob, BatchJobState, JobResources
+from repro.grid.jdl import evaluate, parse_jdl
+from repro.grid.jdl.ast import JobDescription
+from repro.grid.jdl.errors import JdlEvalError
+from repro.grid.site import GridSite
+from repro.grid.vo import VirtualOrganization, VoError
+
+
+class GridError(Exception):
+    """Submission-time failure (bad JDL, no VO, no matching site)."""
+
+
+class GridJobState(str, Enum):
+    """The gLite job state ladder (abridged to the states jobs visit here)."""
+
+    SUBMITTED = "SUBMITTED"
+    WAITING = "WAITING"
+    READY = "READY"
+    SCHEDULED = "SCHEDULED"
+    RUNNING = "RUNNING"
+    DONE = "DONE"
+    ABORTED = "ABORTED"
+    CANCELLED = "CANCELLED"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (GridJobState.DONE, GridJobState.ABORTED, GridJobState.CANCELLED)
+
+
+#: Map the backing batch job's state onto the grid ladder.
+_BATCH_TO_GRID = {
+    BatchJobState.QUEUED: GridJobState.SCHEDULED,
+    BatchJobState.RUNNING: GridJobState.RUNNING,
+    BatchJobState.COMPLETED: GridJobState.DONE,
+    BatchJobState.FAILED: GridJobState.ABORTED,
+    BatchJobState.CANCELLED: GridJobState.CANCELLED,
+}
+
+
+@dataclass(eq=False)
+class GridJob:
+    """One brokered job and its trace."""
+
+    id: str
+    description: JobDescription
+    vo: str
+    owner: str
+    site_name: str = ""
+    batch_job: BatchJob | None = None
+    #: (state, note) pairs — the job's event trace, like ``glite-wms-job-status``.
+    history: list[tuple[GridJobState, str]] = field(default_factory=list)
+
+    @property
+    def state(self) -> GridJobState:
+        if self.batch_job is not None:
+            return _BATCH_TO_GRID[self.batch_job.state]
+        return self.history[-1][0] if self.history else GridJobState.SUBMITTED
+
+    def record(self, state: GridJobState, note: str = "") -> None:
+        self.history.append((state, note))
+
+    @property
+    def done_success(self) -> bool:
+        return self.state is GridJobState.DONE
+
+    def output_sandbox(self) -> dict[str, bytes]:
+        """Collected output files (plus captured std streams), once terminal."""
+        if self.batch_job is None or not self.batch_job.state.terminal:
+            return {}
+        sandbox = dict(self.batch_job.output_files)
+        std_out_name = self.description.get_value("StdOutput", "")
+        std_err_name = self.description.get_value("StdError", "")
+        if std_out_name and std_out_name not in sandbox:
+            sandbox[std_out_name] = self.batch_job.stdout.encode()
+        if std_err_name and std_err_name not in sandbox:
+            sandbox[std_err_name] = self.batch_job.stderr.encode()
+        return sandbox
+
+    @property
+    def failure_reason(self) -> str:
+        return self.batch_job.failure_reason if self.batch_job else ""
+
+    def wait(self, timeout: float | None = None) -> "GridJob":
+        if self.batch_job is not None:
+            self.batch_job.wait(timeout)
+        return self
+
+
+class GridBroker:
+    """Matchmaking front door of the simulated grid."""
+
+    def __init__(self, sites: list[GridSite] | None = None):
+        self._sites: dict[str, GridSite] = {}
+        self._vos: dict[str, VirtualOrganization] = {}
+        self._jobs: dict[str, GridJob] = {}
+        self._lock = threading.Lock()
+        for site in sites or []:
+            self.add_site(site)
+
+    # ------------------------------------------------------------- setup
+
+    def add_site(self, site: GridSite) -> None:
+        with self._lock:
+            if site.name in self._sites:
+                raise ValueError(f"duplicate site {site.name!r}")
+            self._sites[site.name] = site
+
+    def add_vo(self, vo: VirtualOrganization) -> None:
+        with self._lock:
+            self._vos[vo.name] = vo
+
+    @property
+    def sites(self) -> list[GridSite]:
+        with self._lock:
+            return list(self._sites.values())
+
+    def shutdown(self) -> None:
+        for site in self.sites:
+            site.shutdown()
+
+    # ------------------------------------------------------- submission
+
+    def submit(
+        self,
+        jdl: str | JobDescription,
+        owner: str,
+        input_sandbox: dict[str, bytes] | None = None,
+        walltime: float = 600.0,
+    ) -> GridJob:
+        """Broker and launch one job; returns immediately with the handle.
+
+        ``input_sandbox`` maps sandbox file names (which must be declared in
+        the JDL ``InputSandbox`` list) to their contents — the client-side
+        files gLite would upload.
+        """
+        description = parse_jdl(jdl) if isinstance(jdl, str) else jdl
+        job = GridJob(
+            id="g-" + uuid.uuid4().hex[:12],
+            description=description,
+            vo=str(description.get_value("VirtualOrganisation", "") or ""),
+            owner=owner,
+        )
+        job.record(GridJobState.SUBMITTED, "accepted by broker")
+        if not job.vo:
+            raise GridError("JDL must declare a VirtualOrganisation")
+        vo = self._vos.get(job.vo)
+        if vo is None:
+            raise GridError(f"unknown virtual organisation {job.vo!r}")
+        try:
+            vo.authorize(owner)
+        except VoError as exc:
+            raise GridError(str(exc)) from exc
+
+        job.record(GridJobState.WAITING, "matchmaking")
+        site = self._match(description, job.vo)
+        if site is None:
+            raise GridError(f"no site matches the job requirements for VO {job.vo!r}")
+        job.site_name = site.name
+        job.record(GridJobState.READY, f"matched site {site.name}")
+
+        batch_job = self._to_batch_job(description, input_sandbox or {}, walltime)
+        site.cluster.qsub(batch_job)
+        job.batch_job = batch_job
+        job.record(GridJobState.SCHEDULED, f"forwarded to {site.name} as {batch_job.id}")
+        with self._lock:
+            self._jobs[job.id] = job
+        return job
+
+    def status(self, job_id: str) -> GridJob:
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise GridError(f"unknown grid job {job_id!r}")
+        return job
+
+    def cancel(self, job_id: str) -> None:
+        job = self.status(job_id)
+        if job.batch_job is not None and not job.batch_job.state.terminal:
+            site = self._sites[job.site_name]
+            site.cluster.qdel(job.batch_job.id)
+        job.record(GridJobState.CANCELLED, "cancelled by user")
+
+    # --------------------------------------------------------- internals
+
+    def _match(self, description: JobDescription, vo_name: str) -> GridSite | None:
+        requirements = description.get("Requirements")
+        rank_expr = description.get("Rank")
+        job_env = {name.lower(): expr for name, expr in description.attributes.items()}
+        best: tuple[float, GridSite] | None = None
+        for site in self.sites:
+            if not site.supports_vo(vo_name):
+                continue
+            attributes = site.attributes_now()
+            if requirements is not None:
+                try:
+                    if evaluate(requirements, site=attributes, job=job_env) is not True:
+                        continue
+                except JdlEvalError:
+                    continue
+            if rank_expr is not None:
+                try:
+                    rank = float(evaluate(rank_expr, site=attributes, job=job_env))
+                except (JdlEvalError, TypeError, ValueError):
+                    rank = float("-inf")
+            else:
+                rank = float(attributes.get("GlueCEStateFreeCPUs", 0))
+            if best is None or rank > best[0]:
+                best = (rank, site)
+        return best[1] if best else None
+
+    @staticmethod
+    def _to_batch_job(
+        description: JobDescription,
+        input_sandbox: dict[str, bytes],
+        walltime: float,
+    ) -> BatchJob:
+        executable = description.get_value("Executable")
+        if not executable:
+            raise GridError("JDL must declare an Executable")
+        arguments = str(description.get_value("Arguments", "") or "")
+        declared_inputs = description.get_value("InputSandbox", []) or []
+        declared_outputs = description.get_value("OutputSandbox", []) or []
+        for name in input_sandbox:
+            if name not in declared_inputs:
+                raise GridError(f"sandbox file {name!r} not declared in InputSandbox")
+        missing = [name for name in declared_inputs if name not in input_sandbox]
+        if missing:
+            raise GridError(f"InputSandbox files not provided: {missing}")
+        std_out = description.get_value("StdOutput", "")
+        std_err = description.get_value("StdError", "")
+        stage_out = [
+            name
+            for name in declared_outputs
+            if name not in (std_out, std_err)  # std streams are captured anyway
+        ]
+        try:
+            cpus = int(description.get_value("CpuNumber", 1) or 1)
+        except (TypeError, ValueError) as exc:
+            raise GridError(f"bad CpuNumber: {exc}") from exc
+        return BatchJob(
+            name=str(description.get_value("JobName", "grid-job") or "grid-job"),
+            command=[str(executable), *shlex.split(arguments)],
+            stage_in=dict(input_sandbox),
+            stage_out=stage_out,
+            resources=JobResources(ppn=max(1, cpus), walltime=walltime),
+        )

@@ -1,0 +1,53 @@
+"""The JDL (Job Description Language) implementation.
+
+gLite describes grid jobs with ClassAd-style attribute lists::
+
+    [
+      Executable = "/usr/bin/python3";
+      Arguments = "-c 'print(42)'";
+      StdOutput = "out.txt";
+      OutputSandbox = {"out.txt"};
+      VirtualOrganisation = "mathcloud";
+      Requirements = other.GlueCEInfoTotalCPUs >= 4 &&
+                     other.GlueCEName != "retired-ce";
+      Rank = -other.GlueCEStateEstimatedResponseTime;
+    ]
+
+The implementation is a conventional pipeline — lexer
+(:mod:`~repro.grid.jdl.lexer`), recursive-descent parser
+(:mod:`~repro.grid.jdl.parser`) producing a typed AST
+(:mod:`~repro.grid.jdl.ast`), and an evaluator
+(:mod:`~repro.grid.jdl.evaluator`) used by the broker to test
+``Requirements`` and compute ``Rank`` against each site's attributes.
+"""
+
+from repro.grid.jdl.ast import (
+    Attribute,
+    Binary,
+    JobDescription,
+    Literal,
+    ListExpr,
+    Unary,
+)
+from repro.grid.jdl.errors import JdlError, JdlEvalError, JdlSyntaxError
+from repro.grid.jdl.evaluator import evaluate
+from repro.grid.jdl.lexer import Token, TokenKind, tokenize
+from repro.grid.jdl.parser import parse_expression, parse_jdl
+
+__all__ = [
+    "Attribute",
+    "Binary",
+    "JdlError",
+    "JdlEvalError",
+    "JdlSyntaxError",
+    "JobDescription",
+    "ListExpr",
+    "Literal",
+    "Token",
+    "TokenKind",
+    "Unary",
+    "evaluate",
+    "parse_expression",
+    "parse_jdl",
+    "tokenize",
+]

@@ -1,0 +1,103 @@
+"""JDL abstract syntax tree."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Union
+
+Expr = Union["Literal", "ListExpr", "Attribute", "Unary", "Binary"]
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A string, number or boolean constant."""
+
+    value: Any
+
+    def unparse(self) -> str:
+        if isinstance(self.value, bool):
+            return "true" if self.value else "false"
+        if isinstance(self.value, str):
+            escaped = self.value.replace("\\", "\\\\").replace('"', '\\"')
+            return f'"{escaped}"'
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class ListExpr:
+    """A ``{e1, e2, ...}`` list (sandboxes, environment)."""
+
+    items: tuple[Expr, ...]
+
+    def unparse(self) -> str:
+        return "{" + ", ".join(item.unparse() for item in self.items) + "}"
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A dotted attribute reference: ``Executable`` or ``other.GlueCEName``.
+
+    ``scope`` is empty for the job's own attributes and ``"other"`` for the
+    matched machine's (the grid site's) attributes, per ClassAd convention.
+    """
+
+    name: str
+    scope: str = ""
+
+    def unparse(self) -> str:
+        return f"{self.scope}.{self.name}" if self.scope else self.name
+
+
+@dataclass(frozen=True)
+class Unary:
+    """``-expr`` or ``!expr``."""
+
+    op: str
+    operand: Expr
+
+    def unparse(self) -> str:
+        return f"{self.op}({self.operand.unparse()})"
+
+
+@dataclass(frozen=True)
+class Binary:
+    """A binary operation; ``op`` is the source-level operator text."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def unparse(self) -> str:
+        return f"({self.left.unparse()} {self.op} {self.right.unparse()})"
+
+
+@dataclass
+class JobDescription:
+    """A parsed JDL document: ordered attribute → expression bindings.
+
+    Attribute names are stored as given but looked up case-insensitively
+    (``get``), matching gLite behaviour.
+    """
+
+    attributes: dict[str, Expr] = field(default_factory=dict)
+
+    def get(self, name: str) -> Expr | None:
+        lowered = name.lower()
+        for key, expr in self.attributes.items():
+            if key.lower() == lowered:
+                return expr
+        return None
+
+    def get_value(self, name: str, default: Any = None) -> Any:
+        """Shortcut: the literal/simple value of an attribute, if evaluable
+        without a site context (used for Executable, sandboxes, VO...)."""
+        from repro.grid.jdl.evaluator import evaluate
+
+        expr = self.get(name)
+        if expr is None:
+            return default
+        return evaluate(expr, job={k.lower(): v for k, v in self.attributes.items()})
+
+    def unparse(self) -> str:
+        lines = [f"  {name} = {expr.unparse()};" for name, expr in self.attributes.items()]
+        return "[\n" + "\n".join(lines) + "\n]"

@@ -1,0 +1,25 @@
+"""JDL error types, all carrying source positions where available."""
+
+from __future__ import annotations
+
+
+class JdlError(Exception):
+    """Base class for every JDL processing failure."""
+
+
+class JdlSyntaxError(JdlError):
+    """Lexical or grammatical error in a JDL document."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        location = f" at line {line}, column {column}" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class JdlEvalError(JdlError):
+    """A JDL expression could not be evaluated (missing attribute, bad types).
+
+    The broker treats an evaluation error in ``Requirements`` as
+    "site does not match", mirroring ClassAd three-valued semantics.
+    """

@@ -1,0 +1,134 @@
+"""JDL expression evaluator.
+
+Evaluates an expression against two attribute environments: the job's own
+attributes (unscoped references) and the candidate site's attributes
+(``other.*`` references), both looked up case-insensitively.
+
+Semantics follow ClassAds where it matters to a broker:
+
+- ``&&`` and ``||`` short-circuit;
+- type mismatches and unknown attributes raise :class:`JdlEvalError`,
+  which the broker interprets as "this site does not match";
+- comparison of string with string is lexicographic, number with number is
+  numeric; cross-type ``==``/``!=`` are allowed (always unequal), other
+  cross-type comparisons are errors;
+- arithmetic requires numbers; ``+`` also concatenates strings.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.grid.jdl.ast import Attribute, Binary, Expr, ListExpr, Literal, Unary
+from repro.grid.jdl.errors import JdlEvalError
+
+
+def _lookup(environment: Mapping[str, Any], name: str, where: str) -> Any:
+    lowered = name.lower()
+    for key, value in environment.items():
+        if key.lower() == lowered:
+            return value
+    raise JdlEvalError(f"unknown attribute {name!r} in {where}")
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _truthy(value: Any, context: str) -> bool:
+    if isinstance(value, bool):
+        return value
+    raise JdlEvalError(f"{context} requires a boolean, got {value!r}")
+
+
+def evaluate(
+    expr: Expr,
+    site: Mapping[str, Any] | None = None,
+    job: Mapping[str, Any] | None = None,
+) -> Any:
+    """Evaluate ``expr``; see the module docstring for semantics."""
+    site = site or {}
+    job = job or {}
+
+    if isinstance(expr, Literal):
+        return expr.value
+    if isinstance(expr, ListExpr):
+        return [evaluate(item, site, job) for item in expr.items]
+    if isinstance(expr, Attribute):
+        if expr.scope == "other":
+            return _lookup(site, expr.name, "site attributes")
+        if expr.scope in ("", "self"):
+            value = _lookup(job, expr.name, "job attributes")
+            # Job attributes are stored as unevaluated expressions when they
+            # come from a parsed document; chase them.
+            if isinstance(value, (Literal, ListExpr, Attribute, Unary, Binary)):
+                return evaluate(value, site, job)
+            return value
+        raise JdlEvalError(f"unknown scope {expr.scope!r} (only 'other' and 'self')")
+    if isinstance(expr, Unary):
+        operand = evaluate(expr.operand, site, job)
+        if expr.op == "-":
+            if not _is_number(operand):
+                raise JdlEvalError(f"unary '-' requires a number, got {operand!r}")
+            return -operand
+        if expr.op == "!":
+            return not _truthy(operand, "'!'")
+        raise JdlEvalError(f"unknown unary operator {expr.op!r}")
+    if isinstance(expr, Binary):
+        return _binary(expr, site, job)
+    raise JdlEvalError(f"cannot evaluate {expr!r}")
+
+
+def _binary(expr: Binary, site: Mapping[str, Any], job: Mapping[str, Any]) -> Any:
+    op = expr.op
+    if op == "&&":
+        if not _truthy(evaluate(expr.left, site, job), "'&&'"):
+            return False
+        return _truthy(evaluate(expr.right, site, job), "'&&'")
+    if op == "||":
+        if _truthy(evaluate(expr.left, site, job), "'||'"):
+            return True
+        return _truthy(evaluate(expr.right, site, job), "'||'")
+
+    left = evaluate(expr.left, site, job)
+    right = evaluate(expr.right, site, job)
+
+    if op in ("==", "!="):
+        if _is_number(left) and _is_number(right):
+            equal = left == right
+        elif type(left) is type(right):
+            equal = left == right
+        else:
+            equal = False
+        return equal if op == "==" else not equal
+
+    if op in ("<", "<=", ">", ">="):
+        comparable = (_is_number(left) and _is_number(right)) or (
+            isinstance(left, str) and isinstance(right, str)
+        )
+        if not comparable:
+            raise JdlEvalError(f"cannot compare {left!r} {op} {right!r}")
+        return {
+            "<": left < right,
+            "<=": left <= right,
+            ">": left > right,
+            ">=": left >= right,
+        }[op]
+
+    if op == "+" and isinstance(left, str) and isinstance(right, str):
+        return left + right
+    if op in ("+", "-", "*", "/"):
+        if not (_is_number(left) and _is_number(right)):
+            raise JdlEvalError(f"arithmetic {op!r} requires numbers, got {left!r} and {right!r}")
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if right == 0:
+            raise JdlEvalError("division by zero")
+        result = left / right
+        return int(result) if isinstance(left, int) and isinstance(right, int) and left % right == 0 else result
+
+    raise JdlEvalError(f"unknown operator {op!r}")

@@ -1,0 +1,218 @@
+"""JDL lexer.
+
+Produces a flat token stream with line/column positions. JDL is
+case-insensitive for keywords (``true``/``FALSE``) and identifiers keep
+their original spelling (attribute names are matched case-insensitively by
+the evaluator, as in ClassAds).
+
+Comments: ``//`` and ``#`` to end of line, ``/* ... */`` block comments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.grid.jdl.errors import JdlSyntaxError
+
+
+class TokenKind(Enum):
+    LBRACKET = "["
+    RBRACKET = "]"
+    LBRACE = "{"
+    RBRACE = "}"
+    LPAREN = "("
+    RPAREN = ")"
+    SEMICOLON = ";"
+    COMMA = ","
+    DOT = "."
+    ASSIGN = "="
+    # operators
+    OR = "||"
+    AND = "&&"
+    EQ = "=="
+    NE = "!="
+    LE = "<="
+    GE = ">="
+    LT = "<"
+    GT = ">"
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+    NOT = "!"
+    # literals and names
+    STRING = "string"
+    NUMBER = "number"
+    BOOLEAN = "boolean"
+    IDENT = "ident"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    value: object = None
+    line: int = 0
+    column: int = 0
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind.name}, {self.text!r}@{self.line}:{self.column})"
+
+
+_PUNCTUATION = {
+    "||": TokenKind.OR,
+    "&&": TokenKind.AND,
+    "==": TokenKind.EQ,
+    "!=": TokenKind.NE,
+    "<=": TokenKind.LE,
+    ">=": TokenKind.GE,
+    "[": TokenKind.LBRACKET,
+    "]": TokenKind.RBRACKET,
+    "{": TokenKind.LBRACE,
+    "}": TokenKind.RBRACE,
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    ";": TokenKind.SEMICOLON,
+    ",": TokenKind.COMMA,
+    ".": TokenKind.DOT,
+    "=": TokenKind.ASSIGN,
+    "<": TokenKind.LT,
+    ">": TokenKind.GT,
+    "+": TokenKind.PLUS,
+    "-": TokenKind.MINUS,
+    "*": TokenKind.STAR,
+    "/": TokenKind.SLASH,
+    "!": TokenKind.NOT,
+}
+
+_ESCAPES = {"n": "\n", "t": "\t", '"': '"', "\\": "\\"}
+
+
+class _Lexer:
+    def __init__(self, source: str):
+        self.source = source
+        self.position = 0
+        self.line = 1
+        self.column = 1
+
+    def error(self, message: str) -> JdlSyntaxError:
+        return JdlSyntaxError(message, self.line, self.column)
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.position + offset
+        return self.source[index] if index < len(self.source) else ""
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self.position < len(self.source):
+                if self.source[self.position] == "\n":
+                    self.line += 1
+                    self.column = 1
+                else:
+                    self.column += 1
+                self.position += 1
+
+    def _skip_trivia(self) -> None:
+        while self.position < len(self.source):
+            char = self._peek()
+            if char in " \t\r\n":
+                self._advance()
+            elif char == "#" or (char == "/" and self._peek(1) == "/"):
+                while self._peek() and self._peek() != "\n":
+                    self._advance()
+            elif char == "/" and self._peek(1) == "*":
+                start_line, start_col = self.line, self.column
+                self._advance(2)
+                while not (self._peek() == "*" and self._peek(1) == "/"):
+                    if not self._peek():
+                        raise JdlSyntaxError("unterminated block comment", start_line, start_col)
+                    self._advance()
+                self._advance(2)
+            else:
+                return
+
+    def _lex_string(self) -> Token:
+        line, column = self.line, self.column
+        self._advance()  # opening quote
+        chars: list[str] = []
+        while True:
+            char = self._peek()
+            if not char or char == "\n":
+                raise JdlSyntaxError("unterminated string literal", line, column)
+            if char == '"':
+                self._advance()
+                return Token(TokenKind.STRING, "".join(chars), "".join(chars), line, column)
+            if char == "\\":
+                escape = self._peek(1)
+                if escape not in _ESCAPES:
+                    raise JdlSyntaxError(f"bad escape \\{escape}", self.line, self.column)
+                chars.append(_ESCAPES[escape])
+                self._advance(2)
+            else:
+                chars.append(char)
+                self._advance()
+
+    def _lex_number(self) -> Token:
+        line, column = self.line, self.column
+        start = self.position
+        while self._peek().isdigit():
+            self._advance()
+        is_float = False
+        if self._peek() == "." and self._peek(1).isdigit():
+            is_float = True
+            self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        if self._peek() in "eE" and (self._peek(1).isdigit() or (self._peek(1) in "+-" and self._peek(2).isdigit())):
+            is_float = True
+            self._advance()
+            if self._peek() in "+-":
+                self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        text = self.source[start : self.position]
+        value: object = float(text) if is_float else int(text)
+        return Token(TokenKind.NUMBER, text, value, line, column)
+
+    def _lex_word(self) -> Token:
+        line, column = self.line, self.column
+        start = self.position
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        text = self.source[start : self.position]
+        lowered = text.lower()
+        if lowered in ("true", "false"):
+            return Token(TokenKind.BOOLEAN, text, lowered == "true", line, column)
+        return Token(TokenKind.IDENT, text, text, line, column)
+
+    def tokens(self) -> list[Token]:
+        result: list[Token] = []
+        while True:
+            self._skip_trivia()
+            if self.position >= len(self.source):
+                result.append(Token(TokenKind.EOF, "", None, self.line, self.column))
+                return result
+            char = self._peek()
+            if char == '"':
+                result.append(self._lex_string())
+            elif char.isdigit():
+                result.append(self._lex_number())
+            elif char.isalpha() or char == "_":
+                result.append(self._lex_word())
+            else:
+                two = char + self._peek(1)
+                if two in _PUNCTUATION:
+                    result.append(Token(_PUNCTUATION[two], two, None, self.line, self.column))
+                    self._advance(2)
+                elif char in _PUNCTUATION:
+                    result.append(Token(_PUNCTUATION[char], char, None, self.line, self.column))
+                    self._advance()
+                else:
+                    raise self.error(f"unexpected character {char!r}")
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize a JDL document (the EOF token is always last)."""
+    return _Lexer(source).tokens()

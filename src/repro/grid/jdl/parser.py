@@ -1,0 +1,196 @@
+"""JDL recursive-descent parser.
+
+Grammar (precedence climbing, loosest first)::
+
+    document    := '[' (binding ';')* ']' | (binding ';')*
+    binding     := IDENT '=' expression
+    expression  := or_expr
+    or_expr     := and_expr ('||' and_expr)*
+    and_expr    := cmp_expr ('&&' cmp_expr)*
+    cmp_expr    := add_expr (('=='|'!='|'<='|'>='|'<'|'>') add_expr)?
+    add_expr    := mul_expr (('+'|'-') mul_expr)*
+    mul_expr    := unary (('*'|'/') unary)*
+    unary       := ('-'|'!') unary | primary
+    primary     := literal | list | reference | '(' expression ')'
+    list        := '{' (expression (',' expression)*)? '}'
+    reference   := IDENT ('.' IDENT)?
+
+Comparisons are non-associative (as in ClassAds): ``a < b < c`` is a
+syntax error rather than a surprise.
+"""
+
+from __future__ import annotations
+
+from repro.grid.jdl.ast import Attribute, Binary, Expr, JobDescription, ListExpr, Literal, Unary
+from repro.grid.jdl.errors import JdlSyntaxError
+from repro.grid.jdl.lexer import Token, TokenKind, tokenize
+
+_COMPARISONS = {
+    TokenKind.EQ: "==",
+    TokenKind.NE: "!=",
+    TokenKind.LE: "<=",
+    TokenKind.GE: ">=",
+    TokenKind.LT: "<",
+    TokenKind.GT: ">",
+}
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.position = 0
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.position]
+
+    def _advance(self) -> Token:
+        token = self.current
+        if token.kind is not TokenKind.EOF:
+            self.position += 1
+        return token
+
+    def _expect(self, kind: TokenKind) -> Token:
+        if self.current.kind is not kind:
+            raise JdlSyntaxError(
+                f"expected {kind.value!r}, found {self.current.text or 'end of input'!r}",
+                self.current.line,
+                self.current.column,
+            )
+        return self._advance()
+
+    def _accept(self, kind: TokenKind) -> Token | None:
+        if self.current.kind is kind:
+            return self._advance()
+        return None
+
+    # ------------------------------------------------------------ document
+
+    def document(self) -> JobDescription:
+        bracketed = self._accept(TokenKind.LBRACKET) is not None
+        description = JobDescription()
+        closer = TokenKind.RBRACKET if bracketed else TokenKind.EOF
+        while self.current.kind is not closer:
+            if self.current.kind is TokenKind.EOF:
+                raise JdlSyntaxError("unexpected end of input, missing ']'", self.current.line, self.current.column)
+            name_token = self._expect(TokenKind.IDENT)
+            name = name_token.text
+            if any(existing.lower() == name.lower() for existing in description.attributes):
+                raise JdlSyntaxError(
+                    f"duplicate attribute {name!r}", name_token.line, name_token.column
+                )
+            self._expect(TokenKind.ASSIGN)
+            description.attributes[name] = self.expression()
+            self._expect(TokenKind.SEMICOLON)
+        if bracketed:
+            self._expect(TokenKind.RBRACKET)
+            if self.current.kind is not TokenKind.EOF:
+                raise JdlSyntaxError(
+                    f"trailing input after ']': {self.current.text!r}",
+                    self.current.line,
+                    self.current.column,
+                )
+        return description
+
+    # --------------------------------------------------------- expressions
+
+    def expression(self) -> Expr:
+        return self._or_expr()
+
+    def _or_expr(self) -> Expr:
+        left = self._and_expr()
+        while self._accept(TokenKind.OR):
+            left = Binary("||", left, self._and_expr())
+        return left
+
+    def _and_expr(self) -> Expr:
+        left = self._cmp_expr()
+        while self._accept(TokenKind.AND):
+            left = Binary("&&", left, self._cmp_expr())
+        return left
+
+    def _cmp_expr(self) -> Expr:
+        left = self._add_expr()
+        if self.current.kind in _COMPARISONS:
+            op = _COMPARISONS[self._advance().kind]
+            right = self._add_expr()
+            if self.current.kind in _COMPARISONS:
+                raise JdlSyntaxError(
+                    "comparisons are non-associative; parenthesize",
+                    self.current.line,
+                    self.current.column,
+                )
+            return Binary(op, left, right)
+        return left
+
+    def _add_expr(self) -> Expr:
+        left = self._mul_expr()
+        while self.current.kind in (TokenKind.PLUS, TokenKind.MINUS):
+            op = self._advance().text
+            left = Binary(op, left, self._mul_expr())
+        return left
+
+    def _mul_expr(self) -> Expr:
+        left = self._unary()
+        while self.current.kind in (TokenKind.STAR, TokenKind.SLASH):
+            op = self._advance().text
+            left = Binary(op, left, self._unary())
+        return left
+
+    def _unary(self) -> Expr:
+        if self.current.kind in (TokenKind.MINUS, TokenKind.NOT):
+            op = self._advance().text
+            return Unary(op, self._unary())
+        return self._primary()
+
+    def _primary(self) -> Expr:
+        token = self.current
+        if token.kind in (TokenKind.STRING, TokenKind.NUMBER, TokenKind.BOOLEAN):
+            self._advance()
+            return Literal(token.value)
+        if token.kind is TokenKind.LBRACE:
+            return self._list()
+        if token.kind is TokenKind.LPAREN:
+            self._advance()
+            inner = self.expression()
+            self._expect(TokenKind.RPAREN)
+            return inner
+        if token.kind is TokenKind.IDENT:
+            self._advance()
+            if self._accept(TokenKind.DOT):
+                member = self._expect(TokenKind.IDENT)
+                return Attribute(member.text, scope=token.text.lower())
+            return Attribute(token.text)
+        raise JdlSyntaxError(
+            f"expected an expression, found {token.text or 'end of input'!r}",
+            token.line,
+            token.column,
+        )
+
+    def _list(self) -> Expr:
+        self._expect(TokenKind.LBRACE)
+        items: list[Expr] = []
+        if self.current.kind is not TokenKind.RBRACE:
+            items.append(self.expression())
+            while self._accept(TokenKind.COMMA):
+                items.append(self.expression())
+        self._expect(TokenKind.RBRACE)
+        return ListExpr(tuple(items))
+
+
+def parse_jdl(source: str) -> JobDescription:
+    """Parse a JDL document into a :class:`JobDescription`."""
+    return _Parser(tokenize(source)).document()
+
+
+def parse_expression(source: str) -> Expr:
+    """Parse a single JDL expression (useful for Requirements strings)."""
+    parser = _Parser(tokenize(source))
+    expr = parser.expression()
+    if parser.current.kind is not TokenKind.EOF:
+        raise JdlSyntaxError(
+            f"trailing input after expression: {parser.current.text!r}",
+            parser.current.line,
+            parser.current.column,
+        )
+    return expr

@@ -1,0 +1,58 @@
+"""Grid sites: computing elements backed by local batch systems.
+
+A site publishes Glue-schema-style attributes (the names gLite brokers
+match ``Requirements`` against) and executes forwarded jobs on its own
+:class:`~repro.batch.Cluster`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.batch import Cluster, ComputeNode
+
+
+@dataclass
+class GridSite:
+    """One computing element in the simulated grid."""
+
+    name: str
+    supported_vos: set[str] = field(default_factory=set)
+    #: Static Glue attributes advertised to the broker. Dynamic ones
+    #: (free slots) are merged in by :meth:`attributes_now`.
+    attributes: dict[str, Any] = field(default_factory=dict)
+    cluster: Cluster | None = None
+    slots: int = 4
+
+    def __post_init__(self) -> None:
+        if self.cluster is None:
+            self.cluster = Cluster(
+                nodes=[ComputeNode(f"{self.name}-n1", slots=self.slots)],
+                name=self.name,
+            )
+        defaults = {
+            "GlueCEName": self.name,
+            "GlueCEInfoTotalCPUs": self.cluster.total_slots,
+            "GlueCEStateEstimatedResponseTime": 0,
+        }
+        for key, value in defaults.items():
+            self.attributes.setdefault(key, value)
+
+    def attributes_now(self) -> dict[str, Any]:
+        """Current attribute snapshot, including dynamic load figures."""
+        running = sum(
+            1 for job in self.cluster.jobs() if not job.state.terminal
+        )
+        snapshot = dict(self.attributes)
+        snapshot["GlueCEStateFreeCPUs"] = self.cluster.free_slots
+        snapshot["GlueCEStateRunningJobs"] = running
+        # crude response-time estimate: queued work over capacity
+        snapshot.setdefault("GlueCEStateWaitingJobs", max(0, running - self.cluster.total_slots))
+        return snapshot
+
+    def supports_vo(self, vo_name: str) -> bool:
+        return vo_name in self.supported_vos
+
+    def shutdown(self) -> None:
+        self.cluster.shutdown()

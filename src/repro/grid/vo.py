@@ -1,0 +1,37 @@
+"""Virtual organizations: the grid's access-control grouping.
+
+A grid job carries a ``VirtualOrganisation`` attribute; only sites that
+support that VO are candidates, and only credentials belonging to a member
+of the VO may submit. Membership is by identity string (a certificate
+distinguished name or an OpenID identifier — see :mod:`repro.security`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class VoError(Exception):
+    """VO authorization failure."""
+
+
+@dataclass
+class VirtualOrganization:
+    """A named community of users allowed to use a set of grid resources."""
+
+    name: str
+    members: set[str] = field(default_factory=set)
+
+    def add_member(self, identity: str) -> None:
+        self.members.add(identity)
+
+    def remove_member(self, identity: str) -> None:
+        self.members.discard(identity)
+
+    def is_member(self, identity: str) -> bool:
+        return identity in self.members
+
+    def authorize(self, identity: str) -> None:
+        """Raise :class:`VoError` unless ``identity`` belongs to this VO."""
+        if not self.is_member(identity):
+            raise VoError(f"identity {identity!r} is not a member of VO {self.name!r}")

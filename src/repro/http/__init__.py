@@ -1,0 +1,40 @@
+"""Minimal HTTP/REST substrate (stand-in for Jersey/Jetty).
+
+This subpackage implements, from scratch on the standard library, everything
+MathCloud's service container needs from its HTTP stack:
+
+- an HTTP message model (:mod:`repro.http.messages`),
+- a URI-template router (:mod:`repro.http.router`),
+- a REST application kernel with middleware (:mod:`repro.http.app`),
+- a threaded TCP server (:mod:`repro.http.server`),
+- client transports — real sockets and in-process — behind one interface
+  (:mod:`repro.http.transport`), resolved by URI through a registry
+  (:mod:`repro.http.registry`),
+- a small JSON-aware REST client (:mod:`repro.http.client`).
+
+The same application object can be served over TCP or called in process;
+the REST semantics are identical on both paths.
+"""
+
+from repro.http.app import RestApp
+from repro.http.client import ClientError, RestClient
+from repro.http.messages import HttpError, Request, Response
+from repro.http.registry import TransportRegistry
+from repro.http.router import Router
+from repro.http.server import RestServer
+from repro.http.transport import HttpTransport, LocalTransport, Transport
+
+__all__ = [
+    "ClientError",
+    "HttpError",
+    "HttpTransport",
+    "LocalTransport",
+    "Request",
+    "Response",
+    "RestApp",
+    "RestClient",
+    "RestServer",
+    "Router",
+    "Transport",
+    "TransportRegistry",
+]

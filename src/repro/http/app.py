@@ -1,0 +1,78 @@
+"""REST application kernel.
+
+A :class:`RestApp` owns a router and a middleware chain and turns a
+:class:`~repro.http.messages.Request` into a
+:class:`~repro.http.messages.Response`. It is transport-agnostic: the same
+instance can be served over TCP by :class:`~repro.http.server.RestServer`
+or called in process through
+:class:`~repro.http.transport.LocalTransport`.
+"""
+
+from __future__ import annotations
+
+import logging
+import traceback
+from typing import Callable, Protocol
+
+from repro.http.messages import HttpError, Request, Response
+from repro.http.router import Handler, Router
+
+logger = logging.getLogger(__name__)
+
+
+class Middleware(Protocol):
+    """Wraps request handling; used for security and instrumentation.
+
+    A middleware receives the request and a ``call_next`` continuation and
+    must return a response — either by invoking the continuation (possibly
+    after mutating ``request.context``) or by short-circuiting.
+    """
+
+    def __call__(self, request: Request, call_next: Callable[[Request], Response]) -> Response: ...
+
+
+class RestApp:
+    """A routed REST application with middleware and uniform error handling.
+
+    Handler exceptions become JSON error responses: :class:`HttpError` keeps
+    its status; anything else is logged and reported as a 500 without
+    leaking the traceback to the client.
+    """
+
+    def __init__(self, name: str = "app") -> None:
+        self.name = name
+        self.router = Router()
+        self._middleware: list[Middleware] = []
+
+    def route(self, method: str, template: str, handler: Handler) -> None:
+        """Register a handler; see :meth:`repro.http.router.Router.add`."""
+        self.router.add(method, template, handler)
+
+    def add_middleware(self, middleware: Middleware) -> None:
+        """Append ``middleware``; the first added runs outermost."""
+        self._middleware.append(middleware)
+
+    def handle(self, request: Request) -> Response:
+        """Process one request through middleware, router and handler."""
+        try:
+            return self._call_chain(request, 0)
+        except HttpError as error:
+            return error.to_response()
+        except Exception:  # noqa: BLE001 - the kernel must never propagate
+            logger.error(
+                "unhandled error in %s %s %s\n%s",
+                self.name,
+                request.method,
+                request.path,
+                traceback.format_exc(),
+            )
+            return HttpError(500, "internal server error").to_response()
+
+    def _call_chain(self, request: Request, index: int) -> Response:
+        if index < len(self._middleware):
+            middleware = self._middleware[index]
+            return middleware(request, lambda req: self._call_chain(req, index + 1))
+        return self.router.dispatch(request)
+
+    def __repr__(self) -> str:
+        return f"RestApp({self.name!r}, routes={len(self.router)})"

@@ -1,0 +1,146 @@
+"""A small JSON-aware REST client used throughout the platform.
+
+:class:`RestClient` layers three conveniences over a transport registry:
+URL joining against a base URI, JSON encoding/decoding, and converting
+HTTP-level errors (4xx/5xx) into :class:`ClientError` exceptions carrying
+the server's JSON error body.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Mapping
+from urllib.parse import quote, urlencode
+
+from repro.http.messages import JSON_CONTENT_TYPE, Response
+from repro.http.registry import TransportRegistry
+
+
+class ClientError(Exception):
+    """An HTTP error response received from a service."""
+
+    def __init__(self, status: int, message: str, details: Any = None, url: str = ""):
+        super().__init__(f"{status}: {message}" + (f" ({url})" if url else ""))
+        self.status = status
+        self.message = message
+        self.details = details
+        self.url = url
+
+
+def join_url(base: str, path: str) -> str:
+    """Join ``path`` onto ``base`` without collapsing the base path.
+
+    Unlike ``urllib.parse.urljoin``, a relative path is always appended
+    below the base URI — which is what resource hierarchies need::
+
+        >>> join_url("http://h/services/add", "jobs/1")
+        'http://h/services/add/jobs/1'
+    """
+    if re.match(r"^[a-zA-Z][a-zA-Z0-9+.-]*://", path):
+        return path
+    if not path:
+        return base
+    return base.rstrip("/") + "/" + path.lstrip("/")
+
+
+class RestClient:
+    """JSON request helpers over a :class:`TransportRegistry`."""
+
+    def __init__(
+        self,
+        registry: TransportRegistry | None = None,
+        base: str = "",
+        headers: Mapping[str, str] | None = None,
+    ):
+        self.registry = registry or TransportRegistry()
+        self.base = base
+        #: Headers attached to every request (used for credentials).
+        self.default_headers: dict[str, str] = dict(headers or {})
+
+    def with_headers(self, headers: Mapping[str, str]) -> "RestClient":
+        """A copy of this client with extra default headers."""
+        merged = {**self.default_headers, **headers}
+        return RestClient(self.registry, base=self.base, headers=merged)
+
+    def url(self, path: str, query: Mapping[str, Any] | None = None) -> str:
+        absolute = join_url(self.base, path)
+        if query:
+            absolute += "?" + urlencode({k: str(v) for k, v in query.items()})
+        return absolute
+
+    def request_raw(
+        self,
+        method: str,
+        path: str,
+        query: Mapping[str, Any] | None = None,
+        body: bytes = b"",
+        headers: Mapping[str, str] | None = None,
+    ) -> Response:
+        """Send a request and return the raw response, whatever its status."""
+        merged = {**self.default_headers, **(headers or {})}
+        return self.registry.request(method, self.url(path, query), headers=merged, body=body)
+
+    def request_json(
+        self,
+        method: str,
+        path: str,
+        query: Mapping[str, Any] | None = None,
+        payload: Any = None,
+        headers: Mapping[str, str] | None = None,
+    ) -> Any:
+        """Send a JSON request; return the parsed JSON body.
+
+        Raises :class:`ClientError` for 4xx/5xx responses, extracting the
+        service's JSON error envelope when present.
+        """
+        body = b""
+        merged = dict(headers or {})
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            merged.setdefault("Content-Type", JSON_CONTENT_TYPE)
+        response = self.request_raw(method, path, query=query, body=body, headers=merged)
+        return self._decode(response, self.url(path, query))
+
+    def get(self, path: str = "", query: Mapping[str, Any] | None = None) -> Any:
+        return self.request_json("GET", path, query=query)
+
+    def post(self, path: str = "", payload: Any = None, query: Mapping[str, Any] | None = None) -> Any:
+        return self.request_json("POST", path, query=query, payload=payload)
+
+    def put(self, path: str = "", payload: Any = None) -> Any:
+        return self.request_json("PUT", path, payload=payload)
+
+    def delete(self, path: str = "") -> Any:
+        return self.request_json("DELETE", path)
+
+    def get_bytes(self, path: str, headers: Mapping[str, str] | None = None) -> bytes:
+        """Fetch a binary resource (file contents); raises on error statuses."""
+        response = self.request_raw("GET", path, headers=headers)
+        if not response.ok and response.status != 206:
+            self._decode(response, self.url(path))  # raises ClientError
+        return response.body
+
+    @staticmethod
+    def _decode(response: Response, url: str) -> Any:
+        if response.ok:
+            if not response.body:
+                return None
+            content_type = response.headers.get("Content-Type", "") or ""
+            if "json" in content_type:
+                return response.json_body
+            return response.text_body
+        message, details = response.text_body or "error", None
+        try:
+            envelope = response.json_body
+            if isinstance(envelope, dict):
+                message = envelope.get("error", message)
+                details = envelope.get("details")
+        except (ValueError, UnicodeDecodeError):
+            pass
+        raise ClientError(response.status, message, details=details, url=url)
+
+
+def quote_segment(segment: str) -> str:
+    """Percent-encode one path segment for safe URI embedding."""
+    return quote(segment, safe="")

@@ -1,0 +1,280 @@
+"""HTTP message model: requests, responses and protocol errors.
+
+The model is deliberately small: exactly what a RESTful computational
+service needs (JSON bodies, a few headers, byte-range requests for file
+resources) and nothing more.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping
+from urllib.parse import parse_qsl, quote, urlsplit
+
+#: Reason phrases for the status codes the platform actually uses.
+REASON_PHRASES = {
+    200: "OK",
+    201: "Created",
+    202: "Accepted",
+    204: "No Content",
+    206: "Partial Content",
+    301: "Moved Permanently",
+    302: "Found",
+    304: "Not Modified",
+    400: "Bad Request",
+    401: "Unauthorized",
+    403: "Forbidden",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    406: "Not Acceptable",
+    409: "Conflict",
+    410: "Gone",
+    413: "Payload Too Large",
+    415: "Unsupported Media Type",
+    416: "Range Not Satisfiable",
+    422: "Unprocessable Entity",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+}
+
+JSON_CONTENT_TYPE = "application/json; charset=utf-8"
+
+
+def reason_phrase(status: int) -> str:
+    """Return the standard reason phrase for ``status`` (or ``"Unknown"``)."""
+    return REASON_PHRASES.get(status, "Unknown")
+
+
+class Headers:
+    """A case-insensitive multi-value HTTP header collection.
+
+    Lookup is case-insensitive; the originally supplied casing is kept for
+    serialization. Multiple values per name are supported (``add``), though
+    ``get`` returns the first value, which is what REST handlers want.
+    """
+
+    def __init__(self, items: Mapping[str, str] | None = None):
+        self._items: list[tuple[str, str]] = []
+        if items:
+            for name, value in items.items():
+                self.add(name, value)
+
+    def add(self, name: str, value: str) -> None:
+        """Append a header, keeping any existing values for ``name``."""
+        self._items.append((name, str(value)))
+
+    def set(self, name: str, value: str) -> None:
+        """Replace all values of ``name`` with a single ``value``."""
+        self.remove(name)
+        self.add(name, value)
+
+    def remove(self, name: str) -> None:
+        """Drop every value of ``name`` (no error if absent)."""
+        lowered = name.lower()
+        self._items = [(n, v) for n, v in self._items if n.lower() != lowered]
+
+    def get(self, name: str, default: str | None = None) -> str | None:
+        """Return the first value of ``name``, or ``default``."""
+        lowered = name.lower()
+        for item_name, value in self._items:
+            if item_name.lower() == lowered:
+                return value
+        return default
+
+    def get_all(self, name: str) -> list[str]:
+        """Return every value of ``name`` in insertion order."""
+        lowered = name.lower()
+        return [v for n, v in self._items if n.lower() == lowered]
+
+    def items(self) -> Iterator[tuple[str, str]]:
+        return iter(self._items)
+
+    def __contains__(self, name: object) -> bool:
+        return isinstance(name, str) and self.get(name) is not None
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __repr__(self) -> str:
+        return f"Headers({dict(self._items)!r})"
+
+    def copy(self) -> "Headers":
+        clone = Headers()
+        clone._items = list(self._items)
+        return clone
+
+
+class HttpError(Exception):
+    """An error with an HTTP status, rendered as a JSON error body.
+
+    Raise from any handler (or middleware) to produce a well-formed error
+    response; the application kernel converts it.
+    """
+
+    def __init__(self, status: int, message: str, details: Any = None):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.details = details
+
+    def to_response(self) -> "Response":
+        body: dict[str, Any] = {"error": self.message, "status": self.status}
+        if self.details is not None:
+            body["details"] = self.details
+        return Response.json(body, status=self.status)
+
+
+@dataclass
+class Request:
+    """An HTTP request as seen by handlers.
+
+    ``path`` is the decoded path without the query string; ``query`` holds
+    decoded query parameters (first value wins on duplicates).
+    """
+
+    method: str
+    path: str
+    headers: Headers = field(default_factory=Headers)
+    body: bytes = b""
+    query: dict[str, str] = field(default_factory=dict)
+    #: Attributes attached by middleware (e.g. the authenticated identity).
+    context: dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def from_target(
+        cls,
+        method: str,
+        target: str,
+        headers: Headers | Mapping[str, str] | None = None,
+        body: bytes = b"",
+    ) -> "Request":
+        """Build a request from a request-target (path plus query string)."""
+        parts = urlsplit(target)
+        query = dict(parse_qsl(parts.query, keep_blank_values=True))
+        if headers is None:
+            headers = Headers()
+        elif not isinstance(headers, Headers):
+            headers = Headers(headers)
+        return cls(
+            method=method.upper(),
+            path=parts.path or "/",
+            headers=headers,
+            body=body,
+            query=query,
+        )
+
+    @property
+    def text(self) -> str:
+        """The request body decoded as UTF-8."""
+        return self.body.decode("utf-8")
+
+    @property
+    def json(self) -> Any:
+        """The request body parsed as JSON.
+
+        Raises :class:`HttpError` (400) on malformed or empty bodies so
+        handlers can use it directly without their own error handling.
+        """
+        if not self.body:
+            raise HttpError(400, "request body is empty, expected JSON")
+        try:
+            return json.loads(self.body)
+        except json.JSONDecodeError as exc:
+            raise HttpError(400, f"malformed JSON in request body: {exc}") from exc
+
+    @property
+    def content_type(self) -> str:
+        return self.headers.get("Content-Type", "") or ""
+
+    def byte_range(self, size: int) -> tuple[int, int] | None:
+        """Interpret a ``Range: bytes=a-b`` header against a body of ``size``.
+
+        Returns an inclusive ``(start, end)`` pair, ``None`` when no Range
+        header is present, and raises :class:`HttpError` (416) for
+        unsatisfiable or malformed ranges. Suffix ranges (``bytes=-n``) are
+        supported; multi-range requests are not (they are rejected).
+        """
+        raw = self.headers.get("Range")
+        if raw is None:
+            return None
+        unit, _, spec = raw.partition("=")
+        if unit.strip().lower() != "bytes" or "," in spec:
+            raise HttpError(416, f"unsupported Range header: {raw!r}")
+        start_text, dash, end_text = spec.strip().partition("-")
+        if not dash:
+            raise HttpError(416, f"malformed Range header: {raw!r}")
+        try:
+            if not start_text:  # suffix range: last N bytes
+                suffix = int(end_text)
+                if suffix <= 0:
+                    raise ValueError
+                start, end = max(0, size - suffix), size - 1
+            else:
+                start = int(start_text)
+                end = int(end_text) if end_text else size - 1
+        except ValueError as exc:
+            raise HttpError(416, f"malformed Range header: {raw!r}") from exc
+        if start >= size or end < start:
+            raise HttpError(416, f"range {raw!r} not satisfiable for size {size}")
+        return start, min(end, size - 1)
+
+
+@dataclass
+class Response:
+    """An HTTP response produced by handlers."""
+
+    status: int = 200
+    headers: Headers = field(default_factory=Headers)
+    body: bytes = b""
+
+    @classmethod
+    def json(
+        cls,
+        data: Any,
+        status: int = 200,
+        headers: Mapping[str, str] | None = None,
+    ) -> "Response":
+        """A JSON response; ``data`` is serialized with ``json.dumps``."""
+        response = cls(
+            status=status,
+            body=json.dumps(data, ensure_ascii=False).encode("utf-8"),
+        )
+        response.headers.set("Content-Type", JSON_CONTENT_TYPE)
+        for name, value in (headers or {}).items():
+            response.headers.set(name, value)
+        return response
+
+    @classmethod
+    def text(cls, text: str, status: int = 200, content_type: str = "text/plain; charset=utf-8") -> "Response":
+        response = cls(status=status, body=text.encode("utf-8"))
+        response.headers.set("Content-Type", content_type)
+        return response
+
+    @classmethod
+    def html(cls, markup: str, status: int = 200) -> "Response":
+        return cls.text(markup, status=status, content_type="text/html; charset=utf-8")
+
+    @classmethod
+    def no_content(cls) -> "Response":
+        return cls(status=204)
+
+    @classmethod
+    def created(cls, location: str, data: Any) -> "Response":
+        """A 201 response advertising the new resource's URI."""
+        response = cls.json(data, status=201)
+        response.headers.set("Location", quote(location, safe="/:?=&%"))
+        return response
+
+    @property
+    def text_body(self) -> str:
+        return self.body.decode("utf-8")
+
+    @property
+    def json_body(self) -> Any:
+        return json.loads(self.body) if self.body else None
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300

@@ -1,0 +1,125 @@
+"""URI-template routing.
+
+Routes are declared with templates such as ``/services/{name}/jobs/{job_id}``.
+Each ``{variable}`` segment matches one path segment; a trailing
+``{variable...}`` matches the rest of the path (used for file resources whose
+identifiers may contain slashes). Matching is exact otherwise.
+
+The paper's REST API does not prescribe URI templates — only the hierarchy
+service → job → file — so the router keeps templates fully configurable.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.http.messages import HttpError, Request, Response
+
+Handler = Callable[..., Response]
+
+_VARIABLE = re.compile(r"\{([a-zA-Z_][a-zA-Z0-9_]*)(\.\.\.)?\}")
+
+
+def compile_template(template: str) -> re.Pattern[str]:
+    """Compile a URI template into an anchored regular expression.
+
+    >>> compile_template("/jobs/{id}").match("/jobs/42").groupdict()
+    {'id': '42'}
+    """
+    if not template.startswith("/"):
+        raise ValueError(f"URI template must start with '/': {template!r}")
+    pattern = ""
+    position = 0
+    seen: set[str] = set()
+    for match in _VARIABLE.finditer(template):
+        literal = template[position : match.start()]
+        pattern += re.escape(literal)
+        name, greedy = match.group(1), match.group(2)
+        if name in seen:
+            raise ValueError(f"duplicate variable {name!r} in template {template!r}")
+        seen.add(name)
+        pattern += f"(?P<{name}>.+)" if greedy else f"(?P<{name}>[^/]+)"
+        position = match.end()
+    pattern += re.escape(template[position:])
+    return re.compile("^" + pattern + "$")
+
+
+@dataclass
+class Route:
+    """One (method, template) → handler binding."""
+
+    method: str
+    template: str
+    handler: Handler
+    pattern: re.Pattern[str] = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.method = self.method.upper()
+        self.pattern = compile_template(self.template)
+
+
+class Router:
+    """Dispatches (method, path) pairs to handlers.
+
+    ``resolve`` distinguishes *unknown path* (404) from *known path, wrong
+    method* (405 with an ``Allow`` header), as a well-behaved REST service
+    must.
+    """
+
+    def __init__(self) -> None:
+        self._routes: list[Route] = []
+
+    def add(self, method: str, template: str, handler: Handler) -> None:
+        """Register ``handler`` for ``method`` requests matching ``template``."""
+        route = Route(method, template, handler)
+        for existing in self._routes:
+            if existing.method == route.method and existing.template == template:
+                raise ValueError(f"route already registered: {method} {template}")
+        self._routes.append(route)
+
+    def remove_prefix(self, prefix: str) -> int:
+        """Drop every route whose template starts with ``prefix``.
+
+        Used when a service is undeployed from the container. Returns the
+        number of routes removed.
+        """
+        before = len(self._routes)
+        self._routes = [r for r in self._routes if not r.template.startswith(prefix)]
+        return before - len(self._routes)
+
+    def resolve(self, method: str, path: str) -> tuple[Handler, dict[str, str]]:
+        """Find the handler and path variables for a request.
+
+        Raises :class:`HttpError` 404 when no template matches the path and
+        405 when a template matches but not with this method.
+        """
+        method = method.upper()
+        allowed: set[str] = set()
+        for route in self._routes:
+            match = route.pattern.match(path)
+            if match is None:
+                continue
+            if route.method == method:
+                return route.handler, match.groupdict()
+            allowed.add(route.method)
+        if allowed:
+            raise HttpError(
+                405,
+                f"method {method} not allowed for {path}",
+                details={"allow": sorted(allowed)},
+            )
+        raise HttpError(404, f"no resource at {path}")
+
+    def dispatch(self, request: Request) -> Response:
+        """Resolve and invoke the handler for ``request``."""
+        handler, variables = self.resolve(request.method, request.path)
+        return handler(request, **variables)
+
+    @property
+    def routes(self) -> list[Route]:
+        return list(self._routes)
+
+    def __len__(self) -> int:
+        return len(self._routes)

@@ -1,0 +1,123 @@
+"""Threaded TCP server exposing a :class:`~repro.http.app.RestApp`.
+
+This is the Jetty stand-in: a thread-per-connection HTTP/1.1 server built on
+``http.server`` that forwards every request to the application kernel. It
+binds to an ephemeral loopback port by default, which keeps parallel test
+runs and multi-container benchmarks free of port clashes.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.http.app import RestApp
+from repro.http.messages import Headers, Request, reason_phrase
+
+#: Methods the unified REST API uses (Table 1 of the paper) plus PUT, which
+#: the catalogue and WMS use for idempotent updates.
+SUPPORTED_METHODS = ("GET", "POST", "DELETE", "PUT")
+
+
+class _AppRequestHandler(BaseHTTPRequestHandler):
+    """Adapts ``http.server`` parsing to the :class:`RestApp` interface."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "MathCloud/1.0"
+    app: RestApp  # set on the generated subclass
+
+    def _dispatch(self) -> None:
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        body = self.rfile.read(length) if length else b""
+        headers = Headers()
+        for name, value in self.headers.items():
+            headers.add(name, value)
+        request = Request.from_target(self.command, self.path, headers=headers, body=body)
+        response = self.app.handle(request)
+        self.send_response_only(response.status, reason_phrase(response.status))
+        seen = {name.lower() for name, _ in response.headers.items()}
+        for name, value in response.headers.items():
+            self.send_header(name, value)
+        if "content-length" not in seen:
+            self.send_header("Content-Length", str(len(response.body)))
+        self.end_headers()
+        if response.body and self.command != "HEAD":
+            self.wfile.write(response.body)
+
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        """Silence per-request stderr logging (tests and benchmarks are chatty)."""
+
+    def do_GET(self) -> None:
+        self._dispatch()
+
+    def do_POST(self) -> None:
+        self._dispatch()
+
+    def do_DELETE(self) -> None:
+        self._dispatch()
+
+    def do_PUT(self) -> None:
+        self._dispatch()
+
+
+class _Server(ThreadingHTTPServer):
+    """Bounded thread-per-connection server with a deep accept backlog
+    (clients open one connection per request, so bursts are normal)."""
+
+    request_queue_size = 128
+    daemon_threads = True
+
+
+class RestServer:
+    """Serves a :class:`RestApp` over TCP on a background thread.
+
+    Usable as a context manager::
+
+        with RestServer(app) as server:
+            client = RestClient(HttpTransport(), base=server.base_url)
+    """
+
+    def __init__(self, app: RestApp, host: str = "127.0.0.1", port: int = 0):
+        handler = type("Handler", (_AppRequestHandler,), {"app": app})
+        self._server = _Server((host, port), handler)
+        self._server.daemon_threads = True
+        self._thread: threading.Thread | None = None
+        self.app = app
+
+    @property
+    def host(self) -> str:
+        return self._server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    @property
+    def base_url(self) -> str:
+        """The ``http://host:port`` prefix under which the app is reachable."""
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "RestServer":
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name=f"rest-server-{self.port}",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join(timeout=5)
+        self._thread = None
+
+    def __enter__(self) -> "RestServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

@@ -1,0 +1,136 @@
+"""Client-side transports.
+
+Every REST interaction in the platform goes through the :class:`Transport`
+interface, so callers (clients, the workflow engine, the catalogue pinger)
+are agnostic about whether a service lives behind a real TCP socket
+(:class:`HttpTransport`) or in the same process
+(:class:`LocalTransport`). The two are semantically identical: both carry
+the full request/response model including headers, status codes and bodies.
+"""
+
+from __future__ import annotations
+
+import http.client
+from typing import Mapping
+from urllib.parse import urlsplit
+
+from repro.http.app import RestApp
+from repro.http.messages import Headers, Request, Response
+
+
+class TransportError(Exception):
+    """A connection-level failure (service unreachable, socket error)."""
+
+
+class Transport:
+    """Abstract request/response channel to one or more authorities."""
+
+    #: URI schemes this transport can serve.
+    schemes: tuple[str, ...] = ()
+
+    def request(
+        self,
+        method: str,
+        url: str,
+        headers: Mapping[str, str] | None = None,
+        body: bytes = b"",
+    ) -> Response:
+        """Send one request to an absolute ``url`` and return the response.
+
+        Raises :class:`TransportError` when the authority cannot be reached;
+        HTTP-level errors (4xx/5xx) are returned as normal responses.
+        """
+        raise NotImplementedError
+
+    def handles(self, url: str) -> bool:
+        """Whether this transport can carry requests for ``url``."""
+        parts = urlsplit(url)
+        return parts.scheme in self.schemes
+
+
+class HttpTransport(Transport):
+    """Carries requests over TCP using the standard library HTTP client.
+
+    A new connection per request keeps the transport thread-safe; the
+    platform's traffic is job-grained, so connection reuse is not worth the
+    locking it would need.
+    """
+
+    schemes = ("http",)
+
+    def __init__(self, timeout: float = 30.0):
+        self.timeout = timeout
+
+    def request(
+        self,
+        method: str,
+        url: str,
+        headers: Mapping[str, str] | None = None,
+        body: bytes = b"",
+    ) -> Response:
+        parts = urlsplit(url)
+        if parts.scheme != "http":
+            raise TransportError(f"HttpTransport cannot handle {url!r}")
+        target = parts.path or "/"
+        if parts.query:
+            target += "?" + parts.query
+        connection = http.client.HTTPConnection(parts.hostname, parts.port or 80, timeout=self.timeout)
+        try:
+            connection.request(method.upper(), target, body=body or None, headers=dict(headers or {}))
+            raw = connection.getresponse()
+            response = Response(status=raw.status, body=raw.read())
+            for name, value in raw.getheaders():
+                response.headers.add(name, value)
+            return response
+        except (OSError, http.client.HTTPException) as exc:
+            raise TransportError(f"{method} {url} failed: {exc}") from exc
+        finally:
+            connection.close()
+
+
+class LocalTransport(Transport):
+    """Carries requests to in-process applications under ``local://`` URIs.
+
+    Each application is registered under an authority name; a request for
+    ``local://authority/path`` is dispatched synchronously into the matching
+    :class:`RestApp`. This gives tests and single-process deployments the
+    exact REST semantics of the socket path at function-call cost.
+    """
+
+    schemes = ("local",)
+
+    def __init__(self) -> None:
+        self._apps: dict[str, RestApp] = {}
+
+    def bind(self, authority: str, app: RestApp) -> str:
+        """Expose ``app`` as ``local://authority``; returns that base URI."""
+        if authority in self._apps:
+            raise ValueError(f"authority already bound: {authority!r}")
+        self._apps[authority] = app
+        return f"local://{authority}"
+
+    def unbind(self, authority: str) -> None:
+        self._apps.pop(authority, None)
+
+    def request(
+        self,
+        method: str,
+        url: str,
+        headers: Mapping[str, str] | None = None,
+        body: bytes = b"",
+    ) -> Response:
+        parts = urlsplit(url)
+        if parts.scheme != "local":
+            raise TransportError(f"LocalTransport cannot handle {url!r}")
+        app = self._apps.get(parts.netloc)
+        if app is None:
+            raise TransportError(f"no local application bound at {parts.netloc!r}")
+        target = parts.path or "/"
+        if parts.query:
+            target += "?" + parts.query
+        request = Request.from_target(method, target, headers=Headers(dict(headers or {})), body=body)
+        return app.handle(request)
+
+    @property
+    def authorities(self) -> list[str]:
+        return sorted(self._apps)

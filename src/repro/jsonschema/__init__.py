@@ -1,0 +1,26 @@
+"""JSON Schema validator (draft-04 core subset), built from scratch.
+
+The unified REST API describes each service's input and output parameters
+with JSON Schema (paper §2); this subpackage provides the validator the
+platform uses for that contract — no external dependency is assumed.
+
+Supported keywords: ``type`` (including unions), ``enum``, ``const``,
+numeric bounds (``minimum``/``maximum``/``exclusiveMinimum``/
+``exclusiveMaximum``/``multipleOf``), string bounds (``minLength``/
+``maxLength``/``pattern``), object keywords (``properties``, ``required``,
+``additionalProperties``, ``minProperties``, ``maxProperties``), array
+keywords (``items`` as schema or tuple, ``additionalItems``, ``minItems``,
+``maxItems``, ``uniqueItems``), combinators (``allOf``, ``anyOf``,
+``oneOf``, ``not``), and local references (``$ref`` into
+``#/definitions``).
+"""
+
+from repro.jsonschema.validator import (
+    SchemaError,
+    ValidationError,
+    check_schema,
+    is_valid,
+    validate,
+)
+
+__all__ = ["SchemaError", "ValidationError", "check_schema", "is_valid", "validate"]

@@ -1,0 +1,363 @@
+"""The JSON Schema validation engine.
+
+Validation walks instance and schema together, accumulating a JSON-pointer
+style path so error messages point at the offending element::
+
+    ValidationError: $.matrix[2][0]: expected number, got str
+
+Follows draft-04 semantics for the supported keyword set, with one
+deliberate deviation: ``exclusiveMinimum``/``exclusiveMaximum`` accept both
+the boolean (draft-04) and numeric (draft-06+) forms, since service authors
+use either.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any
+
+#: JSON type name → Python type check. ``bool`` must be screened out of the
+#: numeric checks because it subclasses ``int``.
+_TYPE_CHECKS = {
+    "null": lambda v: v is None,
+    "boolean": lambda v: isinstance(v, bool),
+    "integer": lambda v: (isinstance(v, int) and not isinstance(v, bool))
+    or (isinstance(v, float) and v.is_integer()),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "string": lambda v: isinstance(v, str),
+    "array": lambda v: isinstance(v, list),
+    "object": lambda v: isinstance(v, dict),
+}
+
+_KNOWN_KEYWORDS = {
+    "$ref", "$schema", "id", "title", "description", "default", "examples",
+    "type", "enum", "const", "format",
+    "minimum", "maximum", "exclusiveMinimum", "exclusiveMaximum", "multipleOf",
+    "minLength", "maxLength", "pattern",
+    "properties", "required", "additionalProperties", "minProperties",
+    "maxProperties", "patternProperties",
+    "items", "additionalItems", "minItems", "maxItems", "uniqueItems",
+    "allOf", "anyOf", "oneOf", "not", "definitions",
+}
+
+
+class ValidationError(Exception):
+    """An instance does not conform to its schema."""
+
+    def __init__(self, path: str, message: str):
+        super().__init__(f"{path}: {message}")
+        self.path = path
+        self.reason = message
+
+
+class SchemaError(Exception):
+    """The schema itself is malformed."""
+
+
+def _type_name(value: Any) -> str:
+    if value is None:
+        return "null"
+    if isinstance(value, bool):
+        return "boolean"
+    if isinstance(value, int):
+        return "integer"
+    if isinstance(value, float):
+        return "number"
+    if isinstance(value, str):
+        return "string"
+    if isinstance(value, list):
+        return "array"
+    if isinstance(value, dict):
+        return "object"
+    return type(value).__name__
+
+
+def _resolve_ref(ref: str, root: dict[str, Any]) -> Any:
+    """Resolve a local ``#/...`` JSON-pointer reference against ``root``."""
+    if not ref.startswith("#"):
+        raise SchemaError(f"only local $ref supported, got {ref!r}")
+    target: Any = root
+    pointer = ref[1:].lstrip("/")
+    if not pointer:
+        return root
+    for token in pointer.split("/"):
+        token = token.replace("~1", "/").replace("~0", "~")
+        if isinstance(target, dict) and token in target:
+            target = target[token]
+        elif isinstance(target, list) and token.isdigit() and int(token) < len(target):
+            target = target[int(token)]
+        else:
+            raise SchemaError(f"unresolvable $ref {ref!r} (at token {token!r})")
+    return target
+
+
+def check_schema(schema: Any) -> None:
+    """Raise :class:`SchemaError` if ``schema`` is structurally invalid.
+
+    This is a shallow sanity check (types of keyword values, known type
+    names); it exists so service deployment can reject broken parameter
+    descriptions early instead of failing on the first request.
+    """
+    _check_schema(schema, "#")
+
+
+def _check_schema(schema: Any, where: str) -> None:
+    if schema is True or schema is False:
+        return
+    if not isinstance(schema, dict):
+        raise SchemaError(f"{where}: schema must be an object or boolean, got {_type_name(schema)}")
+    declared = schema.get("type")
+    if declared is not None:
+        names = declared if isinstance(declared, list) else [declared]
+        for name in names:
+            if name not in _TYPE_CHECKS:
+                raise SchemaError(f"{where}: unknown type {name!r}")
+    for keyword in ("properties", "patternProperties", "definitions"):
+        block = schema.get(keyword)
+        if block is not None:
+            if not isinstance(block, dict):
+                raise SchemaError(f"{where}: {keyword} must be an object")
+            for key, sub in block.items():
+                _check_schema(sub, f"{where}/{keyword}/{key}")
+    for keyword in ("allOf", "anyOf", "oneOf"):
+        block = schema.get(keyword)
+        if block is not None:
+            if not isinstance(block, list) or not block:
+                raise SchemaError(f"{where}: {keyword} must be a non-empty array")
+            for index, sub in enumerate(block):
+                _check_schema(sub, f"{where}/{keyword}/{index}")
+    if "not" in schema:
+        _check_schema(schema["not"], f"{where}/not")
+    items = schema.get("items")
+    if isinstance(items, list):
+        for index, sub in enumerate(items):
+            _check_schema(sub, f"{where}/items/{index}")
+    elif items is not None:
+        _check_schema(items, f"{where}/items")
+    extra = schema.get("additionalProperties")
+    if isinstance(extra, dict):
+        _check_schema(extra, f"{where}/additionalProperties")
+    elif extra is not None and not isinstance(extra, bool):
+        raise SchemaError(f"{where}: additionalProperties must be a boolean or schema")
+    required = schema.get("required")
+    if required is not None and (
+        not isinstance(required, list) or not all(isinstance(r, str) for r in required)
+    ):
+        raise SchemaError(f"{where}: required must be an array of strings")
+    if "pattern" in schema:
+        try:
+            re.compile(schema["pattern"])
+        except (re.error, TypeError) as exc:
+            raise SchemaError(f"{where}: bad pattern: {exc}") from exc
+
+
+def validate(instance: Any, schema: Any, root: dict[str, Any] | None = None, path: str = "$") -> None:
+    """Validate ``instance`` against ``schema``.
+
+    Raises :class:`ValidationError` with the instance path on the first
+    violation found; returns ``None`` on success. ``root`` is the document
+    used to resolve ``$ref`` (defaults to ``schema`` itself).
+    """
+    if schema is True:
+        return
+    if schema is False:
+        raise ValidationError(path, "schema forbids any value")
+    if not isinstance(schema, dict):
+        raise SchemaError(f"schema must be an object or boolean, got {_type_name(schema)}")
+    if root is None:
+        root = schema
+
+    if "$ref" in schema:
+        validate(instance, _resolve_ref(schema["$ref"], root), root, path)
+        return
+
+    _validate_type(instance, schema, path)
+    _validate_enum_const(instance, schema, path)
+    if isinstance(instance, (int, float)) and not isinstance(instance, bool):
+        _validate_number(instance, schema, path)
+    if isinstance(instance, str):
+        _validate_string(instance, schema, path)
+    if isinstance(instance, dict):
+        _validate_object(instance, schema, root, path)
+    if isinstance(instance, list):
+        _validate_array(instance, schema, root, path)
+    _validate_combinators(instance, schema, root, path)
+
+
+def is_valid(instance: Any, schema: Any) -> bool:
+    """Boolean form of :func:`validate`."""
+    try:
+        validate(instance, schema)
+    except ValidationError:
+        return False
+    return True
+
+
+def _validate_type(instance: Any, schema: dict[str, Any], path: str) -> None:
+    declared = schema.get("type")
+    if declared is None:
+        return
+    names = declared if isinstance(declared, list) else [declared]
+    for name in names:
+        check = _TYPE_CHECKS.get(name)
+        if check is None:
+            raise SchemaError(f"unknown type {name!r} in schema")
+        if check(instance):
+            return
+    expected = " or ".join(names)
+    raise ValidationError(path, f"expected {expected}, got {_type_name(instance)}")
+
+
+def _validate_enum_const(instance: Any, schema: dict[str, Any], path: str) -> None:
+    if "enum" in schema and not any(_json_equal(instance, option) for option in schema["enum"]):
+        raise ValidationError(path, f"value {instance!r} not in enum {schema['enum']!r}")
+    if "const" in schema and not _json_equal(instance, schema["const"]):
+        raise ValidationError(path, f"value {instance!r} != const {schema['const']!r}")
+
+
+def _json_equal(left: Any, right: Any) -> bool:
+    """JSON equality: 1 == 1.0 but True != 1."""
+    if isinstance(left, bool) != isinstance(right, bool):
+        return False
+    if isinstance(left, (int, float)) and isinstance(right, (int, float)):
+        return left == right
+    if type(left) is not type(right):
+        return False
+    if isinstance(left, list):
+        return len(left) == len(right) and all(_json_equal(a, b) for a, b in zip(left, right))
+    if isinstance(left, dict):
+        return left.keys() == right.keys() and all(_json_equal(v, right[k]) for k, v in left.items())
+    return bool(left == right)
+
+
+def _validate_number(value: float, schema: dict[str, Any], path: str) -> None:
+    minimum, maximum = schema.get("minimum"), schema.get("maximum")
+    exclusive_min, exclusive_max = schema.get("exclusiveMinimum"), schema.get("exclusiveMaximum")
+    if isinstance(exclusive_min, bool):  # draft-04 boolean modifier form
+        exclusive_min = minimum if exclusive_min else None
+        minimum = None if exclusive_min is not None else minimum
+    if isinstance(exclusive_max, bool):
+        exclusive_max = maximum if exclusive_max else None
+        maximum = None if exclusive_max is not None else maximum
+    if minimum is not None and value < minimum:
+        raise ValidationError(path, f"{value} is less than minimum {minimum}")
+    if maximum is not None and value > maximum:
+        raise ValidationError(path, f"{value} is greater than maximum {maximum}")
+    if exclusive_min is not None and value <= exclusive_min:
+        raise ValidationError(path, f"{value} is not greater than exclusive minimum {exclusive_min}")
+    if exclusive_max is not None and value >= exclusive_max:
+        raise ValidationError(path, f"{value} is not less than exclusive maximum {exclusive_max}")
+    multiple = schema.get("multipleOf")
+    if multiple is not None:
+        quotient = value / multiple
+        if not math.isclose(quotient, round(quotient), rel_tol=1e-12, abs_tol=1e-12):
+            raise ValidationError(path, f"{value} is not a multiple of {multiple}")
+
+
+def _validate_string(value: str, schema: dict[str, Any], path: str) -> None:
+    min_length, max_length = schema.get("minLength"), schema.get("maxLength")
+    if min_length is not None and len(value) < min_length:
+        raise ValidationError(path, f"string shorter than minLength {min_length}")
+    if max_length is not None and len(value) > max_length:
+        raise ValidationError(path, f"string longer than maxLength {max_length}")
+    pattern = schema.get("pattern")
+    if pattern is not None and re.search(pattern, value) is None:
+        raise ValidationError(path, f"string does not match pattern {pattern!r}")
+
+
+def _validate_object(
+    instance: dict[str, Any], schema: dict[str, Any], root: dict[str, Any], path: str
+) -> None:
+    for name in schema.get("required", []):
+        if name not in instance:
+            raise ValidationError(path, f"missing required property {name!r}")
+    min_properties, max_properties = schema.get("minProperties"), schema.get("maxProperties")
+    if min_properties is not None and len(instance) < min_properties:
+        raise ValidationError(path, f"object has fewer than {min_properties} properties")
+    if max_properties is not None and len(instance) > max_properties:
+        raise ValidationError(path, f"object has more than {max_properties} properties")
+
+    properties = schema.get("properties", {})
+    pattern_properties = schema.get("patternProperties", {})
+    additional = schema.get("additionalProperties", True)
+    for key, value in instance.items():
+        child_path = f"{path}.{key}"
+        matched = False
+        if key in properties:
+            validate(value, properties[key], root, child_path)
+            matched = True
+        for pattern, sub_schema in pattern_properties.items():
+            if re.search(pattern, key):
+                validate(value, sub_schema, root, child_path)
+                matched = True
+        if matched:
+            continue
+        if additional is False:
+            raise ValidationError(child_path, f"unexpected property {key!r}")
+        if isinstance(additional, dict):
+            validate(value, additional, root, child_path)
+
+
+def _validate_array(
+    instance: list[Any], schema: dict[str, Any], root: dict[str, Any], path: str
+) -> None:
+    min_items, max_items = schema.get("minItems"), schema.get("maxItems")
+    if min_items is not None and len(instance) < min_items:
+        raise ValidationError(path, f"array has fewer than {min_items} items")
+    if max_items is not None and len(instance) > max_items:
+        raise ValidationError(path, f"array has more than {max_items} items")
+    if schema.get("uniqueItems"):
+        seen: list[Any] = []
+        for index, item in enumerate(instance):
+            if any(_json_equal(item, other) for other in seen):
+                raise ValidationError(f"{path}[{index}]", "array items are not unique")
+            seen.append(item)
+    items = schema.get("items")
+    if isinstance(items, list):  # tuple validation
+        for index, (item, sub_schema) in enumerate(zip(instance, items)):
+            validate(item, sub_schema, root, f"{path}[{index}]")
+        additional = schema.get("additionalItems", True)
+        if additional is False and len(instance) > len(items):
+            raise ValidationError(path, f"array longer than its {len(items)}-item tuple schema")
+        if isinstance(additional, dict):
+            for index in range(len(items), len(instance)):
+                validate(instance[index], additional, root, f"{path}[{index}]")
+    elif items is not None:
+        for index, item in enumerate(instance):
+            validate(item, items, root, f"{path}[{index}]")
+
+
+def _validate_combinators(
+    instance: Any, schema: dict[str, Any], root: dict[str, Any], path: str
+) -> None:
+    for sub_schema in schema.get("allOf", []):
+        validate(instance, sub_schema, root, path)
+    any_of = schema.get("anyOf")
+    if any_of is not None:
+        failures = []
+        for sub_schema in any_of:
+            try:
+                validate(instance, sub_schema, root, path)
+                break
+            except ValidationError as error:
+                failures.append(error.reason)
+        else:
+            raise ValidationError(path, "value matches none of anyOf: " + "; ".join(failures))
+    one_of = schema.get("oneOf")
+    if one_of is not None:
+        matches = 0
+        for sub_schema in one_of:
+            try:
+                validate(instance, sub_schema, root, path)
+                matches += 1
+            except ValidationError:
+                pass
+        if matches != 1:
+            raise ValidationError(path, f"value matches {matches} of oneOf schemas, expected exactly 1")
+    if "not" in schema:
+        try:
+            validate(instance, schema["not"], root, path)
+        except ValidationError:
+            return
+        raise ValidationError(path, "value matches forbidden ('not') schema")

@@ -1,0 +1,23 @@
+"""A hosted Platform-as-a-Service for computational web services.
+
+The paper's stated future work: "building a hosted Platform-as-a-Service
+(PaaS) for development, sharing and integration of computational web
+services based on the described software platform" (§6). This subpackage
+implements that layer on top of everything else in the repository:
+
+- multi-tenant hosting: each tenant gets an isolated service container,
+  created and managed through the platform's own REST interface;
+- configuration-only deployment: hosted tenants submit JSON service
+  configurations (command/cluster/grid adapters — arbitrary in-process
+  code is not accepted from tenants);
+- quotas per tenant (service count, handler threads);
+- automatic publication: every deployed service lands in the shared
+  platform catalogue, tagged with its tenant;
+- certificate-based tenancy: the platform CA issues each tenant an owner
+  certificate at sign-up; management calls require it.
+"""
+
+from repro.paas.platform import PaasError, Platform, Tenant
+from repro.paas.service import PlatformService
+
+__all__ = ["PaasError", "Platform", "PlatformService", "Tenant"]

@@ -1,0 +1,40 @@
+"""The MathCloud security mechanism (paper §3.4, Fig. 3).
+
+Authentication, authorization and a limited delegation scheme:
+
+- :mod:`repro.security.pki` — a simulated X.509 PKI: a certificate
+  authority issues signed certificates with distinguished names; services
+  and users authenticate by presenting them. (HMAC signatures stand in for
+  RSA/SSL — the trust decisions are identical, only the wire cryptography
+  is simulated; see DESIGN.md.)
+- :mod:`repro.security.identity` — OpenID-style authentication through an
+  identity-provider broker (the paper's Loginza), for users without
+  certificates.
+- :mod:`repro.security.authz` — per-service allow/deny lists over
+  identities, plus the *proxy list*: services (e.g. the workflow service)
+  trusted to invoke a service on behalf of a user.
+- :mod:`repro.security.middleware` — the REST middleware that extracts
+  credentials from request headers, verifies them and enforces policies.
+"""
+
+from repro.security.authz import AccessDecision, AccessPolicy
+from repro.security.errors import AuthenticationError, AuthorizationError, SecurityError
+from repro.security.identity import Identity, IdentityBroker, OpenIdProvider
+from repro.security.middleware import CredentialHeaders, SecurityMiddleware, client_headers
+from repro.security.pki import Certificate, CertificateAuthority
+
+__all__ = [
+    "AccessDecision",
+    "AccessPolicy",
+    "AuthenticationError",
+    "AuthorizationError",
+    "Certificate",
+    "CertificateAuthority",
+    "CredentialHeaders",
+    "Identity",
+    "IdentityBroker",
+    "OpenIdProvider",
+    "SecurityError",
+    "SecurityMiddleware",
+    "client_headers",
+]

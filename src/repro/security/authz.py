@@ -1,0 +1,78 @@
+"""Authorization: allow/deny lists and the proxy (delegation) list.
+
+Per the paper, a service administrator configures, per service:
+
+- an *allow list*: identities that may access the service (absent list =
+  everyone authenticated may access);
+- a *deny list*: identities that may never access it (deny wins);
+- a *proxy list*: certificates of services trusted to invoke this service
+  *on behalf of* a user — the lightweight alternative to grid proxy
+  certificates used by e.g. the workflow management service.
+
+An anonymous caller is only admitted when the policy explicitly allows
+anonymous access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.security.errors import AuthorizationError
+from repro.security.identity import Identity
+
+
+@dataclass(frozen=True)
+class AccessDecision:
+    """The outcome of an authorization check."""
+
+    #: The identity whose permissions applied (the user, after delegation).
+    effective_id: str
+    #: The identity that made the call (the proxying service, if any).
+    caller_id: str
+    delegated: bool = False
+
+
+@dataclass
+class AccessPolicy:
+    """One service's access rules."""
+
+    #: Identities allowed in. ``None`` means "any authenticated identity".
+    allow: set[str] | None = None
+    deny: set[str] = field(default_factory=set)
+    #: Identities (service certificates' DNs) trusted to act for users.
+    proxies: set[str] = field(default_factory=set)
+    allow_anonymous: bool = False
+
+    def decide(self, caller: Identity, on_behalf_of: str | None = None) -> AccessDecision:
+        """Authorize ``caller`` (possibly delegating for ``on_behalf_of``).
+
+        Returns the decision or raises :class:`AuthorizationError`.
+        """
+        if caller.anonymous:
+            if on_behalf_of:
+                raise AuthorizationError("anonymous callers cannot act on behalf of users")
+            if not self.allow_anonymous:
+                raise AuthorizationError("anonymous access is not allowed")
+            return AccessDecision(effective_id="", caller_id="", delegated=False)
+
+        if on_behalf_of:
+            if caller.id not in self.proxies:
+                raise AuthorizationError(
+                    f"{caller.id!r} is not in the proxy list and may not act on behalf of users"
+                )
+            subject = on_behalf_of
+        else:
+            subject = caller.id
+
+        if subject in self.deny:
+            raise AuthorizationError(f"{subject!r} is denied access")
+        if self.allow is not None and subject not in self.allow:
+            raise AuthorizationError(f"{subject!r} is not in the allow list")
+        return AccessDecision(
+            effective_id=subject, caller_id=caller.id, delegated=bool(on_behalf_of)
+        )
+
+    @classmethod
+    def open(cls) -> "AccessPolicy":
+        """A policy admitting everyone, including anonymous callers."""
+        return cls(allow_anonymous=True)

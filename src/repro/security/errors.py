@@ -1,0 +1,19 @@
+"""Security error types."""
+
+from __future__ import annotations
+
+
+class SecurityError(Exception):
+    """Base class for authentication/authorization failures."""
+
+
+class AuthenticationError(SecurityError):
+    """Credentials are missing, malformed, expired or forged (HTTP 401)."""
+
+    http_status = 401
+
+
+class AuthorizationError(SecurityError):
+    """The authenticated identity may not perform the action (HTTP 403)."""
+
+    http_status = 403

@@ -1,0 +1,113 @@
+"""OpenID-style authentication through an identity-provider broker.
+
+The paper's second client-authentication path is the Loginza service: a
+broker that accepts assertions from popular identity providers (Google,
+Facebook, any OpenID endpoint), aimed at browser users without
+certificates. Here each :class:`OpenIdProvider` issues signed assertions
+for its users, and the :class:`IdentityBroker` verifies an assertion
+against whichever registered provider issued it.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import hmac
+import json
+import secrets
+import time
+from dataclasses import dataclass
+
+from repro.security.errors import AuthenticationError
+
+
+@dataclass(frozen=True)
+class Identity:
+    """An authenticated principal.
+
+    ``id`` is the canonical identity string used in allow/deny/proxy lists:
+    a certificate subject DN (``CN=alice``) or an OpenID identifier
+    (``https://openid.example/alice``).
+    """
+
+    id: str
+    kind: str  # "certificate" | "openid" | "anonymous"
+
+    @property
+    def anonymous(self) -> bool:
+        return self.kind == "anonymous"
+
+
+ANONYMOUS = Identity(id="", kind="anonymous")
+
+
+class OpenIdProvider:
+    """One identity provider: issues and checks signed assertions."""
+
+    def __init__(self, name: str, base_url: str = "", secret: bytes | None = None):
+        self.name = name
+        self.base_url = base_url or f"https://{name}.example"
+        self._secret = secret if secret is not None else secrets.token_bytes(32)
+
+    def identifier_for(self, username: str) -> str:
+        return f"{self.base_url}/{username}"
+
+    def issue_assertion(self, username: str, valid_for: float = 3600.0) -> str:
+        """An assertion token the user's browser would carry after login."""
+        claims = {
+            "provider": self.name,
+            "identifier": self.identifier_for(username),
+            "expires": time.time() + valid_for,
+        }
+        payload = json.dumps(claims, sort_keys=True).encode("utf-8")
+        signature = hmac.new(self._secret, payload, hashlib.sha256).hexdigest()
+        envelope = {"claims": claims, "signature": signature}
+        return base64.urlsafe_b64encode(json.dumps(envelope).encode("utf-8")).decode("ascii")
+
+    def verify_assertion(self, token: str) -> str:
+        """Return the asserted OpenID identifier or raise."""
+        try:
+            envelope = json.loads(base64.urlsafe_b64decode(token.encode("ascii")))
+            claims, signature = envelope["claims"], envelope["signature"]
+        except (ValueError, KeyError, TypeError) as exc:
+            raise AuthenticationError(f"malformed OpenID assertion: {exc}") from exc
+        payload = json.dumps(claims, sort_keys=True).encode("utf-8")
+        expected = hmac.new(self._secret, payload, hashlib.sha256).hexdigest()
+        if not hmac.compare_digest(expected, signature):
+            raise AuthenticationError("OpenID assertion signature is invalid")
+        if claims.get("provider") != self.name:
+            raise AuthenticationError("OpenID assertion names a different provider")
+        if time.time() > float(claims.get("expires", 0)):
+            raise AuthenticationError("OpenID assertion has expired")
+        return str(claims["identifier"])
+
+
+class IdentityBroker:
+    """The Loginza stand-in: one verification point over many providers."""
+
+    def __init__(self, providers: list[OpenIdProvider] | None = None):
+        self._providers: dict[str, OpenIdProvider] = {}
+        for provider in providers or []:
+            self.register(provider)
+
+    def register(self, provider: OpenIdProvider) -> None:
+        if provider.name in self._providers:
+            raise ValueError(f"provider {provider.name!r} already registered")
+        self._providers[provider.name] = provider
+
+    def verify(self, token: str) -> Identity:
+        """Verify an assertion against its issuing provider."""
+        try:
+            envelope = json.loads(base64.urlsafe_b64decode(token.encode("ascii")))
+            provider_name = envelope["claims"]["provider"]
+        except (ValueError, KeyError, TypeError) as exc:
+            raise AuthenticationError(f"malformed OpenID assertion: {exc}") from exc
+        provider = self._providers.get(provider_name)
+        if provider is None:
+            raise AuthenticationError(f"unknown identity provider {provider_name!r}")
+        identifier = provider.verify_assertion(token)
+        return Identity(id=identifier, kind="openid")
+
+    @property
+    def provider_names(self) -> list[str]:
+        return sorted(self._providers)

@@ -1,0 +1,112 @@
+"""REST middleware enforcing the security mechanism.
+
+Credentials travel in three headers:
+
+- ``X-Client-Certificate`` — a serialized certificate token
+  (:meth:`~repro.security.pki.Certificate.to_token`);
+- ``X-OpenID-Assertion`` — an identity-broker assertion token;
+- ``X-On-Behalf-Of`` — the user identity a trusted proxy (e.g. the
+  workflow management service) is acting for.
+
+The middleware authenticates the caller, asks the per-path policy for a
+decision and attaches it to ``request.context``:
+
+- ``identity`` — the authenticated caller (:class:`Identity`);
+- ``access`` — the :class:`~repro.security.authz.AccessDecision`, whose
+  ``effective_id`` is the user whose permissions applied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.http.messages import HttpError, Request, Response
+from repro.security.authz import AccessPolicy
+from repro.security.errors import AuthenticationError, AuthorizationError
+from repro.security.identity import ANONYMOUS, Identity, IdentityBroker
+from repro.security.pki import Certificate, CertificateAuthority
+
+CERTIFICATE_HEADER = "X-Client-Certificate"
+OPENID_HEADER = "X-OpenID-Assertion"
+ON_BEHALF_HEADER = "X-On-Behalf-Of"
+
+#: Resolves a request path to the policy protecting it (None = open).
+PolicyResolver = Callable[[str], AccessPolicy | None]
+
+
+@dataclass
+class CredentialHeaders:
+    """Client-side helper: the headers a credentialed client should send."""
+
+    certificate: Certificate | None = None
+    openid_assertion: str = ""
+    on_behalf_of: str = ""
+
+    def as_dict(self) -> dict[str, str]:
+        headers: dict[str, str] = {}
+        if self.certificate is not None:
+            headers[CERTIFICATE_HEADER] = self.certificate.to_token()
+        if self.openid_assertion:
+            headers[OPENID_HEADER] = self.openid_assertion
+        if self.on_behalf_of:
+            headers[ON_BEHALF_HEADER] = self.on_behalf_of
+        return headers
+
+
+def client_headers(
+    certificate: Certificate | None = None,
+    openid_assertion: str = "",
+    on_behalf_of: str = "",
+) -> dict[str, str]:
+    """Shorthand for :class:`CredentialHeaders(...).as_dict()`."""
+    return CredentialHeaders(certificate, openid_assertion, on_behalf_of).as_dict()
+
+
+class SecurityMiddleware:
+    """Authenticates requests and enforces per-path access policies."""
+
+    def __init__(
+        self,
+        ca: CertificateAuthority,
+        identity_broker: IdentityBroker | None = None,
+        policy_resolver: PolicyResolver | None = None,
+    ):
+        self.ca = ca
+        self.identity_broker = identity_broker or IdentityBroker()
+        self.policy_resolver = policy_resolver or (lambda path: None)
+
+    def authenticate(self, request: Request) -> Identity:
+        """Determine the caller's identity from credential headers.
+
+        Certificate and OpenID credentials are both accepted; if both are
+        present the certificate wins (it is the stronger credential).
+        Missing credentials yield the anonymous identity; *invalid*
+        credentials are an error — a forged token must never silently
+        downgrade to anonymous.
+        """
+        certificate_token = request.headers.get(CERTIFICATE_HEADER)
+        if certificate_token:
+            certificate = Certificate.from_token(certificate_token)
+            subject = self.ca.verify(certificate)
+            return Identity(id=subject, kind="certificate")
+        assertion = request.headers.get(OPENID_HEADER)
+        if assertion:
+            return self.identity_broker.verify(assertion)
+        return ANONYMOUS
+
+    def __call__(self, request: Request, call_next: Callable[[Request], Response]) -> Response:
+        try:
+            identity = self.authenticate(request)
+        except AuthenticationError as exc:
+            raise HttpError(401, str(exc)) from exc
+        request.context["identity"] = identity
+        policy = self.policy_resolver(request.path)
+        if policy is not None:
+            on_behalf_of = request.headers.get(ON_BEHALF_HEADER) or None
+            try:
+                request.context["access"] = policy.decide(identity, on_behalf_of)
+            except AuthorizationError as exc:
+                status = 401 if identity.anonymous else 403
+                raise HttpError(status, str(exc)) from exc
+        return call_next(request)

@@ -1,0 +1,130 @@
+"""Simulated X.509 public-key infrastructure.
+
+The paper authenticates services with SSL server certificates and clients
+with X.509 client certificates. This module reproduces the *trust model*
+— a certificate authority vouches for a subject's distinguished name, with
+validity windows, verification and serialization — while standing in
+HMAC-SHA256 over the certificate fields for real public-key signatures
+(no CA key ever leaves the process, so the substitution preserves
+unforgeability within a deployment).
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import hmac
+import json
+import secrets
+import time
+from dataclasses import dataclass
+
+from repro.security.errors import AuthenticationError
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """A signed binding of a distinguished name to a validity window."""
+
+    subject_dn: str
+    issuer: str
+    serial: str
+    not_before: float
+    not_after: float
+    signature: str
+
+    def signed_payload(self) -> bytes:
+        document = {
+            "subject_dn": self.subject_dn,
+            "issuer": self.issuer,
+            "serial": self.serial,
+            "not_before": self.not_before,
+            "not_after": self.not_after,
+        }
+        return json.dumps(document, sort_keys=True).encode("utf-8")
+
+    def to_token(self) -> str:
+        """Serialize for transport in an HTTP header (base64 JSON)."""
+        document = {
+            "subject_dn": self.subject_dn,
+            "issuer": self.issuer,
+            "serial": self.serial,
+            "not_before": self.not_before,
+            "not_after": self.not_after,
+            "signature": self.signature,
+        }
+        return base64.urlsafe_b64encode(json.dumps(document).encode("utf-8")).decode("ascii")
+
+    @classmethod
+    def from_token(cls, token: str) -> "Certificate":
+        try:
+            document = json.loads(base64.urlsafe_b64decode(token.encode("ascii")))
+            return cls(
+                subject_dn=document["subject_dn"],
+                issuer=document["issuer"],
+                serial=document["serial"],
+                not_before=float(document["not_before"]),
+                not_after=float(document["not_after"]),
+                signature=document["signature"],
+            )
+        except (ValueError, KeyError, TypeError) as exc:
+            raise AuthenticationError(f"malformed certificate token: {exc}") from exc
+
+
+class CertificateAuthority:
+    """Issues and verifies certificates for one trust domain."""
+
+    def __init__(self, name: str = "CN=MathCloud CA", secret: bytes | None = None):
+        self.name = name
+        self._secret = secret if secret is not None else secrets.token_bytes(32)
+        self._revoked: set[str] = set()
+
+    def _sign(self, payload: bytes) -> str:
+        return hmac.new(self._secret, payload, hashlib.sha256).hexdigest()
+
+    def issue(self, subject_dn: str, valid_for: float = 86400.0) -> Certificate:
+        """Issue a certificate for ``subject_dn``, valid ``valid_for`` seconds."""
+        if not subject_dn:
+            raise ValueError("subject distinguished name must be non-empty")
+        now = time.time()
+        unsigned = Certificate(
+            subject_dn=subject_dn,
+            issuer=self.name,
+            serial=secrets.token_hex(8),
+            not_before=now - 1.0,  # small skew allowance
+            not_after=now + valid_for,
+            signature="",
+        )
+        return Certificate(
+            subject_dn=unsigned.subject_dn,
+            issuer=unsigned.issuer,
+            serial=unsigned.serial,
+            not_before=unsigned.not_before,
+            not_after=unsigned.not_after,
+            signature=self._sign(unsigned.signed_payload()),
+        )
+
+    def verify(self, certificate: Certificate) -> str:
+        """Verify signature, validity window and revocation.
+
+        Returns the subject DN (the authenticated identity) on success and
+        raises :class:`AuthenticationError` otherwise.
+        """
+        if certificate.issuer != self.name:
+            raise AuthenticationError(
+                f"certificate issued by {certificate.issuer!r}, not trusted CA {self.name!r}"
+            )
+        expected = self._sign(certificate.signed_payload())
+        if not hmac.compare_digest(expected, certificate.signature):
+            raise AuthenticationError("certificate signature is invalid")
+        now = time.time()
+        if now < certificate.not_before:
+            raise AuthenticationError("certificate is not yet valid")
+        if now > certificate.not_after:
+            raise AuthenticationError("certificate has expired")
+        if certificate.serial in self._revoked:
+            raise AuthenticationError("certificate has been revoked")
+        return certificate.subject_dn
+
+    def revoke(self, certificate: Certificate) -> None:
+        self._revoked.add(certificate.serial)

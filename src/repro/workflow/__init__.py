@@ -1,0 +1,49 @@
+"""The workflow management system (paper §3.3, Fig. 2).
+
+Workflows are directed acyclic graphs whose vertices are *blocks* with
+typed input/output *ports* and whose edges define data flow:
+
+- :mod:`repro.workflow.model` — the block/port/edge model with data-type
+  compatibility checking (the editor's connection rule) and DAG
+  validation;
+- :mod:`repro.workflow.jsonio` — the JSON workflow format ("it is possible
+  to download workflow in JSON format, edit it manually and upload back");
+- :mod:`repro.workflow.engine` — the runtime: executes ready blocks in
+  parallel, calls services through the unified REST API, streams per-block
+  states (the editor's colouring), supports custom Python script blocks;
+- :mod:`repro.workflow.wms` — the workflow management service: stores
+  workflows and deploys each one as a new *composite service* behind the
+  same unified REST API, with proxy-based delegation when secured;
+- :mod:`repro.workflow.editor` — the editor's data-model/HTML rendering.
+"""
+
+from repro.workflow.engine import BlockState, WorkflowEngine, WorkflowExecutionError
+from repro.workflow.jsonio import parse_workflow, workflow_to_json
+from repro.workflow.model import (
+    ConstBlock,
+    DataType,
+    InputBlock,
+    OutputBlock,
+    ScriptBlock,
+    ServiceBlock,
+    Workflow,
+    WorkflowError,
+)
+from repro.workflow.wms import WorkflowManagementService
+
+__all__ = [
+    "BlockState",
+    "ConstBlock",
+    "DataType",
+    "InputBlock",
+    "OutputBlock",
+    "ScriptBlock",
+    "ServiceBlock",
+    "Workflow",
+    "WorkflowEngine",
+    "WorkflowError",
+    "WorkflowExecutionError",
+    "WorkflowManagementService",
+    "parse_workflow",
+    "workflow_to_json",
+]

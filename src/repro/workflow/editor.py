@@ -1,0 +1,71 @@
+"""The workflow editor's server-rendered artefacts.
+
+The paper's editor is a browser application (Fig. 2, "inspired by Yahoo!
+Pipes"). Everything it *does* — introspecting services, type-checked
+connections, run-and-colour — lives in :mod:`repro.workflow.model` and
+:mod:`repro.workflow.engine`; this module renders the editor's data model
+as HTML so a workflow (and a running instance's block states) can be
+inspected in a browser.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+from typing import Mapping
+
+from repro.workflow.jsonio import workflow_to_json
+from repro.workflow.model import Workflow
+
+#: Block-state colours used by the editor's canvas.
+STATE_COLOURS = {
+    "PENDING": "#d0d0d0",
+    "RUNNING": "#f5c542",
+    "DONE": "#6fbf73",
+    "FAILED": "#e06666",
+    "SKIPPED": "#b0a8c9",
+}
+
+
+def editor_model(workflow: Workflow, states: Mapping[str, str] | None = None) -> dict:
+    """The JSON model a canvas renderer needs: blocks with port lists,
+    edges, and current block states/colours."""
+    document = workflow_to_json(workflow)
+    states = dict(states or {})
+    for block_document in document["blocks"]:
+        block = workflow.blocks[block_document["id"]]
+        block_document["ports"] = {
+            "in": [{"name": p.name, "type": p.type.value} for p in block.inputs],
+            "out": [{"name": p.name, "type": p.type.value} for p in block.outputs],
+        }
+        state = states.get(block.id, "PENDING")
+        block_document["state"] = state
+        block_document["colour"] = STATE_COLOURS.get(state, "#ffffff")
+    return document
+
+
+def render_workflow_page(workflow: Workflow, states: Mapping[str, str] | None = None) -> str:
+    """A static HTML view of a workflow (or a running instance)."""
+    model = editor_model(workflow, states)
+    rows = []
+    for block in model["blocks"]:
+        ports_in = ", ".join(p["name"] for p in block["ports"]["in"]) or "—"
+        ports_out = ", ".join(p["name"] for p in block["ports"]["out"]) or "—"
+        rows.append(
+            f"<tr style='background:{block['colour']}'>"
+            f"<td>{html.escape(block['id'])}</td><td>{html.escape(block['kind'])}</td>"
+            f"<td>{html.escape(ports_in)}</td><td>{html.escape(ports_out)}</td>"
+            f"<td>{html.escape(block['state'])}</td></tr>"
+        )
+    edges = "".join(f"<li>{html.escape(edge)}</li>" for edge in model["edges"])
+    return (
+        "<!DOCTYPE html>\n<html><head><meta charset='utf-8'>"
+        f"<title>{html.escape(workflow.name)}</title></head><body>"
+        f"<h1>Workflow {html.escape(workflow.title or workflow.name)}</h1>"
+        "<table border='1' cellpadding='4'><tr>"
+        "<th>block</th><th>kind</th><th>inputs</th><th>outputs</th><th>state</th></tr>"
+        + "".join(rows)
+        + f"</table><h2>Edges</h2><ul>{edges}</ul>"
+        f"<script type='application/json' id='model'>{json.dumps(model)}</script>"
+        "</body></html>"
+    )

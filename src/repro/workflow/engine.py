@@ -1,0 +1,286 @@
+"""The workflow runtime.
+
+Executes a validated workflow: blocks run as soon as all their inputs are
+available, independent blocks run in parallel, and per-block states stream
+to an observer — the information the editor uses to paint blocks by
+state. Service blocks are invoked through the unified REST API (submit,
+poll, collect), so a workflow can span services in any container,
+cluster or grid without the engine knowing the difference.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
+from enum import Enum
+from typing import Any, Callable, Mapping
+
+from repro.client.client import JobFailedError, ServiceProxy
+from repro.http.client import ClientError
+from repro.http.registry import TransportRegistry
+from repro.http.transport import TransportError
+from repro.workflow.model import (
+    Block,
+    ConstBlock,
+    InputBlock,
+    OutputBlock,
+    ScriptBlock,
+    ServiceBlock,
+    Workflow,
+)
+
+
+class BlockState(str, Enum):
+    """Per-block execution states (the editor's colours)."""
+
+    PENDING = "PENDING"
+    RUNNING = "RUNNING"
+    DONE = "DONE"
+    FAILED = "FAILED"
+    SKIPPED = "SKIPPED"
+
+
+class WorkflowExecutionError(Exception):
+    """One or more blocks failed; carries every block error."""
+
+    def __init__(self, workflow_name: str, block_errors: dict[str, str]):
+        details = "; ".join(f"{block}: {error}" for block, error in sorted(block_errors.items()))
+        super().__init__(f"workflow {workflow_name!r} failed: {details}")
+        self.block_errors = block_errors
+
+
+class WorkflowCancelled(Exception):
+    """Execution was cancelled through the cancel event."""
+
+
+#: Observer signature: (block_id, state, error_message_or_empty).
+StateObserver = Callable[[str, BlockState, str], None]
+
+#: Builtins available to script blocks — enough for data plumbing, no I/O.
+_SCRIPT_BUILTINS = {
+    name: __builtins__[name] if isinstance(__builtins__, dict) else getattr(__builtins__, name)
+    for name in (
+        "abs", "all", "any", "bool", "dict", "divmod", "enumerate", "filter",
+        "float", "format", "frozenset", "int", "isinstance", "len", "list",
+        "map", "max", "min", "pow", "range", "repr", "reversed", "round",
+        "set", "sorted", "str", "sum", "tuple", "zip", "ValueError", "TypeError",
+    )
+}
+
+
+class WorkflowEngine:
+    """Executes workflows over a transport registry."""
+
+    def __init__(
+        self,
+        registry: TransportRegistry | None = None,
+        max_parallel: int = 8,
+        poll: float = 0.02,
+        headers: Mapping[str, str] | None = None,
+    ):
+        self.registry = registry or TransportRegistry()
+        self.max_parallel = max_parallel
+        self.poll = poll
+        #: Headers sent with every service call (credentials / delegation).
+        self.headers = dict(headers or {})
+
+    def execute(
+        self,
+        workflow: Workflow,
+        inputs: dict[str, Any] | None = None,
+        observer: StateObserver | None = None,
+        cancel_event: threading.Event | None = None,
+        headers: Mapping[str, str] | None = None,
+    ) -> dict[str, Any]:
+        """Run ``workflow`` with the given workflow-level inputs.
+
+        Returns the output parameter values. Raises
+        :class:`WorkflowExecutionError` when blocks fail (downstream blocks
+        are reported SKIPPED) and :class:`WorkflowCancelled` on cancel.
+        """
+        workflow.validate()
+        run = _Run(
+            engine=self,
+            workflow=workflow,
+            inputs=dict(inputs or {}),
+            observer=observer or (lambda *args: None),
+            cancel_event=cancel_event or threading.Event(),
+            headers={**self.headers, **dict(headers or {})},
+        )
+        return run.execute()
+
+
+class _Run:
+    """State of one workflow execution."""
+
+    def __init__(
+        self,
+        engine: WorkflowEngine,
+        workflow: Workflow,
+        inputs: dict[str, Any],
+        observer: StateObserver,
+        cancel_event: threading.Event,
+        headers: dict[str, str],
+    ):
+        self.engine = engine
+        self.workflow = workflow
+        self.inputs = inputs
+        self.observer = observer
+        self.cancel_event = cancel_event
+        self.headers = headers
+        self.values: dict[tuple[str, str], Any] = {}
+        self.states: dict[str, BlockState] = {
+            block_id: BlockState.PENDING for block_id in workflow.blocks
+        }
+        self.errors: dict[str, str] = {}
+        self._lock = threading.Lock()
+
+    # ----------------------------------------------------------- lifecycle
+
+    def execute(self) -> dict[str, Any]:
+        self._check_workflow_inputs()
+        remaining = set(self.workflow.blocks)
+        running: dict[Future[None], str] = {}
+        with ThreadPoolExecutor(max_workers=self.engine.max_parallel) as pool:
+            while remaining or running:
+                if self.cancel_event.is_set():
+                    for future in running:
+                        future.cancel()
+                    raise WorkflowCancelled(f"workflow {self.workflow.name!r} cancelled")
+                progressed = False
+                for block_id in sorted(remaining):
+                    decision = self._readiness(block_id)
+                    if decision == "ready":
+                        remaining.discard(block_id)
+                        self._set_state(block_id, BlockState.RUNNING)
+                        future = pool.submit(self._run_block_guarded, block_id)
+                        running[future] = block_id
+                        progressed = True
+                    elif decision == "skip":
+                        remaining.discard(block_id)
+                        self._set_state(block_id, BlockState.SKIPPED)
+                        progressed = True
+                if running:
+                    done, _ = wait(running, timeout=0.1, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        running.pop(future)
+                        progressed = True
+                elif not progressed and remaining:
+                    # validated DAGs always progress; guard anyway
+                    raise WorkflowExecutionError(
+                        self.workflow.name,
+                        {block: "deadlocked (unreachable inputs)" for block in remaining},
+                    )
+        if self.errors:
+            raise WorkflowExecutionError(self.workflow.name, self.errors)
+        return self._collect_outputs()
+
+    def _check_workflow_inputs(self) -> None:
+        known = {block.name for block in self.workflow.input_blocks()}
+        unknown = set(self.inputs) - known
+        if unknown:
+            raise WorkflowExecutionError(
+                self.workflow.name,
+                {name: "unknown workflow input" for name in sorted(unknown)},
+            )
+
+    # ----------------------------------------------------------- scheduling
+
+    def _readiness(self, block_id: str) -> str:
+        """'ready' | 'wait' | 'skip' for a pending block."""
+        for edge in self.workflow.incoming(block_id):
+            upstream_state = self.states[edge.src_block]
+            if upstream_state in (BlockState.FAILED, BlockState.SKIPPED):
+                return "skip"
+            if upstream_state is not BlockState.DONE:
+                return "wait"
+            if (edge.src_block, edge.src_port) not in self.values:
+                return "wait"
+        return "ready"
+
+    def _set_state(self, block_id: str, state: BlockState, error: str = "") -> None:
+        with self._lock:
+            self.states[block_id] = state
+            if error:
+                self.errors[block_id] = error
+        self.observer(block_id, state, error)
+
+    # ------------------------------------------------------------ execution
+
+    def _run_block_guarded(self, block_id: str) -> None:
+        block = self.workflow.blocks[block_id]
+        try:
+            outputs = self._run_block(block)
+        except (JobFailedError, ClientError, TransportError, WorkflowCancelled) as exc:
+            self._set_state(block_id, BlockState.FAILED, str(exc))
+            return
+        except Exception as exc:  # noqa: BLE001 - script blocks run user code
+            self._set_state(block_id, BlockState.FAILED, f"{type(exc).__name__}: {exc}")
+            return
+        with self._lock:
+            for port_name, value in outputs.items():
+                self.values[(block_id, port_name)] = value
+        self._set_state(block_id, BlockState.DONE)
+
+    def _block_inputs(self, block: Block) -> dict[str, Any]:
+        bound: dict[str, Any] = {}
+        for edge in self.workflow.incoming(block.id):
+            bound[edge.dst_port] = self.values[(edge.src_block, edge.src_port)]
+        return bound
+
+    def _run_block(self, block: Block) -> dict[str, Any]:
+        if isinstance(block, InputBlock):
+            if block.name in self.inputs:
+                return {"value": self.inputs[block.name]}
+            if block.default is not None or not block.required:
+                return {"value": block.default}
+            raise ValueError(f"missing workflow input {block.name!r}")
+        if isinstance(block, ConstBlock):
+            return {"value": block.value}
+        if isinstance(block, OutputBlock):
+            return {}  # its incoming value is read at collection time
+        if isinstance(block, ServiceBlock):
+            return self._run_service(block)
+        if isinstance(block, ScriptBlock):
+            return self._run_script(block)
+        raise TypeError(f"engine cannot execute block kind {block.kind!r}")
+
+    def _run_service(self, block: ServiceBlock) -> dict[str, Any]:
+        proxy = ServiceProxy(block.uri, self.engine.registry, headers=self.headers)
+        handle = proxy.submit_dict(self._block_inputs(block))
+        interval = self.engine.poll
+        while True:
+            representation = handle.refresh()
+            if representation["state"] == "DONE":
+                return representation.get("results", {})
+            if representation["state"] in ("FAILED", "CANCELLED"):
+                raise JobFailedError(
+                    representation["state"], representation.get("error", ""), handle.uri
+                )
+            if self.cancel_event.is_set():
+                try:
+                    handle.cancel()
+                finally:
+                    raise WorkflowCancelled(f"block {block.id!r} cancelled")
+            self.cancel_event.wait(interval)
+            interval = min(interval * 1.5, 0.5)
+
+    def _run_script(self, block: ScriptBlock) -> dict[str, Any]:
+        namespace: dict[str, Any] = dict(self._block_inputs(block))
+        namespace["__builtins__"] = _SCRIPT_BUILTINS
+        exec(compile(block.code, f"<script:{block.id}>", "exec"), namespace)  # noqa: S102
+        outputs: dict[str, Any] = {}
+        for name in block.output_names:
+            if name not in namespace:
+                raise ValueError(f"script did not assign output variable {name!r}")
+            outputs[name] = namespace[name]
+        return outputs
+
+    # ------------------------------------------------------------- results
+
+    def _collect_outputs(self) -> dict[str, Any]:
+        outputs: dict[str, Any] = {}
+        for block in self.workflow.output_blocks():
+            edge = self.workflow.incoming(block.id)[0]
+            outputs[block.name] = self.values[(edge.src_block, edge.src_port)]
+        return outputs

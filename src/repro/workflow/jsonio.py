@@ -1,0 +1,155 @@
+"""The JSON workflow format.
+
+"Besides the graphical editor it is possible to download workflow in JSON
+format, edit it manually and upload back to WMS." (paper §3.3)
+
+Document shape::
+
+    {
+      "name": "block-inversion",
+      "title": "...", "description": "...",
+      "blocks": [
+        {"id": "m",    "kind": "input",   "name": "matrix", "type": "object"},
+        {"id": "k",    "kind": "const",   "value": 4},
+        {"id": "inv",  "kind": "service", "uri": "http://.../services/invert",
+                        "description": { ...optional embedded description... }},
+        {"id": "fmt",  "kind": "script",  "code": "text = str(value)",
+                        "inputs": ["value"], "outputs": ["text"]},
+        {"id": "out",  "kind": "output",  "name": "inverse", "type": "object"}
+      ],
+      "edges": ["m.value -> inv.matrix", "inv.inverse -> out.value", ...]
+    }
+
+Service blocks may embed their description; otherwise it is retrieved from
+the service URI at parse time (exactly what the editor does when a block
+is dropped on the canvas), which requires passing a transport registry.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.description import ServiceDescription
+from repro.http.registry import TransportRegistry
+from repro.workflow.model import (
+    Block,
+    ConstBlock,
+    DataType,
+    InputBlock,
+    OutputBlock,
+    ScriptBlock,
+    ServiceBlock,
+    Workflow,
+    WorkflowError,
+)
+
+
+def workflow_to_json(workflow: Workflow) -> dict[str, Any]:
+    """Serialize a workflow (service descriptions are embedded, so the
+    document is self-contained and re-parsable offline)."""
+    blocks: list[dict[str, Any]] = []
+    for block in workflow.blocks.values():
+        document: dict[str, Any] = {"id": block.id, "kind": block.kind}
+        if isinstance(block, InputBlock):
+            document.update(name=block.name, type=block.type.value, required=block.required)
+            if block.default is not None:
+                document["default"] = block.default
+        elif isinstance(block, OutputBlock):
+            document.update(name=block.name, type=block.type.value)
+        elif isinstance(block, ConstBlock):
+            document["value"] = block.value
+        elif isinstance(block, ServiceBlock):
+            document["uri"] = block.uri
+            if block.description is not None:
+                document["description"] = block.description.to_json()
+        elif isinstance(block, ScriptBlock):
+            document.update(
+                code=block.code,
+                inputs=list(block.input_names),
+                outputs=list(block.output_names),
+            )
+            if block.types:
+                document["types"] = dict(block.types)
+        else:  # pragma: no cover - new kinds must extend this module
+            raise WorkflowError(f"cannot serialize block kind {block.kind!r}")
+        blocks.append(document)
+    return {
+        "name": workflow.name,
+        "title": workflow.title,
+        "description": workflow.description,
+        "blocks": blocks,
+        "edges": [
+            f"{e.src_block}.{e.src_port} -> {e.dst_block}.{e.dst_port}"
+            for e in workflow.edges
+        ],
+    }
+
+
+def _parse_block(document: dict[str, Any], registry: TransportRegistry | None) -> Block:
+    kind = document.get("kind")
+    block_id = document.get("id")
+    if not block_id:
+        raise WorkflowError(f"block without an id: {document!r}")
+    if kind == "input":
+        return InputBlock(
+            block_id,
+            name=document.get("name", block_id),
+            type=DataType(document.get("type", "any")),
+            default=document.get("default"),
+            required=bool(document.get("required", True)),
+        )
+    if kind == "output":
+        return OutputBlock(
+            block_id,
+            name=document.get("name", block_id),
+            type=DataType(document.get("type", "any")),
+        )
+    if kind == "const":
+        return ConstBlock(block_id, value=document.get("value"))
+    if kind == "service":
+        description = document.get("description")
+        block = ServiceBlock(
+            block_id,
+            uri=document.get("uri", ""),
+            description=ServiceDescription.from_json(description) if description else None,
+        )
+        if block.description is None:
+            if registry is None:
+                raise WorkflowError(
+                    f"service block {block_id!r} has no embedded description and "
+                    "no registry was given to retrieve it"
+                )
+            block.introspect(registry)
+        return block
+    if kind == "script":
+        return ScriptBlock(
+            block_id,
+            code=document.get("code", ""),
+            input_names=list(document.get("inputs", [])),
+            output_names=list(document.get("outputs", [])),
+            types=dict(document.get("types", {})),
+        )
+    raise WorkflowError(f"unknown block kind {kind!r} in block {block_id!r}")
+
+
+def parse_workflow(
+    document: dict[str, Any],
+    registry: TransportRegistry | None = None,
+) -> Workflow:
+    """Parse the JSON format back into a validated :class:`Workflow`."""
+    if not isinstance(document, dict) or not document.get("name"):
+        raise WorkflowError("workflow document must be an object with a 'name'")
+    workflow = Workflow(
+        document["name"],
+        title=document.get("title", ""),
+        description=document.get("description", ""),
+    )
+    for block_document in document.get("blocks", []):
+        workflow.add(_parse_block(block_document, registry))
+    for edge_text in document.get("edges", []):
+        source, separator, target = str(edge_text).partition("->")
+        if not separator:
+            raise WorkflowError(f"edge must look like 'a.x -> b.y', got {edge_text!r}")
+        workflow.connect(source.strip(), target.strip())
+    workflow.validate()
+    return workflow

@@ -1,0 +1,380 @@
+"""The workflow model: typed blocks, ports, edges, DAG validation.
+
+"Each block has a set of inputs and outputs displayed in the form of
+ports ... Each input or output has associated data type. The compatibility
+of data types is checked during connecting the ports." (paper §3.3)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+from repro.core.description import Parameter, ServiceDescription
+
+
+class WorkflowError(Exception):
+    """Structural problem in a workflow (bad connection, cycle, ...)."""
+
+
+class DataType(str, Enum):
+    """Port data types (the editor's connection vocabulary)."""
+
+    STRING = "string"
+    NUMBER = "number"
+    INTEGER = "integer"
+    BOOLEAN = "boolean"
+    OBJECT = "object"
+    ARRAY = "array"
+    FILE = "file"
+    ANY = "any"
+
+    @classmethod
+    def from_schema(cls, schema: Any) -> "DataType":
+        """Derive a port type from a parameter's JSON Schema."""
+        if not isinstance(schema, dict):
+            return cls.ANY
+        if schema.get("format") == "file":
+            return cls.FILE
+        declared = schema.get("type")
+        if isinstance(declared, str):
+            try:
+                return cls(declared)
+            except ValueError:
+                return cls.ANY
+        return cls.ANY
+
+
+def compatible(source: DataType, target: DataType) -> bool:
+    """The editor's port-connection rule.
+
+    ``any`` connects to everything (dynamic values); an ``integer`` output
+    feeds a ``number`` input; otherwise the types must match exactly. The
+    engine does not (and per the paper, deliberately does not) check data
+    *formats or semantics* — that remains the user's responsibility.
+    """
+    if source == target:
+        return True
+    if DataType.ANY in (source, target):
+        return True
+    return source == DataType.INTEGER and target == DataType.NUMBER
+
+
+@dataclass(frozen=True)
+class Port:
+    name: str
+    type: DataType = DataType.ANY
+    required: bool = True
+
+
+@dataclass(eq=False)
+class Block:
+    """Base block: identity plus typed ports."""
+
+    id: str
+    inputs: list[Port] = field(default_factory=list, init=False)
+    outputs: list[Port] = field(default_factory=list, init=False)
+
+    kind = "block"
+
+    def input_port(self, name: str) -> Port:
+        return self._port(self.inputs, name, "input")
+
+    def output_port(self, name: str) -> Port:
+        return self._port(self.outputs, name, "output")
+
+    def _port(self, ports: list[Port], name: str, side: str) -> Port:
+        for port in ports:
+            if port.name == name:
+                return port
+        raise WorkflowError(f"block {self.id!r} has no {side} port {name!r}")
+
+
+@dataclass(eq=False)
+class InputBlock(Block):
+    """A workflow-level input parameter."""
+
+    name: str = ""
+    type: DataType = DataType.ANY
+    default: Any = None
+    required: bool = True
+
+    kind = "input"
+
+    def __post_init__(self) -> None:
+        self.name = self.name or self.id
+        self.outputs = [Port("value", self.type)]
+
+
+@dataclass(eq=False)
+class OutputBlock(Block):
+    """A workflow-level output parameter."""
+
+    name: str = ""
+    type: DataType = DataType.ANY
+
+    kind = "output"
+
+    def __post_init__(self) -> None:
+        self.name = self.name or self.id
+        self.inputs = [Port("value", self.type)]
+
+
+@dataclass(eq=False)
+class ConstBlock(Block):
+    """A constant value wired into the graph."""
+
+    value: Any = None
+
+    kind = "const"
+
+    def __post_init__(self) -> None:
+        self.outputs = [Port("value", _infer_type(self.value))]
+
+
+def _infer_type(value: Any) -> DataType:
+    if isinstance(value, bool):
+        return DataType.BOOLEAN
+    if isinstance(value, int):
+        return DataType.INTEGER
+    if isinstance(value, float):
+        return DataType.NUMBER
+    if isinstance(value, str):
+        return DataType.STRING
+    if isinstance(value, list):
+        return DataType.ARRAY
+    if isinstance(value, dict):
+        return DataType.OBJECT
+    return DataType.ANY
+
+
+@dataclass(eq=False)
+class ServiceBlock(Block):
+    """A computational web service in the graph.
+
+    Ports are generated from the service description — the editor's
+    "dynamically retrieve service description and extract information about
+    the number, types and names of input and output parameters".
+    """
+
+    uri: str = ""
+    description: ServiceDescription | None = None
+
+    kind = "service"
+
+    def __post_init__(self) -> None:
+        if not self.uri:
+            raise WorkflowError(f"service block {self.id!r} needs a service URI")
+        if self.description is not None:
+            self._build_ports(self.description)
+
+    def _build_ports(self, description: ServiceDescription) -> None:
+        self.inputs = [
+            Port(p.name, DataType.from_schema(p.schema), required=p.required and p.default is None)
+            for p in description.inputs
+        ]
+        self.outputs = [Port(p.name, DataType.from_schema(p.schema)) for p in description.outputs]
+
+    def introspect(self, registry: Any) -> None:
+        """Fetch the service description through the unified REST API."""
+        from repro.client.client import ServiceProxy
+
+        self.description = ServiceProxy(self.uri, registry).describe()
+        self._build_ports(self.description)
+
+
+@dataclass(eq=False)
+class ScriptBlock(Block):
+    """A custom action written in Python (paper: "custom workflow actions
+    written in JavaScript or Python").
+
+    The code runs with each input port's value bound to a variable of the
+    port's name and must assign a variable per output port.
+    """
+
+    code: str = ""
+    input_names: list[str] = field(default_factory=list)
+    output_names: list[str] = field(default_factory=list)
+    #: Optional port typing: name -> DataType value.
+    types: dict[str, str] = field(default_factory=dict)
+
+    kind = "script"
+
+    def __post_init__(self) -> None:
+        if not self.code:
+            raise WorkflowError(f"script block {self.id!r} needs code")
+        for name in (*self.input_names, *self.output_names):
+            if not name.isidentifier():
+                raise WorkflowError(
+                    f"script block {self.id!r}: port {name!r} must be a Python identifier"
+                )
+        self.inputs = [Port(n, self._type_of(n)) for n in self.input_names]
+        self.outputs = [Port(n, self._type_of(n)) for n in self.output_names]
+
+    def _type_of(self, name: str) -> DataType:
+        return DataType(self.types[name]) if name in self.types else DataType.ANY
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A data-flow connection between two ports."""
+
+    src_block: str
+    src_port: str
+    dst_block: str
+    dst_port: str
+
+    def __str__(self) -> str:
+        return f"{self.src_block}.{self.src_port} → {self.dst_block}.{self.dst_port}"
+
+
+class Workflow:
+    """A named DAG of blocks, built with type-checked connections."""
+
+    def __init__(self, name: str, title: str = "", description: str = ""):
+        self.name = name
+        self.title = title
+        self.description = description
+        self.blocks: dict[str, Block] = {}
+        self.edges: list[Edge] = []
+
+    # ------------------------------------------------------------- building
+
+    def add(self, block: Block) -> Block:
+        if block.id in self.blocks:
+            raise WorkflowError(f"duplicate block id {block.id!r}")
+        self.blocks[block.id] = block
+        return block
+
+    def block(self, block_id: str) -> Block:
+        if block_id not in self.blocks:
+            raise WorkflowError(f"no block {block_id!r}")
+        return self.blocks[block_id]
+
+    def connect(self, source: str, target: str) -> Edge:
+        """Connect ``"block.port"`` to ``"block.port"`` with type checking."""
+        src_block_id, src_port_name = self._split(source)
+        dst_block_id, dst_port_name = self._split(target)
+        src_port = self.block(src_block_id).output_port(src_port_name)
+        dst_port = self.block(dst_block_id).input_port(dst_port_name)
+        if not compatible(src_port.type, dst_port.type):
+            raise WorkflowError(
+                f"incompatible connection {source} ({src_port.type.value}) → "
+                f"{target} ({dst_port.type.value})"
+            )
+        for edge in self.edges:
+            if edge.dst_block == dst_block_id and edge.dst_port == dst_port_name:
+                raise WorkflowError(f"input port {target} is already connected (from {edge})")
+        edge = Edge(src_block_id, src_port_name, dst_block_id, dst_port_name)
+        self.edges.append(edge)
+        return edge
+
+    @staticmethod
+    def _split(reference: str) -> tuple[str, str]:
+        block_id, separator, port = reference.partition(".")
+        if not separator or not block_id or not port:
+            raise WorkflowError(f"port reference must be 'block.port', got {reference!r}")
+        return block_id, port
+
+    # ----------------------------------------------------------- inspection
+
+    def input_blocks(self) -> list[InputBlock]:
+        return [b for b in self.blocks.values() if isinstance(b, InputBlock)]
+
+    def output_blocks(self) -> list[OutputBlock]:
+        return [b for b in self.blocks.values() if isinstance(b, OutputBlock)]
+
+    def incoming(self, block_id: str) -> list[Edge]:
+        return [e for e in self.edges if e.dst_block == block_id]
+
+    def outgoing(self, block_id: str) -> list[Edge]:
+        return [e for e in self.edges if e.src_block == block_id]
+
+    def topological_order(self) -> list[str]:
+        """Kahn's algorithm; raises :class:`WorkflowError` on cycles."""
+        in_degree = {block_id: 0 for block_id in self.blocks}
+        for edge in self.edges:
+            in_degree[edge.dst_block] += 1
+        ready = sorted(block_id for block_id, degree in in_degree.items() if degree == 0)
+        order: list[str] = []
+        while ready:
+            block_id = ready.pop(0)
+            order.append(block_id)
+            for edge in self.outgoing(block_id):
+                in_degree[edge.dst_block] -= 1
+                if in_degree[edge.dst_block] == 0:
+                    ready.append(edge.dst_block)
+        if len(order) != len(self.blocks):
+            cyclic = sorted(set(self.blocks) - set(order))
+            raise WorkflowError(f"workflow contains a cycle through {cyclic}")
+        return order
+
+    def validate(self) -> None:
+        """Full structural check: connectivity, required ports, acyclicity.
+
+        Run before deployment/execution; ``connect`` already enforces the
+        local rules, this adds the global ones.
+        """
+        problems: list[str] = []
+        names: set[str] = set()
+        for block in self.input_blocks():
+            if block.name in names:
+                problems.append(f"duplicate workflow input name {block.name!r}")
+            names.add(block.name)
+        names.clear()
+        for block in self.output_blocks():
+            if block.name in names:
+                problems.append(f"duplicate workflow output name {block.name!r}")
+            names.add(block.name)
+            if not self.incoming(block.id):
+                problems.append(f"output block {block.id!r} is not connected")
+        for block in self.blocks.values():
+            connected = {edge.dst_port for edge in self.incoming(block.id)}
+            for port in block.inputs:
+                if port.required and port.name not in connected and not isinstance(block, OutputBlock):
+                    problems.append(
+                        f"required input port {block.id}.{port.name} is not connected"
+                    )
+        try:
+            self.topological_order()
+        except WorkflowError as exc:
+            problems.append(str(exc))
+        if problems:
+            raise WorkflowError(
+                f"workflow {self.name!r} is invalid: " + "; ".join(problems)
+            )
+
+    def to_description(self) -> ServiceDescription:
+        """The service description of this workflow as a composite service."""
+        inputs = [
+            Parameter(
+                block.name,
+                _schema_for(block.type),
+                required=block.required and block.default is None,
+                default=block.default,
+            )
+            for block in sorted(self.input_blocks(), key=lambda b: b.id)
+        ]
+        outputs = [
+            Parameter(block.name, _schema_for(block.type))
+            for block in sorted(self.output_blocks(), key=lambda b: b.id)
+        ]
+        return ServiceDescription(
+            name=self.name,
+            title=self.title or self.name,
+            description=self.description or f"Composite service for workflow {self.name!r}",
+            inputs=inputs,
+            outputs=outputs,
+            tags=["workflow", "composite"],
+        )
+
+
+def _schema_for(data_type: DataType) -> Any:
+    if data_type == DataType.ANY:
+        return True
+    if data_type == DataType.FILE:
+        from repro.core.filerefs import FILE_SCHEMA
+
+        return FILE_SCHEMA
+    return {"type": data_type.value}

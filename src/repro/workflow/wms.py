@@ -1,0 +1,281 @@
+"""The workflow management service (WMS).
+
+"The WMS performs storage, deployment and execution of workflows ... In
+accordance with the service-oriented approach the WMS deploys each saved
+workflow as a new service. The subsequent workflow execution is performed
+by sending request to the new composite service through the unified REST
+API." (paper §3.3)
+
+Composite-service job representations carry a ``blocks`` field with the
+live per-block states, which is what the editor polls to colour blocks;
+each workflow instance (job) thus has a unique URI showing its current
+state at any time.
+
+When the federation is secured, the WMS invokes member services with its
+own service certificate plus an ``X-On-Behalf-Of`` header naming the user
+who called the composite service — the paper's proxy-list delegation.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Mapping
+
+from repro.core.api import mount_service, unmount_service
+from repro.core.errors import BadInputError, ServiceError
+from repro.core.files import FileEntry, FileStore
+from repro.core.jobs import Job, JobState, JobStore
+from repro.http.app import RestApp
+from repro.http.messages import HttpError, Request, Response
+from repro.http.registry import TransportRegistry
+from repro.http.server import RestServer
+from repro.security.middleware import ON_BEHALF_HEADER
+from repro.workflow.engine import (
+    BlockState,
+    WorkflowCancelled,
+    WorkflowEngine,
+    WorkflowExecutionError,
+)
+from repro.workflow.jsonio import parse_workflow, workflow_to_json
+from repro.workflow.model import Workflow, WorkflowError
+
+
+class CompositeService:
+    """A saved workflow behaving as one computational web service."""
+
+    def __init__(self, workflow: Workflow, engine: WorkflowEngine):
+        workflow.validate()
+        self.workflow = workflow
+        self.engine = engine
+        self.description = workflow.to_description()
+        self.jobs = JobStore()
+        self.files = FileStore()
+
+    # ------------------------------------------------------ ServiceBackend
+
+    def describe(self) -> dict[str, Any]:
+        document = self.description.to_json()
+        document["workflow"] = workflow_to_json(self.workflow)
+        return document
+
+    def submit(self, inputs: dict[str, Any], request: Request) -> Job:
+        values = self.description.validate_inputs(inputs)
+        job = Job(service=self.workflow.name, inputs=values)
+        job.extra["blocks"] = {
+            block_id: BlockState.PENDING.value for block_id in self.workflow.blocks
+        }
+        self.jobs.add(job)
+        headers = self._delegation_headers(request)
+        thread = threading.Thread(
+            target=self._run, args=(job, values, headers), name=f"wf-{job.id}", daemon=True
+        )
+        thread.start()
+        return job
+
+    def get_job(self, job_id: str) -> Job:
+        return self.jobs.get(job_id)
+
+    def delete_job(self, job_id: str) -> None:
+        job = self.jobs.get(job_id)
+        if not job.state.terminal:
+            job.mark_cancelled()
+        self.jobs.remove(job_id)
+        self.files.delete_job_files(job_id)
+
+    def get_file(self, job_id: str, file_id: str) -> FileEntry:
+        self.jobs.get(job_id)
+        return self.files.get(file_id, job_id=job_id)
+
+    # ----------------------------------------------------------- internals
+
+    def _delegation_headers(self, request: Request) -> dict[str, str]:
+        access = request.context.get("access")
+        if access is not None and access.effective_id:
+            return {ON_BEHALF_HEADER: access.effective_id}
+        return {}
+
+    def _run(self, job: Job, values: dict[str, Any], headers: dict[str, str]) -> None:
+        try:
+            job.mark_running()
+        except ServiceError:
+            return  # cancelled before it started
+
+        def observer(block_id: str, state: BlockState, error: str) -> None:
+            job.extra["blocks"][block_id] = state.value
+
+        try:
+            outputs = self.engine.execute(
+                self.workflow,
+                values,
+                observer=observer,
+                cancel_event=job.cancel_event,
+                headers=headers,
+            )
+        except WorkflowCancelled:
+            return  # the job is already CANCELLED
+        except (WorkflowExecutionError, WorkflowError) as exc:
+            job.try_finish(lambda: (JobState.FAILED, str(exc)))
+            return
+        except Exception as exc:  # noqa: BLE001 - engine bugs must surface
+            job.try_finish(lambda: (JobState.FAILED, f"internal engine error: {exc}"))
+            return
+        job.try_finish(lambda: (JobState.DONE, outputs))
+
+
+class WorkflowManagementService:
+    """Stores workflows and publishes each as a composite service."""
+
+    def __init__(
+        self,
+        name: str = "wms",
+        registry: TransportRegistry | None = None,
+        max_parallel: int = 8,
+        credentials: Mapping[str, str] | None = None,
+    ):
+        self.name = name
+        self.registry = registry or TransportRegistry()
+        self.app = RestApp(name)
+        #: Headers the WMS itself presents when calling member services
+        #: (its service certificate when the federation is secured).
+        self.credentials = dict(credentials or {})
+        self.engine = WorkflowEngine(
+            self.registry, max_parallel=max_parallel, headers=self.credentials
+        )
+        self._composites: dict[str, CompositeService] = {}
+        self._lock = threading.Lock()
+        self._server: RestServer | None = None
+        self.local_base = self.registry.bind_local(name, self.app)
+        self.app.route("GET", "/workflows", self._list)
+        self.app.route("POST", "/workflows", self._create)
+        self.app.route("GET", "/workflows/{workflow_id}", self._get)
+        self.app.route("PUT", "/workflows/{workflow_id}", self._replace)
+        self.app.route("DELETE", "/workflows/{workflow_id}", self._delete)
+
+    # ----------------------------------------------------------- publishing
+
+    @property
+    def base_uri(self) -> str:
+        return self._server.base_url if self._server is not None else self.local_base
+
+    def service_uri(self, workflow_name: str) -> str:
+        return f"{self.base_uri}/services/{workflow_name}"
+
+    def workflow_uri(self, workflow_name: str) -> str:
+        return f"{self.base_uri}/workflows/{workflow_name}"
+
+    def serve(self, host: str = "127.0.0.1", port: int = 0) -> RestServer:
+        if self._server is not None:
+            raise RuntimeError("WMS is already serving")
+        self._server = RestServer(self.app, host=host, port=port).start()
+        return self._server
+
+    def shutdown(self) -> None:
+        if self._server is not None:
+            self._server.stop()
+            self._server = None
+        self.registry.unbind_local(self.name)
+
+    # ------------------------------------------------------------- storage
+
+    def deploy_workflow(self, workflow: Workflow) -> CompositeService:
+        """Save ``workflow`` and publish it as a composite service."""
+        composite = CompositeService(workflow, self.engine)
+        with self._lock:
+            if workflow.name in self._composites:
+                raise WorkflowError(f"workflow {workflow.name!r} already deployed")
+            self._composites[workflow.name] = composite
+        mount_service(
+            self.app,
+            f"/services/{workflow.name}",
+            composite,
+            base_uri=lambda name=workflow.name: self.service_uri(name),
+        )
+
+        def instance_page(request: Request, job_id: str) -> Response:
+            """The paper's instance URI: "open the current state of the
+            instance in the editor at any time" — a static editor render
+            coloured with the live block states."""
+            from repro.workflow.editor import render_workflow_page
+
+            try:
+                job = composite.get_job(job_id)
+            except ServiceError as exc:
+                raise HttpError(404, exc.message) from exc
+            states = job.extra.get("blocks", {})
+            return Response.html(render_workflow_page(composite.workflow, states))
+
+        self.app.route("GET", f"/services/{workflow.name}/jobs/{{job_id}}/ui", instance_page)
+        return composite
+
+    def undeploy_workflow(self, name: str) -> None:
+        with self._lock:
+            composite = self._composites.pop(name, None)
+        if composite is None:
+            raise WorkflowError(f"no workflow {name!r} deployed")
+        unmount_service(self.app, f"/services/{name}")
+
+    def replace_workflow(self, workflow: Workflow) -> CompositeService:
+        with self._lock:
+            exists = workflow.name in self._composites
+        if exists:
+            self.undeploy_workflow(workflow.name)
+        return self.deploy_workflow(workflow)
+
+    def composite(self, name: str) -> CompositeService:
+        with self._lock:
+            if name not in self._composites:
+                raise KeyError(name)
+            return self._composites[name]
+
+    @property
+    def workflows(self) -> list[str]:
+        with self._lock:
+            return sorted(self._composites)
+
+    # ------------------------------------------------------------- handlers
+
+    def _entry(self, name: str) -> dict[str, Any]:
+        return {
+            "id": name,
+            "uri": self.workflow_uri(name),
+            "service_uri": self.service_uri(name),
+        }
+
+    def _list(self, request: Request) -> Response:
+        return Response.json([self._entry(name) for name in self.workflows])
+
+    def _create(self, request: Request) -> Response:
+        try:
+            workflow = parse_workflow(request.json, self.registry)
+            self.deploy_workflow(workflow)
+        except WorkflowError as exc:
+            raise HttpError(422, str(exc)) from exc
+        except BadInputError as exc:
+            raise HttpError(422, exc.message, details=exc.details) from exc
+        return Response.created(self.workflow_uri(workflow.name), self._entry(workflow.name))
+
+    def _get(self, request: Request, workflow_id: str) -> Response:
+        try:
+            composite = self.composite(workflow_id)
+        except KeyError as exc:
+            raise HttpError(404, f"no workflow {workflow_id!r}") from exc
+        document = workflow_to_json(composite.workflow)
+        document.update(self._entry(workflow_id))
+        return Response.json(document)
+
+    def _replace(self, request: Request, workflow_id: str) -> Response:
+        try:
+            workflow = parse_workflow(request.json, self.registry)
+        except WorkflowError as exc:
+            raise HttpError(422, str(exc)) from exc
+        if workflow.name != workflow_id:
+            raise HttpError(409, f"document names {workflow.name!r}, path names {workflow_id!r}")
+        self.replace_workflow(workflow)
+        return Response.json(self._entry(workflow_id))
+
+    def _delete(self, request: Request, workflow_id: str) -> Response:
+        try:
+            self.undeploy_workflow(workflow_id)
+        except WorkflowError as exc:
+            raise HttpError(404, str(exc)) from exc
+        return Response.no_content()

@@ -1,0 +1,298 @@
+"""Tests for the AMPL-subset translator: lexer, parser, data, grounder."""
+
+import pytest
+
+from repro.apps.optimization.ampl import parse_data, parse_model, translate
+from repro.apps.optimization.ampl.ast_nodes import Bin, Num, Sum, SymRef
+from repro.apps.optimization.ampl.errors import (
+    AmplGroundingError,
+    AmplSyntaxError,
+)
+from repro.apps.optimization.ampl.lexer import TokenKind, tokenize
+from repro.apps.optimization.solvers import solve_lp
+
+TRANSPORT_MODEL = """
+# the classic transportation model
+set ORIG;
+set DEST;
+param supply {ORIG} >= 0;
+param demand {DEST} >= 0;
+param cost {ORIG, DEST} >= 0;
+var Trans {i in ORIG, j in DEST} >= 0;
+minimize total_cost: sum {i in ORIG, j in DEST} cost[i, j] * Trans[i, j];
+subject to Supply {i in ORIG}: sum {j in DEST} Trans[i, j] <= supply[i];
+subject to Demand {j in DEST}: sum {i in ORIG} Trans[i, j] >= demand[j];
+"""
+
+TRANSPORT_DATA = """
+data;
+set ORIG := GARY CLEV;
+set DEST := FRA DET;
+param supply := GARY 1400 CLEV 2600;
+param demand := FRA 900 DET 1200;
+param cost := GARY FRA 39  GARY DET 14  CLEV FRA 27  CLEV DET 9;
+"""
+
+
+class TestLexer:
+    def test_keywords_vs_idents(self):
+        tokens = tokenize("set Sets param parameter")
+        kinds = [t.kind for t in tokens[:-1]]
+        assert kinds == [TokenKind.KEYWORD, TokenKind.IDENT, TokenKind.KEYWORD, TokenKind.IDENT]
+
+    def test_assign_vs_colon(self):
+        kinds = [t.kind for t in tokenize(": :=")[:-1]]
+        assert kinds == [TokenKind.COLON, TokenKind.ASSIGN]
+
+    def test_numbers(self):
+        values = [t.value for t in tokenize("3 2.5 1e2 4.5e-1")[:-1]]
+        assert values == [3.0, 2.5, 100.0, 0.45]
+
+    def test_strings_both_quotes(self):
+        tokens = tokenize("'abc' \"def\"")
+        assert [t.value for t in tokens[:-1]] == ["abc", "def"]
+
+    def test_comments(self):
+        tokens = tokenize("1 # comment\n/* block */ 2")
+        assert [t.value for t in tokens if t.kind is TokenKind.NUMBER] == [1.0, 2.0]
+
+    def test_unterminated_comment(self):
+        with pytest.raises(AmplSyntaxError, match="unterminated comment"):
+            tokenize("/* forever")
+
+    def test_unexpected_char(self):
+        with pytest.raises(AmplSyntaxError, match="unexpected character"):
+            tokenize("x @ y")
+
+
+class TestParser:
+    def test_full_transport_model(self):
+        model = parse_model(TRANSPORT_MODEL)
+        assert set(model.sets) == {"ORIG", "DEST"}
+        assert set(model.params) == {"supply", "demand", "cost"}
+        assert model.params["cost"].indexing.dimensions == 2
+        assert model.objective.sense == "min"
+        assert [c.name for c in model.constraints] == ["Supply", "Demand"]
+
+    def test_objective_ast_shape(self):
+        model = parse_model(
+            "set A; param c {A}; var x {i in A} >= 0;"
+            "minimize z: sum {i in A} c[i] * x[i];"
+        )
+        assert isinstance(model.objective.expr, Sum)
+        body = model.objective.expr.body
+        assert isinstance(body, Bin) and body.op == "*"
+        assert isinstance(body.left, SymRef) and body.left.name == "c"
+
+    def test_sum_binds_tighter_than_plus(self):
+        model = parse_model(
+            "set A; var x {i in A} >= 0; var y >= 0;"
+            "minimize z: sum {i in A} x[i] + y;"
+        )
+        expr = model.objective.expr
+        assert isinstance(expr, Bin) and expr.op == "+"
+        assert isinstance(expr.left, Sum)
+        assert isinstance(expr.right, SymRef) and expr.right.name == "y"
+
+    def test_var_attributes(self):
+        model = parse_model(
+            "param u; var x >= 1, <= u, integer; minimize z: x;"
+        )
+        declaration = model.variables["x"]
+        assert declaration.integer
+        assert declaration.lower == Num(1.0)
+        assert isinstance(declaration.upper, SymRef)
+
+    def test_binary_var(self):
+        model = parse_model("var b binary; minimize z: b;")
+        assert model.variables["b"].binary
+
+    def test_missing_objective_rejected(self):
+        with pytest.raises(AmplSyntaxError, match="no objective"):
+            parse_model("set A;")
+
+    def test_duplicate_declaration_rejected(self):
+        with pytest.raises(AmplSyntaxError, match="duplicate set"):
+            parse_model("set A; set A; minimize z: 1;")
+
+    def test_two_objectives_rejected(self):
+        with pytest.raises(AmplSyntaxError, match="already has an objective"):
+            parse_model("var x >= 0; minimize a: x; maximize b: x;")
+
+    def test_constraint_indexing_needs_names(self):
+        with pytest.raises(AmplSyntaxError, match="needs 'in"):
+            parse_model(
+                "set A; var x {A} >= 0; minimize z: 1;"
+                "subject to C {A}: x[1] <= 1;"
+            )
+
+    def test_error_has_position(self):
+        with pytest.raises(AmplSyntaxError, match="line 2"):
+            parse_model("var x >= 0;\nminimize z x;")
+
+    def test_param_restrictions_parsed(self):
+        model = parse_model("param p >= 0 <= 10 default 5; minimize z: p;")
+        declaration = model.params["p"]
+        assert declaration.restrictions == [(">=", 0.0), ("<=", 10.0)]
+        assert declaration.default == 5.0
+
+
+class TestDataSection:
+    def test_sets_and_scalar_params(self):
+        data = parse_data("data; set A := a b c; param T := 4;")
+        assert data["sets"]["A"] == ["a", "b", "c"]
+        assert data["params"]["T"] == 4.0
+
+    def test_one_dim_param(self):
+        data = parse_data("param supply := GARY 1400 CLEV 2600;")
+        assert data["params"]["supply"] == {"GARY": 1400.0, "CLEV": 2600.0}
+
+    def test_two_dim_param(self):
+        data = parse_data("param cost := a x 1 a y 2 b x 3 b y 4;")
+        assert data["params"]["cost"] == {"a": {"x": 1.0, "y": 2.0}, "b": {"x": 3.0, "y": 4.0}}
+
+    def test_default(self):
+        data = parse_data("param demand default 0 := FRA 900;")
+        assert data["defaults"]["demand"] == 0.0
+        assert data["params"]["demand"] == {"FRA": 900.0}
+
+    def test_leading_data_marker_optional(self):
+        assert parse_data("set A := x;")["sets"]["A"] == ["x"]
+
+    def test_non_uniform_entries_rejected(self):
+        with pytest.raises(AmplSyntaxError, match="uniform"):
+            parse_data("param cost := a x 1 b 2;")
+
+    def test_garbage_statement_rejected(self):
+        with pytest.raises(AmplSyntaxError, match="expected 'set' or 'param'"):
+            parse_data("model; var x;")
+
+
+class TestGrounding:
+    def test_transport_end_to_end(self):
+        lp = translate(TRANSPORT_MODEL, TRANSPORT_DATA)
+        assert len(lp.variables) == 4
+        assert len(lp.constraints) == 4
+        assert lp.objective["Trans[GARY,FRA]"] == 39.0
+        result = solve_lp(lp, "simplex")
+        assert result.optimal
+        # cheapest: CLEV covers both (27 < 39 for FRA); DET from CLEV at 9
+        assert result.objective == pytest.approx(900 * 27 + 1200 * 9)
+
+    def test_json_data_form(self):
+        data = {
+            "sets": {"ORIG": ["a"], "DEST": ["x", "y"]},
+            "params": {
+                "supply": {"a": 10},
+                "demand": {"x": 4, "y": 5},
+                "cost": {"a": {"x": 1, "y": 2}},
+            },
+        }
+        lp = translate(TRANSPORT_MODEL, data)
+        assert solve_lp(lp, "scipy").objective == pytest.approx(4 * 1 + 5 * 2)
+
+    def test_variable_bounds_from_params(self):
+        lp = translate(
+            "set A; param u {A}; var x {i in A} >= 0, <= u[i];"
+            "maximize z: sum {i in A} x[i];",
+            {"sets": {"A": ["p", "q"]}, "params": {"u": {"p": 3, "q": 4}}},
+        )
+        assert lp.bounds["x[p]"] == (0.0, 3.0)
+        assert solve_lp(lp, "simplex").objective == pytest.approx(7.0)
+
+    def test_binary_and_integer_marking(self):
+        lp = translate("var b binary; var k integer >= 0; minimize z: b + k;", {})
+        assert lp.bounds["b"] == (0.0, 1.0)
+        assert lp.integers == {"b", "k"}
+
+    def test_param_restriction_violation_reported(self):
+        with pytest.raises(AmplGroundingError, match="violates declared"):
+            translate(
+                "set A; param s {A} >= 0; var x >= 0;"
+                "minimize z: x; subject to C: x >= s['a'];",
+                {"sets": {"A": ["a"]}, "params": {"s": {"a": -1}}},
+            )
+
+    def test_missing_set_data(self):
+        with pytest.raises(AmplGroundingError, match="no data for set"):
+            translate("set A; var x >= 0; minimize z: x;", {})
+
+    def test_missing_param_data(self):
+        with pytest.raises(AmplGroundingError, match="no data for param"):
+            translate(
+                "set A; param c {A}; var x {i in A} >= 0;"
+                "minimize z: sum {i in A} c[i] * x[i];",
+                {"sets": {"A": ["a"]}, "params": {}},
+            )
+
+    def test_declaration_default_used(self):
+        lp = translate(
+            "set A; param c {A} default 2; var x {i in A} >= 0, <= 1;"
+            "maximize z: sum {i in A} c[i] * x[i];",
+            {"sets": {"A": ["a", "b"]}, "params": {"c": {"a": 5}}},
+        )
+        assert lp.objective == {"x[a]": 5.0, "x[b]": 2.0}
+
+    def test_nonlinear_product_rejected(self):
+        with pytest.raises(AmplGroundingError, match="nonlinear"):
+            translate("var x >= 0; var y >= 0; minimize z: x * y;", {})
+
+    def test_division_by_param(self):
+        lp = translate(
+            "param d; var x >= 0; minimize z: x / d;"
+            "subject to C: x >= 10;",
+            {"params": {"d": 4}},
+        )
+        assert lp.objective["x"] == pytest.approx(0.25)
+
+    def test_division_by_variable_rejected(self):
+        with pytest.raises(AmplGroundingError, match="division by a variable"):
+            translate("var x >= 1; var y >= 0; minimize z: y / x;", {})
+
+    def test_constant_constraint_checked(self):
+        with pytest.raises(AmplGroundingError, match="constant and violated"):
+            translate(
+                "param a; var x >= 0; minimize z: x; subject to C: a >= 5;",
+                {"params": {"a": 3}},
+            )
+
+    def test_constant_true_constraint_dropped(self):
+        lp = translate(
+            "param a; var x >= 0; minimize z: x; subject to C: a >= 1;"
+            "subject to D: x >= 2;",
+            {"params": {"a": 3}},
+        )
+        assert [c.name for c in lp.constraints] == ["D"]
+
+    def test_wrong_subscript_count(self):
+        with pytest.raises(AmplGroundingError, match="expects 1 subscript"):
+            translate(
+                "set A; var x {A} >= 0; minimize z: x['a','b'];",
+                {"sets": {"A": ["a"]}},
+            )
+
+    def test_unknown_symbol(self):
+        with pytest.raises(AmplGroundingError, match="unknown symbol"):
+            translate("var x >= 0; minimize z: x + ghost;", {})
+
+    def test_literal_member_subscript(self):
+        lp = translate(
+            "set A; var x {A} >= 0; minimize z: x[a];"
+            "subject to C: x[a] >= 3;",
+            {"sets": {"A": ["a", "b"]}},
+        )
+        assert solve_lp(lp, "simplex").objective == pytest.approx(3.0)
+
+    def test_multicommodity_model_parity(self):
+        """The AMPL path and the direct builder give the same optimum."""
+        from repro.apps.optimization.multicommodity import (
+            AMPL_MODEL,
+            ampl_data,
+            full_lp,
+            generate_instance,
+        )
+
+        instance = generate_instance(seed=5)
+        via_ampl = solve_lp(translate(AMPL_MODEL, ampl_data(instance)), "scipy")
+        direct = solve_lp(full_lp(instance), "scipy")
+        assert via_ampl.objective == pytest.approx(direct.objective)

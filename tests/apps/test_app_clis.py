@@ -1,0 +1,140 @@
+"""Tests for the application command-line tools (the executables that
+cluster/grid jobs launch)."""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+PY = sys.executable
+
+
+def run(module, *args, cwd):
+    return subprocess.run(
+        [PY, "-m", module, *args], capture_output=True, text=True, cwd=cwd
+    )
+
+
+class TestOptimizationCli:
+    MODEL = (
+        "set A; param c {A}; var x {i in A} >= 0, <= 10;\n"
+        "maximize z: sum {i in A} c[i] * x[i];\n"
+    )
+    DATA = "set A := p q;\nparam c := p 3 q 5;\n"
+
+    def test_translate_then_solve(self, tmp_path):
+        (tmp_path / "m.mod").write_text(self.MODEL)
+        (tmp_path / "d.dat").write_text(self.DATA)
+        completed = run(
+            "repro.apps.optimization.cli",
+            "translate", "--model", "m.mod", "--data", "d.dat", "--out", "lp.json",
+            cwd=tmp_path,
+        )
+        assert completed.returncode == 0, completed.stderr
+        lp = json.loads((tmp_path / "lp.json").read_text())
+        assert set(lp["objective"]) == {"x[p]", "x[q]"}
+
+        completed = run(
+            "repro.apps.optimization.cli",
+            "solve", "--lp", "lp.json", "--solver", "simplex", "--out", "r.json",
+            cwd=tmp_path,
+        )
+        assert completed.returncode == 0, completed.stderr
+        result = json.loads((tmp_path / "r.json").read_text())
+        assert result["status"] == "optimal"
+        assert result["objective"] == pytest.approx(80.0)  # 10*3 + 10*5
+
+    def test_translate_error_reported(self, tmp_path):
+        (tmp_path / "bad.mod").write_text("var x >= ;")
+        completed = run(
+            "repro.apps.optimization.cli",
+            "translate", "--model", "bad.mod", "--out", "lp.json",
+            cwd=tmp_path,
+        )
+        assert completed.returncode == 1
+        assert "optimize error" in completed.stderr
+
+    def test_solve_bad_lp_file(self, tmp_path):
+        (tmp_path / "lp.json").write_text("[]")
+        completed = run(
+            "repro.apps.optimization.cli",
+            "solve", "--lp", "lp.json", "--out", "r.json",
+            cwd=tmp_path,
+        )
+        assert completed.returncode == 1
+        assert "optimize error" in completed.stderr
+
+    def test_scipy_backend_flag(self, tmp_path):
+        lp = {
+            "objective": {"x": 1},
+            "sense": "max",
+            "constraints": [{"name": "c", "coefs": {"x": 1}, "relop": "<=", "rhs": 4}],
+        }
+        (tmp_path / "lp.json").write_text(json.dumps(lp))
+        completed = run(
+            "repro.apps.optimization.cli",
+            "solve", "--lp", "lp.json", "--solver", "scipy", "--out", "r.json",
+            cwd=tmp_path,
+        )
+        assert completed.returncode == 0
+        assert json.loads((tmp_path / "r.json").read_text())["objective"] == pytest.approx(4.0)
+
+
+class TestXrayCli:
+    def test_curve_command(self, tmp_path):
+        spec = {"kind": "sphere", "name": "s", "params": {"radius": 0.4}}
+        (tmp_path / "spec.json").write_text(json.dumps(spec))
+        (tmp_path / "q.json").write_text(json.dumps([5.0, 10.0, 20.0]))
+        completed = run(
+            "repro.apps.xray.cli",
+            "curve", "--spec", "spec.json", "--q", "q.json", "--out", "c.json",
+            cwd=tmp_path,
+        )
+        assert completed.returncode == 0, completed.stderr
+        payload = json.loads((tmp_path / "c.json").read_text())
+        assert payload["structure"] == "s"
+        assert len(payload["curve"]) == 3
+
+    def test_fit_command(self, tmp_path):
+        curves = [[1.0, 0.0], [0.0, 1.0], [0.5, 0.5]]
+        measured = [0.6, 0.4, 0.5]
+        (tmp_path / "c.json").write_text(json.dumps(curves))
+        (tmp_path / "m.json").write_text(json.dumps(measured))
+        completed = run(
+            "repro.apps.xray.cli",
+            "fit", "--curves", "c.json", "--measured", "m.json",
+            "--solver", "nnls", "--out", "f.json",
+            cwd=tmp_path,
+        )
+        assert completed.returncode == 0, completed.stderr
+        fit = json.loads((tmp_path / "f.json").read_text())
+        assert fit["weights"] == pytest.approx([0.6, 0.4], abs=1e-8)
+
+    def test_bad_spec_error(self, tmp_path):
+        (tmp_path / "spec.json").write_text(json.dumps({"kind": "wormhole", "name": "w"}))
+        (tmp_path / "q.json").write_text("[5.0]")
+        completed = run(
+            "repro.apps.xray.cli",
+            "curve", "--spec", "spec.json", "--q", "q.json", "--out", "c.json",
+            cwd=tmp_path,
+        )
+        assert completed.returncode == 1
+        assert "xray error" in completed.stderr
+
+    def test_missing_file_error(self, tmp_path):
+        completed = run(
+            "repro.apps.xray.cli",
+            "curve", "--spec", "nope.json", "--q", "nope.json", "--out", "c.json",
+            cwd=tmp_path,
+        )
+        assert completed.returncode == 1
+
+
+class TestCasCliMissingOperand:
+    def test_missing_operand_error(self, tmp_path):
+        completed = run(
+            "repro.apps.cas.cli", "--op", "mul", "--out", "r.json", cwd=tmp_path
+        )
+        assert completed.returncode == 1
+        assert "cas error" in completed.stderr

@@ -1,0 +1,228 @@
+"""Tests for the CAS kernel, operations, CLI and service packagings."""
+
+import json
+import subprocess
+import sys
+from fractions import Fraction
+
+import pytest
+
+from repro.apps.cas.kernel import CasError, RationalMatrix
+from repro.apps.cas.operations import apply_operation
+from repro.apps.cas.service import cas_service_config
+
+
+class TestRationalMatrix:
+    def test_construction_from_mixed_literals(self):
+        matrix = RationalMatrix([[1, "1/2"], ["-3/4", Fraction(5, 6)]])
+        assert matrix.rows[0][1] == Fraction(1, 2)
+        assert matrix.rows[1][0] == Fraction(-3, 4)
+
+    def test_bad_literal_rejected(self):
+        with pytest.raises(CasError, match="bad rational literal"):
+            RationalMatrix([["one half"]])
+
+    def test_bool_entry_rejected(self):
+        with pytest.raises(CasError):
+            RationalMatrix([[True]])
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(CasError, match="inconsistent"):
+            RationalMatrix([[1, 2], [3]])
+
+    def test_empty_rejected(self):
+        with pytest.raises(CasError, match="non-empty"):
+            RationalMatrix([])
+
+    def test_identity_and_shape(self):
+        eye = RationalMatrix.identity(3)
+        assert eye.shape == (3, 3)
+        assert eye.is_identity()
+
+    def test_hilbert_entries(self):
+        h = RationalMatrix.hilbert(3)
+        assert h.rows[0][0] == Fraction(1)
+        assert h.rows[1][2] == Fraction(1, 4)
+        assert h.rows[2][2] == Fraction(1, 5)
+
+    def test_add_sub_neg(self):
+        a = RationalMatrix([[1, 2], [3, 4]])
+        b = RationalMatrix([["1/2", 0], [0, "1/2"]])
+        assert (a + b).rows[0][0] == Fraction(3, 2)
+        assert (a - b).rows[1][1] == Fraction(7, 2)
+        assert (-a).rows[0][1] == -2
+
+    def test_shape_mismatch(self):
+        with pytest.raises(CasError, match="cannot add"):
+            RationalMatrix([[1]]) + RationalMatrix([[1, 2]])
+
+    def test_matmul(self):
+        a = RationalMatrix([[1, 2], [3, 4]])
+        b = RationalMatrix([[0, 1], [1, 0]])
+        assert (a @ b).rows == [[2, 1], [4, 3]]
+
+    def test_matmul_dimension_check(self):
+        with pytest.raises(CasError, match="inner dimensions"):
+            RationalMatrix([[1, 2]]) @ RationalMatrix([[1, 2]])
+
+    def test_transpose_and_scale(self):
+        a = RationalMatrix([[1, 2], [3, 4]])
+        assert a.transpose().rows == [[1, 3], [2, 4]]
+        assert a.scale("1/2").rows[1][1] == 2
+
+    def test_inverse_exact(self):
+        h = RationalMatrix.hilbert(6)
+        assert (h @ h.inverse()).is_identity()
+        assert (h.inverse() @ h).is_identity()
+
+    def test_inverse_needs_pivoting(self):
+        # zero in the leading position forces a row swap
+        a = RationalMatrix([[0, 1], [1, 0]])
+        assert (a @ a.inverse()).is_identity()
+
+    def test_singular_matrix(self):
+        with pytest.raises(CasError, match="singular"):
+            RationalMatrix([[1, 2], [2, 4]]).inverse()
+
+    def test_non_square_inverse(self):
+        with pytest.raises(CasError, match="non-square"):
+            RationalMatrix([[1, 2]]).inverse()
+
+    def test_block_split_and_assemble_round_trip(self):
+        h = RationalMatrix.hilbert(5)
+        blocks = h.split_2x2()
+        assert blocks[0].shape == (2, 2)
+        assert blocks[3].shape == (3, 3)
+        assert RationalMatrix.assemble_2x2(*blocks) == h
+
+    def test_split_bounds(self):
+        with pytest.raises(CasError):
+            RationalMatrix.hilbert(4).split_2x2(split=4)
+        with pytest.raises(CasError, match="too small"):
+            RationalMatrix([[1]]).split_2x2()
+
+    def test_json_round_trip(self):
+        h = RationalMatrix.hilbert(4)
+        assert RationalMatrix.from_json(h.to_json()) == h
+
+    def test_json_entries_are_exact_strings(self):
+        document = RationalMatrix.hilbert(2).to_json()
+        assert document["rows"][1] == ["1/2", "1/3"]
+
+    def test_digit_size_grows_on_inversion(self):
+        h = RationalMatrix.hilbert(8)
+        assert h.inverse().digit_size() > h.digit_size()
+
+
+class TestOperations:
+    A = RationalMatrix([[2, 0], [0, 2]]).to_json()
+    B = RationalMatrix([[1, 1], [0, 1]]).to_json()
+    C = RationalMatrix([[0, 1], [1, 0]]).to_json()
+
+    def test_invert(self):
+        envelope = apply_operation("invert", a=self.A)
+        assert envelope["result"]["rows"] == [["1/2", "0"], ["0", "1/2"]]
+        assert envelope["elapsed"] >= 0
+        assert envelope["result_size"] > 0
+
+    def test_fused_mulsub(self):
+        envelope = apply_operation("mulsub", a=self.A, b=self.B, c=self.C)
+        expected = RationalMatrix.from_json(self.A) - (
+            RationalMatrix.from_json(self.B) @ RationalMatrix.from_json(self.C)
+        )
+        assert RationalMatrix.from_json(envelope["result"]) == expected
+
+    def test_negmul(self):
+        envelope = apply_operation("negmul", a=self.B, b=self.C)
+        expected = -(RationalMatrix.from_json(self.B) @ RationalMatrix.from_json(self.C))
+        assert RationalMatrix.from_json(envelope["result"]) == expected
+
+    def test_hilbert_generator(self):
+        envelope = apply_operation("hilbert", n=3)
+        assert RationalMatrix.from_json(envelope["result"]) == RationalMatrix.hilbert(3)
+
+    def test_hilbert_needs_n(self):
+        with pytest.raises(CasError, match="'n'"):
+            apply_operation("hilbert")
+
+    def test_missing_operand(self):
+        with pytest.raises(CasError, match="needs operand 'b'"):
+            apply_operation("mul", a=self.A)
+
+    def test_unknown_operation(self):
+        with pytest.raises(CasError, match="unknown operation"):
+            apply_operation("eigen", a=self.A)
+
+
+class TestCli:
+    def run_cli(self, tmp_path, *args):
+        return subprocess.run(
+            [sys.executable, "-m", "repro.apps.cas.cli", *args],
+            capture_output=True,
+            text=True,
+            cwd=tmp_path,
+        )
+
+    def test_invert_via_cli(self, tmp_path):
+        (tmp_path / "a.json").write_text(json.dumps(RationalMatrix.hilbert(3).to_json()))
+        completed = self.run_cli(
+            tmp_path, "--op", "invert", "--a", "a.json", "--out", "r.json"
+        )
+        assert completed.returncode == 0
+        envelope = json.loads((tmp_path / "r.json").read_text())
+        inverse = RationalMatrix.from_json(envelope["result"])
+        assert (RationalMatrix.hilbert(3) @ inverse).is_identity()
+
+    def test_cli_error_reporting(self, tmp_path):
+        (tmp_path / "a.json").write_text(json.dumps({"rows": [["1", "2"], ["2", "4"]]}))
+        completed = self.run_cli(tmp_path, "--op", "invert", "--a", "a.json", "--out", "r.json")
+        assert completed.returncode == 1
+        assert "singular" in completed.stderr
+
+    def test_cli_hilbert(self, tmp_path):
+        completed = self.run_cli(tmp_path, "--op", "hilbert", "--n", "4", "--out", "h.json")
+        assert completed.returncode == 0
+        envelope = json.loads((tmp_path / "h.json").read_text())
+        assert RationalMatrix.from_json(envelope["result"]) == RationalMatrix.hilbert(4)
+
+
+class TestServicePackaging:
+    @pytest.fixture()
+    def registry(self):
+        from repro.http.registry import TransportRegistry
+
+        return TransportRegistry()
+
+    @pytest.mark.parametrize("packaging", ["python", "subprocess"])
+    def test_service_inverts(self, registry, packaging):
+        from repro.client import ServiceProxy
+        from repro.container import ServiceContainer
+
+        container = ServiceContainer(f"cas-{packaging}", handlers=2, registry=registry)
+        try:
+            container.deploy(cas_service_config(name="cas", packaging=packaging))
+            proxy = ServiceProxy(container.service_uri("cas"), registry)
+            results = proxy(op="invert", a=RationalMatrix.hilbert(4).to_json(), timeout=60)
+            inverse = RationalMatrix.from_json(results["result"])
+            assert (RationalMatrix.hilbert(4) @ inverse).is_identity()
+        finally:
+            container.shutdown()
+
+    def test_invalid_op_rejected_by_schema(self, registry):
+        from repro.client import ServiceProxy
+        from repro.container import ServiceContainer
+        from repro.http.client import ClientError
+
+        container = ServiceContainer("cas-schema", handlers=1, registry=registry)
+        try:
+            container.deploy(cas_service_config(packaging="python"))
+            proxy = ServiceProxy(container.service_uri("cas"), registry)
+            with pytest.raises(ClientError) as info:
+                proxy.submit(op="eigen")
+            assert info.value.status == 422
+        finally:
+            container.shutdown()
+
+    def test_unknown_packaging(self):
+        with pytest.raises(ValueError, match="unknown packaging"):
+            cas_service_config(packaging="cobol")

@@ -1,0 +1,179 @@
+"""Tests for the matrix-inversion application (local, distributed, workflow)."""
+
+import pytest
+
+from repro.apps.cas.kernel import RationalMatrix
+from repro.apps.cas.service import cas_service_config
+from repro.apps.matrix import (
+    DistributedInverter,
+    block_invert_local,
+    build_inversion_workflow,
+    serial_invert,
+)
+from repro.container import ServiceContainer
+from repro.http.registry import TransportRegistry
+
+
+@pytest.fixture()
+def registry():
+    return TransportRegistry()
+
+
+@pytest.fixture()
+def cas_container(registry):
+    container = ServiceContainer("cas-host", handlers=4, registry=registry)
+    container.deploy(cas_service_config(name="cas", packaging="python"))
+    yield container
+    container.shutdown()
+
+
+class TestLocalAlgorithms:
+    @pytest.mark.parametrize("n", [2, 3, 5, 8, 12])
+    def test_block_inversion_matches_serial_on_hilbert(self, n):
+        h = RationalMatrix.hilbert(n)
+        assert block_invert_local(h) == serial_invert(h)
+
+    def test_block_inversion_produces_exact_inverse(self):
+        h = RationalMatrix.hilbert(10)
+        assert (h @ block_invert_local(h)).is_identity()
+
+    @pytest.mark.parametrize("split", [1, 2, 3])
+    def test_any_split_point(self, split):
+        h = RationalMatrix.hilbert(4)
+        assert block_invert_local(h, split=split) == h.inverse()
+
+    def test_non_hilbert_matrix(self):
+        a = RationalMatrix([[2, 1, 0], [1, 3, 1], [0, 1, 4]])
+        assert (a @ block_invert_local(a)).is_identity()
+
+
+class TestDistributedInverter:
+    def test_distributed_matches_serial(self, registry, cas_container):
+        inverter = DistributedInverter([cas_container.service_uri("cas")], registry)
+        h = RationalMatrix.hilbert(8)
+        inverse, trace = inverter.invert(h)
+        assert inverse == h.inverse()
+        assert (h @ inverse).is_identity()
+
+    def test_trace_records_all_steps(self, registry, cas_container):
+        inverter = DistributedInverter([cas_container.service_uri("cas")], registry)
+        _, trace = inverter.invert(RationalMatrix.hilbert(6))
+        steps = [step["step"] for step in trace.steps]
+        assert set(steps) == {
+            "invert-a11",
+            "L=a21*b11",
+            "R=b11*a12",
+            "S=a22-L*a12",
+            "invert-S",
+            "X12=-R*Sinv",
+            "X21=-Sinv*L",
+            "X11=b11-X12*L",
+        }
+        assert trace.total_compute_time >= 0
+
+    def test_file_passing_intermediates(self, registry, cas_container):
+        """With file_results, intermediates travel as file references and
+        services fetch them from each other — the paper's data flow."""
+        cas_container.deploy(
+            cas_service_config(name="cas-files", packaging="python", file_results=True)
+        )
+        inverter = DistributedInverter([cas_container.service_uri("cas-files")], registry)
+        h = RationalMatrix.hilbert(8)
+        inverse, trace = inverter.invert(h)
+        assert inverse == h.inverse()
+        # the per-step envelopes recorded sizes, so all steps really ran
+        assert len(trace.steps) == 8
+
+    def test_file_passing_service_returns_reference(self, registry, cas_container):
+        from repro.client import ServiceProxy
+        from repro.core.filerefs import is_file_ref
+
+        cas_container.deploy(
+            cas_service_config(name="cas-ref", packaging="python", file_results=True)
+        )
+        proxy = ServiceProxy(cas_container.service_uri("cas-ref"), registry)
+        job = proxy.submit(op="hilbert", n=4)
+        results = job.result(timeout=30)
+        assert is_file_ref(results["result"])
+        content = job.fetch("result")
+        import json
+
+        assert RationalMatrix.from_json(json.loads(content)) == RationalMatrix.hilbert(4)
+
+    def test_pool_round_robin(self, registry, cas_container):
+        cas_container.deploy(cas_service_config(name="cas2", packaging="python"))
+        uris = [cas_container.service_uri("cas"), cas_container.service_uri("cas2")]
+        inverter = DistributedInverter(uris, registry)
+        h = RationalMatrix.hilbert(6)
+        inverse, _ = inverter.invert(h)
+        assert inverse == h.inverse()
+
+    def test_empty_pool_rejected(self, registry):
+        with pytest.raises(ValueError, match="at least one"):
+            DistributedInverter([], registry)
+
+    def test_non_square_rejected(self, registry, cas_container):
+        from repro.apps.cas.kernel import CasError
+
+        inverter = DistributedInverter([cas_container.service_uri("cas")], registry)
+        with pytest.raises(CasError):
+            inverter.invert(RationalMatrix([[1, 2]]))
+
+
+class TestInversionWorkflow:
+    def test_workflow_structure(self, registry, cas_container):
+        workflow = build_inversion_workflow(cas_container.service_uri("cas"), registry)
+        kinds = {block.kind for block in workflow.blocks.values()}
+        assert kinds == {"input", "output", "const", "service", "script"}
+        order = workflow.topological_order()
+        assert order.index("invert-a11") < order.index("schur") < order.index("invert-schur")
+
+    def test_workflow_executes_correct_inverse(self, registry, cas_container):
+        from repro.workflow.engine import WorkflowEngine
+
+        workflow = build_inversion_workflow(cas_container.service_uri("cas"), registry)
+        h = RationalMatrix.hilbert(8)
+        outputs = WorkflowEngine(registry, poll=0.005).execute(
+            workflow, {"matrix": h.to_json()}
+        )
+        inverse = RationalMatrix.from_json(outputs["inverse"])
+        assert inverse == h.inverse()
+
+    def test_workflow_parallel_blocks_overlap(self, registry, cas_container):
+        """L and R must run concurrently (the editor would show both yellow)."""
+        from repro.workflow.engine import BlockState, WorkflowEngine
+
+        workflow = build_inversion_workflow(cas_container.service_uri("cas"), registry)
+        timeline = []
+        import time as time_module
+
+        def observe(block, state, error):
+            timeline.append((time_module.time(), block, state))
+
+        WorkflowEngine(registry, poll=0.002).execute(
+            workflow, {"matrix": RationalMatrix.hilbert(10).to_json()}, observer=observe
+        )
+
+        def span(block_id):
+            start = next(t for t, b, s in timeline if b == block_id and s is BlockState.RUNNING)
+            end = next(t for t, b, s in timeline if b == block_id and s is BlockState.DONE)
+            return start, end
+
+        l_start, l_end = span("left")
+        r_start, r_end = span("right")
+        assert l_start < r_end and r_start < l_end, "L and R did not overlap"
+
+    def test_workflow_deployable_as_composite_service(self, registry, cas_container):
+        from repro.client import ServiceProxy
+        from repro.workflow.wms import WorkflowManagementService
+
+        wms = WorkflowManagementService("matrix-wms", registry=registry)
+        try:
+            workflow = build_inversion_workflow(cas_container.service_uri("cas"), registry)
+            wms.deploy_workflow(workflow)
+            proxy = ServiceProxy(wms.service_uri("block-inversion"), registry)
+            h = RationalMatrix.hilbert(6)
+            results = proxy(matrix=h.to_json(), timeout=120)
+            assert RationalMatrix.from_json(results["inverse"]) == h.inverse()
+        finally:
+            wms.shutdown()

@@ -1,0 +1,267 @@
+"""Tests for the LP form and the solvers (simplex, scipy, branch & bound)."""
+
+import pytest
+
+from repro.apps.optimization.lp import Constraint, LinearProgram, LpError, SolverResult
+from repro.apps.optimization.solvers import solve_lp, solve_with_scipy, solve_with_simplex
+
+SOLVERS = ["simplex", "scipy"]
+
+
+class TestLinearProgram:
+    def test_variables_in_first_mention_order(self):
+        lp = LinearProgram(
+            objective={"b": 1},
+            constraints=[Constraint("c", {"a": 1, "b": 1}, "<=", 1)],
+            bounds={"z": (0, 1)},
+        )
+        assert lp.variables == ["b", "a", "z"]
+
+    def test_default_bound_is_nonnegative(self):
+        assert LinearProgram().bound("x") == (0.0, None)
+
+    def test_bad_relop_rejected(self):
+        with pytest.raises(LpError, match="bad relation"):
+            Constraint("c", {"x": 1}, "<", 1)
+
+    def test_bad_sense_rejected(self):
+        with pytest.raises(LpError, match="sense"):
+            LinearProgram(sense="maximize")
+
+    def test_empty_bound_interval_rejected(self):
+        lp = LinearProgram(bounds={"x": (2, 1)})
+        with pytest.raises(LpError, match="empty"):
+            lp.validate()
+
+    def test_duplicate_constraint_names_rejected(self):
+        lp = LinearProgram(
+            constraints=[
+                Constraint("c", {"x": 1}, "<=", 1),
+                Constraint("c", {"x": 1}, ">=", 0),
+            ]
+        )
+        with pytest.raises(LpError, match="duplicate"):
+            lp.validate()
+
+    def test_json_round_trip(self):
+        lp = LinearProgram(
+            sense="max",
+            objective={"x": 3, "y": 5},
+            objective_constant=7.0,
+            constraints=[Constraint("c", {"x": 1, "y": 2}, "<=", 10)],
+            bounds={"x": (None, 4.0), "y": (1.0, None)},
+            integers={"y"},
+            name="demo",
+        )
+        restored = LinearProgram.from_json(lp.to_json())
+        assert restored.to_json() == lp.to_json()
+
+    def test_result_json_round_trip(self):
+        result = SolverResult(status="optimal", objective=3.5, values={"x": 1}, duals={"c": -2})
+        assert SolverResult.from_json(result.to_json()).to_json() == result.to_json()
+
+
+def classic_max():
+    return LinearProgram(
+        sense="max",
+        objective={"x": 3, "y": 5},
+        constraints=[
+            Constraint("c1", {"x": 1}, "<=", 4),
+            Constraint("c2", {"y": 2}, "<=", 12),
+            Constraint("c3", {"x": 3, "y": 2}, "<=", 18),
+        ],
+    )
+
+
+class TestLpSolvers:
+    @pytest.mark.parametrize("solver", SOLVERS)
+    def test_classic_maximization(self, solver):
+        result = solve_lp(classic_max(), solver)
+        assert result.optimal
+        assert result.objective == pytest.approx(36.0)
+        assert result.values["x"] == pytest.approx(2.0)
+        assert result.values["y"] == pytest.approx(6.0)
+
+    @pytest.mark.parametrize("solver", SOLVERS)
+    def test_duals_are_shadow_prices(self, solver):
+        result = solve_lp(classic_max(), solver)
+        assert result.duals["c2"] == pytest.approx(1.5)
+        assert result.duals["c3"] == pytest.approx(1.0)
+        assert result.duals["c1"] == pytest.approx(0.0)
+
+    @pytest.mark.parametrize("solver", SOLVERS)
+    def test_equality_and_ge_constraints(self, solver):
+        lp = LinearProgram(
+            objective={"x": 2, "y": 3},
+            constraints=[
+                Constraint("d1", {"x": 1, "y": 1}, ">=", 10),
+                Constraint("d2", {"x": 1, "y": -1}, "=", 2),
+            ],
+        )
+        result = solve_lp(lp, solver)
+        assert result.objective == pytest.approx(24.0)
+        assert result.duals["d1"] == pytest.approx(2.5)
+        assert result.duals["d2"] == pytest.approx(-0.5)
+
+    @pytest.mark.parametrize("solver", SOLVERS)
+    def test_free_variable(self, solver):
+        lp = LinearProgram(
+            objective={"x": 1},
+            constraints=[Constraint("lo", {"x": 1}, ">=", -5)],
+            bounds={"x": (None, None)},
+        )
+        assert solve_lp(lp, solver).objective == pytest.approx(-5.0)
+
+    @pytest.mark.parametrize("solver", SOLVERS)
+    def test_shifted_and_upper_bounds(self, solver):
+        lp = LinearProgram(
+            sense="max",
+            objective={"x": 1, "y": 2},
+            constraints=[Constraint("c", {"x": 1, "y": 1}, "<=", 10)],
+            bounds={"x": (2, 5), "y": (0, 4)},
+        )
+        result = solve_lp(lp, solver)
+        assert result.values["y"] == pytest.approx(4.0)
+        assert result.values["x"] == pytest.approx(5.0)
+        assert result.objective == pytest.approx(13.0)
+
+    @pytest.mark.parametrize("solver", SOLVERS)
+    def test_upper_bound_only_variable(self, solver):
+        lp = LinearProgram(
+            sense="max",
+            objective={"x": 1},
+            constraints=[Constraint("c", {"x": 1}, "<=", 100)],
+            bounds={"x": (None, 3)},
+        )
+        assert solve_lp(lp, solver).objective == pytest.approx(3.0)
+
+    @pytest.mark.parametrize("solver", SOLVERS)
+    def test_infeasible_detected(self, solver):
+        lp = LinearProgram(
+            objective={"x": 1},
+            constraints=[
+                Constraint("a", {"x": 1}, "<=", 1),
+                Constraint("b", {"x": 1}, ">=", 2),
+            ],
+        )
+        assert solve_lp(lp, solver).status == "infeasible"
+
+    @pytest.mark.parametrize("solver", SOLVERS)
+    def test_unbounded_detected(self, solver):
+        lp = LinearProgram(sense="max", objective={"x": 1})
+        assert solve_lp(lp, solver).status == "unbounded"
+
+    @pytest.mark.parametrize("solver", SOLVERS)
+    def test_objective_constant_carried(self, solver):
+        lp = LinearProgram(
+            objective={"x": 1},
+            objective_constant=100.0,
+            constraints=[Constraint("c", {"x": 1}, ">=", 1)],
+        )
+        assert solve_lp(lp, solver).objective == pytest.approx(101.0)
+
+    @pytest.mark.parametrize("solver", SOLVERS)
+    def test_degenerate_problem_terminates(self, solver):
+        # classic degeneracy: redundant constraints through one vertex
+        lp = LinearProgram(
+            sense="max",
+            objective={"x": 1, "y": 1},
+            constraints=[
+                Constraint("a", {"x": 1, "y": 1}, "<=", 1),
+                Constraint("b", {"x": 1}, "<=", 1),
+                Constraint("c", {"y": 1}, "<=", 1),
+                Constraint("d", {"x": 2, "y": 2}, "<=", 2),
+            ],
+        )
+        assert solve_lp(lp, solver).objective == pytest.approx(1.0)
+
+    def test_solvers_agree_on_random_problems(self):
+        import random
+
+        rng = random.Random(3)
+        for trial in range(10):
+            n_vars, n_cons = rng.randint(2, 6), rng.randint(2, 6)
+            variables = [f"v{i}" for i in range(n_vars)]
+            lp = LinearProgram(
+                sense=rng.choice(["min", "max"]),
+                objective={v: rng.randint(-5, 5) for v in variables},
+                constraints=[
+                    Constraint(
+                        f"c{c}",
+                        {v: rng.randint(-3, 3) for v in variables},
+                        rng.choice(["<=", ">="]),
+                        rng.randint(0, 10),
+                    )
+                    for c in range(n_cons)
+                ],
+                bounds={v: (0, rng.randint(5, 15)) for v in variables},
+            )
+            ours, theirs = solve_with_simplex(lp), solve_with_scipy(lp)
+            assert ours.status == theirs.status, f"trial {trial}"
+            if ours.optimal:
+                assert ours.objective == pytest.approx(theirs.objective, abs=1e-6), f"trial {trial}"
+
+    def test_unknown_solver_rejected(self):
+        with pytest.raises(ValueError, match="unknown solver"):
+            solve_lp(LinearProgram(), solver="cplex")
+
+
+class TestBranchAndBound:
+    @pytest.mark.parametrize("solver", SOLVERS)
+    def test_knapsack_style(self, solver):
+        lp = LinearProgram(
+            sense="max",
+            objective={"x": 5, "y": 4},
+            constraints=[
+                Constraint("a", {"x": 6, "y": 4}, "<=", 24),
+                Constraint("b", {"x": 1, "y": 2}, "<=", 6),
+            ],
+            integers={"x", "y"},
+        )
+        result = solve_lp(lp, solver)
+        assert result.objective == pytest.approx(20.0)
+        assert result.values["x"] == pytest.approx(4.0)
+        assert result.values["y"] == pytest.approx(0.0)
+        assert result.solver.startswith("bb+")
+
+    def test_binary_assignment(self):
+        # pick exactly one of each pair, minimize cost
+        lp = LinearProgram(
+            objective={"a1": 3, "a2": 1, "b1": 2, "b2": 5},
+            constraints=[
+                Constraint("pick_a", {"a1": 1, "a2": 1}, "=", 1),
+                Constraint("pick_b", {"b1": 1, "b2": 1}, "=", 1),
+            ],
+            bounds={v: (0, 1) for v in ("a1", "a2", "b1", "b2")},
+            integers={"a1", "a2", "b1", "b2"},
+        )
+        result = solve_lp(lp, "simplex")
+        assert result.objective == pytest.approx(3.0)
+        assert result.values["a2"] == 1.0 and result.values["b1"] == 1.0
+
+    def test_integer_infeasible(self):
+        lp = LinearProgram(
+            objective={"x": 1},
+            constraints=[
+                Constraint("a", {"x": 2}, "=", 3),  # x = 1.5 only
+            ],
+            integers={"x"},
+        )
+        assert solve_lp(lp, "simplex").status == "infeasible"
+
+    def test_relaxation_already_integral(self):
+        lp = LinearProgram(
+            sense="max",
+            objective={"x": 1},
+            constraints=[Constraint("c", {"x": 1}, "<=", 3)],
+            integers={"x"},
+        )
+        result = solve_lp(lp, "scipy")
+        assert result.objective == pytest.approx(3.0)
+
+    def test_mip_bound_never_better_than_relaxation(self):
+        lp = classic_max()
+        lp.integers = {"x", "y"}
+        relaxed = solve_lp(classic_max(), "simplex")
+        integral = solve_lp(lp, "simplex")
+        assert integral.objective <= relaxed.objective + 1e-9

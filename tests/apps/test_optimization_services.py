@@ -1,0 +1,219 @@
+"""Tests for optimization services, the dispatcher and Dantzig–Wolfe."""
+
+import pytest
+
+from repro.apps.optimization.dantzig_wolfe import DantzigWolfe, DantzigWolfeError
+from repro.apps.optimization.dispatcher import SolverPool, dispatcher_service_config
+from repro.apps.optimization.lp import Constraint, LinearProgram
+from repro.apps.optimization.multicommodity import (
+    MultiCommodityInstance,
+    commodity_subproblem,
+    full_lp,
+    generate_instance,
+)
+from repro.apps.optimization.services import (
+    solve_service_config,
+    solver_service_config,
+    translator_service_config,
+)
+from repro.apps.optimization.solvers import solve_lp
+from repro.client import JobFailedError, ServiceProxy
+from repro.container import ServiceContainer
+from repro.http.registry import TransportRegistry
+
+MODEL = "var x >= 0, <= 4; var y >= 0; maximize z: 3 * x + 5 * y; subject to C: 2 * y + 3 * x <= 18; subject to D: 2 * y <= 12;"
+
+
+@pytest.fixture()
+def registry():
+    return TransportRegistry()
+
+
+@pytest.fixture()
+def container(registry):
+    instance = ServiceContainer("opt", handlers=8, registry=registry)
+    instance.deploy(translator_service_config())
+    instance.deploy(solver_service_config("solve-simplex", solver="simplex"))
+    instance.deploy(solver_service_config("solve-scipy", solver="scipy"))
+    instance.deploy(solve_service_config())
+    yield instance
+    instance.shutdown()
+
+
+class TestTranslatorService:
+    def test_translate_model(self, container, registry):
+        proxy = ServiceProxy(container.service_uri("ampl-translate"), registry)
+        outputs = proxy(model=MODEL, timeout=15)
+        lp = LinearProgram.from_json(outputs["lp"])
+        assert lp.sense == "max"
+        assert set(lp.variables) == {"x", "y"}
+
+    def test_translation_error_fails_job(self, container, registry):
+        proxy = ServiceProxy(container.service_uri("ampl-translate"), registry)
+        with pytest.raises(JobFailedError, match="translation failed"):
+            proxy(model="var x >= ;", timeout=15)
+
+
+class TestSolverServices:
+    def test_both_backends_agree(self, container, registry):
+        from repro.apps.optimization.ampl import translate
+
+        lp_json = translate(MODEL).to_json()
+        for name in ("solve-simplex", "solve-scipy"):
+            proxy = ServiceProxy(container.service_uri(name), registry)
+            result = proxy(lp=lp_json, timeout=15)["result"]
+            assert result["status"] == "optimal"
+            assert result["objective"] == pytest.approx(36.0)
+
+    def test_pipeline_translator_then_solver(self, container, registry):
+        translator = ServiceProxy(container.service_uri("ampl-translate"), registry)
+        solver = ServiceProxy(container.service_uri("solve-simplex"), registry)
+        lp_json = translator(model=MODEL, timeout=15)["lp"]
+        result = solver(lp=lp_json, timeout=15)["result"]
+        assert result["objective"] == pytest.approx(36.0)
+
+    def test_one_shot_solve_service(self, container, registry):
+        proxy = ServiceProxy(container.service_uri("ampl-solve"), registry)
+        outputs = proxy(model=MODEL, timeout=15)
+        assert outputs["result"]["objective"] == pytest.approx(36.0)
+
+    def test_bad_lp_document_fails_job(self, container, registry):
+        proxy = ServiceProxy(container.service_uri("solve-simplex"), registry)
+        with pytest.raises(JobFailedError, match="bad LP document"):
+            proxy(lp={"objective": {"x": 1}, "constraints": [{"nope": True}]}, timeout=15)
+
+    def test_unknown_backend_rejected_at_config(self):
+        with pytest.raises(ValueError, match="unknown solver"):
+            solver_service_config("s", solver="gurobi")
+
+
+class TestSolverPool:
+    def test_round_robin_distribution(self, container, registry):
+        pool = SolverPool(
+            [container.service_uri("solve-simplex"), container.service_uri("solve-scipy")],
+            registry,
+        )
+        from repro.apps.optimization.ampl import translate
+
+        lp = translate(MODEL)
+        results = pool.solve_all([lp] * 4)
+        assert all(r.optimal for r in results)
+        assert pool.dispatch_counts == [2, 2]
+
+    def test_empty_pool_rejected(self, registry):
+        with pytest.raises(ValueError, match="at least one"):
+            SolverPool([], registry)
+
+    def test_dispatcher_service(self, container, registry):
+        pool_uris = [container.service_uri("solve-simplex"), container.service_uri("solve-scipy")]
+        container.deploy(dispatcher_service_config("dispatch", pool_uris, registry))
+        from repro.apps.optimization.ampl import translate
+
+        proxy = ServiceProxy(container.service_uri("dispatch"), registry)
+        outputs = proxy(lps=[translate(MODEL).to_json()] * 3, timeout=30)
+        assert len(outputs["results"]) == 3
+        assert all(r["status"] == "optimal" for r in outputs["results"])
+
+
+class TestMultiCommodity:
+    def test_generated_instances_feasible(self):
+        for seed in range(8):
+            instance = generate_instance(seed=seed)
+            result = solve_lp(full_lp(instance), "scipy")
+            assert result.optimal, f"seed {seed} infeasible"
+
+    def test_tightness_validation(self):
+        with pytest.raises(ValueError, match="tightness"):
+            generate_instance(tightness=0)
+
+    def test_capacity_binds_somewhere(self):
+        instance = generate_instance(seed=3, tightness=0.95)
+        result = solve_lp(full_lp(instance), "scipy")
+        binding = [
+            name for name, dual in result.duals.items()
+            if name.startswith("capacity[") and abs(dual) > 1e-9
+        ]
+        assert binding, "no binding capacity constraint; instance is uninteresting"
+
+    def test_subproblem_is_single_commodity(self):
+        instance = generate_instance(seed=1)
+        sub = commodity_subproblem(instance, instance.commodities[0])
+        assert all("," in v and v.count(",") == 1 for v in sub.variables)
+        result = solve_lp(sub, "simplex")
+        assert result.optimal
+
+    def test_subproblem_prices_shift_objective(self):
+        instance = generate_instance(seed=1)
+        k = instance.commodities[0]
+        arc = (instance.origins[0], instance.destinations[0])
+        base = commodity_subproblem(instance, k)
+        priced = commodity_subproblem(instance, k, {arc: -5.0})
+        assert priced.objective[f"x[{arc[0]},{arc[1]}]"] == pytest.approx(
+            base.objective[f"x[{arc[0]},{arc[1]}]"] + 5.0
+        )
+
+
+class TestDantzigWolfe:
+    @pytest.mark.parametrize("seed", [1, 2, 7])
+    def test_matches_monolithic_optimum(self, seed):
+        instance = generate_instance(seed=seed, n_commodities=3)
+        reference = solve_lp(full_lp(instance), "scipy")
+        result = DantzigWolfe(instance).solve()
+        assert result.objective == pytest.approx(reference.objective, rel=1e-5)
+
+    def test_simplex_master(self):
+        instance = generate_instance(seed=4)
+        reference = solve_lp(full_lp(instance), "scipy")
+        result = DantzigWolfe(instance, master_solver="simplex").solve()
+        assert result.objective == pytest.approx(reference.objective, rel=1e-5)
+
+    def test_flows_satisfy_capacities_and_demand(self):
+        instance = generate_instance(seed=2)
+        result = DantzigWolfe(instance).solve()
+        for i, j in instance.arcs():
+            total = sum(result.flows[k].get((i, j), 0.0) for k in instance.commodities)
+            assert total <= instance.capacity[i][j] + 1e-5
+        for k in instance.commodities:
+            for j in instance.destinations:
+                arrived = sum(result.flows[k].get((i, j), 0.0) for i in instance.origins)
+                assert arrived >= instance.demand[k][j] - 1e-5
+
+    def test_history_objective_monotone_nonincreasing(self):
+        instance = generate_instance(seed=9)
+        result = DantzigWolfe(instance).solve()
+        objectives = [s.master_objective for s in result.history]
+        for earlier, later in zip(objectives, objectives[1:]):
+            assert later <= earlier + 1e-6
+
+    def test_remote_subproblems_via_pool(self, container, registry):
+        """The paper's distributed mode: subproblems on solver services."""
+        instance = generate_instance(seed=6)
+        pool = SolverPool(
+            [container.service_uri("solve-simplex"), container.service_uri("solve-scipy")],
+            registry,
+        )
+        reference = solve_lp(full_lp(instance), "scipy")
+        result = DantzigWolfe(instance, pool=pool).solve()
+        assert result.objective == pytest.approx(reference.objective, rel=1e-5)
+        assert sum(pool.dispatch_counts) >= 2 * len(instance.commodities)
+
+    def test_infeasible_capacity_detected(self):
+        instance = generate_instance(seed=1)
+        for i in instance.origins:  # choke every arc
+            for j in instance.destinations:
+                instance.capacity[i][j] = 0.5
+        with pytest.raises(DantzigWolfeError, match="overflow"):
+            DantzigWolfe(instance).solve()
+
+    def test_infeasible_subproblem_detected(self):
+        instance = MultiCommodityInstance(
+            origins=["o"],
+            destinations=["d"],
+            commodities=["k"],
+            supply={"k": {"o": 1.0}},
+            demand={"k": {"d": 5.0}},  # more demand than supply
+            cost={"k": {"o": {"d": 1.0}}},
+            capacity={"o": {"d": 10.0}},
+        )
+        with pytest.raises(DantzigWolfeError, match="infeasible"):
+            DantzigWolfe(instance).solve()

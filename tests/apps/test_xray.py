@@ -1,0 +1,226 @@
+"""Tests for the X-ray application: geometry, scattering, fitting, pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.apps.xray import (
+    FIT_SOLVERS,
+    StructureSpec,
+    build_structure,
+    debye_curve,
+    default_q_grid,
+    fit_mixture,
+    synthesize_measurement,
+)
+from repro.apps.xray.scattering import pair_distances
+from repro.apps.xray.structures import small_library, standard_library
+from repro.apps.xray.synthetic import toroid_dominated_weights
+from repro.apps.xray.workflow import ascii_plot, postprocess
+
+
+@pytest.fixture(scope="module")
+def q_grid():
+    return default_q_grid(points=40)
+
+
+@pytest.fixture(scope="module")
+def library():
+    return small_library()
+
+
+@pytest.fixture(scope="module")
+def curve_matrix(library, q_grid):
+    return np.column_stack([debye_curve(build_structure(s), q_grid) for s in library])
+
+
+class TestStructures:
+    def test_torus_atoms_on_surface(self):
+        spec = StructureSpec("torus", "t", params={"major_radius": 1.0, "minor_radius": 0.4})
+        atoms = build_structure(spec)
+        radial = np.sqrt(atoms[:, 0] ** 2 + atoms[:, 1] ** 2)
+        tube_distance = np.sqrt((radial - 1.0) ** 2 + atoms[:, 2] ** 2)
+        assert np.allclose(tube_distance, 0.4, atol=1e-9)
+
+    def test_torus_parameter_check(self):
+        spec = StructureSpec("torus", "bad", params={"major_radius": 0.3, "minor_radius": 0.4})
+        with pytest.raises(ValueError, match="major_radius > minor_radius"):
+            build_structure(spec)
+
+    def test_sphere_atoms_on_shell(self):
+        atoms = build_structure(StructureSpec("sphere", "s", params={"radius": 0.8}))
+        assert np.allclose(np.linalg.norm(atoms, axis=1), 0.8, atol=1e-9)
+
+    def test_tube_extent(self):
+        atoms = build_structure(
+            StructureSpec("tube", "t", params={"radius": 0.4, "length": 2.0})
+        )
+        assert atoms[:, 2].max() == pytest.approx(1.0)
+        assert atoms[:, 2].min() == pytest.approx(-1.0)
+        assert np.allclose(np.hypot(atoms[:, 0], atoms[:, 1]), 0.4, atol=1e-9)
+
+    def test_flake_is_planar(self):
+        atoms = build_structure(StructureSpec("flake", "f", params={"radius": 1.0}))
+        assert np.all(atoms[:, 2] == 0.0)
+        assert np.all(np.hypot(atoms[:, 0], atoms[:, 1]) <= 1.0 + 0.26)
+
+    def test_aspect_ratio(self):
+        torus = StructureSpec("torus", "t", params={"major_radius": 2.0, "minor_radius": 0.5})
+        assert torus.aspect_ratio == pytest.approx(4.0)
+        sphere = StructureSpec("sphere", "s", params={"radius": 1.0})
+        assert sphere.aspect_ratio is None
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown structure kind"):
+            build_structure(StructureSpec("helix", "h"))
+
+    def test_missing_parameter(self):
+        with pytest.raises(ValueError, match="missing parameter"):
+            build_structure(StructureSpec("sphere", "s", params={}))
+
+    def test_spec_json_round_trip(self):
+        spec = StructureSpec("tube", "t", params={"radius": 0.4, "length": 2.0})
+        assert StructureSpec.from_json(spec.to_json()) == spec
+
+    def test_standard_library_has_all_kinds(self):
+        kinds = {spec.kind for spec in standard_library()}
+        assert kinds == {"torus", "tube", "sphere", "flake"}
+
+
+class TestScattering:
+    def test_pair_distances_count(self):
+        atoms = np.array([[0, 0, 0], [1, 0, 0], [0, 1, 0]], dtype=float)
+        distances = pair_distances(atoms)
+        assert len(distances) == 3
+        assert sorted(distances) == pytest.approx([1.0, 1.0, np.sqrt(2)])
+
+    def test_curve_limit_at_q_zero_is_n(self):
+        # normalized I(q→0)/N → N for rigid structures
+        atoms = build_structure(StructureSpec("sphere", "s", params={"radius": 0.4}))
+        curve = debye_curve(atoms, np.array([1e-9]))
+        assert curve[0] == pytest.approx(len(atoms), rel=1e-6)
+
+    def test_curve_tends_to_one_at_large_q(self, q_grid):
+        atoms = build_structure(StructureSpec("sphere", "s", params={"radius": 0.5}))
+        curve = debye_curve(atoms, np.array([500.0]))
+        assert curve[0] == pytest.approx(1.0, abs=0.2)
+
+    def test_different_structures_give_distinct_curves(self, library, q_grid, curve_matrix):
+        correlations = np.corrcoef(curve_matrix.T)
+        off_diagonal = correlations[~np.eye(len(library), dtype=bool)]
+        assert off_diagonal.max() < 0.999, "library curves are not distinguishable"
+
+    def test_single_atom_curve_flat(self, q_grid):
+        assert np.allclose(debye_curve(np.zeros((1, 3)), q_grid), 1.0)
+
+    def test_bad_shapes_rejected(self, q_grid):
+        with pytest.raises(ValueError):
+            debye_curve(np.zeros((0, 3)), q_grid)
+        with pytest.raises(ValueError):
+            pair_distances(np.zeros((3, 2)))
+
+
+class TestFitting:
+    @pytest.mark.parametrize("solver", sorted(FIT_SOLVERS))
+    def test_exact_recovery_noiseless(self, solver, library, q_grid, curve_matrix):
+        true_weights = np.array([0.5, 0.1, 0.2, 0.15, 0.05])
+        measured = curve_matrix @ true_weights
+        fit = fit_mixture(curve_matrix, measured, solver)
+        assert fit.residual < 1e-3
+        assert np.allclose(fit.weights, true_weights, atol=2e-2)
+
+    @pytest.mark.parametrize("solver", sorted(FIT_SOLVERS))
+    def test_weights_nonnegative(self, solver, library, q_grid, curve_matrix):
+        rng = np.random.default_rng(1)
+        measured = curve_matrix @ rng.uniform(0, 1, curve_matrix.shape[1])
+        measured *= 1 + 0.05 * rng.standard_normal(len(measured))
+        fit = fit_mixture(curve_matrix, measured, solver)
+        assert (fit.weights >= -1e-12).all()
+
+    def test_solvers_agree_on_noisy_data(self, library, q_grid, curve_matrix):
+        film = synthesize_measurement(library, q_grid, seed=5)
+        residuals = {
+            solver: fit_mixture(curve_matrix, film.measured, solver).residual
+            for solver in FIT_SOLVERS
+        }
+        best, worst = min(residuals.values()), max(residuals.values())
+        assert worst <= best * 1.5 + 1e-6, residuals
+
+    def test_unknown_solver(self, curve_matrix):
+        with pytest.raises(ValueError, match="unknown fit solver"):
+            fit_mixture(curve_matrix, curve_matrix[:, 0], "magic")
+
+    def test_shape_mismatch(self, curve_matrix):
+        with pytest.raises(ValueError, match="does not match"):
+            fit_mixture(curve_matrix, [1.0, 2.0], "nnls")
+
+
+class TestSynthetic:
+    def test_planted_weights_sum_to_one(self, library, q_grid):
+        film = synthesize_measurement(library, q_grid, seed=3)
+        assert film.true_weights.sum() == pytest.approx(1.0)
+
+    def test_toroids_dominate_planted_mixture(self, library, q_grid):
+        rng = np.random.default_rng(0)
+        weights = toroid_dominated_weights(library, rng)
+        torus_share = sum(
+            w for spec, w in zip(library, weights) if spec.kind == "torus" and spec.aspect_ratio < 4
+        )
+        assert torus_share > 0.4
+
+    def test_library_without_toroids_rejected(self, q_grid):
+        flakes = [StructureSpec("flake", "f", params={"radius": 0.7})]
+        with pytest.raises(ValueError, match="no low-aspect-ratio toroids"):
+            synthesize_measurement(flakes, q_grid)
+
+    def test_noise_reproducible_by_seed(self, library, q_grid):
+        film_a = synthesize_measurement(library, q_grid, seed=11)
+        film_b = synthesize_measurement(library, q_grid, seed=11)
+        assert np.array_equal(film_a.measured, film_b.measured)
+
+    def test_explicit_weights_used(self, library, q_grid):
+        weights = np.zeros(len(library))
+        weights[0] = 1.0
+        film = synthesize_measurement(library, q_grid, weights=weights, noise=0.0, background=0.0)
+        expected = debye_curve(build_structure(library[0]), q_grid)
+        assert np.allclose(film.measured, expected)
+
+    def test_negative_weights_rejected(self, library, q_grid):
+        weights = np.full(len(library), -0.1)
+        with pytest.raises(ValueError, match="nonnegative"):
+            synthesize_measurement(library, q_grid, weights=weights)
+
+
+class TestPostprocessing:
+    def test_recovers_planted_toroid_dominance(self, library, q_grid, curve_matrix):
+        film = synthesize_measurement(library, q_grid, seed=42)
+        fits = [fit_mixture(curve_matrix, film.measured, s) for s in sorted(FIT_SOLVERS)]
+        best = min(fits, key=lambda fit: fit.residual)
+        report = postprocess(library, fits, best)
+        assert report.kind_shares["torus"] > 0.4
+        assert "toroids prevail" in report.conclusion
+
+    def test_report_json_serializable(self, library, q_grid, curve_matrix):
+        import json
+
+        film = synthesize_measurement(library, q_grid, seed=1)
+        fits = [fit_mixture(curve_matrix, film.measured, "nnls")]
+        report = postprocess(library, fits, fits[0])
+        json.dumps(report.to_json())
+
+    def test_non_toroid_dominance_reported(self, library, q_grid, curve_matrix):
+        weights = np.zeros(len(library))
+        weights[[i for i, s in enumerate(library) if s.kind == "flake"][0]] = 1.0
+        film = synthesize_measurement(
+            library, q_grid, weights=weights, noise=0.0, background=0.0
+        )
+        fit = fit_mixture(curve_matrix, film.measured, "nnls")
+        report = postprocess(library, [fit], fit)
+        assert report.kind_shares["flake"] > 0.9
+        assert "flake" in report.conclusion
+
+    def test_ascii_plot_renders(self, q_grid):
+        measured = np.linspace(1, 2, len(q_grid))
+        fitted = measured * 1.01
+        plot = ascii_plot(q_grid, measured, fitted)
+        assert "●" in plot or "◉" in plot
+        assert plot.count("\n") > 5

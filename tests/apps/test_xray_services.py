@@ -1,0 +1,167 @@
+"""Tests for the X-ray services and orchestration over live infrastructure.
+
+This is the paper's full computing scheme end to end: curve jobs through
+the grid broker, fit jobs through the cluster batch system, analysis
+orchestration on top.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.xray import default_q_grid, synthesize_measurement
+from repro.apps.xray.services import curve_service_config, fit_service_config
+from repro.apps.xray.structures import small_library
+from repro.apps.xray.workflow import XRayAnalysis
+from repro.batch import Cluster, ComputeNode
+from repro.container import ServiceContainer
+from repro.grid import GridBroker, GridSite, VirtualOrganization
+from repro.http.registry import TransportRegistry
+
+
+@pytest.fixture()
+def registry():
+    return TransportRegistry()
+
+
+@pytest.fixture()
+def container(registry):
+    instance = ServiceContainer("xray", handlers=8, registry=registry)
+    yield instance
+    instance.shutdown()
+
+
+@pytest.fixture()
+def q_grid():
+    return default_q_grid(points=30)
+
+
+@pytest.fixture()
+def library():
+    return small_library()
+
+
+class TestPythonBackends:
+    def test_full_analysis_inprocess(self, container, registry, q_grid, library):
+        container.deploy(curve_service_config(backend="python"))
+        container.deploy(fit_service_config(backend="python"))
+        film = synthesize_measurement(library, q_grid, seed=42)
+        analysis = XRayAnalysis(
+            container.service_uri("xray-curve"),
+            container.service_uri("xray-fit"),
+            registry,
+        )
+        report = analysis.analyse(library, q_grid, film.measured)
+        assert len(report.fits) == 3
+        assert report.kind_shares["torus"] > 0.4
+        assert "toroids prevail" in report.conclusion
+        assert report.plot  # the plotting step produced output
+
+    def test_curve_service_matches_direct_computation(self, container, registry, q_grid, library):
+        from repro.apps.xray import build_structure, debye_curve
+        from repro.client import ServiceProxy
+
+        container.deploy(curve_service_config(backend="python"))
+        proxy = ServiceProxy(container.service_uri("xray-curve"), registry)
+        spec = library[0]
+        outputs = proxy(spec=spec.to_json(), q=[float(v) for v in q_grid], timeout=60)
+        direct = debye_curve(build_structure(spec), q_grid)
+        assert np.allclose(outputs["curve"]["curve"], direct)
+
+    def test_bad_spec_fails_job(self, container, registry, q_grid):
+        from repro.client import JobFailedError, ServiceProxy
+
+        container.deploy(curve_service_config(backend="python"))
+        proxy = ServiceProxy(container.service_uri("xray-curve"), registry)
+        with pytest.raises(JobFailedError, match="missing parameter"):
+            proxy(spec={"kind": "sphere", "name": "s"}, q=[1.0], timeout=30)
+
+
+class TestInfrastructureBackends:
+    """Curves as grid jobs, fits as cluster jobs — the paper's deployment."""
+
+    @pytest.fixture()
+    def grid_broker(self, container):
+        site = GridSite("xray-ce", supported_vos={"mathcloud"}, slots=4)
+        broker = GridBroker(sites=[site])
+        broker.add_vo(VirtualOrganization("mathcloud", members={"CN=xray-portal"}))
+        container.register_resource("egi", broker)
+        yield broker
+        broker.shutdown()
+
+    @pytest.fixture()
+    def cluster(self, container):
+        instance = Cluster(nodes=[ComputeNode("cn1", slots=4)], name="xray-hpc")
+        container.register_resource("hpc", instance)
+        yield instance
+        instance.shutdown()
+
+    def test_grid_curve_service(self, container, registry, q_grid, library, grid_broker):
+        from repro.client import ServiceProxy
+
+        container.deploy(
+            curve_service_config(
+                backend="grid", broker="egi", vo="mathcloud", owner="CN=xray-portal"
+            )
+        )
+        proxy = ServiceProxy(container.service_uri("xray-curve"), registry)
+        outputs = proxy(spec=library[3].to_json(), q=[float(v) for v in q_grid], timeout=120)
+        assert outputs["curve"]["structure"] == library[3].name
+        assert len(outputs["curve"]["curve"]) == len(q_grid)
+        # the job really went through the grid
+        assert any(job.state.terminal for job in grid_broker.sites[0].cluster.jobs())
+
+    def test_cluster_fit_service(self, container, registry, q_grid, library, cluster):
+        from repro.apps.xray import build_structure, debye_curve
+        from repro.client import ServiceProxy
+
+        container.deploy(fit_service_config(backend="cluster", cluster="hpc"))
+        curves = np.column_stack(
+            [debye_curve(build_structure(s), q_grid) for s in library]
+        )
+        film = synthesize_measurement(library, q_grid, seed=9)
+        proxy = ServiceProxy(container.service_uri("xray-fit"), registry)
+        outputs = proxy(
+            curves=[list(row) for row in curves],
+            measured=[float(v) for v in film.measured],
+            solver="nnls",
+            timeout=120,
+        )
+        assert outputs["fit"]["solver"] == "nnls"
+        assert outputs["fit"]["residual"] < 1.0
+        assert len(cluster.jobs()) == 1
+
+    def test_full_scheme_on_grid_and_cluster(
+        self, container, registry, q_grid, library, grid_broker, cluster
+    ):
+        container.deploy(
+            curve_service_config(
+                backend="grid", broker="egi", vo="mathcloud", owner="CN=xray-portal"
+            )
+        )
+        container.deploy(fit_service_config(backend="cluster", cluster="hpc"))
+        film = synthesize_measurement(library, q_grid, seed=42)
+        analysis = XRayAnalysis(
+            container.service_uri("xray-curve"),
+            container.service_uri("xray-fit"),
+            registry,
+        )
+        report = analysis.analyse(library, q_grid, film.measured, timeout=300)
+        assert "toroids prevail" in report.conclusion
+        # one grid job per structure, one cluster job per solver
+        assert len(grid_broker.sites[0].cluster.jobs()) == len(library)
+        assert len(cluster.jobs()) == 3
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        ("factory", "kwargs", "message"),
+        [
+            (curve_service_config, {"backend": "fpga"}, "unknown backend"),
+            (curve_service_config, {"backend": "grid"}, "needs broker"),
+            (fit_service_config, {"backend": "fpga"}, "unknown backend"),
+            (fit_service_config, {"backend": "cluster"}, "needs a cluster"),
+        ],
+    )
+    def test_bad_configs(self, factory, kwargs, message):
+        with pytest.raises(ValueError, match=message):
+            factory(**kwargs)

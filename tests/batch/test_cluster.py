@@ -1,0 +1,261 @@
+"""Tests for the TORQUE-like batch system."""
+
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.batch import BatchJob, BatchJobState, Cluster, ComputeNode, JobResources
+from repro.batch.cluster import ClusterError
+
+
+@pytest.fixture()
+def cluster():
+    instance = Cluster(nodes=[ComputeNode("n1", slots=2), ComputeNode("n2", slots=2)], name="tc")
+    yield instance
+    instance.shutdown()
+
+
+def py_job(code, **kwargs):
+    return BatchJob(command=[sys.executable, "-c", code], **kwargs)
+
+
+class TestCommandJobs:
+    def test_runs_command_and_captures_stdout(self, cluster):
+        job_id = cluster.qsub(py_job("print('hello from node')"))
+        job = cluster.wait(job_id, timeout=10)
+        assert job.state is BatchJobState.COMPLETED
+        assert job.exit_status == 0
+        assert "hello from node" in job.stdout
+
+    def test_nonzero_exit_marks_failed(self, cluster):
+        job_id = cluster.qsub(py_job("import sys; sys.exit(3)"))
+        job = cluster.wait(job_id, timeout=10)
+        assert job.state is BatchJobState.FAILED
+        assert job.exit_status == 3
+        assert "exit status 3" in job.failure_reason
+
+    def test_stderr_captured(self, cluster):
+        job_id = cluster.qsub(py_job("import sys; print('oops', file=sys.stderr)"))
+        job = cluster.wait(job_id, timeout=10)
+        assert "oops" in job.stderr
+
+    def test_stdin_piped(self, cluster):
+        job = py_job("import sys; print(sys.stdin.read().upper())", stdin="quiet")
+        cluster.qsub(job)
+        cluster.wait(job.id, timeout=10)
+        assert "QUIET" in job.stdout
+
+    def test_stage_in_and_out(self, cluster):
+        code = (
+            "data = open('in.txt').read()\n"
+            "open('out/result.txt', 'w').write(data[::-1])\n"
+        )
+        job = BatchJob(
+            command=[sys.executable, "-c", "import os; os.makedirs('out'); " + code.replace("\n", "; ").rstrip("; ")],
+            stage_in={"in.txt": b"abcdef"},
+            stage_out=["out/result.txt"],
+        )
+        cluster.qsub(job)
+        cluster.wait(job.id, timeout=10)
+        assert job.state is BatchJobState.COMPLETED
+        assert job.output_files["out/result.txt"] == b"fedcba"
+
+    def test_walltime_kills_command(self, cluster):
+        job = py_job("import time; time.sleep(30)", resources=JobResources(walltime=0.3))
+        cluster.qsub(job)
+        finished = cluster.wait(job.id, timeout=10)
+        assert finished.state is BatchJobState.FAILED
+        assert "walltime" in finished.failure_reason
+
+    def test_env_passed_to_command(self, cluster):
+        job = py_job("import os; print(os.environ['MC_TOKEN'])", env={"MC_TOKEN": "tok-1"})
+        cluster.qsub(job)
+        cluster.wait(job.id, timeout=10)
+        assert "tok-1" in job.stdout
+
+
+class TestFunctionJobs:
+    def test_function_result_recorded(self, cluster):
+        job = BatchJob(function=lambda j: sum(range(10)))
+        cluster.qsub(job)
+        cluster.wait(job.id, timeout=10)
+        assert job.state is BatchJobState.COMPLETED
+        assert job.result == 45
+
+    def test_function_exception_marks_failed(self, cluster):
+        def bad(job):
+            raise ValueError("numeric blowup")
+
+        job = BatchJob(function=bad)
+        cluster.qsub(job)
+        cluster.wait(job.id, timeout=10)
+        assert job.state is BatchJobState.FAILED
+        assert "numeric blowup" in job.failure_reason
+
+    def test_cooperative_cancel(self, cluster):
+        started = threading.Event()
+
+        def loops(job):
+            started.set()
+            while not job.cancelled_requested:
+                time.sleep(0.01)
+
+        job = BatchJob(function=loops)
+        cluster.qsub(job)
+        assert started.wait(5)
+        cluster.qdel(job.id)
+        cluster.wait(job.id, timeout=10)
+        assert job.state is BatchJobState.CANCELLED
+
+
+class TestScheduling:
+    def test_queued_job_waits_for_slots(self, cluster):
+        release = threading.Event()
+
+        def hold(job):
+            release.wait(10)
+
+        # 4 slots total; two 2-slot holders fill the cluster
+        holders = [BatchJob(function=hold, resources=JobResources(ppn=2)) for _ in range(2)]
+        for holder in holders:
+            cluster.qsub(holder)
+        queued = BatchJob(function=lambda j: "ran")
+        cluster.qsub(queued)
+        time.sleep(0.3)
+        assert cluster.qstat(queued.id)["state"] == "Q"
+        release.set()
+        cluster.wait(queued.id, timeout=10)
+        assert queued.result == "ran"
+
+    def test_parallel_jobs_really_overlap(self, cluster):
+        barrier = threading.Barrier(4, timeout=5)
+
+        def rendezvous(job):
+            barrier.wait()
+            return True
+
+        jobs = [BatchJob(function=rendezvous) for _ in range(4)]
+        for job in jobs:
+            cluster.qsub(job)
+        for job in jobs:
+            cluster.wait(job.id, timeout=10)
+            assert job.state is BatchJobState.COMPLETED
+
+    def test_multi_node_allocation(self, cluster):
+        release = threading.Event()
+        job = BatchJob(function=lambda j: release.wait(10), resources=JobResources(nodes=2, ppn=2))
+        cluster.qsub(job)
+        deadline = time.time() + 5
+        while cluster.free_slots != 0 and time.time() < deadline:
+            time.sleep(0.01)
+        assert cluster.free_slots == 0
+        assert sorted(job.node_names) == ["n1", "n2"]
+        release.set()
+        cluster.wait(job.id, timeout=10)
+        assert cluster.free_slots == 4
+
+    def test_oversized_ppn_rejected(self, cluster):
+        with pytest.raises(ClusterError, match="ppn"):
+            cluster.qsub(BatchJob(function=lambda j: None, resources=JobResources(ppn=8)))
+
+    def test_too_many_nodes_rejected(self, cluster):
+        with pytest.raises(ClusterError, match="nodes"):
+            cluster.qsub(BatchJob(function=lambda j: None, resources=JobResources(nodes=3)))
+
+    def test_fifo_order_for_equal_jobs(self, cluster):
+        order = []
+        lock = threading.Lock()
+        gate = threading.Event()
+
+        def record(tag):
+            def run(job):
+                gate.wait(10)
+                with lock:
+                    order.append(tag)
+
+            return run
+
+        # Fill all 4 slots so subsequent jobs queue, then release together.
+        jobs = [BatchJob(function=record(i), resources=JobResources(ppn=1)) for i in range(4)]
+        for job in jobs:
+            cluster.qsub(job)
+        gate.set()
+        for job in jobs:
+            cluster.wait(job.id, timeout=10)
+        assert sorted(order) == [0, 1, 2, 3]
+
+
+class TestControlSurface:
+    def test_qstat_unknown_job(self, cluster):
+        with pytest.raises(ClusterError, match="unknown job"):
+            cluster.qstat("999.tc")
+
+    def test_qdel_queued_job(self, cluster):
+        release = threading.Event()
+        holders = [
+            BatchJob(function=lambda j: release.wait(10), resources=JobResources(ppn=2))
+            for _ in range(2)
+        ]
+        for holder in holders:
+            cluster.qsub(holder)
+        queued = BatchJob(function=lambda j: "never")
+        cluster.qsub(queued)
+        cluster.qdel(queued.id)
+        assert queued.state is BatchJobState.CANCELLED
+        release.set()
+
+    def test_job_ids_are_torque_style(self, cluster):
+        job_id = cluster.qsub(BatchJob(function=lambda j: None))
+        assert job_id.endswith(".tc")
+        cluster.wait(job_id, timeout=10)
+
+    def test_shutdown_cancels_queue_and_rejects_submits(self, cluster):
+        release = threading.Event()
+        holders = [
+            BatchJob(function=lambda j: release.wait(10), resources=JobResources(ppn=2))
+            for _ in range(2)
+        ]
+        for holder in holders:
+            cluster.qsub(holder)
+        queued = BatchJob(function=lambda j: None)
+        cluster.qsub(queued)
+        cluster.shutdown()
+        release.set()
+        assert queued.state is BatchJobState.CANCELLED
+        with pytest.raises(ClusterError, match="shut down"):
+            cluster.qsub(BatchJob(function=lambda j: None))
+
+    def test_duplicate_node_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate node"):
+            Cluster(nodes=[ComputeNode("a"), ComputeNode("a")])
+
+    def test_qstat_reports_nodes_for_running_job(self, cluster):
+        release = threading.Event()
+        job = BatchJob(function=lambda j: release.wait(10))
+        cluster.qsub(job)
+        deadline = time.time() + 5
+        while cluster.qstat(job.id)["state"] != "R" and time.time() < deadline:
+            time.sleep(0.01)
+        record = cluster.qstat(job.id)
+        assert record["state"] == "R"
+        assert record["nodes"]
+        release.set()
+        cluster.wait(job.id, timeout=10)
+
+
+class TestResources:
+    @pytest.mark.parametrize("kwargs", [{"nodes": 0}, {"ppn": 0}, {"walltime": 0}])
+    def test_invalid_resources(self, kwargs):
+        with pytest.raises(ValueError):
+            JobResources(**kwargs)
+
+    def test_slots_product(self):
+        assert JobResources(nodes=3, ppn=2).slots == 6
+
+    def test_job_needs_exactly_one_payload(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            BatchJob()
+        with pytest.raises(ValueError, match="exactly one"):
+            BatchJob(command=["true"], function=lambda j: None)

@@ -1,0 +1,214 @@
+"""Tests for the catalogue and its REST service."""
+
+import pytest
+
+from repro.catalogue import Catalogue, CatalogueService
+from repro.catalogue.catalogue import CatalogueError
+from repro.container import ServiceContainer
+from repro.http.client import ClientError, RestClient
+from repro.http.registry import TransportRegistry
+
+
+@pytest.fixture()
+def registry():
+    return TransportRegistry()
+
+
+@pytest.fixture()
+def container(registry):
+    instance = ServiceContainer("cat-test", handlers=2, registry=registry)
+    for name, title, description, tags in (
+        ("invert", "Matrix inversion", "Error-free inversion of ill-conditioned matrices", None),
+        ("simplex", "LP solver", "Linear programming with the simplex method", None),
+        ("xray", "Scattering curves", "X-ray scattering for carbon nanostructures", None),
+    ):
+        instance.deploy(
+            {
+                "description": {
+                    "name": name,
+                    "title": title,
+                    "description": description,
+                    "inputs": {"task": {"schema": True}},
+                    "outputs": {"result": {"schema": True}},
+                },
+                "adapter": "python",
+                "config": {"callable": lambda task: {"result": task}},
+            }
+        )
+    yield instance
+    instance.shutdown()
+
+
+@pytest.fixture()
+def catalogue(registry):
+    return Catalogue(registry)
+
+
+class TestPublication:
+    def test_publish_fetches_description(self, catalogue, container):
+        entry = catalogue.publish(container.service_uri("invert"), tags=["cas", "linear-algebra"])
+        assert entry.name == "invert"
+        assert entry.tags == {"cas", "linear-algebra"}
+
+    def test_publish_unreachable_uri_fails(self, catalogue):
+        with pytest.raises(CatalogueError, match="cannot retrieve"):
+            catalogue.publish("local://nowhere/services/x")
+
+    def test_publish_non_service_uri_fails(self, catalogue, container):
+        # the container index returns JSON without a 'name'
+        with pytest.raises(CatalogueError, match="did not return a service description"):
+            catalogue.publish(container.base_uri + "/services")
+
+    def test_unpublish(self, catalogue, container):
+        uri = container.service_uri("invert")
+        catalogue.publish(uri)
+        catalogue.unpublish(uri)
+        assert catalogue.search("inversion") == []
+        with pytest.raises(CatalogueError):
+            catalogue.entry(uri)
+
+    def test_unpublish_unknown(self, catalogue):
+        with pytest.raises(CatalogueError, match="not published"):
+            catalogue.unpublish("local://x/services/y")
+
+    def test_republish_updates(self, catalogue, container):
+        uri = container.service_uri("invert")
+        catalogue.publish(uri, tags=["old"])
+        entry = catalogue.publish(uri, tags=["new"])
+        assert entry.tags == {"new"}
+        assert len(catalogue.entries()) == 1
+
+
+class TestSearch:
+    @pytest.fixture(autouse=True)
+    def _published(self, catalogue, container):
+        catalogue.publish(container.service_uri("invert"), tags=["cas"])
+        catalogue.publish(container.service_uri("simplex"), tags=["optimization"])
+        catalogue.publish(container.service_uri("xray"), tags=["physics"])
+
+    def test_full_text_search(self, catalogue):
+        hits = catalogue.search("matrix inversion")
+        assert hits[0]["name"] == "invert"
+
+    def test_snippet_highlights_terms(self, catalogue):
+        hits = catalogue.search("simplex")
+        assert "**simplex**" in hits[0]["snippet"].lower()
+
+    def test_tag_filter(self, catalogue):
+        hits = catalogue.search("", tag="physics")
+        assert [hit["name"] for hit in hits] == ["xray"]
+
+    def test_tag_filter_combined_with_query(self, catalogue):
+        assert catalogue.search("linear", tag="physics") == []
+        hits = catalogue.search("linear", tag="optimization")
+        assert hits and hits[0]["name"] == "simplex"
+
+    def test_search_in_tags(self, catalogue):
+        hits = catalogue.search("optimization")
+        assert any(hit["name"] == "simplex" for hit in hits)
+
+    def test_availability_filter(self, catalogue, container):
+        container.undeploy("xray")
+        catalogue.ping_all()
+        hits = catalogue.search("", available_only=True)
+        names = [hit["name"] for hit in hits]
+        assert "xray" not in names
+        assert {"invert", "simplex"} <= set(names)
+        # without the filter the dead service still appears, marked
+        all_hits = {hit["name"]: hit for hit in catalogue.search("")}
+        assert all_hits["xray"]["available"] is False
+
+    def test_limit(self, catalogue):
+        assert len(catalogue.search("", limit=2)) == 2
+
+    def test_user_tagging_updates_index(self, catalogue, container):
+        uri = container.service_uri("invert")
+        catalogue.add_tags(uri, ["hilbert-special"])
+        hits = catalogue.search("hilbert-special")
+        assert hits and hits[0]["name"] == "invert"
+
+
+class TestMonitoring:
+    def test_ping_updates_availability(self, catalogue, container):
+        uri = container.service_uri("invert")
+        catalogue.publish(uri)
+        assert catalogue.ping(uri) is True
+        container.undeploy("invert")
+        assert catalogue.ping(uri) is False
+        assert catalogue.entry(uri).last_ping is not None
+
+    def test_pinger_thread_lifecycle(self, catalogue, container):
+        import time
+
+        catalogue.publish(container.service_uri("invert"))
+        catalogue.start_pinger(interval=0.05)
+        with pytest.raises(RuntimeError):
+            catalogue.start_pinger(interval=0.05)
+        time.sleep(0.2)
+        catalogue.stop_pinger()
+        assert catalogue.entry(container.service_uri("invert")).last_ping is not None
+        catalogue.stop_pinger()  # idempotent
+
+
+class TestPersistence:
+    def test_save_and_load(self, catalogue, container, tmp_path, registry):
+        catalogue.publish(container.service_uri("invert"), tags=["cas"])
+        path = tmp_path / "catalogue.json"
+        catalogue.save(path)
+        fresh = Catalogue(registry)
+        assert fresh.load(path) == 1
+        hits = fresh.search("inversion")
+        assert hits and hits[0]["name"] == "invert"
+        assert fresh.entry(container.service_uri("invert")).tags == {"cas"}
+
+
+class TestRestService:
+    @pytest.fixture()
+    def rest(self, registry):
+        service = CatalogueService(registry=registry)
+        base = service.bind_local("cat")
+        return RestClient(registry, base=base)
+
+    def test_publish_search_unpublish_cycle(self, rest, container):
+        uri = container.service_uri("invert")
+        created = rest.post("/services", payload={"uri": uri, "tags": ["cas"]})
+        assert created["uri"] == uri
+        hits = rest.get("/search", query={"q": "inversion"})["hits"]
+        assert hits[0]["uri"] == uri
+        listing = rest.get("/services")
+        assert len(listing) == 1
+        rest.delete(f"/services?uri={uri}")
+        assert rest.get("/search", query={"q": "inversion"})["hits"] == []
+
+    def test_publish_without_uri_is_400(self, rest):
+        with pytest.raises(ClientError) as info:
+            rest.post("/services", payload={})
+        assert info.value.status == 400
+
+    def test_publish_unreachable_is_422(self, rest):
+        with pytest.raises(ClientError) as info:
+            rest.post("/services", payload={"uri": "local://ghost/services/x"})
+        assert info.value.status == 422
+
+    def test_tagging_endpoint(self, rest, container):
+        uri = container.service_uri("simplex")
+        rest.post("/services", payload={"uri": uri})
+        updated = rest.post("/services/tags", payload={"uri": uri, "tags": ["lp"]})
+        assert "lp" in updated["tags"]
+
+    def test_ping_endpoint(self, rest, container):
+        uri = container.service_uri("xray")
+        rest.post("/services", payload={"uri": uri})
+        availability = rest.post("/ping")
+        assert availability == {uri: True}
+
+    def test_serve_over_http(self, registry, container):
+        service = CatalogueService(registry=registry)
+        server = service.serve()
+        try:
+            client = RestClient(registry, base=server.base_url)
+            client.post("/services", payload={"uri": container.service_uri("invert")})
+            hits = client.get("/search", query={"q": "matrices"})["hits"]
+            assert hits
+        finally:
+            server.stop()

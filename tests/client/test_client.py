@@ -1,0 +1,141 @@
+"""Tests for the Python client library against a live container."""
+
+import threading
+import time
+
+import pytest
+
+from repro.client import JobFailedError, ServiceProxy
+from repro.container import ServiceContainer
+from repro.http.registry import TransportRegistry
+
+
+@pytest.fixture()
+def registry():
+    return TransportRegistry()
+
+
+@pytest.fixture()
+def container(registry):
+    instance = ServiceContainer("client-test", handlers=4, registry=registry)
+
+    def slow_double(context, n, delay=0.0):
+        deadline = time.time() + delay
+        while time.time() < deadline:
+            if context.cancelled:
+                return {"result": 0}
+            time.sleep(0.005)
+        return {"result": n * 2}
+
+    def flaky(n):
+        raise ValueError("bad luck")
+
+    def filer(context, text):
+        return {"blob": context.store_file(text.encode(), name="t.txt", content_type="text/plain")}
+
+    instance.deploy(
+        {
+            "description": {
+                "name": "double",
+                "title": "Doubler",
+                "inputs": {
+                    "n": {"schema": {"type": "number"}},
+                    "delay": {"schema": {"type": "number"}, "required": False, "default": 0},
+                },
+                "outputs": {"result": {"schema": {"type": "number"}}},
+            },
+            "adapter": "python",
+            "config": {"callable": slow_double},
+        }
+    )
+    instance.deploy(
+        {
+            "description": {
+                "name": "flaky",
+                "inputs": {"n": {"schema": True}},
+                "outputs": {"result": {"schema": True}},
+            },
+            "adapter": "python",
+            "config": {"callable": flaky},
+        }
+    )
+    instance.deploy(
+        {
+            "description": {
+                "name": "filer",
+                "inputs": {"text": {"schema": {"type": "string"}}},
+                "outputs": {"blob": {"schema": True}},
+            },
+            "adapter": "python",
+            "config": {"callable": filer},
+        }
+    )
+    yield instance
+    instance.shutdown()
+
+
+@pytest.fixture()
+def proxy(container, registry):
+    return ServiceProxy(container.service_uri("double"), registry)
+
+
+class TestServiceProxy:
+    def test_describe_returns_typed_description(self, proxy):
+        description = proxy.describe()
+        assert description.name == "double"
+        assert description.input("n").schema == {"type": "number"}
+
+    def test_submit_and_result(self, proxy):
+        job = proxy.submit(n=21)
+        assert job.result(timeout=10) == {"result": 42}
+
+    def test_call_shorthand(self, proxy):
+        assert proxy(n=5)["result"] == 10
+
+    def test_wait_observes_intermediate_states(self, proxy):
+        job = proxy.submit(n=1, delay=0.4)
+        # before completion the job should be WAITING or RUNNING
+        state = job.refresh()["state"]
+        assert state in ("WAITING", "RUNNING")
+        job.wait(timeout=10)
+        assert job.representation["state"] == "DONE"
+
+    def test_wait_timeout(self, proxy):
+        job = proxy.submit(n=1, delay=5)
+        with pytest.raises(TimeoutError):
+            job.wait(timeout=0.2)
+        job.cancel()
+
+    def test_failed_job_raises_with_error_text(self, container, registry):
+        proxy = ServiceProxy(container.service_uri("flaky"), registry)
+        with pytest.raises(JobFailedError, match="bad luck"):
+            proxy(n=1)
+
+    def test_cancel_then_get_is_gone(self, proxy, registry):
+        job = proxy.submit(n=1, delay=5)
+        job.cancel()
+        from repro.http.client import ClientError, RestClient
+
+        with pytest.raises(ClientError):
+            RestClient(registry).get(job.uri)
+
+    def test_fetch_output_file_by_name(self, container, registry):
+        proxy = ServiceProxy(container.service_uri("filer"), registry)
+        job = proxy.submit(text="file body")
+        assert job.fetch("blob") == b"file body"
+
+    def test_fetch_non_file_output_rejected(self, proxy):
+        job = proxy.submit(n=2)
+        job.wait(timeout=10)
+        with pytest.raises(ValueError, match="not a file reference"):
+            job.fetch("result")
+
+    def test_proxy_over_http(self, container):
+        server = container.serve()
+        proxy = ServiceProxy(f"{server.base_url}/services/double")
+        assert proxy(n=7)["result"] == 14
+
+    def test_with_headers_keeps_uri(self, proxy):
+        tagged = proxy.with_headers({"X-On-Behalf-Of": "CN=alice"})
+        assert tagged.uri == proxy.uri
+        assert tagged._client.default_headers["X-On-Behalf-Of"] == "CN=alice"

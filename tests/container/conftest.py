@@ -1,0 +1,57 @@
+"""Shared fixtures and helpers for container tests."""
+
+import time
+
+import pytest
+
+from repro.container import ServiceContainer
+from repro.http.client import RestClient
+from repro.http.registry import TransportRegistry
+
+
+@pytest.fixture()
+def registry():
+    return TransportRegistry()
+
+
+@pytest.fixture()
+def container(registry):
+    instance = ServiceContainer("everest-test", handlers=4, registry=registry)
+    yield instance
+    instance.shutdown()
+
+
+@pytest.fixture()
+def client(registry):
+    return RestClient(registry)
+
+
+def wait_done(client, job_uri, timeout=15.0, poll=0.01):
+    """Poll a job resource until it reaches a terminal state."""
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        job = client.get(job_uri)
+        if job["state"] in ("DONE", "FAILED", "CANCELLED"):
+            return job
+        time.sleep(poll)
+    raise TimeoutError(f"job {job_uri} still not terminal after {timeout}s")
+
+
+def add_service_config(**overrides):
+    """A ready-made 'add two numbers' python-adapter configuration."""
+    config = {
+        "description": {
+            "name": "add",
+            "title": "Adder",
+            "description": "Adds two numbers.",
+            "inputs": {
+                "a": {"schema": {"type": "number"}},
+                "b": {"schema": {"type": "number"}},
+            },
+            "outputs": {"sum": {"schema": {"type": "number"}}},
+        },
+        "adapter": "python",
+        "config": {"callable": lambda a, b: {"sum": a + b}},
+    }
+    config.update(overrides)
+    return config

@@ -1,0 +1,7 @@
+"""Importable callables used by python-adapter tests."""
+
+import math
+
+
+def square_root(x):
+    return {"root": math.sqrt(x)}

@@ -1,0 +1,453 @@
+"""Tests for the four adapters, each behind a real deployed service."""
+
+import sys
+
+import pytest
+
+from repro.batch import Cluster, ComputeNode
+from repro.core.errors import ConfigurationError
+from repro.grid import GridBroker, GridSite, VirtualOrganization
+from repro.http.client import ClientError
+
+from tests.container.conftest import wait_done
+
+PY = sys.executable
+
+
+def command_service(name="cmd", **config_overrides):
+    config = {
+        "command": f"{PY} -c \"import sys; print(int(sys.argv[1]) * 2)\" {{n}}",
+        "outputs": {"doubled": {"stdout": True, "json": True}},
+    }
+    config.update(config_overrides)
+    return {
+        "description": {
+            "name": name,
+            "inputs": {"n": {"schema": {"type": "integer"}}},
+            "outputs": {"doubled": {"schema": {"type": "integer"}}},
+        },
+        "adapter": "command",
+        "config": config,
+    }
+
+
+class TestCommandAdapter:
+    def test_argument_substitution(self, container, client):
+        container.deploy(command_service())
+        created = client.post(container.service_uri("cmd"), payload={"n": 21})
+        job = wait_done(client, created["uri"])
+        assert job["results"] == {"doubled": 42}
+
+    def test_stdin_template(self, container, client):
+        config = {
+            "description": {
+                "name": "upper",
+                "inputs": {"text": {"schema": {"type": "string"}}},
+                "outputs": {"result": {"schema": {"type": "string"}}},
+            },
+            "adapter": "command",
+            "config": {
+                "command": f"{PY} -c \"import sys; print(sys.stdin.read().upper())\"",
+                "stdin": "{text}",
+                "outputs": {"result": {"stdout": True, "strip": True}},
+            },
+        }
+        container.deploy(config)
+        created = client.post(container.service_uri("upper"), payload={"text": "quiet"})
+        assert wait_done(client, created["uri"])["results"]["result"] == "QUIET"
+
+    def test_input_file_materialization(self, container, client):
+        code = "import sys, pathlib; print(len(pathlib.Path(sys.argv[1]).read_bytes()))"
+        config = {
+            "description": {
+                "name": "filelen",
+                "inputs": {"data": {"schema": True}},
+                "outputs": {"length": {"schema": {"type": "integer"}}},
+            },
+            "adapter": "command",
+            "config": {
+                "command": f'{PY} -c "{code}" {{file:data}}',
+                "outputs": {"length": {"stdout": True, "json": True}},
+            },
+        }
+        container.deploy(config)
+        created = client.post(container.service_uri("filelen"), payload={"data": "abcdef"})
+        assert wait_done(client, created["uri"])["results"]["length"] == 6
+
+    def test_output_file_collection(self, container, client):
+        code = "open('result.json','w').write('{{\\\"v\\\": 7}}')"  # {{ }} = literal braces
+        config = {
+            "description": {
+                "name": "filemaker",
+                "inputs": {},
+                "outputs": {"payload": {"schema": {"type": "object"}}},
+            },
+            "adapter": "command",
+            "config": {
+                "command": f'{PY} -c "{code}"',
+                "outputs": {"payload": {"file": "result.json", "json": True}},
+            },
+        }
+        container.deploy(config)
+        created = client.post(container.service_uri("filemaker"), payload={})
+        assert wait_done(client, created["uri"])["results"]["payload"] == {"v": 7}
+
+    def test_output_as_file_reference(self, container, client):
+        code = "open('big.bin','wb').write(bytes(range(10)))"
+        config = {
+            "description": {
+                "name": "binmaker",
+                "inputs": {},
+                "outputs": {"blob": {"schema": True}},
+            },
+            "adapter": "command",
+            "config": {
+                "command": f'{PY} -c "{code}"',
+                "outputs": {"blob": {"file": "big.bin", "as_file": True}},
+            },
+        }
+        container.deploy(config)
+        created = client.post(container.service_uri("binmaker"), payload={})
+        job = wait_done(client, created["uri"])
+        reference = job["results"]["blob"]
+        assert reference["size"] == 10
+        assert client.get_bytes(reference["$file"]) == bytes(range(10))
+
+    def test_nonzero_exit_fails_job_with_stderr(self, container, client):
+        config = command_service(
+            command=f"{PY} -c \"import sys; print('broken', file=sys.stderr); sys.exit(3)\"",
+        )
+        container.deploy(config)
+        created = client.post(container.service_uri("cmd"), payload={"n": 1})
+        job = wait_done(client, created["uri"])
+        assert job["state"] == "FAILED"
+        assert "status 3" in job["error"]
+        assert "broken" in job["error"]
+
+    def test_missing_output_file_fails(self, container, client):
+        config = command_service(
+            command=f"{PY} -c pass",
+            outputs={"doubled": {"file": "never.json", "json": True}},
+        )
+        container.deploy(config)
+        created = client.post(container.service_uri("cmd"), payload={"n": 1})
+        job = wait_done(client, created["uri"])
+        assert job["state"] == "FAILED"
+        assert "never.json" in job["error"]
+
+    def test_timeout_enforced(self, container, client):
+        config = command_service(
+            command=f"{PY} -c \"import time; time.sleep(30)\"",
+            timeout=0.3,
+            outputs={},
+        )
+        config["description"]["outputs"] = {}
+        container.deploy(config)
+        created = client.post(container.service_uri("cmd"), payload={"n": 1})
+        job = wait_done(client, created["uri"])
+        assert job["state"] == "FAILED"
+        assert "timeout" in job["error"]
+
+    def test_unknown_placeholder_fails_job(self, container, client):
+        config = command_service(command="echo {ghost}")
+        container.deploy(config)
+        created = client.post(container.service_uri("cmd"), payload={"n": 1})
+        job = wait_done(client, created["uri"])
+        assert job["state"] == "FAILED"
+        assert "ghost" in job["error"]
+
+    @pytest.mark.parametrize(
+        "bad_config",
+        [
+            {},  # no command
+            {"command": "echo", "outputs": {"x": {}}},  # no source
+            {"command": "echo", "outputs": {"x": {"stdout": True, "file": "f"}}},  # two sources
+            {"command": 'unbalanced "quote'},
+        ],
+    )
+    def test_bad_configurations_rejected_at_deploy(self, container, bad_config):
+        config = command_service()
+        config["config"] = bad_config
+        with pytest.raises(ConfigurationError):
+            container.deploy(config)
+
+
+class TestPythonAdapter:
+    def test_module_function_reference(self, container, client):
+        config = {
+            "description": {
+                "name": "sqrt",
+                "inputs": {"x": {"schema": {"type": "number"}}},
+                "outputs": {"root": {"schema": {"type": "number"}}},
+            },
+            "adapter": "python",
+            "config": {"callable": "tests.container.helpers:square_root"},
+        }
+        container.deploy(config)
+        created = client.post(container.service_uri("sqrt"), payload={"x": 9})
+        assert wait_done(client, created["uri"])["results"]["root"] == 3.0
+
+    def test_registered_callable_by_name(self, container, client):
+        container.register_resource("negate-fn", lambda x: {"y": -x})
+        config = {
+            "description": {
+                "name": "negate",
+                "inputs": {"x": {"schema": {"type": "number"}}},
+                "outputs": {"y": {"schema": {"type": "number"}}},
+            },
+            "adapter": "python",
+            "config": {"callable": "negate-fn"},
+        }
+        container.deploy(config)
+        created = client.post(container.service_uri("negate"), payload={"x": 4})
+        assert wait_done(client, created["uri"])["results"]["y"] == -4
+
+    def test_context_aware_callable_stores_files(self, container, client):
+        def render(context, text):
+            reference = context.store_file(text.encode(), name="copy.txt", content_type="text/plain")
+            return {"copy": reference}
+
+        config = {
+            "description": {
+                "name": "render",
+                "inputs": {"text": {"schema": {"type": "string"}}},
+                "outputs": {"copy": {"schema": True}},
+            },
+            "adapter": "python",
+            "config": {"callable": render},
+        }
+        container.deploy(config)
+        created = client.post(container.service_uri("render"), payload={"text": "hello"})
+        job = wait_done(client, created["uri"])
+        assert client.get_bytes(job["results"]["copy"]["$file"]) == b"hello"
+
+    def test_file_reference_inputs_resolved(self, container, client):
+        # Service A produces a file; service B consumes it by reference.
+        def produce(context):
+            return {"data": context.store_file(b'{"rows": [1, 2, 3]}', name="d.json")}
+
+        def consume(data):
+            return {"total": sum(data["rows"])}
+
+        for name, fn, outs, ins in (
+            ("produce", produce, {"data": {"schema": True}}, {}),
+            ("consume", consume, {"total": {"schema": {"type": "number"}}}, {"data": {"schema": True}}),
+        ):
+            container.deploy(
+                {
+                    "description": {"name": name, "inputs": ins, "outputs": outs},
+                    "adapter": "python",
+                    "config": {"callable": fn},
+                }
+            )
+        produced = wait_done(
+            client, client.post(container.service_uri("produce"), payload={})["uri"]
+        )
+        reference = produced["results"]["data"]
+        consumed = wait_done(
+            client,
+            client.post(container.service_uri("consume"), payload={"data": reference})["uri"],
+        )
+        assert consumed["results"]["total"] == 6
+
+    def test_non_dict_return_fails(self, container, client):
+        config = {
+            "description": {"name": "bad", "inputs": {}, "outputs": {}},
+            "adapter": "python",
+            "config": {"callable": lambda: 42},
+        }
+        container.deploy(config)
+        created = client.post(container.service_uri("bad"), payload={})
+        job = wait_done(client, created["uri"])
+        assert job["state"] == "FAILED"
+        assert "must return a dict" in job["error"]
+
+    @pytest.mark.parametrize(
+        "spec", ["nonexistent.module:fn", "tests.container.helpers:missing", "unregistered", "", None]
+    )
+    def test_bad_callable_specs_rejected(self, container, spec):
+        config = {
+            "description": {"name": "bad", "inputs": {}, "outputs": {}},
+            "adapter": "python",
+            "config": {"callable": spec},
+        }
+        with pytest.raises(ConfigurationError):
+            container.deploy(config)
+
+
+class TestClusterAdapter:
+    @pytest.fixture()
+    def hpc(self, container):
+        cluster = Cluster(nodes=[ComputeNode("c1", slots=4)], name="hpc")
+        container.register_resource("hpc", cluster)
+        yield cluster
+        cluster.shutdown()
+
+    def test_job_runs_on_cluster(self, container, client, hpc):
+        config = {
+            "description": {
+                "name": "c-double",
+                "inputs": {"n": {"schema": {"type": "integer"}}},
+                "outputs": {"doubled": {"schema": {"type": "integer"}}},
+            },
+            "adapter": "cluster",
+            "config": {
+                "cluster": "hpc",
+                "command": f"{PY} -c \"import sys; print(int(sys.argv[1]) * 2)\" {{n}}",
+                "outputs": {"doubled": {"stdout": True, "json": True}},
+            },
+        }
+        container.deploy(config)
+        created = client.post(container.service_uri("c-double"), payload={"n": 8})
+        job = wait_done(client, created["uri"])
+        assert job["results"]["doubled"] == 16
+        assert len(hpc.jobs()) == 1
+
+    def test_stage_out_files(self, container, client, hpc):
+        code = "import json; json.dump({{'ok': True}}, open('r.json','w'))"
+        config = {
+            "description": {
+                "name": "c-files",
+                "inputs": {},
+                "outputs": {"result": {"schema": {"type": "object"}}},
+            },
+            "adapter": "cluster",
+            "config": {
+                "cluster": "hpc",
+                "command": f'{PY} -c "{code}"',
+                "stage_out": ["r.json"],
+                "outputs": {"result": {"file": "r.json", "json": True}},
+            },
+        }
+        container.deploy(config)
+        created = client.post(container.service_uri("c-files"), payload={})
+        assert wait_done(client, created["uri"])["results"]["result"] == {"ok": True}
+
+    def test_input_staged_to_sandbox(self, container, client, hpc):
+        code = "import sys, pathlib; print(pathlib.Path(sys.argv[1]).read_text())"
+        config = {
+            "description": {
+                "name": "c-stage",
+                "inputs": {"payload": {"schema": {"type": "string"}}},
+                "outputs": {"echo": {"schema": {"type": "string"}}},
+            },
+            "adapter": "cluster",
+            "config": {
+                "cluster": "hpc",
+                "command": f'{PY} -c "{code}" {{file:payload}}',
+                "outputs": {"echo": {"stdout": True}},
+            },
+        }
+        container.deploy(config)
+        created = client.post(container.service_uri("c-stage"), payload={"payload": "staged!"})
+        assert "staged!" in wait_done(client, created["uri"])["results"]["echo"]
+
+    def test_batch_failure_propagates(self, container, client, hpc):
+        config = {
+            "description": {"name": "c-fail", "inputs": {}, "outputs": {}},
+            "adapter": "cluster",
+            "config": {
+                "cluster": "hpc",
+                "command": f"{PY} -c \"import sys; sys.exit(9)\"",
+                "outputs": {},
+            },
+        }
+        container.deploy(config)
+        created = client.post(container.service_uri("c-fail"), payload={})
+        job = wait_done(client, created["uri"])
+        assert job["state"] == "FAILED"
+        assert "exit status 9" in job["error"]
+
+    def test_unknown_cluster_rejected(self, container):
+        config = {
+            "description": {"name": "c-bad", "inputs": {}, "outputs": {}},
+            "adapter": "cluster",
+            "config": {"cluster": "ghost", "command": "true", "outputs": {}},
+        }
+        with pytest.raises(ConfigurationError, match="unknown cluster"):
+            container.deploy(config)
+
+    def test_resource_that_is_not_a_cluster_rejected(self, container):
+        container.register_resource("notacluster", object())
+        config = {
+            "description": {"name": "c-bad", "inputs": {}, "outputs": {}},
+            "adapter": "cluster",
+            "config": {"cluster": "notacluster", "command": "true", "outputs": {}},
+        }
+        with pytest.raises(ConfigurationError, match="not a Cluster"):
+            container.deploy(config)
+
+
+class TestGridAdapter:
+    @pytest.fixture()
+    def egi(self, container):
+        site = GridSite("ce1", supported_vos={"mathcloud"}, slots=4)
+        broker = GridBroker(sites=[site])
+        vo = VirtualOrganization("mathcloud", members={"CN=everest-test"})
+        broker.add_vo(vo)
+        container.register_resource("egi", broker)
+        yield broker
+        broker.shutdown()
+
+    def grid_config(self, code="print(21 * 2)", outputs=None):
+        jdl = (
+            "[\n"
+            f'  Executable = "{PY}";\n'
+            '  Arguments = "-c \\"{script}\\"";\n'.replace("{script}", code.replace('"', '\\\\\\"'))
+            + '  StdOutput = "out.txt";\n'
+            '  StdError = "err.txt";\n'
+            '  VirtualOrganisation = "mathcloud";\n'
+            '  OutputSandbox = {"out.txt", "err.txt"};\n'
+            "]"
+        )
+        return {
+            "description": {
+                "name": "g-svc",
+                "inputs": {"n": {"schema": {"type": "integer"}, "required": False}},
+                "outputs": outputs or {"answer": {"schema": True}},
+            },
+            "adapter": "grid",
+            "config": {
+                "broker": "egi",
+                "jdl": jdl,
+                "owner": "CN=everest-test",
+                "outputs": {"answer": {"sandbox": "out.txt"}},
+            },
+        }
+
+    def test_grid_job_end_to_end(self, container, client, egi):
+        container.deploy(self.grid_config())
+        created = client.post(container.service_uri("g-svc"), payload={})
+        job = wait_done(client, created["uri"])
+        assert job["state"] == "DONE"
+        assert "42" in job["results"]["answer"]
+
+    def test_parameter_substitution_in_jdl(self, container, client, egi):
+        config = self.grid_config(code="import sys; print({n} * 3)")
+        container.deploy(config)
+        created = client.post(container.service_uri("g-svc"), payload={"n": 5})
+        job = wait_done(client, created["uri"])
+        assert "15" in job["results"]["answer"]
+
+    def test_grid_failure_propagates(self, container, client, egi):
+        config = self.grid_config(code="import sys; sys.exit(4)")
+        container.deploy(config)
+        created = client.post(container.service_uri("g-svc"), payload={})
+        job = wait_done(client, created["uri"])
+        assert job["state"] == "FAILED"
+        assert "aborted" in job["error"]
+
+    def test_unauthorized_owner_fails_submission(self, container, client, egi):
+        config = self.grid_config()
+        config["config"]["owner"] = "CN=stranger"
+        container.deploy(config)
+        created = client.post(container.service_uri("g-svc"), payload={})
+        job = wait_done(client, created["uri"])
+        assert job["state"] == "FAILED"
+        assert "not a member" in job["error"]
+
+    def test_missing_broker_rejected(self, container):
+        config = self.grid_config()
+        config["config"]["broker"] = "ghost"
+        with pytest.raises(ConfigurationError, match="unknown broker"):
+            container.deploy(config)

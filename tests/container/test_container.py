@@ -1,0 +1,285 @@
+"""Tests for the service container: deployment, job lifecycle, publication."""
+
+import threading
+import time
+
+import pytest
+
+from repro.container import ServiceContainer
+from repro.container.config import ServiceConfig
+from repro.core.errors import ConfigurationError
+from repro.http.client import ClientError, RestClient
+
+from tests.container.conftest import add_service_config, wait_done
+
+
+class TestDeployment:
+    def test_deploy_and_describe(self, container, client):
+        container.deploy(add_service_config())
+        description = client.get(container.service_uri("add"))
+        assert description["name"] == "add"
+        assert description["uri"] == "local://everest-test/services/add"
+
+    def test_duplicate_deploy_rejected(self, container):
+        container.deploy(add_service_config())
+        with pytest.raises(ConfigurationError, match="already deployed"):
+            container.deploy(add_service_config())
+
+    def test_undeploy_unroutes(self, container, client):
+        container.deploy(add_service_config())
+        container.undeploy("add")
+        with pytest.raises(ClientError) as info:
+            client.get(container.service_uri("add"))
+        assert info.value.status == 404
+
+    def test_undeploy_unknown_service(self, container):
+        with pytest.raises(ConfigurationError, match="no service"):
+            container.undeploy("ghost")
+
+    def test_redeploy_after_undeploy(self, container, client):
+        container.deploy(add_service_config())
+        container.undeploy("add")
+        container.deploy(add_service_config())
+        assert client.get(container.service_uri("add"))["name"] == "add"
+
+    def test_unknown_adapter_rejected(self, container):
+        config = add_service_config(adapter="cobol")
+        with pytest.raises(ConfigurationError, match="unknown adapter"):
+            container.deploy(config)
+
+    def test_index_lists_services(self, container, client):
+        container.deploy(add_service_config())
+        index = client.get(container.base_uri + "/")
+        assert index["container"] == "everest-test"
+        assert index["services"][0]["name"] == "add"
+        assert index["services"][0]["uri"].endswith("/services/add")
+
+    def test_config_from_file(self, container, tmp_path):
+        import json
+
+        config = add_service_config()
+        config["adapter"] = "command"
+        config["config"] = {
+            "command": "echo {a}",
+            "outputs": {"sum": {"stdout": True, "json": True}},
+        }
+        # json round-trip requires no callables
+        path = tmp_path / "service.json"
+        path.write_text(json.dumps(config))
+        loaded = ServiceConfig.from_file(path)
+        container.deploy(loaded)
+        assert container.service("add").config.adapter == "command"
+
+
+class TestJobLifecycle:
+    def test_async_job_completes(self, container, client):
+        container.deploy(add_service_config())
+        created = client.post(container.service_uri("add"), payload={"a": 2, "b": 40})
+        job = wait_done(client, created["uri"])
+        assert job["state"] == "DONE"
+        assert job["results"] == {"sum": 42}
+
+    def test_sync_mode_returns_done_inline(self, container, client):
+        container.deploy(add_service_config(mode="sync"))
+        created = client.post(container.service_uri("add"), payload={"a": 1, "b": 2})
+        assert created["state"] == "DONE"
+        assert created["results"] == {"sum": 3}
+
+    def test_invalid_inputs_rejected_eagerly(self, container, client):
+        container.deploy(add_service_config())
+        with pytest.raises(ClientError) as info:
+            client.post(container.service_uri("add"), payload={"a": "x", "b": 1})
+        assert info.value.status == 422
+
+    def test_failing_callable_yields_failed_job(self, container, client):
+        def explode(a, b):
+            raise RuntimeError("cannot add today")
+
+        config = add_service_config()
+        config["config"] = {"callable": explode}
+        container.deploy(config)
+        created = client.post(container.service_uri("add"), payload={"a": 1, "b": 2})
+        job = wait_done(client, created["uri"])
+        assert job["state"] == "FAILED"
+        assert "cannot add today" in job["error"]
+
+    def test_output_contract_enforced(self, container, client):
+        config = add_service_config()
+        config["config"] = {"callable": lambda a, b: {"sum": "not-a-number"}}
+        container.deploy(config)
+        created = client.post(container.service_uri("add"), payload={"a": 1, "b": 2})
+        job = wait_done(client, created["uri"])
+        assert job["state"] == "FAILED"
+        assert "violated its output contract" in job["error"]
+
+    def test_undeclared_output_rejected(self, container, client):
+        config = add_service_config()
+        config["config"] = {"callable": lambda a, b: {"sum": a + b, "extra": 1}}
+        container.deploy(config)
+        created = client.post(container.service_uri("add"), payload={"a": 1, "b": 2})
+        job = wait_done(client, created["uri"])
+        assert job["state"] == "FAILED"
+        assert "undeclared output" in job["error"]
+
+    def test_cancel_running_job(self, container, client):
+        started = threading.Event()
+
+        def slow(context, a, b):
+            started.set()
+            while not context.cancelled:
+                time.sleep(0.01)
+            return {"sum": 0}
+
+        config = add_service_config()
+        config["config"] = {"callable": slow}
+        container.deploy(config)
+        created = client.post(container.service_uri("add"), payload={"a": 1, "b": 2})
+        assert started.wait(5)
+        client.delete(created["uri"])
+        with pytest.raises(ClientError) as info:
+            client.get(created["uri"])
+        assert info.value.status == 404
+
+    def test_cancel_queued_job_never_runs(self, registry):
+        from repro.http.client import RestClient
+
+        container = ServiceContainer("tiny", handlers=1, registry=registry)
+        try:
+            ran = []
+            gate = threading.Event()
+
+            def blocker(a, b):
+                gate.wait(10)
+                return {"sum": 0}
+
+            def recorder(a, b):
+                ran.append(True)
+                return {"sum": a + b}
+
+            blocker_config = add_service_config()
+            blocker_config["config"] = {"callable": blocker}
+            container.deploy(blocker_config)
+            recorder_config = add_service_config()
+            recorder_config["description"] = dict(recorder_config["description"], name="rec")
+            recorder_config["config"] = {"callable": recorder}
+            container.deploy(recorder_config)
+
+            client = RestClient(registry)
+            client.post(container.service_uri("add"), payload={"a": 1, "b": 1})
+            queued = client.post(container.service_uri("rec"), payload={"a": 1, "b": 1})
+            assert queued["state"] == "WAITING"
+            client.delete(queued["uri"])
+            gate.set()
+            time.sleep(0.3)
+            assert not ran
+        finally:
+            container.shutdown()
+
+    def test_jobs_run_concurrently_up_to_pool_size(self, container, client):
+        barrier = threading.Barrier(4, timeout=5)
+
+        def rendezvous(a, b):
+            barrier.wait()
+            return {"sum": a + b}
+
+        config = add_service_config()
+        config["config"] = {"callable": rendezvous}
+        container.deploy(config)
+        uris = [
+            client.post(container.service_uri("add"), payload={"a": i, "b": 0})["uri"]
+            for i in range(4)
+        ]
+        for uri in uris:
+            assert wait_done(client, uri)["state"] == "DONE"
+
+    def test_owner_recorded_when_secured(self, container, client):
+        from repro.security import AccessPolicy, CertificateAuthority, client_headers
+
+        ca = CertificateAuthority()
+        container.enable_security(ca)
+        config = add_service_config(security={"allow": ["CN=alice"]})
+        container.deploy(config)
+        headers = client_headers(certificate=ca.issue("CN=alice"))
+        secured = client.with_headers(headers)
+        created = secured.post(container.service_uri("add"), payload={"a": 1, "b": 1})
+        job = wait_done(secured, created["uri"])
+        assert job["owner"] == "CN=alice"
+
+
+class TestHttpPublication:
+    def test_served_container_advertises_http_uris(self, container, client):
+        container.deploy(add_service_config())
+        server = container.serve()
+        description = client.get(container.service_uri("add"))
+        assert description["uri"].startswith("http://127.0.0.1:")
+        created = client.post(container.service_uri("add"), payload={"a": 5, "b": 6})
+        assert created["uri"].startswith("http://")
+        job = wait_done(client, created["uri"])
+        assert job["results"]["sum"] == 11
+
+    def test_double_serve_rejected(self, container):
+        container.serve()
+        with pytest.raises(RuntimeError, match="already serving"):
+            container.serve()
+
+
+class TestWebUi:
+    def test_service_page_contains_form_fields(self, container, client):
+        container.deploy(add_service_config())
+        page = client.get(container.service_uri("add") + "/ui")
+        assert "<form" in page
+        assert 'id="param-a"' in page
+        assert 'id="param-b"' in page
+        assert "Adder" in page
+
+    def test_index_page_links_services(self, container, client):
+        container.deploy(add_service_config())
+        page = client.get(container.base_uri + "/ui")
+        assert '/services/add/ui' in page
+
+
+class TestSecurityIntegration:
+    def test_policy_enforced_per_service(self, container, client):
+        from repro.security import CertificateAuthority, client_headers
+
+        ca = CertificateAuthority()
+        container.enable_security(ca)
+        container.deploy(add_service_config(security={"allow": ["CN=alice"]}))
+        open_config = add_service_config(security={"anonymous": True})
+        open_config["description"] = dict(open_config["description"], name="open-add")
+        container.deploy(open_config)
+
+        # anonymous can reach the open service but not the protected one
+        assert client.get(container.service_uri("open-add"))["name"] == "open-add"
+        with pytest.raises(ClientError) as info:
+            client.get(container.service_uri("add"))
+        assert info.value.status == 401
+
+        # bob authenticates fine but is not on the allow list
+        bob = client.with_headers(client_headers(certificate=ca.issue("CN=bob")))
+        with pytest.raises(ClientError) as info:
+            bob.get(container.service_uri("add"))
+        assert info.value.status == 403
+
+        alice = client.with_headers(client_headers(certificate=ca.issue("CN=alice")))
+        assert alice.get(container.service_uri("add"))["name"] == "add"
+
+    def test_enable_security_twice_rejected(self, container):
+        from repro.security import CertificateAuthority
+
+        container.enable_security(CertificateAuthority())
+        with pytest.raises(RuntimeError):
+            container.enable_security(CertificateAuthority())
+
+
+class TestResources:
+    def test_register_and_lookup(self, container):
+        container.register_resource("thing", object())
+        assert container.resource("thing") is not None
+        with pytest.raises(KeyError):
+            container.resource("ghost")
+
+    def test_duplicate_resource_rejected(self, container):
+        container.register_resource("thing", 1)
+        with pytest.raises(ConfigurationError, match="already registered"):
+            container.register_resource("thing", 2)

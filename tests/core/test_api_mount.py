@@ -1,0 +1,225 @@
+"""Tests for the Table 1 resource/method matrix over a fake backend."""
+
+import threading
+
+import pytest
+
+from repro.core.api import mount_service, unmount_service
+from repro.core.description import Parameter, ServiceDescription
+from repro.core.errors import BadInputError, JobNotFoundError
+from repro.core.files import FileStore
+from repro.core.jobs import Job, JobStore
+from repro.http.app import RestApp
+from repro.http.client import ClientError, RestClient
+from repro.http.registry import TransportRegistry
+
+
+class EchoBackend:
+    """A synchronous backend: jobs complete inside submit (paper's sync mode)."""
+
+    def __init__(self):
+        self.description = ServiceDescription(
+            name="echo",
+            title="Echo",
+            inputs=[Parameter("value", {"type": "string"})],
+            outputs=[Parameter("echoed", {"type": "string"}), Parameter("report", True)],
+        )
+        self.jobs = JobStore()
+        self.files = FileStore()
+
+    def describe(self):
+        return self.description.to_json()
+
+    def submit(self, inputs, request):
+        values = self.description.validate_inputs(inputs)
+        job = self.jobs.add(Job(service="echo", inputs=values))
+        job.mark_running()
+        report = self.files.put(b"0123456789", job_id=job.id, name="report.txt", content_type="text/plain")
+        job.mark_done({"echoed": values["value"], "report": {"$file": f"jobs/{job.id}/files/{report.id}"}})
+        return job
+
+    def get_job(self, job_id):
+        return self.jobs.get(job_id)
+
+    def delete_job(self, job_id):
+        job = self.jobs.remove(job_id)
+        if not job.state.terminal:
+            job.mark_cancelled()
+        self.files.delete_job_files(job_id)
+
+    def get_file(self, job_id, file_id):
+        self.jobs.get(job_id)
+        return self.files.get(file_id, job_id=job_id)
+
+
+class PendingBackend(EchoBackend):
+    """An asynchronous backend: jobs stay WAITING until released."""
+
+    def __init__(self):
+        super().__init__()
+        self.release = threading.Event()
+
+    def submit(self, inputs, request):
+        values = self.description.validate_inputs(inputs)
+        return self.jobs.add(Job(service="echo", inputs=values))
+
+
+@pytest.fixture()
+def client_and_backend():
+    app = RestApp("container")
+    backend = EchoBackend()
+    registry = TransportRegistry()
+    base = registry.bind_local("c", app)
+    mount_service(app, "/services/echo", backend, base_uri=f"{base}/services/echo")
+    return RestClient(registry, base=f"{base}/services/echo"), backend
+
+
+class TestServiceResource:
+    def test_get_returns_description_with_uri(self, client_and_backend):
+        client, _ = client_and_backend
+        document = client.get()
+        assert document["name"] == "echo"
+        assert document["uri"] == "local://c/services/echo"
+        assert "value" in document["inputs"]
+
+    def test_post_creates_job_with_location(self, client_and_backend):
+        client, _ = client_and_backend
+        response = client.request_raw("POST", "", body=b'{"value": "hi"}')
+        assert response.status == 201
+        location = response.headers.get("Location")
+        assert "/jobs/" in location
+        body = response.json_body
+        assert body["uri"] == location
+
+    def test_sync_completion_inlined_with_done_state(self, client_and_backend):
+        client, _ = client_and_backend
+        body = client.post(payload={"value": "hi"})
+        assert body["state"] == "DONE"
+        assert body["results"]["echoed"] == "hi"
+
+    def test_post_invalid_inputs_is_422(self, client_and_backend):
+        client, _ = client_and_backend
+        with pytest.raises(ClientError) as info:
+            client.post(payload={"value": 5})
+        assert info.value.status == 422
+        assert any("input 'value'" in d for d in info.value.details)
+
+    def test_post_empty_body_treated_as_no_inputs(self, client_and_backend):
+        client, _ = client_and_backend
+        with pytest.raises(ClientError) as info:
+            client.post()
+        assert info.value.status == 422  # 'value' is required
+
+
+class TestJobResource:
+    def test_get_pending_job_shows_waiting(self):
+        app = RestApp()
+        backend = PendingBackend()
+        registry = TransportRegistry()
+        base = registry.bind_local("c", app)
+        mount_service(app, "/services/echo", backend, base_uri=f"{base}/services/echo")
+        client = RestClient(registry, base=f"{base}/services/echo")
+        created = client.post(payload={"value": "x"})
+        assert created["state"] == "WAITING"
+        fetched = client.get(f"jobs/{created['id']}")
+        assert fetched["state"] == "WAITING"
+        assert "results" not in fetched
+
+    def test_get_unknown_job_is_404(self, client_and_backend):
+        client, _ = client_and_backend
+        with pytest.raises(ClientError) as info:
+            client.get("jobs/j-ghost")
+        assert info.value.status == 404
+
+    def test_delete_destroys_job_and_files(self, client_and_backend):
+        client, backend = client_and_backend
+        created = client.post(payload={"value": "x"})
+        job_id = created["id"]
+        file_path = created["results"]["report"]["$file"]
+        assert client.delete(f"jobs/{job_id}") is None
+        with pytest.raises(ClientError) as info:
+            client.get(f"jobs/{job_id}")
+        assert info.value.status == 404
+        with pytest.raises(ClientError) as info:
+            client.get_bytes(file_path)
+        assert info.value.status == 404
+        assert len(backend.files) == 0
+
+    def test_delete_unknown_job_is_404(self, client_and_backend):
+        client, _ = client_and_backend
+        with pytest.raises(ClientError) as info:
+            client.delete("jobs/j-ghost")
+        assert info.value.status == 404
+
+
+class TestFileResource:
+    def test_full_get(self, client_and_backend):
+        client, _ = client_and_backend
+        created = client.post(payload={"value": "x"})
+        data = client.get_bytes(created["results"]["report"]["$file"])
+        assert data == b"0123456789"
+
+    def test_content_headers(self, client_and_backend):
+        client, _ = client_and_backend
+        created = client.post(payload={"value": "x"})
+        response = client.request_raw("GET", created["results"]["report"]["$file"])
+        assert response.headers.get("Content-Type") == "text/plain"
+        assert response.headers.get("Accept-Ranges") == "bytes"
+        assert "report.txt" in response.headers.get("Content-Disposition")
+
+    def test_partial_get_with_range(self, client_and_backend):
+        client, _ = client_and_backend
+        created = client.post(payload={"value": "x"})
+        path = created["results"]["report"]["$file"]
+        response = client.request_raw("GET", path, headers={"Range": "bytes=2-4"})
+        assert response.status == 206
+        assert response.body == b"234"
+        assert response.headers.get("Content-Range") == "bytes 2-4/10"
+
+    def test_unsatisfiable_range_is_416(self, client_and_backend):
+        client, _ = client_and_backend
+        created = client.post(payload={"value": "x"})
+        path = created["results"]["report"]["$file"]
+        response = client.request_raw("GET", path, headers={"Range": "bytes=99-"})
+        assert response.status == 416
+
+    def test_file_not_under_job_is_404(self, client_and_backend):
+        client, backend = client_and_backend
+        first = client.post(payload={"value": "a"})
+        second = client.post(payload={"value": "b"})
+        foreign_file = second["results"]["report"]["$file"].rsplit("/", 1)[-1]
+        with pytest.raises(ClientError) as info:
+            client.get_bytes(f"jobs/{first['id']}/files/{foreign_file}")
+        assert info.value.status == 404
+
+
+class TestMethodMatrix:
+    """Table 1 lists no other method/resource combinations; they must 405."""
+
+    @pytest.mark.parametrize(
+        ("method", "path"),
+        [
+            ("DELETE", ""),
+            ("PUT", ""),
+            ("POST", "jobs/j-1"),
+            ("PUT", "jobs/j-1"),
+            ("POST", "jobs/j-1/files/f-1"),
+            ("DELETE", "jobs/j-1/files/f-1"),
+        ],
+    )
+    def test_unlisted_combination_is_405(self, client_and_backend, method, path):
+        client, _ = client_and_backend
+        response = client.request_raw(method, path)
+        assert response.status == 405
+
+
+def test_unmount_removes_all_routes(client_and_backend):
+    client, _ = client_and_backend
+    app_routes_removed = None
+    # reach into the app through a fresh mount/unmount cycle
+    app = RestApp()
+    backend = EchoBackend()
+    mount_service(app, "/services/echo", backend)
+    app_routes_removed = unmount_service(app, "/services/echo")
+    assert app_routes_removed == 5
+    assert len(app.router) == 0

@@ -1,0 +1,117 @@
+"""Unit tests for service descriptions and input validation."""
+
+import pytest
+
+from repro.core.description import Parameter, ServiceDescription, check_service_name
+from repro.core.errors import BadInputError, ConfigurationError
+from repro.core.filerefs import FILE_SCHEMA, make_file_ref
+
+
+def demo_description():
+    return ServiceDescription(
+        name="hilbert-invert",
+        title="Hilbert matrix inversion",
+        description="Inverts a Hilbert matrix exactly.",
+        inputs=[
+            Parameter("n", {"type": "integer", "minimum": 1}),
+            Parameter("method", {"enum": ["serial", "block"]}, required=False, default="serial"),
+            Parameter("matrix", FILE_SCHEMA, required=False),
+        ],
+        outputs=[Parameter("inverse", {"type": "array"})],
+        tags=["cas", "linear-algebra"],
+    )
+
+
+class TestParameter:
+    def test_bad_schema_rejected_at_construction(self):
+        with pytest.raises(ConfigurationError, match="unknown type"):
+            Parameter("x", {"type": "unicorn"})
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Parameter("")
+
+    def test_json_round_trip(self):
+        parameter = Parameter("n", {"type": "integer"}, title="Size", required=False, default=4)
+        restored = Parameter.from_json("n", parameter.to_json())
+        assert restored == parameter
+
+    def test_to_json_omits_defaults(self):
+        assert Parameter("n").to_json() == {"schema": True}
+
+
+class TestServiceName:
+    def test_valid_names(self):
+        for name in ("cas", "hilbert-invert", "solver_2", "a.b"):
+            assert check_service_name(name) == name
+
+    @pytest.mark.parametrize("name", ["", "has space", "slash/name", "q?x", "ünicode"])
+    def test_invalid_names(self, name):
+        with pytest.raises(ConfigurationError):
+            check_service_name(name)
+
+
+class TestServiceDescription:
+    def test_duplicate_parameter_rejected(self):
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            ServiceDescription("s", inputs=[Parameter("a"), Parameter("a")])
+
+    def test_lookup(self):
+        description = demo_description()
+        assert description.input("n").name == "n"
+        assert description.output("inverse").name == "inverse"
+        with pytest.raises(KeyError):
+            description.input("ghost")
+
+    def test_json_round_trip(self):
+        description = demo_description()
+        restored = ServiceDescription.from_json(description.to_json())
+        assert restored == description
+
+    def test_from_json_requires_name(self):
+        with pytest.raises(ConfigurationError):
+            ServiceDescription.from_json({"title": "anonymous"})
+
+
+class TestValidateInputs:
+    def test_applies_default(self):
+        values = demo_description().validate_inputs({"n": 4})
+        assert values == {"n": 4, "method": "serial"}
+
+    def test_explicit_value_overrides_default(self):
+        values = demo_description().validate_inputs({"n": 4, "method": "block"})
+        assert values["method"] == "block"
+
+    def test_missing_required_listed(self):
+        with pytest.raises(BadInputError) as info:
+            demo_description().validate_inputs({})
+        assert any("missing required input parameter 'n'" in p for p in info.value.details)
+
+    def test_unknown_parameter_listed(self):
+        with pytest.raises(BadInputError) as info:
+            demo_description().validate_inputs({"n": 1, "ghost": True})
+        assert any("unknown input parameter 'ghost'" in p for p in info.value.details)
+
+    def test_schema_violation_listed_with_path(self):
+        with pytest.raises(BadInputError) as info:
+            demo_description().validate_inputs({"n": 0})
+        assert any("less than minimum" in p for p in info.value.details)
+
+    def test_all_problems_reported_at_once(self):
+        with pytest.raises(BadInputError) as info:
+            demo_description().validate_inputs({"method": "magic", "ghost": 1})
+        assert len(info.value.details) == 3  # missing n, bad method, unknown ghost
+
+    def test_file_reference_accepted_for_any_parameter(self):
+        reference = make_file_ref("local://c/services/x/jobs/1/files/f1", name="m.json")
+        values = demo_description().validate_inputs({"n": 2, "matrix": reference})
+        assert values["matrix"] == reference
+
+    def test_file_reference_bypasses_scalar_schema(self):
+        # 'n' wants an integer, but a reference promises the content matches.
+        reference = make_file_ref("local://c/f")
+        demo_description().validate_inputs({"n": reference})
+
+    def test_non_object_input_rejected(self):
+        with pytest.raises(BadInputError, match="JSON object"):
+            demo_description().validate_inputs([1, 2])

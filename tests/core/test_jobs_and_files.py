@@ -1,0 +1,209 @@
+"""Unit tests for the job state machine, job store and file store."""
+
+import threading
+
+import pytest
+
+from repro.core.errors import FileNotFoundError_, JobNotFoundError, JobStateError
+from repro.core.files import FileStore
+from repro.core.jobs import Job, JobState, JobStore
+
+
+def make_job(**kwargs):
+    return Job(service="demo", inputs={"n": 1}, **kwargs)
+
+
+class TestStateMachine:
+    def test_happy_path(self):
+        job = make_job()
+        assert job.state is JobState.WAITING
+        job.mark_running()
+        assert job.started is not None
+        job.mark_done({"out": 42})
+        assert job.state is JobState.DONE
+        assert job.finished >= job.started
+
+    def test_failure_path(self):
+        job = make_job()
+        job.mark_running()
+        job.mark_failed("exploded")
+        assert job.state is JobState.FAILED
+        assert job.error == "exploded"
+
+    def test_cancel_from_waiting(self):
+        job = make_job()
+        job.mark_cancelled()
+        assert job.state is JobState.CANCELLED
+        assert job.cancel_event.is_set()
+
+    def test_cancel_from_running(self):
+        job = make_job()
+        job.mark_running()
+        job.mark_cancelled()
+        assert job.state is JobState.CANCELLED
+
+    @pytest.mark.parametrize("first", ["mark_done", "mark_failed", "mark_cancelled"])
+    def test_terminal_states_are_final(self, first):
+        job = make_job()
+        job.mark_running()
+        if first == "mark_done":
+            job.mark_done({})
+        elif first == "mark_failed":
+            job.mark_failed("x")
+        else:
+            job.mark_cancelled()
+        with pytest.raises(JobStateError):
+            job.mark_running()
+        with pytest.raises(JobStateError):
+            job.mark_done({})
+
+    def test_done_requires_running(self):
+        with pytest.raises(JobStateError):
+            make_job().mark_done({})
+
+    def test_terminal_property(self):
+        assert not JobState.WAITING.terminal
+        assert not JobState.RUNNING.terminal
+        assert JobState.DONE.terminal
+        assert JobState.FAILED.terminal
+        assert JobState.CANCELLED.terminal
+
+
+class TestTryFinish:
+    def test_finishes_running_job(self):
+        job = make_job()
+        job.mark_running()
+        assert job.try_finish(lambda: (JobState.DONE, {"x": 1}))
+        assert job.results == {"x": 1}
+
+    def test_lost_race_against_cancel(self):
+        job = make_job()
+        job.mark_running()
+        job.mark_cancelled()
+        assert not job.try_finish(lambda: (JobState.DONE, {"x": 1}))
+        assert job.state is JobState.CANCELLED
+        assert job.results is None
+
+    def test_failure_outcome(self):
+        job = make_job()
+        job.mark_running()
+        assert job.try_finish(lambda: (JobState.FAILED, "boom"))
+        assert job.state is JobState.FAILED
+        assert job.error == "boom"
+
+
+class TestRepresentation:
+    def test_waiting_representation_has_no_results(self):
+        document = make_job().representation(uri="local://c/services/demo/jobs/x")
+        assert document["state"] == "WAITING"
+        assert "results" not in document
+        assert document["uri"] == "local://c/services/demo/jobs/x"
+        assert document["inputs"] == {"n": 1}
+
+    def test_done_representation_includes_results(self):
+        job = make_job()
+        job.mark_running()
+        job.mark_done({"out": [1, 2]})
+        document = job.representation()
+        assert document["results"] == {"out": [1, 2]}
+        assert "started" in document and "finished" in document
+
+    def test_failed_representation_includes_error(self):
+        job = make_job()
+        job.mark_running()
+        job.mark_failed("bad input file")
+        assert job.representation()["error"] == "bad input file"
+
+    def test_extra_fields_merged(self):
+        job = make_job()
+        job.extra["blocks"] = {"b1": "RUNNING"}
+        assert job.representation()["blocks"] == {"b1": "RUNNING"}
+
+    def test_concurrent_mutation_and_read(self):
+        job = make_job()
+        job.mark_running()
+        errors = []
+
+        def reader():
+            for _ in range(200):
+                document = job.representation()
+                if document["state"] == "DONE" and "results" not in document:
+                    errors.append("DONE without results")
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        job.mark_done({"v": 1})
+        thread.join()
+        assert not errors
+
+
+class TestJobStore:
+    def test_add_get_remove(self):
+        store = JobStore()
+        job = store.add(make_job())
+        assert store.get(job.id) is job
+        assert job.id in store
+        assert store.remove(job.id) is job
+        assert job.id not in store
+
+    def test_get_missing_raises(self):
+        with pytest.raises(JobNotFoundError):
+            JobStore().get("j-ghost")
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(JobNotFoundError):
+            JobStore().remove("j-ghost")
+
+    def test_list_and_len(self):
+        store = JobStore()
+        jobs = [store.add(make_job()) for _ in range(3)]
+        assert len(store) == 3
+        assert set(store.list()) == set(jobs)
+
+    def test_ids_unique(self):
+        ids = {make_job().id for _ in range(100)}
+        assert len(ids) == 100
+
+
+class TestFileStore:
+    def test_put_and_get(self):
+        store = FileStore()
+        entry = store.put(b"data", job_id="j-1", name="out.txt", content_type="text/plain")
+        fetched = store.get(entry.id)
+        assert fetched.content == b"data"
+        assert fetched.name == "out.txt"
+        assert fetched.size == 4
+
+    def test_subordination_enforced(self):
+        store = FileStore()
+        entry = store.put(b"data", job_id="j-1")
+        store.get(entry.id, job_id="j-1")
+        with pytest.raises(FileNotFoundError_):
+            store.get(entry.id, job_id="j-2")
+
+    def test_missing_file_raises(self):
+        with pytest.raises(FileNotFoundError_):
+            FileStore().get("f-ghost")
+
+    def test_delete_job_files_destroys_subordinates(self):
+        store = FileStore()
+        kept = store.put(b"a", job_id="j-keep")
+        doomed = [store.put(b"b", job_id="j-del") for _ in range(2)]
+        assert store.delete_job_files("j-del") == 2
+        store.get(kept.id)
+        for entry in doomed:
+            with pytest.raises(FileNotFoundError_):
+                store.get(entry.id)
+
+    def test_job_files_listing(self):
+        store = FileStore()
+        entries = [store.put(bytes([i]), job_id="j-1") for i in range(3)]
+        assert [e.id for e in store.job_files("j-1")] == [e.id for e in entries]
+        assert store.job_files("j-none") == []
+
+    def test_total_bytes(self):
+        store = FileStore()
+        store.put(b"abc", job_id="j")
+        store.put(b"de", job_id="j")
+        assert store.total_bytes == 5
+        assert len(store) == 2

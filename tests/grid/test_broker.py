@@ -1,0 +1,237 @@
+"""Tests for VOs, sites and the resource broker."""
+
+import sys
+
+import pytest
+
+from repro.grid import GridBroker, GridJobState, GridSite, VirtualOrganization
+from repro.grid.broker import GridError
+from repro.grid.vo import VoError
+
+
+def jdl_for(code, requirements=None, rank=None, vo="mathcloud", sandbox_in=(), sandbox_out=()):
+    lines = [
+        "[",
+        '  Executable = "%s";' % sys.executable,
+        f'  Arguments = "-c \\"{code}\\"";' if False else f"  Arguments = {_quote('-c ' + _shquote(code))};",
+        '  StdOutput = "out.txt";',
+        '  StdError = "err.txt";',
+        f'  VirtualOrganisation = "{vo}";',
+    ]
+    if sandbox_in:
+        lines.append("  InputSandbox = {%s};" % ", ".join(f'"{n}"' for n in sandbox_in))
+    out_names = list(sandbox_out) + ["out.txt", "err.txt"]
+    lines.append("  OutputSandbox = {%s};" % ", ".join(f'"{n}"' for n in out_names))
+    if requirements:
+        lines.append(f"  Requirements = {requirements};")
+    if rank:
+        lines.append(f"  Rank = {rank};")
+    lines.append("]")
+    return "\n".join(lines)
+
+
+def _shquote(code):
+    import shlex
+
+    return shlex.quote(code)
+
+
+def _quote(text):
+    return '"' + text.replace("\\", "\\\\").replace('"', '\\"') + '"'
+
+
+@pytest.fixture()
+def grid():
+    big = GridSite("big-ce", supported_vos={"mathcloud"}, slots=8)
+    small = GridSite("small-ce", supported_vos={"mathcloud", "biomed"}, slots=2)
+    broker = GridBroker(sites=[big, small])
+    vo = VirtualOrganization("mathcloud", members={"CN=alice"})
+    broker.add_vo(vo)
+    broker.add_vo(VirtualOrganization("biomed", members={"CN=bob"}))
+    yield broker
+    broker.shutdown()
+
+
+class TestVirtualOrganization:
+    def test_membership(self):
+        vo = VirtualOrganization("x", members={"a"})
+        vo.add_member("b")
+        assert vo.is_member("a") and vo.is_member("b")
+        vo.remove_member("a")
+        assert not vo.is_member("a")
+
+    def test_authorize_raises_for_outsiders(self):
+        with pytest.raises(VoError, match="not a member"):
+            VirtualOrganization("x").authorize("stranger")
+
+
+class TestSite:
+    def test_default_glue_attributes(self):
+        site = GridSite("ce", slots=4)
+        try:
+            attributes = site.attributes_now()
+            assert attributes["GlueCEName"] == "ce"
+            assert attributes["GlueCEInfoTotalCPUs"] == 4
+            assert attributes["GlueCEStateFreeCPUs"] == 4
+        finally:
+            site.shutdown()
+
+    def test_custom_attributes_preserved(self):
+        site = GridSite("ce", attributes={"GlueHostMainMemoryRAMSize": 65536})
+        try:
+            assert site.attributes_now()["GlueHostMainMemoryRAMSize"] == 65536
+        finally:
+            site.shutdown()
+
+
+class TestBrokerSubmission:
+    def test_job_runs_and_collects_sandbox(self, grid):
+        job = grid.submit(jdl_for("print('grid says hi')"), owner="CN=alice")
+        job.wait(timeout=15)
+        assert job.state is GridJobState.DONE
+        sandbox = job.output_sandbox()
+        assert b"grid says hi" in sandbox["out.txt"]
+
+    def test_state_history_ladder(self, grid):
+        job = grid.submit(jdl_for("pass"), owner="CN=alice")
+        job.wait(timeout=15)
+        states = [state for state, _ in job.history]
+        assert states[:4] == [
+            GridJobState.SUBMITTED,
+            GridJobState.WAITING,
+            GridJobState.READY,
+            GridJobState.SCHEDULED,
+        ]
+
+    def test_input_sandbox_staged(self, grid):
+        code = "import pathlib; print(pathlib.Path('data.txt').read_text())"
+        job = grid.submit(
+            jdl_for(code, sandbox_in=["data.txt"]),
+            owner="CN=alice",
+            input_sandbox={"data.txt": b"staged-content"},
+        )
+        job.wait(timeout=15)
+        assert b"staged-content" in job.output_sandbox()["out.txt"]
+
+    def test_output_sandbox_files_collected(self, grid):
+        code = "open('curve.json','w').write('[1,2,3]')"
+        job = grid.submit(jdl_for(code, sandbox_out=["curve.json"]), owner="CN=alice")
+        job.wait(timeout=15)
+        assert job.output_sandbox()["curve.json"] == b"[1,2,3]"
+
+    def test_failed_job_aborts(self, grid):
+        job = grid.submit(jdl_for("import sys; sys.exit(2)"), owner="CN=alice")
+        job.wait(timeout=15)
+        assert job.state is GridJobState.ABORTED
+        assert "exit status 2" in job.failure_reason
+
+    def test_cancel(self, grid):
+        job = grid.submit(jdl_for("import time; time.sleep(60)"), owner="CN=alice")
+        grid.cancel(job.id)
+        job.wait(timeout=15)
+        assert job.state is GridJobState.CANCELLED
+
+    def test_status_lookup(self, grid):
+        job = grid.submit(jdl_for("pass"), owner="CN=alice")
+        assert grid.status(job.id) is job
+        with pytest.raises(GridError, match="unknown grid job"):
+            grid.status("g-ghost")
+
+
+class TestAuthorization:
+    def test_non_member_rejected(self, grid):
+        with pytest.raises(GridError, match="not a member"):
+            grid.submit(jdl_for("pass"), owner="CN=mallory")
+
+    def test_unknown_vo_rejected(self, grid):
+        with pytest.raises(GridError, match="unknown virtual organisation"):
+            grid.submit(jdl_for("pass", vo="ghost-vo"), owner="CN=alice")
+
+    def test_missing_vo_rejected(self, grid):
+        jdl = '[ Executable = "/bin/true"; ]'
+        with pytest.raises(GridError, match="must declare a VirtualOrganisation"):
+            grid.submit(jdl, owner="CN=alice")
+
+    def test_vo_restricts_sites(self, grid):
+        # biomed is only supported by small-ce
+        grid.add_vo_member = None  # no-op; bob is already a biomed member
+        job = grid.submit(jdl_for("pass", vo="biomed"), owner="CN=bob")
+        assert job.site_name == "small-ce"
+        job.wait(timeout=15)
+
+
+class TestMatchmaking:
+    def test_requirements_filter_sites(self, grid):
+        job = grid.submit(
+            jdl_for("pass", requirements="other.GlueCEInfoTotalCPUs >= 4"),
+            owner="CN=alice",
+        )
+        assert job.site_name == "big-ce"
+        job.wait(timeout=15)
+
+    def test_requirements_nobody_matches(self, grid):
+        with pytest.raises(GridError, match="no site matches"):
+            grid.submit(
+                jdl_for("pass", requirements="other.GlueCEInfoTotalCPUs >= 100"),
+                owner="CN=alice",
+            )
+
+    def test_requirement_eval_error_means_no_match(self, grid):
+        # attribute exists nowhere: no site matches rather than a crash
+        with pytest.raises(GridError, match="no site matches"):
+            grid.submit(
+                jdl_for("pass", requirements="other.NoSuchAttribute == 1"),
+                owner="CN=alice",
+            )
+
+    def test_rank_selects_preferred_site(self, grid):
+        # prefer the *smaller* site by ranking on negative total CPUs
+        job = grid.submit(
+            jdl_for("pass", rank="-other.GlueCEInfoTotalCPUs"),
+            owner="CN=alice",
+        )
+        assert job.site_name == "small-ce"
+        job.wait(timeout=15)
+
+    def test_default_rank_prefers_free_cpus(self, grid):
+        job = grid.submit(jdl_for("pass"), owner="CN=alice")
+        assert job.site_name == "big-ce"  # 8 free vs 2 free
+        job.wait(timeout=15)
+
+    def test_job_attributes_visible_in_requirements(self, grid):
+        job = grid.submit(
+            jdl_for("pass", requirements="other.GlueCEInfoTotalCPUs >= CpuNumber").replace(
+                "]", "  CpuNumber = 4;\n]"
+            ),
+            owner="CN=alice",
+        )
+        assert job.site_name == "big-ce"
+        job.wait(timeout=15)
+
+
+class TestSandboxValidation:
+    def test_undeclared_staged_file_rejected(self, grid):
+        with pytest.raises(GridError, match="not declared in InputSandbox"):
+            grid.submit(
+                jdl_for("pass"),
+                owner="CN=alice",
+                input_sandbox={"sneaky.txt": b"x"},
+            )
+
+    def test_missing_declared_file_rejected(self, grid):
+        with pytest.raises(GridError, match="not provided"):
+            grid.submit(jdl_for("pass", sandbox_in=["needed.txt"]), owner="CN=alice")
+
+    def test_missing_executable_rejected(self, grid):
+        jdl = '[ VirtualOrganisation = "mathcloud"; Arguments = "x"; ]'
+        with pytest.raises(GridError, match="must declare an Executable"):
+            grid.submit(jdl, owner="CN=alice")
+
+    def test_duplicate_site_rejected(self):
+        site = GridSite("ce", slots=1)
+        try:
+            broker = GridBroker(sites=[site])
+            with pytest.raises(ValueError, match="duplicate site"):
+                broker.add_site(site)
+        finally:
+            site.shutdown()

@@ -1,0 +1,226 @@
+"""Tests for the JDL language: lexer, parser, evaluator, unparser."""
+
+import pytest
+
+from repro.grid.jdl import (
+    Attribute,
+    Binary,
+    JdlEvalError,
+    JdlSyntaxError,
+    ListExpr,
+    Literal,
+    TokenKind,
+    Unary,
+    evaluate,
+    parse_expression,
+    parse_jdl,
+    tokenize,
+)
+
+FULL_JDL = """
+[
+  // a typical computational job
+  JobName = "scattering-curve";
+  Executable = "/usr/bin/python3";
+  Arguments = "-c 'print(1)'";
+  StdOutput = "out.txt";
+  StdError = "err.txt";
+  InputSandbox = {"task.json"};
+  OutputSandbox = {"out.txt", "err.txt", "curve.json"};
+  VirtualOrganisation = "mathcloud";
+  CpuNumber = 2;
+  Requirements = other.GlueCEInfoTotalCPUs >= 4 && other.GlueCEName != "retired";
+  Rank = -other.GlueCEStateEstimatedResponseTime + other.GlueCEStateFreeCPUs * 2;
+]
+"""
+
+
+class TestLexer:
+    def test_full_document_tokenizes(self):
+        kinds = [t.kind for t in tokenize(FULL_JDL)]
+        assert kinds[0] is TokenKind.LBRACKET
+        assert kinds[-1] is TokenKind.EOF
+
+    def test_string_escapes(self):
+        token = tokenize(r'"a\"b\n\t\\"')[0]
+        assert token.value == 'a"b\n\t\\'
+
+    def test_bad_escape_rejected(self):
+        with pytest.raises(JdlSyntaxError, match="bad escape"):
+            tokenize(r'"\q"')
+
+    def test_unterminated_string(self):
+        with pytest.raises(JdlSyntaxError, match="unterminated string"):
+            tokenize('"abc')
+
+    def test_numbers(self):
+        values = [t.value for t in tokenize("1 2.5 1e3 2.5e-2")[:-1]]
+        assert values == [1, 2.5, 1000.0, 0.025]
+        assert isinstance(values[0], int)
+
+    def test_booleans_case_insensitive(self):
+        tokens = tokenize("true FALSE True")
+        assert [t.value for t in tokens[:-1]] == [True, False, True]
+        assert all(t.kind is TokenKind.BOOLEAN for t in tokens[:-1])
+
+    def test_comments_all_styles(self):
+        source = "# hash\n1 // slash\n/* block\nspanning */ 2"
+        values = [t.value for t in tokenize(source) if t.kind is TokenKind.NUMBER]
+        assert values == [1, 2]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(JdlSyntaxError, match="unterminated block comment"):
+            tokenize("/* never ends")
+
+    def test_positions_tracked(self):
+        token = tokenize("\n  name")[0]
+        assert (token.line, token.column) == (2, 3)
+
+    def test_unexpected_character(self):
+        with pytest.raises(JdlSyntaxError, match="unexpected character"):
+            tokenize("a = @")
+
+    def test_two_char_operators_win_over_one_char(self):
+        kinds = [t.kind for t in tokenize("<= < == = != ! >= >")[:-1]]
+        assert kinds == [
+            TokenKind.LE, TokenKind.LT, TokenKind.EQ, TokenKind.ASSIGN,
+            TokenKind.NE, TokenKind.NOT, TokenKind.GE, TokenKind.GT,
+        ]
+
+
+class TestParser:
+    def test_full_document(self):
+        document = parse_jdl(FULL_JDL)
+        assert document.get_value("Executable") == "/usr/bin/python3"
+        assert document.get_value("CpuNumber") == 2
+        assert document.get_value("OutputSandbox") == ["out.txt", "err.txt", "curve.json"]
+
+    def test_attribute_lookup_case_insensitive(self):
+        document = parse_jdl('[ Executable = "x"; ]')
+        assert document.get("executable") is not None
+        assert document.get_value("EXECUTABLE") == "x"
+
+    def test_unbracketed_document_allowed(self):
+        document = parse_jdl('Executable = "x";')
+        assert document.get_value("Executable") == "x"
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(JdlSyntaxError, match="duplicate attribute"):
+            parse_jdl('[ A = 1; a = 2; ]')
+
+    def test_missing_semicolon(self):
+        with pytest.raises(JdlSyntaxError, match="expected ';'"):
+            parse_jdl('[ A = 1 ]')
+
+    def test_missing_close_bracket(self):
+        with pytest.raises(JdlSyntaxError, match="missing '\\]'"):
+            parse_jdl("[ A = 1;")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(JdlSyntaxError, match="trailing input"):
+            parse_jdl("[ A = 1; ] extra")
+
+    def test_precedence(self):
+        expr = parse_expression("1 + 2 * 3 == 7 && !false")
+        assert evaluate(expr) is True
+
+    def test_parentheses_override_precedence(self):
+        assert evaluate(parse_expression("(1 + 2) * 3")) == 9
+
+    def test_nonassociative_comparison_rejected(self):
+        with pytest.raises(JdlSyntaxError, match="non-associative"):
+            parse_expression("1 < 2 < 3")
+
+    def test_dotted_reference(self):
+        expr = parse_expression("other.GlueCEName")
+        assert expr == Attribute("GlueCEName", scope="other")
+
+    def test_empty_list(self):
+        assert evaluate(parse_expression("{}")) == []
+
+    def test_nested_unary(self):
+        assert evaluate(parse_expression("--3")) == 3
+        assert evaluate(parse_expression("!!true")) is True
+
+    def test_error_position_reported(self):
+        with pytest.raises(JdlSyntaxError, match="line 2"):
+            parse_jdl("[ A = 1;\n B = ; ]")
+
+
+class TestEvaluator:
+    SITE = {"GlueCEName": "ce1", "GlueCEInfoTotalCPUs": 8, "GlueCEStateFreeCPUs": 3}
+
+    def eval(self, text, site=None, job=None):
+        return evaluate(parse_expression(text), site=site or self.SITE, job=job or {})
+
+    def test_site_attribute_lookup(self):
+        assert self.eval('other.GlueCEName == "ce1"') is True
+        assert self.eval("other.glueceinfototalcpus") == 8  # case-insensitive
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(JdlEvalError, match="unknown attribute"):
+            self.eval("other.Ghost")
+
+    def test_job_attribute_lookup(self):
+        assert self.eval("CpuNumber * 2", job={"cpunumber": 4}) == 8
+
+    def test_job_attribute_chases_expressions(self):
+        document = parse_jdl("[ A = 2 + 3; B = A * 2; ]")
+        assert document.get_value("B") == 10
+
+    def test_short_circuit_and(self):
+        # other.Ghost would raise; && must not evaluate it
+        assert self.eval("false && other.Ghost") is False
+
+    def test_short_circuit_or(self):
+        assert self.eval("true || other.Ghost") is True
+
+    def test_string_concatenation(self):
+        assert self.eval('"abc" + "def"') == "abcdef"
+
+    def test_string_comparison(self):
+        assert self.eval('"abc" < "abd"') is True
+
+    def test_cross_type_equality_is_false(self):
+        assert self.eval('1 == "1"') is False
+        assert self.eval('1 != "1"') is True
+
+    def test_cross_type_ordering_raises(self):
+        with pytest.raises(JdlEvalError, match="cannot compare"):
+            self.eval('1 < "2"')
+
+    def test_bool_not_number(self):
+        with pytest.raises(JdlEvalError):
+            self.eval("true + 1")
+
+    def test_integer_division_stays_integral_when_exact(self):
+        assert self.eval("8 / 2") == 4
+        assert isinstance(self.eval("8 / 2"), int)
+        assert self.eval("7 / 2") == 3.5
+
+    def test_division_by_zero(self):
+        with pytest.raises(JdlEvalError, match="division by zero"):
+            self.eval("1 / 0")
+
+    def test_non_boolean_condition_raises(self):
+        with pytest.raises(JdlEvalError, match="requires a boolean"):
+            self.eval("1 && true")
+
+    def test_equality_of_lists(self):
+        assert self.eval('{1, 2} == {1, 2}') is True
+
+
+class TestUnparse:
+    def test_round_trip(self):
+        document = parse_jdl(FULL_JDL)
+        reparsed = parse_jdl(document.unparse())
+        assert reparsed.attributes.keys() == document.attributes.keys()
+        assert reparsed.get_value("OutputSandbox") == document.get_value("OutputSandbox")
+        assert reparsed.get("Requirements").unparse() == document.get("Requirements").unparse()
+
+    def test_literal_escaping(self):
+        assert Literal('a"b').unparse() == '"a\\"b"'
+
+    def test_expression_shapes(self):
+        expr = Binary("&&", Unary("!", Literal(False)), ListExpr((Literal(1),)))
+        assert expr.unparse() == "(!(false) && {1})"

@@ -1,0 +1,182 @@
+"""Unit tests for the HTTP message model."""
+
+import json
+
+import pytest
+
+from repro.http.messages import (
+    Headers,
+    HttpError,
+    Request,
+    Response,
+    reason_phrase,
+)
+
+
+class TestHeaders:
+    def test_get_is_case_insensitive(self):
+        headers = Headers({"Content-Type": "application/json"})
+        assert headers.get("content-type") == "application/json"
+        assert headers.get("CONTENT-TYPE") == "application/json"
+
+    def test_get_returns_default_when_absent(self):
+        assert Headers().get("X-Missing", "fallback") == "fallback"
+        assert Headers().get("X-Missing") is None
+
+    def test_add_keeps_multiple_values(self):
+        headers = Headers()
+        headers.add("Set-Cookie", "a=1")
+        headers.add("Set-Cookie", "b=2")
+        assert headers.get_all("set-cookie") == ["a=1", "b=2"]
+        assert headers.get("Set-Cookie") == "a=1"
+
+    def test_set_replaces_all_values(self):
+        headers = Headers()
+        headers.add("X-Tag", "one")
+        headers.add("X-Tag", "two")
+        headers.set("x-tag", "three")
+        assert headers.get_all("X-Tag") == ["three"]
+
+    def test_remove_and_contains(self):
+        headers = Headers({"A": "1"})
+        assert "a" in headers
+        headers.remove("A")
+        assert "a" not in headers
+        headers.remove("A")  # idempotent
+
+    def test_copy_is_independent(self):
+        original = Headers({"A": "1"})
+        clone = original.copy()
+        clone.set("A", "2")
+        assert original.get("A") == "1"
+
+    def test_values_coerced_to_str(self):
+        headers = Headers()
+        headers.add("Content-Length", 42)
+        assert headers.get("Content-Length") == "42"
+
+    def test_len_counts_entries(self):
+        headers = Headers()
+        headers.add("A", "1")
+        headers.add("A", "2")
+        assert len(headers) == 2
+
+
+class TestRequest:
+    def test_from_target_splits_query(self):
+        request = Request.from_target("get", "/search?q=matrix&tag=cas")
+        assert request.method == "GET"
+        assert request.path == "/search"
+        assert request.query == {"q": "matrix", "tag": "cas"}
+
+    def test_from_target_without_query(self):
+        request = Request.from_target("POST", "/services/add")
+        assert request.query == {}
+        assert request.path == "/services/add"
+
+    def test_from_target_empty_path_becomes_root(self):
+        assert Request.from_target("GET", "?a=1").path == "/"
+
+    def test_json_property_parses_body(self):
+        request = Request.from_target("POST", "/x", body=json.dumps({"a": 1}).encode())
+        assert request.json == {"a": 1}
+
+    def test_json_property_rejects_empty_body(self):
+        with pytest.raises(HttpError) as info:
+            Request.from_target("POST", "/x").json
+        assert info.value.status == 400
+
+    def test_json_property_rejects_malformed_body(self):
+        with pytest.raises(HttpError) as info:
+            Request.from_target("POST", "/x", body=b"{nope").json
+        assert info.value.status == 400
+        assert "malformed" in info.value.message
+
+    def test_text_property(self):
+        assert Request.from_target("POST", "/x", body="héllo".encode()).text == "héllo"
+
+    def test_headers_mapping_converted(self):
+        request = Request.from_target("GET", "/", headers={"X-A": "1"})
+        assert request.headers.get("x-a") == "1"
+
+
+class TestByteRange:
+    def _request(self, range_header=None):
+        headers = {"Range": range_header} if range_header else None
+        return Request.from_target("GET", "/file", headers=headers)
+
+    def test_no_header_returns_none(self):
+        assert self._request().byte_range(100) is None
+
+    def test_simple_range(self):
+        assert self._request("bytes=0-9").byte_range(100) == (0, 9)
+
+    def test_open_ended_range(self):
+        assert self._request("bytes=90-").byte_range(100) == (90, 99)
+
+    def test_suffix_range(self):
+        assert self._request("bytes=-10").byte_range(100) == (90, 99)
+
+    def test_suffix_larger_than_body(self):
+        assert self._request("bytes=-500").byte_range(100) == (0, 99)
+
+    def test_end_clamped_to_size(self):
+        assert self._request("bytes=10-10000").byte_range(100) == (10, 99)
+
+    @pytest.mark.parametrize(
+        "header",
+        ["bytes=100-", "bytes=50-40", "bytes=abc-", "chars=0-5", "bytes=0-5,10-15", "bytes=-0"],
+    )
+    def test_bad_ranges_raise_416(self, header):
+        with pytest.raises(HttpError) as info:
+            self._request(header).byte_range(100)
+        assert info.value.status == 416
+
+
+class TestResponse:
+    def test_json_factory_round_trips(self):
+        response = Response.json({"state": "DONE"}, status=200)
+        assert response.json_body == {"state": "DONE"}
+        assert "json" in response.headers.get("Content-Type")
+        assert response.ok
+
+    def test_json_factory_extra_headers(self):
+        response = Response.json({}, headers={"X-Extra": "yes"})
+        assert response.headers.get("X-Extra") == "yes"
+
+    def test_created_sets_location(self):
+        response = Response.created("/services/a/jobs/1", {"id": "1"})
+        assert response.status == 201
+        assert response.headers.get("Location") == "/services/a/jobs/1"
+
+    def test_no_content_is_204_with_empty_body(self):
+        response = Response.no_content()
+        assert response.status == 204
+        assert response.body == b""
+
+    def test_text_and_html(self):
+        assert Response.text("hi").headers.get("Content-Type").startswith("text/plain")
+        assert Response.html("<p>hi</p>").headers.get("Content-Type").startswith("text/html")
+
+    def test_ok_false_for_errors(self):
+        assert not Response.json({}, status=404).ok
+
+    def test_json_body_of_empty_response_is_none(self):
+        assert Response().json_body is None
+
+
+class TestHttpError:
+    def test_to_response_envelope(self):
+        error = HttpError(404, "no such job", details={"job": "42"})
+        response = error.to_response()
+        assert response.status == 404
+        assert response.json_body == {"error": "no such job", "status": 404, "details": {"job": "42"}}
+
+    def test_to_response_without_details(self):
+        assert HttpError(400, "bad").to_response().json_body == {"error": "bad", "status": 400}
+
+
+def test_reason_phrases():
+    assert reason_phrase(200) == "OK"
+    assert reason_phrase(416) == "Range Not Satisfiable"
+    assert reason_phrase(599) == "Unknown"

@@ -1,0 +1,104 @@
+"""Unit tests for URI-template routing."""
+
+import pytest
+
+from repro.http.messages import HttpError, Request, Response
+from repro.http.router import Router, compile_template
+
+
+def _ok(name):
+    def handler(request, **params):
+        return Response.json({"handler": name, "params": params})
+
+    return handler
+
+
+class TestCompileTemplate:
+    def test_static_template(self):
+        pattern = compile_template("/services")
+        assert pattern.match("/services")
+        assert not pattern.match("/services/a")
+
+    def test_single_variable(self):
+        match = compile_template("/services/{name}").match("/services/solver")
+        assert match.groupdict() == {"name": "solver"}
+
+    def test_variable_does_not_cross_segments(self):
+        assert compile_template("/services/{name}").match("/services/a/b") is None
+
+    def test_multiple_variables(self):
+        pattern = compile_template("/services/{name}/jobs/{job_id}")
+        match = pattern.match("/services/cas/jobs/j-17")
+        assert match.groupdict() == {"name": "cas", "job_id": "j-17"}
+
+    def test_greedy_variable_crosses_segments(self):
+        pattern = compile_template("/files/{path...}")
+        assert pattern.match("/files/a/b/c").groupdict() == {"path": "a/b/c"}
+
+    def test_regex_metacharacters_in_literals_escaped(self):
+        pattern = compile_template("/v1.0/{x}")
+        assert pattern.match("/v1.0/a")
+        assert pattern.match("/v1X0/a") is None
+
+    def test_duplicate_variable_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            compile_template("/{a}/{a}")
+
+    def test_relative_template_rejected(self):
+        with pytest.raises(ValueError, match="must start"):
+            compile_template("services/{name}")
+
+
+class TestRouter:
+    def _router(self):
+        router = Router()
+        router.add("GET", "/services/{name}", _ok("describe"))
+        router.add("POST", "/services/{name}", _ok("submit"))
+        router.add("GET", "/services/{name}/jobs/{job_id}", _ok("job"))
+        router.add("DELETE", "/services/{name}/jobs/{job_id}", _ok("cancel"))
+        return router
+
+    def test_resolve_returns_handler_and_params(self):
+        handler, params = self._router().resolve("GET", "/services/cas")
+        assert params == {"name": "cas"}
+        assert handler(Request.from_target("GET", "/services/cas"), **params).ok
+
+    def test_method_dispatch_on_same_template(self):
+        router = self._router()
+        _, __ = router.resolve("POST", "/services/cas")
+        response = router.dispatch(Request.from_target("POST", "/services/cas"))
+        assert response.json_body["handler"] == "submit"
+
+    def test_unknown_path_is_404(self):
+        with pytest.raises(HttpError) as info:
+            self._router().resolve("GET", "/nowhere")
+        assert info.value.status == 404
+
+    def test_wrong_method_is_405_with_allow_list(self):
+        with pytest.raises(HttpError) as info:
+            self._router().resolve("PUT", "/services/cas")
+        assert info.value.status == 405
+        assert info.value.details == {"allow": ["GET", "POST"]}
+
+    def test_duplicate_route_rejected(self):
+        router = self._router()
+        with pytest.raises(ValueError, match="already registered"):
+            router.add("GET", "/services/{name}", _ok("again"))
+
+    def test_remove_prefix_unroutes_service(self):
+        router = self._router()
+        removed = router.remove_prefix("/services/{name}/jobs")
+        assert removed == 2
+        with pytest.raises(HttpError):
+            router.resolve("GET", "/services/cas/jobs/1")
+        # sibling routes survive
+        router.resolve("GET", "/services/cas")
+
+    def test_dispatch_passes_path_variables(self):
+        response = self._router().dispatch(
+            Request.from_target("GET", "/services/cas/jobs/j-9")
+        )
+        assert response.json_body["params"] == {"name": "cas", "job_id": "j-9"}
+
+    def test_len_counts_routes(self):
+        assert len(self._router()) == 4

@@ -1,0 +1,33 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are documentation that executes; a broken example is a doc bug.
+Each runs in its own interpreter exactly as a user would invoke it.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+CASES = [
+    ("quickstart.py", [], b"9592"),  # pi(100000)
+    ("matrix_inversion.py", ["12"], b"exactness check"),
+    ("optimization_dw.py", [], b"agreement with monolithic optimum"),
+    ("workflow_composition.py", [], b"edited: "),
+    ("catalogue_demo.py", [], b"alice"),
+    ("xray_fitting.py", [], b"conclusion"),
+]
+
+
+@pytest.mark.parametrize(("script", "args", "marker"), CASES, ids=[c[0] for c in CASES])
+def test_example_runs(script, args, marker):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script), *args],
+        capture_output=True,
+        timeout=600,
+    )
+    assert completed.returncode == 0, completed.stderr.decode()[-2000:]
+    assert marker in completed.stdout, completed.stdout.decode()[-2000:]

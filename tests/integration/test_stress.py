@@ -1,0 +1,235 @@
+"""Concurrency and scale stress tests across the platform."""
+
+import threading
+import time
+
+import pytest
+
+from repro.catalogue import Catalogue
+from repro.client import ServiceProxy
+from repro.container import ServiceContainer
+from repro.http.registry import TransportRegistry
+
+
+@pytest.fixture()
+def registry():
+    return TransportRegistry()
+
+
+class TestContainerUnderLoad:
+    def test_hundred_concurrent_jobs_all_correct(self, registry):
+        container = ServiceContainer("stress", handlers=8, registry=registry)
+        try:
+            container.deploy(
+                {
+                    "description": {
+                        "name": "square",
+                        "inputs": {"n": {"schema": {"type": "integer"}}},
+                        "outputs": {"sq": {"schema": {"type": "integer"}}},
+                    },
+                    "adapter": "python",
+                    "config": {"callable": lambda n: {"sq": n * n}},
+                }
+            )
+            proxy = ServiceProxy(container.service_uri("square"), registry)
+            results = {}
+            errors = []
+
+            def worker(start, count):
+                try:
+                    handles = [(i, proxy.submit(n=i)) for i in range(start, start + count)]
+                    for i, handle in handles:
+                        results[i] = handle.result(timeout=60, poll=0.005)["sq"]
+                except Exception as exc:  # noqa: BLE001
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=worker, args=(k * 25, 25)) for k in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120)
+            assert not errors
+            assert results == {i: i * i for i in range(100)}
+        finally:
+            container.shutdown()
+
+    def test_mixed_sync_async_and_cancel_storm(self, registry):
+        container = ServiceContainer("storm", handlers=4, registry=registry)
+        try:
+            def slow(context, t):
+                deadline = time.time() + t
+                while time.time() < deadline:
+                    if context.cancelled:
+                        return {"done": False}
+                    time.sleep(0.005)
+                return {"done": True}
+
+            container.deploy(
+                {
+                    "description": {
+                        "name": "slow",
+                        "inputs": {"t": {"schema": {"type": "number"}}},
+                        "outputs": {"done": {"schema": {"type": "boolean"}}},
+                    },
+                    "adapter": "python",
+                    "config": {"callable": slow},
+                }
+            )
+            proxy = ServiceProxy(container.service_uri("slow"), registry)
+            finished = [proxy.submit(t=0.05) for _ in range(10)]
+            doomed = [proxy.submit(t=30) for _ in range(10)]
+            for handle in doomed:
+                handle.cancel()
+            for handle in finished:
+                assert handle.result(timeout=60)["done"] is True
+            # cancelled jobs are gone (404) and the pool is not wedged
+            quick = proxy.submit(t=0.01)
+            assert quick.result(timeout=60)["done"] is True
+        finally:
+            container.shutdown()
+
+
+class TestWorkflowScale:
+    def test_fifty_block_chain(self, registry):
+        from repro.workflow.engine import WorkflowEngine
+        from repro.workflow.model import InputBlock, OutputBlock, ScriptBlock, Workflow
+
+        workflow = Workflow("long-chain")
+        workflow.add(InputBlock("n"))
+        previous = "n.value"
+        for index in range(50):
+            block = ScriptBlock(f"s{index}", code="y = x + 1", input_names=["x"], output_names=["y"])
+            workflow.add(block)
+            workflow.connect(previous, f"s{index}.x")
+            previous = f"s{index}.y"
+        workflow.add(OutputBlock("out"))
+        workflow.connect(previous, "out.value")
+        outputs = WorkflowEngine(registry).execute(workflow, {"n": 0})
+        assert outputs == {"out": 50}
+
+    def test_wide_fanout_against_live_services(self, registry):
+        from repro.workflow.engine import WorkflowEngine
+        from repro.workflow.model import (
+            InputBlock,
+            OutputBlock,
+            ScriptBlock,
+            ServiceBlock,
+            Workflow,
+        )
+
+        container = ServiceContainer("fan", handlers=8, registry=registry)
+        try:
+            container.deploy(
+                {
+                    "description": {
+                        "name": "inc",
+                        "inputs": {"x": {"schema": {"type": "number"}}},
+                        "outputs": {"y": {"schema": {"type": "number"}}},
+                    },
+                    "adapter": "python",
+                    "config": {"callable": lambda x: {"y": x + 1}},
+                }
+            )
+            width = 30
+            workflow = Workflow("wide")
+            workflow.add(InputBlock("n"))
+            names = []
+            for index in range(width):
+                block = ServiceBlock(f"p{index}", uri=container.service_uri("inc"))
+                block.introspect(registry)
+                workflow.add(block)
+                workflow.connect("n.value", f"p{index}.x")
+                names.append(f"v{index}")
+            gather = ScriptBlock(
+                "gather",
+                code="total = " + " + ".join(names),
+                input_names=names,
+                output_names=["total"],
+            )
+            workflow.add(gather)
+            for index in range(width):
+                workflow.connect(f"p{index}.y", f"gather.v{index}")
+            workflow.add(OutputBlock("out"))
+            workflow.connect("gather.total", "out.value")
+            outputs = WorkflowEngine(registry, max_parallel=16).execute(workflow, {"n": 1})
+            assert outputs == {"out": width * 2}
+        finally:
+            container.shutdown()
+
+
+class TestCatalogueThreadSafety:
+    def test_concurrent_publish_search_unpublish(self, registry):
+        container = ServiceContainer("cat-stress", handlers=2, registry=registry)
+        try:
+            for index in range(30):
+                container.deploy(
+                    {
+                        "description": {
+                            "name": f"svc-{index}",
+                            "title": f"Service number {index}",
+                            "description": "matrix solver curves exact " * 2,
+                            "inputs": {},
+                            "outputs": {},
+                        },
+                        "adapter": "python",
+                        "config": {"callable": lambda: {}},
+                    }
+                )
+            catalogue = Catalogue(registry)
+            errors = []
+            stop = threading.Event()
+
+            def publisher():
+                try:
+                    for index in range(30):
+                        catalogue.publish(container.service_uri(f"svc-{index}"), tags=["x"])
+                except Exception as exc:  # noqa: BLE001
+                    errors.append(exc)
+
+            def searcher():
+                try:
+                    while not stop.is_set():
+                        catalogue.search("matrix solver")
+                except Exception as exc:  # noqa: BLE001
+                    errors.append(exc)
+
+            search_threads = [threading.Thread(target=searcher) for _ in range(3)]
+            for thread in search_threads:
+                thread.start()
+            publish_thread = threading.Thread(target=publisher)
+            publish_thread.start()
+            publish_thread.join(timeout=60)
+            stop.set()
+            for thread in search_threads:
+                thread.join(timeout=10)
+            assert not errors
+            assert len(catalogue.entries()) == 30
+        finally:
+            container.shutdown()
+
+
+class TestHttpServerConcurrency:
+    def test_parallel_clients_over_tcp(self, registry):
+        from concurrent.futures import ThreadPoolExecutor
+
+        container = ServiceContainer("tcp-stress", handlers=8, registry=registry)
+        try:
+            container.deploy(
+                {
+                    "description": {
+                        "name": "echo",
+                        "inputs": {"v": {"schema": True}},
+                        "outputs": {"v": {"schema": True}},
+                    },
+                    "adapter": "python",
+                    "config": {"callable": lambda v: {"v": v}},
+                    "mode": "sync",
+                }
+            )
+            server = container.serve()
+            proxy = ServiceProxy(f"{server.base_url}/services/echo", registry)
+            with ThreadPoolExecutor(max_workers=16) as pool:
+                values = list(pool.map(lambda i: proxy(v=i, timeout=60)["v"], range(64)))
+            assert values == list(range(64))
+        finally:
+            container.shutdown()

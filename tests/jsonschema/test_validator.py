@@ -1,0 +1,287 @@
+"""Unit tests for the JSON Schema validator."""
+
+import pytest
+
+from repro.jsonschema import SchemaError, ValidationError, check_schema, is_valid, validate
+
+
+class TestTypes:
+    @pytest.mark.parametrize(
+        ("value", "type_name"),
+        [
+            (None, "null"),
+            (True, "boolean"),
+            (3, "integer"),
+            (3.0, "integer"),  # draft: a float with zero fraction is an integer
+            (3.5, "number"),
+            (7, "number"),
+            ("x", "string"),
+            ([1], "array"),
+            ({"a": 1}, "object"),
+        ],
+    )
+    def test_accepts_matching_type(self, value, type_name):
+        validate(value, {"type": type_name})
+
+    @pytest.mark.parametrize(
+        ("value", "type_name"),
+        [
+            (True, "integer"),
+            (True, "number"),
+            (1, "boolean"),
+            ("3", "number"),
+            (3.5, "integer"),
+            (None, "object"),
+            ([1], "object"),
+        ],
+    )
+    def test_rejects_mismatched_type(self, value, type_name):
+        with pytest.raises(ValidationError):
+            validate(value, {"type": type_name})
+
+    def test_type_union(self):
+        schema = {"type": ["string", "null"]}
+        validate("x", schema)
+        validate(None, schema)
+        with pytest.raises(ValidationError, match="expected string or null"):
+            validate(1, schema)
+
+    def test_error_mentions_actual_type(self):
+        with pytest.raises(ValidationError, match="got string"):
+            validate("s", {"type": "integer"})
+
+
+class TestEnumConst:
+    def test_enum(self):
+        schema = {"enum": ["WAITING", "RUNNING", "DONE"]}
+        validate("DONE", schema)
+        with pytest.raises(ValidationError, match="not in enum"):
+            validate("PAUSED", schema)
+
+    def test_enum_distinguishes_bool_from_int(self):
+        assert not is_valid(True, {"enum": [1]})
+        assert is_valid(1, {"enum": [1.0]})
+
+    def test_const(self):
+        validate({"a": [1, 2]}, {"const": {"a": [1, 2]}})
+        with pytest.raises(ValidationError):
+            validate({"a": [2, 1]}, {"const": {"a": [1, 2]}})
+
+
+class TestNumbers:
+    def test_minimum_maximum_inclusive(self):
+        schema = {"minimum": 0, "maximum": 10}
+        validate(0, schema)
+        validate(10, schema)
+        assert not is_valid(-1, schema)
+        assert not is_valid(11, schema)
+
+    def test_exclusive_numeric_form(self):
+        schema = {"exclusiveMinimum": 0, "exclusiveMaximum": 1}
+        validate(0.5, schema)
+        assert not is_valid(0, schema)
+        assert not is_valid(1, schema)
+
+    def test_exclusive_boolean_draft4_form(self):
+        schema = {"minimum": 0, "exclusiveMinimum": True}
+        assert not is_valid(0, schema)
+        validate(0.001, schema)
+        relaxed = {"minimum": 0, "exclusiveMinimum": False}
+        validate(0, relaxed)
+
+    def test_multiple_of(self):
+        validate(15, {"multipleOf": 5})
+        validate(0.3, {"multipleOf": 0.1})  # float-tolerant
+        assert not is_valid(7, {"multipleOf": 5})
+
+    def test_bounds_ignore_strings(self):
+        validate("zz", {"minimum": 5})
+
+
+class TestStrings:
+    def test_length_bounds(self):
+        schema = {"minLength": 2, "maxLength": 4}
+        validate("ab", schema)
+        validate("abcd", schema)
+        assert not is_valid("a", schema)
+        assert not is_valid("abcde", schema)
+
+    def test_pattern_searches(self):
+        validate("job-123", {"pattern": r"\d+"})
+        assert not is_valid("job-abc", {"pattern": r"\d+"})
+
+
+class TestObjects:
+    SCHEMA = {
+        "type": "object",
+        "properties": {
+            "n": {"type": "integer", "minimum": 1},
+            "label": {"type": "string"},
+        },
+        "required": ["n"],
+        "additionalProperties": False,
+    }
+
+    def test_valid_object(self):
+        validate({"n": 3, "label": "x"}, self.SCHEMA)
+
+    def test_missing_required(self):
+        with pytest.raises(ValidationError, match="missing required property 'n'"):
+            validate({"label": "x"}, self.SCHEMA)
+
+    def test_additional_forbidden(self):
+        with pytest.raises(ValidationError, match="unexpected property"):
+            validate({"n": 1, "extra": 0}, self.SCHEMA)
+
+    def test_additional_schema(self):
+        schema = {"properties": {"a": {"type": "integer"}}, "additionalProperties": {"type": "string"}}
+        validate({"a": 1, "b": "ok"}, schema)
+        assert not is_valid({"a": 1, "b": 2}, schema)
+
+    def test_pattern_properties(self):
+        schema = {"patternProperties": {r"^x_": {"type": "number"}}, "additionalProperties": False}
+        validate({"x_speed": 1.5}, schema)
+        assert not is_valid({"y_speed": 1.5}, schema)
+
+    def test_property_count_bounds(self):
+        assert not is_valid({}, {"minProperties": 1})
+        assert not is_valid({"a": 1, "b": 2}, {"maxProperties": 1})
+
+    def test_nested_error_path(self):
+        schema = {"properties": {"matrix": {"items": {"items": {"type": "number"}}}}}
+        with pytest.raises(ValidationError) as info:
+            validate({"matrix": [[1, 2], [3, "x"]]}, schema)
+        assert info.value.path == "$.matrix[1][1]"
+
+
+class TestArrays:
+    def test_homogeneous_items(self):
+        validate([1, 2, 3], {"items": {"type": "integer"}})
+        assert not is_valid([1, "2"], {"items": {"type": "integer"}})
+
+    def test_tuple_items_with_additional_false(self):
+        schema = {"items": [{"type": "string"}, {"type": "integer"}], "additionalItems": False}
+        validate(["a", 1], schema)
+        assert not is_valid(["a", 1, 2], schema)
+        assert not is_valid([1, 1], schema)
+
+    def test_tuple_additional_schema(self):
+        schema = {"items": [{"type": "string"}], "additionalItems": {"type": "integer"}}
+        validate(["a", 1, 2], schema)
+        assert not is_valid(["a", 1, "b"], schema)
+
+    def test_item_count_bounds(self):
+        assert not is_valid([], {"minItems": 1})
+        assert not is_valid([1, 2, 3], {"maxItems": 2})
+
+    def test_unique_items(self):
+        validate([1, 2, 3], {"uniqueItems": True})
+        assert not is_valid([1, 2, 1], {"uniqueItems": True})
+        assert not is_valid([{"a": 1}, {"a": 1}], {"uniqueItems": True})
+        validate([1, True], {"uniqueItems": True})  # 1 and True differ in JSON
+
+
+class TestCombinators:
+    def test_all_of(self):
+        schema = {"allOf": [{"type": "integer"}, {"minimum": 0}]}
+        validate(1, schema)
+        assert not is_valid(-1, schema)
+        assert not is_valid(0.5, schema)
+
+    def test_any_of(self):
+        schema = {"anyOf": [{"type": "string"}, {"type": "integer", "minimum": 10}]}
+        validate("x", schema)
+        validate(12, schema)
+        assert not is_valid(5, schema)
+
+    def test_any_of_error_aggregates_reasons(self):
+        schema = {"anyOf": [{"type": "string"}, {"type": "integer"}]}
+        with pytest.raises(ValidationError, match="matches none of anyOf"):
+            validate(1.5, schema)
+
+    def test_one_of_exactly_one(self):
+        schema = {"oneOf": [{"type": "integer"}, {"minimum": 5}]}
+        validate(1, schema)  # integer only
+        validate(7.5, schema)  # minimum only
+        assert not is_valid(7, schema)  # both match
+        assert not is_valid(1.5, schema)  # neither
+
+    def test_not(self):
+        validate("x", {"not": {"type": "integer"}})
+        assert not is_valid(3, {"not": {"type": "integer"}})
+
+
+class TestRefs:
+    SCHEMA = {
+        "definitions": {
+            "fraction": {"type": "string", "pattern": r"^-?\d+(/\d+)?$"},
+            "row": {"type": "array", "items": {"$ref": "#/definitions/fraction"}},
+        },
+        "type": "array",
+        "items": {"$ref": "#/definitions/row"},
+    }
+
+    def test_nested_refs(self):
+        validate([["1/2", "-3"], ["4/5", "0"]], self.SCHEMA)
+
+    def test_ref_violation_reported_at_instance_path(self):
+        with pytest.raises(ValidationError) as info:
+            validate([["1/2"], ["nope"]], self.SCHEMA)
+        assert info.value.path == "$[1][0]"
+
+    def test_ref_to_whole_document(self):
+        schema = {
+            "properties": {"next": {"$ref": "#"}},
+            "required": [],
+            "type": "object",
+        }
+        validate({"next": {"next": {}}}, schema)
+        assert not is_valid({"next": 3}, schema)
+
+    def test_unresolvable_ref_is_schema_error(self):
+        with pytest.raises(SchemaError, match="unresolvable"):
+            validate(1, {"$ref": "#/definitions/ghost"})
+
+    def test_remote_ref_rejected(self):
+        with pytest.raises(SchemaError, match="only local"):
+            validate(1, {"$ref": "http://elsewhere/schema"})
+
+
+class TestBooleanSchemas:
+    def test_true_accepts_anything(self):
+        validate({"anything": [1, None]}, True)
+
+    def test_false_rejects_everything(self):
+        with pytest.raises(ValidationError, match="forbids"):
+            validate(None, False)
+
+
+class TestCheckSchema:
+    def test_accepts_typical_service_schema(self):
+        check_schema(
+            {
+                "type": "object",
+                "properties": {"n": {"type": "integer"}},
+                "required": ["n"],
+            }
+        )
+
+    @pytest.mark.parametrize(
+        "schema",
+        [
+            {"type": "unicorn"},
+            {"properties": ["not", "a", "dict"]},
+            {"anyOf": []},
+            {"required": "n"},
+            {"pattern": "("},
+            {"additionalProperties": 3},
+            "just a string",
+        ],
+    )
+    def test_rejects_malformed_schemas(self, schema):
+        with pytest.raises(SchemaError):
+            check_schema(schema)
+
+    def test_non_dict_schema_in_validate_is_schema_error(self):
+        with pytest.raises(SchemaError):
+            validate(1, "nope")

@@ -1,0 +1,141 @@
+"""Property-based tests for the exact-arithmetic CAS kernel."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.cas.kernel import CasError, RationalMatrix
+from repro.apps.matrix import block_invert_local
+
+fractions = st.builds(
+    Fraction,
+    st.integers(min_value=-50, max_value=50),
+    st.integers(min_value=1, max_value=20),
+)
+
+
+def square_matrices(max_size=5):
+    return st.integers(min_value=1, max_value=max_size).flatmap(
+        lambda n: st.lists(
+            st.lists(fractions, min_size=n, max_size=n), min_size=n, max_size=n
+        ).map(RationalMatrix)
+    )
+
+
+def invertible_matrices(max_size=5):
+    """Square matrices nudged to be nonsingular: A + (1+|max|)·n·I."""
+
+    def nudge(matrix):
+        n = matrix.n_rows
+        biggest = max(abs(v) for row in matrix.rows for v in row)
+        shift = (biggest + 1) * n
+        return matrix + RationalMatrix.identity(n).scale(shift)
+
+    return square_matrices(max_size).map(nudge)
+
+
+class TestRingLaws:
+    @given(square_matrices(), square_matrices())
+    @settings(max_examples=40)
+    def test_addition_commutes_when_shapes_match(self, a, b):
+        if a.shape != b.shape:
+            with pytest.raises(CasError):
+                a + b
+            return
+        assert a + b == b + a
+
+    @given(square_matrices())
+    def test_additive_inverse(self, a):
+        assert a + (-a) == RationalMatrix.zeros(a.n_rows, a.n_cols)
+
+    @given(square_matrices())
+    def test_identity_is_multiplicative_neutral(self, a):
+        eye = RationalMatrix.identity(a.n_rows)
+        assert a @ eye == a
+        assert eye @ a == a
+
+    @given(square_matrices(3), square_matrices(3), square_matrices(3))
+    @settings(max_examples=30)
+    def test_multiplication_associates(self, a, b, c):
+        if not (a.shape == b.shape == c.shape):
+            return
+        assert (a @ b) @ c == a @ (b @ c)
+
+    @given(square_matrices())
+    def test_double_transpose(self, a):
+        assert a.transpose().transpose() == a
+
+    @given(square_matrices(3), square_matrices(3))
+    @settings(max_examples=30)
+    def test_transpose_antidistributes_over_product(self, a, b):
+        if a.shape != b.shape:
+            return
+        assert (a @ b).transpose() == b.transpose() @ a.transpose()
+
+
+class TestInverseLaws:
+    @given(invertible_matrices())
+    @settings(max_examples=30, deadline=None)
+    def test_inverse_is_two_sided(self, a):
+        inverse = a.inverse()
+        eye = RationalMatrix.identity(a.n_rows)
+        assert a @ inverse == eye
+        assert inverse @ a == eye
+
+    @given(invertible_matrices())
+    @settings(max_examples=25, deadline=None)
+    def test_inverse_involution(self, a):
+        assert a.inverse().inverse() == a
+
+    @given(invertible_matrices(4))
+    @settings(max_examples=20, deadline=None)
+    def test_block_inversion_agrees_with_direct(self, a):
+        if a.n_rows < 2:
+            return
+        try:
+            blocked = block_invert_local(a)
+        except CasError:
+            # A11 singular for this split: the plain algorithm's known
+            # precondition, not an error of the kernel
+            return
+        assert blocked == a.inverse()
+
+    @given(invertible_matrices(3), invertible_matrices(3))
+    @settings(max_examples=20, deadline=None)
+    def test_product_inverse_reverses(self, a, b):
+        if a.shape != b.shape:
+            return
+        assert (a @ b).inverse() == b.inverse() @ a.inverse()
+
+
+class TestSerialization:
+    @given(square_matrices())
+    def test_json_round_trip(self, a):
+        assert RationalMatrix.from_json(a.to_json()) == a
+
+    @given(square_matrices())
+    def test_json_entries_are_strings(self, a):
+        document = a.to_json()
+        assert all(isinstance(v, str) for row in document["rows"] for v in row)
+
+    @given(square_matrices(4))
+    def test_split_assemble_round_trip(self, a):
+        if a.n_rows < 2:
+            return
+        assert RationalMatrix.assemble_2x2(*a.split_2x2()) == a
+
+
+class TestHilbert:
+    @given(st.integers(min_value=1, max_value=12))
+    def test_hilbert_symmetric(self, n):
+        h = RationalMatrix.hilbert(n)
+        assert h.transpose() == h
+
+    @given(st.integers(min_value=2, max_value=10))
+    @settings(deadline=None)
+    def test_hilbert_inverse_is_integral(self, n):
+        """A classical fact: the Hilbert matrix inverse has integer entries."""
+        inverse = RationalMatrix.hilbert(n).inverse()
+        assert all(v.denominator == 1 for row in inverse.rows for v in row)

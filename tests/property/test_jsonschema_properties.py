@@ -1,0 +1,134 @@
+"""Property-based tests for the JSON Schema validator."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.jsonschema import is_valid, validate
+
+json_values = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(10**9), max_value=10**9)
+    | st.floats(allow_nan=False, allow_infinity=False, width=32)
+    | st.text(max_size=20),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=8), children, max_size=4),
+    max_leaves=12,
+)
+
+TYPE_NAMES = ["null", "boolean", "integer", "number", "string", "array", "object"]
+
+
+def python_type_name(value):
+    if value is None:
+        return "null"
+    if isinstance(value, bool):
+        return "boolean"
+    if isinstance(value, int):
+        return "integer"
+    if isinstance(value, float):
+        return "integer" if value.is_integer() else "number"
+    if isinstance(value, str):
+        return "string"
+    if isinstance(value, list):
+        return "array"
+    return "object"
+
+
+class TestUniversalSchemas:
+    @given(json_values)
+    def test_true_schema_accepts_everything(self, value):
+        assert is_valid(value, True)
+
+    @given(json_values)
+    def test_empty_schema_accepts_everything(self, value):
+        assert is_valid(value, {})
+
+    @given(json_values)
+    def test_false_schema_rejects_everything(self, value):
+        assert not is_valid(value, False)
+
+
+class TestTypeSoundness:
+    @given(json_values)
+    def test_own_type_always_validates(self, value):
+        name = python_type_name(value)
+        schemas = [name, ["number"] if name == "integer" else name]
+        validate(value, {"type": schemas[0]})
+        if name == "integer":
+            validate(value, {"type": "number"})
+
+    @given(json_values, st.sampled_from(TYPE_NAMES))
+    def test_type_check_is_consistent_with_name(self, value, type_name):
+        own = python_type_name(value)
+        accepted = is_valid(value, {"type": type_name})
+        if type_name == own:
+            assert accepted
+        elif type_name == "number" and own == "integer":
+            assert accepted
+        elif type_name == "integer" and own == "number":
+            assert not accepted
+        else:
+            assert accepted == (own == type_name)
+
+
+class TestLogicalLaws:
+    @given(json_values)
+    def test_const_of_itself_validates(self, value):
+        assert is_valid(value, {"const": value})
+
+    @given(json_values)
+    def test_enum_containing_value_validates(self, value):
+        assert is_valid(value, {"enum": ["decoy", value]})
+
+    @given(json_values)
+    def test_not_inverts(self, value):
+        schema = {"type": "string"}
+        assert is_valid(value, schema) != is_valid(value, {"not": schema})
+
+    @given(json_values)
+    def test_anyof_with_true_branch_accepts(self, value):
+        assert is_valid(value, {"anyOf": [{"type": "string"}, True]})
+
+    @given(json_values)
+    def test_allof_true_true_accepts(self, value):
+        assert is_valid(value, {"allOf": [True, {}]})
+
+    @given(json_values, st.sampled_from(TYPE_NAMES))
+    @settings(max_examples=60)
+    def test_allof_implies_each_branch(self, value, type_name):
+        both = {"allOf": [{"type": type_name}, {"const": value}]}
+        if is_valid(value, both):
+            assert is_valid(value, {"type": type_name})
+
+
+class TestArraysAndObjects:
+    @given(st.lists(st.integers(), max_size=8))
+    def test_items_accepts_integer_lists(self, values):
+        assert is_valid(values, {"type": "array", "items": {"type": "integer"}})
+
+    @given(st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=8))
+    def test_unique_items_matches_set_semantics(self, values):
+        assert is_valid(values, {"uniqueItems": True}) == (len(set(values)) == len(values))
+
+    @given(st.dictionaries(st.text(min_size=1, max_size=6), st.integers(), max_size=6))
+    def test_required_subset_of_keys_validates(self, mapping):
+        required = sorted(mapping)[: len(mapping) // 2]
+        assert is_valid(mapping, {"type": "object", "required": required})
+
+    @given(st.dictionaries(st.text(min_size=1, max_size=6), st.integers(), max_size=6))
+    def test_min_max_properties_bracket(self, mapping):
+        count = len(mapping)
+        assert is_valid(mapping, {"minProperties": count, "maxProperties": count})
+        assert not is_valid(mapping, {"minProperties": count + 1})
+
+
+class TestNumericBounds:
+    @given(st.integers(min_value=-1000, max_value=1000), st.integers(min_value=0, max_value=100))
+    def test_value_within_its_own_bounds(self, value, slack):
+        assert is_valid(value, {"minimum": value - slack, "maximum": value + slack})
+
+    @given(st.integers(min_value=-1000, max_value=1000))
+    def test_exclusive_bounds_exclude_the_value(self, value):
+        assert not is_valid(value, {"exclusiveMinimum": value})
+        assert not is_valid(value, {"exclusiveMaximum": value})

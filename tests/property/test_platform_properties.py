@@ -1,0 +1,202 @@
+"""Property-based tests for platform invariants: router, byte ranges,
+inverted index, JDL round-trips, workflow ordering, LP solver agreement."""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.catalogue.index import InvertedIndex, tokenize
+from repro.grid.jdl import evaluate, parse_expression
+from repro.grid.jdl.ast import Binary, Literal, Unary
+from repro.http.messages import HttpError, Request
+from repro.http.router import compile_template
+
+identifiers = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=8
+)
+
+
+class TestRouter:
+    @given(st.lists(identifiers, min_size=1, max_size=4))
+    def test_static_template_matches_exactly_itself(self, segments):
+        path = "/" + "/".join(segments)
+        pattern = compile_template(path)
+        assert pattern.match(path)
+        assert pattern.match(path + "/extra") is None
+        assert pattern.match("/prefix" + path) is None
+
+    @given(st.lists(identifiers, min_size=2, max_size=4), st.data())
+    def test_variable_extracts_segment(self, segments, data):
+        position = data.draw(st.integers(min_value=0, max_value=len(segments) - 1))
+        template_parts = list(segments)
+        template_parts[position] = "{var}"
+        template = "/" + "/".join(template_parts)
+        pattern = compile_template(template)
+        match = pattern.match("/" + "/".join(segments))
+        assert match is not None
+        assert match.group("var") == segments[position]
+
+
+class TestByteRanges:
+    @given(
+        st.integers(min_value=1, max_value=10_000),
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_satisfiable_ranges_are_well_formed(self, size, start, end):
+        request = Request.from_target(
+            "GET", "/f", headers={"Range": f"bytes={start}-{end}"}
+        )
+        try:
+            span = request.byte_range(size)
+        except HttpError as error:
+            assert error.status == 416
+            assert start >= size or end < start
+            return
+        got_start, got_end = span
+        assert 0 <= got_start <= got_end < size
+        assert got_start == start
+
+    @given(st.integers(min_value=1, max_value=10_000), st.integers(min_value=1, max_value=20_000))
+    def test_suffix_range_returns_tail(self, size, suffix):
+        request = Request.from_target("GET", "/f", headers={"Range": f"bytes=-{suffix}"})
+        start, end = request.byte_range(size)
+        assert end == size - 1
+        assert start == max(0, size - suffix)
+
+
+class TestInvertedIndex:
+    @given(st.dictionaries(identifiers, st.text(max_size=60), min_size=1, max_size=10))
+    def test_every_indexed_token_is_findable(self, corpus):
+        index = InvertedIndex()
+        for doc_id, text in corpus.items():
+            index.add(doc_id, text)
+        for doc_id, text in corpus.items():
+            for token in tokenize(text):
+                hits = [d for d, _ in index.search(token)]
+                assert doc_id in hits
+
+    @given(st.dictionaries(identifiers, st.text(max_size=60), min_size=2, max_size=10))
+    def test_removed_documents_never_returned(self, corpus):
+        index = InvertedIndex()
+        for doc_id, text in corpus.items():
+            index.add(doc_id, text)
+        victim = sorted(corpus)[0]
+        index.remove(victim)
+        for text in corpus.values():
+            for token in tokenize(text):
+                assert victim not in [d for d, _ in index.search(token)]
+
+    @given(st.text(max_size=60))
+    def test_scores_sorted_descending(self, query):
+        index = InvertedIndex()
+        index.add("a", "solver matrix exact solver")
+        index.add("b", "matrix curves")
+        index.add("c", "exact matrix solver")
+        scores = [score for _, score in index.search(query)]
+        assert scores == sorted(scores, reverse=True)
+
+
+def jdl_expressions():
+    literals = st.one_of(
+        st.integers(min_value=-100, max_value=100).map(Literal),
+        st.booleans().map(Literal),
+        st.text(alphabet="abc XYZ_", max_size=8).map(Literal),
+    )
+    return st.recursive(
+        literals,
+        lambda children: st.one_of(
+            st.tuples(children, children).map(lambda lr: Binary("+", *lr)),
+            st.tuples(children, children).map(lambda lr: Binary("==", *lr)),
+            st.tuples(children, children).map(lambda lr: Binary("&&", *lr)),
+            children.map(lambda c: Unary("!", c)),
+            children.map(lambda c: Unary("-", c)),
+        ),
+        max_leaves=8,
+    )
+
+
+class TestJdl:
+    @given(jdl_expressions())
+    @settings(max_examples=80)
+    def test_unparse_parse_round_trip_preserves_semantics(self, expr):
+        from repro.grid.jdl.errors import JdlEvalError
+
+        text = expr.unparse()
+        reparsed = parse_expression(text)
+        try:
+            original_value = evaluate(expr)
+        except JdlEvalError:
+            original_value = JdlEvalError
+        try:
+            reparsed_value = evaluate(reparsed)
+        except JdlEvalError:
+            reparsed_value = JdlEvalError
+        assert original_value == reparsed_value
+
+
+class TestWorkflowOrdering:
+    @given(st.integers(min_value=2, max_value=12), st.data())
+    def test_topological_order_respects_random_dags(self, n_blocks, data):
+        from repro.workflow.model import ScriptBlock, Workflow
+
+        workflow = Workflow("random")
+        for index in range(n_blocks):
+            workflow.add(
+                ScriptBlock(
+                    f"b{index}",
+                    code="y = 1",
+                    input_names=[f"x{j}" for j in range(index)],
+                    output_names=["y"],
+                )
+            )
+        # random forward edges only (guaranteed acyclic)
+        edges = []
+        for target in range(1, n_blocks):
+            n_sources = data.draw(st.integers(min_value=0, max_value=min(target, 3)))
+            sources = data.draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=target - 1),
+                    min_size=n_sources,
+                    max_size=n_sources,
+                    unique=True,
+                )
+            )
+            for port, source in enumerate(sources):
+                workflow.connect(f"b{source}.y", f"b{target}.x{port}")
+                edges.append((source, target))
+        order = workflow.topological_order()
+        position = {block_id: index for index, block_id in enumerate(order)}
+        for source, target in edges:
+            assert position[f"b{source}"] < position[f"b{target}"]
+
+
+class TestSolverAgreement:
+    @given(st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_simplex_and_scipy_agree(self, data):
+        from repro.apps.optimization.lp import Constraint, LinearProgram
+        from repro.apps.optimization.solvers import solve_with_scipy, solve_with_simplex
+
+        n_vars = data.draw(st.integers(min_value=1, max_value=4))
+        n_cons = data.draw(st.integers(min_value=1, max_value=4))
+        variables = [f"v{i}" for i in range(n_vars)]
+        coefs = st.integers(min_value=-4, max_value=4)
+        lp = LinearProgram(
+            sense=data.draw(st.sampled_from(["min", "max"])),
+            objective={v: data.draw(coefs) for v in variables},
+            constraints=[
+                Constraint(
+                    f"c{j}",
+                    {v: data.draw(coefs) for v in variables},
+                    data.draw(st.sampled_from(["<=", ">=", "="])),
+                    data.draw(st.integers(min_value=-5, max_value=10)),
+                )
+                for j in range(n_cons)
+            ],
+            bounds={v: (0, data.draw(st.integers(min_value=1, max_value=12))) for v in variables},
+        )
+        ours = solve_with_simplex(lp)
+        theirs = solve_with_scipy(lp)
+        assert ours.status == theirs.status
+        if ours.status == "optimal":
+            assert abs(ours.objective - theirs.objective) < 1e-6

@@ -1,0 +1,256 @@
+"""Tests for the security mechanism: PKI, OpenID, authorization, middleware."""
+
+import time
+
+import pytest
+
+from repro.http.app import RestApp
+from repro.http.messages import Request, Response
+from repro.security import (
+    AccessPolicy,
+    AuthenticationError,
+    AuthorizationError,
+    Certificate,
+    CertificateAuthority,
+    IdentityBroker,
+    Identity,
+    OpenIdProvider,
+    SecurityMiddleware,
+    client_headers,
+)
+
+
+@pytest.fixture()
+def ca():
+    return CertificateAuthority("CN=Test CA")
+
+
+class TestPki:
+    def test_issue_and_verify(self, ca):
+        certificate = ca.issue("CN=alice")
+        assert ca.verify(certificate) == "CN=alice"
+
+    def test_token_round_trip(self, ca):
+        certificate = ca.issue("CN=alice")
+        restored = Certificate.from_token(certificate.to_token())
+        assert ca.verify(restored) == "CN=alice"
+
+    def test_tampered_subject_rejected(self, ca):
+        certificate = ca.issue("CN=alice")
+        forged = Certificate(
+            subject_dn="CN=mallory",
+            issuer=certificate.issuer,
+            serial=certificate.serial,
+            not_before=certificate.not_before,
+            not_after=certificate.not_after,
+            signature=certificate.signature,
+        )
+        with pytest.raises(AuthenticationError, match="signature"):
+            ca.verify(forged)
+
+    def test_foreign_ca_rejected(self, ca):
+        other = CertificateAuthority("CN=Other CA")
+        certificate = other.issue("CN=alice")
+        with pytest.raises(AuthenticationError, match="not trusted"):
+            ca.verify(certificate)
+
+    def test_expired_certificate_rejected(self, ca):
+        certificate = ca.issue("CN=alice", valid_for=0.05)
+        time.sleep(0.1)
+        with pytest.raises(AuthenticationError, match="expired"):
+            ca.verify(certificate)
+
+    def test_revoked_certificate_rejected(self, ca):
+        certificate = ca.issue("CN=alice")
+        ca.revoke(certificate)
+        with pytest.raises(AuthenticationError, match="revoked"):
+            ca.verify(certificate)
+
+    def test_malformed_token_rejected(self):
+        with pytest.raises(AuthenticationError, match="malformed"):
+            Certificate.from_token("not-base64-json")
+
+    def test_empty_subject_rejected(self, ca):
+        with pytest.raises(ValueError):
+            ca.issue("")
+
+    def test_serials_unique(self, ca):
+        serials = {ca.issue("CN=a").serial for _ in range(20)}
+        assert len(serials) == 20
+
+
+class TestOpenId:
+    def test_assertion_round_trip(self):
+        provider = OpenIdProvider("google")
+        broker = IdentityBroker([provider])
+        identity = broker.verify(provider.issue_assertion("alice"))
+        assert identity.kind == "openid"
+        assert identity.id == "https://google.example/alice"
+
+    def test_unknown_provider_rejected(self):
+        provider = OpenIdProvider("google")
+        broker = IdentityBroker()  # google not registered
+        with pytest.raises(AuthenticationError, match="unknown identity provider"):
+            broker.verify(provider.issue_assertion("alice"))
+
+    def test_forged_assertion_rejected(self):
+        genuine = OpenIdProvider("google")
+        impostor = OpenIdProvider("google")  # same name, different secret
+        broker = IdentityBroker([genuine])
+        with pytest.raises(AuthenticationError, match="signature"):
+            broker.verify(impostor.issue_assertion("alice"))
+
+    def test_expired_assertion_rejected(self):
+        provider = OpenIdProvider("google")
+        broker = IdentityBroker([provider])
+        token = provider.issue_assertion("alice", valid_for=-1)
+        with pytest.raises(AuthenticationError, match="expired"):
+            broker.verify(token)
+
+    def test_duplicate_provider_rejected(self):
+        broker = IdentityBroker([OpenIdProvider("google")])
+        with pytest.raises(ValueError, match="already registered"):
+            broker.register(OpenIdProvider("google"))
+
+    def test_malformed_assertion(self):
+        with pytest.raises(AuthenticationError, match="malformed"):
+            IdentityBroker().verify("garbage")
+
+
+def cert_identity(name):
+    return Identity(id=name, kind="certificate")
+
+
+class TestAccessPolicy:
+    def test_default_allows_any_authenticated(self):
+        decision = AccessPolicy().decide(cert_identity("CN=anyone"))
+        assert decision.effective_id == "CN=anyone"
+        assert not decision.delegated
+
+    def test_allow_list_restricts(self):
+        policy = AccessPolicy(allow={"CN=alice"})
+        policy.decide(cert_identity("CN=alice"))
+        with pytest.raises(AuthorizationError, match="not in the allow list"):
+            policy.decide(cert_identity("CN=bob"))
+
+    def test_deny_wins_over_allow(self):
+        policy = AccessPolicy(allow={"CN=alice"}, deny={"CN=alice"})
+        with pytest.raises(AuthorizationError, match="denied"):
+            policy.decide(cert_identity("CN=alice"))
+
+    def test_anonymous_needs_explicit_opt_in(self):
+        from repro.security.identity import ANONYMOUS
+
+        with pytest.raises(AuthorizationError, match="anonymous"):
+            AccessPolicy().decide(ANONYMOUS)
+        decision = AccessPolicy.open().decide(ANONYMOUS)
+        assert decision.effective_id == ""
+
+    def test_delegation_requires_proxy_listing(self):
+        policy = AccessPolicy(allow={"CN=alice"}, proxies={"CN=wms-service"})
+        decision = policy.decide(cert_identity("CN=wms-service"), on_behalf_of="CN=alice")
+        assert decision.effective_id == "CN=alice"
+        assert decision.caller_id == "CN=wms-service"
+        assert decision.delegated
+
+    def test_unlisted_proxy_rejected(self):
+        policy = AccessPolicy(proxies={"CN=wms-service"})
+        with pytest.raises(AuthorizationError, match="proxy list"):
+            policy.decide(cert_identity("CN=rogue"), on_behalf_of="CN=alice")
+
+    def test_delegated_subject_still_checked_against_lists(self):
+        policy = AccessPolicy(allow={"CN=alice"}, proxies={"CN=wms"})
+        with pytest.raises(AuthorizationError, match="not in the allow list"):
+            policy.decide(cert_identity("CN=wms"), on_behalf_of="CN=eve")
+
+    def test_anonymous_cannot_delegate(self):
+        from repro.security.identity import ANONYMOUS
+
+        with pytest.raises(AuthorizationError, match="anonymous callers cannot"):
+            AccessPolicy.open().decide(ANONYMOUS, on_behalf_of="CN=alice")
+
+
+class TestMiddleware:
+    def build(self, ca, policy=None, broker=None):
+        app = RestApp("secured")
+
+        def whoami(request):
+            identity = request.context["identity"]
+            access = request.context.get("access")
+            return Response.json(
+                {
+                    "id": identity.id,
+                    "kind": identity.kind,
+                    "effective": access.effective_id if access else None,
+                }
+            )
+
+        app.route("GET", "/whoami", whoami)
+        app.add_middleware(
+            SecurityMiddleware(ca, identity_broker=broker, policy_resolver=lambda path: policy)
+        )
+        return app
+
+    def test_certificate_authentication(self, ca):
+        app = self.build(ca, policy=AccessPolicy())
+        headers = client_headers(certificate=ca.issue("CN=alice"))
+        response = app.handle(Request.from_target("GET", "/whoami", headers=headers))
+        assert response.json_body["id"] == "CN=alice"
+        assert response.json_body["kind"] == "certificate"
+
+    def test_openid_authentication(self, ca):
+        provider = OpenIdProvider("google")
+        app = self.build(ca, policy=AccessPolicy(), broker=IdentityBroker([provider]))
+        headers = client_headers(openid_assertion=provider.issue_assertion("bob"))
+        response = app.handle(Request.from_target("GET", "/whoami", headers=headers))
+        assert response.json_body["kind"] == "openid"
+
+    def test_anonymous_rejected_when_policy_requires_auth(self, ca):
+        app = self.build(ca, policy=AccessPolicy())
+        response = app.handle(Request.from_target("GET", "/whoami"))
+        assert response.status == 401
+
+    def test_anonymous_allowed_by_open_policy(self, ca):
+        app = self.build(ca, policy=AccessPolicy.open())
+        response = app.handle(Request.from_target("GET", "/whoami"))
+        assert response.status == 200
+        assert response.json_body["kind"] == "anonymous"
+
+    def test_no_policy_means_open_but_still_authenticates(self, ca):
+        app = self.build(ca, policy=None)
+        headers = client_headers(certificate=ca.issue("CN=alice"))
+        response = app.handle(Request.from_target("GET", "/whoami", headers=headers))
+        assert response.json_body["id"] == "CN=alice"
+        assert response.json_body["effective"] is None
+
+    def test_forged_certificate_is_401_not_anonymous(self, ca):
+        app = self.build(ca, policy=AccessPolicy.open())
+        other = CertificateAuthority("CN=Evil CA")
+        headers = client_headers(certificate=other.issue("CN=alice"))
+        response = app.handle(Request.from_target("GET", "/whoami", headers=headers))
+        assert response.status == 401
+
+    def test_denied_identity_is_403(self, ca):
+        app = self.build(ca, policy=AccessPolicy(deny={"CN=alice"}))
+        headers = client_headers(certificate=ca.issue("CN=alice"))
+        response = app.handle(Request.from_target("GET", "/whoami", headers=headers))
+        assert response.status == 403
+
+    def test_delegation_end_to_end(self, ca):
+        policy = AccessPolicy(allow={"CN=alice"}, proxies={"CN=wms"})
+        app = self.build(ca, policy=policy)
+        headers = client_headers(certificate=ca.issue("CN=wms"), on_behalf_of="CN=alice")
+        response = app.handle(Request.from_target("GET", "/whoami", headers=headers))
+        assert response.status == 200
+        assert response.json_body["effective"] == "CN=alice"
+        assert response.json_body["id"] == "CN=wms"
+
+    def test_certificate_preferred_over_openid(self, ca):
+        provider = OpenIdProvider("google")
+        app = self.build(ca, policy=AccessPolicy(), broker=IdentityBroker([provider]))
+        headers = client_headers(
+            certificate=ca.issue("CN=alice"),
+            openid_assertion=provider.issue_assertion("bob"),
+        )
+        response = app.handle(Request.from_target("GET", "/whoami", headers=headers))
+        assert response.json_body["id"] == "CN=alice"

@@ -1,0 +1,245 @@
+"""Edge-case coverage across modules: the small surfaces the main suites
+pass over."""
+
+import threading
+import time
+
+import pytest
+
+from repro.http.registry import TransportRegistry
+
+
+@pytest.fixture()
+def registry():
+    return TransportRegistry()
+
+
+class TestJobManagerDirect:
+    def test_run_job_executes_in_caller_thread(self):
+        from repro.container.jobmanager import JobManager
+        from repro.core.jobs import Job, JobState
+
+        manager = JobManager(handlers=1, name="direct")
+        try:
+            job = Job(service="s", inputs={})
+            caller = threading.current_thread().name
+            seen = {}
+
+            def execute():
+                seen["thread"] = threading.current_thread().name
+                return {"ok": True}
+
+            manager.run_job(job, execute)
+            assert job.state is JobState.DONE
+            assert seen["thread"] == caller
+        finally:
+            manager.shutdown()
+
+    def test_enqueue_after_shutdown_rejected(self):
+        from repro.container.jobmanager import JobManager
+        from repro.core.errors import ServiceError
+        from repro.core.jobs import Job
+
+        manager = JobManager(handlers=1)
+        manager.shutdown()
+        with pytest.raises(ServiceError, match="shut down"):
+            manager.enqueue(Job(service="s", inputs={}), lambda: {})
+
+    def test_adapter_crash_becomes_failed_job(self):
+        from repro.container.jobmanager import JobManager
+        from repro.core.jobs import Job, JobState
+
+        manager = JobManager(handlers=1)
+        try:
+            job = Job(service="s", inputs={})
+
+            def explode():
+                raise MemoryError("synthetic crash")
+
+            manager.enqueue(job, explode)
+            deadline = time.time() + 5
+            while not job.state.terminal and time.time() < deadline:
+                time.sleep(0.01)
+            assert job.state is JobState.FAILED
+            assert "internal adapter error" in job.error
+        finally:
+            manager.shutdown()
+
+    def test_invalid_pool_size(self):
+        from repro.container.jobmanager import JobManager
+
+        with pytest.raises(ValueError):
+            JobManager(handlers=0)
+
+
+class TestFileRefs:
+    def test_is_file_ref_shapes(self):
+        from repro.core.filerefs import is_file_ref
+
+        assert is_file_ref({"$file": "local://x"})
+        assert not is_file_ref({"$file": 3})
+        assert not is_file_ref({"file": "local://x"})
+        assert not is_file_ref("local://x")
+        assert not is_file_ref(None)
+
+    def test_file_uri_rejects_non_refs(self):
+        from repro.core.filerefs import file_uri
+
+        with pytest.raises(ValueError, match="not a file reference"):
+            file_uri({"name": "x"})
+
+    def test_make_file_ref_optional_fields(self):
+        from repro.core.filerefs import FILE_SCHEMA, make_file_ref
+        from repro.jsonschema import validate
+
+        minimal = make_file_ref("local://c/f")
+        assert minimal == {"$file": "local://c/f"}
+        full = make_file_ref("local://c/f", name="a.bin", size=10, content_type="application/x")
+        validate(full, FILE_SCHEMA)
+        validate(minimal, FILE_SCHEMA)
+
+
+class TestEngineLimits:
+    def test_max_parallel_one_still_completes_diamond(self, registry):
+        from repro.workflow.engine import WorkflowEngine
+        from repro.workflow.model import ConstBlock, OutputBlock, ScriptBlock, Workflow
+
+        workflow = Workflow("serial-engine")
+        workflow.add(ConstBlock("c", value=2))
+        for branch in ("a", "b"):
+            workflow.add(
+                ScriptBlock(branch, code="y = x * 3", input_names=["x"], output_names=["y"])
+            )
+            workflow.connect("c.value", f"{branch}.x")
+        workflow.add(
+            ScriptBlock("join", code="total = p + q", input_names=["p", "q"], output_names=["total"])
+        )
+        workflow.connect("a.y", "join.p")
+        workflow.connect("b.y", "join.q")
+        workflow.add(OutputBlock("out"))
+        workflow.connect("join.total", "out.value")
+        outputs = WorkflowEngine(registry, max_parallel=1).execute(workflow)
+        assert outputs == {"out": 12}
+
+    def test_engine_rejects_invalid_workflow_before_running(self, registry):
+        from repro.workflow.engine import WorkflowEngine
+        from repro.workflow.model import OutputBlock, Workflow, WorkflowError
+
+        workflow = Workflow("invalid")
+        workflow.add(OutputBlock("out"))
+        with pytest.raises(WorkflowError, match="not connected"):
+            WorkflowEngine(registry).execute(workflow)
+
+
+class TestBranchBoundLimits:
+    def test_max_nodes_zero_gives_infeasible_not_hang(self):
+        from repro.apps.optimization.lp import Constraint, LinearProgram
+        from repro.apps.optimization.solvers import solve_with_simplex
+        from repro.apps.optimization.solvers.branch_bound import solve_mip
+
+        lp = LinearProgram(
+            sense="max",
+            objective={"x": 1},
+            constraints=[Constraint("c", {"x": 2}, "<=", 3)],
+            integers={"x"},
+        )
+        result = solve_mip(lp, solve_with_simplex, max_nodes=0)
+        assert result.status == "infeasible"  # no incumbent found in budget
+
+    def test_bounds_merge_on_branching(self):
+        from repro.apps.optimization.solvers.branch_bound import _with_bound
+        from repro.apps.optimization.lp import LinearProgram
+
+        lp = LinearProgram(bounds={"x": (1.0, 10.0)})
+        narrowed = _with_bound(lp, "x", 3.0, 7.0)
+        assert narrowed.bounds["x"] == (3.0, 7.0)
+        widened = _with_bound(lp, "x", 0.0, 20.0)
+        assert widened.bounds["x"] == (1.0, 10.0)  # never widens
+
+
+class TestPaasQuota:
+    def test_invalid_quota_values(self):
+        from repro.core.errors import ConfigurationError
+        from repro.paas.platform import Quota
+
+        with pytest.raises(ConfigurationError):
+            Quota(max_services=0)
+        with pytest.raises(ConfigurationError):
+            Quota(handlers=0)
+
+
+class TestClusterAdapterCancel:
+    def test_cancel_propagates_to_batch_system(self, registry):
+        from repro.batch import Cluster, ComputeNode
+        from repro.client import ServiceProxy
+        from repro.container import ServiceContainer
+        import sys
+
+        container = ServiceContainer("cancel-c", handlers=2, registry=registry)
+        cluster = Cluster(nodes=[ComputeNode("n", slots=1)], name="cc")
+        try:
+            container.register_resource("cc", cluster)
+            container.deploy(
+                {
+                    "description": {"name": "sleepy", "inputs": {}, "outputs": {}},
+                    "adapter": "cluster",
+                    "config": {
+                        "cluster": "cc",
+                        "command": f"{sys.executable} -c \"import time; time.sleep(60)\"",
+                        "outputs": {},
+                    },
+                }
+            )
+            proxy = ServiceProxy(container.service_uri("sleepy"), registry)
+            handle = proxy.submit()
+            deadline = time.time() + 10
+            while not cluster.jobs() and time.time() < deadline:
+                time.sleep(0.02)
+            assert cluster.jobs(), "batch job never appeared"
+            handle.cancel()
+            batch_job = cluster.jobs()[0]
+            assert batch_job.wait(timeout=15)
+            assert batch_job.state.value in ("CANCELLED", "FAILED")
+        finally:
+            cluster.shutdown()
+            container.shutdown()
+
+
+class TestDescriptionCornerCases:
+    def test_input_with_false_schema_only_accepts_file_refs(self):
+        from repro.core.description import Parameter, ServiceDescription
+        from repro.core.errors import BadInputError
+
+        description = ServiceDescription(
+            "s", inputs=[Parameter("sealed", False, required=False)]
+        )
+        with pytest.raises(BadInputError):
+            description.validate_inputs({"sealed": 1})
+        description.validate_inputs({"sealed": {"$file": "local://c/f"}})
+
+    def test_default_not_revalidated(self):
+        # a default that violates its own schema is the author's choice;
+        # only supplied values are validated
+        from repro.core.description import Parameter, ServiceDescription
+
+        description = ServiceDescription(
+            "s",
+            inputs=[Parameter("n", {"type": "integer"}, required=False, default=5)],
+        )
+        assert description.validate_inputs({}) == {"n": 5}
+
+
+class TestRepresentationStability:
+    def test_top_level_lazy_exports(self):
+        import repro
+
+        assert repro.ServiceContainer.__name__ == "ServiceContainer"
+        assert repro.Workflow.__name__ == "Workflow"
+        assert repro.JobState.DONE.value == "DONE"
+        with pytest.raises(AttributeError):
+            repro.NotAThing
+
+    def test_version_exposed(self):
+        import repro
+
+        assert repro.__version__

@@ -1,0 +1,90 @@
+"""Shared fixtures for workflow tests: a container with arithmetic services."""
+
+import time
+
+import pytest
+
+from repro.container import ServiceContainer
+from repro.http.registry import TransportRegistry
+
+
+@pytest.fixture()
+def registry():
+    return TransportRegistry()
+
+
+@pytest.fixture()
+def container(registry):
+    """A container offering small arithmetic services to compose."""
+    instance = ServiceContainer("math", handlers=8, registry=registry)
+
+    def make_config(name, fn, inputs, outputs):
+        return {
+            "description": {
+                "name": name,
+                "inputs": {k: {"schema": v} for k, v in inputs.items()},
+                "outputs": {k: {"schema": v} for k, v in outputs.items()},
+            },
+            "adapter": "python",
+            "config": {"callable": fn},
+        }
+
+    number = {"type": "number"}
+    instance.deploy(make_config("add", lambda a, b: {"sum": a + b}, {"a": number, "b": number}, {"sum": number}))
+    instance.deploy(make_config("mul", lambda a, b: {"product": a * b}, {"a": number, "b": number}, {"product": number}))
+    instance.deploy(make_config("neg", lambda x: {"minus": -x}, {"x": number}, {"minus": number}))
+
+    def slow_identity(context, x, delay=0.3):
+        deadline = time.time() + delay
+        while time.time() < deadline:
+            if context.cancelled:
+                return {"x": x}
+            time.sleep(0.01)
+        return {"x": x}
+
+    instance.deploy(
+        {
+            "description": {
+                "name": "slow",
+                "inputs": {
+                    "x": {"schema": number},
+                    "delay": {"schema": number, "required": False, "default": 0.3},
+                },
+                "outputs": {"x": {"schema": number}},
+            },
+            "adapter": "python",
+            "config": {"callable": slow_identity},
+        }
+    )
+
+    def failing(x):
+        raise ValueError("numerical instability")
+
+    instance.deploy(make_config("broken", failing, {"x": number}, {"y": number}))
+    yield instance
+    instance.shutdown()
+
+
+def diamond_workflow(container):
+    """(n) -> add(n, 1) and mul(n, 2) in parallel -> add results -> out."""
+    from repro.workflow.model import ConstBlock, DataType, InputBlock, OutputBlock, ServiceBlock, Workflow
+    from repro.client import ServiceProxy
+
+    workflow = Workflow("diamond", title="Diamond test workflow")
+    workflow.add(InputBlock("n", type=DataType.NUMBER))
+    workflow.add(ConstBlock("one", value=1))
+    workflow.add(ConstBlock("two", value=2))
+    for block_id, service in (("plus1", "add"), ("times2", "mul"), ("total", "add")):
+        block = ServiceBlock(block_id, uri=container.service_uri(service))
+        block.introspect(container.registry)
+        workflow.add(block)
+    workflow.add(OutputBlock("result", type=DataType.NUMBER))
+    workflow.connect("n.value", "plus1.a")
+    workflow.connect("one.value", "plus1.b")
+    workflow.connect("n.value", "times2.a")
+    workflow.connect("two.value", "times2.b")
+    workflow.connect("plus1.sum", "total.a")
+    workflow.connect("times2.product", "total.b")
+    workflow.connect("total.sum", "result.value")
+    workflow.validate()
+    return workflow

@@ -1,0 +1,104 @@
+"""Tests for the JSON workflow format and the editor rendering."""
+
+import pytest
+
+from repro.workflow.editor import STATE_COLOURS, editor_model, render_workflow_page
+from repro.workflow.jsonio import parse_workflow, workflow_to_json
+from repro.workflow.model import WorkflowError
+
+from tests.workflow.conftest import diamond_workflow
+
+
+class TestJsonRoundTrip:
+    def test_round_trip_preserves_structure(self, container, registry):
+        workflow = diamond_workflow(container)
+        document = workflow_to_json(workflow)
+        restored = parse_workflow(document)  # no registry: descriptions embedded
+        assert restored.blocks.keys() == workflow.blocks.keys()
+        assert len(restored.edges) == len(workflow.edges)
+        assert restored.name == workflow.name
+
+    def test_round_trip_executes_identically(self, container, registry):
+        from repro.workflow.engine import WorkflowEngine
+
+        workflow = diamond_workflow(container)
+        restored = parse_workflow(workflow_to_json(workflow))
+        engine = WorkflowEngine(registry, poll=0.005)
+        assert engine.execute(restored, {"n": 3}) == engine.execute(workflow, {"n": 3})
+
+    def test_service_description_retrieved_when_missing(self, container, registry):
+        document = {
+            "name": "probe",
+            "blocks": [
+                {"id": "n", "kind": "input", "name": "n", "type": "number"},
+                {"id": "one", "kind": "const", "value": 1},
+                {"id": "svc", "kind": "service", "uri": container.service_uri("add")},
+                {"id": "out", "kind": "output", "name": "r", "type": "number"},
+            ],
+            "edges": ["n.value -> svc.a", "one.value -> svc.b", "svc.sum -> out.value"],
+        }
+        workflow = parse_workflow(document, registry)
+        assert workflow.blocks["svc"].description.name == "add"
+
+    def test_missing_description_without_registry_fails(self):
+        document = {
+            "name": "probe",
+            "blocks": [{"id": "svc", "kind": "service", "uri": "local://x/services/y"}],
+            "edges": [],
+        }
+        with pytest.raises(WorkflowError, match="no registry"):
+            parse_workflow(document)
+
+    def test_manual_edit_cycle(self, container, registry):
+        """Download → edit by hand → upload (the paper's JSON feature)."""
+        from repro.workflow.engine import WorkflowEngine
+
+        workflow = diamond_workflow(container)
+        document = workflow_to_json(workflow)
+        for block in document["blocks"]:
+            if block["id"] == "two":
+                block["value"] = 10  # hand-edit the multiplier constant
+        edited = parse_workflow(document)
+        outputs = WorkflowEngine(registry, poll=0.005).execute(edited, {"n": 2})
+        assert outputs == {"result": (2 + 1) + (2 * 10)}
+
+    @pytest.mark.parametrize(
+        ("document", "message"),
+        [
+            ({}, "must be an object with a 'name'"),
+            ({"name": "w", "blocks": [{"kind": "const"}], "edges": []}, "without an id"),
+            ({"name": "w", "blocks": [{"id": "b", "kind": "teleport"}], "edges": []}, "unknown block kind"),
+            ({"name": "w", "blocks": [], "edges": ["a.b"]}, "a.x -> b.y"),
+        ],
+    )
+    def test_malformed_documents_rejected(self, document, message):
+        with pytest.raises(WorkflowError, match=message):
+            parse_workflow(document)
+
+    def test_parse_validates_graph(self, container):
+        document = {
+            "name": "bad",
+            "blocks": [{"id": "out", "kind": "output", "name": "o", "type": "any"}],
+            "edges": [],
+        }
+        with pytest.raises(WorkflowError, match="not connected"):
+            parse_workflow(document)
+
+
+class TestEditor:
+    def test_editor_model_includes_ports_and_colours(self, container):
+        workflow = diamond_workflow(container)
+        model = editor_model(workflow, states={"plus1": "RUNNING", "total": "FAILED"})
+        by_id = {block["id"]: block for block in model["blocks"]}
+        assert by_id["plus1"]["colour"] == STATE_COLOURS["RUNNING"]
+        assert by_id["total"]["colour"] == STATE_COLOURS["FAILED"]
+        assert by_id["n"]["state"] == "PENDING"
+        assert {p["name"] for p in by_id["plus1"]["ports"]["in"]} == {"a", "b"}
+
+    def test_html_page_renders(self, container):
+        workflow = diamond_workflow(container)
+        page = render_workflow_page(workflow, states={"plus1": "DONE"})
+        assert "Diamond test workflow" in page
+        assert STATE_COLOURS["DONE"] in page
+        assert "plus1.sum" in page  # edge listing
+        assert 'id=\'model\'' in page or 'id="model"' in page

@@ -1,0 +1,224 @@
+"""Tests for the workflow model: blocks, ports, connections, validation."""
+
+import pytest
+
+from repro.core.description import Parameter, ServiceDescription
+from repro.workflow.model import (
+    ConstBlock,
+    DataType,
+    InputBlock,
+    OutputBlock,
+    Port,
+    ScriptBlock,
+    ServiceBlock,
+    Workflow,
+    WorkflowError,
+    compatible,
+)
+
+
+def service_block(block_id="svc", inputs=None, outputs=None, uri="local://c/services/x"):
+    description = ServiceDescription(
+        name="x",
+        inputs=[Parameter(n, s) for n, s in (inputs or {"a": {"type": "number"}}).items()],
+        outputs=[Parameter(n, s) for n, s in (outputs or {"r": {"type": "number"}}).items()],
+    )
+    return ServiceBlock(block_id, uri=uri, description=description)
+
+
+class TestDataTypes:
+    @pytest.mark.parametrize(
+        ("schema", "expected"),
+        [
+            ({"type": "string"}, DataType.STRING),
+            ({"type": "integer"}, DataType.INTEGER),
+            ({"type": "object", "format": "file"}, DataType.FILE),
+            ({}, DataType.ANY),
+            (True, DataType.ANY),
+            ({"type": "weird"}, DataType.ANY),
+        ],
+    )
+    def test_from_schema(self, schema, expected):
+        assert DataType.from_schema(schema) is expected
+
+    @pytest.mark.parametrize(
+        ("source", "target", "ok"),
+        [
+            (DataType.NUMBER, DataType.NUMBER, True),
+            (DataType.INTEGER, DataType.NUMBER, True),
+            (DataType.NUMBER, DataType.INTEGER, False),
+            (DataType.ANY, DataType.STRING, True),
+            (DataType.FILE, DataType.ANY, True),
+            (DataType.STRING, DataType.OBJECT, False),
+        ],
+    )
+    def test_compatibility(self, source, target, ok):
+        assert compatible(source, target) is ok
+
+
+class TestBlocks:
+    def test_input_block_ports(self):
+        block = InputBlock("n", type=DataType.INTEGER)
+        assert block.outputs == [Port("value", DataType.INTEGER)]
+        assert block.inputs == []
+
+    def test_const_block_infers_type(self):
+        assert ConstBlock("c", value=4).outputs[0].type is DataType.INTEGER
+        assert ConstBlock("c", value="x").outputs[0].type is DataType.STRING
+        assert ConstBlock("c", value=[1]).outputs[0].type is DataType.ARRAY
+        assert ConstBlock("c", value=True).outputs[0].type is DataType.BOOLEAN
+
+    def test_service_block_ports_from_description(self):
+        block = service_block(
+            inputs={"matrix": {"type": "array"}, "mode": {"type": "string"}},
+            outputs={"inverse": {"type": "array"}},
+        )
+        assert {p.name for p in block.inputs} == {"matrix", "mode"}
+        assert block.output_port("inverse").type is DataType.ARRAY
+
+    def test_service_block_needs_uri(self):
+        with pytest.raises(WorkflowError, match="needs a service URI"):
+            ServiceBlock("svc", uri="")
+
+    def test_script_block_ports(self):
+        block = ScriptBlock(
+            "s", code="y = x + 1", input_names=["x"], output_names=["y"], types={"x": "number"}
+        )
+        assert block.input_port("x").type is DataType.NUMBER
+        assert block.output_port("y").type is DataType.ANY
+
+    def test_script_block_rejects_non_identifiers(self):
+        with pytest.raises(WorkflowError, match="identifier"):
+            ScriptBlock("s", code="pass", input_names=["not-a-name"], output_names=[])
+
+    def test_unknown_port_lookup(self):
+        with pytest.raises(WorkflowError, match="no input port"):
+            service_block().input_port("ghost")
+
+
+class TestConnections:
+    def build(self):
+        workflow = Workflow("w")
+        workflow.add(InputBlock("n", type=DataType.NUMBER))
+        workflow.add(service_block())
+        workflow.add(OutputBlock("out", type=DataType.NUMBER))
+        return workflow
+
+    def test_connect_compatible(self):
+        workflow = self.build()
+        edge = workflow.connect("n.value", "svc.a")
+        assert str(edge) == "n.value → svc.a"
+
+    def test_connect_incompatible_types(self):
+        workflow = Workflow("w")
+        workflow.add(InputBlock("s", type=DataType.STRING))
+        workflow.add(service_block())
+        with pytest.raises(WorkflowError, match="incompatible connection"):
+            workflow.connect("s.value", "svc.a")
+
+    def test_single_writer_per_input(self):
+        workflow = self.build()
+        workflow.add(ConstBlock("c", value=1))
+        workflow.connect("n.value", "svc.a")
+        with pytest.raises(WorkflowError, match="already connected"):
+            workflow.connect("c.value", "svc.a")
+
+    def test_bad_port_reference(self):
+        workflow = self.build()
+        with pytest.raises(WorkflowError, match="block.port"):
+            workflow.connect("n", "svc.a")
+
+    def test_unknown_block(self):
+        workflow = self.build()
+        with pytest.raises(WorkflowError, match="no block"):
+            workflow.connect("ghost.value", "svc.a")
+
+    def test_duplicate_block_id(self):
+        workflow = self.build()
+        with pytest.raises(WorkflowError, match="duplicate block id"):
+            workflow.add(ConstBlock("n", value=1))
+
+
+class TestValidation:
+    def valid_workflow(self):
+        workflow = Workflow("w")
+        workflow.add(InputBlock("n", type=DataType.NUMBER))
+        workflow.add(service_block())
+        workflow.add(OutputBlock("out", type=DataType.NUMBER))
+        workflow.connect("n.value", "svc.a")
+        workflow.connect("svc.r", "out.value")
+        workflow.validate()
+        return workflow
+
+    def test_valid_workflow_passes(self):
+        self.valid_workflow()
+
+    def test_topological_order(self):
+        workflow = self.valid_workflow()
+        order = workflow.topological_order()
+        assert order.index("n") < order.index("svc") < order.index("out")
+
+    def test_unconnected_output_rejected(self):
+        workflow = Workflow("w")
+        workflow.add(OutputBlock("out"))
+        with pytest.raises(WorkflowError, match="not connected"):
+            workflow.validate()
+
+    def test_unconnected_required_service_input_rejected(self):
+        workflow = Workflow("w")
+        workflow.add(service_block())
+        with pytest.raises(WorkflowError, match="svc.a is not connected"):
+            workflow.validate()
+
+    def test_optional_service_input_may_dangle(self):
+        workflow = Workflow("w")
+        description = ServiceDescription(
+            name="x",
+            inputs=[Parameter("opt", {"type": "number"}, required=False, default=1)],
+            outputs=[Parameter("r", True)],
+        )
+        workflow.add(ServiceBlock("svc", uri="local://c/services/x", description=description))
+        workflow.validate()
+
+    def test_cycle_detected(self):
+        workflow = Workflow("w")
+        workflow.add(ScriptBlock("a", code="y = x", input_names=["x"], output_names=["y"]))
+        workflow.add(ScriptBlock("b", code="y = x", input_names=["x"], output_names=["y"]))
+        workflow.connect("a.y", "b.x")
+        workflow.connect("b.y", "a.x")
+        with pytest.raises(WorkflowError, match="cycle"):
+            workflow.validate()
+
+    def test_duplicate_workflow_input_names_rejected(self):
+        workflow = Workflow("w")
+        workflow.add(InputBlock("i1", name="n"))
+        workflow.add(InputBlock("i2", name="n"))
+        with pytest.raises(WorkflowError, match="duplicate workflow input"):
+            workflow.validate()
+
+
+class TestToDescription:
+    def test_description_from_io_blocks(self):
+        workflow = Workflow("combo", title="Combo")
+        workflow.add(InputBlock("i1", name="matrix", type=DataType.OBJECT))
+        workflow.add(InputBlock("i2", name="k", type=DataType.INTEGER, default=4, required=False))
+        workflow.add(ConstBlock("c", value={"rows": []}))
+        workflow.add(OutputBlock("o1", name="inverse", type=DataType.OBJECT))
+        workflow.connect("c.value", "o1.value")
+        description = workflow.to_description()
+        assert description.name == "combo"
+        assert description.input("matrix").schema == {"type": "object"}
+        assert description.input("k").default == 4
+        assert not description.input("k").required
+        assert description.output("inverse").schema == {"type": "object"}
+        assert "workflow" in description.tags
+
+    def test_any_type_maps_to_open_schema(self):
+        workflow = Workflow("w")
+        workflow.add(InputBlock("x", type=DataType.ANY))
+        assert workflow.to_description().input("x").schema is True
+
+    def test_file_type_maps_to_file_schema(self):
+        workflow = Workflow("w")
+        workflow.add(InputBlock("f", type=DataType.FILE))
+        assert workflow.to_description().input("f").schema.get("format") == "file"
