@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.batch.job import BatchJob, BatchJobState
+from repro.runtime.pool import ExecutorPool
 
 
 @dataclass
@@ -62,6 +63,10 @@ class Cluster:
                 raise ValueError(f"duplicate node name {node.name!r}")
             seen.add(node.name)
         self._free = {node.name: node.slots for node in self.nodes}
+        # callable payloads run on a shared worker pool; the scheduler can
+        # never start more than total_slots jobs at once (every job holds at
+        # least one slot), so this size guarantees a free worker per job
+        self._fn_pool = ExecutorPool(workers=self.total_slots, name=f"{name}-fn")
         self._queue: list[BatchJob] = []
         self._jobs: dict[str, BatchJob] = {}
         self._ids = itertools.count(1)
@@ -155,6 +160,7 @@ class Cluster:
         for job in self.jobs():
             if job.state is BatchJobState.RUNNING:
                 job._cancel.set()
+        self._fn_pool.shutdown(wait=False)
 
     # ----------------------------------------------------------- internals
 
@@ -246,7 +252,7 @@ class Cluster:
                 env=None if not job.env else {**os.environ, **job.env},
                 text=True,
             )
-            deadline = time.time() + job.resources.walltime
+            deadline = time.monotonic() + job.resources.walltime
             try:
                 if job.stdin:
                     process.stdin.write(job.stdin)
@@ -257,7 +263,7 @@ class Cluster:
                         process.wait()
                         self._finish(job, BatchJobState.CANCELLED, reason="deleted by qdel")
                         return
-                    if time.time() > deadline:
+                    if time.monotonic() > deadline:
                         process.kill()
                         process.wait()
                         self._finish(job, BatchJobState.FAILED, reason="walltime exceeded")
@@ -284,30 +290,20 @@ class Cluster:
             shutil.rmtree(scratch, ignore_errors=True)
 
     def _run_function(self, job: BatchJob) -> None:
-        deadline = time.time() + job.resources.walltime
-        box: dict[str, object] = {}
-
-        def call() -> None:
-            try:
-                box["result"] = job.function(job)
-            except Exception as exc:  # noqa: BLE001
-                box["error"] = exc
-
-        worker = threading.Thread(target=call, name=f"{job.id}-fn", daemon=True)
-        worker.start()
-        while worker.is_alive():
+        deadline = time.monotonic() + job.resources.walltime
+        handle = self._fn_pool.submit(job.function, job)
+        while not handle.wait(timeout=0.01):
             if job._cancel.is_set():
-                worker.join(timeout=1.0)
+                handle.wait(timeout=1.0)  # give a cooperative payload a beat
                 self._finish(job, BatchJobState.CANCELLED, reason="deleted by qdel")
                 return
-            if time.time() > deadline:
+            if time.monotonic() > deadline:
                 self._finish(job, BatchJobState.FAILED, reason="walltime exceeded")
                 return
-            worker.join(timeout=0.01)
         if job._cancel.is_set():
             self._finish(job, BatchJobState.CANCELLED, reason="deleted by qdel")
-        elif "error" in box:
-            self._finish(job, BatchJobState.FAILED, reason=str(box["error"]))
+        elif handle.error is not None:
+            self._finish(job, BatchJobState.FAILED, reason=str(handle.error))
         else:
-            job.result = box.get("result")
+            job.result = handle.result
             self._finish(job, BatchJobState.COMPLETED, exit_status=0)

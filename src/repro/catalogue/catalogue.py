@@ -22,6 +22,7 @@ from repro.catalogue.snippets import make_snippet
 from repro.http.client import ClientError, RestClient
 from repro.http.registry import TransportRegistry
 from repro.http.transport import TransportError
+from repro.runtime.pool import ExecutorPool, PeriodicTask
 
 
 class CatalogueError(Exception):
@@ -93,8 +94,8 @@ class Catalogue:
         self._entries: dict[str, CatalogueEntry] = {}
         self._index = InvertedIndex()
         self._lock = threading.Lock()
-        self._pinger: threading.Thread | None = None
-        self._stop_pinger = threading.Event()
+        self._pinger: PeriodicTask | None = None
+        self._ping_pool: ExecutorPool | None = None
 
     # ---------------------------------------------------------- publication
 
@@ -196,25 +197,36 @@ class Catalogue:
     def ping_all(self) -> dict[str, bool]:
         return {entry.uri: self.ping(entry.uri) for entry in self.entries()}
 
-    def start_pinger(self, interval: float = 30.0) -> None:
-        """Run :meth:`ping_all` periodically on a background thread."""
+    def start_pinger(self, interval: float = 30.0, workers: int = 2) -> None:
+        """Probe every published service periodically.
+
+        Each round fans the pings out over a small
+        :class:`~repro.runtime.ExecutorPool`, so one unreachable service
+        (a socket timeout) no longer stalls the availability of every
+        entry behind it in the round.
+        """
         if self._pinger is not None:
             raise RuntimeError("pinger already running")
-        self._stop_pinger.clear()
-
-        def loop() -> None:
-            while not self._stop_pinger.wait(interval):
-                self.ping_all()
-
-        self._pinger = threading.Thread(target=loop, name="catalogue-pinger", daemon=True)
+        self._ping_pool = ExecutorPool(workers=workers, name="catalogue-ping")
+        self._pinger = PeriodicTask(interval, self._ping_round, name="catalogue-pinger")
         self._pinger.start()
+
+    def _ping_round(self) -> None:
+        pool = self._ping_pool
+        if pool is None:
+            return
+        handles = [pool.submit(self.ping, entry.uri) for entry in self.entries()]
+        for handle in handles:
+            handle.wait(timeout=60)
 
     def stop_pinger(self) -> None:
         if self._pinger is None:
             return
-        self._stop_pinger.set()
-        self._pinger.join(timeout=5)
+        self._pinger.stop()
         self._pinger = None
+        if self._ping_pool is not None:
+            self._ping_pool.shutdown(wait=False)
+            self._ping_pool = None
 
     # ---------------------------------------------------------- persistence
 

@@ -33,6 +33,11 @@ class JobFailedError(Exception):
         self.job_uri = job_uri
 
 
+#: One long-poll block per request. Kept under the transports' socket
+#: timeout; waits longer than this chain requests.
+LONG_POLL_CHUNK = 10.0
+
+
 class JobHandle:
     """A client-side view of one job resource."""
 
@@ -40,11 +45,38 @@ class JobHandle:
         self.uri = uri
         self._client = client
         self._last: dict[str, Any] = {}
+        #: Whether the server honours ``?wait=``: None until observed,
+        #: False once a long-poll GET provably returned early.
+        self._long_poll: bool | None = None
 
     def refresh(self) -> dict[str, Any]:
         """``GET`` the job resource and cache its representation."""
         self._last = self._client.get(self.uri)
         return self._last
+
+    def poll(self, wait: float = 0.0) -> dict[str, Any]:
+        """One GET, long-polling up to ``wait`` seconds when supported.
+
+        A conforming server blocks the full ``wait`` unless the job turns
+        terminal; a server that ignores the parameter answers immediately,
+        which is detected here and remembered so callers can fall back to
+        plain polling.
+        """
+        if wait <= 0 or self._long_poll is False:
+            return self.refresh()
+        started = time.monotonic()
+        self._last = self._client.get(self.uri, query={"wait": f"{wait:g}"})
+        elapsed = time.monotonic() - started
+        if not JobState(self._last["state"]).terminal:
+            if wait >= 0.1 and elapsed < wait / 2:
+                self._long_poll = False
+            elif self._long_poll is None and elapsed >= wait / 2:
+                self._long_poll = True
+        return self._last
+
+    @property
+    def long_poll_supported(self) -> "bool | None":
+        return self._long_poll
 
     @property
     def representation(self) -> dict[str, Any]:
@@ -59,16 +91,30 @@ class JobHandle:
         return JobState(self.refresh()["state"]).terminal
 
     def wait(self, timeout: float | None = None, poll: float = 0.05) -> "JobHandle":
-        """Poll until the job is terminal (the paper's async usage)."""
-        deadline = None if timeout is None else time.time() + timeout
+        """Block until the job is terminal.
+
+        The primary path long-polls (``GET ...?wait=``), so completion is
+        answered by the server's own transition signal with no poll
+        latency. Against servers that ignore ``wait`` the handle degrades
+        to the paper's plain polling with gentle backoff.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
         interval = poll
         while True:
-            if JobState(self.refresh()["state"]).terminal:
+            if self._long_poll is False:
+                representation = self.refresh()
+            else:
+                chunk = LONG_POLL_CHUNK
+                if deadline is not None:
+                    chunk = min(chunk, max(deadline - time.monotonic(), 0.001))
+                representation = self.poll(wait=chunk)
+            if JobState(representation["state"]).terminal:
                 return self
-            if deadline is not None and time.time() > deadline:
+            if deadline is not None and time.monotonic() >= deadline:
                 raise TimeoutError(f"job {self.uri} still {self._last['state']} after {timeout}s")
-            time.sleep(interval)
-            interval = min(interval * 1.5, 1.0)  # gentle backoff
+            if self._long_poll is False:  # explicit fallback: backoff polling
+                time.sleep(interval)
+                interval = min(interval * 1.5, 1.0)
 
     def result(self, timeout: float | None = None, poll: float = 0.05) -> dict[str, Any]:
         """Wait for completion and return the outputs (or raise)."""

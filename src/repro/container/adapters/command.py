@@ -163,7 +163,7 @@ class CommandAdapter(Adapter):
             stderr=subprocess.PIPE,
             text=True,
         )
-        deadline = time.time() + self.timeout
+        deadline = time.monotonic() + self.timeout
         try:
             if stdin_text:
                 process.stdin.write(stdin_text)
@@ -175,7 +175,7 @@ class CommandAdapter(Adapter):
                 process.kill()
                 process.wait()
                 raise AdapterError("job cancelled")
-            if time.time() > deadline:
+            if time.monotonic() > deadline:
                 process.kill()
                 process.wait()
                 raise AdapterError(f"command exceeded timeout of {self.timeout}s")

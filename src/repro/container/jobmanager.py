@@ -7,24 +7,22 @@ handler thread invokes adapter specified in the service configuration."
 
 The pool is shared by every service deployed in the container, so the pool
 size bounds the container's processing concurrency (benchmark F1 sweeps
-it).
+it). The queue/worker machinery itself lives in
+:class:`repro.runtime.ExecutorPool`; the manager adds the job semantics —
+state transitions, adapter error conversion, correlation-id logging.
 """
 
 from __future__ import annotations
 
 import logging
-import queue
-import threading
 import traceback
 from typing import Any, Callable
 
 from repro.core.errors import AdapterError, ServiceError
 from repro.core.jobs import Job, JobState
+from repro.runtime.pool import ExecutorPool, PoolStats
 
 logger = logging.getLogger(__name__)
-
-#: A unit of work: the job and the thunk that runs its adapter.
-_Task = tuple[Job, Callable[[], dict[str, Any]]]
 
 
 class JobManager:
@@ -34,22 +32,15 @@ class JobManager:
         if handlers < 1:
             raise ValueError("the handler pool needs at least one thread")
         self.handlers = handlers
-        self._queue: "queue.Queue[_Task | None]" = queue.Queue()
-        self._threads = [
-            threading.Thread(
-                target=self._worker, name=f"{name}-handler-{index}", daemon=True
-            )
-            for index in range(handlers)
-        ]
-        for thread in self._threads:
-            thread.start()
+        self._pool = ExecutorPool(workers=handlers, name=f"{name}-handler")
         self._stopped = False
 
     def enqueue(self, job: Job, execute: Callable[[], dict[str, Any]]) -> None:
         """Queue one job; ``execute`` is the adapter invocation thunk."""
         if self._stopped:
             raise ServiceError("container is shut down")
-        self._queue.put((job, execute))
+        logger.info("job %s [request %s] queued for %s", job.id, job.request_id or "-", job.service)
+        self._pool.submit(self._process, job, execute)
 
     def run_job(self, job: Job, execute: Callable[[], dict[str, Any]]) -> None:
         """Process a job in the calling thread (sync-mode services)."""
@@ -57,45 +48,43 @@ class JobManager:
 
     @property
     def queued(self) -> int:
-        return self._queue.qsize()
+        return self._pool.stats.queued
+
+    @property
+    def stats(self) -> PoolStats:
+        """Task counters of the handler pool (queued/running/completed/failed)."""
+        return self._pool.stats
 
     def shutdown(self, wait: bool = True) -> None:
         self._stopped = True
-        for _ in self._threads:
-            self._queue.put(None)
-        if wait:
-            for thread in self._threads:
-                thread.join(timeout=5)
+        self._pool.shutdown(wait=wait)
 
     # ----------------------------------------------------------- internals
 
-    def _worker(self) -> None:
-        while True:
-            task = self._queue.get()
-            if task is None:
-                return
-            job, execute = task
-            self._process(job, execute)
-
     @staticmethod
     def _process(job: Job, execute: Callable[[], dict[str, Any]]) -> None:
+        rid = job.request_id or "-"
         if job.state.terminal:  # cancelled while queued
+            logger.info("job %s [request %s] skipped: already %s", job.id, rid, job.state.value)
             return
         try:
             job.mark_running()
         except ServiceError:
             return  # lost the race against a cancel
+        logger.info("job %s [request %s] running for %s", job.id, rid, job.service)
         try:
             outputs = execute()
         except AdapterError as error:
             job.try_finish(lambda: (JobState.FAILED, error.message))
+            logger.info("job %s [request %s] failed: %s", job.id, rid, error.message)
             return
         except Exception as error:  # noqa: BLE001 - adapters may misbehave
             logger.error(
-                "adapter crashed for job %s\n%s", job.id, traceback.format_exc()
+                "adapter crashed for job %s [request %s]\n%s", job.id, rid, traceback.format_exc()
             )
             job.try_finish(
                 lambda: (JobState.FAILED, f"internal adapter error: {error}")
             )
             return
-        job.try_finish(lambda: (JobState.DONE, outputs))
+        if job.try_finish(lambda: (JobState.DONE, outputs)):
+            logger.info("job %s [request %s] done", job.id, rid)

@@ -60,7 +60,9 @@ class DeployedService:
 
     def submit(self, inputs: dict[str, Any], request: Request) -> Job:
         values = self.description.validate_inputs(inputs)
-        job = Job(service=self.name, inputs=values)
+        # carry the HTTP layer's correlation id onto the job: handler
+        # threads, adapters and backends all log/see the job, not the request
+        job = Job(service=self.name, inputs=values, request_id=request.context.get("request_id"))
         access = request.context.get("access")
         if access is not None:
             job.extra["owner"] = access.effective_id

@@ -45,6 +45,29 @@ class ServiceBackend(Protocol):
     def get_file(self, job_id: str, file_id: str) -> FileEntry: ...
 
 
+#: Upper bound on one long-poll block. Kept below the default client-side
+#: socket timeout (30 s) so a ``?wait=`` request can never look like a dead
+#: connection; clients needing longer waits chain requests.
+MAX_LONG_POLL = 25.0
+
+
+def parse_wait(raw: "str | None") -> float:
+    """The ``?wait=`` query parameter as a bounded number of seconds.
+
+    ``0`` (or absence) means an immediate snapshot, preserving the
+    paper's plain polling semantics; invalid values are a client error.
+    """
+    if raw is None or raw == "":
+        return 0.0
+    try:
+        seconds = float(raw)
+    except ValueError as exc:
+        raise HttpError(400, f"invalid wait parameter {raw!r}: expected seconds") from exc
+    if seconds < 0:
+        raise HttpError(400, f"invalid wait parameter {raw!r}: must be >= 0")
+    return min(seconds, MAX_LONG_POLL)
+
+
 def job_uri(base_uri: str, job_id: str) -> str:
     return f"{base_uri}/jobs/{job_id}"
 
@@ -90,10 +113,21 @@ def mount_service(
         return Response.created(location, job.representation(uri=location))
 
     def get_job(request: Request, job_id: str) -> Response:
+        """Job status; ``?wait=<seconds>`` turns the GET into a long-poll.
+
+        The handler blocks on the job's condition variable until the first
+        terminal transition (answering in the same round-trip) or until
+        the wait expires (answering with the current representation) —
+        identical over both transports, since each runs handlers on a
+        thread that may block.
+        """
         try:
             job = backend.get_job(job_id)
         except ServiceError as error:
             raise _to_http_error(error) from error
+        wait_seconds = parse_wait(request.query.get("wait"))
+        if wait_seconds > 0:
+            job.wait(timeout=wait_seconds)
         return Response.json(job.representation(uri=job_uri(_advertised(), job_id)))
 
     def delete_job(request: Request, job_id: str) -> Response:

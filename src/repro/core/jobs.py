@@ -47,6 +47,10 @@ def new_job_id() -> str:
     return "j-" + uuid.uuid4().hex[:12]
 
 
+#: Observer signature: called with (job, new_state) after each transition.
+TransitionObserver = Callable[["Job", JobState], None]
+
+
 @dataclass(eq=False)
 class Job:
     """One request being processed by a computational service.
@@ -56,7 +60,11 @@ class Job:
 
     Mutations go through the transition methods, which enforce the state
     machine and are safe to call from handler threads; readers use
-    :meth:`representation` to get a consistent snapshot.
+    :meth:`representation` to get a consistent snapshot. Completion is
+    observable two ways without polling: :meth:`wait` blocks on a
+    condition variable until the job is terminal (the substrate of the
+    REST layer's ``?wait=`` long-poll), and :meth:`subscribe` registers a
+    callback fired on every transition.
     """
 
     service: str
@@ -68,39 +76,95 @@ class Job:
     created: float = field(default_factory=time.time)
     started: float | None = None
     finished: float | None = None
+    #: Correlation id of the request that created the job (``X-Request-Id``).
+    request_id: str | None = None
     #: Extra representation fields (e.g. per-block workflow states).
     extra: dict[str, Any] = field(default_factory=dict)
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False, compare=False)
     #: Set when a cancel arrives; adapters poll it for cooperative abort.
     cancel_event: threading.Event = field(default_factory=threading.Event, repr=False, compare=False)
 
+    def __post_init__(self) -> None:
+        # the condition shares the job lock: transitions notify the exact
+        # waiters that guard their predicates on the same mutex
+        self._cond = threading.Condition(self._lock)
+        self._observers: list[TransitionObserver] = []
+
     def _transition(self, target: JobState) -> None:
         if target not in _TRANSITIONS[self.state]:
             raise JobStateError(f"job {self.id}: cannot go {self.state.value} → {target.value}")
         self.state = target
 
-    def mark_running(self) -> None:
+    def _notify_observers(self, state: JobState) -> None:
+        """Fire observers outside the lock so callbacks may read the job."""
         with self._lock:
+            observers = list(self._observers)
+        for observer in observers:
+            observer(self, state)
+
+    def subscribe(self, observer: TransitionObserver) -> None:
+        """Register ``observer`` for subsequent transitions.
+
+        If the job is already terminal the observer fires immediately (on
+        the caller's thread), so subscribers cannot miss the final state.
+        """
+        with self._lock:
+            self._observers.append(observer)
+            already_terminal = self.state.terminal
+            state = self.state
+        if already_terminal:
+            observer(self, state)
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the job is terminal; True unless the wait timed out.
+
+        Waiters are released by the transition itself — no polling. Any
+        number of threads may wait concurrently; a single terminal
+        transition releases them all.
+        """
+        with self._cond:
+            if timeout is None:
+                while not self.state.terminal:
+                    self._cond.wait()
+                return True
+            deadline = time.monotonic() + timeout
+            while not self.state.terminal:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._cond.wait(remaining)
+            return True
+
+    def mark_running(self) -> None:
+        with self._cond:
             self._transition(JobState.RUNNING)
             self.started = time.time()
+            self._cond.notify_all()
+        self._notify_observers(JobState.RUNNING)
 
     def mark_done(self, results: dict[str, Any]) -> None:
-        with self._lock:
+        with self._cond:
             self._transition(JobState.DONE)
             self.results = results
             self.finished = time.time()
+            self._cond.notify_all()
+        self._notify_observers(JobState.DONE)
 
     def mark_failed(self, error: str) -> None:
-        with self._lock:
+        with self._cond:
             self._transition(JobState.FAILED)
             self.error = error
             self.finished = time.time()
+            self._cond.notify_all()
+        self._notify_observers(JobState.FAILED)
 
     def mark_cancelled(self) -> None:
-        with self._lock:
+        with self._cond:
             self._transition(JobState.CANCELLED)
             self.finished = time.time()
+            self._cond.notify_all()
         self.cancel_event.set()
+        self._notify_observers(JobState.CANCELLED)
 
     def try_finish(self, outcome: Callable[[], tuple[JobState, Any]]) -> bool:
         """Finish the job unless it was cancelled concurrently.
@@ -109,7 +173,7 @@ class Job:
         or ``(FAILED, error_message)``. Returns False when the job is
         already terminal (e.g. a cancel won the race).
         """
-        with self._lock:
+        with self._cond:
             if self.state.terminal:
                 return False
             target, value = outcome()
@@ -119,7 +183,9 @@ class Job:
             else:
                 self.error = str(value)
             self.finished = time.time()
-            return True
+            self._cond.notify_all()
+        self._notify_observers(target)
+        return True
 
     def representation(self, uri: str = "") -> dict[str, Any]:
         """The JSON representation served by ``GET`` on the job resource."""
@@ -133,6 +199,8 @@ class Job:
             }
             if uri:
                 document["uri"] = uri
+            if self.request_id is not None:
+                document["request_id"] = self.request_id
             if self.started is not None:
                 document["started"] = self.started
             if self.finished is not None:

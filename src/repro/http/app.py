@@ -16,6 +16,7 @@ from typing import Callable, Protocol
 
 from repro.http.messages import HttpError, Request, Response
 from repro.http.router import Handler, Router
+from repro.runtime.context import REQUEST_ID_HEADER, RequestContext, activate_context
 
 logger = logging.getLogger(__name__)
 
@@ -53,20 +54,34 @@ class RestApp:
         self._middleware.append(middleware)
 
     def handle(self, request: Request) -> Response:
-        """Process one request through middleware, router and handler."""
-        try:
-            return self._call_chain(request, 0)
-        except HttpError as error:
-            return error.to_response()
-        except Exception:  # noqa: BLE001 - the kernel must never propagate
-            logger.error(
-                "unhandled error in %s %s %s\n%s",
-                self.name,
-                request.method,
-                request.path,
-                traceback.format_exc(),
-            )
-            return HttpError(500, "internal server error").to_response()
+        """Process one request through middleware, router and handler.
+
+        Every request gets a correlation id — the client's ``X-Request-Id``
+        when supplied, a generated one otherwise. The id is exposed as
+        ``request.context["request_id"]``, activated as the thread's
+        current :class:`~repro.runtime.context.RequestContext`, and echoed
+        on the response (including error responses), so one id follows a
+        request across every layer it touches.
+        """
+        context = RequestContext.from_header(request.headers.get(REQUEST_ID_HEADER))
+        request.context.setdefault("request_id", context.request_id)
+        with activate_context(context):
+            try:
+                response = self._call_chain(request, 0)
+            except HttpError as error:
+                response = error.to_response()
+            except Exception:  # noqa: BLE001 - the kernel must never propagate
+                logger.error(
+                    "unhandled error in %s %s %s [request %s]\n%s",
+                    self.name,
+                    request.method,
+                    request.path,
+                    context.request_id,
+                    traceback.format_exc(),
+                )
+                response = HttpError(500, "internal server error").to_response()
+        response.headers.set(REQUEST_ID_HEADER, context.request_id)
+        return response
 
     def _call_chain(self, request: Request, index: int) -> Response:
         if index < len(self._middleware):

@@ -1,0 +1,34 @@
+"""The shared execution kernel.
+
+``repro.runtime`` consolidates the lifecycle plumbing that every layer of
+the platform needs but previously reimplemented: a reusable worker pool
+with per-pool statistics (:class:`ExecutorPool`), a periodic-task driver
+(:class:`PeriodicTask`) and request correlation
+(:class:`RequestContext`). The container's job manager, the catalogue
+pinger and the batch cluster's callable workers are all built on it, and
+the request id it threads from the HTTP layer shows up in job
+representations and log lines across container → adapter → cluster hops.
+"""
+
+from repro.runtime.context import (
+    REQUEST_ID_HEADER,
+    RequestContext,
+    activate_context,
+    current_context,
+    current_request_id,
+    new_request_id,
+)
+from repro.runtime.pool import ExecutorPool, PeriodicTask, PoolStats, TaskHandle
+
+__all__ = [
+    "REQUEST_ID_HEADER",
+    "RequestContext",
+    "ExecutorPool",
+    "PeriodicTask",
+    "PoolStats",
+    "TaskHandle",
+    "activate_context",
+    "current_context",
+    "current_request_id",
+    "new_request_id",
+]

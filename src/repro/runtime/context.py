@@ -1,0 +1,72 @@
+"""Request correlation: one id that follows a request across layers.
+
+A request entering any REST application gets a :class:`RequestContext`
+(honouring a client-supplied ``X-Request-Id`` header, else generating
+one). The application kernel activates the context for the duration of
+request handling; components that hand work to other threads (the job
+manager's handler pool, a cluster's workers) copy the id onto the job so
+log lines and representations stay correlatable after the thread hop.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import uuid
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+#: The header clients use to supply (and servers to echo) the request id.
+REQUEST_ID_HEADER = "X-Request-Id"
+
+#: Request ids may come from untrusted clients; anything longer is truncated
+#: and anything with control characters is replaced.
+_MAX_ID_LENGTH = 128
+
+
+def new_request_id() -> str:
+    return "r-" + uuid.uuid4().hex[:12]
+
+
+def sanitize_request_id(raw: str) -> str:
+    """Make a client-supplied id safe for logs and representations."""
+    cleaned = "".join(ch for ch in raw if ch.isprintable() and not ch.isspace())
+    return cleaned[:_MAX_ID_LENGTH] or new_request_id()
+
+
+@dataclass(frozen=True)
+class RequestContext:
+    """Per-request correlation data carried through the platform."""
+
+    request_id: str
+
+    @classmethod
+    def from_header(cls, header_value: "str | None") -> "RequestContext":
+        if header_value:
+            return cls(request_id=sanitize_request_id(header_value))
+        return cls(request_id=new_request_id())
+
+
+_current: contextvars.ContextVar[RequestContext | None] = contextvars.ContextVar(
+    "repro_request_context", default=None
+)
+
+
+def current_context() -> RequestContext | None:
+    """The context of the request being handled on this thread, if any."""
+    return _current.get()
+
+
+def current_request_id() -> str | None:
+    context = _current.get()
+    return context.request_id if context is not None else None
+
+
+@contextmanager
+def activate_context(context: RequestContext) -> Iterator[RequestContext]:
+    """Install ``context`` as the current one for the enclosed block."""
+    token = _current.set(context)
+    try:
+        yield context
+    finally:
+        _current.reset(token)

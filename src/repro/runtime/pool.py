@@ -1,0 +1,208 @@
+"""Worker pools and periodic tasks: the platform's thread machinery.
+
+:class:`ExecutorPool` is the queue-plus-worker-threads pattern the job
+manager, the catalogue pinger and the batch cluster all need, extracted
+into one place with per-pool statistics. It is deliberately smaller than
+``concurrent.futures``: tasks are fire-and-forget callables whose
+completion is observable through a lightweight :class:`TaskHandle`
+(an event, a result slot, an error slot) — enough to build blocking
+waits without the cancellation/chaining weight of real futures.
+"""
+
+from __future__ import annotations
+
+import logging
+import queue
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass(frozen=True)
+class PoolStats:
+    """A consistent snapshot of one pool's task counters."""
+
+    queued: int
+    running: int
+    completed: int
+    failed: int
+
+    @property
+    def submitted(self) -> int:
+        return self.queued + self.running + self.completed + self.failed
+
+
+class TaskHandle:
+    """Completion signal for one submitted task.
+
+    ``result`` holds the callable's return value once :attr:`done`;
+    ``error`` holds the exception if it raised instead.
+    """
+
+    __slots__ = ("_event", "result", "error")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self.result: Any = None
+        self.error: BaseException | None = None
+
+    @property
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the task finished; True unless the wait timed out."""
+        return self._event.wait(timeout)
+
+    def _finish(self, result: Any = None, error: BaseException | None = None) -> None:
+        self.result = result
+        self.error = error
+        self._event.set()
+
+
+class ExecutorPool:
+    """A fixed pool of worker threads draining a shared task queue.
+
+    Every layer that processes queued work builds on this: the pool owns
+    the threads, the queue and the statistics; callers own the semantics
+    of their tasks. A task that raises is counted ``failed`` and logged —
+    it never kills a worker.
+    """
+
+    def __init__(self, workers: int = 4, name: str = "pool"):
+        if workers < 1:
+            raise ValueError("an executor pool needs at least one worker")
+        self.name = name
+        self.workers = workers
+        self._queue: "queue.Queue[tuple[TaskHandle, Callable[[], Any]] | None]" = queue.Queue()
+        self._lock = threading.Lock()
+        self._queued = 0
+        self._running = 0
+        self._completed = 0
+        self._failed = 0
+        self._stopped = False
+        self._threads = [
+            threading.Thread(target=self._worker, name=f"{name}-{index}", daemon=True)
+            for index in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped
+
+    @property
+    def stats(self) -> PoolStats:
+        with self._lock:
+            return PoolStats(
+                queued=self._queued,
+                running=self._running,
+                completed=self._completed,
+                failed=self._failed,
+            )
+
+    def submit(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> TaskHandle:
+        """Queue one task; returns its completion handle."""
+        if self._stopped:
+            raise RuntimeError(f"pool {self.name!r} is shut down")
+        handle = TaskHandle()
+        with self._lock:
+            self._queued += 1
+        self._queue.put((handle, lambda: fn(*args, **kwargs)))
+        return handle
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting tasks and release the workers.
+
+        Queued tasks submitted before shutdown are still drained; with
+        ``wait`` the call blocks until every worker exits.
+        """
+        self._stopped = True
+        for _ in self._threads:
+            self._queue.put(None)
+        if wait:
+            for thread in self._threads:
+                thread.join(timeout=5)
+
+    # ----------------------------------------------------------- internals
+
+    def _worker(self) -> None:
+        while True:
+            task = self._queue.get()
+            if task is None:
+                return
+            handle, thunk = task
+            with self._lock:
+                self._queued -= 1
+                self._running += 1
+            try:
+                result = thunk()
+            except BaseException as error:  # noqa: BLE001 - tasks may misbehave
+                logger.error("task failed in pool %s: %s", self.name, error)
+                with self._lock:
+                    self._running -= 1
+                    self._failed += 1
+                handle._finish(error=error)
+            else:
+                with self._lock:
+                    self._running -= 1
+                    self._completed += 1
+                handle._finish(result=result)
+
+
+class PeriodicTask:
+    """Runs a callable every ``interval`` seconds on a background thread.
+
+    The wait is event-based (no sleep polling): :meth:`stop` interrupts
+    the interval immediately. An iteration that raises is logged and the
+    schedule continues.
+    """
+
+    def __init__(self, interval: float, fn: Callable[[], Any], name: str = "periodic"):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.interval = interval
+        self.fn = fn
+        self.name = name
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "PeriodicTask":
+        if self._thread is not None:
+            raise RuntimeError(f"periodic task {self.name!r} already started")
+        self._stop.clear()
+        self._thread = threading.Thread(target=self._loop, name=self.name, daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self, wait: bool = True) -> None:
+        if self._thread is None:
+            return
+        self._stop.set()
+        if wait:
+            self._thread.join(timeout=5)
+        self._thread = None
+
+    def _loop(self) -> None:
+        # time the next run from the start of the previous one, so slow
+        # iterations do not accumulate drift beyond their own duration
+        while not self._stop.wait(self.interval):
+            started = time.monotonic()
+            try:
+                self.fn()
+            except Exception as error:  # noqa: BLE001 - keep the schedule alive
+                logger.error("periodic task %s failed: %s", self.name, error)
+            if time.monotonic() - started >= self.interval:
+                logger.warning(
+                    "periodic task %s took longer than its %.3fs interval",
+                    self.name,
+                    self.interval,
+                )

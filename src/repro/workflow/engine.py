@@ -10,6 +10,7 @@ cluster or grid without the engine knowing the difference.
 
 from __future__ import annotations
 
+import builtins
 import threading
 from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
 from enum import Enum
@@ -58,7 +59,7 @@ StateObserver = Callable[[str, BlockState, str], None]
 
 #: Builtins available to script blocks — enough for data plumbing, no I/O.
 _SCRIPT_BUILTINS = {
-    name: __builtins__[name] if isinstance(__builtins__, dict) else getattr(__builtins__, name)
+    name: getattr(builtins, name)
     for name in (
         "abs", "all", "any", "bool", "dict", "divmod", "enumerate", "filter",
         "float", "format", "frozenset", "int", "isinstance", "len", "list",
@@ -77,10 +78,15 @@ class WorkflowEngine:
         max_parallel: int = 8,
         poll: float = 0.02,
         headers: Mapping[str, str] | None = None,
+        wait_chunk: float = 0.5,
     ):
         self.registry = registry or TransportRegistry()
         self.max_parallel = max_parallel
+        #: Fallback poll interval for servers that ignore ``?wait=``.
         self.poll = poll
+        #: One long-poll block per member-service request; bounds how long a
+        #: cancel can go unnoticed while a service block is in flight.
+        self.wait_chunk = wait_chunk
         #: Headers sent with every service call (credentials / delegation).
         self.headers = dict(headers or {})
 
@@ -250,7 +256,10 @@ class _Run:
         handle = proxy.submit_dict(self._block_inputs(block))
         interval = self.engine.poll
         while True:
-            representation = handle.refresh()
+            # primary path: long-poll in wait_chunk blocks, so completion is
+            # signalled by the service's own transition and cancellation is
+            # still noticed between chunks
+            representation = handle.poll(wait=self.engine.wait_chunk)
             if representation["state"] == "DONE":
                 return representation.get("results", {})
             if representation["state"] in ("FAILED", "CANCELLED"):
@@ -262,8 +271,11 @@ class _Run:
                     handle.cancel()
                 finally:
                     raise WorkflowCancelled(f"block {block.id!r} cancelled")
-            self.cancel_event.wait(interval)
-            interval = min(interval * 1.5, 0.5)
+            if handle.long_poll_supported is False:
+                # explicit fallback for servers that ignore ?wait=: event-based
+                # backoff polling (interruptible by cancel, no time.sleep)
+                self.cancel_event.wait(interval)
+                interval = min(interval * 1.5, 0.5)
 
     def _run_script(self, block: ScriptBlock) -> dict[str, Any]:
         namespace: dict[str, Any] = dict(self._block_inputs(block))

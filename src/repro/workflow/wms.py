@@ -60,7 +60,11 @@ class CompositeService:
 
     def submit(self, inputs: dict[str, Any], request: Request) -> Job:
         values = self.description.validate_inputs(inputs)
-        job = Job(service=self.workflow.name, inputs=values)
+        job = Job(
+            service=self.workflow.name,
+            inputs=values,
+            request_id=request.context.get("request_id"),
+        )
         job.extra["blocks"] = {
             block_id: BlockState.PENDING.value for block_id in self.workflow.blocks
         }

@@ -2,17 +2,29 @@
 cluster/grid jobs launch)."""
 
 import json
+import os
 import subprocess
 import sys
+from pathlib import Path
 
 import pytest
 
+import repro
+
 PY = sys.executable
+
+#: The spawned interpreters run with an arbitrary cwd (tmp_path), so they
+#: need the absolute location of the package tree, not a relative
+#: PYTHONPATH=src inherited from the test runner's invocation.
+SRC = str(Path(repro.__file__).resolve().parent.parent)
 
 
 def run(module, *args, cwd):
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = SRC + os.pathsep + existing if existing else SRC
     return subprocess.run(
-        [PY, "-m", module, *args], capture_output=True, text=True, cwd=cwd
+        [PY, "-m", module, *args], capture_output=True, text=True, cwd=cwd, env=env
     )
 
 

@@ -1,0 +1,17 @@
+"""Shared test-session setup.
+
+Several tests spawn interpreters (CLI tests run ``python -m repro...``
+directly; cluster and grid batch jobs do the same from scratch
+directories). Those children run with an arbitrary cwd, so a relative
+``PYTHONPATH=src`` inherited from the test invocation would not resolve.
+Absolutize the inherited entries once, before any test runs.
+"""
+
+import os
+from pathlib import Path
+
+_entries = os.environ.get("PYTHONPATH", "")
+if _entries:
+    os.environ["PYTHONPATH"] = os.pathsep.join(
+        str(Path(entry).resolve()) for entry in _entries.split(os.pathsep) if entry
+    )

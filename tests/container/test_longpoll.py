@@ -1,0 +1,174 @@
+"""Long-poll (``?wait=``) and request-correlation tests over both transports."""
+
+import logging
+import time
+
+import pytest
+
+from repro.client import ServiceProxy
+from repro.http.app import RestApp
+from repro.http.client import ClientError, RestClient
+from repro.http.messages import Response
+from repro.runtime.context import REQUEST_ID_HEADER
+
+from .conftest import add_service_config
+
+
+def deploy_sleeper(container):
+    def sleeper(context, delay):
+        deadline = time.monotonic() + delay
+        while time.monotonic() < deadline:
+            if context.cancelled:
+                return {"result": 0}
+            time.sleep(0.005)
+        return {"result": delay}
+
+    container.deploy(
+        {
+            "description": {
+                "name": "sleeper",
+                "inputs": {"delay": {"schema": {"type": "number"}}},
+                "outputs": {"result": {"schema": {"type": "number"}}},
+            },
+            "adapter": "python",
+            "config": {"callable": sleeper},
+        }
+    )
+
+
+class LongPollContract:
+    """The ``?wait=`` contract, run against one transport."""
+
+    def base(self, container):
+        raise NotImplementedError
+
+    def test_longpoll_returns_at_transition_not_at_timeout(self, container, client):
+        deploy_sleeper(container)
+        base = self.base(container)
+        created = client.post(f"{base}/services/sleeper", payload={"delay": 0.3})
+        started = time.monotonic()
+        job = client.get(created["uri"], query={"wait": 10})
+        elapsed = time.monotonic() - started
+        assert job["state"] == "DONE"
+        assert elapsed < 5  # released by the transition, nowhere near the wait
+
+    def test_longpoll_expires_with_current_state(self, container, client):
+        deploy_sleeper(container)
+        base = self.base(container)
+        created = client.post(f"{base}/services/sleeper", payload={"delay": 30})
+        started = time.monotonic()
+        job = client.get(created["uri"], query={"wait": 0.2})
+        elapsed = time.monotonic() - started
+        assert job["state"] in ("WAITING", "RUNNING")
+        assert elapsed >= 0.15
+        client.delete(created["uri"])
+
+    def test_invalid_wait_is_a_bad_request(self, container, client):
+        container.deploy(add_service_config())
+        base = self.base(container)
+        created = client.post(f"{base}/services/add", payload={"a": 1, "b": 2})
+        for bad in ("soon", "-1"):
+            with pytest.raises(ClientError) as info:
+                client.get(created["uri"], query={"wait": bad})
+            assert info.value.status == 400
+
+    def test_client_handle_waits_via_longpoll(self, container, registry):
+        deploy_sleeper(container)
+        base = self.base(container)
+        proxy = ServiceProxy(f"{base}/services/sleeper", registry)
+        handle = proxy.submit(delay=0.3)
+        assert handle.wait(timeout=10).representation["state"] == "DONE"
+        # the long-poll capability was observed, not assumed
+        assert handle.long_poll_supported is not False
+
+
+class TestLongPollLocalTransport(LongPollContract):
+    def base(self, container):
+        return container.base_uri
+
+
+class TestLongPollHttpTransport(LongPollContract):
+    @pytest.fixture(autouse=True)
+    def _serve(self, container):
+        server = container.serve(port=0)
+        yield
+        server.stop()
+
+    def base(self, container):
+        return container.base_uri
+
+
+class TestRequestCorrelation:
+    def test_client_supplied_id_reaches_job_representation(self, container, client):
+        container.deploy(add_service_config())
+        created = client.request_json(
+            "POST",
+            f"{container.base_uri}/services/add",
+            payload={"a": 1, "b": 2},
+            headers={REQUEST_ID_HEADER: "trace-xyz"},
+        )
+        assert created["request_id"] == "trace-xyz"
+        job = client.get(created["uri"], query={"wait": 5})
+        assert job["request_id"] == "trace-xyz"
+
+    def test_request_id_echoed_on_every_response(self, container, client):
+        container.deploy(add_service_config())
+        response = client.request_raw(
+            "GET",
+            f"{container.base_uri}/services/add",
+            headers={REQUEST_ID_HEADER: "echo-me"},
+        )
+        assert response.headers.get(REQUEST_ID_HEADER) == "echo-me"
+
+    def test_server_generates_id_when_client_sends_none(self, container, client):
+        container.deploy(add_service_config())
+        response = client.request_raw("POST", f"{container.base_uri}/services/add",
+                                      body=b'{"a": 1, "b": 2}')
+        generated = response.headers.get(REQUEST_ID_HEADER)
+        assert generated and generated.startswith("r-")
+        assert response.json_body["request_id"] == generated
+
+    def test_request_id_in_job_manager_log_records(self, container, client, caplog):
+        container.deploy(add_service_config())
+        with caplog.at_level(logging.INFO, logger="repro.container.jobmanager"):
+            created = client.request_json(
+                "POST",
+                f"{container.base_uri}/services/add",
+                payload={"a": 2, "b": 3},
+                headers={REQUEST_ID_HEADER: "log-trace-7"},
+            )
+            job = client.get(created["uri"], query={"wait": 5})
+        assert job["state"] == "DONE"
+        correlated = [record for record in caplog.records if "log-trace-7" in record.getMessage()]
+        assert correlated, "job manager log lines must carry the request id"
+
+
+class TestFallbackAgainstLegacyServer:
+    """A server that ignores ``?wait=`` (the paper's plain polling server)."""
+
+    @pytest.fixture()
+    def legacy_base(self, registry):
+        app = RestApp("legacy")
+        calls = {"count": 0}
+
+        def get_job(request, job_id):
+            calls["count"] += 1
+            state = "DONE" if calls["count"] >= 3 else "WAITING"
+            document = {"id": job_id, "state": state}
+            if state == "DONE":
+                document["results"] = {"answer": 42}
+            return Response.json(document)
+
+        app.route("GET", "/services/old/jobs/{job_id}", get_job)
+        base = registry.bind_local("legacy", app)
+        yield base
+        registry.unbind_local("legacy")
+
+    def test_handle_degrades_to_backoff_polling(self, legacy_base, registry):
+        from repro.client.client import JobHandle
+
+        handle = JobHandle(f"{legacy_base}/services/old/jobs/1", RestClient(registry))
+        handle.wait(timeout=10)
+        assert handle.representation["state"] == "DONE"
+        assert handle.long_poll_supported is False
+        assert handle.result()["answer"] == 42

@@ -1,0 +1,59 @@
+"""Tests for request-context correlation ids."""
+
+import threading
+
+from repro.runtime.context import (
+    RequestContext,
+    activate_context,
+    current_context,
+    current_request_id,
+    new_request_id,
+    sanitize_request_id,
+)
+
+
+class TestRequestId:
+    def test_new_ids_unique_and_prefixed(self):
+        ids = {new_request_id() for _ in range(100)}
+        assert len(ids) == 100
+        assert all(identifier.startswith("r-") for identifier in ids)
+
+    def test_sanitize_strips_control_and_whitespace(self):
+        assert sanitize_request_id("abc\r\ndef ghi") == "abcdefghi"
+
+    def test_sanitize_truncates_long_ids(self):
+        assert len(sanitize_request_id("x" * 1000)) == 128
+
+    def test_sanitize_replaces_empty_result(self):
+        replaced = sanitize_request_id("\n\t  ")
+        assert replaced.startswith("r-")
+
+    def test_from_header_honours_client_id(self):
+        assert RequestContext.from_header("trace-42").request_id == "trace-42"
+
+    def test_from_header_generates_when_missing(self):
+        assert RequestContext.from_header(None).request_id.startswith("r-")
+        assert RequestContext.from_header("").request_id.startswith("r-")
+
+
+class TestActivation:
+    def test_activate_and_reset(self):
+        assert current_context() is None
+        with activate_context(RequestContext(request_id="outer")):
+            assert current_request_id() == "outer"
+            with activate_context(RequestContext(request_id="inner")):
+                assert current_request_id() == "inner"
+            assert current_request_id() == "outer"
+        assert current_request_id() is None
+
+    def test_context_is_per_thread(self):
+        seen = []
+
+        def worker():
+            seen.append(current_request_id())
+
+        with activate_context(RequestContext(request_id="main-only")):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert seen == [None]  # fresh threads do not inherit the context

@@ -1,0 +1,156 @@
+"""Tests for the shared execution kernel: ExecutorPool and PeriodicTask."""
+
+import threading
+import time
+
+import pytest
+
+from repro.runtime.pool import ExecutorPool, PeriodicTask, PoolStats
+
+
+@pytest.fixture()
+def pool():
+    instance = ExecutorPool(workers=2, name="test-pool")
+    yield instance
+    instance.shutdown()
+
+
+class TestExecutorPool:
+    def test_needs_at_least_one_worker(self):
+        with pytest.raises(ValueError):
+            ExecutorPool(workers=0)
+
+    def test_submit_runs_task_and_returns_result(self, pool):
+        handle = pool.submit(lambda a, b: a + b, 2, b=3)
+        assert handle.wait(timeout=5)
+        assert handle.done
+        assert handle.result == 5
+        assert handle.error is None
+
+    def test_failed_task_captures_error_and_keeps_worker(self, pool):
+        boom = pool.submit(lambda: 1 / 0)
+        assert boom.wait(timeout=5)
+        assert isinstance(boom.error, ZeroDivisionError)
+        # the worker survived and keeps processing
+        after = pool.submit(lambda: "alive")
+        assert after.wait(timeout=5)
+        assert after.result == "alive"
+
+    def test_stats_count_completed_and_failed(self, pool):
+        handles = [pool.submit(lambda: None) for _ in range(3)]
+        handles.append(pool.submit(lambda: 1 / 0))
+        for handle in handles:
+            assert handle.wait(timeout=5)
+        deadline = time.monotonic() + 5
+        while pool.stats.running and time.monotonic() < deadline:
+            time.sleep(0.005)
+        stats = pool.stats
+        assert stats == PoolStats(queued=0, running=0, completed=3, failed=1)
+        assert stats.submitted == 4
+
+    def test_stats_observe_queued_and_running(self):
+        pool = ExecutorPool(workers=1, name="narrow")
+        gate = threading.Event()
+        try:
+            first = pool.submit(gate.wait, 5)
+            second = pool.submit(lambda: None)
+            deadline = time.monotonic() + 5
+            while pool.stats.running != 1 and time.monotonic() < deadline:
+                time.sleep(0.005)
+            stats = pool.stats
+            assert stats.running == 1
+            assert stats.queued == 1
+            gate.set()
+            assert first.wait(timeout=5) and second.wait(timeout=5)
+        finally:
+            gate.set()
+            pool.shutdown()
+
+    def test_submit_after_shutdown_rejected(self):
+        pool = ExecutorPool(workers=1)
+        pool.shutdown()
+        assert pool.stopped
+        with pytest.raises(RuntimeError, match="shut down"):
+            pool.submit(lambda: None)
+
+    def test_shutdown_drains_queued_tasks(self):
+        pool = ExecutorPool(workers=1, name="drain")
+        results = []
+        handles = [pool.submit(results.append, index) for index in range(5)]
+        pool.shutdown(wait=True)
+        assert all(handle.done for handle in handles)
+        assert results == [0, 1, 2, 3, 4]
+
+    def test_many_concurrent_submitters(self, pool):
+        handles = []
+        lock = threading.Lock()
+
+        def submit_batch():
+            batch = [pool.submit(lambda value=index: value * 2) for index in range(10)]
+            with lock:
+                handles.extend(batch)
+
+        threads = [threading.Thread(target=submit_batch) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(handles) == 40
+        for handle in handles:
+            assert handle.wait(timeout=5)
+        expected = sorted(list(range(0, 20, 2)) * 4)
+        assert sorted(handle.result for handle in handles) == expected
+
+
+class TestPeriodicTask:
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ValueError):
+            PeriodicTask(0, lambda: None)
+
+    def test_runs_repeatedly_until_stopped(self):
+        ticks = []
+        task = PeriodicTask(0.02, lambda: ticks.append(1), name="ticker")
+        task.start()
+        deadline = time.monotonic() + 5
+        while len(ticks) < 3 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        task.stop()
+        assert len(ticks) >= 3
+        assert not task.running
+        settled = len(ticks)
+        time.sleep(0.08)
+        assert len(ticks) == settled  # no ticks after stop
+
+    def test_double_start_rejected(self):
+        task = PeriodicTask(10, lambda: None, name="once")
+        task.start()
+        try:
+            with pytest.raises(RuntimeError, match="already started"):
+                task.start()
+        finally:
+            task.stop()
+
+    def test_stop_interrupts_long_interval(self):
+        task = PeriodicTask(600, lambda: None, name="patient").start()
+        started = time.monotonic()
+        task.stop(wait=True)
+        assert time.monotonic() - started < 5  # not an interval's worth
+        assert not task.running
+
+    def test_stop_without_start_is_noop(self):
+        PeriodicTask(1, lambda: None).stop()
+
+    def test_error_in_iteration_keeps_schedule(self):
+        ticks = []
+
+        def flaky():
+            ticks.append(1)
+            if len(ticks) == 1:
+                raise ValueError("transient")
+
+        task = PeriodicTask(0.02, flaky, name="flaky").start()
+        deadline = time.monotonic() + 5
+        while len(ticks) < 3 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        task.stop()
+        assert len(ticks) >= 3
