@@ -1,0 +1,210 @@
+"""Experiment G1 — gateway throughput scaling and failover.
+
+Two measurements over real TCP:
+
+- submit→complete throughput of latency-bound jobs against a replicated
+  gateway with 1, 2 and 4 replicas (the platform's scale-out story: one
+  published URL, capacity behind it);
+- failover: kill one of two replicas mid-run and measure how long the
+  health checker takes to evict it, and how many client requests failed
+  (the target is zero — gateway replay plus client resubmission absorb
+  the loss).
+"""
+
+import threading
+import time
+
+from benchmarks.conftest import full_scale, record_experiment
+from repro.client import ServiceProxy
+from repro.container import ServiceContainer
+from repro.gateway import ServiceGateway
+from repro.gateway.replicaset import ReplicaSet, ReplicaState
+from repro.http.client import ClientError
+from repro.http.registry import TransportRegistry
+from repro.http.transport import TransportError
+
+# Latency-bound jobs against few handlers keep replica capacity (rather
+# than the benchmark process's own GIL) the binding constraint, so the
+# replica-count sweep measures the gateway's scale-out and not Python's
+# single-process HTTP ceiling.
+JOB_SECONDS = 0.1
+HANDLERS_PER_REPLICA = 2
+
+
+def _work_config():
+    def work(x):
+        time.sleep(JOB_SECONDS)
+        return {"y": x * 2}
+
+    return {
+        "description": {
+            "name": "work",
+            "inputs": {"x": {"schema": {"type": "number"}}},
+            "outputs": {"y": {"schema": {"type": "number"}}},
+        },
+        "adapter": "python",
+        "config": {"callable": work},
+    }
+
+
+class _Cluster:
+    def __init__(self, registry: TransportRegistry, replicas: int, tag: str):
+        self.registry = registry
+        self.containers = []
+        self.servers = []
+        for index in range(replicas):
+            container = ServiceContainer(
+                f"g1-{tag}-{index}", handlers=HANDLERS_PER_REPLICA, registry=registry
+            )
+            container.deploy(_work_config())
+            self.containers.append(container)
+            self.servers.append(container.serve())
+        self.replica_set = ReplicaSet(registry=registry, down_after=2, up_after=2)
+        self.gateway = ServiceGateway(
+            registry=registry, name=f"g1-gw-{tag}", replicas=self.replica_set
+        )
+        for server in self.servers:
+            self.gateway.add_replica(server.base_url)
+        self.replica_set.start_health_checks(interval=0.05)
+        self.gateway.serve()
+        self.uri = self.gateway.service_uri("work")
+
+    def close(self):
+        self.gateway.shutdown()
+        for container in self.containers:
+            container.shutdown()
+
+
+def _run_client(registry, uri, per_client, failures, lock, timeout=60.0):
+    """Submit ``per_client`` jobs, then collect them, resubmitting lost ones.
+
+    Submission and collection are split so client round-trip latency does
+    not cap measured throughput — the jobs run server-side concurrently
+    while the client walks its handles. The retry mirrors the workflow
+    engine's policy: a 502/503 or transport failure means the owning
+    replica died, and the job is resubmitted through the gateway (which
+    routes it to a survivor). Only an unrecovered job counts as a failed
+    client request.
+    """
+    proxy = ServiceProxy(uri, registry, idempotent_submits=True)
+
+    def submit(index):
+        return proxy.submit_dict({"x": index})
+
+    pending = []
+    for index in range(per_client):
+        try:
+            pending.append((index, submit(index)))
+        except (TransportError, ClientError):
+            with lock:
+                failures.append(index)
+    for index, handle in pending:
+        completed = False
+        for attempt in range(3):
+            try:
+                result = handle.result(timeout=timeout)
+                assert result == {"y": index * 2}
+                completed = True
+                break
+            except (TransportError, ClientError):
+                try:
+                    handle = submit(index)  # job lost with its replica
+                except (TransportError, ClientError):
+                    break
+        if not completed:
+            with lock:
+                failures.append(index)
+
+
+def _measure_throughput(replicas: int, jobs: int, clients: int, tag: str):
+    registry = TransportRegistry()
+    cluster = _Cluster(registry, replicas, tag)
+    failures, lock = [], threading.Lock()
+    per_client = jobs // clients
+    try:
+        threads = [
+            threading.Thread(
+                target=_run_client, args=(registry, cluster.uri, per_client, failures, lock)
+            )
+            for _ in range(clients)
+        ]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        wall = time.perf_counter() - started
+    finally:
+        cluster.close()
+    completed = per_client * clients - len(failures)
+    return {
+        "replicas": replicas,
+        "jobs": completed,
+        "failed": len(failures),
+        "wall_s": round(wall, 3),
+        "throughput_jobs_per_s": round(completed / wall, 1),
+    }
+
+
+def test_g1_throughput_scaling_and_failover():
+    clients = 24
+    jobs = 240 if full_scale() else 96
+    rows = [
+        _measure_throughput(replicas, jobs, clients, tag=f"n{replicas}")
+        for replicas in (1, 2, 4)
+    ]
+
+    # --- failover: two replicas, kill one mid-run -----------------------
+    registry = TransportRegistry()
+    cluster = _Cluster(registry, 2, tag="failover")
+    failures, lock = [], threading.Lock()
+    per_client = 10 if full_scale() else 6
+    try:
+        threads = [
+            threading.Thread(
+                target=_run_client,
+                args=(registry, cluster.uri, per_client, failures, lock),
+            )
+            for _ in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.4)  # traffic is flowing on both replicas
+        victim = cluster.gateway.replicas.get("r0")
+        killed_at = time.perf_counter()
+        cluster.servers[0].stop()
+        while victim.state is not ReplicaState.DOWN:
+            time.sleep(0.005)
+            assert time.perf_counter() - killed_at < 30
+        eviction_latency = time.perf_counter() - killed_at
+        for thread in threads:
+            thread.join(timeout=120)
+    finally:
+        cluster.close()
+    failover_row = {
+        "replicas": "2 -> 1 (replica killed mid-run)",
+        "jobs": 8 * per_client - len(failures),
+        "failed": len(failures),
+        "wall_s": "",
+        "throughput_jobs_per_s": "",
+        "eviction_latency_s": round(eviction_latency, 3),
+    }
+    rows = [dict(row, eviction_latency_s="") for row in rows] + [failover_row]
+
+    record_experiment(
+        "G1",
+        "Gateway throughput vs replica count, and failover behaviour",
+        rows,
+        notes=(
+            f"{clients} concurrent clients, {JOB_SECONDS * 1000:.0f} ms jobs, "
+            f"{HANDLERS_PER_REPLICA} handlers/replica, loopback TCP; "
+            "failover: health checks every 50 ms, down after 2 misses, "
+            "failed = client requests not recovered by gateway replay + resubmission"
+        ),
+    )
+
+    by_replicas = {row["replicas"]: row for row in rows[:3]}
+    assert by_replicas[2]["throughput_jobs_per_s"] > by_replicas[1]["throughput_jobs_per_s"] * 1.3
+    assert by_replicas[4]["throughput_jobs_per_s"] > by_replicas[2]["throughput_jobs_per_s"] * 1.2
+    assert all(row["failed"] == 0 for row in rows[:3])
+    assert failover_row["failed"] == 0  # a dying replica costs zero client requests

@@ -37,6 +37,11 @@ class CatalogueEntry:
     description: dict[str, Any]
     tags: set[str] = field(default_factory=set)
     available: bool = True
+    #: Finer-grained availability for gateway-published services:
+    #: ``up`` (responsive), ``degraded`` (responding with 5xx — e.g. a
+    #: gateway whose replicas are all down or saturated), ``down``
+    #: (unreachable at the transport level).
+    status: str = "up"
     published_at: float = field(default_factory=time.time)
     last_ping: float | None = None
 
@@ -69,6 +74,7 @@ class CatalogueEntry:
             "description": self.description,
             "tags": sorted(self.tags),
             "available": self.available,
+            "status": self.status,
             "published_at": self.published_at,
             "last_ping": self.last_ping,
         }
@@ -80,6 +86,7 @@ class CatalogueEntry:
             description=document["description"],
             tags=set(document.get("tags", [])),
             available=bool(document.get("available", True)),
+            status=str(document.get("status", "up")),
             published_at=float(document.get("published_at", time.time())),
             last_ping=document.get("last_ping"),
         )
@@ -91,6 +98,7 @@ class Catalogue:
     def __init__(self, registry: TransportRegistry | None = None):
         self.registry = registry or TransportRegistry()
         self._client = RestClient(self.registry)
+        self._probe_client = RestClient(self.registry, retry_after_cap=0.0)
         self._entries: dict[str, CatalogueEntry] = {}
         self._index = InvertedIndex()
         self._lock = threading.Lock()
@@ -184,13 +192,28 @@ class Catalogue:
     # ----------------------------------------------------------- monitoring
 
     def ping(self, uri: str) -> bool:
-        """Probe one service; updates and returns its availability."""
+        """Probe one service; updates and returns its availability.
+
+        A 5xx answer (a gateway with its whole replica pool down reports
+        503) marks the entry ``degraded`` — published and addressable but
+        not currently serving — while a transport failure marks it
+        ``down``. Probes never honour ``Retry-After`` waits: a ping must
+        report *now*, not after the service recovers.
+        """
         entry = self.entry(uri)
         try:
-            self._client.get(entry.uri)
-            entry.available = True
+            response = self._probe_client.request_raw("GET", entry.uri)
         except (ClientError, TransportError):
             entry.available = False
+            entry.status = "down"
+        else:
+            entry.available = response.ok
+            if response.ok:
+                entry.status = "up"
+            elif response.status >= 500:
+                entry.status = "degraded"
+            else:  # 404 and friends: the service resource itself is gone
+                entry.status = "down"
         entry.last_ping = time.time()
         return entry.available
 

@@ -19,7 +19,7 @@ from typing import Any, Mapping
 from repro.core.description import ServiceDescription
 from repro.core.filerefs import file_uri, is_file_ref
 from repro.core.jobs import JobState
-from repro.http.client import RestClient
+from repro.http.client import IDEMPOTENCY_KEY_HEADER, RestClient, new_idempotency_key
 from repro.http.registry import TransportRegistry
 
 
@@ -151,15 +151,21 @@ class ServiceProxy:
         uri: str,
         registry: TransportRegistry | None = None,
         headers: Mapping[str, str] | None = None,
+        idempotent_submits: bool = False,
     ):
         self.uri = uri.rstrip("/")
         self._client = RestClient(registry, base=self.uri, headers=headers)
+        #: When True every submit carries a fresh ``Idempotency-Key``, so a
+        #: gateway in front of the service may safely replay the POST after
+        #: a connection-level failure (and dedupe accidental duplicates).
+        self.idempotent_submits = idempotent_submits
 
     def with_headers(self, headers: Mapping[str, str]) -> "ServiceProxy":
         """A copy sending extra headers (credentials, delegation)."""
         proxy = ServiceProxy.__new__(ServiceProxy)
         proxy.uri = self.uri
         proxy._client = self._client.with_headers(headers)
+        proxy.idempotent_submits = self.idempotent_submits
         return proxy
 
     def describe(self) -> ServiceDescription:
@@ -169,9 +175,18 @@ class ServiceProxy:
     def describe_raw(self) -> dict[str, Any]:
         return self._client.get()
 
-    def submit_dict(self, inputs: dict[str, Any]) -> JobHandle:
-        """``POST`` a request; returns the handle of the created job."""
-        created = self._client.post(payload=inputs)
+    def submit_dict(self, inputs: dict[str, Any], idempotency_key: str | None = None) -> JobHandle:
+        """``POST`` a request; returns the handle of the created job.
+
+        An explicit ``idempotency_key`` (or :attr:`idempotent_submits`)
+        marks the POST as replayable for gateways and retry layers.
+        """
+        headers: dict[str, str] = {}
+        if idempotency_key is None and self.idempotent_submits:
+            idempotency_key = new_idempotency_key()
+        if idempotency_key is not None:
+            headers[IDEMPOTENCY_KEY_HEADER] = idempotency_key
+        created = self._client.request_json("POST", "", payload=inputs, headers=headers)
         handle = JobHandle(created["uri"], self._client)
         handle._last = created
         return handle

@@ -1,0 +1,108 @@
+"""Pluggable load-balancing policies.
+
+A policy picks one replica from the candidates the gateway has already
+filtered (health state, breaker, in-flight capacity). Three built-ins:
+
+- ``round-robin`` — cycles through candidates; fair for uniform jobs.
+- ``least-outstanding`` — picks the replica with the fewest in-flight
+  requests; adapts to heterogeneous job durations and replica speeds.
+- ``consistent-hash`` — maps a caller-supplied key (e.g. an
+  ``Idempotency-Key``) onto a hash ring, so the same key lands on the
+  same replica while membership is stable, and only ``1/n`` of keys move
+  when a replica joins or leaves.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import threading
+from typing import Protocol, Sequence
+
+from repro.gateway.replicaset import Replica
+
+
+class Policy(Protocol):
+    """Chooses one replica from a non-empty candidate list."""
+
+    def choose(self, candidates: Sequence[Replica], key: str | None = None) -> Replica: ...
+
+
+class RoundRobinPolicy:
+    """Cycle through candidates, skipping nothing (filtering is upstream)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counter = 0
+
+    def choose(self, candidates: Sequence[Replica], key: str | None = None) -> Replica:
+        with self._lock:
+            index = self._counter
+            self._counter += 1
+        return candidates[index % len(candidates)]
+
+
+class LeastOutstandingPolicy:
+    """Pick the candidate with the fewest in-flight requests (id breaks ties)."""
+
+    def choose(self, candidates: Sequence[Replica], key: str | None = None) -> Replica:
+        return min(candidates, key=lambda replica: (replica.in_flight, replica.id))
+
+
+def _hash_point(value: str) -> int:
+    return int.from_bytes(hashlib.sha1(value.encode("utf-8")).digest()[:8], "big")
+
+
+class ConsistentHashPolicy:
+    """A hash ring with virtual nodes per replica.
+
+    The ring is rebuilt (and memoised) per candidate membership, which is
+    cheap at gateway scale — a few replicas, 64 points each. Keyless
+    requests fall back to round-robin so the policy is always usable as
+    the default.
+    """
+
+    def __init__(self, points_per_replica: int = 64):
+        self.points_per_replica = points_per_replica
+        self._lock = threading.Lock()
+        self._ring_for: tuple[str, ...] = ()
+        self._ring: list[tuple[int, str]] = []
+        self._fallback = RoundRobinPolicy()
+
+    def choose(self, candidates: Sequence[Replica], key: str | None = None) -> Replica:
+        if key is None:
+            return self._fallback.choose(candidates)
+        by_id = {replica.id: replica for replica in candidates}
+        ring = self._ring_for_ids(tuple(sorted(by_id)))
+        point = _hash_point(key)
+        index = bisect.bisect_right([p for p, _ in ring], point) % len(ring)
+        return by_id[ring[index][1]]
+
+    def _ring_for_ids(self, ids: tuple[str, ...]) -> list[tuple[int, str]]:
+        with self._lock:
+            if ids == self._ring_for:
+                return self._ring
+            ring = sorted(
+                (_hash_point(f"{replica_id}#{vnode}"), replica_id)
+                for replica_id in ids
+                for vnode in range(self.points_per_replica)
+            )
+            self._ring_for, self._ring = ids, ring
+            return ring
+
+
+#: Policy names accepted by the gateway constructor.
+POLICIES = {
+    "round-robin": RoundRobinPolicy,
+    "least-outstanding": LeastOutstandingPolicy,
+    "consistent-hash": ConsistentHashPolicy,
+}
+
+
+def create_policy(name: str) -> Policy:
+    try:
+        return POLICIES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown balancing policy {name!r}; choose from {sorted(POLICIES)}"
+        ) from None

@@ -1,0 +1,423 @@
+"""The replicated-service API gateway.
+
+:class:`ServiceGateway` exposes the paper's unified REST API (Table 1)
+over a *pool* of replica containers behind one stable endpoint:
+
+- ``POST /services/{name}`` spreads across healthy replicas through a
+  pluggable balancing policy, with circuit breakers, a global retry
+  budget and idempotent replay;
+- job-scoped routes (``GET``/``DELETE`` job, file fetches) are pinned to
+  the replica that owns the job via the id-prefix scheme in
+  :mod:`repro.gateway.routing`;
+- saturation answers ``429`` and unavailability ``503``, both with a
+  ``Retry-After`` hint, instead of queueing or hanging;
+- ``?wait=`` long-polls pass straight through to the owning replica, and
+  the ``X-Request-Id`` correlation id threads gateway → replica.
+
+The gateway is itself a :class:`~repro.http.app.RestApp`: it serves over
+TCP and in process alike, and a gateway can front other gateways (job-id
+prefixes simply stack).
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Any
+from urllib.parse import urlencode
+
+from repro.gateway.balancer import Policy, create_policy
+from repro.gateway.breaker import RetryBudget
+from repro.gateway.idempotency import IdempotencyCache
+from repro.gateway.replicaset import Replica, ReplicaSet, ReplicaState
+from repro.gateway.routing import decode_job_id, rewrite_job_document, rewrite_tree, rewrite_uri
+from repro.http.app import RestApp
+from repro.http.client import IDEMPOTENCY_KEY_HEADER
+from repro.http.messages import Headers, HttpError, Request, Response
+from repro.http.registry import TransportRegistry
+from repro.http.server import RestServer
+from repro.http.transport import ConnectError, TransportError
+
+logger = logging.getLogger(__name__)
+
+#: Request headers never forwarded to replicas: hop-by-hop per RFC 7230,
+#: plus the ones the transport recomputes.
+_HOP_BY_HOP = frozenset(
+    {
+        "connection",
+        "keep-alive",
+        "host",
+        "content-length",
+        "transfer-encoding",
+        "te",
+        "upgrade",
+        "proxy-connection",
+    }
+)
+
+#: Response headers copied verbatim on proxied responses (bodies are
+#: re-serialised, so entity headers like Content-Length are recomputed).
+_FORWARDED_RESPONSE_HEADERS = (
+    "Content-Type",
+    "Content-Range",
+    "Content-Disposition",
+    "Accept-Ranges",
+    "Retry-After",
+)
+
+
+class ServiceGateway:
+    """Fronts a :class:`ReplicaSet` with the unified REST API."""
+
+    def __init__(
+        self,
+        registry: TransportRegistry | None = None,
+        name: str = "gateway",
+        replicas: ReplicaSet | None = None,
+        policy: "str | Policy" = "round-robin",
+        retry_budget: RetryBudget | None = None,
+        idempotency: IdempotencyCache | None = None,
+        max_attempts: int = 3,
+        retry_after_hint: float = 1.0,
+    ):
+        self.name = name
+        self.registry = registry or TransportRegistry()
+        # explicit None checks: an empty ReplicaSet / IdempotencyCache is
+        # falsy (len() == 0), yet a caller-supplied one must still be used
+        self.replicas = replicas if replicas is not None else ReplicaSet(registry=self.registry)
+        if isinstance(policy, str):
+            self.policy_name = policy
+            self.policy: Policy = create_policy(policy)
+        else:
+            self.policy_name = type(policy).__name__
+            self.policy = policy
+        self.retry_budget = retry_budget if retry_budget is not None else RetryBudget()
+        self.idempotency = idempotency if idempotency is not None else IdempotencyCache()
+        self.max_attempts = max_attempts
+        self.retry_after_hint = retry_after_hint
+        self.app = RestApp(name)
+        self._server: RestServer | None = None
+        self.local_base = self.registry.bind_local(name, self.app)
+        self.app.route("GET", "/", self._health)
+        self.app.route("GET", "/health", self._health)
+        self.app.route("GET", "/services", self._index)
+        self.app.route("GET", "/services/{name}", self._describe)
+        self.app.route("POST", "/services/{name}", self._submit)
+        self.app.route("GET", "/services/{name}/jobs/{job_id}", self._get_job)
+        self.app.route("DELETE", "/services/{name}/jobs/{job_id}", self._delete_job)
+        self.app.route("GET", "/services/{name}/jobs/{job_id}/files/{file_id...}", self._get_file)
+
+    # ----------------------------------------------------------- publishing
+
+    @property
+    def base_uri(self) -> str:
+        """The advertised URI prefix (http when served, local otherwise)."""
+        if self._server is not None:
+            return self._server.base_url
+        return self.local_base
+
+    def service_uri(self, name: str) -> str:
+        return f"{self.base_uri}/services/{name}"
+
+    def serve(self, host: str = "127.0.0.1", port: int = 0) -> RestServer:
+        """Expose the gateway over TCP; returns the running server."""
+        if self._server is not None:
+            raise RuntimeError("gateway is already serving")
+        self._server = RestServer(self.app, host=host, port=port).start()
+        return self._server
+
+    def shutdown(self) -> None:
+        self.replicas.stop_health_checks()
+        if self._server is not None:
+            self._server.stop()
+            self._server = None
+        self.registry.unbind_local(self.name)
+
+    # ----------------------------------------------------------- membership
+
+    def add_replica(self, base_url: str, replica_id: str | None = None) -> Replica:
+        return self.replicas.add(base_url, replica_id=replica_id)
+
+    def evict(self, replica_id: str) -> None:
+        """Remove a replica permanently; its cached submit responses go too
+        (they advertise job URIs that can no longer be served)."""
+        self.replicas.remove(replica_id)
+        dropped = self.idempotency.invalidate_replica(replica_id)
+        if dropped:
+            logger.info("gateway %s evicted %s, dropped %d cached submits", self.name, replica_id, dropped)
+
+    # ------------------------------------------------------------- handlers
+
+    def _health(self, request: Request) -> Response:
+        return Response.json(
+            {
+                "gateway": self.name,
+                "uri": self.base_uri,
+                "policy": self.policy_name,
+                "replicas": self.replicas.snapshot(),
+                "retry_budget": self.retry_budget.balance,
+                "idempotency_entries": len(self.idempotency),
+            }
+        )
+
+    def _index(self, request: Request) -> Response:
+        replica, response = self._forward_any("GET", "/services", request)
+        document = rewrite_tree(response.json_body, replica, self.base_uri)
+        if isinstance(document, dict):
+            document["gateway"] = self.name
+        return Response.json(document, status=response.status)
+
+    def _describe(self, request: Request, name: str) -> Response:
+        replica, response = self._forward_any("GET", f"/services/{name}", request)
+        if not response.ok:
+            return self._proxied(response)
+        document = rewrite_tree(response.json_body, replica, self.base_uri)
+        return Response.json(document, status=response.status)
+
+    def _submit(self, request: Request, name: str) -> Response:
+        idempotency_key = request.headers.get(IDEMPOTENCY_KEY_HEADER)
+        if idempotency_key:
+            cached = self.idempotency.get(idempotency_key)
+            if cached is not None:
+                return cached
+        headers = self._forward_headers(request)
+        tried: set[str] = set()
+        saturated = False
+        attempts = 0
+        while attempts < self.max_attempts:
+            # spend the retry token before selecting, so an aborted retry
+            # cannot leak the half-open probe permit `_select` may consume
+            if attempts > 0 and not self.retry_budget.try_spend():
+                logger.warning("gateway %s: retry budget exhausted for POST %s", self.name, name)
+                break
+            replica, reason = self._select(tried, idempotency_key)
+            if replica is None:
+                saturated = saturated or reason == "saturated"
+                break
+            attempts += 1
+            try:
+                response = self.registry.request(
+                    "POST", f"{replica.base_url}/services/{name}", headers=headers, body=request.body
+                )
+            except ConnectError as exc:
+                # nothing reached the replica: always safe to try another
+                replica.breaker.record_failure()
+                tried.add(replica.id)
+                logger.info("gateway %s: POST %s connect failure on %s: %s", self.name, name, replica.id, exc)
+                continue
+            except TransportError as exc:
+                replica.breaker.record_failure()
+                tried.add(replica.id)
+                if idempotency_key is None:
+                    # the replica may have processed the request; replaying
+                    # without a key could create a duplicate job
+                    raise HttpError(
+                        502,
+                        f"connection to replica {replica.id} failed mid-request: {exc}",
+                        details={"hint": "supply an Idempotency-Key to make POSTs replayable"},
+                    ) from exc
+                logger.info("gateway %s: POST %s mid-request failure on %s, replaying", self.name, name, replica.id)
+                continue
+            finally:
+                replica.release_slot()
+            if response.status >= 500:
+                replica.breaker.record_failure()
+                tried.add(replica.id)
+                if idempotency_key is None:
+                    return self._proxied(response)
+                continue
+            replica.breaker.record_success()
+            if attempts == 1:
+                self.retry_budget.deposit()
+            rewritten = self._rewrite_submit(response, replica)
+            if idempotency_key and response.ok:
+                self.idempotency.put(idempotency_key, replica.id, rewritten)
+            return rewritten
+        if saturated:
+            return self._unavailable(429, f"all replicas of {self.name!r} are at capacity")
+        return self._unavailable(503, f"no replica of {self.name!r} can take the request")
+
+    def _get_job(self, request: Request, name: str, job_id: str) -> Response:
+        replica, raw_id = self._pin(job_id)
+        response = self._forward_pinned(replica, "GET", f"/services/{name}/jobs/{raw_id}", request)
+        if not response.ok:
+            return self._proxied(response)
+        document = rewrite_job_document(response.json_body, replica, self.base_uri)
+        return Response.json(document, status=response.status)
+
+    def _delete_job(self, request: Request, name: str, job_id: str) -> Response:
+        replica, raw_id = self._pin(job_id)
+        response = self._forward_pinned(replica, "DELETE", f"/services/{name}/jobs/{raw_id}", request)
+        return self._proxied(response)
+
+    def _get_file(self, request: Request, name: str, job_id: str, file_id: str) -> Response:
+        replica, raw_id = self._pin(job_id)
+        response = self._forward_pinned(
+            replica, "GET", f"/services/{name}/jobs/{raw_id}/files/{file_id}", request
+        )
+        return self._proxied(response)
+
+    # ----------------------------------------------------------- forwarding
+
+    def _forward_headers(self, request: Request) -> dict[str, str]:
+        forwarded: dict[str, str] = {}
+        for header_name, value in request.headers.items():
+            if header_name.lower() not in _HOP_BY_HOP:
+                forwarded[header_name] = value
+        request_id = request.context.get("request_id")
+        if request_id:
+            # thread the gateway's correlation id through to the replica
+            forwarded["X-Request-Id"] = request_id
+        return forwarded
+
+    def _target(self, replica: Replica, path: str, request: Request) -> str:
+        url = replica.base_url + path
+        if request.query:
+            url += "?" + urlencode(request.query)
+        return url
+
+    def _select(self, tried: set[str], key: str | None) -> tuple[Replica | None, str | None]:
+        """Pick a replica for a spread route, with its in-flight slot held.
+
+        Healthy replicas are preferred; degraded ones are a fallback tier.
+        Returns ``(None, "saturated")`` when capacity (not health) was the
+        only obstacle — the caller answers 429 rather than 503.
+        """
+        replicas = self.replicas.replicas()
+        saturated = False
+        for state in (ReplicaState.HEALTHY, ReplicaState.DEGRADED):
+            pool = [r for r in replicas if r.state is state and r.id not in tried]
+            while pool:
+                chosen = self.policy.choose(pool, key)
+                if not chosen.acquire_slot():
+                    saturated = True
+                    pool.remove(chosen)
+                    continue
+                if not chosen.breaker.allow():
+                    chosen.release_slot()
+                    pool.remove(chosen)
+                    continue
+                return chosen, None
+        return None, ("saturated" if saturated else "unavailable")
+
+    def _forward_any(self, method: str, path: str, request: Request) -> tuple[Replica, Response]:
+        """Send an idempotent read to whichever available replica answers."""
+        tried: set[str] = set()
+        for _ in range(max(1, len(self.replicas))):
+            replica, _reason = self._select(tried, None)
+            if replica is None:
+                break
+            try:
+                response = self.registry.request(
+                    method, self._target(replica, path, request), headers=self._forward_headers(request)
+                )
+            except TransportError:
+                replica.breaker.record_failure()
+                tried.add(replica.id)
+                continue
+            finally:
+                replica.release_slot()
+            if response.status >= 500:
+                replica.breaker.record_failure()
+                tried.add(replica.id)
+                continue
+            replica.breaker.record_success()
+            return replica, response
+        raise self._unavailable_error(503, f"no replica of {self.name!r} is reachable")
+
+    def _pin(self, job_id: str) -> tuple[Replica, str]:
+        """Resolve a public job id to its owning replica (slot not held)."""
+        replica_id, raw_id = decode_job_id(job_id)
+        replica = self.replicas.get(replica_id)
+        if replica is None:
+            raise HttpError(404, f"no replica {replica_id!r} behind this gateway")
+        if replica.state is ReplicaState.DOWN:
+            raise self._unavailable_error(
+                503, f"replica {replica_id!r} is down; its jobs are unavailable until it recovers"
+            )
+        return replica, raw_id
+
+    def _forward_pinned(self, replica: Replica, method: str, path: str, request: Request) -> Response:
+        if not replica.acquire_slot():
+            raise self._unavailable_error(429, f"replica {replica.id!r} is at capacity")
+        if not replica.breaker.allow():
+            raise self._unavailable_error(
+                503,
+                f"replica {replica.id!r} circuit is open",
+                retry_after=max(self.retry_after_hint, replica.breaker.retry_after()),
+            )
+        try:
+            response = self.registry.request(
+                method, self._target(replica, path, request), headers=self._forward_headers(request)
+            )
+        except TransportError as exc:
+            replica.breaker.record_failure()
+            raise HttpError(502, f"replica {replica.id!r} unreachable: {exc}") from exc
+        finally:
+            replica.release_slot()
+        if response.status >= 500:
+            replica.breaker.record_failure()
+        else:
+            replica.breaker.record_success()
+        return response
+
+    # ------------------------------------------------------------ responses
+
+    def _rewrite_submit(self, response: Response, replica: Replica) -> Response:
+        document = response.json_body
+        if isinstance(document, dict):
+            document = rewrite_job_document(document, replica, self.base_uri)
+        rewritten = Response.json(document, status=response.status)
+        location = response.headers.get("Location")
+        if location:
+            rewritten.headers.set("Location", rewrite_uri(location, replica, self.base_uri))
+        return rewritten
+
+    def _proxied(self, response: Response) -> Response:
+        """Pass a replica response through, keeping only entity headers."""
+        out = Response(status=response.status, body=response.body)
+        for header_name in _FORWARDED_RESPONSE_HEADERS:
+            value = response.headers.get(header_name)
+            if value is not None:
+                out.headers.set(header_name, value)
+        return out
+
+    def _unavailable(self, status: int, message: str, retry_after: float | None = None) -> Response:
+        return self._unavailable_error(status, message, retry_after=retry_after).to_response()
+
+    def _unavailable_error(
+        self, status: int, message: str, retry_after: float | None = None
+    ) -> HttpError:
+        error = _RetryableError(status, message)
+        error.retry_after = retry_after if retry_after is not None else self.retry_after_hint
+        return error
+
+
+class _RetryableError(HttpError):
+    """An HttpError whose response carries a ``Retry-After`` hint."""
+
+    retry_after: float = 1.0
+
+    def to_response(self) -> Response:
+        response = super().to_response()
+        response.headers.set("Retry-After", f"{self.retry_after:g}")
+        return response
+
+
+def make_replicated_gateway(
+    base_urls: "list[str]",
+    registry: TransportRegistry | None = None,
+    name: str = "gateway",
+    policy: "str | Policy" = "round-robin",
+    health_interval: float | None = 5.0,
+    **replica_set_options: Any,
+) -> ServiceGateway:
+    """Convenience: a gateway fronting ``base_urls`` with health checks on."""
+    replica_set = ReplicaSet(registry=registry, **replica_set_options)
+    gateway = ServiceGateway(
+        registry=replica_set.registry, name=name, replicas=replica_set, policy=policy
+    )
+    for url in base_urls:
+        replica_set.add(url)
+    if health_interval is not None:
+        replica_set.start_health_checks(interval=health_interval)
+    return gateway

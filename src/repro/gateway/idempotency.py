@@ -1,0 +1,73 @@
+"""Idempotent submits: remembering POST outcomes by Idempotency-Key.
+
+A client (or the gateway's own retry loop) may send the same ``POST
+service`` twice — after a timeout, a connection reset, or a failover. When
+the request carries an ``Idempotency-Key``, the gateway stores the first
+successful response and replays it for every duplicate, so exactly one
+job is created per key no matter how many times the wire delivered the
+request.
+
+Entries are bounded (LRU) and expire after a TTL; entries recorded against
+a replica that has since been evicted are dropped, because replaying a
+response that points at a dead replica would pin the client to a job that
+no longer exists.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Callable
+
+from repro.http.messages import Response
+
+
+class IdempotencyCache:
+    """Bounded, TTL-expiring map of Idempotency-Key → stored response."""
+
+    def __init__(
+        self,
+        capacity: int = 1024,
+        ttl: float = 600.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.capacity = capacity
+        self.ttl = ttl
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, tuple[float, str, Response]]" = OrderedDict()
+
+    def get(self, key: str) -> Response | None:
+        """The stored response for ``key`` (a fresh copy), or None."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return None
+            stored_at, _, response = entry
+            if self._clock() - stored_at > self.ttl:
+                del self._entries[key]
+                return None
+            self._entries.move_to_end(key)
+            return Response(status=response.status, headers=response.headers.copy(), body=response.body)
+
+    def put(self, key: str, replica_id: str, response: Response) -> None:
+        with self._lock:
+            self._entries[key] = (self._clock(), replica_id, response)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def invalidate_replica(self, replica_id: str) -> int:
+        """Drop every entry recorded against ``replica_id``; returns count."""
+        with self._lock:
+            stale = [key for key, (_, rid, _) in self._entries.items() if rid == replica_id]
+            for key in stale:
+                del self._entries[key]
+            return len(stale)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

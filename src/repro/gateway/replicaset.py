@@ -1,0 +1,243 @@
+"""The replica registry: membership, health state and backpressure gauges.
+
+A :class:`ReplicaSet` tracks the pool of interchangeable containers behind
+one gateway. Active health checks run on the shared runtime's
+:class:`~repro.runtime.PeriodicTask` and drive a three-state model with
+hysteresis on both edges:
+
+- ``HEALTHY`` — probes succeed; full traffic.
+- ``DEGRADED`` — at least one recent probe failed (or a down replica is
+  part-way through recovering); used only when no healthy replica can
+  take the request.
+- ``DOWN`` — ``down_after`` consecutive probe failures; no traffic until
+  ``up_after`` consecutive successes walk it back up through DEGRADED.
+
+Each replica also carries its circuit breaker and a bounded in-flight
+gauge — the gateway sheds load with 429 when every candidate is at its
+in-flight limit, instead of queueing until something melts.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from enum import Enum
+from typing import Any
+
+from repro.gateway.breaker import CircuitBreaker
+from repro.http.client import RestClient
+from repro.http.registry import TransportRegistry
+from repro.http.transport import TransportError
+from repro.runtime.pool import PeriodicTask
+
+#: Separates the replica-id prefix from the raw job id in public job ids.
+#: Replica ids therefore must not contain it (enforced on add).
+ID_SEPARATOR = "."
+
+
+class ReplicaState(str, Enum):
+    HEALTHY = "HEALTHY"
+    DEGRADED = "DEGRADED"
+    DOWN = "DOWN"
+
+
+class Replica:
+    """One backend container fronted by the gateway."""
+
+    def __init__(
+        self,
+        replica_id: str,
+        base_url: str,
+        breaker: CircuitBreaker,
+        max_in_flight: int = 32,
+    ):
+        self.id = replica_id
+        self.base_url = base_url.rstrip("/")
+        self.breaker = breaker
+        self.max_in_flight = max_in_flight
+        self._lock = threading.Lock()
+        self._state = ReplicaState.HEALTHY
+        self._in_flight = 0
+        self._consecutive_failures = 0
+        self._consecutive_successes = 0
+        self._last_probe: float | None = None
+
+    @property
+    def state(self) -> ReplicaState:
+        with self._lock:
+            return self._state
+
+    @property
+    def in_flight(self) -> int:
+        with self._lock:
+            return self._in_flight
+
+    def acquire_slot(self) -> bool:
+        """Claim one in-flight slot; False when the replica is saturated."""
+        with self._lock:
+            if self._in_flight >= self.max_in_flight:
+                return False
+            self._in_flight += 1
+            return True
+
+    def release_slot(self) -> None:
+        with self._lock:
+            if self._in_flight > 0:
+                self._in_flight -= 1
+
+    def record_probe(self, ok: bool) -> ReplicaState:
+        """Fold one health-probe outcome into the state machine.
+
+        Hysteresis both ways: one failure only *degrades* a healthy
+        replica (``down_after`` failures in a row take it down), and one
+        success only *promotes* a down replica to degraded
+        (``up_after`` successes in a row make it healthy again) — so a
+        flapping backend neither storms in and out of rotation nor
+        instantly reclaims full traffic.
+        """
+        with self._lock:
+            self._last_probe = time.time()
+            if ok:
+                self._consecutive_successes += 1
+                self._consecutive_failures = 0
+                if self._state is not ReplicaState.HEALTHY:
+                    if self._consecutive_successes >= self._up_after:
+                        self._state = ReplicaState.HEALTHY
+                    else:
+                        self._state = ReplicaState.DEGRADED
+            else:
+                self._consecutive_failures += 1
+                self._consecutive_successes = 0
+                if self._consecutive_failures >= self._down_after:
+                    self._state = ReplicaState.DOWN
+                elif self._state is ReplicaState.HEALTHY:
+                    self._state = ReplicaState.DEGRADED
+            return self._state
+
+    # set by ReplicaSet.add; defaults keep a standalone Replica usable
+    _down_after = 3
+    _up_after = 2
+
+    def snapshot(self) -> dict[str, Any]:
+        """The replica's row in gateway health reports."""
+        with self._lock:
+            state = self._state.value
+            in_flight = self._in_flight
+            failures = self._consecutive_failures
+            last_probe = self._last_probe
+        return {
+            "id": self.id,
+            "url": self.base_url,
+            "state": state,
+            "in_flight": in_flight,
+            "max_in_flight": self.max_in_flight,
+            "consecutive_failures": failures,
+            "breaker": self.breaker.state.value,
+            "last_probe": last_probe,
+        }
+
+
+class ReplicaSet:
+    """Membership plus active health checking for a pool of replicas."""
+
+    def __init__(
+        self,
+        registry: TransportRegistry | None = None,
+        probe_path: str = "/services",
+        down_after: int = 3,
+        up_after: int = 2,
+        max_in_flight: int = 32,
+        breaker_failures: int = 5,
+        breaker_reset: float = 10.0,
+    ):
+        if down_after < 1 or up_after < 1:
+            raise ValueError("hysteresis thresholds must be at least 1")
+        self.registry = registry or TransportRegistry()
+        self.probe_path = probe_path
+        self.down_after = down_after
+        self.up_after = up_after
+        self.max_in_flight = max_in_flight
+        self.breaker_failures = breaker_failures
+        self.breaker_reset = breaker_reset
+        # probes must answer fast and never burn Retry-After waits
+        self._probe_client = RestClient(self.registry, retry_after_cap=0.0)
+        self._lock = threading.Lock()
+        self._replicas: dict[str, Replica] = {}
+        self._next_index = 0
+        self._checker: PeriodicTask | None = None
+
+    # ----------------------------------------------------------- membership
+
+    def add(self, base_url: str, replica_id: str | None = None) -> Replica:
+        """Register a backend; its id becomes the public job-id prefix."""
+        with self._lock:
+            if replica_id is None:
+                replica_id = f"r{self._next_index}"
+                self._next_index += 1
+            if ID_SEPARATOR in replica_id or "/" in replica_id or not replica_id:
+                raise ValueError(f"invalid replica id {replica_id!r}")
+            if replica_id in self._replicas:
+                raise ValueError(f"replica {replica_id!r} already registered")
+            replica = Replica(
+                replica_id,
+                base_url,
+                breaker=CircuitBreaker(
+                    failure_threshold=self.breaker_failures, reset_timeout=self.breaker_reset
+                ),
+                max_in_flight=self.max_in_flight,
+            )
+            replica._down_after = self.down_after
+            replica._up_after = self.up_after
+            self._replicas[replica_id] = replica
+            return replica
+
+    def remove(self, replica_id: str) -> None:
+        with self._lock:
+            if self._replicas.pop(replica_id, None) is None:
+                raise KeyError(replica_id)
+
+    def get(self, replica_id: str) -> Replica | None:
+        with self._lock:
+            return self._replicas.get(replica_id)
+
+    def replicas(self) -> list[Replica]:
+        """All replicas in registration order (stable for round-robin)."""
+        with self._lock:
+            return list(self._replicas.values())
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._replicas)
+
+    # ------------------------------------------------------- health checks
+
+    def probe(self, replica: Replica) -> bool:
+        """One active check: GET the probe path, expect a non-5xx answer."""
+        try:
+            response = self._probe_client.request_raw("GET", replica.base_url + self.probe_path)
+        except TransportError:
+            return False
+        return response.status < 500
+
+    def check_now(self) -> dict[str, ReplicaState]:
+        """Probe every replica once; returns the resulting states."""
+        states: dict[str, ReplicaState] = {}
+        for replica in self.replicas():
+            states[replica.id] = replica.record_probe(self.probe(replica))
+        return states
+
+    def start_health_checks(self, interval: float = 5.0) -> None:
+        """Run :meth:`check_now` every ``interval`` seconds in background."""
+        if self._checker is not None:
+            raise RuntimeError("health checks already running")
+        self._checker = PeriodicTask(interval, self.check_now, name="gateway-health")
+        self._checker.start()
+
+    def stop_health_checks(self) -> None:
+        if self._checker is None:
+            return
+        self._checker.stop()
+        self._checker = None
+
+    def snapshot(self) -> list[dict[str, Any]]:
+        return [replica.snapshot() for replica in self.replicas()]

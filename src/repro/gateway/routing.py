@@ -1,0 +1,82 @@
+"""Job-id prefix routing and representation rewriting.
+
+The gateway cannot keep per-job state if it is to stay a thin, replicated
+layer itself — so ownership is encoded in the public job id: a job created
+on replica ``r1`` with local id ``j-abc`` is exposed as ``r1.j-abc``.
+Every job-scoped route (status GET, DELETE, file fetches) decodes the
+prefix and pins the request to the owning replica; only ``POST service``
+spreads across the pool.
+
+Because replica ids never contain the separator, decoding splits on the
+*first* separator — a gateway fronting other gateways simply stacks
+prefixes (``r0.r1.j-abc``) and each layer peels one off, which is what
+makes gateways composable.
+
+Rewriting: replica responses advertise the replica's own URIs (job ``uri``
+fields, file references inside results). The gateway rewrites every such
+URI to its own base with the prefixed job id, so clients only ever see —
+and come back to — the gateway.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+from repro.gateway.replicaset import ID_SEPARATOR, Replica
+from repro.http.messages import HttpError
+
+_JOB_PATH = re.compile(r"^(/services/[^/]+/jobs/)([^/]+)(.*)$")
+
+
+def encode_job_id(replica_id: str, job_id: str) -> str:
+    return f"{replica_id}{ID_SEPARATOR}{job_id}"
+
+
+def decode_job_id(public_id: str) -> tuple[str, str]:
+    """Split a public job id into (replica id, replica-local job id).
+
+    Raises 404 for ids without a prefix: such a job cannot have been
+    created through this gateway, so the resource does not exist here.
+    """
+    replica_id, separator, job_id = public_id.partition(ID_SEPARATOR)
+    if not separator or not replica_id or not job_id:
+        raise HttpError(404, f"no job {public_id!r} (not a gateway job id)")
+    return replica_id, job_id
+
+
+def rewrite_uri(uri: str, replica: Replica, gateway_base: str) -> str:
+    """Map one replica URI onto the gateway's address space.
+
+    URIs not under the replica's base pass through untouched (values that
+    merely look like strings, or references to third-party services).
+    """
+    prefix = replica.base_url
+    if uri != prefix and not uri.startswith(prefix + "/"):
+        return uri
+    rest = uri[len(prefix):]
+    match = _JOB_PATH.match(rest)
+    if match:
+        head, job_id, tail = match.groups()
+        rest = f"{head}{encode_job_id(replica.id, job_id)}{tail}"
+    return gateway_base.rstrip("/") + rest
+
+
+def rewrite_tree(value: Any, replica: Replica, gateway_base: str) -> Any:
+    """Recursively rewrite every replica URI inside a JSON document."""
+    if isinstance(value, str):
+        return rewrite_uri(value, replica, gateway_base)
+    if isinstance(value, list):
+        return [rewrite_tree(item, replica, gateway_base) for item in value]
+    if isinstance(value, dict):
+        return {key: rewrite_tree(item, replica, gateway_base) for key, item in value.items()}
+    return value
+
+
+def rewrite_job_document(document: dict[str, Any], replica: Replica, gateway_base: str) -> dict[str, Any]:
+    """Rewrite a job representation: URIs everywhere, plus the bare id."""
+    rewritten = rewrite_tree(document, replica, gateway_base)
+    job_id = rewritten.get("id")
+    if isinstance(job_id, str) and job_id:
+        rewritten["id"] = encode_job_id(replica.id, job_id)
+    return rewritten

@@ -22,10 +22,12 @@ from repro.http.messages import HttpError, Request, Response
 from repro.http.registry import TransportRegistry
 from repro.http.router import Router
 from repro.http.server import RestServer
-from repro.http.transport import HttpTransport, LocalTransport, Transport
+from repro.http.transport import ConnectError, HttpTransport, LocalTransport, Transport, TransportError
 
 __all__ = [
     "ClientError",
+    "ConnectError",
+    "TransportError",
     "HttpError",
     "HttpTransport",
     "LocalTransport",

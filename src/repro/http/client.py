@@ -10,11 +10,39 @@ from __future__ import annotations
 
 import json
 import re
+import time
+import uuid
 from typing import Any, Mapping
 from urllib.parse import quote, urlencode
 
 from repro.http.messages import JSON_CONTENT_TYPE, Response
 from repro.http.registry import TransportRegistry
+
+#: Header marking a POST as safely replayable (gateway retries, client
+#: resubmissions). Idempotent methods never need it.
+IDEMPOTENCY_KEY_HEADER = "Idempotency-Key"
+
+#: Methods that may be retried without an idempotency key.
+_IDEMPOTENT_METHODS = frozenset({"GET", "HEAD", "PUT", "DELETE"})
+
+
+def new_idempotency_key() -> str:
+    return "ik-" + uuid.uuid4().hex[:16]
+
+
+def parse_retry_after(value: "str | None") -> float | None:
+    """The ``Retry-After`` header as seconds (seconds form only).
+
+    HTTP-date form and malformed values return ``None`` — the caller then
+    treats the response as non-retryable rather than guessing a delay.
+    """
+    if value is None:
+        return None
+    try:
+        seconds = float(value.strip())
+    except ValueError:
+        return None
+    return seconds if seconds >= 0 else None
 
 
 class ClientError(Exception):
@@ -52,16 +80,22 @@ class RestClient:
         registry: TransportRegistry | None = None,
         base: str = "",
         headers: Mapping[str, str] | None = None,
+        retry_after_cap: float = 5.0,
     ):
         self.registry = registry or TransportRegistry()
         self.base = base
         #: Headers attached to every request (used for credentials).
         self.default_headers: dict[str, str] = dict(headers or {})
+        #: Total seconds the client may spend honouring ``Retry-After``
+        #: waits on one request; ``0`` disables retrying entirely.
+        self.retry_after_cap = retry_after_cap
 
     def with_headers(self, headers: Mapping[str, str]) -> "RestClient":
         """A copy of this client with extra default headers."""
         merged = {**self.default_headers, **headers}
-        return RestClient(self.registry, base=self.base, headers=merged)
+        return RestClient(
+            self.registry, base=self.base, headers=merged, retry_after_cap=self.retry_after_cap
+        )
 
     def url(self, path: str, query: Mapping[str, Any] | None = None) -> str:
         absolute = join_url(self.base, path)
@@ -77,9 +111,32 @@ class RestClient:
         body: bytes = b"",
         headers: Mapping[str, str] | None = None,
     ) -> Response:
-        """Send a request and return the raw response, whatever its status."""
+        """Send a request and return the raw response, whatever its status.
+
+        ``429``/``503`` responses advertising a seconds-form ``Retry-After``
+        are retried after the advertised delay — but only for requests that
+        are safe to replay (idempotent methods, or POSTs carrying an
+        ``Idempotency-Key``). The total time spent waiting is bounded by
+        :attr:`retry_after_cap` on a monotonic deadline.
+        """
         merged = {**self.default_headers, **(headers or {})}
-        return self.registry.request(method, self.url(path, query), headers=merged, body=body)
+        url = self.url(path, query)
+        response = self.registry.request(method, url, headers=merged, body=body)
+        if self.retry_after_cap <= 0 or response.status not in (429, 503):
+            return response
+        if method.upper() not in _IDEMPOTENT_METHODS and IDEMPOTENCY_KEY_HEADER not in merged:
+            return response
+        deadline = time.monotonic() + self.retry_after_cap
+        while response.status in (429, 503):
+            delay = parse_retry_after(response.headers.get("Retry-After"))
+            if delay is None:
+                break
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            time.sleep(min(delay, remaining))
+            response = self.registry.request(method, url, headers=merged, body=body)
+        return response
 
     def request_json(
         self,

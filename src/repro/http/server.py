@@ -8,6 +8,9 @@ runs and multi-container benchmarks free of port clashes.
 
 from __future__ import annotations
 
+import contextlib
+import socket
+import sys
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
@@ -20,10 +23,19 @@ SUPPORTED_METHODS = ("GET", "POST", "DELETE", "PUT")
 
 
 class _AppRequestHandler(BaseHTTPRequestHandler):
-    """Adapts ``http.server`` parsing to the :class:`RestApp` interface."""
+    """Adapts ``http.server`` parsing to the :class:`RestApp` interface.
+
+    ``protocol_version = HTTP/1.1`` makes connections persistent by
+    default: the base class keeps the socket open across requests unless
+    the client asks ``Connection: close``, and every response here carries
+    a ``Content-Length``, which is what persistent connections require.
+    """
 
     protocol_version = "HTTP/1.1"
     server_version = "MathCloud/1.0"
+    #: Idle keep-alive connections are dropped after this many seconds so
+    #: abandoned sockets cannot pin handler threads forever.
+    timeout = 60.0
     app: RestApp  # set on the generated subclass
 
     def _dispatch(self) -> None:
@@ -61,11 +73,59 @@ class _AppRequestHandler(BaseHTTPRequestHandler):
 
 
 class _Server(ThreadingHTTPServer):
-    """Bounded thread-per-connection server with a deep accept backlog
-    (clients open one connection per request, so bursts are normal)."""
+    """Bounded thread-per-connection server with a deep accept backlog.
+
+    Counts accepted connections: with keep-alive clients many requests
+    share one connection, and the keep-alive regression tests assert
+    exactly that.
+    """
 
     request_queue_size = 128
     daemon_threads = True
+
+    def __init__(self, *args: object, **kwargs: object) -> None:
+        super().__init__(*args, **kwargs)  # type: ignore[arg-type]
+        self.connections_accepted = 0
+        self._open_lock = threading.Lock()
+        self._open_connections: set[socket.socket] = set()
+
+    def get_request(self):  # noqa: ANN201 - socketserver signature
+        request = super().get_request()
+        # the accept loop is single-threaded, so a plain increment is safe
+        self.connections_accepted += 1
+        with self._open_lock:
+            self._open_connections.add(request[0])
+        return request
+
+    def handle_error(self, request, client_address) -> None:  # noqa: ANN001
+        # connection resets and broken pipes are routine — a client gave up
+        # on a long-poll, or this server is being stopped and its sockets
+        # severed; only genuinely unexpected errors deserve the traceback
+        exception = sys.exc_info()[1]
+        if isinstance(exception, (ConnectionError, TimeoutError)):
+            return
+        super().handle_error(request, client_address)
+
+    def close_request(self, request) -> None:  # noqa: ANN001 - socketserver signature
+        with self._open_lock:
+            self._open_connections.discard(request)
+        super().close_request(request)
+
+    def close_connections(self) -> None:
+        """Sever every live keep-alive connection.
+
+        A persistent connection otherwise outlives the listener: its
+        handler thread keeps answering requests after ``server_close``,
+        so a "stopped" server would still serve pooled client sockets.
+        """
+        with self._open_lock:
+            connections = list(self._open_connections)
+            self._open_connections.clear()
+        for connection in connections:
+            with contextlib.suppress(OSError):
+                connection.shutdown(socket.SHUT_RDWR)
+            with contextlib.suppress(OSError):
+                connection.close()
 
 
 class RestServer:
@@ -97,6 +157,11 @@ class RestServer:
         """The ``http://host:port`` prefix under which the app is reachable."""
         return f"http://{self.host}:{self.port}"
 
+    @property
+    def connections_accepted(self) -> int:
+        """How many TCP connections the server has accepted so far."""
+        return self._server.connections_accepted
+
     def start(self) -> "RestServer":
         if self._thread is not None:
             raise RuntimeError("server already started")
@@ -112,6 +177,7 @@ class RestServer:
         if self._thread is None:
             return
         self._server.shutdown()
+        self._server.close_connections()
         self._server.server_close()
         self._thread.join(timeout=5)
         self._thread = None

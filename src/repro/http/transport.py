@@ -1,9 +1,9 @@
 """Client-side transports.
 
 Every REST interaction in the platform goes through the :class:`Transport`
-interface, so callers (clients, the workflow engine, the catalogue pinger)
-are agnostic about whether a service lives behind a real TCP socket
-(:class:`HttpTransport`) or in the same process
+interface, so callers (clients, the workflow engine, the catalogue pinger,
+the gateway) are agnostic about whether a service lives behind a real TCP
+socket (:class:`HttpTransport`) or in the same process
 (:class:`LocalTransport`). The two are semantically identical: both carry
 the full request/response model including headers, status codes and bodies.
 """
@@ -11,6 +11,8 @@ the full request/response model including headers, status codes and bodies.
 from __future__ import annotations
 
 import http.client
+import threading
+from collections import deque
 from typing import Mapping
 from urllib.parse import urlsplit
 
@@ -20,6 +22,18 @@ from repro.http.messages import Headers, Request, Response
 
 class TransportError(Exception):
     """A connection-level failure (service unreachable, socket error)."""
+
+
+class ConnectError(TransportError):
+    """The connection could not be established at all.
+
+    No request bytes reached the server, so the request was provably not
+    processed — callers (the gateway's retry path) may replay it on another
+    authority without risking duplicate side effects. Errors raised after
+    the connection was up (send or receive failures) stay plain
+    :class:`TransportError`, because the server may have processed the
+    request before the socket died.
+    """
 
 
 class Transport:
@@ -48,18 +62,41 @@ class Transport:
         return parts.scheme in self.schemes
 
 
+#: Socket errors that mean a *reused* keep-alive connection went stale
+#: (the server closed it between requests). Retried once on a fresh
+#: connection — the request never reached the application, so the retry
+#: cannot duplicate work.
+_STALE_ERRORS = (
+    ConnectionResetError,
+    ConnectionAbortedError,
+    BrokenPipeError,
+    http.client.BadStatusLine,
+    http.client.CannotSendRequest,
+    http.client.ResponseNotReady,
+)
+
+
 class HttpTransport(Transport):
     """Carries requests over TCP using the standard library HTTP client.
 
-    A new connection per request keeps the transport thread-safe; the
-    platform's traffic is job-grained, so connection reuse is not worth the
-    locking it would need.
+    Connections are kept alive and pooled per ``(host, port)``: sequential
+    requests to the same authority reuse one socket instead of paying a TCP
+    handshake each (the gateway's health probes and retries hit the same
+    replicas continuously). Each pooled connection is used by one thread at
+    a time; the pool itself is lock-protected, so the transport stays
+    shareable across threads. A request sent on a reused socket that turns
+    out to be stale is transparently replayed once on a fresh connection.
     """
 
     schemes = ("http",)
 
-    def __init__(self, timeout: float = 30.0):
+    def __init__(self, timeout: float = 30.0, keep_alive: bool = True, pool_size: int = 8):
         self.timeout = timeout
+        self.keep_alive = keep_alive
+        #: Max idle connections kept per (host, port).
+        self.pool_size = pool_size
+        self._lock = threading.Lock()
+        self._pool: dict[tuple[str, int], deque[http.client.HTTPConnection]] = {}
 
     def request(
         self,
@@ -74,18 +111,88 @@ class HttpTransport(Transport):
         target = parts.path or "/"
         if parts.query:
             target += "?" + parts.query
-        connection = http.client.HTTPConnection(parts.hostname, parts.port or 80, timeout=self.timeout)
+        authority = (parts.hostname or "", parts.port or 80)
+        connection, reused = self._acquire(authority)
         try:
-            connection.request(method.upper(), target, body=body or None, headers=dict(headers or {}))
-            raw = connection.getresponse()
-            response = Response(status=raw.status, body=raw.read())
-            for name, value in raw.getheaders():
-                response.headers.add(name, value)
-            return response
-        except (OSError, http.client.HTTPException) as exc:
-            raise TransportError(f"{method} {url} failed: {exc}") from exc
-        finally:
+            return self._send(connection, authority, method, target, headers, body)
+        except _STALE_ERRORS as exc:
             connection.close()
+            if not reused:
+                raise TransportError(f"{method} {url} failed: {exc}") from exc
+            # the pooled socket died between requests; replay on a fresh one
+            connection, _ = self._acquire(authority, fresh=True)
+            try:
+                return self._send(connection, authority, method, target, headers, body)
+            except (OSError, http.client.HTTPException) as retry_exc:
+                connection.close()
+                raise TransportError(f"{method} {url} failed: {retry_exc}") from retry_exc
+        except ConnectError:
+            raise
+        except (OSError, http.client.HTTPException) as exc:
+            connection.close()
+            raise TransportError(f"{method} {url} failed: {exc}") from exc
+
+    def close(self) -> None:
+        """Drop every idle pooled connection."""
+        with self._lock:
+            pools, self._pool = self._pool, {}
+        for idle in pools.values():
+            for connection in idle:
+                connection.close()
+
+    # ----------------------------------------------------------- internals
+
+    def _acquire(
+        self, authority: tuple[str, int], fresh: bool = False
+    ) -> tuple[http.client.HTTPConnection, bool]:
+        """A connection for ``authority``: pooled when available, else new.
+
+        Returns ``(connection, reused)``; a new connection is connected
+        eagerly so establishment failures surface as :class:`ConnectError`.
+        """
+        if self.keep_alive and not fresh:
+            with self._lock:
+                idle = self._pool.get(authority)
+                if idle:
+                    return idle.pop(), True
+        connection = http.client.HTTPConnection(authority[0], authority[1], timeout=self.timeout)
+        try:
+            connection.connect()
+        except OSError as exc:
+            connection.close()
+            raise ConnectError(f"cannot connect to {authority[0]}:{authority[1]}: {exc}") from exc
+        return connection, False
+
+    def _release(self, authority: tuple[str, int], connection: http.client.HTTPConnection) -> None:
+        if not self.keep_alive:
+            connection.close()
+            return
+        with self._lock:
+            idle = self._pool.setdefault(authority, deque())
+            if len(idle) < self.pool_size:
+                idle.append(connection)
+                return
+        connection.close()
+
+    def _send(
+        self,
+        connection: http.client.HTTPConnection,
+        authority: tuple[str, int],
+        method: str,
+        target: str,
+        headers: Mapping[str, str] | None,
+        body: bytes,
+    ) -> Response:
+        connection.request(method.upper(), target, body=body or None, headers=dict(headers or {}))
+        raw = connection.getresponse()
+        response = Response(status=raw.status, body=raw.read())
+        for name, value in raw.getheaders():
+            response.headers.add(name, value)
+        if raw.will_close:
+            connection.close()
+        else:
+            self._release(authority, connection)
+        return response
 
 
 class LocalTransport(Transport):
@@ -124,7 +231,7 @@ class LocalTransport(Transport):
             raise TransportError(f"LocalTransport cannot handle {url!r}")
         app = self._apps.get(parts.netloc)
         if app is None:
-            raise TransportError(f"no local application bound at {parts.netloc!r}")
+            raise ConnectError(f"no local application bound at {parts.netloc!r}")
         target = parts.path or "/"
         if parts.query:
             target += "?" + parts.query

@@ -93,10 +93,18 @@ class ExecutorPool:
 
     @property
     def stopped(self) -> bool:
-        return self._stopped
+        with self._lock:
+            return self._stopped
 
     @property
     def stats(self) -> PoolStats:
+        """An atomic snapshot of the four counters.
+
+        All counters are read under the pool lock — the same lock every
+        mutation holds — so a reader can never observe a torn state such
+        as a task counted both ``queued`` and ``running`` (gateway health
+        reports poll this from other threads).
+        """
         with self._lock:
             return PoolStats(
                 queued=self._queued,
@@ -107,12 +115,15 @@ class ExecutorPool:
 
     def submit(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> TaskHandle:
         """Queue one task; returns its completion handle."""
-        if self._stopped:
-            raise RuntimeError(f"pool {self.name!r} is shut down")
         handle = TaskHandle()
+        # the stop check, counter bump and enqueue happen under one lock:
+        # a submit can then never slip a task behind shutdown's sentinels,
+        # where no worker would ever pick it up
         with self._lock:
+            if self._stopped:
+                raise RuntimeError(f"pool {self.name!r} is shut down")
             self._queued += 1
-        self._queue.put((handle, lambda: fn(*args, **kwargs)))
+            self._queue.put((handle, lambda: fn(*args, **kwargs)))
         return handle
 
     def shutdown(self, wait: bool = True) -> None:
@@ -121,9 +132,10 @@ class ExecutorPool:
         Queued tasks submitted before shutdown are still drained; with
         ``wait`` the call blocks until every worker exits.
         """
-        self._stopped = True
-        for _ in self._threads:
-            self._queue.put(None)
+        with self._lock:
+            self._stopped = True
+            for _ in self._threads:
+                self._queue.put(None)
         if wait:
             for thread in self._threads:
                 thread.join(timeout=5)

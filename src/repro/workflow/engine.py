@@ -79,6 +79,7 @@ class WorkflowEngine:
         poll: float = 0.02,
         headers: Mapping[str, str] | None = None,
         wait_chunk: float = 0.5,
+        resubmit_lost: int = 1,
     ):
         self.registry = registry or TransportRegistry()
         self.max_parallel = max_parallel
@@ -89,6 +90,12 @@ class WorkflowEngine:
         self.wait_chunk = wait_chunk
         #: Headers sent with every service call (credentials / delegation).
         self.headers = dict(headers or {})
+        #: How many times a service block is resubmitted from scratch when
+        #: its job resource is *lost* — the backend (typically a gateway
+        #: replica) becomes unreachable or answers 502/503. Running against
+        #: a replicated gateway, the resubmission lands on a survivor, so
+        #: workflows ride out a replica failure mid-run.
+        self.resubmit_lost = resubmit_lost
 
     def execute(
         self,
@@ -252,8 +259,29 @@ class _Run:
         raise TypeError(f"engine cannot execute block kind {block.kind!r}")
 
     def _run_service(self, block: ServiceBlock) -> dict[str, Any]:
-        proxy = ServiceProxy(block.uri, self.engine.registry, headers=self.headers)
-        handle = proxy.submit_dict(self._block_inputs(block))
+        # idempotent submits: a fresh Idempotency-Key per submission lets a
+        # gateway replay the POST across replicas on connection failures
+        proxy = ServiceProxy(
+            block.uri, self.engine.registry, headers=self.headers, idempotent_submits=True
+        )
+        inputs = self._block_inputs(block)
+        attempts = 1 + max(0, self.engine.resubmit_lost)
+        for attempt in range(attempts):
+            try:
+                return self._await_service(block, proxy, inputs)
+            except (TransportError, ClientError) as exc:
+                status = exc.status if isinstance(exc, ClientError) else None
+                lost = status in (502, 503) or isinstance(exc, TransportError)
+                if not lost or attempt + 1 >= attempts or self.cancel_event.is_set():
+                    raise
+                # the job resource is gone (replica died); submit afresh —
+                # a replicated gateway routes the retry to a survivor
+        raise AssertionError("unreachable")  # loop always returns or raises
+
+    def _await_service(
+        self, block: ServiceBlock, proxy: ServiceProxy, inputs: dict[str, Any]
+    ) -> dict[str, Any]:
+        handle = proxy.submit_dict(inputs)
         interval = self.engine.poll
         while True:
             # primary path: long-poll in wait_chunk blocks, so completion is

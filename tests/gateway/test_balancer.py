@@ -1,0 +1,94 @@
+"""The three balancing policies."""
+
+from collections import Counter
+
+import pytest
+
+from repro.gateway.balancer import (
+    ConsistentHashPolicy,
+    LeastOutstandingPolicy,
+    RoundRobinPolicy,
+    create_policy,
+)
+from repro.gateway.breaker import CircuitBreaker
+from repro.gateway.replicaset import Replica
+
+
+def replicas(*ids: str) -> list[Replica]:
+    return [Replica(rid, f"local://{rid}", CircuitBreaker()) for rid in ids]
+
+
+class TestRoundRobin:
+    def test_cycles_evenly(self):
+        pool = replicas("a", "b", "c")
+        policy = RoundRobinPolicy()
+        chosen = [policy.choose(pool).id for _ in range(9)]
+        assert chosen == ["a", "b", "c"] * 3
+
+    def test_adapts_to_a_shrinking_pool(self):
+        pool = replicas("a", "b", "c")
+        policy = RoundRobinPolicy()
+        policy.choose(pool)
+        counts = Counter(policy.choose(pool[:2]).id for _ in range(10))
+        assert counts["a"] == counts["b"] == 5
+
+
+class TestLeastOutstanding:
+    def test_picks_fewest_in_flight(self):
+        pool = replicas("a", "b")
+        pool[0].acquire_slot()
+        pool[0].acquire_slot()
+        pool[1].acquire_slot()
+        assert LeastOutstandingPolicy().choose(pool).id == "b"
+
+    def test_ties_break_by_id(self):
+        pool = replicas("b", "a")
+        assert LeastOutstandingPolicy().choose(pool).id == "a"
+
+
+class TestConsistentHash:
+    def test_same_key_lands_on_the_same_replica(self):
+        pool = replicas("a", "b", "c")
+        policy = ConsistentHashPolicy()
+        first = policy.choose(pool, key="job-42").id
+        assert all(policy.choose(pool, key="job-42").id == first for _ in range(20))
+
+    def test_keys_spread_over_the_pool(self):
+        pool = replicas("a", "b", "c")
+        policy = ConsistentHashPolicy()
+        counts = Counter(policy.choose(pool, key=f"key-{n}").id for n in range(300))
+        assert set(counts) == {"a", "b", "c"}
+        assert min(counts.values()) > 30  # no replica starves
+
+    def test_membership_change_only_moves_the_lost_replicas_keys(self):
+        pool = replicas("a", "b", "c")
+        policy = ConsistentHashPolicy()
+        keys = [f"key-{n}" for n in range(200)]
+        before = {key: policy.choose(pool, key=key).id for key in keys}
+        survivors = [replica for replica in pool if replica.id != "c"]
+        after = {key: policy.choose(survivors, key=key).id for key in keys}
+        moved = [key for key in keys if before[key] != after[key]]
+        assert all(before[key] == "c" for key in moved)  # only orphaned keys remap
+
+    def test_keyless_requests_fall_back_to_round_robin(self):
+        pool = replicas("a", "b")
+        policy = ConsistentHashPolicy()
+        counts = Counter(policy.choose(pool).id for _ in range(10))
+        assert counts["a"] == counts["b"] == 5
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        ("name", "cls"),
+        [
+            ("round-robin", RoundRobinPolicy),
+            ("least-outstanding", LeastOutstandingPolicy),
+            ("consistent-hash", ConsistentHashPolicy),
+        ],
+    )
+    def test_known_names(self, name, cls):
+        assert isinstance(create_policy(name), cls)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown balancing policy"):
+            create_policy("random")

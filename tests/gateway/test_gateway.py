@@ -1,0 +1,413 @@
+"""The gateway REST application over the in-process transport.
+
+Every behaviour here is transport-agnostic (the gateway is a RestApp);
+the TCP path is exercised by ``tests/integration/test_gateway_failover``.
+"""
+
+import itertools
+import threading
+import time
+
+import pytest
+
+from repro.container import ServiceContainer
+from repro.gateway import ServiceGateway
+from repro.gateway.replicaset import ReplicaSet, ReplicaState
+from repro.http.client import IDEMPOTENCY_KEY_HEADER, ClientError, RestClient
+from repro.http.messages import Headers, Request
+from repro.http.registry import TransportRegistry
+from repro.http.transport import TransportError
+
+_ADD = {
+    "description": {
+        "name": "add",
+        "inputs": {"a": {"schema": {"type": "number"}}, "b": {"schema": {"type": "number"}}},
+        "outputs": {"result": {"schema": {"type": "number"}}},
+    },
+    "adapter": "python",
+    "config": {"callable": lambda a, b: {"result": a + b}},
+}
+
+
+def _slow(delay):
+    def run(delay=delay):
+        time.sleep(delay)
+        return {"result": delay}
+
+    return {
+        "description": {
+            "name": "slow",
+            "inputs": {},
+            "outputs": {"result": {"schema": {"type": "number"}}},
+        },
+        "adapter": "python",
+        "config": {"callable": run},
+    }
+
+
+_counter = itertools.count()
+
+
+@pytest.fixture(scope="module")
+def pool():
+    registry = TransportRegistry()
+    backends = []
+    for name in ("backend-a", "backend-b"):
+        container = ServiceContainer(name, handlers=2, registry=registry)
+        container.deploy(_ADD)
+        container.deploy(_slow(0.3))
+        backends.append(container)
+    yield registry, backends
+    for container in backends:
+        container.shutdown()
+
+
+@pytest.fixture()
+def make_gateway(pool, request):
+    registry, backends = pool
+
+    def factory(replicas=None, base_urls=None, **options):
+        gateway = ServiceGateway(
+            registry=registry,
+            name=f"gw-{next(_counter)}",
+            replicas=replicas,
+            **options,
+        )
+        for url in base_urls if base_urls is not None else [c.local_base for c in backends]:
+            gateway.add_replica(url)
+        request.addfinalizer(gateway.shutdown)
+        return gateway
+
+    return factory
+
+
+@pytest.fixture()
+def gateway(make_gateway):
+    return make_gateway()
+
+
+@pytest.fixture()
+def client(pool):
+    registry, _ = pool
+    return RestClient(registry, retry_after_cap=0.0)
+
+
+class TestSpreadAndPinning:
+    def test_round_robin_spreads_submits(self, gateway, client):
+        first = client.post(gateway.service_uri("add"), payload={"a": 1, "b": 2})
+        second = client.post(gateway.service_uri("add"), payload={"a": 3, "b": 4})
+        assert first["id"].startswith("r0.")
+        assert second["id"].startswith("r1.")
+        for job in (first, second):
+            assert job["uri"].startswith(gateway.base_uri)
+
+    def test_job_lifecycle_through_the_gateway(self, gateway, client):
+        job = client.post(gateway.service_uri("add"), payload={"a": 20, "b": 22})
+        final = client.get(job["uri"], query={"wait": "5"})
+        assert final["state"] == "DONE"
+        assert final["results"] == {"result": 42}
+        assert final["uri"].startswith(gateway.base_uri)
+        assert final["id"] == job["id"]
+
+    def test_wait_long_poll_passes_through(self, gateway, client):
+        job = client.post(gateway.service_uri("slow"), payload={})
+        started = time.monotonic()
+        final = client.get(job["uri"], query={"wait": "5"})
+        elapsed = time.monotonic() - started
+        assert final["state"] == "DONE"
+        assert elapsed < 4.0  # answered by the job's own transition, not the full wait
+
+    def test_delete_cancels_the_pinned_job(self, gateway, client, pool):
+        registry, _ = pool
+        job = client.post(gateway.service_uri("slow"), payload={})
+        client.delete(job["uri"])
+        response = registry.request("GET", job["uri"])
+        assert response.status in (200, 404, 410)
+        if response.status == 200:
+            assert response.json_body["state"] in ("CANCELLED", "FAILED")
+
+    def test_unknown_replica_prefix_is_404(self, gateway, client):
+        with pytest.raises(ClientError) as excinfo:
+            client.get(gateway.service_uri("add") + "/jobs/zz.j-1")
+        assert excinfo.value.status == 404
+
+    def test_unprefixed_job_id_is_404(self, gateway, client):
+        with pytest.raises(ClientError) as excinfo:
+            client.get(gateway.service_uri("add") + "/jobs/j-1")
+        assert excinfo.value.status == 404
+
+
+class TestRewriting:
+    def test_index_advertises_gateway_uris(self, gateway, client):
+        document = client.get(gateway.base_uri + "/services")
+        assert document["gateway"] == gateway.name
+        uris = [service["uri"] for service in document["services"]]
+        assert uris and all(uri.startswith(gateway.base_uri) for uri in uris)
+
+    def test_describe_advertises_gateway_uris(self, gateway, client):
+        document = client.get(gateway.service_uri("add"))
+        assert document["name"] == "add"
+
+    def test_health_reports_the_pool(self, gateway, client):
+        document = client.get(gateway.base_uri + "/health")
+        assert document["gateway"] == gateway.name
+        assert document["policy"] == "round-robin"
+        assert [row["id"] for row in document["replicas"]] == ["r0", "r1"]
+        assert all(row["state"] == "HEALTHY" for row in document["replicas"])
+
+    def test_file_references_are_rewritten_and_fetchable(self, pool, make_gateway, client):
+        registry, backends = pool
+
+        def blob(context):
+            return {"blob": context.store_file(b"gateway bytes", name="blob.bin")}
+
+        backends[0].deploy(
+            {
+                "description": {
+                    "name": "filer",
+                    "inputs": {},
+                    "outputs": {"blob": {"schema": True}},
+                },
+                "adapter": "python",
+                "config": {"callable": blob},
+            }
+        )
+        try:
+            gateway = make_gateway(base_urls=[backends[0].local_base])
+            job = client.post(gateway.service_uri("filer"), payload={})
+            final = client.get(job["uri"], query={"wait": "5"})
+            file_uri = final["results"]["blob"]["$file"]
+            assert file_uri.startswith(gateway.base_uri)
+            assert client.get_bytes(file_uri) == b"gateway bytes"
+        finally:
+            backends[0].undeploy("filer")
+
+
+class TestIdempotency:
+    def test_same_key_returns_the_same_job(self, gateway, client):
+        headers = {IDEMPOTENCY_KEY_HEADER: "ik-dup"}
+        first = client.request_json(
+            "POST", gateway.service_uri("add"), payload={"a": 1, "b": 1}, headers=headers
+        )
+        second = client.request_json(
+            "POST", gateway.service_uri("add"), payload={"a": 1, "b": 1}, headers=headers
+        )
+        assert first["uri"] == second["uri"]
+        assert len(gateway.idempotency) == 1
+
+    def test_distinct_keys_create_distinct_jobs(self, gateway, client):
+        uris = {
+            client.request_json(
+                "POST",
+                gateway.service_uri("add"),
+                payload={"a": 1, "b": 1},
+                headers={IDEMPOTENCY_KEY_HEADER: f"ik-{n}"},
+            )["uri"]
+            for n in range(2)
+        }
+        assert len(uris) == 2
+
+
+class TestFailureHandling:
+    def test_connect_failure_replays_on_a_survivor(self, pool, make_gateway, client):
+        registry, backends = pool
+        gateway = make_gateway(base_urls=["local://nothing-bound", backends[0].local_base])
+        # round-robin picks the dead replica first; nothing was sent, so the
+        # POST replays on the live one even without an Idempotency-Key
+        job = client.post(gateway.service_uri("add"), payload={"a": 2, "b": 3})
+        assert job["id"].startswith("r1.")
+
+    def test_mid_request_failure_without_key_is_502(self, pool, make_gateway, client, monkeypatch):
+        registry, backends = pool
+        gateway = make_gateway(base_urls=[backends[0].local_base])
+        original = registry.request
+        failed = []
+
+        def flaky(method, url, **kwargs):
+            # fail only the gateway→replica leg, not the client→gateway one
+            if method == "POST" and url.startswith("local://backend") and not failed:
+                failed.append(url)
+                raise TransportError("connection reset mid-request")
+            return original(method, url, **kwargs)
+
+        monkeypatch.setattr(registry, "request", flaky)
+        with pytest.raises(ClientError) as excinfo:
+            client.post(gateway.service_uri("add"), payload={"a": 1, "b": 1})
+        assert excinfo.value.status == 502
+        assert failed  # the failure really was injected
+
+    def test_mid_request_failure_with_key_replays(self, pool, make_gateway, client, monkeypatch):
+        registry, backends = pool
+        gateway = make_gateway()
+        original = registry.request
+        failed = []
+
+        def flaky(method, url, **kwargs):
+            if method == "POST" and url.startswith("local://backend") and not failed:
+                failed.append(url)
+                raise TransportError("connection reset mid-request")
+            return original(method, url, **kwargs)
+
+        monkeypatch.setattr(registry, "request", flaky)
+        job = client.request_json(
+            "POST",
+            gateway.service_uri("add"),
+            payload={"a": 5, "b": 5},
+            headers={IDEMPOTENCY_KEY_HEADER: "ik-replay"},
+        )
+        assert failed
+        final = client.get(job["uri"], query={"wait": "5"})
+        assert final["results"] == {"result": 10}
+
+    def test_all_replicas_down_is_503_with_retry_after(self, pool, make_gateway):
+        registry, _ = pool
+        gateway = make_gateway(base_urls=["local://nothing-bound"])
+        for _ in range(3):
+            gateway.replicas.get("r0").record_probe(False)
+        assert gateway.replicas.get("r0").state is ReplicaState.DOWN
+        response = registry.request(
+            "POST", gateway.service_uri("add"), body=b'{"a": 1, "b": 1}'
+        )
+        assert response.status == 503
+        assert float(response.headers.get("Retry-After")) > 0
+
+    def test_pinned_route_to_down_replica_is_503(self, pool, gateway, client):
+        registry, _ = pool
+        job = client.post(gateway.service_uri("add"), payload={"a": 1, "b": 1})
+        replica = gateway.replicas.get(job["id"].split(".")[0])
+        for _ in range(3):
+            replica.record_probe(False)
+        response = registry.request("GET", job["uri"])
+        assert response.status == 503
+
+    def test_eviction_drops_cached_submits(self, gateway, client):
+        job = client.request_json(
+            "POST",
+            gateway.service_uri("add"),
+            payload={"a": 1, "b": 1},
+            headers={IDEMPOTENCY_KEY_HEADER: "ik-evict"},
+        )
+        owner = job["id"].split(".")[0]
+        assert len(gateway.idempotency) == 1
+        gateway.evict(owner)
+        assert len(gateway.idempotency) == 0
+        assert gateway.replicas.get(owner) is None
+
+
+class TestBackpressure:
+    def test_saturated_pool_sheds_with_429(self, pool, make_gateway):
+        registry, _ = pool
+        release = threading.Event()
+        entered = threading.Event()
+
+        def blocked():
+            entered.set()
+            release.wait(timeout=10)
+            return {"ok": True}
+
+        blocker = ServiceContainer(f"blocker-{next(_counter)}", handlers=1, registry=registry)
+        blocker.deploy(
+            {
+                "description": {
+                    "name": "hold",
+                    "inputs": {},
+                    "outputs": {"ok": {"schema": True}},
+                },
+                "adapter": "python",
+                "config": {"callable": blocked},
+                "mode": "sync",
+            }
+        )
+        gateway = make_gateway(
+            replicas=ReplicaSet(registry=registry, max_in_flight=1),
+            base_urls=[blocker.local_base],
+        )
+        results = {}
+
+        def submit():
+            results["held"] = registry.request("POST", gateway.service_uri("hold"), body=b"{}")
+
+        worker = threading.Thread(target=submit)
+        worker.start()
+        try:
+            assert entered.wait(timeout=5)  # the only slot is now occupied
+            shed = registry.request("POST", gateway.service_uri("hold"), body=b"{}")
+            assert shed.status == 429
+            assert float(shed.headers.get("Retry-After")) > 0
+        finally:
+            release.set()
+            worker.join(timeout=10)
+            blocker.shutdown()
+        assert results["held"].ok
+
+
+class TestComposition:
+    def test_gateway_of_gateways_stacks_prefixes(self, pool, make_gateway, client):
+        registry, backends = pool
+        inner = make_gateway(base_urls=[backend.local_base for backend in backends])
+        outer = make_gateway(base_urls=[inner.local_base])
+        job = client.post(outer.service_uri("add"), payload={"a": 6, "b": 7})
+        outer_prefix, inner_prefix = job["id"].split(".")[:2]
+        assert outer_prefix == "r0"  # the outer gateway's only replica
+        assert inner_prefix in ("r0", "r1")  # whichever backend the inner picked
+        assert job["uri"].startswith(outer.base_uri)
+        final = client.get(job["uri"], query={"wait": "5"})
+        assert final["state"] == "DONE"
+        assert final["results"] == {"result": 13}
+
+
+class TestHeaderForwarding:
+    def test_hop_by_hop_headers_are_stripped(self, gateway):
+        request = Request(
+            method="POST",
+            path="/services/add",
+            headers=Headers(
+                {
+                    "Connection": "keep-alive",
+                    "Host": "gw:9000",
+                    "Content-Length": "17",
+                    "Authorization": "Bearer tok",
+                    IDEMPOTENCY_KEY_HEADER: "ik-1",
+                }
+            ),
+            context={"request_id": "req-123"},
+        )
+        forwarded = gateway._forward_headers(request)
+        assert "Connection" not in forwarded
+        assert "Host" not in forwarded
+        assert "Content-Length" not in forwarded
+        assert forwarded["Authorization"] == "Bearer tok"
+        assert forwarded[IDEMPOTENCY_KEY_HEADER] == "ik-1"
+        assert forwarded["X-Request-Id"] == "req-123"
+
+    def test_request_id_threads_to_the_replica(self, pool, make_gateway, client):
+        registry, _ = pool
+        seen = {}
+
+        def recorder():
+            from repro.runtime.context import current_context
+
+            seen["request_id"] = current_context().request_id
+            return {"ok": True}
+
+        echo = ServiceContainer(f"echo-{next(_counter)}", handlers=1, registry=registry)
+        echo.deploy(
+            {
+                "description": {
+                    "name": "who",
+                    "inputs": {},
+                    "outputs": {"ok": {"schema": True}},
+                },
+                "adapter": "python",
+                "config": {"callable": recorder},
+                "mode": "sync",
+            }
+        )
+        try:
+            gateway = make_gateway(base_urls=[echo.local_base])
+            client.with_headers({"X-Request-Id": "corr-42"}).post(
+                gateway.service_uri("who"), payload={}
+            )
+            assert seen["request_id"] == "corr-42"
+        finally:
+            echo.shutdown()

@@ -1,0 +1,71 @@
+"""The Idempotency-Key response cache."""
+
+import pytest
+
+from repro.gateway.idempotency import IdempotencyCache
+from repro.http.messages import Response
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def stored(status=201, body=b'{"id": "j-1"}'):
+    return Response(status=status, body=body)
+
+
+def test_miss_returns_none():
+    assert IdempotencyCache().get("nope") is None
+
+
+def test_hit_returns_an_equivalent_copy():
+    cache = IdempotencyCache()
+    cache.put("k", "r0", stored())
+    replay = cache.get("k")
+    assert replay.status == 201
+    assert replay.body == b'{"id": "j-1"}'
+    # a fresh object each time: mutating the replay cannot poison the cache
+    replay.headers.set("X-Mutated", "yes")
+    assert cache.get("k").headers.get("X-Mutated") is None
+
+
+def test_entries_expire_after_ttl():
+    clock = FakeClock()
+    cache = IdempotencyCache(ttl=10.0, clock=clock)
+    cache.put("k", "r0", stored())
+    clock.now = 9.0
+    assert cache.get("k") is not None
+    clock.now = 11.0
+    assert cache.get("k") is None
+    assert len(cache) == 0  # expired entries are dropped, not kept
+
+
+def test_capacity_evicts_least_recently_used():
+    cache = IdempotencyCache(capacity=2)
+    cache.put("a", "r0", stored())
+    cache.put("b", "r0", stored())
+    assert cache.get("a") is not None  # refresh 'a'
+    cache.put("c", "r0", stored())
+    assert cache.get("b") is None  # 'b' was the LRU entry
+    assert cache.get("a") is not None
+    assert cache.get("c") is not None
+
+
+def test_invalidate_replica_drops_only_its_entries():
+    cache = IdempotencyCache()
+    cache.put("a", "r0", stored())
+    cache.put("b", "r1", stored())
+    cache.put("c", "r0", stored())
+    assert cache.invalidate_replica("r0") == 2
+    assert cache.get("a") is None
+    assert cache.get("c") is None
+    assert cache.get("b") is not None
+
+
+def test_rejects_zero_capacity():
+    with pytest.raises(ValueError):
+        IdempotencyCache(capacity=0)

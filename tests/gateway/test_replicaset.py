@@ -1,0 +1,144 @@
+"""Replica health hysteresis, in-flight gauges and the replica registry."""
+
+import time
+
+import pytest
+
+from repro.container import ServiceContainer
+from repro.gateway.breaker import CircuitBreaker
+from repro.gateway.replicaset import Replica, ReplicaSet, ReplicaState
+from repro.http.registry import TransportRegistry
+
+
+def make_replica(max_in_flight: int = 2) -> Replica:
+    return Replica("r0", "local://backend", CircuitBreaker(), max_in_flight=max_in_flight)
+
+
+class TestHysteresis:
+    def test_one_failure_only_degrades(self):
+        replica = make_replica()
+        assert replica.record_probe(False) is ReplicaState.DEGRADED
+
+    def test_down_after_consecutive_failures(self):
+        replica = make_replica()  # default _down_after = 3
+        replica.record_probe(False)
+        replica.record_probe(False)
+        assert replica.record_probe(False) is ReplicaState.DOWN
+
+    def test_recovery_passes_through_degraded(self):
+        replica = make_replica()
+        for _ in range(3):
+            replica.record_probe(False)
+        assert replica.record_probe(True) is ReplicaState.DEGRADED
+        assert replica.record_probe(True) is ReplicaState.HEALTHY  # _up_after = 2
+
+    def test_flapping_never_reaches_down(self):
+        replica = make_replica()
+        for _ in range(10):
+            replica.record_probe(False)
+            state = replica.record_probe(True)
+        assert state is ReplicaState.DEGRADED
+
+    def test_healthy_stays_healthy_on_success(self):
+        replica = make_replica()
+        assert replica.record_probe(True) is ReplicaState.HEALTHY
+
+
+class TestInFlightGauge:
+    def test_bounded_acquire(self):
+        replica = make_replica(max_in_flight=2)
+        assert replica.acquire_slot()
+        assert replica.acquire_slot()
+        assert not replica.acquire_slot()
+        replica.release_slot()
+        assert replica.acquire_slot()
+
+    def test_release_never_goes_negative(self):
+        replica = make_replica()
+        replica.release_slot()
+        assert replica.in_flight == 0
+
+    def test_snapshot_reports_the_gauge(self):
+        replica = make_replica(max_in_flight=4)
+        replica.acquire_slot()
+        snapshot = replica.snapshot()
+        assert snapshot["in_flight"] == 1
+        assert snapshot["max_in_flight"] == 4
+        assert snapshot["state"] == "HEALTHY"
+        assert snapshot["breaker"] == "CLOSED"
+
+
+class TestMembership:
+    def test_auto_ids_are_sequential(self):
+        replicas = ReplicaSet()
+        assert replicas.add("local://a").id == "r0"
+        assert replicas.add("local://b").id == "r1"
+        assert len(replicas) == 2
+
+    def test_rejects_ids_with_the_separator(self):
+        replicas = ReplicaSet()
+        with pytest.raises(ValueError):
+            replicas.add("local://a", replica_id="a.b")
+        with pytest.raises(ValueError):
+            replicas.add("local://a", replica_id="a/b")
+
+    def test_rejects_duplicate_ids(self):
+        replicas = ReplicaSet()
+        replicas.add("local://a", replica_id="east")
+        with pytest.raises(ValueError):
+            replicas.add("local://b", replica_id="east")
+
+    def test_remove_unknown_raises(self):
+        with pytest.raises(KeyError):
+            ReplicaSet().remove("ghost")
+
+    def test_hysteresis_thresholds_validated(self):
+        with pytest.raises(ValueError):
+            ReplicaSet(down_after=0)
+
+    def test_thresholds_propagate_to_replicas(self):
+        replicas = ReplicaSet(down_after=1, up_after=1)
+        replica = replicas.add("local://a")
+        assert replica.record_probe(False) is ReplicaState.DOWN
+        assert replica.record_probe(True) is ReplicaState.HEALTHY
+
+
+class TestActiveProbes:
+    @pytest.fixture()
+    def backend(self):
+        registry = TransportRegistry()
+        container = ServiceContainer("probe-target", handlers=1, registry=registry)
+        yield registry, container
+        container.shutdown()
+
+    def test_probe_reachable_backend(self, backend):
+        registry, container = backend
+        replicas = ReplicaSet(registry=registry)
+        replica = replicas.add(container.local_base)
+        assert replicas.probe(replica)
+        assert replicas.check_now() == {"r0": ReplicaState.HEALTHY}
+
+    def test_probe_dead_backend_walks_it_down(self, backend):
+        registry, _ = backend
+        replicas = ReplicaSet(registry=registry, down_after=2)
+        replicas.add("local://nothing-bound-here")
+        assert replicas.check_now() == {"r0": ReplicaState.DEGRADED}
+        assert replicas.check_now() == {"r0": ReplicaState.DOWN}
+
+    def test_background_checker_detects_death(self, backend):
+        registry, container = backend
+        replicas = ReplicaSet(registry=registry, down_after=1)
+        replica = replicas.add(container.local_base)
+        replicas.start_health_checks(interval=0.02)
+        try:
+            with pytest.raises(RuntimeError):
+                replicas.start_health_checks(interval=0.02)
+            registry.unbind_local("probe-target")  # the backend dies
+            for _ in range(100):
+                if replica.state is ReplicaState.DOWN:
+                    break
+                time.sleep(0.02)
+            assert replica.state is ReplicaState.DOWN
+        finally:
+            replicas.stop_health_checks()
+        replicas.stop_health_checks()  # idempotent

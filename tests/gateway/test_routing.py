@@ -1,0 +1,98 @@
+"""Job-id prefix routing and URI/representation rewriting."""
+
+import pytest
+
+from repro.gateway.breaker import CircuitBreaker
+from repro.gateway.replicaset import Replica
+from repro.gateway.routing import (
+    decode_job_id,
+    encode_job_id,
+    rewrite_job_document,
+    rewrite_tree,
+    rewrite_uri,
+)
+from repro.http.messages import HttpError
+
+GATEWAY = "http://gw:9000"
+
+
+@pytest.fixture()
+def replica():
+    return Replica("r1", "http://backend-1:8001", CircuitBreaker())
+
+
+class TestJobIds:
+    def test_roundtrip(self):
+        assert decode_job_id(encode_job_id("r1", "j-abc")) == ("r1", "j-abc")
+
+    def test_prefixes_stack_and_peel_one_layer(self):
+        stacked = encode_job_id("outer", encode_job_id("inner", "j-abc"))
+        assert stacked == "outer.inner.j-abc"
+        assert decode_job_id(stacked) == ("outer", "inner.j-abc")
+
+    def test_unprefixed_id_is_a_404(self):
+        with pytest.raises(HttpError) as excinfo:
+            decode_job_id("j-abc")
+        assert excinfo.value.status == 404
+
+    @pytest.mark.parametrize("bad", [".j-abc", "r1."])
+    def test_empty_halves_are_404(self, bad):
+        with pytest.raises(HttpError):
+            decode_job_id(bad)
+
+
+class TestRewriteUri:
+    def test_job_uri_gets_prefixed_and_rebased(self, replica):
+        uri = "http://backend-1:8001/services/add/jobs/j-7"
+        assert rewrite_uri(uri, replica, GATEWAY) == f"{GATEWAY}/services/add/jobs/r1.j-7"
+
+    def test_file_uri_keeps_its_tail(self, replica):
+        uri = "http://backend-1:8001/services/add/jobs/j-7/files/f-1"
+        assert (
+            rewrite_uri(uri, replica, GATEWAY)
+            == f"{GATEWAY}/services/add/jobs/r1.j-7/files/f-1"
+        )
+
+    def test_service_uri_rebases_without_a_job_id(self, replica):
+        uri = "http://backend-1:8001/services/add"
+        assert rewrite_uri(uri, replica, GATEWAY) == f"{GATEWAY}/services/add"
+
+    def test_foreign_uris_pass_through(self, replica):
+        uri = "http://elsewhere:7000/services/add/jobs/j-7"
+        assert rewrite_uri(uri, replica, GATEWAY) == uri
+
+    def test_prefix_match_is_per_path_segment(self, replica):
+        # backend-1:8001x is a different authority, not a sub-path
+        uri = "http://backend-1:8001x/services/add"
+        assert rewrite_uri(uri, replica, GATEWAY) == uri
+
+
+class TestRewriteTree:
+    def test_rewrites_nested_values(self, replica):
+        document = {
+            "jobs": ["http://backend-1:8001/services/add/jobs/j-1"],
+            "meta": {"self": "http://backend-1:8001/services/add"},
+            "count": 3,
+        }
+        rewritten = rewrite_tree(document, replica, GATEWAY)
+        assert rewritten == {
+            "jobs": [f"{GATEWAY}/services/add/jobs/r1.j-1"],
+            "meta": {"self": f"{GATEWAY}/services/add"},
+            "count": 3,
+        }
+
+    def test_job_document_prefixes_the_bare_id(self, replica):
+        document = {
+            "id": "j-9",
+            "state": "DONE",
+            "uri": "http://backend-1:8001/services/add/jobs/j-9",
+            "results": {
+                "plot": {"$file": "http://backend-1:8001/services/add/jobs/j-9/files/f-2"}
+            },
+        }
+        rewritten = rewrite_job_document(document, replica, GATEWAY)
+        assert rewritten["id"] == "r1.j-9"
+        assert rewritten["uri"] == f"{GATEWAY}/services/add/jobs/r1.j-9"
+        assert rewritten["results"]["plot"]["$file"] == (
+            f"{GATEWAY}/services/add/jobs/r1.j-9/files/f-2"
+        )

@@ -1,0 +1,136 @@
+"""Failover integration: a replicated gateway over real TCP.
+
+A pool of three service containers sits behind one gateway; a workflow
+runs against the gateway's published URL while one replica is killed
+mid-run. The run must complete from the survivors — the paper's
+availability story for published services, supplied by the platform
+rather than by every client.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.container import ServiceContainer
+from repro.gateway import ServiceGateway
+from repro.gateway.replicaset import ReplicaSet, ReplicaState
+from repro.http.client import RestClient
+from repro.http.registry import TransportRegistry
+from repro.workflow.engine import WorkflowEngine
+from repro.workflow.model import (
+    DataType,
+    InputBlock,
+    OutputBlock,
+    ScriptBlock,
+    ServiceBlock,
+    Workflow,
+)
+
+_WORK = {
+    "description": {
+        "name": "work",
+        "inputs": {"x": {"schema": {"type": "number"}}},
+        "outputs": {"y": {"schema": {"type": "number"}}},
+    },
+    "adapter": "python",
+    "config": {"callable": lambda x: (time.sleep(0.2), {"y": x * 2})[1]},
+}
+
+
+@pytest.fixture()
+def cluster():
+    registry = TransportRegistry()
+    containers, servers = [], []
+    for index in range(3):
+        container = ServiceContainer(f"replica-{index}", handlers=4, registry=registry)
+        container.deploy(_WORK)
+        containers.append(container)
+        servers.append(container.serve())
+    replicas = ReplicaSet(registry=registry, down_after=2, up_after=2)
+    gateway = ServiceGateway(registry=registry, name="failover-gw", replicas=replicas)
+    for server in servers:
+        gateway.add_replica(server.base_url)
+    replicas.start_health_checks(interval=0.1)
+    gateway.serve()
+    yield registry, gateway, containers, servers
+    gateway.shutdown()
+    for container in containers:
+        container.shutdown()
+
+
+def _fan_out_workflow(gateway: ServiceGateway, registry, width: int) -> Workflow:
+    workflow = Workflow("fan-out")
+    workflow.add(InputBlock("x", type=DataType.NUMBER))
+    for index in range(width):
+        block = ServiceBlock(f"w{index}", uri=gateway.service_uri("work"))
+        block.introspect(registry)
+        workflow.add(block)
+        workflow.connect("x.value", f"w{index}.x")
+    total = ScriptBlock(
+        "total",
+        code="value = " + " + ".join(f"y{index}" for index in range(width)),
+        input_names=[f"y{index}" for index in range(width)],
+        output_names=["value"],
+    )
+    workflow.add(total)
+    for index in range(width):
+        workflow.connect(f"w{index}.y", f"total.y{index}")
+    workflow.add(OutputBlock("out"))
+    workflow.connect("total.value", "out.value")
+    return workflow
+
+
+class TestGatewayOverTcp:
+    def test_submit_and_collect_through_the_published_url(self, cluster):
+        registry, gateway, _, _ = cluster
+        client = RestClient(registry)
+        job = client.post(gateway.service_uri("work"), payload={"x": 21})
+        assert job["uri"].startswith(gateway.base_uri)  # an http:// URL now
+        final = client.get(job["uri"], query={"wait": "10"})
+        assert final["state"] == "DONE"
+        assert final["results"] == {"y": 42}
+
+    def test_health_reports_every_replica_up(self, cluster):
+        registry, gateway, _, _ = cluster
+        document = RestClient(registry).get(gateway.base_uri + "/health")
+        assert len(document["replicas"]) == 3
+
+
+class TestFailover:
+    def test_workflow_completes_while_a_replica_dies(self, cluster):
+        registry, gateway, _, servers = cluster
+        width = 6
+        workflow = _fan_out_workflow(gateway, registry, width)
+        engine = WorkflowEngine(registry=registry, max_parallel=width, wait_chunk=0.3)
+
+        outcome = {}
+
+        def run():
+            try:
+                outcome["outputs"] = engine.execute(workflow, {"x": 7})
+            except Exception as exc:  # noqa: BLE001 - recorded for the assertion
+                outcome["error"] = exc
+
+        runner = threading.Thread(target=run)
+        runner.start()
+        time.sleep(0.25)  # let blocks land on all three replicas
+        servers[0].stop()  # kill one replica mid-run
+        runner.join(timeout=60)
+        assert not runner.is_alive()
+        assert "error" not in outcome, f"workflow failed: {outcome.get('error')}"
+        assert outcome["outputs"] == {"out": 7 * 2 * width}
+
+    def test_killed_replica_is_marked_down_and_spreads_avoid_it(self, cluster):
+        registry, gateway, _, servers = cluster
+        servers[1].stop()
+        replica = gateway.replicas.get("r1")
+        deadline = time.monotonic() + 10
+        while replica.state is not ReplicaState.DOWN and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert replica.state is ReplicaState.DOWN
+        # every spread submit now avoids the dead replica — no failures
+        client = RestClient(registry)
+        for _ in range(6):
+            job = client.post(gateway.service_uri("work"), payload={"x": 1})
+            assert not job["id"].startswith("r1.")

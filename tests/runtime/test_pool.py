@@ -81,6 +81,65 @@ class TestExecutorPool:
         assert all(handle.done for handle in handles)
         assert results == [0, 1, 2, 3, 4]
 
+    def test_stats_snapshot_is_never_torn(self):
+        """Concurrent readers always see queued+running+completed+failed
+        equal to the number of submits they could have observed."""
+        pool = ExecutorPool(workers=2, name="snapshot")
+        submitted = 0
+        stop_reading = threading.Event()
+        torn: list[PoolStats] = []
+
+        def reader():
+            while not stop_reading.is_set():
+                stats = pool.stats
+                # `submitted` only grows, so a consistent snapshot can never
+                # account for more tasks than have ever been submitted
+                if stats.submitted > submitted or min(
+                    stats.queued, stats.running, stats.completed, stats.failed
+                ) < 0:
+                    torn.append(stats)
+
+        threads = [threading.Thread(target=reader) for _ in range(2)]
+        try:
+            for thread in threads:
+                thread.start()
+            for _ in range(300):
+                # count first: the snapshot may include the task the moment
+                # submit enqueues it, but never before this line runs
+                submitted += 1
+                pool.submit(lambda: None)
+        finally:
+            stop_reading.set()
+            for thread in threads:
+                thread.join(timeout=5)
+            pool.shutdown()
+        assert not torn
+
+    def test_shutdown_concurrent_with_submits_loses_no_accepted_task(self):
+        """A submit that is accepted (does not raise) must run: the stop
+        check and enqueue are atomic, so no task lands behind the shutdown
+        sentinels where no worker would pick it up."""
+        for _ in range(20):
+            pool = ExecutorPool(workers=2, name="race")
+            accepted = []
+            start = threading.Barrier(2)
+
+            def submitter():
+                start.wait()
+                for index in range(50):
+                    try:
+                        accepted.append(pool.submit(lambda value=index: value))
+                    except RuntimeError:
+                        break  # shutdown won the race: rejected, not lost
+
+            thread = threading.Thread(target=submitter)
+            thread.start()
+            start.wait()
+            pool.shutdown(wait=True)
+            thread.join(timeout=5)
+            for handle in accepted:
+                assert handle.wait(timeout=5), "accepted task never ran"
+
     def test_many_concurrent_submitters(self, pool):
         handles = []
         lock = threading.Lock()
