@@ -175,10 +175,26 @@ class ServiceGateway:
 
     def _submit(self, request: Request, name: str) -> Response:
         idempotency_key = request.headers.get(IDEMPOTENCY_KEY_HEADER)
-        if idempotency_key:
-            cached = self.idempotency.get(idempotency_key)
-            if cached is not None:
-                return cached
+        if not idempotency_key:
+            return self._submit_attempts(request, name, None)
+        # reserve the key before forwarding, so a concurrent duplicate waits
+        # for this attempt's outcome instead of racing it into a second job
+        owner, cached = self.idempotency.reserve(idempotency_key)
+        if cached is not None:
+            return cached
+        if not owner:
+            return self._unavailable(
+                503,
+                f"a request with Idempotency-Key {idempotency_key!r} is still in flight",
+            )
+        try:
+            return self._submit_attempts(request, name, idempotency_key)
+        finally:
+            # no-op when the attempt stored its response; otherwise hands
+            # the reservation to a waiting duplicate
+            self.idempotency.release(idempotency_key)
+
+    def _submit_attempts(self, request: Request, name: str, idempotency_key: str | None) -> Response:
         headers = self._forward_headers(request)
         tried: set[str] = set()
         saturated = False
@@ -302,9 +318,11 @@ class ServiceGateway:
     def _forward_any(self, method: str, path: str, request: Request) -> tuple[Replica, Response]:
         """Send an idempotent read to whichever available replica answers."""
         tried: set[str] = set()
+        saturated = False
         for _ in range(max(1, len(self.replicas))):
-            replica, _reason = self._select(tried, None)
+            replica, reason = self._select(tried, None)
             if replica is None:
+                saturated = saturated or reason == "saturated"
                 break
             try:
                 response = self.registry.request(
@@ -322,6 +340,8 @@ class ServiceGateway:
                 continue
             replica.breaker.record_success()
             return replica, response
+        if saturated:
+            raise self._unavailable_error(429, f"all replicas of {self.name!r} are at capacity")
         raise self._unavailable_error(503, f"no replica of {self.name!r} is reachable")
 
     def _pin(self, job_id: str) -> tuple[Replica, str]:
@@ -340,6 +360,7 @@ class ServiceGateway:
         if not replica.acquire_slot():
             raise self._unavailable_error(429, f"replica {replica.id!r} is at capacity")
         if not replica.breaker.allow():
+            replica.release_slot()
             raise self._unavailable_error(
                 503,
                 f"replica {replica.id!r} circuit is open",

@@ -7,6 +7,12 @@ successful response and replays it for every duplicate, so exactly one
 job is created per key no matter how many times the wire delivered the
 request.
 
+The "exactly one" guarantee holds under concurrency: a key is *reserved*
+before the first attempt is forwarded, and a duplicate arriving while the
+reservation is held waits for the first attempt's outcome instead of
+racing it into a second job. If the first attempt fails without storing a
+response, the longest-waiting duplicate inherits the reservation.
+
 Entries are bounded (LRU) and expire after a TTL; entries recorded against
 a replica that has since been evicted are dropped, because replaying a
 response that points at a dead replica would pin the client to a job that
@@ -31,34 +37,69 @@ class IdempotencyCache:
         capacity: int = 1024,
         ttl: float = 600.0,
         clock: Callable[[], float] = time.monotonic,
+        pending_timeout: float = 30.0,
     ):
         if capacity < 1:
             raise ValueError("capacity must be at least 1")
         self.capacity = capacity
         self.ttl = ttl
+        #: How long a duplicate waits on an in-flight reservation before
+        #: being rejected (the wall-clock wait always uses real time, even
+        #: when ``clock`` is injected for TTL testing).
+        self.pending_timeout = pending_timeout
         self._clock = clock
         self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._pending: set[str] = set()
         self._entries: "OrderedDict[str, tuple[float, str, Response]]" = OrderedDict()
 
     def get(self, key: str) -> Response | None:
         """The stored response for ``key`` (a fresh copy), or None."""
         with self._lock:
-            entry = self._entries.get(key)
-            if entry is None:
-                return None
-            stored_at, _, response = entry
-            if self._clock() - stored_at > self.ttl:
-                del self._entries[key]
-                return None
-            self._entries.move_to_end(key)
-            return Response(status=response.status, headers=response.headers.copy(), body=response.body)
+            return self._lookup(key)
+
+    def reserve(self, key: str) -> "tuple[bool, Response | None]":
+        """Claim ``key`` for a first attempt, or surface its prior outcome.
+
+        Returns ``(owner, cached)``:
+
+        - ``(False, response)`` — a stored response exists; replay it.
+        - ``(True, None)`` — the caller owns the key and must finish with
+          :meth:`put` (success) or :meth:`release` (no cacheable outcome).
+        - ``(False, None)`` — another attempt held the reservation past
+          ``pending_timeout``; the duplicate should be rejected with a
+          retryable status rather than risk a second job.
+        """
+        deadline = time.monotonic() + self.pending_timeout
+        with self._cond:
+            while True:
+                cached = self._lookup(key)
+                if cached is not None:
+                    return False, cached
+                if key not in self._pending:
+                    self._pending.add(key)
+                    return True, None
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False, None
+                self._cond.wait(remaining)
 
     def put(self, key: str, replica_id: str, response: Response) -> None:
-        with self._lock:
+        with self._cond:
             self._entries[key] = (self._clock(), replica_id, response)
             self._entries.move_to_end(key)
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
+            self._pending.discard(key)
+            self._cond.notify_all()
+
+    def release(self, key: str) -> None:
+        """Abandon a reservation whose attempt stored nothing; a waiting
+        duplicate (if any) inherits the key. No-op after :meth:`put`."""
+        with self._cond:
+            if key in self._pending:
+                self._pending.discard(key)
+                self._cond.notify_all()
 
     def invalidate_replica(self, replica_id: str) -> int:
         """Drop every entry recorded against ``replica_id``; returns count."""
@@ -71,3 +112,17 @@ class IdempotencyCache:
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
+
+    # ----------------------------------------------------------- internals
+
+    def _lookup(self, key: str) -> Response | None:
+        """A fresh copy of the stored response; caller holds the lock."""
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        stored_at, _, response = entry
+        if self._clock() - stored_at > self.ttl:
+            del self._entries[key]
+            return None
+        self._entries.move_to_end(key)
+        return Response(status=response.status, headers=response.headers.copy(), body=response.body)

@@ -132,9 +132,11 @@ class RestClient:
             if delay is None:
                 break
             remaining = deadline - time.monotonic()
-            if remaining <= 0:
+            if remaining <= 0 or delay > remaining:
+                # retrying before the server said it would be ready just
+                # wastes the attempt — stop rather than truncate the wait
                 break
-            time.sleep(min(delay, remaining))
+            time.sleep(delay)
             response = self.registry.request(method, url, headers=merged, body=body)
         return response
 

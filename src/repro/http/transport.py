@@ -63,9 +63,8 @@ class Transport:
 
 
 #: Socket errors that mean a *reused* keep-alive connection went stale
-#: (the server closed it between requests). Retried once on a fresh
-#: connection — the request never reached the application, so the retry
-#: cannot duplicate work.
+#: (the server closed it between requests). Candidates for one replay on
+#: a fresh connection, subject to :func:`_replay_safe`.
 _STALE_ERRORS = (
     ConnectionResetError,
     ConnectionAbortedError,
@@ -74,6 +73,27 @@ _STALE_ERRORS = (
     http.client.CannotSendRequest,
     http.client.ResponseNotReady,
 )
+
+#: Methods that may always be replayed after a stale-socket failure.
+_REPLAYABLE_METHODS = frozenset({"GET", "HEAD", "PUT", "DELETE", "OPTIONS", "TRACE"})
+
+
+def _replay_safe(method: str, headers: "Mapping[str, str] | None", exc: Exception) -> bool:
+    """Whether a stale-socket failure may be replayed on a fresh connection.
+
+    ``CannotSendRequest`` is raised before any bytes go out, so the server
+    provably never saw the request. Any later failure (reset during send or
+    ``getresponse``) is ambiguous — the server may have processed the
+    request and died before delivering the response — so only idempotent
+    methods, or requests the caller explicitly marked replayable with an
+    ``Idempotency-Key``, are retried transparently. Everything else
+    surfaces as :class:`TransportError` for the caller to arbitrate.
+    """
+    if isinstance(exc, http.client.CannotSendRequest):
+        return True
+    if method.upper() in _REPLAYABLE_METHODS:
+        return True
+    return any(name.lower() == "idempotency-key" for name in (headers or {}))
 
 
 class HttpTransport(Transport):
@@ -85,7 +105,9 @@ class HttpTransport(Transport):
     replicas continuously). Each pooled connection is used by one thread at
     a time; the pool itself is lock-protected, so the transport stays
     shareable across threads. A request sent on a reused socket that turns
-    out to be stale is transparently replayed once on a fresh connection.
+    out to be stale is transparently replayed once on a fresh connection —
+    but only when the replay provably cannot duplicate work (idempotent
+    method, ``Idempotency-Key`` present, or the failure preceded the send).
     """
 
     schemes = ("http",)
@@ -117,7 +139,7 @@ class HttpTransport(Transport):
             return self._send(connection, authority, method, target, headers, body)
         except _STALE_ERRORS as exc:
             connection.close()
-            if not reused:
+            if not reused or not _replay_safe(method, headers, exc):
                 raise TransportError(f"{method} {url} failed: {exc}") from exc
             # the pooled socket died between requests; replay on a fresh one
             connection, _ = self._acquire(authority, fresh=True)

@@ -195,6 +195,34 @@ class TestIdempotency:
         assert first["uri"] == second["uri"]
         assert len(gateway.idempotency) == 1
 
+    def test_concurrent_same_key_creates_exactly_one_job(self, gateway, pool):
+        registry, _ = pool
+        barrier = threading.Barrier(4, timeout=5)
+        responses = []
+        lock = threading.Lock()
+
+        def submit():
+            barrier.wait()
+            response = registry.request(
+                "POST",
+                gateway.service_uri("add"),
+                headers={IDEMPOTENCY_KEY_HEADER: "ik-race"},
+                body=b'{"a": 1, "b": 1}',
+            )
+            with lock:
+                responses.append(response)
+
+        workers = [threading.Thread(target=submit) for _ in range(4)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=10)
+        # duplicates wait for the first attempt's outcome instead of racing
+        # it: everyone gets the same job, and only one was ever created
+        assert len(responses) == 4 and all(response.ok for response in responses)
+        assert len({response.json_body["uri"] for response in responses}) == 1
+        assert len(gateway.idempotency) == 1
+
     def test_distinct_keys_create_distinct_jobs(self, gateway, client):
         uris = {
             client.request_json(
@@ -280,6 +308,19 @@ class TestFailureHandling:
         response = registry.request("GET", job["uri"])
         assert response.status == 503
 
+    def test_pinned_route_with_open_breaker_does_not_leak_slots(self, pool, gateway, client):
+        registry, _ = pool
+        job = client.post(gateway.service_uri("add"), payload={"a": 1, "b": 1})
+        replica = gateway.replicas.get(job["id"].split(".")[0])
+        for _ in range(replica.breaker.failure_threshold):
+            replica.breaker.record_failure()
+        for _ in range(5):
+            response = registry.request("GET", job["uri"])
+            assert response.status == 503  # shed by the breaker, not capacity
+        # every shed request released its in-flight slot; the gauge cannot
+        # be exhausted by polling a replica whose circuit is open
+        assert replica.in_flight == 0
+
     def test_eviction_drops_cached_submits(self, gateway, client):
         job = client.request_json(
             "POST",
@@ -339,6 +380,22 @@ class TestBackpressure:
             worker.join(timeout=10)
             blocker.shutdown()
         assert results["held"].ok
+
+    def test_saturated_spread_read_sheds_with_429(self, pool, make_gateway):
+        registry, backends = pool
+        gateway = make_gateway(
+            replicas=ReplicaSet(registry=registry, max_in_flight=1),
+            base_urls=[backends[0].local_base],
+        )
+        replica = gateway.replicas.get("r0")
+        assert replica.acquire_slot()  # occupy the only slot
+        try:
+            response = registry.request("GET", gateway.base_uri + "/services")
+            # capacity (not health) was the obstacle: 429, same as submits
+            assert response.status == 429
+            assert float(response.headers.get("Retry-After")) > 0
+        finally:
+            replica.release_slot()
 
 
 class TestComposition:

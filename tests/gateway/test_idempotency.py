@@ -1,5 +1,7 @@
 """The Idempotency-Key response cache."""
 
+import threading
+
 import pytest
 
 from repro.gateway.idempotency import IdempotencyCache
@@ -69,3 +71,66 @@ def test_invalidate_replica_drops_only_its_entries():
 def test_rejects_zero_capacity():
     with pytest.raises(ValueError):
         IdempotencyCache(capacity=0)
+
+
+class TestReservation:
+    def test_first_reserver_owns_the_key(self):
+        cache = IdempotencyCache()
+        owner, cached = cache.reserve("k")
+        assert owner is True
+        assert cached is None
+
+    def test_reserve_returns_the_stored_response(self):
+        cache = IdempotencyCache()
+        cache.put("k", "r0", stored())
+        owner, cached = cache.reserve("k")
+        assert owner is False
+        assert cached.status == 201
+
+    def test_duplicate_waits_for_the_owners_outcome(self):
+        cache = IdempotencyCache()
+        assert cache.reserve("k") == (True, None)
+        results = {}
+
+        def duplicate():
+            results["reserve"] = cache.reserve("k")
+
+        worker = threading.Thread(target=duplicate)
+        worker.start()
+        try:
+            # the duplicate is parked on the in-flight marker, not racing
+            assert "reserve" not in results
+            cache.put("k", "r0", stored())
+        finally:
+            worker.join(timeout=5)
+        owner, cached = results["reserve"]
+        assert owner is False
+        assert cached.status == 201
+
+    def test_duplicate_inherits_a_released_reservation(self):
+        cache = IdempotencyCache()
+        assert cache.reserve("k") == (True, None)
+        results = {}
+
+        def duplicate():
+            results["reserve"] = cache.reserve("k")
+
+        worker = threading.Thread(target=duplicate)
+        worker.start()
+        try:
+            cache.release("k")  # the first attempt stored nothing
+        finally:
+            worker.join(timeout=5)
+        assert results["reserve"] == (True, None)  # duplicate becomes the owner
+
+    def test_duplicate_times_out_while_owner_is_in_flight(self):
+        cache = IdempotencyCache(pending_timeout=0.05)
+        assert cache.reserve("k") == (True, None)
+        assert cache.reserve("k") == (False, None)  # rejected, not a second owner
+
+    def test_release_after_put_keeps_the_entry(self):
+        cache = IdempotencyCache()
+        cache.reserve("k")
+        cache.put("k", "r0", stored())
+        cache.release("k")
+        assert cache.get("k") is not None

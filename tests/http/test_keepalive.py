@@ -13,12 +13,13 @@ from repro.http.client import (
 from repro.http.messages import Response
 from repro.http.registry import TransportRegistry
 from repro.http.server import RestServer
-from repro.http.transport import HttpTransport
+from repro.http.transport import HttpTransport, TransportError
 
 
 def ping_app() -> RestApp:
     app = RestApp("keepalive")
     app.route("GET", "/ping", lambda request: Response.json({"pong": True}))
+    app.route("POST", "/jobs", lambda request: Response.json({"created": True}, status=201))
     return app
 
 
@@ -70,6 +71,43 @@ class TestKeepAlive:
                 response = transport.request("GET", f"{second.base_url}/ping")
                 assert response.status == 200
                 assert second.connections_accepted == 1
+            finally:
+                second.stop()
+        finally:
+            transport.close()
+
+    def test_stale_socket_post_without_key_is_not_replayed(self):
+        first = RestServer(ping_app()).start()
+        port = first.port
+        transport = HttpTransport()
+        try:
+            assert transport.request("POST", f"{first.base_url}/jobs").status == 201
+            first.stop()  # the pooled socket is now stale
+            second = RestServer(ping_app(), port=port).start()
+            try:
+                # the failure is ambiguous (the old server may have processed
+                # the request), so a keyless POST surfaces it instead of
+                # silently creating a possible duplicate
+                with pytest.raises(TransportError):
+                    transport.request("POST", f"{second.base_url}/jobs")
+            finally:
+                second.stop()
+        finally:
+            transport.close()
+
+    def test_stale_socket_post_with_idempotency_key_is_replayed(self):
+        first = RestServer(ping_app()).start()
+        port = first.port
+        transport = HttpTransport()
+        try:
+            assert transport.request("POST", f"{first.base_url}/jobs").status == 201
+            first.stop()
+            second = RestServer(ping_app(), port=port).start()
+            try:
+                response = transport.request(
+                    "POST", f"{second.base_url}/jobs", headers={IDEMPOTENCY_KEY_HEADER: "ik-1"}
+                )
+                assert response.status == 201
             finally:
                 second.stop()
         finally:
@@ -161,6 +199,17 @@ class TestClientHonoursRetryAfter:
         )
         assert response.status == 200
         assert flaky.calls == 2
+
+    def test_retry_shorter_than_advertised_delay_is_skipped(self):
+        registry = TransportRegistry()
+        flaky = FlakyApp(failures=5, retry_after="30")
+        base = bind_flaky(registry, flaky)
+        client = RestClient(registry, retry_after_cap=0.2)
+        started = time.monotonic()
+        assert client.request_raw("GET", f"{base}/work").status == 503
+        elapsed = time.monotonic() - started
+        assert flaky.calls == 1  # no retry before the server said it's ready
+        assert elapsed < 1.0  # and no pointless truncated wait either
 
     def test_zero_cap_disables_retry_entirely(self):
         registry = TransportRegistry()
