@@ -63,6 +63,8 @@ class Cluster:
                 raise ValueError(f"duplicate node name {node.name!r}")
             seen.add(node.name)
         self._free = {node.name: node.slots for node in self.nodes}
+        self._dead: set[str] = set()
+        self._released: set[str] = set()
         # callable payloads run on a shared worker pool; the scheduler can
         # never start more than total_slots jobs at once (every job holds at
         # least one slot), so this size guarantees a free worker per job
@@ -148,6 +150,56 @@ class Cluster:
         with self._lock:
             return sum(self._free.values())
 
+    # --------------------------------------------------------- node failure
+
+    def fail_node(self, name: str) -> list[str]:
+        """Take a node down: kill its running jobs, withdraw its slots.
+
+        Returns the ids of the jobs that were signalled. The node stops
+        taking allocations until :meth:`restore_node`; queued jobs simply
+        wait for capacity elsewhere (or for the node to come back).
+        """
+        with self._lock:
+            if name not in self._free:
+                raise ClusterError(f"unknown node {name!r} on cluster {self.name}")
+            if name in self._dead:
+                return []
+            self._dead.add(name)
+            self._free[name] = 0
+            victims = [
+                job
+                for job in self._jobs.values()
+                if job.state is BatchJobState.RUNNING and name in job.node_names
+            ]
+        for job in victims:
+            job._cancel.set()
+        return [job.id for job in victims]
+
+    def restore_node(self, name: str) -> None:
+        """Bring a failed node back with its slot capacity restored.
+
+        Slots still held by jobs that survived on other nodes of a
+        multi-node allocation (and have not released yet) stay deducted,
+        so the free-slot ledger remains conserved.
+        """
+        with self._lock:
+            if name not in self._dead:
+                return
+            self._dead.discard(name)
+            node = next(node for node in self.nodes if node.name == name)
+            held = sum(
+                job.resources.ppn
+                for job in self._jobs.values()
+                if name in job.node_names and job.id not in self._released
+            )
+            self._free[name] = max(0, node.slots - held)
+            self._wake.notify_all()
+
+    @property
+    def dead_nodes(self) -> list[str]:
+        with self._lock:
+            return sorted(self._dead)
+
     def shutdown(self) -> None:
         """Stop scheduling; queued jobs are cancelled, running jobs signalled."""
         with self._lock:
@@ -194,8 +246,12 @@ class Cluster:
 
     def _release(self, job: BatchJob) -> None:
         with self._lock:
+            self._released.add(job.id)
             for name in job.node_names:
-                self._free[name] += job.resources.ppn
+                # a dead node's slots were withdrawn wholesale on failure;
+                # restore_node re-credits them, so don't double-count here
+                if name not in self._dead:
+                    self._free[name] += job.resources.ppn
             self._wake.notify_all()
 
     def _schedule_loop(self) -> None:

@@ -46,6 +46,10 @@ class JobManager:
         """Process a job in the calling thread (sync-mode services)."""
         self._process(job, execute)
 
+    def set_task_hook(self, hook: "Callable[[str], None] | None") -> None:
+        """Install (or clear) the handler pool's per-task fault hook."""
+        self._pool.task_hook = hook
+
     @property
     def queued(self) -> int:
         return self._pool.stats.queued

@@ -16,12 +16,16 @@ what makes MathCloud services interoperable and composable.
 
 from __future__ import annotations
 
+import threading
+import time
+from collections import OrderedDict
 from typing import Any, Callable, Protocol
 
 from repro.core.errors import ServiceError
 from repro.core.files import FileEntry
 from repro.core.jobs import Job
 from repro.http.app import RestApp
+from repro.http.client import IDEMPOTENCY_KEY_HEADER
 from repro.http.messages import HttpError, Request, Response
 
 
@@ -68,6 +72,80 @@ def parse_wait(raw: "str | None") -> float:
     return min(seconds, MAX_LONG_POLL)
 
 
+class SubmitLedger:
+    """Single-flight Idempotency-Key → job-id map for one mounted service.
+
+    A POST that carries an ``Idempotency-Key`` creates at most one job per
+    key *on this backend*: a repeat of an already-accepted key answers
+    with the original job, and a duplicate racing an in-flight first
+    attempt waits for its outcome instead of creating a second job. This
+    is the backend half of the end-to-end at-most-once story — it is what
+    makes a gateway's (or a client's) replay of an ambiguous POST safe.
+
+    Entries are a bounded LRU; a key whose job has since been deleted is
+    forgotten, so deliberate resubmission after cleanup still works.
+    """
+
+    def __init__(self, capacity: int = 1024, pending_timeout: float = 30.0):
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.capacity = capacity
+        self.pending_timeout = pending_timeout
+        self._cond = threading.Condition(threading.Lock())
+        self._pending: set[str] = set()
+        self._jobs: "OrderedDict[str, str]" = OrderedDict()
+
+    def claim(self, key: str) -> "tuple[str | None, bool]":
+        """Returns ``(job_id, owner)``: a recorded job id to replay, or
+        ownership of the key (the caller must finish with :meth:`store` or
+        :meth:`release`). ``(None, False)`` means an in-flight first
+        attempt held the key past ``pending_timeout``."""
+        deadline = time.monotonic() + self.pending_timeout
+        with self._cond:
+            while True:
+                job_id = self._jobs.get(key)
+                if job_id is not None:
+                    self._jobs.move_to_end(key)
+                    return job_id, False
+                if key not in self._pending:
+                    self._pending.add(key)
+                    return None, True
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return None, False
+                self._cond.wait(remaining)
+
+    def store(self, key: str, job_id: str) -> None:
+        with self._cond:
+            self._jobs[key] = job_id
+            self._jobs.move_to_end(key)
+            while len(self._jobs) > self.capacity:
+                self._jobs.popitem(last=False)
+            self._pending.discard(key)
+            self._cond.notify_all()
+
+    def release(self, key: str) -> None:
+        """Abandon a claim whose submit failed; a waiter inherits the key."""
+        with self._cond:
+            if key in self._pending:
+                self._pending.discard(key)
+                self._cond.notify_all()
+
+    def forget(self, key: str) -> None:
+        """Drop a recorded key (its job was deleted)."""
+        with self._cond:
+            self._jobs.pop(key, None)
+
+    @property
+    def pending_count(self) -> int:
+        with self._cond:
+            return len(self._pending)
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._jobs)
+
+
 def job_uri(base_uri: str, job_id: str) -> str:
     return f"{base_uri}/jobs/{job_id}"
 
@@ -94,6 +172,8 @@ def mount_service(
     advertised URI switches from ``local://`` to ``http://`` once served).
     """
 
+    ledger = SubmitLedger()
+
     def _advertised() -> str:
         current = base_uri() if callable(base_uri) else base_uri
         return (current or base_path).rstrip("/")
@@ -103,14 +183,47 @@ def mount_service(
         document["uri"] = _advertised()
         return Response.json(document)
 
+    def _created(job: Job, replayed: bool = False) -> Response:
+        location = job_uri(_advertised(), job.id)
+        response = Response.created(location, job.representation(uri=location))
+        if replayed:
+            response.headers.set("Idempotent-Replay", "true")
+        return response
+
     def submit(request: Request) -> Response:
         inputs = request.json if request.body else {}
+        key = request.headers.get(IDEMPOTENCY_KEY_HEADER)
+        if not key:
+            try:
+                job = backend.submit(inputs, request)
+            except ServiceError as error:
+                raise _to_http_error(error) from error
+            return _created(job)
+        while True:
+            job_id, owner = ledger.claim(key)
+            if job_id is None:
+                break
+            try:
+                return _created(backend.get_job(job_id), replayed=True)
+            except ServiceError:
+                # the recorded job was deleted since; treat the key as new
+                ledger.forget(key)
+        if not owner:
+            response = HttpError(
+                503, f"a request with Idempotency-Key {key!r} is still in flight"
+            ).to_response()
+            response.headers.set("Retry-After", "1")
+            return response
         try:
             job = backend.submit(inputs, request)
         except ServiceError as error:
+            ledger.release(key)
             raise _to_http_error(error) from error
-        location = job_uri(_advertised(), job.id)
-        return Response.created(location, job.representation(uri=location))
+        except BaseException:
+            ledger.release(key)
+            raise
+        ledger.store(key, job.id)
+        return _created(job)
 
     def get_job(request: Request, job_id: str) -> Response:
         """Job status; ``?wait=<seconds>`` turns the GET into a long-poll.

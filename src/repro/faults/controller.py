@@ -1,0 +1,128 @@
+"""Crash controllers: replica and batch-node failures on an op clock.
+
+Wall-clock scheduling would make chaos runs racy; instead both
+controllers advance on an explicit *operation clock* — the workload calls
+:meth:`step` between operations, and crash/restore decisions are drawn
+from the plan's seeded streams at those points only. A crashed replica
+recovers after ``duration`` steps (the scenario's field), so an entire
+run's failure schedule is a pure function of the seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.batch.cluster import Cluster
+from repro.faults.plan import FaultPlan
+
+
+@dataclass
+class _Handle:
+    name: str
+    stop: Callable[[], None]
+    start: Callable[[], None]
+    up: bool = True
+    restore_at: int = 0
+
+
+class CrashController:
+    """Crashes and restarts registered replicas per the plan.
+
+    ``stop``/``start`` callables model the crash (for in-process replicas:
+    unbind/rebind the local authority; for TCP replicas: stop/start the
+    server). ``on_change`` runs after every membership change — the chaos
+    harness uses it to drive deterministic health probes. ``min_up``
+    replicas are always left standing so a schedule cannot wedge the
+    workload on a total outage (set it to 0 to allow one).
+    """
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        site: str = "crash",
+        on_change: "Callable[[], None] | None" = None,
+        min_up: int = 1,
+    ):
+        self.plan = plan
+        self.site = site
+        self.on_change = on_change
+        self.min_up = min_up
+        self._handles: list[_Handle] = []
+        self._ops = 0
+
+    def register(self, name: str, stop: Callable[[], None], start: Callable[[], None]) -> None:
+        self._handles.append(_Handle(name, stop, start))
+
+    @property
+    def up_count(self) -> int:
+        return sum(1 for handle in self._handles if handle.up)
+
+    def step(self) -> None:
+        """Advance the op clock: restore due replicas, maybe crash one."""
+        self._ops += 1
+        changed = False
+        for handle in self._handles:
+            if not handle.up:
+                if self._ops >= handle.restore_at:
+                    handle.start()
+                    handle.up = True
+                    changed = True
+                    self.plan.record(self.site, "restart", handle.name, f"op={self._ops}")
+                continue
+            fault = self.plan.decide(self.site, subject=handle.name, kinds={"crash-restart"})
+            if fault is not None and self.up_count > self.min_up:
+                handle.stop()
+                handle.up = False
+                handle.restore_at = self._ops + fault.duration
+                changed = True
+        if changed and self.on_change is not None:
+            self.on_change()
+
+    def restore_all(self) -> None:
+        """Bring every crashed replica back (the settle phase)."""
+        changed = False
+        for handle in self._handles:
+            if not handle.up:
+                handle.start()
+                handle.up = True
+                changed = True
+                self.plan.record(self.site, "restart", handle.name, "settle")
+        if changed and self.on_change is not None:
+            self.on_change()
+
+
+class BatchNodeChaos:
+    """Kills and restores batch cluster nodes per ``node-death`` scenarios."""
+
+    def __init__(self, plan: FaultPlan, cluster: Cluster, site: str = "batch", min_up: int = 1):
+        self.plan = plan
+        self.cluster = cluster
+        self.site = site
+        self.min_up = min_up
+        self._ops = 0
+        self._down: dict[str, int] = {}
+
+    def step(self) -> None:
+        self._ops += 1
+        for name, restore_at in list(self._down.items()):
+            if self._ops >= restore_at:
+                self.cluster.restore_node(name)
+                del self._down[name]
+                self.plan.record(self.site, "node-restore", name, f"op={self._ops}")
+        for node in self.cluster.nodes:
+            if node.name in self._down:
+                continue
+            if len(self.cluster.nodes) - len(self._down) <= self.min_up:
+                break
+            fault = self.plan.decide(self.site, subject=node.name, kinds={"node-death"})
+            if fault is not None:
+                killed = self.cluster.fail_node(node.name)
+                self._down[node.name] = self._ops + fault.duration
+                self.plan.record(self.site, "node-death", node.name, f"killed={len(killed)}")
+
+    def restore_all(self) -> None:
+        for name in list(self._down):
+            self.cluster.restore_node(name)
+            del self._down[name]
+            self.plan.record(self.site, "node-restore", name, "settle")

@@ -1,0 +1,192 @@
+"""The fault plan: a seeded scenario schedule queried at injection points.
+
+Determinism model: every ``(site, scenario)`` pair owns an independent
+``random.Random`` stream seeded from ``f"{seed}:{site}:{index}"`` (string
+seeding hashes with SHA-512, so streams are stable across processes and
+``PYTHONHASHSEED``). A decision consumes draws only from its own streams,
+in the order the site queries the plan — so as long as a workload issues
+operations in a fixed order, the same seed produces the same fault
+schedule, regardless of what other sites do in between.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+import threading
+from dataclasses import dataclass
+from typing import Iterable
+
+#: Scenario kinds handled by the wrapping transport.
+TRANSPORT_KINDS = frozenset({"connect-refused", "drop", "partial-write", "delay"})
+
+#: Every kind the DSL accepts, and which injection point consumes it.
+SCENARIO_KINDS = TRANSPORT_KINDS | frozenset(
+    {
+        "crash-restart",  # CrashController (gateway replicas)
+        "worker-stall",  # WorkerStallHook (ExecutorPool task_hook)
+        "node-death",  # BatchNodeChaos (batch cluster nodes)
+        "server-drop",  # ServerDropHook (RestServer fault_hook)
+    }
+)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One declarative fault source.
+
+    ``rate`` is the per-query injection probability; ``target`` is a regex
+    the query subject (a URL, a pool name, a replica or node name) must
+    match for the scenario to apply. ``delay``/``jitter`` size delay and
+    stall faults; ``duration`` is how many controller steps a crashed
+    replica or dead node stays away.
+    """
+
+    kind: str
+    rate: float
+    target: str = ""
+    delay: float = 0.02
+    jitter: float = 0.0
+    duration: int = 3
+
+    def __post_init__(self) -> None:
+        if self.kind not in SCENARIO_KINDS:
+            raise ValueError(f"unknown scenario kind {self.kind!r}; choose from {sorted(SCENARIO_KINDS)}")
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError("rate must be within [0, 1]")
+        if self.delay < 0 or self.jitter < 0:
+            raise ValueError("delay and jitter must be >= 0")
+        if self.duration < 1:
+            raise ValueError("duration must be at least 1 step")
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One concrete injection decision returned by :meth:`FaultPlan.decide`."""
+
+    kind: str
+    site: str
+    subject: str
+    delay: float = 0.0
+    duration: int = 1
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One log row: what was injected where (for repro messages)."""
+
+    index: int
+    site: str
+    kind: str
+    subject: str
+    detail: str = ""
+
+
+class FaultPlan:
+    """Seeded, thread-safe fault schedule over a set of scenarios."""
+
+    def __init__(self, seed: int, scenarios: Iterable[Scenario]):
+        self.seed = seed
+        self.scenarios: tuple[Scenario, ...] = tuple(scenarios)
+        self._lock = threading.Lock()
+        self._streams: dict[str, random.Random] = {}
+        self._patterns: dict[str, "re.Pattern[str]"] = {}
+        self._active = True
+        self._events: list[FaultEvent] = []
+
+    # -------------------------------------------------------------- control
+
+    @property
+    def active(self) -> bool:
+        with self._lock:
+            return self._active
+
+    def deactivate(self) -> None:
+        """Stop injecting (the chaos harness's settle phase)."""
+        with self._lock:
+            self._active = False
+
+    def activate(self) -> None:
+        with self._lock:
+            self._active = True
+
+    # ------------------------------------------------------------ decisions
+
+    def decide(
+        self,
+        site: str,
+        subject: str = "",
+        kinds: "frozenset[str] | set[str] | None" = None,
+    ) -> Fault | None:
+        """Whether (and what) to inject for one operation at ``site``.
+
+        Every applicable scenario draws from its own stream on every call,
+        so streams stay aligned with the site's operation count whether or
+        not earlier scenarios hit; the first hit (in declaration order)
+        wins.
+        """
+        with self._lock:
+            if not self._active:
+                return None
+            chosen: Fault | None = None
+            for index, scenario in enumerate(self.scenarios):
+                if kinds is not None and scenario.kind not in kinds:
+                    continue
+                if scenario.target and not self._pattern(scenario.target).search(subject):
+                    continue
+                stream = self._stream(f"{site}:{index}")
+                hit = stream.random() < scenario.rate
+                if not hit or chosen is not None:
+                    continue
+                delay = scenario.delay + (stream.random() * scenario.jitter if scenario.jitter else 0.0)
+                chosen = Fault(
+                    kind=scenario.kind,
+                    site=site,
+                    subject=subject,
+                    delay=delay,
+                    duration=scenario.duration,
+                )
+            if chosen is not None:
+                self._record(chosen.site, chosen.kind, chosen.subject, f"delay={chosen.delay:.3f}")
+            return chosen
+
+    def stream(self, name: str) -> random.Random:
+        """A named derived PRNG stream (controllers pick victims from it)."""
+        with self._lock:
+            return self._stream(f"stream:{name}")
+
+    # -------------------------------------------------------------- logging
+
+    def record(self, site: str, kind: str, subject: str, detail: str = "") -> None:
+        """Log an externally-applied event (controllers call this)."""
+        with self._lock:
+            self._record(site, kind, subject, detail)
+
+    @property
+    def events(self) -> list[FaultEvent]:
+        with self._lock:
+            return list(self._events)
+
+    def describe(self) -> str:
+        """One line naming the seed and scenario mix (for repro messages)."""
+        kinds = ",".join(f"{s.kind}@{s.rate:g}" for s in self.scenarios)
+        with self._lock:
+            count = len(self._events)
+        return f"seed={self.seed} scenarios=[{kinds}] events={count}"
+
+    # ------------------------------------------------------------ internals
+
+    def _stream(self, name: str) -> random.Random:
+        stream = self._streams.get(name)
+        if stream is None:
+            stream = self._streams[name] = random.Random(f"{self.seed}:{name}")
+        return stream
+
+    def _pattern(self, target: str) -> "re.Pattern[str]":
+        pattern = self._patterns.get(target)
+        if pattern is None:
+            pattern = self._patterns[target] = re.compile(target)
+        return pattern
+
+    def _record(self, site: str, kind: str, subject: str, detail: str) -> None:
+        self._events.append(FaultEvent(len(self._events), site, kind, subject, detail))

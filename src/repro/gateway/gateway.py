@@ -198,6 +198,7 @@ class ServiceGateway:
         headers = self._forward_headers(request)
         tried: set[str] = set()
         saturated = False
+        bound_unavailable = False
         attempts = 0
         while attempts < self.max_attempts:
             # spend the retry token before selecting, so an aborted retry
@@ -205,24 +206,33 @@ class ServiceGateway:
             if attempts > 0 and not self.retry_budget.try_spend():
                 logger.warning("gateway %s: retry budget exhausted for POST %s", self.name, name)
                 break
-            replica, reason = self._select(tried, idempotency_key)
+            replica = None
+            if idempotency_key:
+                replica, bound = self._bound_replica(idempotency_key)
+                if bound and replica is None:
+                    bound_unavailable = True
+                    break
             if replica is None:
-                saturated = saturated or reason == "saturated"
-                break
+                replica, reason = self._select(tried, idempotency_key)
+                if replica is None:
+                    saturated = saturated or reason == "saturated"
+                    break
             attempts += 1
             try:
                 response = self.registry.request(
                     "POST", f"{replica.base_url}/services/{name}", headers=headers, body=request.body
                 )
             except ConnectError as exc:
-                # nothing reached the replica: always safe to try another
+                # nothing reached the replica: safe to try another — unless
+                # an earlier ambiguous failure bound the key to this one, in
+                # which case only this replica may be retried
                 replica.breaker.record_failure()
-                tried.add(replica.id)
+                if not idempotency_key or self.idempotency.binding(idempotency_key) != replica.id:
+                    tried.add(replica.id)
                 logger.info("gateway %s: POST %s connect failure on %s: %s", self.name, name, replica.id, exc)
                 continue
             except TransportError as exc:
                 replica.breaker.record_failure()
-                tried.add(replica.id)
                 if idempotency_key is None:
                     # the replica may have processed the request; replaying
                     # without a key could create a duplicate job
@@ -231,15 +241,32 @@ class ServiceGateway:
                         f"connection to replica {replica.id} failed mid-request: {exc}",
                         details={"hint": "supply an Idempotency-Key to make POSTs replayable"},
                     ) from exc
-                logger.info("gateway %s: POST %s mid-request failure on %s, replaying", self.name, name, replica.id)
+                # ambiguous: the replica may own this key's job now, so pin
+                # every further attempt (this request and later client
+                # retries) to it — its idempotency ledger deduplicates
+                self.idempotency.bind(idempotency_key, replica.id)
+                logger.info(
+                    "gateway %s: POST %s mid-request failure on %s, replaying there", self.name, name, replica.id
+                )
                 continue
             finally:
                 replica.release_slot()
             if response.status >= 500:
                 replica.breaker.record_failure()
-                tried.add(replica.id)
                 if idempotency_key is None:
+                    tried.add(replica.id)
                     return self._proxied(response)
+                if response.status == 503 and self.idempotency.binding(idempotency_key) == replica.id:
+                    # the bound replica is alive but cannot answer for this
+                    # key yet (its submit ledger may hold an in-flight first
+                    # attempt) — keep the binding and tell the client to
+                    # retry later; trying elsewhere could mint a duplicate
+                    bound_unavailable = True
+                    break
+                # any other 5xx: the replica answered and provably owns no
+                # job for this key — lift the binding and try others
+                tried.add(replica.id)
+                self.idempotency.unbind(idempotency_key)
                 continue
             replica.breaker.record_success()
             if attempts == 1:
@@ -248,9 +275,39 @@ class ServiceGateway:
             if idempotency_key and response.ok:
                 self.idempotency.put(idempotency_key, replica.id, rewritten)
             return rewritten
+        if bound_unavailable:
+            return self._unavailable(
+                503,
+                f"the replica bound to Idempotency-Key {idempotency_key!r} is unavailable; retry later",
+            )
         if saturated:
             return self._unavailable(429, f"all replicas of {self.name!r} are at capacity")
         return self._unavailable(503, f"no replica of {self.name!r} can take the request")
+
+    def _bound_replica(self, key: str) -> "tuple[Replica | None, bool]":
+        """The replica ``key`` is pinned to, with its in-flight slot held.
+
+        Returns ``(replica, bound)``: ``(None, False)`` when the key is
+        unbound (normal selection applies), ``(None, True)`` when it is
+        bound but the replica cannot take the request right now — the
+        caller must answer 503 rather than risk a duplicate elsewhere. A
+        binding to an evicted replica is dropped: the ambiguous job (if it
+        ever existed) died with the replica, so a fresh placement is the
+        only way forward.
+        """
+        bound_id = self.idempotency.binding(key)
+        if bound_id is None:
+            return None, False
+        replica = self.replicas.get(bound_id)
+        if replica is None:
+            self.idempotency.unbind(key)
+            return None, False
+        if replica.state is ReplicaState.DOWN or not replica.acquire_slot():
+            return None, True
+        if not replica.breaker.allow():
+            replica.release_slot()
+            return None, True
+        return replica, True
 
     def _get_job(self, request: Request, name: str, job_id: str) -> Response:
         replica, raw_id = self._pin(job_id)

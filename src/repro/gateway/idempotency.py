@@ -52,6 +52,9 @@ class IdempotencyCache:
         self._cond = threading.Condition(self._lock)
         self._pending: set[str] = set()
         self._entries: "OrderedDict[str, tuple[float, str, Response]]" = OrderedDict()
+        # key → (recorded_at, replica_id): which replica an *unresolved*
+        # attempt may have reached (see bind)
+        self._bindings: "OrderedDict[str, tuple[float, str]]" = OrderedDict()
 
     def get(self, key: str) -> Response | None:
         """The stored response for ``key`` (a fresh copy), or None."""
@@ -86,6 +89,7 @@ class IdempotencyCache:
 
     def put(self, key: str, replica_id: str, response: Response) -> None:
         with self._cond:
+            self._bindings.pop(key, None)  # the stored response supersedes it
             self._entries[key] = (self._clock(), replica_id, response)
             self._entries.move_to_end(key)
             while len(self._entries) > self.capacity:
@@ -107,7 +111,51 @@ class IdempotencyCache:
             stale = [key for key, (_, rid, _) in self._entries.items() if rid == replica_id]
             for key in stale:
                 del self._entries[key]
+            bound = [key for key, (_, rid) in self._bindings.items() if rid == replica_id]
+            for key in bound:
+                del self._bindings[key]
             return len(stale)
+
+    # ------------------------------------------------------------- bindings
+
+    def bind(self, key: str, replica_id: str) -> None:
+        """Record that ``key``'s request may have reached ``replica_id``.
+
+        Set after an *ambiguous* mid-request failure: the replica may
+        already own a job for this key, so every further attempt — within
+        this request or on a later client retry — must go back to the same
+        replica, where the replica-side idempotency ledger deduplicates.
+        Sending the key anywhere else could create a second job.
+        """
+        with self._lock:
+            self._bindings[key] = (self._clock(), replica_id)
+            self._bindings.move_to_end(key)
+            while len(self._bindings) > self.capacity:
+                self._bindings.popitem(last=False)
+
+    def binding(self, key: str) -> "str | None":
+        """The replica ``key`` is bound to, or None (expired entries drop)."""
+        with self._lock:
+            entry = self._bindings.get(key)
+            if entry is None:
+                return None
+            bound_at, replica_id = entry
+            if self._clock() - bound_at > self.ttl:
+                del self._bindings[key]
+                return None
+            return replica_id
+
+    def unbind(self, key: str) -> None:
+        """Clear a binding once the key's fate is known (response stored,
+        or the bound replica answered and provably owns no such job)."""
+        with self._lock:
+            self._bindings.pop(key, None)
+
+    @property
+    def pending_count(self) -> int:
+        """Reservations currently held (chaos invariant: drains to zero)."""
+        with self._lock:
+            return len(self._pending)
 
     def __len__(self) -> int:
         with self._lock:

@@ -13,6 +13,7 @@ import socket
 import sys
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable
 
 from repro.http.app import RestApp
 from repro.http.messages import Headers, Request, reason_phrase
@@ -45,6 +46,12 @@ class _AppRequestHandler(BaseHTTPRequestHandler):
         for name, value in self.headers.items():
             headers.add(name, value)
         request = Request.from_target(self.command, self.path, headers=headers, body=body)
+        hook = getattr(self.server, "fault_hook", None)
+        if hook is not None and hook(request) == "drop":
+            # fault injection: sever the connection without answering — the
+            # client sees exactly what a server crash mid-request looks like
+            self.close_connection = True
+            return
         response = self.app.handle(request)
         self.send_response_only(response.status, reason_phrase(response.status))
         seen = {name.lower() for name, _ in response.headers.items()}
@@ -137,12 +144,28 @@ class RestServer:
             client = RestClient(HttpTransport(), base=server.base_url)
     """
 
-    def __init__(self, app: RestApp, host: str = "127.0.0.1", port: int = 0):
+    def __init__(
+        self,
+        app: RestApp,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        fault_hook: "Callable[[Request], str | None] | None" = None,
+    ):
         handler = type("Handler", (_AppRequestHandler,), {"app": app})
         self._server = _Server((host, port), handler)
         self._server.daemon_threads = True
+        self._server.fault_hook = fault_hook
         self._thread: threading.Thread | None = None
         self.app = app
+
+    @property
+    def fault_hook(self) -> "Callable[[Request], str | None] | None":
+        """Per-request fault-injection seam (see ``_dispatch``)."""
+        return self._server.fault_hook
+
+    @fault_hook.setter
+    def fault_hook(self, hook: "Callable[[Request], str | None] | None") -> None:
+        self._server.fault_hook = hook
 
     @property
     def host(self) -> str:

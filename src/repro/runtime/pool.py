@@ -77,6 +77,10 @@ class ExecutorPool:
             raise ValueError("an executor pool needs at least one worker")
         self.name = name
         self.workers = workers
+        #: Optional fault-injection seam: called with the pool name right
+        #: before each task runs, on the worker thread. A hook that sleeps
+        #: models a stalled worker; a hook that raises fails the task.
+        self.task_hook: "Callable[[str], None] | None" = None
         self._queue: "queue.Queue[tuple[TaskHandle, Callable[[], Any]] | None]" = queue.Queue()
         self._lock = threading.Lock()
         self._queued = 0
@@ -152,6 +156,9 @@ class ExecutorPool:
                 self._queued -= 1
                 self._running += 1
             try:
+                hook = self.task_hook
+                if hook is not None:
+                    hook(self.name)
                 result = thunk()
             except BaseException as error:  # noqa: BLE001 - tasks may misbehave
                 logger.error("task failed in pool %s: %s", self.name, error)

@@ -8,6 +8,7 @@ import pytest
 
 from repro.batch import BatchJob, BatchJobState, Cluster, ComputeNode, JobResources
 from repro.batch.cluster import ClusterError
+from tests.waiters import wait_until
 
 
 @pytest.fixture()
@@ -147,10 +148,9 @@ class TestScheduling:
         release = threading.Event()
         job = BatchJob(function=lambda j: release.wait(10), resources=JobResources(nodes=2, ppn=2))
         cluster.qsub(job)
-        deadline = time.time() + 5
-        while cluster.free_slots != 0 and time.time() < deadline:
-            time.sleep(0.01)
-        assert cluster.free_slots == 0
+        wait_until(
+            lambda: cluster.free_slots == 0, timeout=5.0, message="job never took all slots"
+        )
         assert sorted(job.node_names) == ["n1", "n2"]
         release.set()
         cluster.wait(job.id, timeout=10)
@@ -235,9 +235,11 @@ class TestControlSurface:
         release = threading.Event()
         job = BatchJob(function=lambda j: release.wait(10))
         cluster.qsub(job)
-        deadline = time.time() + 5
-        while cluster.qstat(job.id)["state"] != "R" and time.time() < deadline:
-            time.sleep(0.01)
+        wait_until(
+            lambda: cluster.qstat(job.id)["state"] == "R",
+            timeout=5.0,
+            message="job never started running",
+        )
         record = cluster.qstat(job.id)
         assert record["state"] == "R"
         assert record["nodes"]

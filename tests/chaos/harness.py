@@ -1,0 +1,313 @@
+"""The chaos harness: seeded fault schedules against a real gateway cell.
+
+Each test builds a :class:`GatewayChaosCell` — replica containers behind a
+:class:`~repro.gateway.ServiceGateway`, with a
+:class:`~repro.faults.FaultInjectingTransport` in front of the in-process
+transport — runs a seeded client workload while the
+:class:`~repro.faults.FaultPlan` injects faults, then *settles* (faults
+off, everything restored) and checks the invariants that must survive any
+schedule:
+
+- **no acknowledged job is lost** — every 201 the client saw resolves to
+  a live job that reaches a terminal state;
+- **no job is duplicated** — despite replays, retries and failovers,
+  each Idempotency-Key owns exactly one job across all replicas;
+- **gauges drain** — replica in-flight counts and the idempotency
+  cache's pending reservations return to zero;
+- **every rejection is well-formed** — 429/503 answers carry a
+  ``Retry-After`` hint, and keyed POSTs are never answered with the
+  ambiguous 502.
+
+Determinism: the schedule is a pure function of the seed. Workloads are
+single-threaded, fault decisions come from per-site seeded streams, crash
+and node-death controllers advance on the workload's op clock, health
+probes run via explicit ``check_now()`` (never a background timer), and
+circuit breakers are configured out of the picture (their open/close
+transitions depend on wall-clock timing, which would fork the schedule).
+A failing invariant raises with the seed, the scenario mix, the last
+fault events, and a one-line repro command.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import time
+from collections import Counter
+
+from repro.container import ServiceContainer
+from repro.faults import CrashController, FaultInjectingTransport, FaultPlan, WorkerStallHook
+from repro.gateway import ServiceGateway
+from repro.gateway.replicaset import ReplicaSet
+from repro.http.client import IDEMPOTENCY_KEY_HEADER, RestClient
+from repro.http.registry import TransportRegistry
+
+#: Scales every seed matrix: 1 is the full suite, CI pull-request runs use
+#: a fraction, soak runs can go above 1.
+CHAOS_SCALE = float(os.environ.get("MC_CHAOS_SCALE", "1"))
+
+_cells = itertools.count()
+
+
+def chaos_seeds(count: int, base: int = 0) -> list[int]:
+    """``count`` seeds starting at ``base``, scaled by ``MC_CHAOS_SCALE``."""
+    scaled = max(1, round(count * CHAOS_SCALE))
+    return list(range(base, base + scaled))
+
+
+_WORK = {
+    "description": {
+        "name": "work",
+        "inputs": {
+            "a": {"schema": {"type": "number"}},
+            "b": {"schema": {"type": "number"}},
+        },
+        "outputs": {"sum": {"schema": {"type": "number"}}},
+    },
+    "adapter": "python",
+    "config": {"callable": lambda a, b: {"sum": a + b}},
+}
+
+
+class GatewayChaosCell:
+    """Replica containers + gateway + fault plan for one seeded run.
+
+    ``scenario_fn`` receives a regex matching the replica authorities
+    (so faults hit gateway→replica traffic, not the client→gateway hop)
+    and returns the scenario list for the plan.
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        scenario_fn,
+        nodeid: str = "",
+        replicas: int = 3,
+        handlers: int = 2,
+        crashes: bool = False,
+        worker_stalls: bool = False,
+    ):
+        self.seed = seed
+        self.nodeid = nodeid
+        self.sequence = next(_cells)
+        self.registry = TransportRegistry()
+        prefix = f"cx{self.sequence}r"
+        self.plan = FaultPlan(seed, scenario_fn(rf"local://{prefix}\d+/"))
+        self.containers: list[ServiceContainer] = []
+        for index in range(replicas):
+            container = ServiceContainer(f"{prefix}{index}", handlers=handlers, registry=self.registry)
+            container.deploy(_WORK)
+            self.containers.append(container)
+        # in front of the built-in local transport: every local:// request
+        # (gateway→replica, health probes) consults the plan first
+        self.registry.add_transport(FaultInjectingTransport(self.registry.local, self.plan))
+        replica_set = ReplicaSet(
+            registry=self.registry,
+            down_after=1,
+            up_after=1,
+            # breakers stay closed: their transitions are wall-clock-timed
+            # and would make the schedule diverge between identical seeds
+            breaker_failures=10**6,
+        )
+        self.gateway = ServiceGateway(
+            registry=self.registry,
+            name=f"cx{self.sequence}gw",
+            replicas=replica_set,
+            max_attempts=4,
+        )
+        for container in self.containers:
+            self.gateway.add_replica(container.local_base)
+        self.crash: CrashController | None = None
+        if crashes:
+            self.crash = CrashController(
+                self.plan,
+                on_change=lambda: self.gateway.replicas.check_now(),
+                min_up=1,
+            )
+            for container in self.containers:
+                self.crash.register(
+                    container.name,
+                    stop=lambda c=container: self.registry.unbind_local(c.name),
+                    start=lambda c=container: self.registry.bind_local(c.name, c.app),
+                )
+        if worker_stalls:
+            hook = WorkerStallHook(self.plan)
+            for container in self.containers:
+                container.job_manager.set_task_hook(hook)
+        self.client = RestClient(self.registry, retry_after_cap=0.0)
+        self.service_uri = self.gateway.service_uri("work")
+        # marker → {"key", "acked" (job doc | None)}
+        self.expected: dict[int, dict] = {}
+        self._markers = itertools.count()
+        self.violations: list[str] = []
+
+    # -------------------------------------------------------------- lifecycle
+
+    def shutdown(self) -> None:
+        self.plan.deactivate()
+        if self.crash is not None:
+            self.crash.restore_all()
+        self.gateway.shutdown()
+        for container in self.containers:
+            container.job_manager.set_task_hook(None)
+            container.shutdown()
+
+    def fail(self, message: str) -> None:
+        tail = "\n".join(f"    {event}" for event in self.plan.events[-8:])
+        raise AssertionError(
+            f"chaos invariant violated: {message}\n"
+            f"  {self.plan.describe()}\n"
+            f"  last fault events:\n{tail or '    (none)'}\n"
+            f"  repro: MC_CHAOS_SCALE={CHAOS_SCALE:g} PYTHONPATH=src "
+            f'python -m pytest -q "{self.nodeid}"'
+        )
+
+    def check(self, condition: bool, message: str) -> None:
+        if not condition:
+            self.fail(message)
+
+    # -------------------------------------------------------------- workload
+
+    def run_workload(self, ops: int = 8) -> None:
+        """``ops`` seeded operations, stepping the crash controllers between."""
+        chooser = self.plan.stream("workload")
+        for _ in range(ops):
+            if self.crash is not None:
+                self.crash.step()
+            roll = chooser.random()
+            acked = [m for m, record in self.expected.items() if record["acked"]]
+            if roll < 0.55 or not acked:
+                self.submit_op()
+            elif roll < 0.8:
+                self.poll_op(chooser.choice(acked))
+            else:
+                self.poll_op(chooser.choice(acked), wait=0.05)
+
+    def submit_op(self) -> None:
+        marker = next(self._markers)
+        key = f"s{self.seed}-k{marker}"
+        record = {"key": key, "acked": None}
+        self.expected[marker] = record
+        response = self._post(marker, key)
+        if response.status == 201:
+            record["acked"] = response.json_body
+        elif response.status in (429, 503):
+            self.check(
+                response.headers.get("Retry-After") is not None,
+                f"{response.status} for keyed POST {key} lacks Retry-After",
+            )
+        else:
+            self.fail(f"keyed POST {key} answered unexpected {response.status}")
+
+    def poll_op(self, marker: int, wait: float = 0.0) -> None:
+        record = self.expected[marker]
+        uri = record["acked"]["uri"]
+        query = {"wait": wait} if wait else None
+        response = self.client.request_raw("GET", uri, query=query)
+        if response.status == 200:
+            self.check(
+                response.json_body["id"] == record["acked"]["id"],
+                f"poll of {uri} answered a different job",
+            )
+        elif response.status in (429, 503):
+            self.check(
+                response.headers.get("Retry-After") is not None,
+                f"{response.status} for GET {uri} lacks Retry-After",
+            )
+        elif response.status != 502:
+            self.fail(f"acknowledged job {uri} answered unexpected {response.status}")
+
+    def _post(self, marker: int, key: str):
+        body = json.dumps({"a": marker, "b": 1}).encode()
+        return self.client.request_raw(
+            "POST",
+            self.service_uri,
+            body=body,
+            headers={IDEMPOTENCY_KEY_HEADER: key, "Content-Type": "application/json"},
+        )
+
+    # ---------------------------------------------------------------- settle
+
+    def settle(self, deadline: float = 10.0) -> None:
+        """Faults off, everything restored, every key resolved to one job."""
+        self.plan.deactivate()
+        if self.crash is not None:
+            self.crash.restore_all()
+        self.gateway.replicas.check_now()
+        for marker, record in self.expected.items():
+            if record["acked"] is None:
+                record["acked"] = self._resolve(marker, record, deadline)
+        for marker, record in self.expected.items():
+            self._await_terminal(record["acked"]["uri"], deadline)
+
+    def _resolve(self, marker: int, record: dict, deadline: float) -> dict:
+        """Retry a rejected submit (same key) on the healed cell until 201."""
+        limit = time.monotonic() + deadline
+        while time.monotonic() < limit:
+            response = self._post(marker, record["key"])
+            if response.status == 201:
+                return response.json_body
+            if response.status not in (429, 503):
+                self.fail(f"settle retry of {record['key']} answered {response.status}")
+            time.sleep(0.02)
+        self.fail(f"settle retry of {record['key']} never got a 201")
+
+    def _await_terminal(self, uri: str, deadline: float) -> dict:
+        limit = time.monotonic() + deadline
+        while time.monotonic() < limit:
+            response = self.client.request_raw("GET", uri, query={"wait": 1})
+            if response.status == 200 and response.json_body["state"] in (
+                "DONE",
+                "FAILED",
+                "CANCELLED",
+            ):
+                return response.json_body
+            if response.status == 404:
+                self.fail(f"acknowledged job {uri} vanished (404 after settle)")
+            time.sleep(0.02)
+        self.fail(f"acknowledged job {uri} never reached a terminal state")
+
+    # ------------------------------------------------------------ invariants
+
+    def verify(self) -> None:
+        """The post-settle invariant sweep; call after :meth:`settle`."""
+        counts: Counter = Counter()
+        for container in self.containers:
+            for job in container.service("work").jobs.list():
+                counts[job.inputs["a"]] += 1
+        for marker, record in self.expected.items():
+            self.check(
+                counts.get(marker, 0) == 1,
+                f"key {record['key']} owns {counts.get(marker, 0)} jobs (want exactly 1)",
+            )
+        for marker in counts:
+            self.check(int(marker) in self.expected, f"job with unknown marker {marker!r} exists")
+        for replica in self.gateway.replicas.replicas():
+            self.check(
+                replica.in_flight == 0,
+                f"replica {replica.id} in-flight gauge stuck at {replica.in_flight}",
+            )
+        self.check(
+            self.gateway.idempotency.pending_count == 0,
+            f"idempotency cache holds {self.gateway.idempotency.pending_count} reservations",
+        )
+        budget = self.gateway.retry_budget
+        self.check(0 <= budget.balance <= budget.cap, f"retry budget off the rails: {budget.balance}")
+
+
+def run_gateway_chaos(
+    seed: int,
+    scenario_fn,
+    nodeid: str,
+    ops: int = 8,
+    **cell_options,
+) -> None:
+    """The standard chaos exercise: workload under faults, settle, verify."""
+    cell = GatewayChaosCell(seed, scenario_fn, nodeid=nodeid, **cell_options)
+    try:
+        cell.run_workload(ops=ops)
+        cell.settle()
+        cell.verify()
+    finally:
+        cell.shutdown()

@@ -1,0 +1,85 @@
+"""Chaos over the batch cluster: seeded node deaths under a live queue.
+
+:class:`~repro.faults.BatchNodeChaos` kills and restores nodes while a
+seeded stream of function jobs flows through the scheduler. Whatever the
+schedule, the cluster must neither wedge nor leak: every job reaches a
+terminal state, killed jobs are reported (not silently lost), and once
+the dust settles the free-slot ledger equals the full node capacity.
+"""
+
+import time
+from collections import Counter
+
+import pytest
+
+from repro.batch.cluster import Cluster, ComputeNode
+from repro.batch.job import BatchJob, BatchJobState, JobResources
+from repro.faults import BatchNodeChaos, FaultPlan, Scenario
+from tests.chaos.harness import CHAOS_SCALE, chaos_seeds
+
+
+def _payload(job: BatchJob) -> int:
+    """~50 ms of cooperative work, so node deaths catch jobs mid-run."""
+    deadline = time.monotonic() + 0.05
+    while time.monotonic() < deadline:
+        if job.cancelled_requested:
+            return -1
+        time.sleep(0.005)
+    return 42
+
+
+@pytest.mark.parametrize("seed", chaos_seeds(24, base=5000))
+def test_node_death_under_load(seed, request):
+    cluster = Cluster(
+        nodes=[ComputeNode("n1", slots=2), ComputeNode("n2", slots=2), ComputeNode("n3", slots=2)],
+        name=f"chaos{seed}",
+    )
+    plan = FaultPlan(seed, [Scenario("node-death", 0.2, duration=2)])
+    chaos = BatchNodeChaos(plan, cluster, min_up=1)
+
+    def fail(message):
+        raise AssertionError(
+            f"chaos invariant violated: {message}\n  {plan.describe()}\n"
+            f"  repro: MC_CHAOS_SCALE={CHAOS_SCALE:g} PYTHONPATH=src "
+            f'python -m pytest -q "{request.node.nodeid}"'
+        )
+
+    try:
+        chooser = plan.stream("workload")
+        ids = []
+        for index in range(10):
+            chaos.step()
+            ppn = 2 if chooser.random() < 0.3 else 1
+            job = BatchJob(
+                name=f"w{index}", function=_payload, resources=JobResources(ppn=ppn, walltime=30.0)
+            )
+            ids.append(cluster.qsub(job))
+            time.sleep(0.01)
+        chaos.step()
+        plan.deactivate()
+        chaos.restore_all()
+        deadline = time.monotonic() + 15.0
+        for job_id in ids:
+            job = cluster.get_job(job_id)
+            if not job.wait(timeout=max(0.0, deadline - time.monotonic())):
+                fail(f"job {job_id} wedged in state {job.state.value}")
+        outcomes = Counter(cluster.get_job(job_id).state for job_id in ids)
+        for state in outcomes:
+            if state not in (BatchJobState.COMPLETED, BatchJobState.CANCELLED, BatchJobState.FAILED):
+                fail(f"job ended in non-terminal state {state.value}")
+        for job_id in ids:
+            job = cluster.get_job(job_id)
+            if job.state is BatchJobState.COMPLETED and job.result != 42:
+                fail(f"job {job_id} completed with wrong result {job.result!r}")
+        # the ledger must be conserved: all slots free once everything is done
+        slot_deadline = time.monotonic() + 5.0
+        while cluster.free_slots != cluster.total_slots and time.monotonic() < slot_deadline:
+            time.sleep(0.01)
+        if cluster.free_slots != cluster.total_slots:
+            fail(
+                f"slot ledger leaked: {cluster.free_slots} free of {cluster.total_slots} "
+                f"with every job terminal (dead={cluster.dead_nodes})"
+            )
+    finally:
+        plan.deactivate()
+        cluster.shutdown()

@@ -1,0 +1,68 @@
+"""Seeded chaos over the in-process gateway cell.
+
+Four matrices — a mixed transport-fault storm, replica crash/restart,
+worker stalls, and a long-poll-heavy workload — each run across dozens of
+seeds. Every run must end with the invariants in
+:class:`tests.chaos.harness.GatewayChaosCell` intact; a failing seed
+prints a one-line repro command.
+"""
+
+import pytest
+
+from repro.faults import Scenario
+from tests.chaos.harness import chaos_seeds, run_gateway_chaos
+
+
+def mixed_scenarios(target: str) -> list:
+    return [
+        Scenario("drop", 0.10, target=target),
+        Scenario("connect-refused", 0.12, target=target),
+        Scenario("partial-write", 0.08, target=target),
+        Scenario("delay", 0.15, target=target, delay=0.0, jitter=0.01),
+    ]
+
+
+def crash_scenarios(target: str) -> list:
+    return [
+        Scenario("crash-restart", 0.18, duration=2),
+        Scenario("drop", 0.06, target=target),
+    ]
+
+
+def stall_scenarios(target: str) -> list:
+    return [
+        Scenario("worker-stall", 0.3, delay=0.05, jitter=0.05),
+        Scenario("delay", 0.1, target=target, delay=0.0, jitter=0.01),
+    ]
+
+
+def longpoll_scenarios(target: str) -> list:
+    return [
+        Scenario("drop", 0.12, target=target),
+        Scenario("delay", 0.2, target=target, delay=0.0, jitter=0.02),
+    ]
+
+
+@pytest.mark.parametrize("seed", chaos_seeds(96, base=0))
+def test_mixed_transport_faults(seed, request):
+    run_gateway_chaos(seed, mixed_scenarios, request.node.nodeid)
+
+
+@pytest.mark.parametrize("seed", chaos_seeds(48, base=1000))
+def test_replica_crash_restart(seed, request):
+    run_gateway_chaos(seed, crash_scenarios, request.node.nodeid, crashes=True, ops=10)
+
+
+@pytest.mark.parametrize("seed", chaos_seeds(24, base=2000))
+def test_worker_stalls(seed, request):
+    run_gateway_chaos(seed, stall_scenarios, request.node.nodeid, worker_stalls=True)
+
+
+@pytest.mark.parametrize("seed", chaos_seeds(24, base=3000))
+def test_longpoll_under_faults(seed, request):
+    cell_seed = seed
+
+    def heavy_longpoll(target):
+        return longpoll_scenarios(target)
+
+    run_gateway_chaos(cell_seed, heavy_longpoll, request.node.nodeid, ops=12)

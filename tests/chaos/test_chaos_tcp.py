@@ -1,0 +1,101 @@
+"""Chaos over real TCP: server-side connection drops against keep-alive clients.
+
+A served container gets a :class:`~repro.faults.ServerDropHook`: seeded
+requests have their connection severed before any response bytes go out.
+A keep-alive client sees ``RemoteDisconnected`` — sometimes transparently
+replayed by :class:`~repro.http.transport.HttpTransport` (idempotent
+methods, keyed POSTs), sometimes surfaced as ``TransportError`` for the
+workload to retry with the same Idempotency-Key. Either way the replica's
+submit ledger must hold the line: one job per key.
+
+Unlike the in-process cells, the exact schedule here is best-effort
+deterministic — whether a drop hits a first send or a transparent replay
+depends on connection-pool state — but the *invariants* are unconditional.
+"""
+
+import json
+import time
+from collections import Counter
+
+import pytest
+
+from repro.container import ServiceContainer
+from repro.faults import FaultPlan, Scenario, ServerDropHook
+from repro.http.client import IDEMPOTENCY_KEY_HEADER, RestClient
+from repro.http.registry import TransportRegistry
+from repro.http.transport import TransportError
+from tests.chaos.harness import _WORK, CHAOS_SCALE, chaos_seeds
+
+
+@pytest.mark.parametrize("seed", chaos_seeds(16, base=4000))
+def test_server_drops_over_tcp(seed, request):
+    registry = TransportRegistry()
+    container = ServiceContainer(f"tcp{seed}", handlers=2, registry=registry)
+    container.deploy(_WORK)
+    server = container.serve()
+    plan = FaultPlan(
+        seed,
+        [
+            Scenario("server-drop", 0.25, target=r"POST /services/work$"),
+            Scenario("server-drop", 0.15, target=r"GET /services/work/jobs/"),
+            Scenario("delay", 0.2, delay=0.0, jitter=0.01),
+        ],
+    )
+    server.fault_hook = ServerDropHook(plan)
+    client = RestClient(registry, retry_after_cap=0.0)
+    service_uri = container.service_uri("work")
+    assert service_uri.startswith("http://")
+
+    def fail(message):
+        raise AssertionError(
+            f"chaos invariant violated: {message}\n  {plan.describe()}\n"
+            f"  repro: MC_CHAOS_SCALE={CHAOS_SCALE:g} PYTHONPATH=src "
+            f'python -m pytest -q "{request.node.nodeid}"'
+        )
+
+    acked = {}
+    try:
+        for marker in range(6):
+            key = f"tcp{seed}-k{marker}"
+            body = json.dumps({"a": marker, "b": 1}).encode()
+            headers = {IDEMPOTENCY_KEY_HEADER: key, "Content-Type": "application/json"}
+            for attempt in range(8):
+                try:
+                    response = client.request_raw("POST", service_uri, body=body, headers=headers)
+                except TransportError:
+                    continue  # ambiguous — the key makes the retry safe
+                if response.status == 201:
+                    acked[marker] = response.json_body
+                    break
+                if response.status not in (429, 503):
+                    fail(f"keyed POST {key} answered {response.status}")
+                time.sleep(0.02)
+            else:
+                fail(f"keyed POST {key} never accepted in 8 attempts")
+            try:
+                polled = client.request_raw("GET", acked[marker]["uri"])
+                if polled.status == 404:
+                    fail(f"acknowledged job {acked[marker]['id']} vanished")
+            except TransportError:
+                pass  # dropped poll; idempotent, nothing to verify
+        plan.deactivate()
+        deadline = time.monotonic() + 10.0
+        for marker, job in acked.items():
+            while time.monotonic() < deadline:
+                document = client.request_raw("GET", job["uri"], query={"wait": 1}).json_body
+                if document["state"] in ("DONE", "FAILED", "CANCELLED"):
+                    if document["state"] != "DONE":
+                        fail(f"job {job['id']} ended {document['state']}")
+                    break
+                time.sleep(0.02)
+            else:
+                fail(f"job {job['id']} never finished")
+        counts = Counter()
+        for job in container.service("work").jobs.list():
+            counts[job.inputs["a"]] += 1
+        for marker in acked:
+            if counts.get(marker, 0) != 1:
+                fail(f"marker {marker} owns {counts.get(marker, 0)} jobs (want exactly 1)")
+    finally:
+        plan.deactivate()
+        container.shutdown()

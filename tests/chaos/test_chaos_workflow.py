@@ -1,0 +1,128 @@
+"""Chaos over workflow DAG runs routed through a replicated gateway.
+
+A diamond DAG (two parallel arithmetic blocks feeding a third) executes
+against gateway-fronted services while the transport injects drops,
+refused connects and delays. The engine's idempotent submits and
+lost-job resubmission must keep the run either *correct* (right final
+value) or *cleanly failed* (WorkflowExecutionError) — never hung, never
+leaking in-flight slots or idempotency reservations, and never creating
+more jobs than its bounded resubmit policy allows.
+"""
+
+import itertools
+
+import pytest
+
+from repro.container import ServiceContainer
+from repro.faults import FaultInjectingTransport, FaultPlan, Scenario
+from repro.gateway import ServiceGateway
+from repro.gateway.replicaset import ReplicaSet
+from repro.http.registry import TransportRegistry
+from repro.workflow.engine import WorkflowEngine, WorkflowExecutionError
+from repro.workflow.model import ConstBlock, DataType, InputBlock, OutputBlock, ServiceBlock, Workflow
+from tests.chaos.harness import CHAOS_SCALE, chaos_seeds
+
+_cells = itertools.count()
+
+_NUMBER = {"type": "number"}
+
+
+def _config(name, fn, inputs, outputs):
+    return {
+        "description": {
+            "name": name,
+            "inputs": {k: {"schema": _NUMBER} for k in inputs},
+            "outputs": {k: {"schema": _NUMBER} for k in outputs},
+        },
+        "adapter": "python",
+        "config": {"callable": fn},
+    }
+
+
+def _diamond(gateway, registry):
+    """(n) → add(n,1) ∥ mul(n,2) → add(sums) → result."""
+    workflow = Workflow("diamond", title="chaos diamond")
+    workflow.add(InputBlock("n", type=DataType.NUMBER))
+    workflow.add(ConstBlock("one", value=1))
+    workflow.add(ConstBlock("two", value=2))
+    for block_id, service in (("plus1", "add"), ("times2", "mul"), ("total", "add")):
+        block = ServiceBlock(block_id, uri=gateway.service_uri(service))
+        block.introspect(registry)
+        workflow.add(block)
+    workflow.add(OutputBlock("result", type=DataType.NUMBER))
+    workflow.connect("n.value", "plus1.a")
+    workflow.connect("one.value", "plus1.b")
+    workflow.connect("n.value", "times2.a")
+    workflow.connect("two.value", "times2.b")
+    workflow.connect("plus1.sum", "total.a")
+    workflow.connect("times2.product", "total.b")
+    workflow.connect("total.sum", "result.value")
+    workflow.validate()
+    return workflow
+
+
+@pytest.mark.parametrize("seed", chaos_seeds(24, base=6000))
+def test_diamond_dag_under_faults(seed, request):
+    sequence = next(_cells)
+    prefix = f"wf{sequence}r"
+    registry = TransportRegistry()
+    plan = FaultPlan(
+        seed,
+        [
+            Scenario("drop", 0.05, target=rf"POST local://{prefix}\d+/"),
+            Scenario("connect-refused", 0.06, target=rf"local://{prefix}\d+/"),
+            Scenario("delay", 0.1, target=rf"local://{prefix}\d+/", delay=0.0, jitter=0.005),
+        ],
+    )
+    containers = []
+    for index in range(2):
+        container = ServiceContainer(f"{prefix}{index}", handlers=4, registry=registry)
+        container.deploy(_config("add", lambda a, b: {"sum": a + b}, ("a", "b"), ("sum",)))
+        container.deploy(_config("mul", lambda a, b: {"product": a * b}, ("a", "b"), ("product",)))
+        containers.append(container)
+    replica_set = ReplicaSet(registry=registry, down_after=1, up_after=1, breaker_failures=10**6)
+    gateway = ServiceGateway(
+        registry=registry, name=f"wf{sequence}gw", replicas=replica_set, max_attempts=4
+    )
+    for container in containers:
+        gateway.add_replica(container.local_base)
+    resubmit_lost = 2
+    engine = WorkflowEngine(registry=registry, wait_chunk=0.2, resubmit_lost=resubmit_lost)
+
+    def fail(message):
+        raise AssertionError(
+            f"chaos invariant violated: {message}\n  {plan.describe()}\n"
+            f"  repro: MC_CHAOS_SCALE={CHAOS_SCALE:g} PYTHONPATH=src "
+            f'python -m pytest -q "{request.node.nodeid}"'
+        )
+
+    try:
+        workflow = _diamond(gateway, registry)  # introspection before faults
+        registry.add_transport(FaultInjectingTransport(registry.local, plan))
+        try:
+            outputs = engine.execute(workflow, {"n": 10})
+        except WorkflowExecutionError:
+            outputs = None  # a clean bounded failure is acceptable under chaos
+        plan.deactivate()
+        if outputs is not None and outputs["result"] != (10 + 1) + (10 * 2):
+            fail(f"diamond computed {outputs['result']!r}, want 31")
+        # bounded submissions: each service block may create at most
+        # 1 + resubmit_lost jobs per replica-side ledger key
+        per_service = {"add": 0, "mul": 0}
+        for container in containers:
+            for name in per_service:
+                per_service[name] += len(container.service(name).jobs.list())
+        if per_service["add"] > 2 * (1 + resubmit_lost):
+            fail(f"add jobs exploded: {per_service['add']}")
+        if per_service["mul"] > 1 + resubmit_lost:
+            fail(f"mul jobs exploded: {per_service['mul']}")
+        for replica in gateway.replicas.replicas():
+            if replica.in_flight != 0:
+                fail(f"replica {replica.id} in-flight gauge stuck at {replica.in_flight}")
+        if gateway.idempotency.pending_count != 0:
+            fail(f"idempotency cache holds {gateway.idempotency.pending_count} reservations")
+    finally:
+        plan.deactivate()
+        gateway.shutdown()
+        for container in containers:
+            container.shutdown()

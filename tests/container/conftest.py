@@ -1,12 +1,11 @@
 """Shared fixtures and helpers for container tests."""
 
-import time
-
 import pytest
 
 from repro.container import ServiceContainer
 from repro.http.client import RestClient
 from repro.http.registry import TransportRegistry
+from tests.waiters import wait_for_state
 
 
 @pytest.fixture()
@@ -26,15 +25,9 @@ def client(registry):
     return RestClient(registry)
 
 
-def wait_done(client, job_uri, timeout=15.0, poll=0.01):
+def wait_done(client, job_uri, timeout=15.0):
     """Poll a job resource until it reaches a terminal state."""
-    deadline = time.time() + timeout
-    while time.time() < deadline:
-        job = client.get(job_uri)
-        if job["state"] in ("DONE", "FAILED", "CANCELLED"):
-            return job
-        time.sleep(poll)
-    raise TimeoutError(f"job {job_uri} still not terminal after {timeout}s")
+    return wait_for_state(lambda: client.get(job_uri), timeout=timeout)
 
 
 def add_service_config(**overrides):

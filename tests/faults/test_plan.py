@@ -1,0 +1,208 @@
+"""FaultPlan determinism: same seed, same schedule — always."""
+
+import pytest
+
+from repro.faults import (
+    BatchNodeChaos,
+    CrashController,
+    FaultInjectingTransport,
+    FaultPlan,
+    Scenario,
+)
+from repro.http.messages import Response
+from repro.http.transport import ConnectError, Transport, TransportError
+
+MIX = [
+    Scenario("drop", 0.3),
+    Scenario("connect-refused", 0.2),
+    Scenario("delay", 0.25, delay=0.0, jitter=0.0),
+    Scenario("partial-write", 0.15),
+]
+
+
+def _schedule(plan, site, ops=200):
+    return [
+        (fault.kind if fault else None)
+        for fault in (plan.decide(site, subject=f"op-{i}") for i in range(ops))
+    ]
+
+
+class TestScenarioValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown scenario kind"):
+            Scenario("meteor-strike", 0.5)
+
+    def test_rate_bounds(self):
+        with pytest.raises(ValueError, match="rate"):
+            Scenario("drop", 1.5)
+
+    def test_duration_floor(self):
+        with pytest.raises(ValueError, match="duration"):
+            Scenario("crash-restart", 0.1, duration=0)
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self):
+        first = _schedule(FaultPlan(42, MIX), "transport")
+        second = _schedule(FaultPlan(42, MIX), "transport")
+        assert first == second
+        assert any(kind is not None for kind in first)
+
+    def test_different_seeds_differ(self):
+        schedules = {tuple(_schedule(FaultPlan(seed, MIX), "transport")) for seed in range(5)}
+        assert len(schedules) == 5
+
+    def test_sites_draw_independent_streams(self):
+        plan = FaultPlan(7, MIX)
+        a = _schedule(plan, "site-a", ops=50)
+        # interleaving queries at another site must not perturb site-a
+        interleaved = FaultPlan(7, MIX)
+        a2 = []
+        for i in range(50):
+            interleaved.decide("site-b", subject="noise")
+            fault = interleaved.decide("site-a", subject=f"op-{i}")
+            a2.append(fault.kind if fault else None)
+        assert a == a2
+
+    def test_named_streams_are_stable(self):
+        draws = [FaultPlan(3, []).stream("victims").random() for _ in range(2)]
+        assert draws[0] == draws[1]
+
+
+class TestDecide:
+    def test_target_regex_filters_subjects(self):
+        plan = FaultPlan(1, [Scenario("drop", 1.0, target=r"POST .*?/services/add$")])
+        assert plan.decide("t", subject="POST local://a/services/add").kind == "drop"
+        assert plan.decide("t", subject="GET local://a/services/add/jobs/1") is None
+
+    def test_kinds_filter(self):
+        plan = FaultPlan(1, [Scenario("worker-stall", 1.0)])
+        assert plan.decide("pool", subject="p", kinds={"worker-stall"}) is not None
+        assert plan.decide("transport", subject="x", kinds={"drop"}) is None
+
+    def test_first_matching_scenario_wins(self):
+        plan = FaultPlan(1, [Scenario("drop", 1.0), Scenario("delay", 1.0)])
+        assert plan.decide("t", subject="anything").kind == "drop"
+
+    def test_deactivate_stops_injection(self):
+        plan = FaultPlan(1, [Scenario("drop", 1.0)])
+        plan.deactivate()
+        assert plan.decide("t", subject="x") is None
+        plan.activate()
+        assert plan.decide("t", subject="x") is not None
+
+    def test_events_record_hits(self):
+        plan = FaultPlan(1, [Scenario("drop", 1.0)])
+        plan.decide("t", subject="one")
+        plan.decide("t", subject="two")
+        events = plan.events
+        assert [event.subject for event in events] == ["one", "two"]
+        assert events[0].index == 0 and events[1].index == 1
+        assert "seed=1" in plan.describe()
+
+
+class _Recorder(Transport):
+    schemes = ("local",)
+
+    def __init__(self):
+        self.calls = []
+
+    def request(self, method, url, headers=None, body=b""):
+        self.calls.append((method, url))
+        return Response(status=200)
+
+
+class TestFaultInjectingTransport:
+    def test_connect_refused_never_forwards(self):
+        inner = _Recorder()
+        transport = FaultInjectingTransport(inner, FaultPlan(1, [Scenario("connect-refused", 1.0)]))
+        with pytest.raises(ConnectError):
+            transport.request("POST", "local://a/services/x")
+        assert inner.calls == []
+
+    def test_partial_write_never_forwards(self):
+        inner = _Recorder()
+        transport = FaultInjectingTransport(inner, FaultPlan(1, [Scenario("partial-write", 1.0)]))
+        with pytest.raises(TransportError):
+            transport.request("POST", "local://a/services/x")
+        assert inner.calls == []
+
+    def test_drop_forwards_then_raises(self):
+        inner = _Recorder()
+        transport = FaultInjectingTransport(inner, FaultPlan(1, [Scenario("drop", 1.0)]))
+        with pytest.raises(TransportError):
+            transport.request("POST", "local://a/services/x")
+        assert inner.calls == [("POST", "local://a/services/x")]
+
+    def test_no_fault_passes_through(self):
+        inner = _Recorder()
+        transport = FaultInjectingTransport(inner, FaultPlan(1, []))
+        assert transport.request("GET", "local://a/services/x").status == 200
+        assert transport.schemes == inner.schemes
+
+
+class TestCrashController:
+    def _controller(self, rate=1.0, duration=2, min_up=1, names=("a", "b", "c")):
+        plan = FaultPlan(5, [Scenario("crash-restart", rate, duration=duration)])
+        log = []
+        controller = CrashController(plan, min_up=min_up, on_change=lambda: log.append("probe"))
+        for name in names:
+            controller.register(
+                name,
+                stop=lambda n=name: log.append(f"stop:{n}"),
+                start=lambda n=name: log.append(f"start:{n}"),
+            )
+        return controller, log
+
+    def test_min_up_guard_always_holds(self):
+        controller, _ = self._controller(rate=1.0, min_up=1)
+        for _ in range(30):
+            controller.step()
+            assert controller.up_count >= 1
+
+    def test_crashed_replica_restores_after_duration(self):
+        controller, log = self._controller(rate=1.0, duration=2, names=("a", "b"))
+        controller.step()  # crashes one (min_up keeps the other)
+        assert controller.up_count == 1
+        stopped = next(entry for entry in log if entry.startswith("stop:"))
+        controller.step()
+        controller.step()  # duration=2 steps later it comes back
+        assert f"start:{stopped.split(':')[1]}" in log
+        assert controller.up_count >= 1
+
+    def test_restore_all_brings_everything_back(self):
+        controller, _ = self._controller(rate=1.0, names=("a", "b", "c"))
+        for _ in range(5):
+            controller.step()
+        controller.restore_all()
+        assert controller.up_count == 3
+
+    def test_schedule_is_seed_deterministic(self):
+        runs = []
+        for _ in range(2):
+            controller, log = self._controller(rate=0.4, names=("a", "b", "c"))
+            for _ in range(40):
+                controller.step()
+            runs.append([entry for entry in log if entry.startswith(("stop:", "start:"))])
+        assert runs[0] == runs[1]
+        assert runs[0], "a 40-step run at rate 0.4 must crash at least once"
+
+
+class TestBatchNodeChaos:
+    def test_kills_and_restores_nodes(self):
+        from repro.batch.cluster import Cluster, ComputeNode
+
+        cluster = Cluster(
+            nodes=[ComputeNode("n1", slots=2), ComputeNode("n2", slots=2)], name="chaos-c1"
+        )
+        try:
+            plan = FaultPlan(9, [Scenario("node-death", 1.0, duration=1)])
+            chaos = BatchNodeChaos(plan, cluster, min_up=1)
+            chaos.step()
+            assert len(cluster.dead_nodes) == 1
+            chaos.step()  # restores the dead node; min_up may let it kill again
+            chaos.restore_all()
+            assert cluster.dead_nodes == []
+            assert cluster.free_slots == cluster.total_slots
+        finally:
+            cluster.shutdown()

@@ -1,0 +1,226 @@
+"""Replay safety for keyed POSTs: the ambiguous-failure binding.
+
+When a keyed submit dies mid-request on a replica, that replica may
+already own the job — so the gateway must pin every further attempt for
+that key to the *same* replica (whose submit ledger deduplicates),
+instead of spraying the key across the pool and minting duplicate jobs.
+These are the pinned regression tests for the bug the chaos suite's
+``drop`` scenario exposes.
+"""
+
+import itertools
+import re
+import threading
+
+import pytest
+
+from repro.container import ServiceContainer
+from repro.gateway import ServiceGateway
+from repro.http.client import IDEMPOTENCY_KEY_HEADER, RestClient
+from repro.http.registry import TransportRegistry
+from repro.http.transport import Transport, TransportError
+
+_counter = itertools.count()
+
+_ADD = {
+    "description": {
+        "name": "add",
+        "inputs": {"a": {"schema": {"type": "number"}}, "b": {"schema": {"type": "number"}}},
+        "outputs": {"result": {"schema": {"type": "number"}}},
+    },
+    "adapter": "python",
+    "config": {"callable": lambda a, b: {"result": a + b}},
+}
+
+
+class DropResponses(Transport):
+    """Deliver matching requests to the inner transport, lose the response.
+
+    The server-side effect happens; the caller sees an ambiguous
+    :class:`TransportError` — exactly what a mid-request connection death
+    looks like. Non-matching requests (and matches beyond ``times``) pass
+    through untouched.
+    """
+
+    def __init__(self, inner: Transport, pattern: str, times: int = 1):
+        self.inner = inner
+        self.pattern = re.compile(pattern)
+        self.remaining = times
+        self.schemes = inner.schemes
+        self.delivered = 0
+
+    def request(self, method, url, headers=None, body=b""):
+        if self.remaining > 0 and self.pattern.search(f"{method} {url}"):
+            self.remaining -= 1
+            self.delivered += 1
+            self.inner.request(method, url, headers=headers, body=body)
+            raise TransportError(f"injected drop: {method} {url}")
+        return self.inner.request(method, url, headers=headers, body=body)
+
+
+@pytest.fixture()
+def cell(request):
+    registry = TransportRegistry()
+    suffix = next(_counter)
+    containers = []
+    for letter in ("a", "b"):
+        container = ServiceContainer(f"bind-{letter}{suffix}", handlers=2, registry=registry)
+        container.deploy(_ADD)
+        containers.append(container)
+        request.addfinalizer(container.shutdown)
+    gateway = ServiceGateway(registry=registry, name=f"bind-gw{suffix}")
+    for container in containers:
+        gateway.add_replica(container.local_base)
+    request.addfinalizer(gateway.shutdown)
+    return registry, gateway, containers
+
+
+def _jobs(container):
+    return container.service("add").jobs.list()
+
+
+class TestAmbiguousReplayBinding:
+    def test_mid_request_failure_replays_on_the_same_replica(self, cell):
+        registry, gateway, containers = cell
+        dropper = DropResponses(registry.local, r"POST local://bind-a\d+/services/add$", times=1)
+        registry.add_transport(dropper)
+        client = RestClient(registry, retry_after_cap=0.0)
+        job = client.request_json(
+            "POST",
+            gateway.service_uri("add"),
+            payload={"a": 1, "b": 2},
+            headers={IDEMPOTENCY_KEY_HEADER: "bind-k1"},
+        )
+        # the retry went back to r0, whose ledger replayed the original job
+        assert job["id"].startswith("r0.")
+        assert dropper.delivered == 1
+        assert len(_jobs(containers[0])) == 1
+        assert len(_jobs(containers[1])) == 0, "keyed replay must not land on another replica"
+
+    def test_binding_survives_across_client_retries(self, cell):
+        registry, gateway, containers = cell
+        # every attempt reaches r0 but no response ever comes back, so the
+        # whole first client request fails over budget — yet the key stays
+        # bound, and the client's own retry (after the fault heals) gets
+        # the one job r0 created
+        dropper = DropResponses(registry.local, r"POST local://bind-a\d+/services/add$", times=10)
+        registry.add_transport(dropper)
+        client = RestClient(registry, retry_after_cap=0.0)
+        first = client.request_raw(
+            "POST",
+            gateway.service_uri("add"),
+            body=b'{"a": 3, "b": 4}',
+            headers={IDEMPOTENCY_KEY_HEADER: "bind-k2", "Content-Type": "application/json"},
+        )
+        assert first.status == 503
+        assert first.headers.get("Retry-After") is not None
+        assert gateway.idempotency.binding("bind-k2") == "r0"
+        dropper.remaining = 0  # the network heals
+        job = client.request_json(
+            "POST",
+            gateway.service_uri("add"),
+            payload={"a": 3, "b": 4},
+            headers={IDEMPOTENCY_KEY_HEADER: "bind-k2"},
+        )
+        assert job["id"].startswith("r0.")
+        assert len(_jobs(containers[0])) == 1
+        assert len(_jobs(containers[1])) == 0
+        # the stored response supersedes the binding
+        assert gateway.idempotency.binding("bind-k2") is None
+
+    def test_bound_replica_answering_503_keeps_the_binding(self, cell):
+        registry, gateway, containers = cell
+
+        class Reject503(Transport):
+            def __init__(self, inner, pattern):
+                self.inner = inner
+                self.pattern = re.compile(pattern)
+                self.schemes = inner.schemes
+
+            def request(self, method, url, headers=None, body=b""):
+                if self.pattern.search(f"{method} {url}"):
+                    from repro.http.messages import HttpError
+
+                    response = HttpError(503, "first attempt still in flight").to_response()
+                    response.headers.set("Retry-After", "1")
+                    return response
+                return self.inner.request(method, url, headers=headers, body=body)
+
+        registry.add_transport(Reject503(registry.local, r"POST local://bind-a\d+/services/add$"))
+        gateway.idempotency.bind("bind-k4", "r0")
+        client = RestClient(registry, retry_after_cap=0.0)
+        response = client.request_raw(
+            "POST",
+            gateway.service_uri("add"),
+            body=b'{"a": 7, "b": 8}',
+            headers={IDEMPOTENCY_KEY_HEADER: "bind-k4", "Content-Type": "application/json"},
+        )
+        # the key may still own a job on r0, so the gateway must NOT try r1
+        assert response.status == 503
+        assert response.headers.get("Retry-After") is not None
+        assert gateway.idempotency.binding("bind-k4") == "r0"
+        assert len(_jobs(containers[1])) == 0
+
+    def test_eviction_lifts_the_binding(self, cell):
+        registry, gateway, containers = cell
+        gateway.idempotency.bind("bind-k3", "r0")
+        gateway.evict("r0")
+        client = RestClient(registry, retry_after_cap=0.0)
+        job = client.request_json(
+            "POST",
+            gateway.service_uri("add"),
+            payload={"a": 5, "b": 6},
+            headers={IDEMPOTENCY_KEY_HEADER: "bind-k3"},
+        )
+        assert job["id"].startswith("r1.")
+        assert len(_jobs(containers[1])) == 1
+
+
+class TestReplicaSubmitLedger:
+    def test_repeated_key_replays_the_same_job(self, cell):
+        registry, _, containers = cell
+        container = containers[0]
+        client = RestClient(registry, retry_after_cap=0.0)
+        url = container.service_uri("add")
+        headers = {IDEMPOTENCY_KEY_HEADER: "ledger-k1", "Content-Type": "application/json"}
+        first = client.request_raw("POST", url, body=b'{"a": 1, "b": 1}', headers=headers)
+        second = client.request_raw("POST", url, body=b'{"a": 1, "b": 1}', headers=headers)
+        assert first.status == 201 and second.status == 201
+        assert first.json_body["id"] == second.json_body["id"]
+        assert second.headers.get("Idempotent-Replay") == "true"
+        assert len(_jobs(container)) == 1
+
+    def test_deleted_job_frees_the_key(self, cell):
+        registry, _, containers = cell
+        container = containers[0]
+        client = RestClient(registry, retry_after_cap=0.0)
+        url = container.service_uri("add")
+        headers = {IDEMPOTENCY_KEY_HEADER: "ledger-k2"}
+        first = client.request_json("POST", url, payload={"a": 2, "b": 2}, headers=headers)
+        client.delete(first["uri"])
+        second = client.request_json("POST", url, payload={"a": 2, "b": 2}, headers=headers)
+        assert second["id"] != first["id"]
+        assert len(_jobs(container)) == 1
+
+    def test_concurrent_same_key_submits_create_one_job(self, cell):
+        registry, _, containers = cell
+        container = containers[0]
+        client = RestClient(registry, retry_after_cap=0.0)
+        url = container.service_uri("add")
+        headers = {IDEMPOTENCY_KEY_HEADER: "ledger-k3", "Content-Type": "application/json"}
+        barrier = threading.Barrier(4)
+        results = []
+
+        def submit():
+            barrier.wait()
+            response = client.request_raw("POST", url, body=b'{"a": 1, "b": 2}', headers=headers)
+            results.append(response)
+
+        threads = [threading.Thread(target=submit) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert len(_jobs(container)) == 1
+        ids = {response.json_body["id"] for response in results}
+        assert len(ids) == 1

@@ -8,6 +8,7 @@ from repro.container import ServiceContainer
 from repro.gateway.breaker import CircuitBreaker
 from repro.gateway.replicaset import Replica, ReplicaSet, ReplicaState
 from repro.http.registry import TransportRegistry
+from tests.waiters import wait_until
 
 
 def make_replica(max_in_flight: int = 2) -> Replica:
@@ -134,11 +135,11 @@ class TestActiveProbes:
             with pytest.raises(RuntimeError):
                 replicas.start_health_checks(interval=0.02)
             registry.unbind_local("probe-target")  # the backend dies
-            for _ in range(100):
-                if replica.state is ReplicaState.DOWN:
-                    break
-                time.sleep(0.02)
-            assert replica.state is ReplicaState.DOWN
+            wait_until(
+                lambda: replica.state is ReplicaState.DOWN,
+                timeout=2.0,
+                message="background checker never marked the replica DOWN",
+            )
         finally:
             replicas.stop_health_checks()
         replicas.stop_health_checks()  # idempotent

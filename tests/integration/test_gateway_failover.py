@@ -26,6 +26,7 @@ from repro.workflow.model import (
     ServiceBlock,
     Workflow,
 )
+from tests.waiters import wait_until
 
 _WORK = {
     "description": {
@@ -125,10 +126,12 @@ class TestFailover:
         registry, gateway, _, servers = cluster
         servers[1].stop()
         replica = gateway.replicas.get("r1")
-        deadline = time.monotonic() + 10
-        while replica.state is not ReplicaState.DOWN and time.monotonic() < deadline:
-            time.sleep(0.05)
-        assert replica.state is ReplicaState.DOWN
+        wait_until(
+            lambda: replica.state is ReplicaState.DOWN,
+            timeout=10.0,
+            interval=0.05,
+            message="killed replica never marked DOWN",
+        )
         # every spread submit now avoids the dead replica — no failures
         client = RestClient(registry)
         for _ in range(6):

@@ -12,6 +12,7 @@ from repro.container import ServiceContainer
 from repro.core.errors import ConfigurationError
 from repro.http.client import RestClient
 from repro.http.registry import TransportRegistry
+from tests.waiters import wait_for_state
 
 
 @pytest.fixture()
@@ -151,10 +152,7 @@ class TestWorkflowInstancePage:
 
             client = RestClient(registry)
             created = client.post(wms.service_uri("pagey"), payload={"n": 1})
-            deadline = time.time() + 10
-            while client.get(created["uri"])["state"] not in ("DONE", "FAILED"):
-                assert time.time() < deadline
-                time.sleep(0.02)
+            wait_for_state(lambda: client.get(created["uri"]), states=("DONE", "FAILED"))
             page = client.get(created["uri"] + "/ui")
             assert "pagey" in page
             assert "DONE" in page

@@ -1,8 +1,11 @@
-"""Table 1 conformance over a real HTTP socket.
+"""Table 1 conformance over both transports.
 
-The normative resource/method matrix, exercised against a served
-container exactly as an external client (curl, a browser's Ajax call)
-would see it — status codes, headers, hierarchy, sync and async modes.
+The normative resource/method matrix, exercised against a container once
+over a real HTTP socket (exactly as an external client — curl, a
+browser's Ajax call — would see it) and once over the in-process
+``local://`` transport. Every test runs identically against both: the
+two paths must be observably the same wire protocol — status codes,
+headers, hierarchy, sync and async modes.
 """
 
 import json
@@ -13,12 +16,14 @@ import pytest
 from repro.container import ServiceContainer
 from repro.http.registry import TransportRegistry
 from repro.http.transport import HttpTransport
+from tests.waiters import wait_for_state
 
 
-@pytest.fixture(scope="module")
-def served():
+@pytest.fixture(scope="module", params=["http", "local"])
+def conformance_cell(request):
+    """One served container + the transport under test: ``(transport, url)``."""
     registry = TransportRegistry()
-    container = ServiceContainer("conformance", handlers=2, registry=registry)
+    container = ServiceContainer(f"conformance-{request.param}", handlers=2, registry=registry)
 
     def work(context, text, delay=0.0):
         deadline = time.time() + delay
@@ -44,14 +49,26 @@ def served():
             "config": {"callable": work},
         }
     )
-    server = container.serve()
-    yield server.base_url + "/services/work"
+    if request.param == "http":
+        server = container.serve()
+        transport = HttpTransport(timeout=10)
+        base = server.base_url
+    else:
+        transport = registry.local
+        base = container.local_base
+    yield transport, base + "/services/work"
     container.shutdown()
 
 
 @pytest.fixture()
-def http():
-    return HttpTransport(timeout=10)
+def served(conformance_cell):
+    return conformance_cell[1]
+
+
+@pytest.fixture()
+def http(conformance_cell):
+    """The transport under test (named for the original HTTP-only suite)."""
+    return conformance_cell[0]
 
 
 def _json(response):
@@ -97,13 +114,7 @@ class TestJobResource:
         return _json(response)
 
     def _wait(self, http, job_uri, timeout=10.0):
-        deadline = time.time() + timeout
-        while time.time() < deadline:
-            body = _json(http.request("GET", job_uri))
-            if body["state"] in ("DONE", "FAILED", "CANCELLED"):
-                return body
-            time.sleep(0.02)
-        raise TimeoutError(job_uri)
+        return wait_for_state(lambda: _json(http.request("GET", job_uri)), timeout=timeout)
 
     def test_async_lifecycle_waiting_to_done(self, served, http):
         created = self._submit(served, http, text="abc", delay=0.2)
@@ -137,13 +148,9 @@ class TestFileResource:
     def _done_job(self, served, http):
         response = http.request("POST", served, body=json.dumps({"text": "abc"}).encode())
         created = _json(response)
-        deadline = time.time() + 10
-        while time.time() < deadline:
-            body = _json(http.request("GET", created["uri"]))
-            if body["state"] == "DONE":
-                return body
-            time.sleep(0.02)
-        raise TimeoutError
+        return wait_for_state(
+            lambda: _json(http.request("GET", created["uri"])), states=("DONE",)
+        )
 
     def test_full_content(self, served, http):
         job = self._done_job(served, http)

@@ -1,0 +1,120 @@
+"""Property-based tests for gateway invariants: the idempotency cache's
+reserve/release protocol and consistent-hash replica pinning."""
+
+import threading
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gateway.balancer import ConsistentHashPolicy
+from repro.gateway.idempotency import IdempotencyCache
+from repro.gateway.replicaset import Replica
+from repro.gateway.breaker import CircuitBreaker
+from repro.http.messages import Response
+
+keys = st.text(alphabet="abcdef0123456789-", min_size=1, max_size=16)
+replica_ids = st.lists(
+    st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=6),
+    min_size=1,
+    max_size=8,
+    unique=True,
+)
+
+
+def _replicas(ids):
+    return [Replica(rid, f"local://{rid}", CircuitBreaker()) for rid in ids]
+
+
+class TestIdempotencyCacheProtocol:
+    @given(st.lists(st.tuples(keys, st.sampled_from(["put", "release"])), max_size=30))
+    def test_no_operation_sequence_leaves_a_reservation(self, operations):
+        """Whatever interleaving of outcomes, pending drains to zero."""
+        cache = IdempotencyCache(capacity=8, pending_timeout=0.1)
+        for key, outcome in operations:
+            owner, cached = cache.reserve(key)
+            if cached is not None:
+                continue  # replayed; no reservation taken
+            assert owner, "single-threaded reserve can never time out"
+            if outcome == "put":
+                cache.put(key, "r0", Response.json({"k": key}, status=201))
+            else:
+                cache.release(key)
+        assert cache.pending_count == 0
+
+    @given(keys)
+    def test_put_then_reserve_replays_a_copy(self, key):
+        cache = IdempotencyCache(capacity=4)
+        cache.put(key, "r0", Response.json({"id": "j-1"}, status=201))
+        owner, cached = cache.reserve(key)
+        assert not owner and cached is not None
+        cached.headers.set("X-Mutated", "yes")  # a copy: mutation must not stick
+        _, again = cache.reserve(key)
+        assert again.headers.get("X-Mutated") is None
+
+    @given(keys, st.integers(min_value=2, max_value=6))
+    def test_concurrent_same_key_reserve_has_exactly_one_owner(self, key, workers):
+        cache = IdempotencyCache(pending_timeout=5.0)
+        barrier = threading.Barrier(workers)
+        outcomes = []
+        lock = threading.Lock()
+
+        def contender():
+            barrier.wait()
+            owner, cached = cache.reserve(key)
+            if owner:
+                # the single first attempt: everyone else must replay this
+                cache.put(key, "r0", Response.json({"id": "j-1"}, status=201))
+            with lock:
+                outcomes.append((owner, cached))
+
+        threads = [threading.Thread(target=contender) for _ in range(workers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10)
+        owners = [owner for owner, _ in outcomes]
+        assert owners.count(True) == 1
+        assert all(cached is not None for owner, cached in outcomes if not owner)
+        assert cache.pending_count == 0
+
+    @given(keys, replica_ids)
+    def test_binding_rules(self, key, ids):
+        cache = IdempotencyCache()
+        for rid in ids:
+            cache.bind(key, rid)
+            assert cache.binding(key) == rid  # last bind wins
+        cache.invalidate_replica(ids[-1])
+        assert cache.binding(key) is None
+
+
+class TestConsistentHashPinning:
+    @given(keys, replica_ids)
+    def test_same_key_same_membership_same_choice(self, key, ids):
+        policy = ConsistentHashPolicy()
+        pool = _replicas(ids)
+        first = policy.choose(pool, key)
+        assert all(policy.choose(pool, key) is first for _ in range(3))
+        # membership order must not matter
+        assert policy.choose(list(reversed(pool)), key).id == first.id
+
+    @given(keys, replica_ids)
+    def test_removing_an_unchosen_replica_keeps_the_choice(self, key, ids):
+        """The consistent-hash property: only keys on the removed replica move."""
+        policy = ConsistentHashPolicy()
+        pool = _replicas(ids)
+        chosen = policy.choose(pool, key)
+        for removed in pool:
+            if removed is chosen or len(pool) == 1:
+                continue
+            survivors = [replica for replica in pool if replica is not removed]
+            assert policy.choose(survivors, key).id == chosen.id
+
+    @given(replica_ids, st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25)
+    def test_keys_spread_over_more_than_one_replica(self, ids, base):
+        if len(ids) < 2:
+            return
+        policy = ConsistentHashPolicy()
+        pool = _replicas(ids)
+        chosen = {policy.choose(pool, f"key-{base}-{i}").id for i in range(64)}
+        assert len(chosen) > 1

@@ -7,6 +7,7 @@ import time
 import pytest
 
 from repro.http.registry import TransportRegistry
+from tests.waiters import wait_until
 
 
 @pytest.fixture()
@@ -57,9 +58,7 @@ class TestJobManagerDirect:
                 raise MemoryError("synthetic crash")
 
             manager.enqueue(job, explode)
-            deadline = time.time() + 5
-            while not job.state.terminal and time.time() < deadline:
-                time.sleep(0.01)
+            wait_until(lambda: job.state.terminal, timeout=5.0, message="job never failed")
             assert job.state is JobState.FAILED
             assert "internal adapter error" in job.error
         finally:
@@ -192,10 +191,7 @@ class TestClusterAdapterCancel:
             )
             proxy = ServiceProxy(container.service_uri("sleepy"), registry)
             handle = proxy.submit()
-            deadline = time.time() + 10
-            while not cluster.jobs() and time.time() < deadline:
-                time.sleep(0.02)
-            assert cluster.jobs(), "batch job never appeared"
+            wait_until(cluster.jobs, timeout=10.0, message="batch job never appeared")
             handle.cancel()
             batch_job = cluster.jobs()[0]
             assert batch_job.wait(timeout=15)

@@ -1,0 +1,49 @@
+"""Shared polling helpers: condition waits with deadlines, not bare sleeps.
+
+``wait_until`` replaces the hand-rolled ``while … time.sleep`` loops that
+used to be copied between test modules. It polls a predicate on a small
+interval, returns its first truthy result, and raises a descriptive
+``TimeoutError`` — so a hung condition fails loudly with context instead
+of silently burning the suite's time budget.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable
+
+#: Default poll cadence; small enough that instant transitions cost ~one tick.
+POLL_INTERVAL = 0.01
+
+
+def wait_until(
+    predicate: Callable[[], Any],
+    timeout: float = 10.0,
+    interval: float = POLL_INTERVAL,
+    message: str = "",
+) -> Any:
+    """Poll ``predicate`` until it returns a truthy value; return that value.
+
+    Raises ``TimeoutError`` naming the condition after ``timeout`` seconds.
+    """
+    deadline = time.monotonic() + timeout
+    while True:
+        value = predicate()
+        if value:
+            return value
+        if time.monotonic() >= deadline:
+            raise TimeoutError(message or f"condition not met within {timeout:g}s: {predicate}")
+        time.sleep(interval)
+
+
+def wait_for_state(
+    fetch: Callable[[], dict],
+    states: "tuple[str, ...]" = ("DONE", "FAILED", "CANCELLED"),
+    timeout: float = 10.0,
+) -> dict:
+    """Poll ``fetch`` (a job-document getter) until its state is in ``states``."""
+    return wait_until(
+        lambda: (lambda document: document if document.get("state") in states else None)(fetch()),
+        timeout=timeout,
+        message=f"job never reached {states}",
+    )
