@@ -13,6 +13,7 @@ Two measurements over real TCP:
 
 import threading
 import time
+from pathlib import Path
 
 from benchmarks.conftest import full_scale, record_experiment
 from repro.client import ServiceProxy
@@ -48,13 +49,23 @@ def _work_config():
 
 
 class _Cluster:
-    def __init__(self, registry: TransportRegistry, replicas: int, tag: str):
+    def __init__(
+        self,
+        registry: TransportRegistry,
+        replicas: int,
+        tag: str,
+        journal_root: "str | Path | None" = None,
+    ):
         self.registry = registry
         self.containers = []
         self.servers = []
         for index in range(replicas):
+            journal_dir = None if journal_root is None else Path(journal_root) / f"r{index}"
             container = ServiceContainer(
-                f"g1-{tag}-{index}", handlers=HANDLERS_PER_REPLICA, registry=registry
+                f"g1-{tag}-{index}",
+                handlers=HANDLERS_PER_REPLICA,
+                registry=registry,
+                journal_dir=journal_dir,
             )
             container.deploy(_work_config())
             self.containers.append(container)
@@ -116,9 +127,15 @@ def _run_client(registry, uri, per_client, failures, lock, timeout=60.0):
                 failures.append(index)
 
 
-def _measure_throughput(replicas: int, jobs: int, clients: int, tag: str):
+def _measure_throughput(
+    replicas: int,
+    jobs: int,
+    clients: int,
+    tag: str,
+    journal_root: "str | Path | None" = None,
+):
     registry = TransportRegistry()
-    cluster = _Cluster(registry, replicas, tag)
+    cluster = _Cluster(registry, replicas, tag, journal_root=journal_root)
     failures, lock = [], threading.Lock()
     per_client = jobs // clients
     try:

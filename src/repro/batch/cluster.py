@@ -17,7 +17,10 @@ callables on a worker thread — so cluster-backed services do actual work.
 
 from __future__ import annotations
 
+import base64
 import itertools
+import json
+import logging
 import os
 import shutil
 import subprocess
@@ -26,9 +29,124 @@ import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Any
 
-from repro.batch.job import BatchJob, BatchJobState
+from repro.batch.job import BatchJob, BatchJobState, JobResources
+from repro.durability.journal import Journal
 from repro.runtime.pool import ExecutorPool
+
+logger = logging.getLogger(__name__)
+
+#: The failure recorded on unrecoverable in-flight jobs after a restart.
+BATCH_INTERRUPTED_REASON = "interrupted: the cluster stopped before the job finished"
+
+
+def batch_job_document(job: BatchJob) -> dict[str, Any]:
+    """The journal form of one batch job's submission.
+
+    Command jobs serialize completely (argv, stdin, staged files, resource
+    request), so a restarted cluster can requeue them verbatim. Function
+    jobs carry in-process callables that cannot be persisted; they are
+    flagged and recovery fails them as interrupted instead.
+    """
+    resources = job.resources
+    document: dict[str, Any] = {
+        "id": job.id,
+        "name": job.name,
+        "submitted": job.submitted,
+        "resources": {
+            "nodes": resources.nodes,
+            "ppn": resources.ppn,
+            "walltime": resources.walltime,
+        },
+    }
+    if job.command is not None:
+        document["command"] = list(job.command)
+        if job.stdin:
+            document["stdin"] = job.stdin
+        if job.stage_in:
+            document["stage_in"] = {
+                name: base64.b64encode(content).decode("ascii")
+                for name, content in job.stage_in.items()
+            }
+        if job.stage_out:
+            document["stage_out"] = list(job.stage_out)
+        if job.env:
+            document["env"] = dict(job.env)
+    else:
+        document["function"] = True
+    return document
+
+
+def restore_batch_job(document: dict[str, Any]) -> BatchJob:
+    """Rebuild a :class:`BatchJob` from its journal document (QUEUED)."""
+    spec = document.get("resources") or {}
+    resources = JobResources(
+        nodes=int(spec.get("nodes", 1)),
+        ppn=int(spec.get("ppn", 1)),
+        walltime=float(spec.get("walltime", 3600.0)),
+    )
+    if "command" in document:
+        job = BatchJob(
+            name=document.get("name", "job"),
+            command=list(document["command"]),
+            resources=resources,
+            stdin=document.get("stdin", ""),
+            stage_in={
+                name: base64.b64decode(content)
+                for name, content in (document.get("stage_in") or {}).items()
+            },
+            stage_out=list(document.get("stage_out") or []),
+            env=dict(document.get("env") or {}),
+        )
+    else:
+        job = BatchJob(
+            name=document.get("name", "job"),
+            function=_unrecoverable_function,
+            resources=resources,
+        )
+    job.id = document["id"]
+    job.submitted = document.get("submitted", job.submitted)
+    return job
+
+
+def _unrecoverable_function(job: BatchJob) -> None:  # pragma: no cover
+    raise RuntimeError("in-process callables do not survive a cluster restart")
+
+
+def _numeric_id(job_id: str) -> int:
+    """The leading number of a ``<n>.<cluster>`` id (0 when malformed)."""
+    head = job_id.split(".", 1)[0]
+    return int(head) if head.isdigit() else 0
+
+
+def apply_batch_event(table: dict[str, dict[str, Any]], record: dict[str, Any]) -> None:
+    """Fold one journal record into the recovery table (id → document)."""
+    if record.get("type") != "batch":
+        return
+    job_id, event = record.get("id"), record.get("event")
+    if not job_id or not event:
+        return
+    if event == "submitted":
+        document = dict(record.get("job") or {})
+        document["id"] = job_id
+        document["state"] = BatchJobState.QUEUED.value
+        table[job_id] = document
+    elif event == "finished":
+        document = table.setdefault(job_id, {"id": job_id, "function": True})
+        for field in (
+            "state",
+            "reason",
+            "exit_status",
+            "stdout",
+            "stderr",
+            "output_files",
+            "result",
+            "started",
+            "finished",
+        ):
+            if field in record:
+                document[field] = record[field]
 
 
 @dataclass
@@ -54,7 +172,13 @@ class Cluster:
     :meth:`qstat`, :meth:`qdel`, plus :meth:`wait` and lifecycle control.
     """
 
-    def __init__(self, nodes: list[ComputeNode] | None = None, name: str = "cluster"):
+    def __init__(
+        self,
+        nodes: list[ComputeNode] | None = None,
+        name: str = "cluster",
+        journal_dir: "str | Path | None" = None,
+        journal_fsync: str = "batch",
+    ):
         self.name = name
         self.nodes = nodes or [ComputeNode("node01", slots=4)]
         seen: set[str] = set()
@@ -75,6 +199,12 @@ class Cluster:
         self._lock = threading.Lock()
         self._wake = threading.Condition(self._lock)
         self._shutdown = False
+        self.journal: Journal | None = None
+        #: Corruption tolerated while replaying the journal, if any.
+        self.recovery_warnings: list[str] = []
+        if journal_dir is not None:
+            self.journal = Journal(Path(journal_dir), fsync=journal_fsync)
+            self._replay()
         self._scheduler = threading.Thread(
             target=self._schedule_loop, name=f"{name}-sched", daemon=True
         )
@@ -101,6 +231,16 @@ class Cluster:
             job.state = BatchJobState.QUEUED
             self._jobs[job.id] = job
             self._queue.append(job)
+            # journaled before the scheduler can see the job, so a crash
+            # after qsub returned can never lose an acknowledged submission
+            self._append(
+                {
+                    "type": "batch",
+                    "event": "submitted",
+                    "id": job.id,
+                    "job": batch_job_document(job),
+                }
+            )
             self._wake.notify_all()
         return job.id
 
@@ -213,6 +353,127 @@ class Cluster:
             if job.state is BatchJobState.RUNNING:
                 job._cancel.set()
         self._fn_pool.shutdown(wait=False)
+        if self.journal is not None:
+            self.journal.sync()
+            self.journal.close()
+
+    # ----------------------------------------------------------- durability
+
+    def crash(self) -> None:
+        """Simulate a cold stop: the journal closes first, so nothing the
+        dying threads do afterwards is persisted. Queued jobs are *not*
+        cancelled — their submitted records stand, and the next incarnation
+        over the same ``journal_dir`` requeues them.
+        """
+        if self.journal is not None:
+            self.journal.close()
+        with self._lock:
+            self._shutdown = True
+            self._queue.clear()
+            self._wake.notify_all()
+        for job in self.jobs():
+            if job.state is BatchJobState.RUNNING:
+                job._cancel.set()
+        self._fn_pool.shutdown(wait=False)
+
+    def compact(self) -> None:
+        """Snapshot every known job into the journal and drop the segments
+        the snapshot covers."""
+        if self.journal is None:
+            return
+        with self._lock:
+            jobs = list(self._jobs.values())
+        self.journal.snapshot(
+            {"jobs": {job.id: self._snapshot_document(job) for job in jobs}}
+        )
+
+    def _snapshot_document(self, job: BatchJob) -> dict[str, Any]:
+        document = batch_job_document(job)
+        document["state"] = job.state.value
+        if job.started is not None:
+            document["started"] = job.started
+        if job.state.terminal:
+            document["finished"] = job.finished
+            if job.failure_reason:
+                document["reason"] = job.failure_reason
+            if job.exit_status is not None:
+                document["exit_status"] = job.exit_status
+            if job.stdout:
+                document["stdout"] = job.stdout
+            if job.stderr:
+                document["stderr"] = job.stderr
+            if job.output_files:
+                document["output_files"] = {
+                    name: base64.b64encode(content).decode("ascii")
+                    for name, content in job.output_files.items()
+                }
+            if job.result is not None:
+                try:
+                    json.dumps(job.result)
+                except (TypeError, ValueError):
+                    pass  # unserializable results are not recoverable
+                else:
+                    document["result"] = job.result
+        return document
+
+    def _replay(self) -> None:
+        recovery = self.journal.recover()
+        self.recovery_warnings = list(recovery.warnings)
+        table: dict[str, dict[str, Any]] = {}
+        snapshot = recovery.snapshot or {}
+        for job_id, document in (snapshot.get("jobs") or {}).items():
+            table[job_id] = dict(document)
+        for record in recovery.records:
+            apply_batch_event(table, record)
+        highest = 0
+        requeued = 0
+        for job_id in sorted(table, key=_numeric_id):  # original submission order
+            document = table[job_id]
+            highest = max(highest, _numeric_id(job_id))
+            job = restore_batch_job(document)
+            state = BatchJobState(document.get("state", BatchJobState.QUEUED.value))
+            if state.terminal:
+                # direct restoration: the run already happened, pre-crash
+                job.state = state
+                job.started = document.get("started")
+                job.finished = document.get("finished", job.submitted)
+                job.failure_reason = document.get("reason", "")
+                job.exit_status = document.get("exit_status")
+                job.stdout = document.get("stdout", "")
+                job.stderr = document.get("stderr", "")
+                job.output_files = {
+                    name: base64.b64decode(content)
+                    for name, content in (document.get("output_files") or {}).items()
+                }
+                job.result = document.get("result")
+                job._done.set()
+                self._jobs[job.id] = job
+            elif job.command is not None:
+                # a queued (or mid-run) command job re-runs from its staged
+                # inputs; node-death requeue semantics apply as usual
+                job.state = BatchJobState.QUEUED
+                job.started = None
+                self._jobs[job.id] = job
+                self._queue.append(job)
+                requeued += 1
+            else:
+                # in-process callables cannot be rebuilt from a journal
+                self._jobs[job.id] = job
+                self._finish(job, BatchJobState.FAILED, reason=BATCH_INTERRUPTED_REASON)
+        self._ids = itertools.count(highest + 1)
+        if table:
+            logger.info(
+                "replayed cluster journal: %d jobs, %d requeued", len(table), requeued
+            )
+
+    def _append(self, record: dict[str, Any]) -> None:
+        """Journal one record; persistence failures never break scheduling."""
+        if self.journal is None:
+            return
+        try:
+            self.journal.append(record)
+        except Exception as error:  # noqa: BLE001 - journaling is best-effort
+            logger.error("cluster journal append failed for %s: %s", record.get("id"), error)
 
     # ----------------------------------------------------------- internals
 
@@ -230,6 +491,37 @@ class Cluster:
         if exit_status is not None:
             job.exit_status = exit_status
         job.finished = time.time()
+        if self.journal is not None:
+            record: dict[str, Any] = {
+                "type": "batch",
+                "event": "finished",
+                "id": job.id,
+                "state": state.value,
+                "finished": job.finished,
+            }
+            if job.started is not None:
+                record["started"] = job.started
+            if reason:
+                record["reason"] = reason
+            if job.exit_status is not None:
+                record["exit_status"] = job.exit_status
+            if job.stdout:
+                record["stdout"] = job.stdout
+            if job.stderr:
+                record["stderr"] = job.stderr
+            if job.output_files:
+                record["output_files"] = {
+                    name: base64.b64encode(content).decode("ascii")
+                    for name, content in job.output_files.items()
+                }
+            if job.result is not None:
+                try:
+                    json.dumps(job.result)
+                except (TypeError, ValueError):
+                    pass  # unserializable results are not recoverable
+                else:
+                    record["result"] = job.result
+            self._append(record)
         job._done.set()
 
     def _try_allocate(self, job: BatchJob) -> list[str] | None:

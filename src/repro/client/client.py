@@ -152,9 +152,12 @@ class ServiceProxy:
         registry: TransportRegistry | None = None,
         headers: Mapping[str, str] | None = None,
         idempotent_submits: bool = False,
+        retry_after_cap: float = 5.0,
     ):
         self.uri = uri.rstrip("/")
-        self._client = RestClient(registry, base=self.uri, headers=headers)
+        self._client = RestClient(
+            registry, base=self.uri, headers=headers, retry_after_cap=retry_after_cap
+        )
         #: When True every submit carries a fresh ``Idempotency-Key``, so a
         #: gateway in front of the service may safely replay the POST after
         #: a connection-level failure (and dedupe accidental duplicates).

@@ -124,6 +124,12 @@ class Adapter:
     #: The configuration name of this adapter type ("command", "python"...).
     kind: str = ""
 
+    #: Whether re-executing a job from its recorded inputs is safe.
+    #: Recovery re-enqueues in-flight jobs of idempotent adapters after a
+    #: cold restart; non-idempotent ones (external backends that may have
+    #: partially acted) are failed as interrupted instead.
+    idempotent: bool = False
+
     def configure(self, config: dict[str, Any], resources: ResourceResolver) -> None:
         """Validate and absorb the internal service configuration."""
 

@@ -100,6 +100,9 @@ def render_token(token: str, context: JobContext, scratch: Path, file_counter: l
 
 class CommandAdapter(Adapter):
     kind = "command"
+    #: Commands run in throwaway scratch directories from staged-in
+    #: inputs; re-running after a crash repeats the same isolated work.
+    idempotent = True
 
     def __init__(self) -> None:
         self.command_template = ""

@@ -56,6 +56,9 @@ def resolve_callable(spec: Any, resources: ResourceResolver) -> Callable[..., An
 
 class PythonAdapter(Adapter):
     kind = "python"
+    #: In-process callables leave no external state behind a crash; a
+    #: recovered in-flight job can simply be executed again.
+    idempotent = True
 
     def __init__(self) -> None:
         self._callable: Callable[..., Any] | None = None

@@ -19,11 +19,17 @@ from typing import Any, Callable
 
 from repro.container.adapters import create_adapter
 from repro.container.config import ServiceConfig
-from repro.container.jobmanager import JobManager
+from repro.container.jobmanager import (
+    INTERRUPTED_ERROR,
+    JobManager,
+    job_document,
+    restore_job,
+)
 from repro.container.service import DeployedService
 from repro.container.webui import render_index_page, render_service_page
-from repro.core.api import mount_service, unmount_service
+from repro.core.api import SubmitLedger, mount_service, unmount_service
 from repro.core.errors import ConfigurationError
+from repro.core.jobs import Job
 from repro.http.app import RestApp
 from repro.http.messages import HttpError, Request, Response
 from repro.http.registry import TransportRegistry
@@ -42,11 +48,17 @@ class ServiceContainer:
         name: str = "everest",
         handlers: int = 4,
         registry: TransportRegistry | None = None,
+        journal_dir: "str | Path | None" = None,
+        journal_fsync: str = "batch",
     ):
         self.name = name
         self.registry = registry or TransportRegistry()
         self.app = RestApp(name)
-        self.job_manager = JobManager(handlers=handlers, name=name)
+        # with a journal directory the manager replays any history it finds
+        # there; deploy() consumes the recovered jobs per service
+        self.job_manager = JobManager(
+            handlers=handlers, name=name, journal_dir=journal_dir, journal_fsync=journal_fsync
+        )
         self._services: dict[str, DeployedService] = {}
         self._resources: dict[str, Any] = {}
         self._policies: dict[str, AccessPolicy] = {}
@@ -77,14 +89,53 @@ class ServiceContainer:
         self._server = RestServer(self.app, host=host, port=port).start()
         return self._server
 
-    def shutdown(self) -> None:
+    def shutdown(self, wait: bool = True) -> None:
         """Stop serving and the handler pool (deployed services stay queryable
-        in process until the interpreter exits)."""
+        in process until the interpreter exits).
+
+        Without ``wait`` the handler pool is released immediately and any
+        queued-but-unstarted jobs are marked interrupted rather than left
+        dangling in ``WAITING``.
+        """
         if self._server is not None:
             self._server.stop()
             self._server = None
-        self.job_manager.shutdown()
+        self.job_manager.shutdown(wait=wait)
         self.registry.unbind_local(self.name)
+
+    # ----------------------------------------------------------- durability
+
+    @property
+    def journal(self):
+        """The container's write-ahead journal (``None`` when volatile)."""
+        return self.job_manager.journal
+
+    def crash(self) -> None:
+        """Simulate a cold stop: nothing after this call is persisted.
+
+        The journal closes first — transitions the dying object graph
+        still makes are lost, exactly as a real crash would lose them —
+        then serving stops without draining or marking anything. Rebuild
+        by constructing a fresh container over the same ``journal_dir``.
+        """
+        self.job_manager.crash()
+        if self._server is not None:
+            self._server.stop()
+            self._server = None
+        self.registry.unbind_local(self.name)
+
+    def compact(self) -> None:
+        """Snapshot every service's current job state into the journal and
+        drop the segments the snapshot covers."""
+        if self.journal is None:
+            return
+        state = {
+            "services": {
+                service.name: {job.id: job_document(job) for job in service.jobs.list()}
+                for service in self.services
+            }
+        }
+        self.journal.snapshot(state)
 
     # ------------------------------------------------------------- security
 
@@ -157,12 +208,14 @@ class ServiceContainer:
             base_uri_fn=lambda name=config.name: self.service_uri(name),
             resources=self,
         )
+        ledger = self._recover_service(service, adapter)
         base_path = f"/services/{config.name}"
         mount_service(
             self.app,
             base_path,
             service,
             base_uri=lambda name=config.name: self.service_uri(name),
+            ledger=ledger,
         )
         self.app.route("GET", f"{base_path}/ui", self._make_ui_handler(service))
         with self._lock:
@@ -209,6 +262,36 @@ class ServiceContainer:
     def services(self) -> list[DeployedService]:
         with self._lock:
             return list(self._services.values())
+
+    def _recover_service(self, service: DeployedService, adapter: Any) -> SubmitLedger:
+        """Rebuild a deploying service's job table from the journal replay.
+
+        Completed jobs come back with their results and stay addressable
+        (including ``?wait=`` long-polls, which return immediately on a
+        terminal job); in-flight jobs are re-enqueued when the adapter is
+        idempotent, otherwise failed as interrupted. Recovered
+        ``Idempotency-Key`` bindings are seeded into the returned submit
+        ledger so post-restart replays bind to their original jobs.
+        """
+        ledger = SubmitLedger()
+        recovered = self.job_manager.take_recovered(service.name)
+        requeue: list[Job] = []
+        for document in recovered.values():
+            job = restore_job(service.name, document)
+            if not job.state.terminal:
+                if getattr(adapter, "idempotent", False):
+                    requeue.append(job)
+                else:
+                    job.try_interrupt(INTERRUPTED_ERROR)
+                    self.job_manager.adopt(job)
+            service.jobs.add(job)
+            if job.idempotency_key:
+                ledger.store(job.idempotency_key, job.id)
+        # enqueue after the store is fully seeded, so a re-run completing
+        # instantly cannot race a not-yet-registered sibling's key lookup
+        for job in requeue:
+            service.requeue(job)
+        return ledger
 
     # ------------------------------------------------------------- handlers
 

@@ -10,41 +10,163 @@ size bounds the container's processing concurrency (benchmark F1 sweeps
 it). The queue/worker machinery itself lives in
 :class:`repro.runtime.ExecutorPool`; the manager adds the job semantics —
 state transitions, adapter error conversion, correlation-id logging.
+
+Durability: constructed with a ``journal_dir`` the manager write-ahead
+journals every job lifecycle event (creation with inputs and the creating
+``Idempotency-Key``, then each state transition) and, when the directory
+already holds segments, replays them into a per-service recovery table
+before serving. The container consumes that table at deploy time to
+rebuild each service's job store — completed jobs with their results,
+in-flight jobs re-enqueued or failed-as-interrupted.
 """
 
 from __future__ import annotations
 
 import logging
+import threading
 import traceback
+from pathlib import Path
 from typing import Any, Callable
 
 from repro.core.errors import AdapterError, ServiceError
-from repro.core.jobs import Job, JobState
+from repro.core.jobs import Job, JobState, job_document, restore_job
+from repro.durability.journal import Journal
 from repro.runtime.pool import ExecutorPool, PoolStats
 
+__all__ = [
+    "INTERRUPTED_ERROR",
+    "JobManager",
+    "apply_job_event",
+    "job_document",
+    "restore_job",
+]
+
 logger = logging.getLogger(__name__)
+
+#: The error recorded on jobs whose processing a restart cut short.
+INTERRUPTED_ERROR = "interrupted: the container stopped before the job finished"
+
+
+def apply_job_event(table: dict[str, dict[str, dict]], record: dict[str, Any]) -> None:
+    """Fold one journal record into the per-service recovery table."""
+    if record.get("type") != "job":
+        return
+    service, job_id, event = record.get("service"), record.get("id"), record.get("event")
+    if not service or not job_id or not event:
+        return
+    jobs = table.setdefault(service, {})
+    if event == "deleted":
+        jobs.pop(job_id, None)
+        return
+    document = jobs.setdefault(job_id, {"id": job_id, "state": JobState.WAITING.value})
+    if event == "created":
+        for field in ("inputs", "request_id", "key", "created", "extra"):
+            if field in record:
+                document[field] = record[field]
+        # re-enqueued after a previous recovery: the job is in flight again
+        document["state"] = JobState.WAITING.value
+        document.pop("results", None)
+        document.pop("error", None)
+    elif event == "running":
+        document["state"] = JobState.RUNNING.value
+        if "started" in record:
+            document["started"] = record["started"]
+    elif event in ("done", "failed", "cancelled"):
+        document["state"] = {
+            "done": JobState.DONE.value,
+            "failed": JobState.FAILED.value,
+            "cancelled": JobState.CANCELLED.value,
+        }[event]
+        for field in ("results", "error", "finished", "extra"):
+            if field in record:
+                document[field] = record[field]
 
 
 class JobManager:
     """Runs adapter executions for queued jobs on a fixed thread pool."""
 
-    def __init__(self, handlers: int = 4, name: str = "everest"):
+    def __init__(
+        self,
+        handlers: int = 4,
+        name: str = "everest",
+        journal_dir: "str | Path | None" = None,
+        journal_fsync: str = "batch",
+    ):
         if handlers < 1:
             raise ValueError("the handler pool needs at least one thread")
         self.handlers = handlers
         self._pool = ExecutorPool(workers=handlers, name=f"{name}-handler")
         self._stopped = False
+        #: Live (non-terminal) jobs this manager has adopted, by id.
+        self._tracked: dict[str, Job] = {}
+        self._track_lock = threading.Lock()
+        self.journal: Journal | None = None
+        #: Corruption tolerated while replaying the journal, if any.
+        self.recovery_warnings: list[str] = []
+        self._recovered: dict[str, dict[str, dict]] = {}
+        if journal_dir is not None:
+            self.journal = Journal(Path(journal_dir), fsync=journal_fsync)
+            self._replay()
 
     def enqueue(self, job: Job, execute: Callable[[], dict[str, Any]]) -> None:
         """Queue one job; ``execute`` is the adapter invocation thunk."""
         if self._stopped:
             raise ServiceError("container is shut down")
+        self.adopt(job)
         logger.info("job %s [request %s] queued for %s", job.id, job.request_id or "-", job.service)
         self._pool.submit(self._process, job, execute)
 
     def run_job(self, job: Job, execute: Callable[[], dict[str, Any]]) -> None:
         """Process a job in the calling thread (sync-mode services)."""
+        self.adopt(job)
         self._process(job, execute)
+
+    def adopt(self, job: Job) -> None:
+        """Track ``job`` and journal its creation plus every transition.
+
+        Idempotent per job id, so a service may adopt before enqueueing
+        without double-journaling.
+        """
+        with self._track_lock:
+            if job.id in self._tracked:
+                return
+            if not job.state.terminal:
+                self._tracked[job.id] = job
+        if self.journal is not None:
+            record: dict[str, Any] = {
+                "type": "job",
+                "event": "created",
+                "service": job.service,
+                "id": job.id,
+                "inputs": job.inputs,
+                "created": job.created,
+            }
+            if job.request_id is not None:
+                record["request_id"] = job.request_id
+            if job.idempotency_key is not None:
+                record["key"] = job.idempotency_key
+            if job.extra:
+                record["extra"] = dict(job.extra)
+            self._append(record)
+        job.subscribe(self._on_transition)
+
+    def record_deleted(self, job: Job) -> None:
+        """Journal that a job resource was deleted (recovery must not
+        resurrect it)."""
+        with self._track_lock:
+            self._tracked.pop(job.id, None)
+        if self.journal is not None:
+            self._append(
+                {"type": "job", "event": "deleted", "service": job.service, "id": job.id}
+            )
+
+    def take_recovered(self, service: str) -> dict[str, dict]:
+        """Claim the recovered job documents of one service (id → doc).
+
+        Each service's recovery set is handed out once — to the deploy
+        that rebuilds its job store.
+        """
+        return self._recovered.pop(service, {})
 
     def set_task_hook(self, hook: "Callable[[str], None] | None") -> None:
         """Install (or clear) the handler pool's per-task fault hook."""
@@ -62,8 +184,75 @@ class JobManager:
     def shutdown(self, wait: bool = True) -> None:
         self._stopped = True
         self._pool.shutdown(wait=wait)
+        if not wait:
+            # without the drain, queued-but-unstarted jobs would sit in
+            # WAITING forever; mark them interrupted (journaled) instead
+            with self._track_lock:
+                pending = list(self._tracked.values())
+            for job in pending:
+                job.try_interrupt(INTERRUPTED_ERROR)
+        if self.journal is not None:
+            self.journal.sync()
+            self.journal.close()
+
+    def crash(self) -> None:
+        """A cold stop: the journal goes first, so nothing after this
+        call is persisted — then the pool is released without waiting."""
+        if self.journal is not None:
+            self.journal.close()
+        self._stopped = True
+        self._pool.shutdown(wait=False)
 
     # ----------------------------------------------------------- internals
+
+    def _replay(self) -> None:
+        recovery = self.journal.recover()
+        self.recovery_warnings = recovery.warnings
+        table: dict[str, dict[str, dict]] = {}
+        snapshot = recovery.snapshot or {}
+        for service, jobs in (snapshot.get("services") or {}).items():
+            table[service] = {job_id: dict(document) for job_id, document in jobs.items()}
+        for record in recovery.records:
+            apply_job_event(table, record)
+        self._recovered = table
+        if table:
+            total = sum(len(jobs) for jobs in table.values())
+            logger.info("replayed journal: %d jobs across %d services", total, len(table))
+
+    def _append(self, record: dict[str, Any]) -> None:
+        """Journal one record; persistence failures never break processing."""
+        try:
+            self.journal.append(record)
+        except Exception as error:  # noqa: BLE001 - journaling is best-effort
+            logger.error("journal append failed for %s: %s", record.get("id"), error)
+
+    def _on_transition(self, job: Job, state: JobState) -> None:
+        if self.journal is not None:
+            record: dict[str, Any] = {
+                "type": "job",
+                "event": state.value.lower() if state.terminal else "running",
+                "service": job.service,
+                "id": job.id,
+            }
+            if state is JobState.RUNNING:
+                record["started"] = job.started
+            elif state is JobState.DONE:
+                record["event"] = "done"
+                record["results"] = job.results
+                record["finished"] = job.finished
+            elif state is JobState.FAILED:
+                record["event"] = "failed"
+                record["error"] = job.error
+                record["finished"] = job.finished
+                if job.extra:
+                    record["extra"] = dict(job.extra)
+            elif state is JobState.CANCELLED:
+                record["event"] = "cancelled"
+                record["finished"] = job.finished
+            self._append(record)
+        if state.terminal:
+            with self._track_lock:
+                self._tracked.pop(job.id, None)
 
     @staticmethod
     def _process(job: Job, execute: Callable[[], dict[str, Any]]) -> None:

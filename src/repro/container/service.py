@@ -19,6 +19,7 @@ from repro.core.errors import AdapterError
 from repro.core.filerefs import is_file_ref
 from repro.core.files import FileEntry, FileStore
 from repro.core.jobs import Job, JobStore
+from repro.http.client import IDEMPOTENCY_KEY_HEADER
 from repro.http.messages import Request
 from repro.http.registry import TransportRegistry
 from repro.jsonschema import ValidationError, validate
@@ -63,24 +64,26 @@ class DeployedService:
         # carry the HTTP layer's correlation id onto the job: handler
         # threads, adapters and backends all log/see the job, not the request
         job = Job(service=self.name, inputs=values, request_id=request.context.get("request_id"))
+        job.idempotency_key = request.headers.get(IDEMPOTENCY_KEY_HEADER)
         access = request.context.get("access")
         if access is not None:
             job.extra["owner"] = access.effective_id
         self.jobs.add(job)
-        context = JobContext(
-            job=job,
-            description=self.description,
-            files=self.files,
-            registry=self.registry,
-            base_uri_fn=self.base_uri_fn,
-            resources=self.resources,
-        )
-        thunk = lambda: self._execute_checked(context)  # noqa: E731
+        thunk = self._execution_thunk(job)
         if self.config.mode == "sync":
             self.job_manager.run_job(job, thunk)
         else:
             self.job_manager.enqueue(job, thunk)
         return job
+
+    def requeue(self, job: Job) -> None:
+        """Re-enqueue a recovered in-flight job for a fresh execution.
+
+        Only meaningful for idempotent adapters: the job keeps its id (and
+        key binding), so clients polling across the restart see the same
+        resource complete.
+        """
+        self.job_manager.enqueue(job, self._execution_thunk(job))
 
     def get_job(self, job_id: str) -> Job:
         return self.jobs.get(job_id)
@@ -90,23 +93,30 @@ class DeployedService:
         job = self.jobs.get(job_id)
         if not job.state.terminal:
             job.mark_cancelled()
-            context = JobContext(
-                job=job,
-                description=self.description,
-                files=self.files,
-                registry=self.registry,
-                base_uri_fn=self.base_uri_fn,
-                resources=self.resources,
-            )
-            self.adapter.cancel(context)
+            self.adapter.cancel(self._context(job))
         self.jobs.remove(job_id)
         self.files.delete_job_files(job_id)
+        self.job_manager.record_deleted(job)
 
     def get_file(self, job_id: str, file_id: str) -> FileEntry:
         self.jobs.get(job_id)  # 404 for unknown jobs
         return self.files.get(file_id, job_id=job_id)
 
     # ----------------------------------------------------------- internals
+
+    def _context(self, job: Job) -> JobContext:
+        return JobContext(
+            job=job,
+            description=self.description,
+            files=self.files,
+            registry=self.registry,
+            base_uri_fn=self.base_uri_fn,
+            resources=self.resources,
+        )
+
+    def _execution_thunk(self, job: Job) -> Callable[[], dict[str, Any]]:
+        context = self._context(job)
+        return lambda: self._execute_checked(context)
 
     def _execute_checked(self, context: JobContext) -> dict[str, Any]:
         outputs = self.adapter.execute(context)

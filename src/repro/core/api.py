@@ -163,6 +163,7 @@ def mount_service(
     base_path: str,
     backend: ServiceBackend,
     base_uri: "str | Callable[[], str]" = "",
+    ledger: "SubmitLedger | None" = None,
 ) -> None:
     """Wire the unified REST API for ``backend`` under ``base_path``.
 
@@ -170,9 +171,13 @@ def mount_service(
     (job/file links); it defaults to the relative ``base_path``. A callable
     may be passed when the public address is not fixed yet (a container's
     advertised URI switches from ``local://`` to ``http://`` once served).
+    ``ledger`` lets the mounter supply a pre-seeded submit ledger — after
+    a cold restart the recovered ``Idempotency-Key`` → job bindings go in
+    here, so a client replaying an acknowledged POST still gets its
+    original job instead of creating a duplicate.
     """
 
-    ledger = SubmitLedger()
+    ledger = ledger if ledger is not None else SubmitLedger()
 
     def _advertised() -> str:
         current = base_uri() if callable(base_uri) else base_uri

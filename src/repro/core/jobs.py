@@ -78,6 +78,10 @@ class Job:
     finished: float | None = None
     #: Correlation id of the request that created the job (``X-Request-Id``).
     request_id: str | None = None
+    #: The ``Idempotency-Key`` the creating POST carried, if any. Journaled
+    #: with the job so key→job bindings survive a cold restart (a replayed
+    #: POST after recovery still answers with this job, not a duplicate).
+    idempotency_key: str | None = None
     #: Extra representation fields (e.g. per-block workflow states).
     extra: dict[str, Any] = field(default_factory=dict)
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False, compare=False)
@@ -166,6 +170,25 @@ class Job:
         self.cancel_event.set()
         self._notify_observers(JobState.CANCELLED)
 
+    def try_interrupt(self, error: str) -> bool:
+        """Mark a still-queued job ``FAILED (recoverable=interrupted)``.
+
+        Used when the process stops (or restarts) before a handler picked
+        the job up: the job must not silently vanish in ``WAITING``, but a
+        job that is already running (or terminal) is left alone. Returns
+        True when the interruption was applied.
+        """
+        with self._cond:
+            if self.state is not JobState.WAITING:
+                return False
+            self._transition(JobState.FAILED)
+            self.error = error
+            self.extra["recoverable"] = "interrupted"
+            self.finished = time.time()
+            self._cond.notify_all()
+        self._notify_observers(JobState.FAILED)
+        return True
+
     def try_finish(self, outcome: Callable[[], tuple[JobState, Any]]) -> bool:
         """Finish the job unless it was cancelled concurrently.
 
@@ -211,6 +234,61 @@ class Job:
                 document["error"] = self.error
             document.update(self.extra)
             return document
+
+
+def job_document(job: Job) -> dict[str, Any]:
+    """The journal/snapshot form of one job's externally promised state."""
+    document: dict[str, Any] = {
+        "id": job.id,
+        "state": job.state.value,
+        "inputs": job.inputs,
+        "created": job.created,
+    }
+    if job.request_id is not None:
+        document["request_id"] = job.request_id
+    if job.idempotency_key is not None:
+        document["key"] = job.idempotency_key
+    if job.extra:
+        document["extra"] = dict(job.extra)
+    if job.started is not None:
+        document["started"] = job.started
+    if job.finished is not None:
+        document["finished"] = job.finished
+    if job.results is not None:
+        document["results"] = job.results
+    if job.error is not None:
+        document["error"] = job.error
+    return document
+
+
+def restore_job(service: str, document: dict[str, Any]) -> Job:
+    """Build a :class:`Job` from its recovered document.
+
+    Terminal jobs come back terminal (results, error and timestamps
+    intact); in-flight jobs (``WAITING``/``RUNNING`` at crash time) come
+    back ``WAITING`` — the caller decides whether to re-enqueue them or
+    interrupt them, based on whether re-execution is safe.
+    """
+    job = Job(
+        service=service,
+        inputs=dict(document.get("inputs") or {}),
+        id=document["id"],
+        request_id=document.get("request_id"),
+        extra=dict(document.get("extra") or {}),
+    )
+    job.idempotency_key = document.get("key")
+    job.created = document.get("created", job.created)
+    job.started = document.get("started")
+    state = JobState(document.get("state", JobState.WAITING.value))
+    if state.terminal:
+        # direct restoration: the transitions already happened, pre-crash
+        job.state = state
+        job.results = document.get("results")
+        job.error = document.get("error")
+        job.finished = document.get("finished", job.created)
+        if state is JobState.CANCELLED:
+            job.cancel_event.set()
+    return job
 
 
 class JobStore:

@@ -1,0 +1,31 @@
+"""Durable state: write-ahead journaling and crash recovery.
+
+Everything in the platform that promises "a submitted job stays an
+addressable resource" keeps that promise only as long as the process
+lives — unless its state is journaled. This package provides the one
+shared substrate:
+
+- :class:`Journal` — an append-only write-ahead journal of JSON records
+  (length-prefixed, checksummed, segment-rotated, snapshot-compacted)
+  whose replay tolerates the torn tails a crash leaves behind;
+- :class:`Recoverable` — the protocol implemented by every component
+  that can be cold-restarted from its journal (the service container's
+  job manager, the workflow management service, the batch cluster).
+
+The division of labour: the journal knows bytes and records, the
+components know their own record vocabulary. A component appends one
+record per externally observable state change, and on construction with
+a journal directory that already has segments it replays them to rebuild
+the state it had before the crash.
+"""
+
+from repro.durability.journal import Journal, JournalRecovery, encode_record, read_records
+from repro.durability.recovery import Recoverable
+
+__all__ = [
+    "Journal",
+    "JournalRecovery",
+    "Recoverable",
+    "encode_record",
+    "read_records",
+]

@@ -1,0 +1,39 @@
+"""The `Recoverable` protocol: what a journal-backed component promises.
+
+Three components implement it — the container's
+:class:`~repro.container.jobmanager.JobManager`, the
+:class:`~repro.workflow.wms.WorkflowManagementService` and the batch
+:class:`~repro.batch.cluster.Cluster`. Each owns a record vocabulary and
+the replay logic for it; this protocol pins down the shared lifecycle so
+chaos controllers and operators can treat them uniformly:
+
+- construction with a ``journal_dir`` that has history *is* recovery —
+  the component rebuilds its externally promised state before serving;
+- :meth:`crash` models a cold stop: the journal stops persisting first,
+  then the component is torn down without the courtesies of a graceful
+  shutdown (nothing gets marked, flushed or drained on the way out);
+- :meth:`compact` snapshots current state and truncates the journal, so
+  recovery cost tracks live state rather than history length.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.durability.journal import Journal
+
+
+@runtime_checkable
+class Recoverable(Protocol):
+    """A component whose externally promised state survives cold restarts."""
+
+    #: The component's write-ahead journal (``None`` when running volatile).
+    journal: "Journal | None"
+
+    def crash(self) -> None:
+        """Simulate a cold stop: stop persisting, then tear down."""
+        ...
+
+    def compact(self) -> None:
+        """Snapshot live state into the journal and drop covered segments."""
+        ...

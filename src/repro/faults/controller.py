@@ -22,19 +22,31 @@ class _Handle:
     name: str
     stop: Callable[[], None]
     start: Callable[[], None]
+    #: Cold-restart pair, when the replica supports journal recovery:
+    #: ``cold_stop`` tears the object graph down mid-flight (journal closes
+    #: first), ``cold_start`` rebuilds a fresh replica over the same
+    #: journal directory. ``None`` disables cold faults for this replica.
+    cold_stop: "Callable[[], None] | None" = None
+    cold_start: "Callable[[], None] | None" = None
     up: bool = True
     restore_at: int = 0
+    #: Whether the current outage is a cold one (restores via cold_start).
+    cold_down: bool = False
 
 
 class CrashController:
     """Crashes and restarts registered replicas per the plan.
 
-    ``stop``/``start`` callables model the crash (for in-process replicas:
-    unbind/rebind the local authority; for TCP replicas: stop/start the
-    server). ``on_change`` runs after every membership change — the chaos
-    harness uses it to drive deterministic health probes. ``min_up``
-    replicas are always left standing so a schedule cannot wedge the
-    workload on a total outage (set it to 0 to allow one).
+    ``stop``/``start`` callables model a *warm* crash (for in-process
+    replicas: unbind/rebind the local authority; for TCP replicas:
+    stop/start the server) — in-memory state survives. A replica
+    registered with a ``cold_stop``/``cold_start`` pair can also draw
+    ``cold-restart`` faults: the object graph is torn down and rebuilt
+    from its write-ahead journal, so only journaled state survives.
+    ``on_change`` runs after every membership change — the chaos harness
+    uses it to drive deterministic health probes. ``min_up`` replicas are
+    always left standing so a schedule cannot wedge the workload on a
+    total outage (set it to 0 to allow one).
     """
 
     def __init__(
@@ -50,9 +62,20 @@ class CrashController:
         self.min_up = min_up
         self._handles: list[_Handle] = []
         self._ops = 0
+        #: How many cold restarts this controller has performed.
+        self.cold_restarts = 0
 
-    def register(self, name: str, stop: Callable[[], None], start: Callable[[], None]) -> None:
-        self._handles.append(_Handle(name, stop, start))
+    def register(
+        self,
+        name: str,
+        stop: Callable[[], None],
+        start: Callable[[], None],
+        cold_stop: "Callable[[], None] | None" = None,
+        cold_start: "Callable[[], None] | None" = None,
+    ) -> None:
+        self._handles.append(
+            _Handle(name, stop, start, cold_stop=cold_stop, cold_start=cold_start)
+        )
 
     @property
     def up_count(self) -> int:
@@ -65,14 +88,19 @@ class CrashController:
         for handle in self._handles:
             if not handle.up:
                 if self._ops >= handle.restore_at:
-                    handle.start()
-                    handle.up = True
+                    self._restore(handle, f"op={self._ops}")
                     changed = True
-                    self.plan.record(self.site, "restart", handle.name, f"op={self._ops}")
                 continue
-            fault = self.plan.decide(self.site, subject=handle.name, kinds={"crash-restart"})
+            kinds = {"crash-restart"}
+            if handle.cold_stop is not None:
+                kinds.add("cold-restart")
+            fault = self.plan.decide(self.site, subject=handle.name, kinds=kinds)
             if fault is not None and self.up_count > self.min_up:
-                handle.stop()
+                if fault.kind == "cold-restart":
+                    handle.cold_stop()
+                    handle.cold_down = True
+                else:
+                    handle.stop()
                 handle.up = False
                 handle.restore_at = self._ops + fault.duration
                 changed = True
@@ -84,12 +112,21 @@ class CrashController:
         changed = False
         for handle in self._handles:
             if not handle.up:
-                handle.start()
-                handle.up = True
+                self._restore(handle, "settle")
                 changed = True
-                self.plan.record(self.site, "restart", handle.name, "settle")
         if changed and self.on_change is not None:
             self.on_change()
+
+    def _restore(self, handle: _Handle, detail: str) -> None:
+        if handle.cold_down:
+            handle.cold_start()
+            handle.cold_down = False
+            self.cold_restarts += 1
+            self.plan.record(self.site, "cold-restart", handle.name, detail)
+        else:
+            handle.start()
+            self.plan.record(self.site, "restart", handle.name, detail)
+        handle.up = True
 
 
 class BatchNodeChaos:

@@ -24,6 +24,7 @@ TRANSPORT_KINDS = frozenset({"connect-refused", "drop", "partial-write", "delay"
 SCENARIO_KINDS = TRANSPORT_KINDS | frozenset(
     {
         "crash-restart",  # CrashController (gateway replicas)
+        "cold-restart",  # CrashController cold mode (journal teardown+rebuild)
         "worker-stall",  # WorkerStallHook (ExecutorPool task_hook)
         "node-death",  # BatchNodeChaos (batch cluster nodes)
         "server-drop",  # ServerDropHook (RestServer fault_hook)

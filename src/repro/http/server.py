@@ -34,6 +34,10 @@ class _AppRequestHandler(BaseHTTPRequestHandler):
 
     protocol_version = "HTTP/1.1"
     server_version = "MathCloud/1.0"
+    #: The response goes out as two writes (header block, then body) on an
+    #: unbuffered socket; with Nagle on, the second write sits behind the
+    #: client's delayed ACK (~40 ms on loopback) on every single response.
+    disable_nagle_algorithm = True
     #: Idle keep-alive connections are dropped after this many seconds so
     #: abandoned sockets cannot pin handler threads forever.
     timeout = 60.0

@@ -104,12 +104,22 @@ class WorkflowEngine:
         observer: StateObserver | None = None,
         cancel_event: threading.Event | None = None,
         headers: Mapping[str, str] | None = None,
+        resume_from: Mapping[str, dict[str, Any]] | None = None,
+        on_block_done: Callable[[str, dict[str, Any]], None] | None = None,
     ) -> dict[str, Any]:
         """Run ``workflow`` with the given workflow-level inputs.
 
         Returns the output parameter values. Raises
         :class:`WorkflowExecutionError` when blocks fail (downstream blocks
         are reported SKIPPED) and :class:`WorkflowCancelled` on cancel.
+
+        ``resume_from`` maps block ids to their recorded output values from
+        a previous interrupted run: those blocks are marked DONE up front
+        with the recorded values instead of being executed again, so a
+        restarted engine continues the DAG from its last completed
+        frontier. ``on_block_done`` is called with ``(block_id, outputs)``
+        just before each block turns DONE — the checkpoint hook durable
+        callers persist through; a hook failure never fails the block.
         """
         workflow.validate()
         run = _Run(
@@ -119,6 +129,8 @@ class WorkflowEngine:
             observer=observer or (lambda *args: None),
             cancel_event=cancel_event or threading.Event(),
             headers={**self.headers, **dict(headers or {})},
+            resume_from=dict(resume_from or {}),
+            checkpoint=on_block_done,
         )
         return run.execute()
 
@@ -134,6 +146,8 @@ class _Run:
         observer: StateObserver,
         cancel_event: threading.Event,
         headers: dict[str, str],
+        resume_from: dict[str, dict[str, Any]] | None = None,
+        checkpoint: Callable[[str, dict[str, Any]], None] | None = None,
     ):
         self.engine = engine
         self.workflow = workflow
@@ -141,6 +155,8 @@ class _Run:
         self.observer = observer
         self.cancel_event = cancel_event
         self.headers = headers
+        self.resume_from = resume_from or {}
+        self.checkpoint = checkpoint
         self.values: dict[tuple[str, str], Any] = {}
         self.states: dict[str, BlockState] = {
             block_id: BlockState.PENDING for block_id in workflow.blocks
@@ -153,6 +169,15 @@ class _Run:
     def execute(self) -> dict[str, Any]:
         self._check_workflow_inputs()
         remaining = set(self.workflow.blocks)
+        # resumed blocks complete instantly from their recorded outputs —
+        # a restarted run re-executes only the unfinished frontier
+        for block_id, outputs in self.resume_from.items():
+            if block_id not in remaining:
+                continue
+            remaining.discard(block_id)
+            for port_name, value in outputs.items():
+                self.values[(block_id, port_name)] = value
+            self._set_state(block_id, BlockState.DONE)
         running: dict[Future[None], str] = {}
         with ThreadPoolExecutor(max_workers=self.engine.max_parallel) as pool:
             while remaining or running:
@@ -233,6 +258,11 @@ class _Run:
         with self._lock:
             for port_name, value in outputs.items():
                 self.values[(block_id, port_name)] = value
+        if self.checkpoint is not None:
+            try:
+                self.checkpoint(block_id, outputs)
+            except Exception:  # noqa: BLE001 - durability is best-effort
+                pass  # an unserializable output loses its checkpoint, not its run
         self._set_state(block_id, BlockState.DONE)
 
     def _block_inputs(self, block: Block) -> dict[str, Any]:
@@ -260,23 +290,40 @@ class _Run:
 
     def _run_service(self, block: ServiceBlock) -> dict[str, Any]:
         # idempotent submits: a fresh Idempotency-Key per submission lets a
-        # gateway replay the POST across replicas on connection failures
+        # gateway replay the POST across replicas on connection failures;
+        # the block's retry budget bounds client-level Retry-After waits
         proxy = ServiceProxy(
-            block.uri, self.engine.registry, headers=self.headers, idempotent_submits=True
+            block.uri,
+            self.engine.registry,
+            headers=self.headers,
+            idempotent_submits=True,
+            retry_after_cap=block.retry_budget,
         )
         inputs = self._block_inputs(block)
-        attempts = 1 + max(0, self.engine.resubmit_lost)
-        for attempt in range(attempts):
+        resubmits_left = max(0, self.engine.resubmit_lost)
+        transient_left = max(0, block.retries)
+        backoff = 0.05
+        while True:
             try:
                 return self._await_service(block, proxy, inputs)
             except (TransportError, ClientError) as exc:
                 status = exc.status if isinstance(exc, ClientError) else None
-                lost = status in (502, 503) or isinstance(exc, TransportError)
-                if not lost or attempt + 1 >= attempts or self.cancel_event.is_set():
+                if self.cancel_event.is_set():
                     raise
+                if status in (429, 503) and transient_left > 0:
+                    # per-block policy: an overload answer that outlived the
+                    # client's Retry-After budget is retried with capped
+                    # backoff before the block is allowed to fail
+                    transient_left -= 1
+                    self.cancel_event.wait(backoff)
+                    backoff = min(backoff * 2, 0.5)
+                    continue
+                lost = status in (502, 503) or isinstance(exc, TransportError)
+                if not lost or resubmits_left <= 0:
+                    raise
+                resubmits_left -= 1
                 # the job resource is gone (replica died); submit afresh —
                 # a replicated gateway routes the retry to a survivor
-        raise AssertionError("unreachable")  # loop always returns or raises
 
     def _await_service(
         self, block: ServiceBlock, proxy: ServiceProxy, inputs: dict[str, Any]

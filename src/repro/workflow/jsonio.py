@@ -62,6 +62,10 @@ def workflow_to_json(workflow: Workflow) -> dict[str, Any]:
             document["uri"] = block.uri
             if block.description is not None:
                 document["description"] = block.description.to_json()
+            if block.retries:
+                document["retries"] = block.retries
+            if block.retry_budget != 5.0:
+                document["retry_budget"] = block.retry_budget
         elif isinstance(block, ScriptBlock):
             document.update(
                 code=block.code,
@@ -112,6 +116,8 @@ def _parse_block(document: dict[str, Any], registry: TransportRegistry | None) -
             block_id,
             uri=document.get("uri", ""),
             description=ServiceDescription.from_json(description) if description else None,
+            retries=int(document.get("retries", 0)),
+            retry_budget=float(document.get("retry_budget", 5.0)),
         )
         if block.description is None:
             if registry is None:

@@ -160,6 +160,14 @@ class ServiceBlock(Block):
 
     uri: str = ""
     description: ServiceDescription | None = None
+    #: Per-block retry policy for transient overload (429/503) answers:
+    #: how many extra submissions the engine may make after the client's
+    #: own ``Retry-After`` budget is spent. ``0`` keeps the engine's
+    #: original fail-fast behaviour.
+    retries: int = 0
+    #: Total seconds the block's client may spend honouring ``Retry-After``
+    #: waits per request (the :class:`RestClient` budget).
+    retry_budget: float = 5.0
 
     kind = "service"
 

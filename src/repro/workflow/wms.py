@@ -18,14 +18,19 @@ who called the composite service — the paper's proxy-list delegation.
 
 from __future__ import annotations
 
+import json
+import logging
 import threading
-from typing import Any, Mapping
+from pathlib import Path
+from typing import Any, Callable, Mapping
 
-from repro.core.api import mount_service, unmount_service
+from repro.core.api import SubmitLedger, mount_service, unmount_service
 from repro.core.errors import BadInputError, ServiceError
 from repro.core.files import FileEntry, FileStore
-from repro.core.jobs import Job, JobState, JobStore
+from repro.core.jobs import Job, JobState, JobStore, job_document, restore_job
+from repro.durability.journal import Journal
 from repro.http.app import RestApp
+from repro.http.client import IDEMPOTENCY_KEY_HEADER
 from repro.http.messages import HttpError, Request, Response
 from repro.http.registry import TransportRegistry
 from repro.http.server import RestServer
@@ -39,17 +44,85 @@ from repro.workflow.engine import (
 from repro.workflow.jsonio import parse_workflow, workflow_to_json
 from repro.workflow.model import Workflow, WorkflowError
 
+logger = logging.getLogger(__name__)
+
+#: The error recorded on runs a WMS restart cut short with no way to resume.
+RUN_INTERRUPTED_ERROR = "interrupted: the WMS stopped before the workflow run finished"
+
+
+def apply_run_event(
+    workflows: dict[str, dict[str, Any]],
+    runs: dict[str, dict[str, dict[str, Any]]],
+    record: dict[str, Any],
+) -> None:
+    """Fold one WMS journal record into the recovery tables."""
+    kind = record.get("type")
+    if kind == "workflow":
+        name, event = record.get("name"), record.get("event")
+        if not name or not event:
+            return
+        if event == "deployed":
+            workflows[name] = dict(record.get("document") or {})
+        elif event == "undeployed":
+            workflows.pop(name, None)
+            runs.pop(name, None)
+        return
+    if kind != "run":
+        return
+    name, run_id, event = record.get("workflow"), record.get("id"), record.get("event")
+    if not name or not run_id or not event:
+        return
+    table = runs.setdefault(name, {})
+    if event == "deleted":
+        table.pop(run_id, None)
+        return
+    document = table.setdefault(run_id, {"id": run_id, "state": JobState.WAITING.value})
+    if event == "created":
+        for field in ("inputs", "created", "request_id", "key", "headers"):
+            if field in record:
+                document[field] = record[field]
+        # a resumed run re-records its creation: it is in flight again,
+        # but its checkpoints stay valid (the resume started from them)
+        document["state"] = JobState.WAITING.value
+        document.pop("results", None)
+        document.pop("error", None)
+    elif event == "block":
+        block = record.get("block")
+        if block:
+            document.setdefault("checkpoints", {})[block] = record.get("outputs") or {}
+    elif event in ("done", "failed", "cancelled"):
+        document["state"] = {
+            "done": JobState.DONE.value,
+            "failed": JobState.FAILED.value,
+            "cancelled": JobState.CANCELLED.value,
+        }[event]
+        for field in ("results", "error", "finished", "blocks"):
+            if field in record:
+                document[field] = record[field]
+        document.pop("checkpoints", None)
+
 
 class CompositeService:
     """A saved workflow behaving as one computational web service."""
 
-    def __init__(self, workflow: Workflow, engine: WorkflowEngine):
+    def __init__(
+        self,
+        workflow: Workflow,
+        engine: WorkflowEngine,
+        record: "Callable[[dict[str, Any]], None] | None" = None,
+    ):
         workflow.validate()
         self.workflow = workflow
         self.engine = engine
         self.description = workflow.to_description()
         self.jobs = JobStore()
         self.files = FileStore()
+        #: Journal sink supplied by a durable WMS; no-op when volatile.
+        self._record_sink = record or (lambda document: None)
+        #: Per-run completed-block outputs, kept while the run is live so a
+        #: snapshot (compaction) can carry them for resume.
+        self._checkpoints: dict[str, dict[str, dict[str, Any]]] = {}
+        self._checkpoint_lock = threading.Lock()
 
     # ------------------------------------------------------ ServiceBackend
 
@@ -65,15 +138,14 @@ class CompositeService:
             inputs=values,
             request_id=request.context.get("request_id"),
         )
+        job.idempotency_key = request.headers.get(IDEMPOTENCY_KEY_HEADER)
         job.extra["blocks"] = {
             block_id: BlockState.PENDING.value for block_id in self.workflow.blocks
         }
         self.jobs.add(job)
         headers = self._delegation_headers(request)
-        thread = threading.Thread(
-            target=self._run, args=(job, values, headers), name=f"wf-{job.id}", daemon=True
-        )
-        thread.start()
+        self._adopt(job, headers)
+        self._start(job, values, headers)
         return job
 
     def get_job(self, job_id: str) -> Job:
@@ -85,10 +157,44 @@ class CompositeService:
             job.mark_cancelled()
         self.jobs.remove(job_id)
         self.files.delete_job_files(job_id)
+        with self._checkpoint_lock:
+            self._checkpoints.pop(job_id, None)
+        self._record("deleted", job)
 
     def get_file(self, job_id: str, file_id: str) -> FileEntry:
         self.jobs.get(job_id)
         return self.files.get(file_id, job_id=job_id)
+
+    # ------------------------------------------------------------ recovery
+
+    def restore_run(self, document: dict[str, Any]) -> Job:
+        """Rebuild one run from its recovered document and, for a run that
+        was in flight at crash time, resume it from its checkpointed
+        frontier: completed blocks keep their recorded outputs, only the
+        unfinished remainder of the DAG executes again."""
+        states = dict(document.get("blocks") or {})
+        checkpoints = dict(document.get("checkpoints") or {})
+        job = restore_job(
+            self.workflow.name,
+            {**document, "extra": {**(document.get("extra") or {}), "blocks": states}},
+        )
+        if not job.state.terminal:
+            job.extra["blocks"] = {
+                block_id: (
+                    BlockState.DONE.value
+                    if block_id in checkpoints
+                    else BlockState.PENDING.value
+                )
+                for block_id in self.workflow.blocks
+            }
+        self.jobs.add(job)
+        if not job.state.terminal:
+            headers = dict(document.get("headers") or {})
+            self._adopt(job, headers)
+            with self._checkpoint_lock:
+                self._checkpoints[job.id] = dict(checkpoints)
+            self._start(job, dict(job.inputs), headers, resume_from=checkpoints)
+        return job
 
     # ----------------------------------------------------------- internals
 
@@ -98,7 +204,79 @@ class CompositeService:
             return {ON_BEHALF_HEADER: access.effective_id}
         return {}
 
-    def _run(self, job: Job, values: dict[str, Any], headers: dict[str, str]) -> None:
+    def _record(self, event: str, job: Job, **fields: Any) -> None:
+        document: dict[str, Any] = {
+            "type": "run",
+            "event": event,
+            "workflow": self.workflow.name,
+            "id": job.id,
+            **fields,
+        }
+        self._record_sink(document)
+
+    def _adopt(self, job: Job, headers: dict[str, str]) -> None:
+        """Journal the run's creation and subscribe its terminal record."""
+        record: dict[str, Any] = {"inputs": job.inputs, "created": job.created}
+        if job.request_id is not None:
+            record["request_id"] = job.request_id
+        if job.idempotency_key is not None:
+            record["key"] = job.idempotency_key
+        if headers:
+            record["headers"] = dict(headers)
+        self._record("created", job, **record)
+        job.subscribe(self._on_transition)
+
+    def _on_transition(self, job: Job, state: JobState) -> None:
+        if not state.terminal:
+            return
+        with self._checkpoint_lock:  # a finished run needs no resume data
+            self._checkpoints.pop(job.id, None)
+        fields: dict[str, Any] = {
+            "finished": job.finished,
+            "blocks": dict(job.extra.get("blocks") or {}),
+        }
+        if state is JobState.DONE:
+            self._record("done", job, results=job.results, **fields)
+        elif state is JobState.FAILED:
+            self._record("failed", job, error=job.error, **fields)
+        else:
+            self._record("cancelled", job, **fields)
+
+    def _start(
+        self,
+        job: Job,
+        values: dict[str, Any],
+        headers: dict[str, str],
+        resume_from: dict[str, dict[str, Any]] | None = None,
+    ) -> None:
+        thread = threading.Thread(
+            target=self._run,
+            args=(job, values, headers, resume_from),
+            name=f"wf-{job.id}",
+            daemon=True,
+        )
+        thread.start()
+
+    def run_document(self, job: Job) -> dict[str, Any]:
+        """The snapshot form of one run (job state plus resume data)."""
+        document = job_document(job)
+        extra = dict(document.pop("extra", {}))
+        document["blocks"] = extra.pop("blocks", {})
+        if extra:
+            document["extra"] = extra
+        with self._checkpoint_lock:
+            checkpoints = dict(self._checkpoints.get(job.id) or {})
+        if checkpoints:
+            document["checkpoints"] = checkpoints
+        return document
+
+    def _run(
+        self,
+        job: Job,
+        values: dict[str, Any],
+        headers: dict[str, str],
+        resume_from: dict[str, dict[str, Any]] | None = None,
+    ) -> None:
         try:
             job.mark_running()
         except ServiceError:
@@ -107,6 +285,12 @@ class CompositeService:
         def observer(block_id: str, state: BlockState, error: str) -> None:
             job.extra["blocks"][block_id] = state.value
 
+        def checkpoint(block_id: str, outputs: dict[str, Any]) -> None:
+            json.dumps(outputs)  # unserializable outputs cannot be resumed
+            with self._checkpoint_lock:
+                self._checkpoints.setdefault(job.id, {})[block_id] = outputs
+            self._record("block", job, block=block_id, outputs=outputs)
+
         try:
             outputs = self.engine.execute(
                 self.workflow,
@@ -114,6 +298,8 @@ class CompositeService:
                 observer=observer,
                 cancel_event=job.cancel_event,
                 headers=headers,
+                resume_from=resume_from,
+                on_block_done=checkpoint,
             )
         except WorkflowCancelled:
             return  # the job is already CANCELLED
@@ -135,6 +321,8 @@ class WorkflowManagementService:
         registry: TransportRegistry | None = None,
         max_parallel: int = 8,
         credentials: Mapping[str, str] | None = None,
+        journal_dir: "str | Path | None" = None,
+        journal_fsync: str = "batch",
     ):
         self.name = name
         self.registry = registry or TransportRegistry()
@@ -148,12 +336,30 @@ class WorkflowManagementService:
         self._composites: dict[str, CompositeService] = {}
         self._lock = threading.Lock()
         self._server: RestServer | None = None
+        self.journal: Journal | None = None
+        #: Corruption tolerated while replaying the journal, if any.
+        self.recovery_warnings: list[str] = []
+        self._recovered_runs: dict[str, dict[str, dict[str, Any]]] = {}
+        recovered_workflows: dict[str, dict[str, Any]] = {}
+        if journal_dir is not None:
+            self.journal = Journal(Path(journal_dir), fsync=journal_fsync)
+            recovered_workflows = self._replay()
         self.local_base = self.registry.bind_local(name, self.app)
         self.app.route("GET", "/workflows", self._list)
         self.app.route("POST", "/workflows", self._create)
         self.app.route("GET", "/workflows/{workflow_id}", self._get)
         self.app.route("PUT", "/workflows/{workflow_id}", self._replace)
         self.app.route("DELETE", "/workflows/{workflow_id}", self._delete)
+        # redeploy journaled workflows: deploy_workflow consumes each
+        # workflow's recovered runs, restoring or resuming them
+        for workflow_name, document in recovered_workflows.items():
+            try:
+                self.deploy_workflow(parse_workflow(document, self.registry))
+            except (WorkflowError, BadInputError) as exc:
+                self.recovery_warnings.append(
+                    f"could not redeploy workflow {workflow_name!r}: {exc}"
+                )
+                logger.warning("skipping unrecoverable workflow %r: %s", workflow_name, exc)
 
     # ----------------------------------------------------------- publishing
 
@@ -178,21 +384,103 @@ class WorkflowManagementService:
             self._server.stop()
             self._server = None
         self.registry.unbind_local(self.name)
+        if self.journal is not None:
+            self.journal.sync()
+            self.journal.close()
+
+    # ----------------------------------------------------------- durability
+
+    def crash(self) -> None:
+        """Simulate a cold stop: the journal closes first, so nothing the
+        dying run threads do afterwards is persisted. Rebuild by
+        constructing a fresh WMS over the same ``journal_dir``."""
+        if self.journal is not None:
+            self.journal.close()
+        if self._server is not None:
+            self._server.stop()
+            self._server = None
+        self.registry.unbind_local(self.name)
+
+    def compact(self) -> None:
+        """Snapshot deployed workflows and their runs (with resume
+        checkpoints) into the journal; drop the segments it covers."""
+        if self.journal is None:
+            return
+        with self._lock:
+            composites = dict(self._composites)
+        state: dict[str, Any] = {
+            "workflows": {
+                name: workflow_to_json(composite.workflow)
+                for name, composite in composites.items()
+            },
+            "runs": {
+                name: {job.id: composite.run_document(job) for job in composite.jobs.list()}
+                for name, composite in composites.items()
+            },
+        }
+        self.journal.snapshot(state)
+
+    def _replay(self) -> dict[str, dict[str, Any]]:
+        recovery = self.journal.recover()
+        self.recovery_warnings = list(recovery.warnings)
+        snapshot = recovery.snapshot or {}
+        workflows = {
+            name: dict(document)
+            for name, document in (snapshot.get("workflows") or {}).items()
+        }
+        runs = {
+            name: {run_id: dict(document) for run_id, document in table.items()}
+            for name, table in (snapshot.get("runs") or {}).items()
+        }
+        for record in recovery.records:
+            apply_run_event(workflows, runs, record)
+        self._recovered_runs = runs
+        if workflows or runs:
+            total = sum(len(table) for table in runs.values())
+            logger.info("replayed WMS journal: %d workflows, %d runs", len(workflows), total)
+        return workflows
+
+    def _journal_append(self, record: dict[str, Any]) -> None:
+        """Journal one record; persistence failures never break a run."""
+        if self.journal is None:
+            return
+        try:
+            self.journal.append(record)
+        except Exception as error:  # noqa: BLE001 - journaling is best-effort
+            logger.error("WMS journal append failed for %s: %s", record.get("id"), error)
 
     # ------------------------------------------------------------- storage
 
     def deploy_workflow(self, workflow: Workflow) -> CompositeService:
         """Save ``workflow`` and publish it as a composite service."""
-        composite = CompositeService(workflow, self.engine)
+        composite = CompositeService(workflow, self.engine, record=self._journal_append)
         with self._lock:
             if workflow.name in self._composites:
                 raise WorkflowError(f"workflow {workflow.name!r} already deployed")
             self._composites[workflow.name] = composite
+        self._journal_append(
+            {
+                "type": "workflow",
+                "event": "deployed",
+                "name": workflow.name,
+                "document": workflow_to_json(workflow),
+            }
+        )
+        # restore this workflow's recovered runs before the routes exist:
+        # terminal runs keep their results, in-flight runs resume from
+        # their checkpointed frontier, and recovered Idempotency-Key
+        # bindings seed the submit ledger
+        ledger = SubmitLedger()
+        for document in self._recovered_runs.pop(workflow.name, {}).values():
+            job = composite.restore_run(document)
+            if job.idempotency_key:
+                ledger.store(job.idempotency_key, job.id)
         mount_service(
             self.app,
             f"/services/{workflow.name}",
             composite,
             base_uri=lambda name=workflow.name: self.service_uri(name),
+            ledger=ledger,
         )
 
         def instance_page(request: Request, job_id: str) -> Response:
@@ -217,6 +505,8 @@ class WorkflowManagementService:
         if composite is None:
             raise WorkflowError(f"no workflow {name!r} deployed")
         unmount_service(self.app, f"/services/{name}")
+        self._recovered_runs.pop(name, None)
+        self._journal_append({"type": "workflow", "event": "undeployed", "name": name})
 
     def replace_workflow(self, workflow: Workflow) -> CompositeService:
         with self._lock:

@@ -33,6 +33,8 @@ from __future__ import annotations
 import itertools
 import json
 import os
+import shutil
+import tempfile
 import time
 from collections import Counter
 
@@ -76,6 +78,13 @@ class GatewayChaosCell:
     ``scenario_fn`` receives a regex matching the replica authorities
     (so faults hit gateway→replica traffic, not the client→gateway hop)
     and returns the scenario list for the plan.
+
+    With ``cold=True`` every replica journals to its own temp directory
+    and registers a cold-restart pair on the crash controller: a
+    ``cold-restart`` fault tears the container down mid-run
+    (:meth:`~repro.container.ServiceContainer.crash` — journal closes
+    first) and the restore builds a *fresh* container over the same
+    journal directory, so only journaled state survives the outage.
     """
 
     def __init__(
@@ -86,19 +95,21 @@ class GatewayChaosCell:
         replicas: int = 3,
         handlers: int = 2,
         crashes: bool = False,
+        cold: bool = False,
         worker_stalls: bool = False,
     ):
         self.seed = seed
         self.nodeid = nodeid
         self.sequence = next(_cells)
         self.registry = TransportRegistry()
-        prefix = f"cx{self.sequence}r"
-        self.plan = FaultPlan(seed, scenario_fn(rf"local://{prefix}\d+/"))
+        self.handlers = handlers
+        self.prefix = f"cx{self.sequence}r"
+        self.plan = FaultPlan(seed, scenario_fn(rf"local://{self.prefix}\d+/"))
+        self._journal_root = tempfile.mkdtemp(prefix="chaos-waj-") if cold else None
+        self._stall_hook: WorkerStallHook | None = None
         self.containers: list[ServiceContainer] = []
         for index in range(replicas):
-            container = ServiceContainer(f"{prefix}{index}", handlers=handlers, registry=self.registry)
-            container.deploy(_WORK)
-            self.containers.append(container)
+            self.containers.append(self._build_container(index))
         # in front of the built-in local transport: every local:// request
         # (gateway→replica, health probes) consults the plan first
         self.registry.add_transport(FaultInjectingTransport(self.registry.local, self.plan))
@@ -119,22 +130,18 @@ class GatewayChaosCell:
         for container in self.containers:
             self.gateway.add_replica(container.local_base)
         self.crash: CrashController | None = None
-        if crashes:
+        if crashes or cold:
             self.crash = CrashController(
                 self.plan,
                 on_change=lambda: self.gateway.replicas.check_now(),
                 min_up=1,
             )
-            for container in self.containers:
-                self.crash.register(
-                    container.name,
-                    stop=lambda c=container: self.registry.unbind_local(c.name),
-                    start=lambda c=container: self.registry.bind_local(c.name, c.app),
-                )
+            for index in range(replicas):
+                self._register_crash(index)
         if worker_stalls:
-            hook = WorkerStallHook(self.plan)
+            self._stall_hook = WorkerStallHook(self.plan)
             for container in self.containers:
-                container.job_manager.set_task_hook(hook)
+                container.job_manager.set_task_hook(self._stall_hook)
         self.client = RestClient(self.registry, retry_after_cap=0.0)
         self.service_uri = self.gateway.service_uri("work")
         # marker → {"key", "acked" (job doc | None)}
@@ -144,6 +151,49 @@ class GatewayChaosCell:
 
     # -------------------------------------------------------------- lifecycle
 
+    def _build_container(self, index: int) -> ServiceContainer:
+        """One replica container; with journaling when the cell is cold."""
+        journal_dir = None
+        if self._journal_root is not None:
+            journal_dir = os.path.join(self._journal_root, f"r{index}")
+        container = ServiceContainer(
+            f"{self.prefix}{index}",
+            handlers=self.handlers,
+            registry=self.registry,
+            journal_dir=journal_dir,
+        )
+        container.deploy(_WORK)
+        return container
+
+    def _register_crash(self, index: int) -> None:
+        """Register replica ``index`` on the crash controller.
+
+        The callables index into ``self.containers`` rather than closing
+        over a container object: a cold restart swaps a fresh container
+        into the slot, and later warm crashes must hit *that* one.
+        """
+        cold_pair = {}
+        if self._journal_root is not None:
+            cold_pair = {
+                "cold_stop": lambda: self.containers[index].crash(),
+                "cold_start": lambda: self._cold_start(index),
+            }
+        self.crash.register(
+            self.containers[index].name,
+            stop=lambda: self.registry.unbind_local(self.containers[index].name),
+            start=lambda: self.registry.bind_local(
+                self.containers[index].name, self.containers[index].app
+            ),
+            **cold_pair,
+        )
+
+    def _cold_start(self, index: int) -> None:
+        """Rebuild replica ``index`` from its journal and swap it in."""
+        container = self._build_container(index)
+        if self._stall_hook is not None:
+            container.job_manager.set_task_hook(self._stall_hook)
+        self.containers[index] = container
+
     def shutdown(self) -> None:
         self.plan.deactivate()
         if self.crash is not None:
@@ -152,6 +202,8 @@ class GatewayChaosCell:
         for container in self.containers:
             container.job_manager.set_task_hook(None)
             container.shutdown()
+        if self._journal_root is not None:
+            shutil.rmtree(self._journal_root, ignore_errors=True)
 
     def fail(self, message: str) -> None:
         tail = "\n".join(f"    {event}" for event in self.plan.events[-8:])
@@ -294,6 +346,40 @@ class GatewayChaosCell:
         )
         budget = self.gateway.retry_budget
         self.check(0 <= budget.balance <= budget.cap, f"retry budget off the rails: {budget.balance}")
+        if self._journal_root is not None:
+            self.verify_replay_binding()
+
+    def verify_replay_binding(self) -> None:
+        """Replaying a key straight at its owning replica must bind to the
+        original job — after a cold restart that binding comes from the
+        journal-seeded submit ledger, not from any in-memory survivor."""
+        for container in self.containers:
+            uri = container.service_uri("work")
+            for job in container.service("work").jobs.list():
+                if not job.idempotency_key:
+                    continue
+                response = self.client.request_raw(
+                    "POST",
+                    uri,
+                    body=json.dumps(job.inputs).encode(),
+                    headers={
+                        IDEMPOTENCY_KEY_HEADER: job.idempotency_key,
+                        "Content-Type": "application/json",
+                    },
+                )
+                self.check(
+                    response.status == 201,
+                    f"replay of {job.idempotency_key} answered {response.status}",
+                )
+                self.check(
+                    response.json_body["id"] == job.id,
+                    f"replay of {job.idempotency_key} bound to "
+                    f"{response.json_body.get('id')} (want {job.id})",
+                )
+                self.check(
+                    response.headers.get("Idempotent-Replay") == "true",
+                    f"replay of {job.idempotency_key} lacks the Idempotent-Replay header",
+                )
 
 
 def run_gateway_chaos(

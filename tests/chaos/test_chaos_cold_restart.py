@@ -1,0 +1,51 @@
+"""Seeded chaos with cold restarts: journal teardown and rebuild.
+
+A ``cold-restart`` fault tears a replica's whole object graph down
+mid-run — the write-ahead journal closes *first*, so anything the dying
+incarnation still does is lost, exactly like a real crash — and the
+restore rebuilds a fresh container over the same journal directory.
+The PR 3 gateway invariants must hold straight across the rebuild:
+
+- no acknowledged job is lost (every 201 resolves to a terminal job);
+- no job is duplicated, despite replays racing recovery;
+- ``Idempotency-Key`` replays bind to the original job through the
+  journal-seeded submit ledger (``Idempotent-Replay: true``);
+- gauges drain — replica in-flight counts and pending reservations
+  return to zero once the cell settles.
+
+Two matrices: pure cold restarts, and cold mixed with warm crashes and
+transport drops (recovery composing with PR 3's failover machinery).
+A failing seed prints a one-line repro command.
+"""
+
+import pytest
+
+from repro.faults import Scenario
+from tests.chaos.harness import chaos_seeds, run_gateway_chaos
+
+
+def cold_scenarios(target: str) -> list:
+    return [
+        Scenario("cold-restart", 0.15, duration=2),
+        Scenario("drop", 0.06, target=target),
+    ]
+
+
+def cold_and_warm_scenarios(target: str) -> list:
+    return [
+        Scenario("cold-restart", 0.10, duration=2),
+        Scenario("crash-restart", 0.10, duration=2),
+        Scenario("drop", 0.05, target=target),
+    ]
+
+
+@pytest.mark.parametrize("seed", chaos_seeds(192, base=4000))
+def test_cold_restart(seed, request):
+    run_gateway_chaos(seed, cold_scenarios, request.node.nodeid, cold=True, ops=10)
+
+
+@pytest.mark.parametrize("seed", chaos_seeds(64, base=5000))
+def test_cold_mixed_with_warm_crashes(seed, request):
+    run_gateway_chaos(
+        seed, cold_and_warm_scenarios, request.node.nodeid, cold=True, ops=10
+    )

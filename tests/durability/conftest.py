@@ -1,0 +1,10 @@
+"""Shared fixtures for the durability suite."""
+
+import pytest
+
+from repro.http.registry import TransportRegistry
+
+
+@pytest.fixture()
+def registry():
+    return TransportRegistry()

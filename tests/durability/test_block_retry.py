@@ -1,0 +1,121 @@
+"""Per-service-block retry: transient 503s no longer sink a whole run.
+
+A ``ServiceBlock`` carries a retry policy (``retries`` extra submissions
+with capped exponential backoff, ``retry_budget`` seconds the REST
+client may spend honouring ``Retry-After``). An overloaded member
+service that sheds load for a moment costs a short delay instead of a
+failed workflow; blocks keep the old fail-fast default.
+"""
+
+import threading
+
+import pytest
+
+from repro.container import ServiceContainer
+from repro.http.messages import HttpError
+from repro.workflow.engine import WorkflowEngine, WorkflowExecutionError
+from repro.workflow.jsonio import parse_workflow, workflow_to_json
+from repro.workflow.model import DataType, InputBlock, OutputBlock, ServiceBlock, Workflow
+
+
+class SheddingMiddleware:
+    """503s the first ``reject`` POSTs to /services/*, with Retry-After."""
+
+    def __init__(self, reject: int):
+        self.reject = reject
+        self.posts = 0
+        self._lock = threading.Lock()
+
+    def __call__(self, request, call_next):
+        if request.method == "POST" and request.path.startswith("/services/"):
+            with self._lock:
+                self.posts += 1
+                if self.posts <= self.reject:
+                    response = HttpError(503, "shedding load").to_response()
+                    response.headers.set("Retry-After", "0")
+                    return response
+        return call_next(request)
+
+
+@pytest.fixture()
+def container(registry):
+    instance = ServiceContainer("flaky", handlers=2, registry=registry)
+    instance.deploy(
+        {
+            "description": {
+                "name": "double",
+                "inputs": {"x": {"schema": {"type": "number"}}},
+                "outputs": {"y": {"schema": {"type": "number"}}},
+            },
+            "adapter": "python",
+            "config": {"callable": lambda x: {"y": x * 2}},
+        }
+    )
+    yield instance
+    instance.shutdown()
+
+
+def retry_workflow(container, retries, retry_budget=0.0):
+    workflow = Workflow("retrying")
+    workflow.add(InputBlock("n", type=DataType.NUMBER))
+    block = ServiceBlock(
+        "double",
+        uri=container.service_uri("double"),
+        retries=retries,
+        retry_budget=retry_budget,
+    )
+    block.introspect(container.registry)
+    workflow.add(block)
+    workflow.add(OutputBlock("out", type=DataType.NUMBER))
+    workflow.connect("n.value", "double.x")
+    workflow.connect("double.y", "out.value")
+    workflow.validate()
+    return workflow
+
+
+class TestBlockRetryPolicy:
+    def test_transient_503s_are_retried_with_backoff(self, container, registry):
+        shed = SheddingMiddleware(reject=2)
+        container.app.add_middleware(shed)
+        engine = WorkflowEngine(registry, poll=0.005, resubmit_lost=0)
+        outputs = engine.execute(retry_workflow(container, retries=3), {"n": 6})
+        assert outputs == {"out": 12}
+        assert shed.posts == 3  # two rejections, then the one that lands
+
+    def test_default_stays_fail_fast(self, container, registry):
+        container.app.add_middleware(SheddingMiddleware(reject=1))
+        engine = WorkflowEngine(registry, poll=0.005, resubmit_lost=0)
+        with pytest.raises(WorkflowExecutionError, match="double"):
+            engine.execute(retry_workflow(container, retries=0), {"n": 6})
+
+    def test_exhausted_retries_fail_the_block(self, container, registry):
+        container.app.add_middleware(SheddingMiddleware(reject=10))
+        engine = WorkflowEngine(registry, poll=0.005, resubmit_lost=0)
+        with pytest.raises(WorkflowExecutionError, match="double"):
+            engine.execute(retry_workflow(container, retries=2), {"n": 6})
+
+    def test_retry_budget_lets_the_client_honour_retry_after(self, container, registry):
+        """With a budget the REST client itself absorbs the 503s — no
+        engine-level resubmission needed at all."""
+        shed = SheddingMiddleware(reject=2)
+        container.app.add_middleware(shed)
+        engine = WorkflowEngine(registry, poll=0.005, resubmit_lost=0)
+        workflow = retry_workflow(container, retries=0, retry_budget=5.0)
+        assert engine.execute(workflow, {"n": 3}) == {"out": 6}
+        assert shed.posts == 3
+
+    def test_policy_round_trips_through_json(self, container, registry):
+        def block_doc(document):
+            return next(b for b in document["blocks"] if b["id"] == "double")
+
+        workflow = retry_workflow(container, retries=4, retry_budget=2.5)
+        document = workflow_to_json(workflow)
+        assert block_doc(document)["retries"] == 4
+        assert block_doc(document)["retry_budget"] == 2.5
+        parsed = parse_workflow(document, registry)
+        assert parsed.blocks["double"].retries == 4
+        assert parsed.blocks["double"].retry_budget == 2.5
+        # defaults are not serialized
+        plain = workflow_to_json(retry_workflow(container, retries=0, retry_budget=5.0))
+        assert "retries" not in block_doc(plain)
+        assert "retry_budget" not in block_doc(plain)

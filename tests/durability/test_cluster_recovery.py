@@ -1,0 +1,145 @@
+"""Batch cluster recovery: qsub'd jobs survive a scheduler cold restart.
+
+``qsub`` journals the submission before it returns, so an acknowledged
+job is never lost: completed jobs come back with their output, queued
+and running command jobs are requeued in original submission order, and
+in-memory function jobs — which cannot be serialised — fail as
+interrupted rather than vanish.
+"""
+
+import sys
+
+import pytest
+
+from repro.batch import BatchJob, BatchJobState, Cluster, ComputeNode
+from repro.batch.cluster import BATCH_INTERRUPTED_REASON, ClusterError
+
+
+def py_job(code, **kwargs):
+    return BatchJob(command=[sys.executable, "-c", code], **kwargs)
+
+
+def gated_job(flag_path):
+    """A command job that spins until ``flag_path`` exists."""
+    code = (
+        "import os, time\n"
+        f"while not os.path.exists({str(flag_path)!r}):\n"
+        "    time.sleep(0.02)\n"
+        "print('released')"
+    )
+    return py_job(code)
+
+
+class TestClusterRecovery:
+    def test_queue_survives_a_cold_restart(self, tmp_path):
+        journal = tmp_path / "waj"
+        flag = tmp_path / "release.flag"
+        first = Cluster(nodes=[ComputeNode("n1", slots=1)], name="bc", journal_dir=journal)
+        done_id = first.qsub(py_job("print('early bird')"))
+        first.wait(done_id, timeout=10)
+        running_id = first.qsub(gated_job(flag))  # occupies the only slot
+        queued_id = first.qsub(py_job("print('patient')"))  # FIFO: waits behind it
+        function_id = first.qsub(BatchJob(function=lambda job: 42))
+        first.crash()
+        flag.write_text("go")
+
+        second = Cluster(nodes=[ComputeNode("n1", slots=1)], name="bc", journal_dir=journal)
+        try:
+            assert second.recovery_warnings == []
+            # completed work is not redone: output comes from the journal
+            done = second.wait(done_id, timeout=1)
+            assert done.state is BatchJobState.COMPLETED
+            assert "early bird" in done.stdout
+            # in-flight command jobs requeue and finish
+            assert second.wait(running_id, timeout=10).state is BatchJobState.COMPLETED
+            patient = second.wait(queued_id, timeout=10)
+            assert patient.state is BatchJobState.COMPLETED
+            assert "patient" in patient.stdout
+            # a Python callable cannot be journaled: fail it honestly
+            interrupted = second.wait(function_id, timeout=1)
+            assert interrupted.state is BatchJobState.FAILED
+            assert interrupted.failure_reason == BATCH_INTERRUPTED_REASON
+            # fresh ids continue past every recovered one
+            new_id = second.qsub(py_job("print('after')"))
+            assert int(new_id.split(".")[0]) > int(queued_id.split(".")[0])
+        finally:
+            second.shutdown()
+
+    def test_requeued_jobs_keep_submission_order(self, tmp_path):
+        journal = tmp_path / "waj"
+        flag = tmp_path / "release.flag"
+        first = Cluster(nodes=[ComputeNode("n1", slots=1)], name="bo", journal_dir=journal)
+        first.qsub(gated_job(flag))
+        ordered = [
+            first.qsub(py_job(f"print('job {n}')"))
+            for n in range(3)
+        ]
+        first.crash()
+        flag.write_text("go")
+
+        second = Cluster(nodes=[ComputeNode("n1", slots=1)], name="bo", journal_dir=journal)
+        try:
+            finished = [second.wait(job_id, timeout=10) for job_id in ordered]
+            assert all(job.state is BatchJobState.COMPLETED for job in finished)
+            # FIFO without backfill: completion order mirrors submission order
+            starts = [job.started for job in finished]
+            assert starts == sorted(starts)
+        finally:
+            second.shutdown()
+
+    def test_graceful_shutdown_cancels_rather_than_resurrects(self, tmp_path):
+        journal = tmp_path / "waj"
+        flag = tmp_path / "release.flag"
+        first = Cluster(nodes=[ComputeNode("n1", slots=1)], name="bg", journal_dir=journal)
+        first.qsub(gated_job(flag))
+        queued_id = first.qsub(py_job("print('never')"))
+        flag.write_text("go")
+        first.shutdown()  # the operator's choice: cancel what is queued
+
+        second = Cluster(nodes=[ComputeNode("n1", slots=1)], name="bg", journal_dir=journal)
+        try:
+            cancelled = second.wait(queued_id, timeout=1)
+            assert cancelled.state is BatchJobState.CANCELLED
+        finally:
+            second.shutdown()
+
+    def test_stage_out_files_survive_recovery(self, tmp_path):
+        journal = tmp_path / "waj"
+        first = Cluster(nodes=[ComputeNode("n1", slots=1)], name="bs", journal_dir=journal)
+        job = BatchJob(
+            command=[sys.executable, "-c", "open('result.txt', 'w').write('binary ok')"],
+            stage_out=["result.txt"],
+        )
+        first.qsub(job)
+        first.wait(job.id, timeout=10)
+        first.crash()
+
+        second = Cluster(nodes=[ComputeNode("n1", slots=1)], name="bs", journal_dir=journal)
+        try:
+            recovered = second.get_job(job.id)
+            assert recovered.output_files["result.txt"] == b"binary ok"
+        finally:
+            second.shutdown()
+
+    def test_compaction_keeps_the_table(self, tmp_path):
+        journal = tmp_path / "waj"
+        first = Cluster(nodes=[ComputeNode("n1", slots=1)], name="bk", journal_dir=journal)
+        job_id = first.qsub(py_job("print('kept')"))
+        first.wait(job_id, timeout=10)
+        first.compact()
+        assert list(journal.glob("segment-*.waj")) == []
+        first.crash()
+
+        second = Cluster(nodes=[ComputeNode("n1", slots=1)], name="bk", journal_dir=journal)
+        try:
+            assert "kept" in second.wait(job_id, timeout=1).stdout
+        finally:
+            second.shutdown()
+
+    def test_unknown_job_still_raises(self, tmp_path):
+        cluster = Cluster(nodes=[ComputeNode("n1")], name="bu", journal_dir=tmp_path / "waj")
+        try:
+            with pytest.raises(ClusterError):
+                cluster.qstat("999.bu")
+        finally:
+            cluster.shutdown()

@@ -1,0 +1,178 @@
+"""WMS crash recovery: checkpointed runs resume past completed blocks.
+
+A restarted WMS redeploys its journaled workflows, restores completed
+runs with their results, and resumes in-flight runs from the last
+checkpointed block frontier — completed blocks are *not* re-executed
+(asserted with per-service call counters on the member container).
+"""
+
+import threading
+import time
+
+from repro.container import ServiceContainer
+from repro.http.client import IDEMPOTENCY_KEY_HEADER, RestClient
+from repro.workflow.model import DataType, InputBlock, OutputBlock, ServiceBlock, Workflow
+from repro.workflow.wms import WorkflowManagementService
+
+
+def build_cell(registry, gate):
+    """A container with two chained services; ``calls`` counts invocations."""
+    calls = {"plus": 0, "gated": 0}
+    lock = threading.Lock()
+
+    def plus(a):
+        with lock:
+            calls["plus"] += 1
+        return {"b": a + 1}
+
+    def gated(b):
+        with lock:
+            calls["gated"] += 1
+        gate.wait(10)
+        return {"c": b * 10}
+
+    container = ServiceContainer("members", handlers=4, registry=registry)
+    number = {"type": "number"}
+    for name, fn, inp, out in (
+        ("plus", plus, ("a", "b"), None),
+        ("gated", gated, ("b", "c"), None),
+    ):
+        container.deploy(
+            {
+                "description": {
+                    "name": name,
+                    "inputs": {inp[0]: {"schema": number}},
+                    "outputs": {inp[1]: {"schema": number}},
+                },
+                "adapter": "python",
+                "config": {"callable": fn},
+            }
+        )
+    return container, calls
+
+
+def chain_workflow(container):
+    workflow = Workflow("chain")
+    workflow.add(InputBlock("n", type=DataType.NUMBER))
+    for block_id in ("plus", "gated"):
+        block = ServiceBlock(block_id, uri=container.service_uri(block_id))
+        block.introspect(container.registry)
+        workflow.add(block)
+    workflow.add(OutputBlock("out", type=DataType.NUMBER))
+    workflow.connect("n.value", "plus.a")
+    workflow.connect("plus.b", "gated.b")
+    workflow.connect("gated.c", "out.value")
+    workflow.validate()
+    return workflow
+
+
+def submit(client, uri, payload, key):
+    import json
+
+    response = client.request_raw(
+        "POST",
+        uri,
+        body=json.dumps(payload).encode(),
+        headers={IDEMPOTENCY_KEY_HEADER: key, "Content-Type": "application/json"},
+    )
+    assert response.status == 201
+    return response.json_body
+
+
+def wait_for(predicate, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(0.01)
+    raise TimeoutError("condition never held")
+
+
+class TestResume:
+    def test_restarted_wms_resumes_from_the_checkpoint_frontier(self, tmp_path, registry):
+        gate = threading.Event()
+        container, calls = build_cell(registry, gate)
+        client = RestClient(registry)
+        first = WorkflowManagementService("wms", registry=registry, journal_dir=tmp_path)
+        first.deploy_workflow(chain_workflow(container))
+        try:
+            acked = submit(client, first.service_uri("chain"), {"n": 4}, "run-1")
+            # the first block checkpoints, the second parks on the gate
+            wait_for(lambda: client.get(acked["uri"])["blocks"].get("plus") == "DONE")
+            wait_for(lambda: client.get(acked["uri"])["blocks"].get("gated") == "RUNNING")
+            first.crash()
+            gate.set()
+
+            second = WorkflowManagementService("wms", registry=registry, journal_dir=tmp_path)
+            try:
+                assert second.recovery_warnings == []
+                assert "chain" in second.workflows
+                final = wait_for(
+                    lambda: (job := client.get(acked["uri"]))["state"] == "DONE" and job
+                )
+                assert final["results"] == {"out": 50}
+                assert final["blocks"]["plus"] == "DONE"
+                # the checkpointed block was not re-executed after restart
+                assert calls["plus"] == 1
+            finally:
+                second.shutdown()
+        finally:
+            container.shutdown()
+
+    def test_completed_runs_recover_with_results_and_key_bindings(self, tmp_path, registry):
+        gate = threading.Event()
+        gate.set()
+        container, _ = build_cell(registry, gate)
+        client = RestClient(registry)
+        first = WorkflowManagementService("wms", registry=registry, journal_dir=tmp_path)
+        first.deploy_workflow(chain_workflow(container))
+        try:
+            acked = submit(client, first.service_uri("chain"), {"n": 1}, "run-done")
+            wait_for(lambda: client.get(acked["uri"])["state"] == "DONE")
+            first.crash()
+
+            second = WorkflowManagementService("wms", registry=registry, journal_dir=tmp_path)
+            try:
+                recovered = client.get(acked["uri"], query={"wait": 5})
+                assert recovered["state"] == "DONE"
+                assert recovered["results"] == {"out": 20}
+                replay = client.request_raw(
+                    "POST",
+                    second.service_uri("chain"),
+                    body=b'{"n": 1}',
+                    headers={
+                        IDEMPOTENCY_KEY_HEADER: "run-done",
+                        "Content-Type": "application/json",
+                    },
+                )
+                assert replay.status == 201
+                assert replay.json_body["id"] == acked["id"]
+                assert replay.headers.get("Idempotent-Replay") == "true"
+            finally:
+                second.shutdown()
+        finally:
+            container.shutdown()
+
+    def test_wms_compaction_preserves_workflows_and_runs(self, tmp_path, registry):
+        gate = threading.Event()
+        gate.set()
+        container, _ = build_cell(registry, gate)
+        client = RestClient(registry)
+        first = WorkflowManagementService("wms", registry=registry, journal_dir=tmp_path)
+        first.deploy_workflow(chain_workflow(container))
+        try:
+            acked = submit(client, first.service_uri("chain"), {"n": 2}, "run-c")
+            wait_for(lambda: client.get(acked["uri"])["state"] == "DONE")
+            first.compact()
+            assert list(tmp_path.glob("segment-*.waj")) == []
+            first.crash()
+
+            second = WorkflowManagementService("wms", registry=registry, journal_dir=tmp_path)
+            try:
+                assert "chain" in second.workflows
+                assert client.get(acked["uri"])["results"] == {"out": 30}
+            finally:
+                second.shutdown()
+        finally:
+            container.shutdown()
