@@ -1,0 +1,311 @@
+"""Experiment C4 — the content-addressed result cache (ISSUE 5).
+
+Three measurements against cache-enabled containers:
+
+- **gateway hammer** (the guarded path): distinct payloads submitted
+  through a consistent-hash gateway onto cached replicas, then the same
+  payloads again. Cold time-to-result pays the execution; warm answers
+  come straight from the done tier. The guard: warm median time-to-result
+  at least ``MIN_SPEEDUP``× faster than cold;
+- **single-flight coalescing** (the second guard): one fresh payload
+  hammered by concurrent clients while the leader is still executing —
+  the followers must attach to the in-flight job, so the service
+  executes once. The guard: at least one coalesced answer measured (the
+  assert below additionally pins executions to exactly one);
+- **parameter-sweep dedup**: the same sweep workflow run repeatedly —
+  the engine's per-run memo collapses duplicate sub-jobs within a run,
+  the container cache collapses them across runs, so S runs of a sweep
+  with D distinct sub-jobs cost D executions, not S×D.
+
+Rows land in ``benchmarks/results.json`` (experiment C4); the guard
+record lands in ``benchmarks/BENCH_cache.json``.
+"""
+
+import json
+import statistics
+import threading
+import time
+from pathlib import Path
+
+from benchmarks.conftest import full_scale, record_experiment
+from repro.container import ServiceContainer
+from repro.gateway import ServiceGateway
+from repro.gateway.replicaset import ReplicaSet
+from repro.http.client import RestClient
+from repro.http.registry import TransportRegistry
+from repro.workflow.engine import WorkflowEngine
+from repro.workflow.model import (
+    ConstBlock,
+    InputBlock,
+    OutputBlock,
+    ServiceBlock,
+    Workflow,
+    DataType,
+)
+
+BENCH_PATH = Path(__file__).parent / "BENCH_cache.json"
+
+#: The guard from the issue: a warm identical submit must be at least
+#: this many times faster (median time-to-result) than the cold one.
+MIN_SPEEDUP = 5.0
+
+#: Simulated execution cost of one job; large against the submit path so
+#: the cold/warm delta measures reuse, not scheduling noise.
+JOB_SECONDS = 0.02
+
+
+def _work_config(executions):
+    def work(a, b):
+        executions["count"] += 1
+        time.sleep(JOB_SECONDS)
+        return {"sum": a + b}
+
+    return {
+        "description": {
+            "name": "work",
+            "inputs": {
+                "a": {"schema": {"type": "number"}},
+                "b": {"schema": {"type": "number"}},
+            },
+            "outputs": {"sum": {"schema": {"type": "number"}}},
+        },
+        "adapter": "python",
+        "config": {"callable": work},
+    }
+
+
+class _GatewayCell:
+    """Two cached replicas behind a consistent-hash gateway."""
+
+    def __init__(self, tag, replicas=2):
+        self.registry = TransportRegistry()
+        self.executions = {"count": 0}
+        self.containers = [
+            ServiceContainer(
+                f"c4-{tag}-r{index}", handlers=4, registry=self.registry, cache=True
+            )
+            for index in range(replicas)
+        ]
+        for container in self.containers:
+            container.deploy(_work_config(self.executions))
+        self.gateway = ServiceGateway(
+            registry=self.registry,
+            name=f"c4-{tag}-gw",
+            replicas=ReplicaSet(registry=self.registry),
+            policy="consistent-hash",
+        )
+        for container in self.containers:
+            self.gateway.add_replica(container.local_base)
+        self.uri = self.gateway.service_uri("work")
+        self.client = RestClient(self.registry)
+
+    def submit(self, payload, client=None):
+        return (client or self.client).request_raw(
+            "POST",
+            self.uri,
+            body=json.dumps(payload).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+
+    def time_to_result(self, payload):
+        """Seconds from POST to holding the DONE document."""
+        start = time.perf_counter()
+        response = self.submit(payload)
+        assert response.status == 201
+        doc = response.json_body
+        deadline = time.monotonic() + 30
+        while doc["state"] not in ("DONE", "FAILED", "CANCELLED"):
+            assert time.monotonic() < deadline
+            doc = self.client.get(doc["uri"], query={"wait": 1})
+        assert doc["state"] == "DONE"
+        return time.perf_counter() - start, response
+
+    def close(self):
+        self.gateway.shutdown()
+        for container in self.containers:
+            container.shutdown()
+
+
+def _measure_hammer(payloads):
+    """Cold then warm time-to-result over the same payload set."""
+    cell = _GatewayCell("hammer")
+    try:
+        cold = [cell.time_to_result(payload)[0] for payload in payloads]
+        executions_cold = cell.executions["count"]
+        warm = []
+        for payload in payloads:
+            elapsed, response = cell.time_to_result(payload)
+            assert response.headers.get("X-Cache") == "hit"
+            warm.append(elapsed)
+        assert cell.executions["count"] == executions_cold == len(payloads)
+        return cold, warm, dict(cell.gateway.cache_stats)
+    finally:
+        cell.close()
+
+
+def _measure_coalescing(clients=8):
+    """Concurrent identical submits while the leader is still running."""
+    cell = _GatewayCell("coalesce")
+    barrier = threading.Barrier(clients)
+    statuses = []
+    lock = threading.Lock()
+
+    def hammer():
+        client = RestClient(cell.registry)
+        barrier.wait()
+        response = cell.submit({"a": 999, "b": 1}, client=client)
+        with lock:
+            statuses.append((response.status, response.headers.get("X-Cache")))
+
+    try:
+        threads = [threading.Thread(target=hammer) for _ in range(clients)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert all(status == 201 for status, _ in statuses)
+        counts = dict(cell.gateway.cache_stats)
+        # wait for the leader to finish before reading the execution count
+        cell.time_to_result({"a": 999, "b": 1})
+        return counts, cell.executions["count"]
+    finally:
+        cell.close()
+
+
+def _sweep_workflow(container, registry, duplicates, distinct):
+    """A fan-out sweep: ``distinct`` parameter points, each submitted by
+    ``duplicates`` blocks (overlapping sub-jobs, as in a real sweep whose
+    grid axes partially repeat)."""
+    workflow = Workflow("sweep")
+    workflow.add(InputBlock("b", type=DataType.NUMBER))
+    index = 0
+    for point in range(distinct):
+        workflow.add(ConstBlock(f"p{point}", value=point))
+        for _ in range(duplicates):
+            block = ServiceBlock(f"s{index}", uri=container.service_uri("work"))
+            block.introspect(registry)
+            workflow.add(block)
+            workflow.connect(f"p{point}.value", f"s{index}.a")
+            workflow.connect("b.value", f"s{index}.b")
+            index += 1
+    workflow.add(OutputBlock("out", type=DataType.NUMBER))
+    workflow.connect("s0.sum", "out.value")
+    return workflow
+
+
+def _measure_sweep(runs, duplicates, distinct, cache):
+    registry = TransportRegistry()
+    executions = {"count": 0}
+    container = ServiceContainer(
+        f"c4-sweep-{'on' if cache else 'off'}", handlers=8, registry=registry, cache=cache
+    )
+    container.deploy(_work_config(executions))
+    engine = WorkflowEngine(registry, poll=0.002, max_parallel=8)
+    workflow = _sweep_workflow(container, registry, duplicates, distinct)
+    try:
+        start = time.perf_counter()
+        for _ in range(runs):
+            outputs = engine.execute(workflow, {"b": 1})
+            assert outputs == {"out": 1}
+        elapsed = time.perf_counter() - start
+        return elapsed, executions["count"]
+    finally:
+        container.shutdown()
+
+
+def test_c4_cache_speedup_and_coalescing(tmp_path):
+    payloads = [{"a": point, "b": 1} for point in range(48 if full_scale() else 12)]
+    cold, warm, hammer_counts = _measure_hammer(payloads)
+    speedup = statistics.median(cold) / statistics.median(warm)
+    hammer_rows = [
+        {
+            "phase": "cold",
+            "submits": len(cold),
+            "median_ms": round(statistics.median(cold) * 1e3, 2),
+            "p99_ms": round(sorted(cold)[int(len(cold) * 0.99)] * 1e3, 2),
+        },
+        {
+            "phase": "warm",
+            "submits": len(warm),
+            "median_ms": round(statistics.median(warm) * 1e3, 2),
+            "p99_ms": round(sorted(warm)[int(len(warm) * 0.99)] * 1e3, 2),
+        },
+    ]
+
+    coalesce_counts, coalesce_executions = _measure_coalescing()
+    coalesce_rows = [
+        {
+            "clients": 8,
+            "executions": coalesce_executions,
+            "coalesced": coalesce_counts["coalesced"],
+            "misses": coalesce_counts["miss"],
+        }
+    ]
+
+    runs = 8 if full_scale() else 4
+    sweep_rows = []
+    sweep = {}
+    for cache in (False, True):
+        elapsed, executions = _measure_sweep(runs, duplicates=2, distinct=4, cache=cache)
+        sweep[cache] = (elapsed, executions)
+        sweep_rows.append(
+            {
+                "variant": "cached" if cache else "uncached",
+                "runs": runs,
+                "sub_jobs": runs * 8,
+                "executions": executions,
+                "wall_s": round(elapsed, 3),
+            }
+        )
+
+    record_experiment(
+        "C4",
+        "Content-addressed result cache: reuse speedup and coalescing",
+        hammer_rows,
+        notes=(
+            f"2 cached replicas, consistent-hash gateway, {JOB_SECONDS * 1e3:.0f} ms jobs; "
+            f"warm speedup {speedup:.1f}x (guard >= {MIN_SPEEDUP:.0f}x); "
+            f"gateway counters {hammer_counts}; coalesce hammer: {coalesce_rows[0]}; "
+            f"sweep dedup: {sweep_rows}"
+        ),
+    )
+
+    BENCH_PATH.write_text(
+        json.dumps(
+            {
+                "experiment": "C4",
+                "recorded_at": time.strftime("%Y-%m-%d %H:%M:%S"),
+                "guard": {
+                    "metric": "warm vs cold median time-to-result, identical submits "
+                    "over the replicated gateway",
+                    "limit_speedup": MIN_SPEEDUP,
+                    "measured_speedup": round(speedup, 2),
+                    "passed": speedup >= MIN_SPEEDUP,
+                },
+                "coalesce_guard": {
+                    "metric": "concurrent identical submits coalesce onto one execution",
+                    "limit_min_coalesced": 1,
+                    "measured_coalesced": coalesce_counts["coalesced"],
+                    "measured_executions": coalesce_executions,
+                    "passed": coalesce_counts["coalesced"] >= 1 and coalesce_executions == 1,
+                },
+                "gateway_hammer": hammer_rows,
+                "coalesce_hammer": coalesce_rows,
+                "sweep_dedup": sweep_rows,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"warm submits are only {speedup:.1f}x faster than cold "
+        f"(guard {MIN_SPEEDUP:.0f}x)"
+    )
+    assert coalesce_counts["coalesced"] >= 1, coalesce_counts
+    assert coalesce_executions == 1, (
+        f"coalescing hammer executed {coalesce_executions} times (want exactly 1)"
+    )
+    # the sweep's point: S runs of D distinct sub-jobs cost D executions
+    assert sweep[True][1] == 4, sweep
+    assert sweep[False][1] == 4 * runs, sweep

@@ -1,0 +1,32 @@
+"""repro.cache — content-addressed result caching with single-flight.
+
+The reuse layer the paper's thesis implies: published services are
+invoked again and again with identical inputs (catalogue clients,
+parameter sweeps, composite workflows), so the platform deduplicates at
+the submission boundary. :mod:`repro.cache.fingerprint` turns a
+submission into a canonical content address; :mod:`repro.cache.store`
+keeps the fingerprint → job index (LRU + TTL done tier, in-flight
+coalescing, journal-backed rehydration).
+"""
+
+from repro.cache.fingerprint import (
+    ContentHasher,
+    FingerprintError,
+    canonical_json,
+    hash_bytes,
+    job_fingerprint,
+    routing_hint,
+)
+from repro.cache.store import CacheClosedError, CacheStats, ResultCache
+
+__all__ = [
+    "CacheClosedError",
+    "CacheStats",
+    "ContentHasher",
+    "FingerprintError",
+    "ResultCache",
+    "canonical_json",
+    "hash_bytes",
+    "job_fingerprint",
+    "routing_hint",
+]

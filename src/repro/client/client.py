@@ -45,14 +45,26 @@ class JobHandle:
         self.uri = uri
         self._client = client
         self._last: dict[str, Any] = {}
+        #: The validator of the cached representation; polls send it as
+        #: ``If-None-Match`` so an unchanged job answers 304, body-free.
+        self._etag: str | None = None
         #: Whether the server honours ``?wait=``: None until observed,
         #: False once a long-poll GET provably returned early.
         self._long_poll: bool | None = None
 
-    def refresh(self) -> dict[str, Any]:
-        """``GET`` the job resource and cache its representation."""
-        self._last = self._client.get(self.uri)
+    def _get(self, query: "Mapping[str, Any] | None" = None) -> dict[str, Any]:
+        etag = self._etag if self._last else None
+        representation, self._etag, not_modified = self._client.get_conditional(
+            self.uri, etag=etag, query=query
+        )
+        if not not_modified:
+            self._last = representation
         return self._last
+
+    def refresh(self) -> dict[str, Any]:
+        """``GET`` the job resource and cache its representation
+        (conditionally: an unchanged job costs a 304, not a body)."""
+        return self._get()
 
     def poll(self, wait: float = 0.0) -> dict[str, Any]:
         """One GET, long-polling up to ``wait`` seconds when supported.
@@ -65,7 +77,7 @@ class JobHandle:
         if wait <= 0 or self._long_poll is False:
             return self.refresh()
         started = time.monotonic()
-        self._last = self._client.get(self.uri, query={"wait": f"{wait:g}"})
+        self._get(query={"wait": f"{wait:g}"})
         elapsed = time.monotonic() - started
         if not JobState(self._last["state"]).terminal:
             if wait >= 0.1 and elapsed < wait / 2:

@@ -130,6 +130,20 @@ class Adapter:
     #: partially acted) are failed as interrupted instead.
     idempotent: bool = False
 
+    #: Whether identical inputs always produce equivalent outputs. The
+    #: result cache only serves/coalesces submissions of deterministic
+    #: adapters; a nondeterministic service (random seeds, wall-clock
+    #: reads, stateful backends) opts out by clearing this — either in the
+    #: adapter class or per deployment via ``{"deterministic": false}`` in
+    #: the internal configuration (see :meth:`configure_determinism`).
+    deterministic: bool = True
+
+    def configure_determinism(self, config: dict[str, Any]) -> None:
+        """Absorb a ``deterministic`` override from the internal
+        configuration; adapters call this from ``configure``."""
+        if "deterministic" in config:
+            self.deterministic = bool(config["deterministic"])
+
     def configure(self, config: dict[str, Any], resources: ResourceResolver) -> None:
         """Validate and absorb the internal service configuration."""
 

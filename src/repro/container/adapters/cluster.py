@@ -44,6 +44,7 @@ class ClusterAdapter(Adapter):
         self._active: dict[str, str] = {}  # service job id -> batch job id
 
     def configure(self, config: dict[str, Any], resources: ResourceResolver) -> None:
+        self.configure_determinism(config)
         cluster_name = config.get("cluster")
         if isinstance(cluster_name, Cluster):
             self.cluster = cluster_name

@@ -112,6 +112,7 @@ class CommandAdapter(Adapter):
         self.allow_nonzero_exit = False
 
     def configure(self, config: dict[str, Any], resources: ResourceResolver) -> None:
+        self.configure_determinism(config)
         self.command_template = config.get("command", "")
         if not self.command_template:
             raise ConfigurationError("command adapter requires a 'command'")

@@ -49,6 +49,7 @@ class GridAdapter(Adapter):
         self._active: dict[str, str] = {}
 
     def configure(self, config: dict[str, Any], resources: ResourceResolver) -> None:
+        self.configure_determinism(config)
         broker = config.get("broker")
         if isinstance(broker, GridBroker):
             self.broker = broker

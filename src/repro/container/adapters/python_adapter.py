@@ -65,6 +65,7 @@ class PythonAdapter(Adapter):
         self._wants_context = False
 
     def configure(self, config: dict[str, Any], resources: ResourceResolver) -> None:
+        self.configure_determinism(config)
         self._callable = resolve_callable(config.get("callable"), resources)
         try:
             parameters = list(inspect.signature(self._callable).parameters)

@@ -13,10 +13,12 @@ any number of deployed services. It can publish itself two ways at once:
 
 from __future__ import annotations
 
+import logging
 import threading
 from pathlib import Path
 from typing import Any, Callable
 
+from repro.cache import ResultCache
 from repro.container.adapters import create_adapter
 from repro.container.config import ServiceConfig
 from repro.container.jobmanager import (
@@ -29,7 +31,7 @@ from repro.container.service import DeployedService
 from repro.container.webui import render_index_page, render_service_page
 from repro.core.api import SubmitLedger, mount_service, unmount_service
 from repro.core.errors import ConfigurationError
-from repro.core.jobs import Job
+from repro.core.jobs import Job, JobState
 from repro.http.app import RestApp
 from repro.http.messages import HttpError, Request, Response
 from repro.http.registry import TransportRegistry
@@ -38,6 +40,8 @@ from repro.security.authz import AccessPolicy
 from repro.security.identity import IdentityBroker
 from repro.security.middleware import SecurityMiddleware
 from repro.security.pki import CertificateAuthority
+
+logger = logging.getLogger(__name__)
 
 
 class ServiceContainer:
@@ -50,6 +54,7 @@ class ServiceContainer:
         registry: TransportRegistry | None = None,
         journal_dir: "str | Path | None" = None,
         journal_fsync: str = "batch",
+        cache: "ResultCache | bool | None" = None,
     ):
         self.name = name
         self.registry = registry or TransportRegistry()
@@ -59,6 +64,17 @@ class ServiceContainer:
         self.job_manager = JobManager(
             handlers=handlers, name=name, journal_dir=journal_dir, journal_fsync=journal_fsync
         )
+        # the result cache is opt-in: POST-creates-a-new-job is the REST
+        # contract unless the operator asks for content-addressed reuse.
+        # Explicit bool checks: an *empty* ResultCache is falsy (len == 0)
+        # yet must still be adopted
+        if cache is True:
+            cache = ResultCache()
+        elif cache is False:
+            cache = None
+        self.cache: "ResultCache | None" = cache
+        if self.cache is not None:
+            self.job_manager.attach_cache(self.cache)
         self._services: dict[str, DeployedService] = {}
         self._resources: dict[str, Any] = {}
         self._policies: dict[str, AccessPolicy] = {}
@@ -135,6 +151,8 @@ class ServiceContainer:
                 for service in self.services
             }
         }
+        if self.cache is not None:
+            state["cache"] = self.cache.export()
         self.journal.snapshot(state)
 
     # ------------------------------------------------------------- security
@@ -207,6 +225,7 @@ class ServiceContainer:
             registry=self.registry,
             base_uri_fn=lambda name=config.name: self.service_uri(name),
             resources=self,
+            cache=self.cache,
         )
         ledger = self._recover_service(service, adapter)
         base_path = f"/services/{config.name}"
@@ -290,8 +309,48 @@ class ServiceContainer:
         # enqueue after the store is fully seeded, so a re-run completing
         # instantly cannot race a not-yet-registered sibling's key lookup
         for job in requeue:
+            self._register_recovered_inflight(service, job)
             service.requeue(job)
+        self._rehydrate_cache(service)
         return ledger
+
+    def _register_recovered_inflight(self, service: DeployedService, job: Job) -> None:
+        """Put a re-enqueued job back into the single-flight index.
+
+        Without this a submit arriving right after a cold restart would
+        miss and start a second execution of a fingerprint the recovered
+        job is already re-running — violating the cache's no-concurrent-
+        duplicate guarantee across the crash boundary.
+        """
+        if self.cache is None or not service.cacheable:
+            return
+        fingerprint = service._fingerprint(job.inputs)
+        if fingerprint is not None:
+            self.cache.register(fingerprint, service.name, job)
+
+    def _rehydrate_cache(self, service: DeployedService) -> None:
+        """Re-seed the hot set from journaled cache records (cold restart).
+
+        Only records whose job itself recovered ``DONE`` are admitted:
+        deleted jobs dropped out of the recovery table via their
+        ``deleted`` journal event, and failed/interrupted jobs must never
+        be served from cache.
+        """
+        if self.cache is None or not service.cacheable:
+            self.job_manager.take_recovered_cache(service.name)
+            return
+        seeded = 0
+        for record in self.job_manager.take_recovered_cache(service.name).values():
+            try:
+                job = service.jobs.get(record["id"])
+            except Exception:  # noqa: BLE001 - the job did not survive recovery
+                continue
+            if job.state is not JobState.DONE:
+                continue
+            if self.cache.seed(record["fp"], service.name, record["id"], record["stored"]):
+                seeded += 1
+        if seeded:
+            logger.info("rehydrated %d cache entries for %s", seeded, service.name)
 
     # ------------------------------------------------------------- handlers
 

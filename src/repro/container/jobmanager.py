@@ -36,6 +36,7 @@ from repro.runtime.pool import ExecutorPool, PoolStats
 __all__ = [
     "INTERRUPTED_ERROR",
     "JobManager",
+    "apply_cache_event",
     "apply_job_event",
     "job_document",
     "restore_job",
@@ -82,6 +83,22 @@ def apply_job_event(table: dict[str, dict[str, dict]], record: dict[str, Any]) -
                 document[field] = record[field]
 
 
+def apply_cache_event(table: dict[str, dict[str, dict]], record: dict[str, Any]) -> None:
+    """Fold one cache record (snapshot- or journal-shaped) into the
+    per-service rehydration table (service → fingerprint → record)."""
+    if "fp" not in record or record.get("type") not in (None, "cache"):
+        return
+    service, fingerprint, job_id = record.get("service"), record["fp"], record.get("id")
+    if not service or not fingerprint or not job_id:
+        return
+    table.setdefault(service, {})[fingerprint] = {
+        "service": service,
+        "fp": fingerprint,
+        "id": job_id,
+        "stored": record.get("stored", 0.0),
+    }
+
+
 class JobManager:
     """Runs adapter executions for queued jobs on a fixed thread pool."""
 
@@ -104,6 +121,10 @@ class JobManager:
         #: Corruption tolerated while replaying the journal, if any.
         self.recovery_warnings: list[str] = []
         self._recovered: dict[str, dict[str, dict]] = {}
+        self._recovered_cache: dict[str, dict[str, dict]] = {}
+        #: The container's result cache, when one is attached; shutdown
+        #: closes it so pending coalesced claims fail instead of hanging.
+        self.result_cache = None
         if journal_dir is not None:
             self.journal = Journal(Path(journal_dir), fsync=journal_fsync)
             self._replay()
@@ -168,6 +189,39 @@ class JobManager:
         """
         return self._recovered.pop(service, {})
 
+    def take_recovered_cache(self, service: str) -> dict[str, dict]:
+        """Claim the journaled cache records of one service (fp → record).
+
+        The deploy that rebuilds the service seeds its result cache from
+        these — after checking each record's job actually recovered DONE.
+        """
+        return self._recovered_cache.pop(service, {})
+
+    def attach_cache(self, cache: Any) -> None:
+        """Adopt the container's result cache: journal its promotions and
+        close it on shutdown so pending claimants are failed, not hung."""
+        self.result_cache = cache
+        if cache is not None:
+            cache.journal_fn = self.record_cache
+
+    def record_cache(self, service: str, fingerprint: str, job_id: str, stored: float) -> None:
+        """Journal one done-tier cache promotion as a lightweight record.
+
+        Rehydration cross-checks the record against the recovered job
+        table, so a record outliving its job (deletion, failure rollback)
+        is inert rather than dangerous.
+        """
+        if self.journal is not None:
+            self._append(
+                {
+                    "type": "cache",
+                    "service": service,
+                    "fp": fingerprint,
+                    "id": job_id,
+                    "stored": stored,
+                }
+            )
+
     def set_task_hook(self, hook: "Callable[[str], None] | None") -> None:
         """Install (or clear) the handler pool's per-task fault hook."""
         self._pool.task_hook = hook
@@ -183,6 +237,9 @@ class JobManager:
 
     def shutdown(self, wait: bool = True) -> None:
         self._stopped = True
+        if self.result_cache is not None:
+            # fail pending coalesced claimants instead of hanging them
+            self.result_cache.close()
         self._pool.shutdown(wait=wait)
         if not wait:
             # without the drain, queued-but-unstarted jobs would sit in
@@ -201,6 +258,8 @@ class JobManager:
         if self.journal is not None:
             self.journal.close()
         self._stopped = True
+        if self.result_cache is not None:
+            self.result_cache.close()
         self._pool.shutdown(wait=False)
 
     # ----------------------------------------------------------- internals
@@ -209,12 +268,17 @@ class JobManager:
         recovery = self.journal.recover()
         self.recovery_warnings = recovery.warnings
         table: dict[str, dict[str, dict]] = {}
+        cache_table: dict[str, dict[str, dict]] = {}
         snapshot = recovery.snapshot or {}
         for service, jobs in (snapshot.get("services") or {}).items():
             table[service] = {job_id: dict(document) for job_id, document in jobs.items()}
+        for record in snapshot.get("cache") or []:
+            apply_cache_event(cache_table, record)
         for record in recovery.records:
             apply_job_event(table, record)
+            apply_cache_event(cache_table, record)
         self._recovered = table
+        self._recovered_cache = cache_table
         if table:
             total = sum(len(jobs) for jobs in table.values())
             logger.info("replayed journal: %d jobs across %d services", total, len(table))

@@ -9,20 +9,24 @@ own contract fails loudly instead of shipping malformed results.
 
 from __future__ import annotations
 
+import logging
 from typing import Any, Callable
 
+from repro.cache import CacheClosedError, FingerprintError, ResultCache, job_fingerprint
 from repro.container.adapters.base import Adapter, JobContext
 from repro.container.config import ServiceConfig
 from repro.container.jobmanager import JobManager
 from repro.core.description import ServiceDescription
-from repro.core.errors import AdapterError
-from repro.core.filerefs import is_file_ref
+from repro.core.errors import AdapterError, JobNotFoundError, ServiceError
+from repro.core.filerefs import file_uri, is_file_ref
 from repro.core.files import FileEntry, FileStore
 from repro.core.jobs import Job, JobStore
-from repro.http.client import IDEMPOTENCY_KEY_HEADER
+from repro.http.client import IDEMPOTENCY_KEY_HEADER, RestClient
 from repro.http.messages import Request
 from repro.http.registry import TransportRegistry
 from repro.jsonschema import ValidationError, validate
+
+logger = logging.getLogger(__name__)
 
 
 class DeployedService:
@@ -36,6 +40,7 @@ class DeployedService:
         registry: TransportRegistry,
         base_uri_fn: Callable[[], str],
         resources: Any,
+        cache: "ResultCache | None" = None,
     ):
         self.config = config
         self.adapter = adapter
@@ -43,6 +48,7 @@ class DeployedService:
         self.registry = registry
         self.base_uri_fn = base_uri_fn
         self.resources = resources
+        self.cache = cache
         self.jobs = JobStore()
         self.files = FileStore()
 
@@ -61,19 +67,43 @@ class DeployedService:
 
     def submit(self, inputs: dict[str, Any], request: Request) -> Job:
         values = self.description.validate_inputs(inputs)
-        # carry the HTTP layer's correlation id onto the job: handler
-        # threads, adapters and backends all log/see the job, not the request
-        job = Job(service=self.name, inputs=values, request_id=request.context.get("request_id"))
-        job.idempotency_key = request.headers.get(IDEMPOTENCY_KEY_HEADER)
-        access = request.context.get("access")
-        if access is not None:
-            job.extra["owner"] = access.effective_id
-        self.jobs.add(job)
+        fingerprint = None
+        if self.cacheable:
+            fingerprint = self._fingerprint(values)
+        if fingerprint is not None:
+            cached = self._claim_cached(fingerprint, request)
+            if cached is not None:
+                return cached
+        try:
+            # carry the HTTP layer's correlation id onto the job: handler
+            # threads, adapters and backends all log/see the job, not the request
+            job = Job(
+                service=self.name, inputs=values, request_id=request.context.get("request_id")
+            )
+            job.idempotency_key = request.headers.get(IDEMPOTENCY_KEY_HEADER)
+            access = request.context.get("access")
+            if access is not None:
+                job.extra["owner"] = access.effective_id
+            self.jobs.add(job)
+            if fingerprint is not None:
+                # single-flight leader: identical submits from here on
+                # coalesce onto this job instead of executing again
+                self.cache.register(fingerprint, self.name, job)
+                request.context["cache_status"] = "miss"
+        except BaseException:
+            if fingerprint is not None:
+                self.cache.release(fingerprint)
+            raise
         thunk = self._execution_thunk(job)
-        if self.config.mode == "sync":
-            self.job_manager.run_job(job, thunk)
-        else:
-            self.job_manager.enqueue(job, thunk)
+        try:
+            if self.config.mode == "sync":
+                self.job_manager.run_job(job, thunk)
+            else:
+                self.job_manager.enqueue(job, thunk)
+        except BaseException:
+            if fingerprint is not None:
+                self.cache.invalidate_job(job.id)
+            raise
         return job
 
     def requeue(self, job: Job) -> None:
@@ -91,6 +121,10 @@ class DeployedService:
     def delete_job(self, job_id: str) -> None:
         """Cancel a live job or destroy a finished one (paper §2)."""
         job = self.jobs.get(job_id)
+        if self.cache is not None:
+            # drop the fingerprint first: a hit must never serve a job
+            # that is mid-deletion
+            self.cache.invalidate_job(job_id)
         if not job.state.terminal:
             job.mark_cancelled()
             self.adapter.cancel(self._context(job))
@@ -101,6 +135,54 @@ class DeployedService:
     def get_file(self, job_id: str, file_id: str) -> FileEntry:
         self.jobs.get(job_id)  # 404 for unknown jobs
         return self.files.get(file_id, job_id=job_id)
+
+    # -------------------------------------------------------------- caching
+
+    @property
+    def cacheable(self) -> bool:
+        """Whether submissions to this service go through the result cache
+        (a cache is attached and the adapter declares determinism)."""
+        return self.cache is not None and getattr(self.adapter, "deterministic", False)
+
+    def _fingerprint(self, values: dict[str, Any]) -> "str | None":
+        try:
+            return job_fingerprint(self.name, values, fetch=self._fetch_reference)
+        except FingerprintError as exc:
+            # an unfetchable input file degrades to a plain uncached submit;
+            # the adapter will surface the real fetch error on execution
+            logger.warning("cache fingerprint unavailable for %s: %s", self.name, exc)
+            return None
+
+    def _fetch_reference(self, reference: dict[str, Any]) -> bytes:
+        return RestClient(self.registry).get_bytes(file_uri(reference))
+
+    def _claim_cached(self, fingerprint: str, request: Request) -> "Job | None":
+        """Resolve a fingerprint against the cache; None means the caller
+        owns the miss and must create (and register) the leader job."""
+        while True:
+            try:
+                kind, job_id = self.cache.claim(fingerprint)
+            except CacheClosedError as exc:
+                raise ServiceError("container is shut down") from exc
+            if kind == "miss":
+                return None
+            try:
+                job = self.jobs.get(job_id)
+            except JobNotFoundError:
+                # the entry outlived its job (deleted between claim and
+                # lookup): drop it and re-resolve
+                self.cache.invalidate_job(job_id)
+                continue
+            request.context["cache_status"] = kind
+            logger.info(
+                "cache %s for %s [request %s]: reusing job %s computed by request %s",
+                kind,
+                self.name,
+                request.context.get("request_id") or "-",
+                job.id,
+                job.request_id or "-",
+            )
+            return job
 
     # ----------------------------------------------------------- internals
 

@@ -16,6 +16,8 @@ what makes MathCloud services interoperable and composable.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import threading
 import time
 from collections import OrderedDict
@@ -25,7 +27,7 @@ from repro.core.errors import ServiceError
 from repro.core.files import FileEntry
 from repro.core.jobs import Job
 from repro.http.app import RestApp
-from repro.http.client import IDEMPOTENCY_KEY_HEADER
+from repro.http.client import IDEMPOTENCY_KEY_HEADER, X_CACHE_HEADER
 from repro.http.messages import HttpError, Request, Response
 
 
@@ -146,6 +148,31 @@ class SubmitLedger:
             return len(self._jobs)
 
 
+def representation_etag(representation: dict[str, Any]) -> str:
+    """A strong validator over a JSON representation: the hash of its
+    canonical serialization, so any observable change changes the tag.
+
+    (Hashed inline rather than via :mod:`repro.cache` — the core layer
+    must not depend on the caching layer, which builds on it.)
+    """
+    canonical = json.dumps(
+        representation, sort_keys=True, separators=(",", ":"), ensure_ascii=False
+    )
+    return '"' + hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:32] + '"'
+
+
+def etag_matches(if_none_match: str, etag: str) -> bool:
+    """RFC 9110 ``If-None-Match`` evaluation (weak comparison)."""
+    candidates = [candidate.strip() for candidate in if_none_match.split(",")]
+    stripped = etag[2:] if etag.startswith("W/") else etag
+    for candidate in candidates:
+        if candidate == "*":
+            return True
+        if (candidate[2:] if candidate.startswith("W/") else candidate) == stripped:
+            return True
+    return False
+
+
 def job_uri(base_uri: str, job_id: str) -> str:
     return f"{base_uri}/jobs/{job_id}"
 
@@ -188,11 +215,13 @@ def mount_service(
         document["uri"] = _advertised()
         return Response.json(document)
 
-    def _created(job: Job, replayed: bool = False) -> Response:
+    def _created(job: Job, replayed: bool = False, cache_status: "str | None" = None) -> Response:
         location = job_uri(_advertised(), job.id)
         response = Response.created(location, job.representation(uri=location))
         if replayed:
             response.headers.set("Idempotent-Replay", "true")
+        if cache_status:
+            response.headers.set(X_CACHE_HEADER, cache_status)
         return response
 
     def submit(request: Request) -> Response:
@@ -203,7 +232,7 @@ def mount_service(
                 job = backend.submit(inputs, request)
             except ServiceError as error:
                 raise _to_http_error(error) from error
-            return _created(job)
+            return _created(job, cache_status=request.context.get("cache_status"))
         while True:
             job_id, owner = ledger.claim(key)
             if job_id is None:
@@ -228,7 +257,7 @@ def mount_service(
             ledger.release(key)
             raise
         ledger.store(key, job.id)
-        return _created(job)
+        return _created(job, cache_status=request.context.get("cache_status"))
 
     def get_job(request: Request, job_id: str) -> Response:
         """Job status; ``?wait=<seconds>`` turns the GET into a long-poll.
@@ -246,7 +275,17 @@ def mount_service(
         wait_seconds = parse_wait(request.query.get("wait"))
         if wait_seconds > 0:
             job.wait(timeout=wait_seconds)
-        return Response.json(job.representation(uri=job_uri(_advertised(), job_id)))
+        representation = job.representation(uri=job_uri(_advertised(), job_id))
+        etag = representation_etag(representation)
+        if_none_match = request.headers.get("If-None-Match")
+        if if_none_match and etag_matches(if_none_match, etag):
+            # the poller already holds this exact representation: spare the
+            # body (304s answer identically over both transports)
+            response = Response(status=304, body=b"")
+        else:
+            response = Response.json(representation)
+        response.headers.set("ETag", etag)
+        return response
 
     def delete_job(request: Request, job_id: str) -> Response:
         try:

@@ -22,16 +22,18 @@ prefixes simply stack).
 from __future__ import annotations
 
 import logging
+import threading
 from typing import Any
 from urllib.parse import urlencode
 
+from repro.cache import routing_hint
 from repro.gateway.balancer import Policy, create_policy
 from repro.gateway.breaker import RetryBudget
 from repro.gateway.idempotency import IdempotencyCache
 from repro.gateway.replicaset import Replica, ReplicaSet, ReplicaState
 from repro.gateway.routing import decode_job_id, rewrite_job_document, rewrite_tree, rewrite_uri
 from repro.http.app import RestApp
-from repro.http.client import IDEMPOTENCY_KEY_HEADER
+from repro.http.client import IDEMPOTENCY_KEY_HEADER, X_CACHE_HEADER
 from repro.http.messages import Headers, HttpError, Request, Response
 from repro.http.registry import TransportRegistry
 from repro.http.server import RestServer
@@ -62,6 +64,8 @@ _FORWARDED_RESPONSE_HEADERS = (
     "Content-Disposition",
     "Accept-Ranges",
     "Retry-After",
+    "ETag",
+    X_CACHE_HEADER,
 )
 
 
@@ -96,6 +100,10 @@ class ServiceGateway:
         self.retry_after_hint = retry_after_hint
         self.app = RestApp(name)
         self._server: RestServer | None = None
+        # what the replicas' result caches did with our submits, as seen
+        # in their X-Cache answers (surfaced in /health)
+        self._cache_lock = threading.Lock()
+        self._cache_counts = {"hit": 0, "coalesced": 0, "miss": 0}
         self.local_base = self.registry.bind_local(name, self.app)
         self.app.route("GET", "/", self._health)
         self.app.route("GET", "/health", self._health)
@@ -156,8 +164,15 @@ class ServiceGateway:
                 "replicas": self.replicas.snapshot(),
                 "retry_budget": self.retry_budget.balance,
                 "idempotency_entries": len(self.idempotency),
+                "cache": self.cache_stats,
             }
         )
+
+    @property
+    def cache_stats(self) -> dict[str, int]:
+        """Replica cache outcomes observed on submits (hit/coalesced/miss)."""
+        with self._cache_lock:
+            return dict(self._cache_counts)
 
     def _index(self, request: Request) -> Response:
         replica, response = self._forward_any("GET", "/services", request)
@@ -196,6 +211,11 @@ class ServiceGateway:
 
     def _submit_attempts(self, request: Request, name: str, idempotency_key: str | None) -> Response:
         headers = self._forward_headers(request)
+        # key selection by submission *content*: a consistent-hash policy
+        # then lands identical work on the replica whose result cache most
+        # likely already holds it (correctness never depends on this —
+        # replicas compute the authoritative fingerprint themselves)
+        balance_key = routing_hint(name, request.body)
         tried: set[str] = set()
         saturated = False
         bound_unavailable = False
@@ -213,7 +233,7 @@ class ServiceGateway:
                     bound_unavailable = True
                     break
             if replica is None:
-                replica, reason = self._select(tried, idempotency_key)
+                replica, reason = self._select(tried, balance_key)
                 if replica is None:
                     saturated = saturated or reason == "saturated"
                     break
@@ -313,9 +333,16 @@ class ServiceGateway:
         replica, raw_id = self._pin(job_id)
         response = self._forward_pinned(replica, "GET", f"/services/{name}/jobs/{raw_id}", request)
         if not response.ok:
+            # includes 304 Not Modified: body-free, ETag passes through
             return self._proxied(response)
         document = rewrite_job_document(response.json_body, replica, self.base_uri)
-        return Response.json(document, status=response.status)
+        rewritten = Response.json(document, status=response.status)
+        etag = response.headers.get("ETag")
+        if etag:
+            # the replica's validator stays correct for the rewritten body:
+            # the URI rewrite is a pure function of an unchanged document
+            rewritten.headers.set("ETag", etag)
+        return rewritten
 
     def _delete_job(self, request: Request, name: str, job_id: str) -> Response:
         replica, raw_id = self._pin(job_id)
@@ -448,6 +475,12 @@ class ServiceGateway:
         location = response.headers.get("Location")
         if location:
             rewritten.headers.set("Location", rewrite_uri(location, replica, self.base_uri))
+        cache_status = response.headers.get(X_CACHE_HEADER)
+        if cache_status:
+            rewritten.headers.set(X_CACHE_HEADER, cache_status)
+            if cache_status in self._cache_counts:
+                with self._cache_lock:
+                    self._cache_counts[cache_status] += 1
         return rewritten
 
     def _proxied(self, response: Response) -> Response:

@@ -22,6 +22,15 @@ from repro.http.registry import TransportRegistry
 #: resubmissions). Idempotent methods never need it.
 IDEMPOTENCY_KEY_HEADER = "Idempotency-Key"
 
+#: Header reporting how the platform resolved a submission against the
+#: content-addressed result cache: ``hit`` (served a completed job),
+#: ``coalesced`` (attached to an identical in-flight job) or ``miss``.
+X_CACHE_HEADER = "X-Cache"
+
+#: Conditional-GET headers used by polling clients (RFC 9110 §13).
+ETAG_HEADER = "ETag"
+IF_NONE_MATCH_HEADER = "If-None-Match"
+
 #: Methods that may be retried without an idempotency key.
 _IDEMPOTENT_METHODS = frozenset({"GET", "HEAD", "PUT", "DELETE"})
 
@@ -173,6 +182,28 @@ class RestClient:
     def delete(self, path: str = "") -> Any:
         return self.request_json("DELETE", path)
 
+    def get_conditional(
+        self,
+        path: str = "",
+        etag: "str | None" = None,
+        query: Mapping[str, Any] | None = None,
+    ) -> "tuple[Any, str | None, bool]":
+        """A conditional JSON GET: ``(body, etag, not_modified)``.
+
+        With ``etag`` the request carries ``If-None-Match``; a ``304``
+        answer returns ``(None, etag, True)`` and the caller keeps its
+        cached representation. Poll loops use this to stop re-shipping
+        identical job documents on every tick.
+        """
+        headers: dict[str, str] = {}
+        if etag:
+            headers[IF_NONE_MATCH_HEADER] = etag
+        response = self.request_raw("GET", path, query=query, headers=headers)
+        fresh_etag = response.headers.get(ETAG_HEADER) or etag
+        if response.status == 304:
+            return None, fresh_etag, True
+        return self._decode(response, self.url(path, query)), fresh_etag, False
+
     def get_bytes(self, path: str, headers: Mapping[str, str] | None = None) -> bytes:
         """Fetch a binary resource (file contents); raises on error statuses."""
         response = self.request_raw("GET", path, headers=headers)
@@ -182,6 +213,10 @@ class RestClient:
 
     @staticmethod
     def _decode(response: Response, url: str) -> Any:
+        if response.status == 304:
+            # Not Modified carries no body by design; conditional callers
+            # (JobHandle polls) reuse their cached representation
+            return None
         if response.ok:
             if not response.body:
                 return None

@@ -57,13 +57,19 @@ class Headers:
 
     def __init__(self, items: Mapping[str, str] | None = None):
         self._items: list[tuple[str, str]] = []
+        # lowercased-name → values index; every lookup is one dict hit
+        # instead of a scan over the item list (which is kept for
+        # serialization order and original casing)
+        self._index: dict[str, list[str]] = {}
         if items:
             for name, value in items.items():
                 self.add(name, value)
 
     def add(self, name: str, value: str) -> None:
         """Append a header, keeping any existing values for ``name``."""
-        self._items.append((name, str(value)))
+        value = str(value)
+        self._items.append((name, value))
+        self._index.setdefault(name.lower(), []).append(value)
 
     def set(self, name: str, value: str) -> None:
         """Replace all values of ``name`` with a single ``value``."""
@@ -73,26 +79,23 @@ class Headers:
     def remove(self, name: str) -> None:
         """Drop every value of ``name`` (no error if absent)."""
         lowered = name.lower()
-        self._items = [(n, v) for n, v in self._items if n.lower() != lowered]
+        if self._index.pop(lowered, None) is not None:
+            self._items = [(n, v) for n, v in self._items if n.lower() != lowered]
 
     def get(self, name: str, default: str | None = None) -> str | None:
         """Return the first value of ``name``, or ``default``."""
-        lowered = name.lower()
-        for item_name, value in self._items:
-            if item_name.lower() == lowered:
-                return value
-        return default
+        values = self._index.get(name.lower())
+        return values[0] if values else default
 
     def get_all(self, name: str) -> list[str]:
         """Return every value of ``name`` in insertion order."""
-        lowered = name.lower()
-        return [v for n, v in self._items if n.lower() == lowered]
+        return list(self._index.get(name.lower(), ()))
 
     def items(self) -> Iterator[tuple[str, str]]:
         return iter(self._items)
 
     def __contains__(self, name: object) -> bool:
-        return isinstance(name, str) and self.get(name) is not None
+        return isinstance(name, str) and name.lower() in self._index
 
     def __len__(self) -> int:
         return len(self._items)
@@ -103,6 +106,7 @@ class Headers:
     def copy(self) -> "Headers":
         clone = Headers()
         clone._items = list(self._items)
+        clone._index = {name: list(values) for name, values in self._index.items()}
         return clone
 
 

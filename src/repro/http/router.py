@@ -70,6 +70,10 @@ class Router:
 
     def __init__(self) -> None:
         self._routes: list[Route] = []
+        # dispatch indexes, maintained by _reindex: variable-free templates
+        # resolve with one dict lookup; only templated routes are scanned
+        self._static: dict[str, dict[str, Route]] = {}
+        self._dynamic: list[Route] = []
 
     def add(self, method: str, template: str, handler: Handler) -> None:
         """Register ``handler`` for ``method`` requests matching ``template``."""
@@ -78,6 +82,7 @@ class Router:
             if existing.method == route.method and existing.template == template:
                 raise ValueError(f"route already registered: {method} {template}")
         self._routes.append(route)
+        self._index(route)
 
     def remove_prefix(self, prefix: str) -> int:
         """Drop every route whose template starts with ``prefix``.
@@ -87,7 +92,17 @@ class Router:
         """
         before = len(self._routes)
         self._routes = [r for r in self._routes if not r.template.startswith(prefix)]
+        self._static = {}
+        self._dynamic = []
+        for route in self._routes:
+            self._index(route)
         return before - len(self._routes)
+
+    def _index(self, route: Route) -> None:
+        if _VARIABLE.search(route.template) is None:
+            self._static.setdefault(route.template, {})[route.method] = route
+        else:
+            self._dynamic.append(route)
 
     def resolve(self, method: str, path: str) -> tuple[Handler, dict[str, str]]:
         """Find the handler and path variables for a request.
@@ -96,8 +111,13 @@ class Router:
         405 when a template matches but not with this method.
         """
         method = method.upper()
-        allowed: set[str] = set()
-        for route in self._routes:
+        by_method = self._static.get(path)
+        if by_method is not None:
+            route = by_method.get(method)
+            if route is not None:
+                return route.handler, {}
+        allowed: set[str] = set(by_method or ())
+        for route in self._dynamic:
             match = route.pattern.match(path)
             if match is None:
                 continue

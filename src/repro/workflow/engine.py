@@ -16,6 +16,7 @@ from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
 from enum import Enum
 from typing import Any, Callable, Mapping
 
+from repro.cache import canonical_json
 from repro.client.client import JobFailedError, ServiceProxy
 from repro.http.client import ClientError
 from repro.http.registry import TransportRegistry
@@ -135,6 +136,18 @@ class WorkflowEngine:
         return run.execute()
 
 
+class _MemoEntry:
+    """One sweep-wide single-flight slot: the leader's outcome, awaited by
+    follower blocks with the same (service URI, canonical inputs)."""
+
+    __slots__ = ("event", "ok", "results")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.ok = False
+        self.results: dict[str, Any] = {}
+
+
 class _Run:
     """State of one workflow execution."""
 
@@ -163,6 +176,11 @@ class _Run:
         }
         self.errors: dict[str, str] = {}
         self._lock = threading.Lock()
+        # sweep-wide submission dedup: parameter sweeps routinely contain
+        # several service blocks with identical URI + inputs; only one of
+        # them actually POSTs, the rest adopt its results
+        self._memo: dict[tuple[str, str], _MemoEntry] = {}
+        self._memo_lock = threading.Lock()
 
     # ----------------------------------------------------------- lifecycle
 
@@ -289,6 +307,40 @@ class _Run:
         raise TypeError(f"engine cannot execute block kind {block.kind!r}")
 
     def _run_service(self, block: ServiceBlock) -> dict[str, Any]:
+        inputs = self._block_inputs(block)
+        try:
+            memo_key = (block.uri, canonical_json(inputs))
+        except (TypeError, ValueError):
+            # non-JSON input values cannot be canonicalized: no dedup
+            return self._submit_service(block, inputs)
+        while True:
+            with self._memo_lock:
+                entry = self._memo.get(memo_key)
+                leader = entry is None
+                if leader:
+                    entry = self._memo[memo_key] = _MemoEntry()
+            if leader:
+                try:
+                    entry.results = self._submit_service(block, inputs)
+                    entry.ok = True
+                except BaseException:
+                    # drop the slot so a waiting duplicate retries as the
+                    # new leader (one block's transient failure must not
+                    # condemn its twins), then wake the waiters
+                    with self._memo_lock:
+                        self._memo.pop(memo_key, None)
+                    entry.event.set()
+                    raise
+                entry.event.set()
+                return dict(entry.results)
+            while not entry.event.wait(0.05):
+                if self.cancel_event.is_set():
+                    raise WorkflowCancelled(f"block {block.id!r} cancelled")
+            if entry.ok:
+                return dict(entry.results)
+            # the leader failed; re-resolve (this block may now lead)
+
+    def _submit_service(self, block: ServiceBlock, inputs: dict[str, Any]) -> dict[str, Any]:
         # idempotent submits: a fresh Idempotency-Key per submission lets a
         # gateway replay the POST across replicas on connection failures;
         # the block's retry budget bounds client-level Retry-After waits
@@ -299,7 +351,6 @@ class _Run:
             idempotent_submits=True,
             retry_after_cap=block.retry_budget,
         )
-        inputs = self._block_inputs(block)
         resubmits_left = max(0, self.engine.resubmit_lost)
         transient_left = max(0, block.retries)
         backoff = 0.05

@@ -1,0 +1,290 @@
+"""End-to-end result-cache behaviour through the container REST API."""
+
+import json
+import threading
+
+import pytest
+
+from repro.cache import ResultCache, job_fingerprint
+from repro.client.client import ServiceProxy
+from repro.container import ServiceContainer
+from repro.http.client import RestClient
+from repro.http.registry import TransportRegistry
+
+from tests.container.conftest import add_service_config, wait_done
+
+
+@pytest.fixture()
+def registry():
+    return TransportRegistry()
+
+
+@pytest.fixture()
+def container(registry):
+    instance = ServiceContainer("cache-test", handlers=4, registry=registry, cache=True)
+    yield instance
+    instance.shutdown()
+
+
+@pytest.fixture()
+def client(registry):
+    return RestClient(registry)
+
+
+def post(client, uri, payload, headers=None):
+    merged = {"Content-Type": "application/json"}
+    merged.update(headers or {})
+    return client.request_raw("POST", uri, body=json.dumps(payload).encode(), headers=merged)
+
+
+class TestCacheHits:
+    def test_identical_submit_serves_cached_job(self, container, client):
+        container.deploy(add_service_config())
+        uri = container.service_uri("add")
+        first = post(client, uri, {"a": 1, "b": 2})
+        assert first.status == 201
+        assert first.headers.get("X-Cache") == "miss"
+        doc = json.loads(first.body)
+        wait_done(client, doc["uri"])
+        second = post(client, uri, {"b": 2, "a": 1})  # key order must not matter
+        assert second.headers.get("X-Cache") == "hit"
+        assert json.loads(second.body)["id"] == doc["id"]
+        assert json.loads(second.body)["state"] == "DONE"
+        assert container.cache.stats.hits == 1
+
+    def test_different_inputs_create_distinct_jobs(self, container, client):
+        container.deploy(add_service_config())
+        uri = container.service_uri("add")
+        first = json.loads(post(client, uri, {"a": 1, "b": 2}).body)
+        second = json.loads(post(client, uri, {"a": 1, "b": 3}).body)
+        assert first["id"] != second["id"]
+
+    def test_concurrent_identical_submits_coalesce(self, container, client):
+        gate = threading.Event()
+
+        def slow(a, b):
+            gate.wait(10)
+            return {"sum": a + b}
+
+        container.deploy(add_service_config(config={"callable": slow}))
+        uri = container.service_uri("add")
+        leader = json.loads(post(client, uri, {"a": 5, "b": 5}).body)
+        follower = post(client, uri, {"a": 5, "b": 5})
+        assert follower.headers.get("X-Cache") == "coalesced"
+        assert json.loads(follower.body)["id"] == leader["id"]
+        gate.set()
+        assert wait_done(client, leader["uri"])["state"] == "DONE"
+        assert container.cache.stats.coalesced == 1
+
+    def test_failed_job_not_served_from_cache(self, container, client):
+        def broken(a, b):
+            raise RuntimeError("no")
+
+        container.deploy(add_service_config(config={"callable": broken}))
+        uri = container.service_uri("add")
+        first = json.loads(post(client, uri, {"a": 1, "b": 2}).body)
+        assert wait_done(client, first["uri"])["state"] == "FAILED"
+        second = post(client, uri, {"a": 1, "b": 2})
+        assert second.headers.get("X-Cache") == "miss"
+        assert json.loads(second.body)["id"] != first["id"]
+
+    def test_request_id_tells_who_computed_vs_reused(self, container, client):
+        container.deploy(add_service_config())
+        uri = container.service_uri("add")
+        first = post(client, uri, {"a": 7, "b": 7}, headers={"X-Request-Id": "req-compute"})
+        doc = json.loads(first.body)
+        wait_done(client, doc["uri"])
+        second = post(client, uri, {"a": 7, "b": 7}, headers={"X-Request-Id": "req-reuse"})
+        # the response is correlated to the *reusing* request, while the
+        # job document still names the request that computed it
+        assert second.headers.get("X-Request-Id") == "req-reuse"
+        assert second.headers.get("X-Cache") == "hit"
+        assert json.loads(second.body)["id"] == doc["id"]
+
+
+class TestOptOut:
+    def test_cache_disabled_by_default(self, registry, client):
+        plain = ServiceContainer("plain-test", registry=registry)
+        try:
+            plain.deploy(add_service_config())
+            uri = plain.service_uri("add")
+            first = post(client, uri, {"a": 1, "b": 2})
+            assert first.headers.get("X-Cache") is None
+            second = post(client, uri, {"a": 1, "b": 2})
+            assert json.loads(first.body)["id"] != json.loads(second.body)["id"]
+        finally:
+            plain.shutdown()
+
+    def test_nondeterministic_service_opts_out(self, container, client):
+        container.deploy(
+            add_service_config(
+                config={"callable": lambda a, b: {"sum": a + b}, "deterministic": False}
+            )
+        )
+        uri = container.service_uri("add")
+        first = post(client, uri, {"a": 1, "b": 2})
+        assert first.headers.get("X-Cache") is None
+        wait_done(client, json.loads(first.body)["uri"])
+        second = post(client, uri, {"a": 1, "b": 2})
+        assert second.headers.get("X-Cache") is None
+        assert json.loads(first.body)["id"] != json.loads(second.body)["id"]
+
+
+class TestDeletionCoherence:
+    def test_deleted_job_never_served(self, container, client):
+        container.deploy(add_service_config())
+        uri = container.service_uri("add")
+        first = json.loads(post(client, uri, {"a": 2, "b": 2}).body)
+        wait_done(client, first["uri"])
+        client.delete(first["uri"])
+        second = post(client, uri, {"a": 2, "b": 2})
+        assert second.headers.get("X-Cache") == "miss"
+        assert json.loads(second.body)["id"] != first["id"]
+
+
+class TestShutdown:
+    def test_shutdown_fails_pending_claimants(self, registry, client):
+        cache = ResultCache(pending_timeout=20.0)
+        instance = ServiceContainer("shutdown-test", registry=registry, cache=cache)
+        instance.deploy(add_service_config())
+        uri = instance.service_uri("add")
+        # own the fingerprint the submit below will compute, so the submit
+        # parks as a pending claimant
+        fingerprint = job_fingerprint("add", {"a": 9, "b": 9})
+        assert cache.claim(fingerprint) == ("miss", None)
+        statuses = []
+
+        def submitter():
+            statuses.append(post(client, uri, {"a": 9, "b": 9}).status)
+
+        thread = threading.Thread(target=submitter)
+        thread.start()
+        for _ in range(200):
+            if cache.pending_count > 1 or thread.is_alive():
+                break
+        instance.shutdown(wait=False)
+        thread.join(timeout=10)
+        assert statuses and statuses[0] >= 500  # failed, not hung
+
+
+class TestDurability:
+    def test_cache_rehydrates_after_cold_restart(self, registry, client, tmp_path):
+        first = ServiceContainer(
+            "durable-cache", registry=registry, journal_dir=tmp_path, cache=True
+        )
+        first.deploy(add_service_config())
+        uri = first.service_uri("add")
+        original = json.loads(post(client, uri, {"a": 3, "b": 4}).body)
+        wait_done(client, original["uri"])
+        first.crash()
+        second = ServiceContainer(
+            "durable-cache", registry=registry, journal_dir=tmp_path, cache=True
+        )
+        try:
+            second.deploy(add_service_config())
+            replay = post(client, uri, {"a": 3, "b": 4})
+            assert replay.headers.get("X-Cache") == "hit"
+            assert json.loads(replay.body)["id"] == original["id"]
+            assert json.loads(replay.body)["results"] == {"sum": 7}
+        finally:
+            second.shutdown()
+
+    def test_rehydration_respects_deletion(self, registry, client, tmp_path):
+        first = ServiceContainer(
+            "durable-cache", registry=registry, journal_dir=tmp_path, cache=True
+        )
+        first.deploy(add_service_config())
+        uri = first.service_uri("add")
+        original = json.loads(post(client, uri, {"a": 3, "b": 4}).body)
+        wait_done(client, original["uri"])
+        client.delete(original["uri"])
+        first.crash()
+        second = ServiceContainer(
+            "durable-cache", registry=registry, journal_dir=tmp_path, cache=True
+        )
+        try:
+            second.deploy(add_service_config())
+            replay = post(client, uri, {"a": 3, "b": 4})
+            assert replay.headers.get("X-Cache") == "miss"
+            assert json.loads(replay.body)["id"] != original["id"]
+        finally:
+            second.shutdown()
+
+    def test_compaction_snapshots_cache_entries(self, registry, client, tmp_path):
+        first = ServiceContainer(
+            "durable-cache", registry=registry, journal_dir=tmp_path, cache=True
+        )
+        first.deploy(add_service_config())
+        uri = first.service_uri("add")
+        original = json.loads(post(client, uri, {"a": 8, "b": 8}).body)
+        wait_done(client, original["uri"])
+        first.compact()
+        first.crash()
+        second = ServiceContainer(
+            "durable-cache", registry=registry, journal_dir=tmp_path, cache=True
+        )
+        try:
+            second.deploy(add_service_config())
+            replay = post(client, uri, {"a": 8, "b": 8})
+            assert replay.headers.get("X-Cache") == "hit"
+            assert json.loads(replay.body)["id"] == original["id"]
+        finally:
+            second.shutdown()
+
+
+class TestConditionalGet:
+    def test_get_job_returns_etag_and_304(self, container, client):
+        container.deploy(add_service_config())
+        uri = container.service_uri("add")
+        doc = json.loads(post(client, uri, {"a": 1, "b": 1}).body)
+        wait_done(client, doc["uri"])
+        first = client.request_raw("GET", doc["uri"])
+        etag = first.headers.get("ETag")
+        assert etag
+        second = client.request_raw("GET", doc["uri"], headers={"If-None-Match": etag})
+        assert second.status == 304
+        assert second.body == b""
+        assert second.headers.get("ETag") == etag
+
+    def test_etag_changes_with_state(self, container, client):
+        gate = threading.Event()
+
+        def slow(a, b):
+            gate.wait(10)
+            return {"sum": a + b}
+
+        container.deploy(add_service_config(config={"callable": slow}))
+        doc = json.loads(post(client, container.service_uri("add"), {"a": 1, "b": 1}).body)
+        running = client.request_raw("GET", doc["uri"])
+        gate.set()
+        wait_done(client, doc["uri"])
+        done = client.request_raw(
+            "GET", doc["uri"], headers={"If-None-Match": running.headers.get("ETag")}
+        )
+        assert done.status == 200  # representation changed: full body again
+        assert done.headers.get("ETag") != running.headers.get("ETag")
+
+    def test_304_over_tcp(self, container, tmp_path):
+        container.deploy(add_service_config())
+        server = container.serve()
+        client = RestClient(container.registry)
+        doc = json.loads(post(client, container.service_uri("add"), {"a": 2, "b": 3}).body)
+        wait_done(client, doc["uri"])
+        first = client.request_raw("GET", doc["uri"])
+        assert doc["uri"].startswith("http://")
+        second = client.request_raw(
+            "GET", doc["uri"], headers={"If-None-Match": first.headers.get("ETag")}
+        )
+        assert second.status == 304
+        assert second.body == b""
+
+    def test_jobhandle_polls_conditionally(self, container, registry):
+        container.deploy(add_service_config())
+        proxy = ServiceProxy(container.service_uri("add"), registry)
+        handle = proxy.submit(a=4, b=4)
+        handle.wait(timeout=10)
+        first = handle.refresh()
+        second = handle.refresh()
+        # the second refresh came back 304: the cached dict is reused as-is
+        assert second is first
+        assert second["state"] == "DONE"

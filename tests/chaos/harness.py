@@ -35,9 +35,11 @@ import json
 import os
 import shutil
 import tempfile
+import threading
 import time
 from collections import Counter
 
+from repro.cache import ResultCache
 from repro.container import ServiceContainer
 from repro.faults import CrashController, FaultInjectingTransport, FaultPlan, WorkerStallHook
 from repro.gateway import ServiceGateway
@@ -97,6 +99,7 @@ class GatewayChaosCell:
         crashes: bool = False,
         cold: bool = False,
         worker_stalls: bool = False,
+        policy: str = "round-robin",
     ):
         self.seed = seed
         self.nodeid = nodeid
@@ -125,6 +128,7 @@ class GatewayChaosCell:
             registry=self.registry,
             name=f"cx{self.sequence}gw",
             replicas=replica_set,
+            policy=policy,
             max_attempts=4,
         )
         for container in self.containers:
@@ -161,9 +165,20 @@ class GatewayChaosCell:
             handlers=self.handlers,
             registry=self.registry,
             journal_dir=journal_dir,
+            **self._container_options(),
         )
-        container.deploy(_WORK)
+        container.deploy(self._service_config(index))
         return container
+
+    def _container_options(self) -> dict:
+        """Extra :class:`ServiceContainer` keyword arguments (cell variants
+        override — e.g. the cache cell attaches a result cache)."""
+        return {}
+
+    def _service_config(self, index: int) -> dict:
+        """The service deployed on replica ``index`` (called again for the
+        fresh container of a cold restart)."""
+        return _WORK
 
     def _register_crash(self, index: int) -> None:
         """Register replica ``index`` on the crash controller.
@@ -391,6 +406,279 @@ def run_gateway_chaos(
 ) -> None:
     """The standard chaos exercise: workload under faults, settle, verify."""
     cell = GatewayChaosCell(seed, scenario_fn, nodeid=nodeid, **cell_options)
+    try:
+        cell.run_workload(ops=ops)
+        cell.settle()
+        cell.verify()
+    finally:
+        cell.shutdown()
+
+
+class ExecutionTracker:
+    """Counts overlapping executions per key from inside service callables."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._active: Counter = Counter()
+        self.peaks: Counter = Counter()
+        self.totals: Counter = Counter()
+
+    def enter(self, key) -> None:
+        with self._lock:
+            self._active[key] += 1
+            self.totals[key] += 1
+            if self._active[key] > self.peaks[key]:
+                self.peaks[key] = self._active[key]
+
+    def exit(self, key) -> None:
+        with self._lock:
+            self._active[key] -= 1
+
+
+class CacheChaosCell(GatewayChaosCell):
+    """A chaos cell whose replicas run with the result cache enabled.
+
+    The workload hammers a *small* payload space with keyless POSTs, so
+    content-addressed reuse (hits and single-flight coalescing) is the
+    only thing standing between the cell and duplicate executions. On
+    top of the usual sweep it checks the cache's own invariants:
+
+    - **no fingerprint executes twice concurrently** within one container
+      incarnation — the deployed callable counts overlapping entries per
+      ``(incarnation, inputs)`` key (a cold restart starts a new
+      incarnation: threads of the dying pool cannot be preempted, so the
+      guarantee is scoped to each cache's lifetime, which is exactly
+      what the store promises);
+    - **a cache hit never serves a deleted or failed job** — every
+      ``X-Cache: hit`` answer must name a ``DONE`` job, and no answer
+      (during the run or after settling, including after cold-restart
+      rehydration) may name a job the workload successfully deleted;
+    - **the settled cell reuses** — resubmitting any successful payload
+      after settle is answered from cache (hit or coalesced) with the
+      original job id, while payloads that always fail are never served
+      as hits.
+
+    Routing is consistent-hash over the submit fingerprint, so identical
+    payloads land on the same replica whenever it is up — that is what
+    makes warm reuse deterministic enough to assert on.
+    """
+
+    #: Size of the payload space: small enough that duplicates dominate.
+    DISTINCT = 6
+    #: Markers whose executions always raise (failures must never cache).
+    FAIL_MARKERS = frozenset({4})
+
+    def __init__(self, seed: int, scenario_fn, nodeid: str = "", **options):
+        self.tracker = ExecutionTracker()
+        self._incarnations: Counter = Counter()
+        #: ids whose DELETE was acknowledged (204): must never be seen again
+        self.deleted_ids: set[str] = set()
+        #: ids whose DELETE got an ambiguous answer: may or may not be gone
+        self.delete_ambiguous: set[str] = set()
+        # marker → acknowledged job documents (one per 201, duplicates fine)
+        self.submitted: dict[int, list[dict]] = {}
+        options.setdefault("policy", "consistent-hash")
+        super().__init__(seed, scenario_fn, nodeid=nodeid, **options)
+
+    def _container_options(self) -> dict:
+        return {"cache": ResultCache(capacity=256, ttl=600.0, pending_timeout=5.0)}
+
+    def _service_config(self, index: int) -> dict:
+        incarnation = self._incarnations[index]
+        self._incarnations[index] += 1
+        node = f"{self.prefix}{index}#{incarnation}"
+        tracker = self.tracker
+        fail_markers = self.FAIL_MARKERS
+
+        def work(a, b):
+            key = (node, a, b)
+            tracker.enter(key)
+            try:
+                time.sleep(0.002)  # widen the race window the cache must close
+                if a in fail_markers:
+                    raise RuntimeError(f"marker {a} always fails")
+                return {"sum": a + b}
+            finally:
+                tracker.exit(key)
+
+        config = dict(_WORK)
+        config["config"] = {"callable": work}
+        return config
+
+    # -------------------------------------------------------------- workload
+
+    def run_workload(self, ops: int = 12) -> None:
+        chooser = self.plan.stream("workload")
+        for _ in range(ops):
+            if self.crash is not None:
+                self.crash.step()
+            roll = chooser.random()
+            acked = [doc for docs in self.submitted.values() for doc in docs]
+            if roll < 0.6 or not acked:
+                self.cache_submit_op(chooser.randrange(self.DISTINCT))
+            elif roll < 0.85:
+                self.cache_poll_op(chooser.choice(acked))
+            else:
+                self.cache_delete_op(chooser)
+
+    def cache_submit_op(self, marker: int) -> None:
+        response = self._post_plain(marker)
+        if response.status == 201:
+            doc = response.json_body
+            self.check(
+                doc["id"] not in self.deleted_ids,
+                f"submit for marker {marker} was answered with deleted job {doc['id']}",
+            )
+            if response.headers.get("X-Cache") == "hit":
+                self.check(
+                    doc["state"] == "DONE",
+                    f"cache hit served job {doc['id']} in state {doc['state']}",
+                )
+            self.submitted.setdefault(marker, []).append(doc)
+        elif response.status in (429, 503):
+            self.check(
+                response.headers.get("Retry-After") is not None,
+                f"{response.status} for POST marker {marker} lacks Retry-After",
+            )
+        elif response.status != 502:
+            # 502 is legal here: a keyless POST over a connection that died
+            # mid-request is ambiguous and the gateway refuses to retry it
+            self.fail(f"POST for marker {marker} answered unexpected {response.status}")
+
+    def cache_poll_op(self, doc: dict) -> None:
+        response = self.client.request_raw("GET", doc["uri"])
+        if response.status == 200:
+            self.check(
+                doc["id"] not in self.deleted_ids,
+                f"deleted job {doc['id']} still answers 200",
+            )
+        elif response.status == 404:
+            self.check(
+                doc["id"] in self.deleted_ids or doc["id"] in self.delete_ambiguous,
+                f"acknowledged job {doc['uri']} vanished (404)",
+            )
+            self.deleted_ids.add(doc["id"])  # 404 confirms the delete landed
+        elif response.status in (429, 503):
+            self.check(
+                response.headers.get("Retry-After") is not None,
+                f"{response.status} for GET {doc['uri']} lacks Retry-After",
+            )
+        elif response.status != 502:
+            self.fail(f"GET {doc['uri']} answered unexpected {response.status}")
+
+    def cache_delete_op(self, chooser) -> None:
+        """Delete one DONE job; later answers must never name it again."""
+        candidates = [
+            doc
+            for docs in self.submitted.values()
+            for doc in docs
+            if doc["id"] not in self.deleted_ids
+        ]
+        if not candidates:
+            return
+        doc = chooser.choice(candidates)
+        probe = self.client.request_raw("GET", doc["uri"])
+        if probe.status != 200 or probe.json_body["state"] != "DONE":
+            return  # only delete settled data, mirroring a client cleanup
+        response = self.client.request_raw("DELETE", doc["uri"])
+        if response.status == 204:
+            self.deleted_ids.add(doc["id"])
+        elif response.status == 404:
+            self.deleted_ids.add(doc["id"])  # already gone: equally confirmed
+        else:
+            # a dropped/rejected DELETE may still have executed on the
+            # replica before the answer was lost — ambiguous, not failed
+            self.delete_ambiguous.add(doc["id"])
+
+    def _post_plain(self, marker: int):
+        body = json.dumps({"a": marker, "b": 1}).encode()
+        return self.client.request_raw(
+            "POST", self.service_uri, body=body, headers={"Content-Type": "application/json"}
+        )
+
+    # ---------------------------------------------------------------- settle
+
+    def settle(self, deadline: float = 10.0) -> None:
+        self.plan.deactivate()
+        if self.crash is not None:
+            self.crash.restore_all()
+        self.gateway.replicas.check_now()
+        for docs in self.submitted.values():
+            for doc in docs:
+                if doc["id"] in self.deleted_ids or doc["id"] in self.delete_ambiguous:
+                    continue
+                self._await_terminal(doc["uri"], deadline)
+
+    # ------------------------------------------------------------ invariants
+
+    def verify(self) -> None:
+        for key, peak in sorted(self.tracker.peaks.items()):
+            self.check(
+                peak <= 1,
+                f"fingerprint {key} executed {peak} times concurrently",
+            )
+        for replica in self.gateway.replicas.replicas():
+            self.check(
+                replica.in_flight == 0,
+                f"replica {replica.id} in-flight gauge stuck at {replica.in_flight}",
+            )
+        self.verify_warm_reuse()
+        # the gateway saw the replicas' X-Cache answers: at least the warm
+        # reuse sweep above must have registered
+        counts = self.gateway.cache_stats
+        self.check(counts["miss"] >= 1, f"gateway cache counters never moved: {counts}")
+        self.check(
+            counts["hit"] + counts["coalesced"] >= 1,
+            f"settled cell never reused a result: {counts}",
+        )
+
+    def verify_warm_reuse(self, deadline: float = 10.0) -> None:
+        """On the healed cell every successful payload is served from cache."""
+        for marker in range(self.DISTINCT):
+            first = self._settled_submit(marker, deadline)
+            self._await_terminal(first.json_body["uri"], deadline)
+            second = self._settled_submit(marker, deadline)
+            if marker in self.FAIL_MARKERS:
+                self.check(
+                    second.headers.get("X-Cache") != "hit",
+                    f"always-failing marker {marker} was served as a cache hit",
+                )
+            else:
+                self.check(
+                    second.headers.get("X-Cache") in ("hit", "coalesced"),
+                    f"settled resubmit of marker {marker} was not reused "
+                    f"(X-Cache: {second.headers.get('X-Cache')})",
+                )
+                self.check(
+                    second.json_body["id"] == first.json_body["id"],
+                    f"settled resubmit of marker {marker} bound to "
+                    f"{second.json_body['id']} (want {first.json_body['id']})",
+                )
+
+    def _settled_submit(self, marker: int, deadline: float):
+        limit = time.monotonic() + deadline
+        while time.monotonic() < limit:
+            response = self._post_plain(marker)
+            if response.status == 201:
+                self.check(
+                    response.json_body["id"] not in self.deleted_ids,
+                    f"settled submit for marker {marker} served deleted job "
+                    f"{response.json_body['id']}",
+                )
+                return response
+            time.sleep(0.02)
+        self.fail(f"settled submit for marker {marker} never got a 201")
+
+
+def run_cache_chaos(
+    seed: int,
+    scenario_fn,
+    nodeid: str,
+    ops: int = 12,
+    **cell_options,
+) -> None:
+    """The cache chaos exercise: duplicate-heavy workload, settle, verify."""
+    cell = CacheChaosCell(seed, scenario_fn, nodeid=nodeid, **cell_options)
     try:
         cell.run_workload(ops=ops)
         cell.settle()

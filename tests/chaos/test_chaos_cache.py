@@ -1,0 +1,66 @@
+"""Seeded chaos for the result cache: reuse correctness under faults.
+
+The :class:`~tests.chaos.harness.CacheChaosCell` hammers a six-payload
+space with keyless POSTs through a consistent-hash gateway, so identical
+submissions race each other constantly while the fault plan drops
+requests and kills replicas. The invariants that must survive any
+schedule (ISSUE 5):
+
+- **no fingerprint executes twice concurrently** within one container
+  incarnation — the instrumented callable counts overlapping entries,
+  so a single-flight leak shows up as a peak above 1;
+- **a cache hit never serves a deleted or failed job** — ``X-Cache:
+  hit`` answers always name a ``DONE`` job, and no answer ever names a
+  successfully deleted one, including after cold-restart rehydration;
+- **the settled cell reuses** — once faults lift, resubmitting every
+  successful payload is answered from cache with the original job id,
+  and always-failing payloads are never served as hits.
+
+Three matrices: transport faults only, warm crash-restarts, and cold
+restarts over the journal (rehydration racing recovery). A failing seed
+prints a one-line repro command.
+"""
+
+import pytest
+
+from repro.faults import Scenario
+from tests.chaos.harness import chaos_seeds, run_cache_chaos
+
+
+def transport_scenarios(target: str) -> list:
+    return [
+        Scenario("drop", 0.10, target=target),
+        Scenario("connect-refused", 0.08, target=target),
+        Scenario("delay", 0.15, target=target, delay=0.0, jitter=0.01),
+    ]
+
+
+def crash_scenarios(target: str) -> list:
+    return [
+        Scenario("crash-restart", 0.15, duration=2),
+        Scenario("drop", 0.06, target=target),
+    ]
+
+
+def cold_scenarios(target: str) -> list:
+    return [
+        Scenario("cold-restart", 0.15, duration=2),
+        Scenario("drop", 0.05, target=target),
+    ]
+
+
+@pytest.mark.parametrize("seed", chaos_seeds(128, base=6000))
+def test_cache_under_transport_faults(seed, request):
+    run_cache_chaos(seed, transport_scenarios, request.node.nodeid, ops=12)
+
+
+@pytest.mark.parametrize("seed", chaos_seeds(96, base=6500))
+def test_cache_under_crash_restarts(seed, request):
+    run_cache_chaos(
+        seed, crash_scenarios, request.node.nodeid, crashes=True, ops=12
+    )
+
+
+@pytest.mark.parametrize("seed", chaos_seeds(96, base=7000))
+def test_cache_under_cold_restarts(seed, request):
+    run_cache_chaos(seed, cold_scenarios, request.node.nodeid, cold=True, ops=10)
