@@ -38,8 +38,8 @@ class CatalogueService:
         """Expose in process on the catalogue's own registry."""
         return self.catalogue.registry.bind_local(authority, self.app)
 
-    def serve(self, host: str = "127.0.0.1", port: int = 0) -> RestServer:
-        return RestServer(self.app, host=host, port=port).start()
+    def serve(self, host: str = "127.0.0.1", port: int = 0, **server_options: object) -> RestServer:
+        return RestServer(self.app, host=host, port=port, **server_options).start()
 
     # ------------------------------------------------------------- handlers
 

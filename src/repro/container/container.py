@@ -98,11 +98,15 @@ class ServiceContainer:
     def service_uri(self, name: str) -> str:
         return f"{self.base_uri}/services/{name}"
 
-    def serve(self, host: str = "127.0.0.1", port: int = 0) -> RestServer:
-        """Expose the container over TCP; returns the running server."""
+    def serve(self, host: str = "127.0.0.1", port: int = 0, **server_options: object) -> RestServer:
+        """Expose the container over TCP; returns the running server.
+
+        Extra keyword arguments (``server_impl``, ``idle_timeout``,
+        ``max_body_bytes``, …) are forwarded to :class:`RestServer`.
+        """
         if self._server is not None:
             raise RuntimeError("container is already serving")
-        self._server = RestServer(self.app, host=host, port=port).start()
+        self._server = RestServer(self.app, host=host, port=port, **server_options).start()
         return self._server
 
     def shutdown(self, wait: bool = True) -> None:

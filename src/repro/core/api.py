@@ -26,7 +26,7 @@ from typing import Any, Callable, Protocol
 from repro.core.errors import ServiceError
 from repro.core.files import FileEntry
 from repro.core.jobs import Job
-from repro.http.app import RestApp
+from repro.http.app import DEFER_CAPABILITY, RestApp
 from repro.http.client import IDEMPOTENCY_KEY_HEADER, X_CACHE_HEADER
 from repro.http.messages import HttpError, Request, Response
 
@@ -262,30 +262,49 @@ def mount_service(
     def get_job(request: Request, job_id: str) -> Response:
         """Job status; ``?wait=<seconds>`` turns the GET into a long-poll.
 
-        The handler blocks on the job's condition variable until the first
+        On a blocking transport (threaded server, local transport) the
+        handler blocks on the job's condition variable until the first
         terminal transition (answering in the same round-trip) or until
-        the wait expires (answering with the current representation) —
-        identical over both transports, since each runs handlers on a
-        thread that may block.
+        the wait expires (answering with the current representation). On
+        the event-loop server the same wait costs no thread: the handler
+        raises the transport's deferral, parking the connection on the
+        job's transition observers, and the representation is rendered
+        when the job settles or the wait expires. The wire behaviour is
+        identical either way.
         """
         try:
             job = backend.get_job(job_id)
         except ServiceError as error:
             raise _to_http_error(error) from error
+
+        def render() -> Response:
+            representation = job.representation(uri=job_uri(_advertised(), job_id))
+            etag = representation_etag(representation)
+            if_none_match = request.headers.get("If-None-Match")
+            if if_none_match and etag_matches(if_none_match, etag):
+                # the poller already holds this exact representation: spare
+                # the body (304s answer identically over every transport)
+                response = Response(status=304, body=b"")
+            else:
+                response = Response.json(representation)
+            response.headers.set("ETag", etag)
+            return response
+
         wait_seconds = parse_wait(request.query.get("wait"))
-        if wait_seconds > 0:
+        if wait_seconds > 0 and not job.state.terminal:
+            deferral = request.context.get(DEFER_CAPABILITY)
+            if deferral is not None:
+
+                def park(resume: Callable[[], None]) -> None:
+                    # fires immediately (on this thread) if the job went
+                    # terminal since the check above — resume is idempotent
+                    job.subscribe(
+                        lambda _job, state: resume() if state.terminal else None
+                    )
+
+                raise deferral(render=render, park=park, timeout=wait_seconds)
             job.wait(timeout=wait_seconds)
-        representation = job.representation(uri=job_uri(_advertised(), job_id))
-        etag = representation_etag(representation)
-        if_none_match = request.headers.get("If-None-Match")
-        if if_none_match and etag_matches(if_none_match, etag):
-            # the poller already holds this exact representation: spare the
-            # body (304s answer identically over both transports)
-            response = Response(status=304, body=b"")
-        else:
-            response = Response.json(representation)
-        response.headers.set("ETag", etag)
-        return response
+        return render()
 
     def delete_job(request: Request, job_id: str) -> Response:
         try:

@@ -12,7 +12,8 @@ The plan is threaded through the platform's existing seams:
 - :class:`WorkerStallHook` plugs into :class:`repro.runtime.ExecutorPool`
   (``task_hook``) to stall handler threads;
 - :class:`ServerDropHook` plugs into :class:`repro.http.server.RestServer`
-  (``fault_hook``) to sever connections before the response goes out;
+  (``fault_hook``) to sever connections before the response goes out, or
+  mid-write after a partial response (``server-drop-mid-write``);
 - :class:`CrashController` crashes and restarts gateway replicas, and
   :class:`BatchNodeChaos` kills and restores batch cluster nodes, both on
   a deterministic operation clock.

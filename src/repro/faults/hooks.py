@@ -31,10 +31,12 @@ class WorkerStallHook:
 
 
 class ServerDropHook:
-    """Sever connections per the plan's ``server-drop`` scenarios.
+    """Sever connections per the plan's ``server-drop*`` scenarios.
 
-    Returns ``"drop"`` to make the handler close the socket without
-    answering; any other return lets the request proceed (after an
+    Returns ``"drop"`` to make the server close the socket without
+    answering, ``"drop-mid-write"`` to close it after a partial response
+    (the torn-response variant a client cannot tell from a server crash
+    mid-send); any other return lets the request proceed (after an
     optional seeded delay).
     """
 
@@ -44,10 +46,16 @@ class ServerDropHook:
 
     def __call__(self, request: Request) -> "str | None":
         subject = f"{request.method} {request.path}"
-        fault = self.plan.decide(self.site, subject=subject, kinds={"server-drop", "delay"})
+        fault = self.plan.decide(
+            self.site,
+            subject=subject,
+            kinds={"server-drop", "server-drop-mid-write", "delay"},
+        )
         if fault is None:
             return None
         if fault.kind == "server-drop":
             return "drop"
+        if fault.kind == "server-drop-mid-write":
+            return "drop-mid-write"
         time.sleep(fault.delay)
         return None

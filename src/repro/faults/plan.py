@@ -28,6 +28,7 @@ SCENARIO_KINDS = TRANSPORT_KINDS | frozenset(
         "worker-stall",  # WorkerStallHook (ExecutorPool task_hook)
         "node-death",  # BatchNodeChaos (batch cluster nodes)
         "server-drop",  # ServerDropHook (RestServer fault_hook)
+        "server-drop-mid-write",  # ServerDropHook: sever after a partial response
     }
 )
 

@@ -6,7 +6,9 @@ MathCloud's service container needs from its HTTP stack:
 - an HTTP message model (:mod:`repro.http.messages`),
 - a URI-template router (:mod:`repro.http.router`),
 - a REST application kernel with middleware (:mod:`repro.http.app`),
-- a threaded TCP server (:mod:`repro.http.server`),
+- a TCP server facade (:mod:`repro.http.server`) over two cores: a
+  selectors-based event loop (:mod:`repro.http.eventloop`, the default)
+  and the original thread-per-connection core (:mod:`repro.http.threaded`),
 - client transports — real sockets and in-process — behind one interface
   (:mod:`repro.http.transport`), resolved by URI through a registry
   (:mod:`repro.http.registry`),
@@ -16,9 +18,17 @@ The same application object can be served over TCP or called in process;
 the REST semantics are identical on both paths.
 """
 
-from repro.http.app import RestApp
+from repro.http.app import DEFER_CAPABILITY, DeferredResponse, RestApp
 from repro.http.client import ClientError, RestClient
-from repro.http.messages import HttpError, Request, Response
+from repro.http.messages import (
+    DEFAULT_MAX_BODY_BYTES,
+    HttpError,
+    ProtocolError,
+    Request,
+    RequestParser,
+    Response,
+    serialize_response,
+)
 from repro.http.registry import TransportRegistry
 from repro.http.router import Router
 from repro.http.server import RestServer
@@ -28,7 +38,13 @@ __all__ = [
     "ClientError",
     "ConnectError",
     "TransportError",
+    "DEFAULT_MAX_BODY_BYTES",
+    "DEFER_CAPABILITY",
+    "DeferredResponse",
     "HttpError",
+    "ProtocolError",
+    "RequestParser",
+    "serialize_response",
     "HttpTransport",
     "LocalTransport",
     "Request",

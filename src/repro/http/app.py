@@ -20,6 +20,43 @@ from repro.runtime.context import REQUEST_ID_HEADER, RequestContext, activate_co
 
 logger = logging.getLogger(__name__)
 
+#: ``request.context`` key under which a non-blocking server installs its
+#: deferral capability. Present ⇒ the handler may park the request with
+#: ``raise request.context[DEFER_CAPABILITY](render, park, timeout)``
+#: instead of blocking its thread; absent (threaded server, local
+#: transport) ⇒ handlers block as they always did.
+DEFER_CAPABILITY = "http.defer"
+
+
+class DeferredResponse(Exception):
+    """Control-flow signal: the response will be produced later.
+
+    A handler that would otherwise block a thread (the ``?wait=``
+    long-poll) raises one of these through the middleware chain. The
+    event-loop server catches it, parks the connection, and produces the
+    response when the handler's ``park``-registered trigger fires or the
+    timeout expires:
+
+    - ``render`` — zero-argument callable building the final
+      :class:`Response` from current state; invoked exactly once, off the
+      event loop, at resume time.
+    - ``park`` — called by the server with its (idempotent, thread-safe)
+      ``resume`` trigger; the handler wires that trigger to whatever it is
+      waiting on (a job's transition observers).
+    - ``timeout`` — seconds after which the server resumes regardless.
+    """
+
+    def __init__(
+        self,
+        render: Callable[[], Response],
+        park: Callable[[Callable[[], None]], None],
+        timeout: float,
+    ):
+        super().__init__("response deferred")
+        self.render = render
+        self.park = park
+        self.timeout = timeout
+
 
 class Middleware(Protocol):
     """Wraps request handling; used for security and instrumentation.
@@ -68,6 +105,14 @@ class RestApp:
         with activate_context(context):
             try:
                 response = self._call_chain(request, 0)
+            except DeferredResponse as deferred:
+                # the handler parked itself; wrap its render so the
+                # resumed response still gets kernel error handling and
+                # the correlation id, then let the server catch it
+                deferred.render = self._finishing_render(
+                    deferred.render, request, context.request_id
+                )
+                raise
             except HttpError as error:
                 response = error.to_response()
             except Exception:  # noqa: BLE001 - the kernel must never propagate
@@ -80,8 +125,40 @@ class RestApp:
                     traceback.format_exc(),
                 )
                 response = HttpError(500, "internal server error").to_response()
-        response.headers.set(REQUEST_ID_HEADER, context.request_id)
+        return self._finalize(response, request, context.request_id)
+
+    def _finalize(self, response: Response, request: Request, request_id: str) -> Response:
+        response.headers.set(REQUEST_ID_HEADER, request_id)
+        if request.method == "HEAD" and response.body:
+            # the HEAD contract over every transport: GET's headers and
+            # Content-Length, no body bytes
+            response.headers.set("Content-Length", str(len(response.body)))
+            response.body = b""
         return response
+
+    def _finishing_render(
+        self, render: Callable[[], Response], request: Request, request_id: str
+    ) -> Callable[[], Response]:
+        """Wrap a deferred render with the kernel's error/finalize steps."""
+
+        def finished() -> Response:
+            try:
+                response = render()
+            except HttpError as error:
+                response = error.to_response()
+            except Exception:  # noqa: BLE001 - the kernel must never propagate
+                logger.error(
+                    "unhandled error rendering deferred %s %s %s [request %s]\n%s",
+                    self.name,
+                    request.method,
+                    request.path,
+                    request_id,
+                    traceback.format_exc(),
+                )
+                response = HttpError(500, "internal server error").to_response()
+            return self._finalize(response, request, request_id)
+
+        return finished
 
     def _call_chain(self, request: Request, index: int) -> Response:
         if index < len(self._middleware):

@@ -41,6 +41,14 @@ REASON_PHRASES = {
 
 JSON_CONTENT_TYPE = "application/json; charset=utf-8"
 
+#: Largest request body any server accepts unless configured otherwise.
+#: Requests above it are answered ``413 Payload Too Large`` instead of
+#: being buffered into memory.
+DEFAULT_MAX_BODY_BYTES = 64 * 1024 * 1024
+
+#: Largest request-line-plus-headers block the incremental parser buffers.
+DEFAULT_MAX_HEADER_BYTES = 64 * 1024
+
 
 def reason_phrase(status: int) -> str:
     """Return the standard reason phrase for ``status`` (or ``"Unknown"``)."""
@@ -282,3 +290,179 @@ class Response:
     @property
     def ok(self) -> bool:
         return 200 <= self.status < 300
+
+
+class ProtocolError(Exception):
+    """A malformed or unacceptable request detected while parsing bytes.
+
+    Carries the HTTP status the server should answer with before closing
+    the connection (400 for syntax, 413 for an oversized body, 501 for
+    transfer encodings the platform does not speak).
+    """
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class RequestParser:
+    """Incremental, feed-based HTTP/1.1 request parser.
+
+    The event-loop server owns one parser per connection and feeds it
+    whatever ``recv`` returned — a byte, a header fragment, several
+    pipelined requests at once. :meth:`feed` consumes the bytes and
+    returns every request completed so far as ``(request, close_after)``
+    pairs, preserving pipeline order; incomplete input is buffered until
+    the next feed. The parser never blocks and never reads a socket.
+
+    ``close_after`` captures HTTP/1.1 persistence semantics: ``True`` for
+    ``Connection: close`` and for HTTP/1.0 requests without an explicit
+    ``keep-alive``.
+
+    Malformed input raises :class:`ProtocolError`; the parser is then
+    poisoned (a framing error leaves the byte stream unrecoverable) and
+    the connection must be closed after the error response.
+    """
+
+    def __init__(
+        self,
+        max_header_bytes: int = DEFAULT_MAX_HEADER_BYTES,
+        max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+    ):
+        self.max_header_bytes = max_header_bytes
+        self.max_body_bytes = max_body_bytes
+        self._buffer = bytearray()
+        self._state = "headers"
+        # fields of the request whose body is still arriving
+        self._method = ""
+        self._target = ""
+        self._headers: Headers | None = None
+        self._length = 0
+        self._close_after = False
+
+    @property
+    def buffered(self) -> int:
+        """How many unconsumed bytes the parser is holding."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> list[tuple[Request, bool]]:
+        """Consume ``data``; return every request it completed, in order."""
+        if self._state == "error":
+            raise ProtocolError(400, "parser already failed; connection must close")
+        self._buffer.extend(data)
+        completed: list[tuple[Request, bool]] = []
+        try:
+            while True:
+                if self._state == "headers":
+                    if not self._parse_head():
+                        break
+                if self._state == "body":
+                    if len(self._buffer) < self._length:
+                        break
+                    body = bytes(self._buffer[: self._length])
+                    del self._buffer[: self._length]
+                    request = Request.from_target(
+                        self._method, self._target, headers=self._headers, body=body
+                    )
+                    completed.append((request, self._close_after))
+                    self._state = "headers"
+        except ProtocolError:
+            self._state = "error"
+            raise
+        return completed
+
+    def _parse_head(self) -> bool:
+        """Parse one request-line-plus-headers block; False if incomplete."""
+        end = self._buffer.find(b"\r\n\r\n")
+        if end < 0:
+            if len(self._buffer) > self.max_header_bytes:
+                raise ProtocolError(400, "request header block too large")
+            return False
+        head = bytes(self._buffer[:end])
+        del self._buffer[: end + 4]
+        lines = head.split(b"\r\n")
+        # tolerate leading blank lines between pipelined requests (RFC 9112 §2.2)
+        while lines and not lines[0].strip():
+            lines.pop(0)
+        if not lines:
+            raise ProtocolError(400, "empty request")
+        try:
+            request_line = lines[0].decode("latin-1")
+        except UnicodeDecodeError as exc:  # pragma: no cover - latin-1 never fails
+            raise ProtocolError(400, "undecodable request line") from exc
+        parts = request_line.split()
+        if len(parts) != 3:
+            raise ProtocolError(400, f"malformed request line: {request_line!r}")
+        method, target, version = parts
+        if not version.startswith("HTTP/1."):
+            raise ProtocolError(400, f"unsupported protocol version {version!r}")
+        headers = Headers()
+        for raw in lines[1:]:
+            line = raw.decode("latin-1")
+            name, separator, value = line.partition(":")
+            if not separator or not name or name != name.strip() or " " in name:
+                raise ProtocolError(400, f"malformed header line: {line!r}")
+            headers.add(name, value.strip())
+        transfer_encoding = (headers.get("Transfer-Encoding") or "").lower()
+        if transfer_encoding and transfer_encoding != "identity":
+            raise ProtocolError(
+                501, f"transfer encoding {transfer_encoding!r} is not supported"
+            )
+        raw_length = headers.get("Content-Length", "0") or "0"
+        try:
+            length = int(raw_length)
+            if length < 0:
+                raise ValueError
+        except ValueError as exc:
+            raise ProtocolError(400, f"invalid Content-Length {raw_length!r}") from exc
+        if length > self.max_body_bytes:
+            raise ProtocolError(
+                413,
+                f"request body of {length} bytes exceeds the {self.max_body_bytes}-byte limit",
+            )
+        connection = (headers.get("Connection") or "").lower()
+        tokens = {token.strip() for token in connection.split(",")}
+        if version == "HTTP/1.0":
+            close_after = "keep-alive" not in tokens
+        else:
+            close_after = "close" in tokens
+        self._method = method
+        self._target = target
+        self._headers = headers
+        self._length = length
+        self._close_after = close_after
+        self._state = "body"
+        return True
+
+
+def serialize_response(
+    response: Response,
+    head: bool = False,
+    close: bool = False,
+    server: str = "MathCloud/1.0",
+) -> bytes:
+    """Render ``response`` as HTTP/1.1 wire bytes in a single buffer.
+
+    One buffer means one ``send`` for small responses — the event-loop
+    server never exposes the header/body write boundary to Nagle or
+    delayed ACKs. ``head`` omits the body while keeping GET's headers and
+    ``Content-Length`` (the HEAD contract); ``close`` advertises that the
+    connection will not be reused.
+    """
+    status = response.status
+    parts = [f"HTTP/1.1 {status} {reason_phrase(status)}\r\n".encode("latin-1")]
+    seen = set()
+    for name, value in response.headers.items():
+        seen.add(name.lower())
+        parts.append(f"{name}: {value}\r\n".encode("latin-1"))
+    if "server" not in seen:
+        parts.append(f"Server: {server}\r\n".encode("latin-1"))
+    if "content-length" not in seen:
+        parts.append(f"Content-Length: {len(response.body)}\r\n".encode("latin-1"))
+    if close and "connection" not in seen:
+        parts.append(b"Connection: close\r\n")
+    parts.append(b"\r\n")
+    if response.body and not head:
+        parts.append(response.body)
+    return b"".join(parts)

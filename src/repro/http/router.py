@@ -107,6 +107,10 @@ class Router:
     def resolve(self, method: str, path: str) -> tuple[Handler, dict[str, str]]:
         """Find the handler and path variables for a request.
 
+        ``HEAD`` requests fall back to the matching ``GET`` route when no
+        explicit ``HEAD`` route exists (the application kernel strips the
+        body), so every readable resource answers HEAD for free.
+
         Raises :class:`HttpError` 404 when no template matches the path and
         405 when a template matches but not with this method.
         """
@@ -114,16 +118,25 @@ class Router:
         by_method = self._static.get(path)
         if by_method is not None:
             route = by_method.get(method)
+            if route is None and method == "HEAD":
+                route = by_method.get("GET")
             if route is not None:
                 return route.handler, {}
         allowed: set[str] = set(by_method or ())
+        head_fallback: "tuple[Handler, dict[str, str]] | None" = None
         for route in self._dynamic:
             match = route.pattern.match(path)
             if match is None:
                 continue
             if route.method == method:
                 return route.handler, match.groupdict()
+            if method == "HEAD" and route.method == "GET" and head_fallback is None:
+                head_fallback = route.handler, match.groupdict()
             allowed.add(route.method)
+        if head_fallback is not None:
+            return head_fallback
+        if "GET" in allowed:
+            allowed.add("HEAD")
         if allowed:
             raise HttpError(
                 405,

@@ -1,151 +1,60 @@
-"""Threaded TCP server exposing a :class:`~repro.http.app.RestApp`.
+"""TCP server facade exposing a :class:`~repro.http.app.RestApp`.
 
-This is the Jetty stand-in: a thread-per-connection HTTP/1.1 server built on
-``http.server`` that forwards every request to the application kernel. It
-binds to an ephemeral loopback port by default, which keeps parallel test
-runs and multi-container benchmarks free of port clashes.
+:class:`RestServer` is the single public entry point; the actual server
+lives in one of two interchangeable cores:
+
+- ``server_impl="eventloop"`` (default) — the selectors-based event-loop
+  core (:mod:`repro.http.eventloop`): a couple of loop threads own every
+  socket through non-blocking parse/write state machines, handlers run on
+  a small worker pool, and ``?wait=`` long-polls park the connection
+  instead of a thread. This is the C10k path.
+- ``server_impl="threaded"`` — the original thread-per-connection core
+  (:mod:`repro.http.threaded`), kept as an escape hatch and as the
+  baseline the G2 benchmark measures against.
+
+Both cores present identical REST semantics (the conformance suite runs
+against each) and the same facade surface: ``base_url``,
+``connections_accepted``, ``fault_hook``, ``start``/``stop``, context
+manager. It binds to an ephemeral loopback port by default, which keeps
+parallel test runs and multi-container benchmarks free of port clashes.
 """
 
 from __future__ import annotations
 
-import contextlib
-import socket
-import sys
-import threading
-from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable
 
 from repro.http.app import RestApp
-from repro.http.messages import Headers, Request, reason_phrase
+from repro.http.eventloop import EventLoopCore
+from repro.http.messages import DEFAULT_MAX_BODY_BYTES, Request
+from repro.http.threaded import SUPPORTED_METHODS, ThreadedServerCore
 
-#: Methods the unified REST API uses (Table 1 of the paper) plus PUT, which
-#: the catalogue and WMS use for idempotent updates.
-SUPPORTED_METHODS = ("GET", "POST", "DELETE", "PUT")
+__all__ = ["RestServer", "SUPPORTED_METHODS"]
 
-
-class _AppRequestHandler(BaseHTTPRequestHandler):
-    """Adapts ``http.server`` parsing to the :class:`RestApp` interface.
-
-    ``protocol_version = HTTP/1.1`` makes connections persistent by
-    default: the base class keeps the socket open across requests unless
-    the client asks ``Connection: close``, and every response here carries
-    a ``Content-Length``, which is what persistent connections require.
-    """
-
-    protocol_version = "HTTP/1.1"
-    server_version = "MathCloud/1.0"
-    #: The response goes out as two writes (header block, then body) on an
-    #: unbuffered socket; with Nagle on, the second write sits behind the
-    #: client's delayed ACK (~40 ms on loopback) on every single response.
-    disable_nagle_algorithm = True
-    #: Idle keep-alive connections are dropped after this many seconds so
-    #: abandoned sockets cannot pin handler threads forever.
-    timeout = 60.0
-    app: RestApp  # set on the generated subclass
-
-    def _dispatch(self) -> None:
-        length = int(self.headers.get("Content-Length", 0) or 0)
-        body = self.rfile.read(length) if length else b""
-        headers = Headers()
-        for name, value in self.headers.items():
-            headers.add(name, value)
-        request = Request.from_target(self.command, self.path, headers=headers, body=body)
-        hook = getattr(self.server, "fault_hook", None)
-        if hook is not None and hook(request) == "drop":
-            # fault injection: sever the connection without answering — the
-            # client sees exactly what a server crash mid-request looks like
-            self.close_connection = True
-            return
-        response = self.app.handle(request)
-        self.send_response_only(response.status, reason_phrase(response.status))
-        seen = {name.lower() for name, _ in response.headers.items()}
-        for name, value in response.headers.items():
-            self.send_header(name, value)
-        if "content-length" not in seen:
-            self.send_header("Content-Length", str(len(response.body)))
-        self.end_headers()
-        if response.body and self.command != "HEAD":
-            self.wfile.write(response.body)
-
-    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
-        """Silence per-request stderr logging (tests and benchmarks are chatty)."""
-
-    def do_GET(self) -> None:
-        self._dispatch()
-
-    def do_POST(self) -> None:
-        self._dispatch()
-
-    def do_DELETE(self) -> None:
-        self._dispatch()
-
-    def do_PUT(self) -> None:
-        self._dispatch()
-
-
-class _Server(ThreadingHTTPServer):
-    """Bounded thread-per-connection server with a deep accept backlog.
-
-    Counts accepted connections: with keep-alive clients many requests
-    share one connection, and the keep-alive regression tests assert
-    exactly that.
-    """
-
-    request_queue_size = 128
-    daemon_threads = True
-
-    def __init__(self, *args: object, **kwargs: object) -> None:
-        super().__init__(*args, **kwargs)  # type: ignore[arg-type]
-        self.connections_accepted = 0
-        self._open_lock = threading.Lock()
-        self._open_connections: set[socket.socket] = set()
-
-    def get_request(self):  # noqa: ANN201 - socketserver signature
-        request = super().get_request()
-        # the accept loop is single-threaded, so a plain increment is safe
-        self.connections_accepted += 1
-        with self._open_lock:
-            self._open_connections.add(request[0])
-        return request
-
-    def handle_error(self, request, client_address) -> None:  # noqa: ANN001
-        # connection resets and broken pipes are routine — a client gave up
-        # on a long-poll, or this server is being stopped and its sockets
-        # severed; only genuinely unexpected errors deserve the traceback
-        exception = sys.exc_info()[1]
-        if isinstance(exception, (ConnectionError, TimeoutError)):
-            return
-        super().handle_error(request, client_address)
-
-    def close_request(self, request) -> None:  # noqa: ANN001 - socketserver signature
-        with self._open_lock:
-            self._open_connections.discard(request)
-        super().close_request(request)
-
-    def close_connections(self) -> None:
-        """Sever every live keep-alive connection.
-
-        A persistent connection otherwise outlives the listener: its
-        handler thread keeps answering requests after ``server_close``,
-        so a "stopped" server would still serve pooled client sockets.
-        """
-        with self._open_lock:
-            connections = list(self._open_connections)
-            self._open_connections.clear()
-        for connection in connections:
-            with contextlib.suppress(OSError):
-                connection.shutdown(socket.SHUT_RDWR)
-            with contextlib.suppress(OSError):
-                connection.close()
+#: Registered ``server_impl`` values → core factory.
+SERVER_IMPLS = {
+    "eventloop": EventLoopCore,
+    "threaded": ThreadedServerCore,
+}
 
 
 class RestServer:
-    """Serves a :class:`RestApp` over TCP on a background thread.
+    """Serves a :class:`RestApp` over TCP on background threads.
 
     Usable as a context manager::
 
         with RestServer(app) as server:
             client = RestClient(HttpTransport(), base=server.base_url)
+
+    Keyword knobs (all optional, shared by both cores):
+
+    - ``server_impl`` — ``"eventloop"`` (default) or ``"threaded"``.
+    - ``idle_timeout`` — seconds an idle keep-alive connection may sit
+      before the server closes it (``connections_timed_out`` counts the
+      reaped ones on the event-loop core).
+    - ``max_body_bytes`` — request bodies above this answer 413 without
+      being buffered (default 64 MB).
+    - ``handler_threads`` / ``loop_threads`` — event-loop core sizing;
+      ignored by the threaded core.
     """
 
     def __init__(
@@ -154,30 +63,51 @@ class RestServer:
         host: str = "127.0.0.1",
         port: int = 0,
         fault_hook: "Callable[[Request], str | None] | None" = None,
+        *,
+        server_impl: str = "eventloop",
+        idle_timeout: float = 60.0,
+        max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+        handler_threads: int = 8,
+        loop_threads: int = 1,
     ):
-        handler = type("Handler", (_AppRequestHandler,), {"app": app})
-        self._server = _Server((host, port), handler)
-        self._server.daemon_threads = True
-        self._server.fault_hook = fault_hook
-        self._thread: threading.Thread | None = None
+        try:
+            factory = SERVER_IMPLS[server_impl]
+        except KeyError:
+            raise ValueError(
+                f"unknown server_impl {server_impl!r}; expected one of {sorted(SERVER_IMPLS)}"
+            ) from None
+        options: dict[str, object] = {
+            "idle_timeout": idle_timeout,
+            "max_body_bytes": max_body_bytes,
+        }
+        if factory is EventLoopCore:
+            options["handler_threads"] = handler_threads
+            options["loop_threads"] = loop_threads
+        self._core = factory(app, host, port, fault_hook, **options)
         self.app = app
+        self.server_impl = server_impl
 
     @property
     def fault_hook(self) -> "Callable[[Request], str | None] | None":
-        """Per-request fault-injection seam (see ``_dispatch``)."""
-        return self._server.fault_hook
+        """Per-request fault-injection seam.
+
+        The hook runs with the parsed request before handling and may
+        return ``"drop"`` (sever without answering), ``"drop-mid-write"``
+        (sever after a partial response), or ``None`` (serve normally).
+        """
+        return self._core.fault_hook
 
     @fault_hook.setter
     def fault_hook(self, hook: "Callable[[Request], str | None] | None") -> None:
-        self._server.fault_hook = hook
+        self._core.fault_hook = hook
 
     @property
     def host(self) -> str:
-        return self._server.server_address[0]
+        return self._core.host
 
     @property
     def port(self) -> int:
-        return self._server.server_address[1]
+        return self._core.port
 
     @property
     def base_url(self) -> str:
@@ -187,27 +117,25 @@ class RestServer:
     @property
     def connections_accepted(self) -> int:
         """How many TCP connections the server has accepted so far."""
-        return self._server.connections_accepted
+        return self._core.connections_accepted
+
+    @property
+    def connections_timed_out(self) -> int:
+        """Idle keep-alive connections closed by the idle-timeout reaper."""
+        return self._core.connections_timed_out
 
     def start(self) -> "RestServer":
-        if self._thread is not None:
+        if self._core.started:
             raise RuntimeError("server already started")
-        self._thread = threading.Thread(
-            target=self._server.serve_forever,
-            name=f"rest-server-{self.port}",
-            daemon=True,
-        )
-        self._thread.start()
+        self._core.start()
         return self
 
+    def close_connections(self) -> None:
+        """Sever every live keep-alive connection without stopping the server."""
+        self._core.close_connections()
+
     def stop(self) -> None:
-        if self._thread is None:
-            return
-        self._server.shutdown()
-        self._server.close_connections()
-        self._server.server_close()
-        self._thread.join(timeout=5)
-        self._thread = None
+        self._core.stop()
 
     def __enter__(self) -> "RestServer":
         return self.start()

@@ -1,0 +1,255 @@
+"""Thread-per-connection server core (the original Jetty stand-in).
+
+One handler thread per TCP connection, built on ``http.server``. This was
+the platform's only server until the event-loop core
+(:mod:`repro.http.eventloop`) replaced it as the default; it stays
+available behind ``RestServer(server_impl="threaded")`` for one release
+as an escape hatch and as the baseline the G2 benchmark measures against.
+
+A stack per socket caps concurrent clients in the hundreds — every idle
+keep-alive connection pins a thread — which is exactly the limit the
+event-loop core removes.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import socket
+import sys
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable
+
+from repro.http.app import RestApp
+from repro.http.messages import (
+    DEFAULT_MAX_BODY_BYTES,
+    Headers,
+    HttpError,
+    Request,
+    reason_phrase,
+)
+
+#: Methods the unified REST API uses (Table 1 of the paper) plus PUT, which
+#: the catalogue and WMS use for idempotent updates, and HEAD, which the
+#: router answers via the matching GET route.
+SUPPORTED_METHODS = ("GET", "HEAD", "POST", "DELETE", "PUT")
+
+
+class _AppRequestHandler(BaseHTTPRequestHandler):
+    """Adapts ``http.server`` parsing to the :class:`RestApp` interface.
+
+    ``protocol_version = HTTP/1.1`` makes connections persistent by
+    default: the base class keeps the socket open across requests unless
+    the client asks ``Connection: close``, and every response here carries
+    a ``Content-Length``, which is what persistent connections require.
+    """
+
+    protocol_version = "HTTP/1.1"
+    server_version = "MathCloud/1.0"
+    #: The response goes out as two writes (header block, then body) on an
+    #: unbuffered socket; with Nagle on, the second write sits behind the
+    #: client's delayed ACK (~40 ms on loopback) on every single response.
+    disable_nagle_algorithm = True
+    #: Idle keep-alive connections are dropped after this many seconds so
+    #: abandoned sockets cannot pin handler threads forever. Overridden on
+    #: the generated subclass from the server's ``idle_timeout``.
+    timeout = 60.0
+    app: RestApp  # set on the generated subclass
+
+    def _dispatch(self) -> None:
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        limit = getattr(self.server, "max_body_bytes", DEFAULT_MAX_BODY_BYTES)
+        if length > limit:
+            # refuse before buffering: the body never enters memory, and
+            # the connection closes because the unread body would desync it
+            self._send_app_response(
+                HttpError(
+                    413,
+                    f"request body of {length} bytes exceeds the {limit}-byte limit",
+                ).to_response()
+            )
+            self.close_connection = True
+            return
+        body = self.rfile.read(length) if length else b""
+        headers = Headers()
+        for name, value in self.headers.items():
+            headers.add(name, value)
+        request = Request.from_target(self.command, self.path, headers=headers, body=body)
+        hook = getattr(self.server, "fault_hook", None)
+        if hook is not None:
+            decision = hook(request)
+            if decision == "drop":
+                # fault injection: sever the connection without answering —
+                # the client sees exactly what a server crash mid-request
+                # looks like
+                self.close_connection = True
+                return
+            if decision == "drop-mid-write":
+                response = self.app.handle(request)
+                self._send_partial_then_sever(response)
+                return
+        self._send_app_response(self.app.handle(request))
+
+    def _send_app_response(self, response) -> None:  # noqa: ANN001
+        self.send_response_only(response.status, reason_phrase(response.status))
+        seen = {name.lower() for name, _ in response.headers.items()}
+        for name, value in response.headers.items():
+            self.send_header(name, value)
+        if "content-length" not in seen:
+            self.send_header("Content-Length", str(len(response.body)))
+        self.end_headers()
+        if response.body and self.command != "HEAD":
+            self.wfile.write(response.body)
+
+    def _send_partial_then_sever(self, response) -> None:  # noqa: ANN001
+        """Write the status line and half the headers, then cut the socket —
+        what a server dying mid-response looks like to the client."""
+        self.send_response_only(response.status, reason_phrase(response.status))
+        self.wfile.flush()
+        with contextlib.suppress(OSError):
+            self.connection.shutdown(socket.SHUT_RDWR)
+        self.close_connection = True
+
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        """Silence per-request stderr logging (tests and benchmarks are chatty)."""
+
+    def do_GET(self) -> None:
+        self._dispatch()
+
+    def do_HEAD(self) -> None:
+        self._dispatch()
+
+    def do_POST(self) -> None:
+        self._dispatch()
+
+    def do_DELETE(self) -> None:
+        self._dispatch()
+
+    def do_PUT(self) -> None:
+        self._dispatch()
+
+
+class _Server(ThreadingHTTPServer):
+    """Bounded thread-per-connection server with a deep accept backlog.
+
+    Counts accepted connections: with keep-alive clients many requests
+    share one connection, and the keep-alive regression tests assert
+    exactly that.
+    """
+
+    request_queue_size = 128
+    daemon_threads = True
+
+    def __init__(self, *args: object, **kwargs: object) -> None:
+        super().__init__(*args, **kwargs)  # type: ignore[arg-type]
+        self.connections_accepted = 0
+        self.max_body_bytes = DEFAULT_MAX_BODY_BYTES
+        self._open_lock = threading.Lock()
+        self._open_connections: set[socket.socket] = set()
+
+    def get_request(self):  # noqa: ANN201 - socketserver signature
+        request = super().get_request()
+        # the accept loop is single-threaded, so a plain increment is safe
+        self.connections_accepted += 1
+        with self._open_lock:
+            self._open_connections.add(request[0])
+        return request
+
+    def handle_error(self, request, client_address) -> None:  # noqa: ANN001
+        # connection resets and broken pipes are routine — a client gave up
+        # on a long-poll, or this server is being stopped and its sockets
+        # severed; only genuinely unexpected errors deserve the traceback
+        exception = sys.exc_info()[1]
+        if isinstance(exception, (ConnectionError, TimeoutError)):
+            return
+        super().handle_error(request, client_address)
+
+    def close_request(self, request) -> None:  # noqa: ANN001 - socketserver signature
+        with self._open_lock:
+            self._open_connections.discard(request)
+        super().close_request(request)
+
+    def close_connections(self) -> None:
+        """Sever every live keep-alive connection.
+
+        A persistent connection otherwise outlives the listener: its
+        handler thread keeps answering requests after ``server_close``,
+        so a "stopped" server would still serve pooled client sockets.
+        """
+        with self._open_lock:
+            connections = list(self._open_connections)
+            self._open_connections.clear()
+        for connection in connections:
+            with contextlib.suppress(OSError):
+                connection.shutdown(socket.SHUT_RDWR)
+            with contextlib.suppress(OSError):
+                connection.close()
+
+
+class ThreadedServerCore:
+    """The threaded implementation behind the :class:`RestServer` facade."""
+
+    def __init__(
+        self,
+        app: RestApp,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        fault_hook: "Callable[[Request], str | None] | None" = None,
+        idle_timeout: float = 60.0,
+        max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+    ):
+        handler = type("Handler", (_AppRequestHandler,), {"app": app, "timeout": idle_timeout})
+        self._server = _Server((host, port), handler)
+        self._server.daemon_threads = True
+        self._server.fault_hook = fault_hook
+        self._server.max_body_bytes = max_body_bytes
+        self.idle_timeout = idle_timeout
+        self._thread: threading.Thread | None = None
+        #: The threaded core drops idle sockets via the handler-level
+        #: timeout but does not count them; only the event-loop core
+        #: tracks this precisely.
+        self.connections_timed_out = 0
+
+    @property
+    def fault_hook(self) -> "Callable[[Request], str | None] | None":
+        return self._server.fault_hook
+
+    @fault_hook.setter
+    def fault_hook(self, hook: "Callable[[Request], str | None] | None") -> None:
+        self._server.fault_hook = hook
+
+    @property
+    def host(self) -> str:
+        return self._server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    @property
+    def connections_accepted(self) -> int:
+        return self._server.connections_accepted
+
+    def start(self) -> None:
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name=f"rest-server-{self.port}",
+            daemon=True,
+        )
+        self._thread.start()
+
+    @property
+    def started(self) -> bool:
+        return self._thread is not None
+
+    def close_connections(self) -> None:
+        self._server.close_connections()
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._server.shutdown()
+        self._server.close_connections()
+        self._server.server_close()
+        self._thread.join(timeout=5)
+        self._thread = None

@@ -45,8 +45,8 @@ class PlatformService:
     def bind_local(self, authority: str = "paas") -> str:
         return self.platform.registry.bind_local(authority, self.app)
 
-    def serve(self, host: str = "127.0.0.1", port: int = 0) -> RestServer:
-        return RestServer(self.app, host=host, port=port).start()
+    def serve(self, host: str = "127.0.0.1", port: int = 0, **server_options: object) -> RestServer:
+        return RestServer(self.app, host=host, port=port, **server_options).start()
 
     # ----------------------------------------------------------- internals
 

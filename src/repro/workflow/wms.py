@@ -373,10 +373,10 @@ class WorkflowManagementService:
     def workflow_uri(self, workflow_name: str) -> str:
         return f"{self.base_uri}/workflows/{workflow_name}"
 
-    def serve(self, host: str = "127.0.0.1", port: int = 0) -> RestServer:
+    def serve(self, host: str = "127.0.0.1", port: int = 0, **server_options: object) -> RestServer:
         if self._server is not None:
             raise RuntimeError("WMS is already serving")
-        self._server = RestServer(self.app, host=host, port=port).start()
+        self._server = RestServer(self.app, host=host, port=port, **server_options).start()
         return self._server
 
     def shutdown(self) -> None:

@@ -1,7 +1,8 @@
 """Chaos over real TCP: server-side connection drops against keep-alive clients.
 
 A served container gets a :class:`~repro.faults.ServerDropHook`: seeded
-requests have their connection severed before any response bytes go out.
+requests have their connection severed before any response bytes go out
+(``server-drop``) or after a partial response (``server-drop-mid-write``).
 A keep-alive client sees ``RemoteDisconnected`` — sometimes transparently
 replayed by :class:`~repro.http.transport.HttpTransport` (idempotent
 methods, keyed POSTs), sometimes surfaced as ``TransportError`` for the
@@ -38,6 +39,7 @@ def test_server_drops_over_tcp(seed, request):
         [
             Scenario("server-drop", 0.25, target=r"POST /services/work$"),
             Scenario("server-drop", 0.15, target=r"GET /services/work/jobs/"),
+            Scenario("server-drop-mid-write", 0.1, target=r"GET /services/work/jobs/"),
             Scenario("delay", 0.2, delay=0.0, jitter=0.01),
         ],
     )

@@ -78,7 +78,8 @@ class TestRouter:
         with pytest.raises(HttpError) as info:
             self._router().resolve("PUT", "/services/cas")
         assert info.value.status == 405
-        assert info.value.details == {"allow": ["GET", "POST"]}
+        # HEAD rides along with GET (the router answers HEAD via GET routes)
+        assert info.value.details == {"allow": ["GET", "HEAD", "POST"]}
 
     def test_duplicate_route_rejected(self):
         router = self._router()
