@@ -1,0 +1,34 @@
+"""repro.blob — the content-addressed streaming data plane.
+
+Jobs carry *references*, this subsystem carries *bytes*: chunked
+content-addressed storage (:mod:`repro.blob.store`), chunk-wise transfer
+between containers (:mod:`repro.blob.staging`) and the REST resources
+that expose both (:mod:`repro.blob.resources`).
+"""
+
+from repro.blob.chunker import DEFAULT_CHUNK_SIZE, rechunk
+from repro.blob.resources import blob_uri, mount_blob_store
+from repro.blob.staging import StagingError, stage_blob
+from repro.blob.store import (
+    BlobDigestMismatch,
+    BlobError,
+    BlobManifest,
+    BlobNotFound,
+    BlobStore,
+    BlobUpload,
+)
+
+__all__ = [
+    "DEFAULT_CHUNK_SIZE",
+    "BlobDigestMismatch",
+    "BlobError",
+    "BlobManifest",
+    "BlobNotFound",
+    "BlobStore",
+    "BlobUpload",
+    "StagingError",
+    "blob_uri",
+    "mount_blob_store",
+    "rechunk",
+    "stage_blob",
+]

@@ -1,0 +1,39 @@
+"""Fixed-size rechunking of arbitrary byte streams.
+
+The blob store addresses chunks by content, so two uploads of the same
+bytes must produce the same chunk sequence whatever buffer sizes the
+producers happened to write with. :func:`rechunk` normalizes any iterable
+of buffers into exact ``chunk_size`` pieces (the last one may be short),
+which is what makes chunk-level dedup deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+#: Default blob chunk size. Large enough that per-chunk overhead (one
+#: file, one digest, one ranged GET when staging) stays negligible, small
+#: enough that a chunk is a cheap unit of retry and dedup.
+DEFAULT_CHUNK_SIZE = 1024 * 1024
+
+
+def rechunk(source: "bytes | Iterable[bytes]", chunk_size: int = DEFAULT_CHUNK_SIZE) -> Iterator[bytes]:
+    """Yield ``source`` as exact ``chunk_size`` pieces (last may be short).
+
+    The concatenation of the output equals the concatenation of the input
+    for every input chunking — the property test pins this.
+    """
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be at least 1")
+    if isinstance(source, (bytes, bytearray, memoryview)):
+        source = (bytes(source),)
+    pending = bytearray()
+    for piece in source:
+        if not piece:
+            continue
+        pending.extend(piece)
+        while len(pending) >= chunk_size:
+            yield bytes(pending[:chunk_size])
+            del pending[:chunk_size]
+    if pending:
+        yield bytes(pending)

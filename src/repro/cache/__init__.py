@@ -15,6 +15,7 @@ from repro.cache.fingerprint import (
     canonical_json,
     hash_bytes,
     job_fingerprint,
+    normalize_refs,
     routing_hint,
 )
 from repro.cache.store import CacheClosedError, CacheStats, ResultCache
@@ -28,5 +29,6 @@ __all__ = [
     "canonical_json",
     "hash_bytes",
     "job_fingerprint",
+    "normalize_refs",
     "routing_hint",
 ]

@@ -27,7 +27,7 @@ import hashlib
 import json
 from typing import Any, Callable, Iterable
 
-from repro.core.filerefs import file_uri, is_file_ref
+from repro.core.filerefs import blob_digest, file_uri, is_blob_ref, is_file_ref
 
 __all__ = [
     "ContentHasher",
@@ -88,6 +88,11 @@ def _normalize(value: Any, fetch: "Callable[[dict], bytes] | None") -> Any:
     Everything else passes through untouched; ``canonical_json`` then
     handles key-order insensitivity.
     """
+    if is_blob_ref(value):
+        # the blob digest *is* sha256 of the content (the manifest digest
+        # is chunk-boundary independent by construction), so this equals
+        # {"$content": hash_bytes(fetched)} without moving a byte
+        return {"$content": blob_digest(value)}
     if is_file_ref(value):
         if fetch is None:
             # no fetcher: fall back to the URI, which is still stable for
@@ -105,6 +110,17 @@ def _normalize(value: Any, fetch: "Callable[[dict], bytes] | None") -> Any:
     if isinstance(value, list):
         return [_normalize(item, fetch) for item in value]
     return value
+
+
+def normalize_refs(value: Any, fetch: "Callable[[dict], bytes] | None" = None) -> Any:
+    """Public face of :func:`_normalize` for non-fingerprint dedup keys.
+
+    With no fetcher, blob references still normalize to their content
+    digest — two blob refs to the same bytes on different containers (or
+    the same URI seen raw and gateway-rewritten) compare equal without a
+    single fetch; plain file refs degrade to their URI.
+    """
+    return _normalize(value, fetch)
 
 
 def job_fingerprint(

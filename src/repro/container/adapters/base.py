@@ -7,7 +7,14 @@ from typing import Any, Protocol
 
 from repro.core.description import ServiceDescription
 from repro.core.errors import AdapterError
-from repro.core.filerefs import file_uri, is_file_ref, make_file_ref
+from repro.core.filerefs import (
+    blob_digest,
+    file_uri,
+    is_blob_ref,
+    is_file_ref,
+    make_blob_ref,
+    make_file_ref,
+)
 from repro.core.files import FileStore
 from repro.core.jobs import Job
 from repro.http.client import ClientError, RestClient
@@ -39,6 +46,10 @@ class JobContext:
         registry: TransportRegistry,
         base_uri_fn: Any,
         resources: ResourceResolver,
+        blobs: Any = None,
+        blob_base_fn: Any = None,
+        fetch_max_bytes: "int | None" = None,
+        fetch_timeout: "float | None" = None,
     ):
         self.job = job
         self.description = description
@@ -46,6 +57,15 @@ class JobContext:
         self.registry = registry
         self._base_uri_fn = base_uri_fn
         self.resources = resources
+        #: The container's blob store (``None`` in blob-less deployments).
+        self.blobs = blobs
+        self._blob_base_fn = blob_base_fn
+        #: Caps on resolving remote file references: a reference whose
+        #: content exceeds ``fetch_max_bytes`` or whose transfer outruns
+        #: ``fetch_timeout`` fails this job recoverably instead of pinning
+        #: a handler thread under an unbounded download.
+        self.fetch_max_bytes = fetch_max_bytes
+        self.fetch_timeout = fetch_timeout
 
     @property
     def inputs(self) -> dict[str, Any]:
@@ -62,12 +82,61 @@ class JobContext:
     # -------------------------------------------------------------- input
 
     def fetch_file(self, reference: dict[str, Any]) -> bytes:
-        """Download the content behind a file reference."""
+        """Download the content behind a file reference.
+
+        Blob references resolve through the local blob store when one is
+        attached: already-staged content is read from disk, anything else
+        is staged chunk-wise from the owning container (sharing chunks
+        with previously staged blobs) before being read. Plain file
+        references — and blob references whose producer does not answer
+        the manifest resource — fall back to a whole-body GET. Either
+        path honours the context's size cap and deadline, failing the job
+        recoverably on violation.
+        """
         uri = file_uri(reference)
+        if is_blob_ref(reference) and self.blobs is not None:
+            digest = self._ensure_staged(reference)
+            return self.blobs.read(digest)
         try:
-            return RestClient(self.registry).get_bytes(uri)
+            return RestClient(self.registry).get_bytes(uri, max_bytes=self.fetch_max_bytes)
         except (ClientError, TransportError) as exc:
             raise AdapterError(f"cannot fetch input file {uri!r}: {exc}") from exc
+
+    def open_blob(self, reference: dict[str, Any]) -> Any:
+        """Iterate a blob input's bytes chunk-wise — constant memory.
+
+        Stages the blob into the local store first when it is not already
+        there; the returned iterator reads one stored chunk at a time, so
+        an arbitrarily large input can be processed without ever holding
+        it whole. Requires the container's blob store and a blob ref.
+        """
+        if not is_blob_ref(reference) or self.blobs is None:
+            raise AdapterError("open_blob requires a blob reference and a blob store")
+        return self.blobs.open_range(self._ensure_staged(reference))
+
+    def _ensure_staged(self, reference: dict[str, Any]) -> str:
+        """The reference's digest, with its content present in the local
+        store and pinned for this job's lifetime (a job that outlives the
+        GC grace period must never have its input swept mid-run; the pin
+        is released when the job is deleted, like output pins)."""
+        digest = blob_digest(reference)
+        if not self.blobs.exists(digest):
+            from repro.blob.staging import StagingError, stage_blob
+
+            uri = file_uri(reference)
+            try:
+                stage_blob(
+                    self.blobs,
+                    self.registry,
+                    uri,
+                    digest,
+                    max_bytes=self.fetch_max_bytes,
+                    timeout=self.fetch_timeout,
+                )
+            except (ClientError, TransportError, StagingError) as exc:
+                raise AdapterError(f"cannot stage input blob {uri!r}: {exc}") from exc
+        self.blobs.pin(digest, f"job:{self.job.id}")
+        return digest
 
     def input_bytes(self, name: str) -> bytes:
         """An input value as bytes: file refs are fetched, scalars/structures
@@ -80,13 +149,16 @@ class JobContext:
         return json.dumps(value).encode("utf-8")
 
     def resolve_input(self, name: str) -> Any:
-        """An input value with file refs fetched and JSON-decoded.
+        """An input value with plain file refs fetched and JSON-decoded.
 
         The fetched content is parsed as JSON when possible, else returned
-        as text.
+        as text. Blob references stay *by reference*: they address bulk
+        binary data that must never be inflated into an argument value —
+        the service pulls the bytes through :meth:`input_bytes` or
+        :meth:`fetch_file` when (and only when) it wants them.
         """
         value = self.inputs[name]
-        if not is_file_ref(value):
+        if not is_file_ref(value) or is_blob_ref(value):
             return value
         content = self.fetch_file(value)
         try:
@@ -109,6 +181,42 @@ class JobContext:
         entry = self.files.put(content, job_id=self.job.id, name=name, content_type=content_type)
         uri = f"{self.service_base_uri}/jobs/{self.job.id}/files/{entry.id}"
         return make_file_ref(uri, name=name, size=entry.size, content_type=content_type)
+
+    def store_blob(
+        self,
+        content: "bytes | Any",
+        name: str = "",
+        content_type: str = "application/octet-stream",
+    ) -> dict[str, Any]:
+        """Store an output as a content-addressed blob; returns its reference.
+
+        ``content`` may be a buffer or any iterable of buffers — a
+        generator lets a service emit an arbitrarily large output in
+        constant memory. The blob is pinned by this job (released when
+        the job is deleted) and the returned reference carries the
+        digest, so consumers stage it by content instead of copying bytes
+        through intermediaries. Requires the container's blob store;
+        falls back to :meth:`store_file` (which buffers) when there is
+        none.
+        """
+        if self.blobs is None:
+            if not isinstance(content, (bytes, bytearray, memoryview)):
+                content = b"".join(content)
+            return self.store_file(bytes(content), name=name, content_type=content_type)
+        manifest = self.blobs.put_bytes(content, content_type=content_type)
+        self.blobs.pin(manifest.digest, f"job:{self.job.id}")
+        base = (
+            self._blob_base_fn()
+            if callable(self._blob_base_fn)
+            else (self._blob_base_fn or self.service_base_uri)
+        )
+        return make_blob_ref(
+            manifest.digest,
+            f"{str(base).rstrip('/')}/blobs/{manifest.digest}",
+            name=name,
+            size=manifest.size,
+            content_type=content_type,
+        )
 
 
 class Adapter:

@@ -14,10 +14,12 @@ any number of deployed services. It can publish itself two ways at once:
 from __future__ import annotations
 
 import logging
+import tempfile
 import threading
 from pathlib import Path
 from typing import Any, Callable
 
+from repro.blob import BlobStore, mount_blob_store
 from repro.cache import ResultCache
 from repro.container.adapters import create_adapter
 from repro.container.config import ServiceConfig
@@ -82,6 +84,17 @@ class ServiceContainer:
         self._server: RestServer | None = None
         self.local_base = self.registry.bind_local(name, self.app)
         self._security: SecurityMiddleware | None = None
+        # the blob data plane: durable beside the journal when one exists,
+        # a temp directory (cleaned up on shutdown) otherwise
+        if journal_dir is not None:
+            blob_dir = Path(journal_dir) / "blobs"
+            self._blob_tmp = None
+        else:
+            self._blob_tmp = tempfile.TemporaryDirectory(prefix=f"{name}-blobs-")
+            blob_dir = Path(self._blob_tmp.name)
+        self.blobs = BlobStore(blob_dir, journal_fn=self.job_manager.record_blob)
+        self.blobs.recover(self.job_manager.take_recovered_blobs())
+        mount_blob_store(self.app, self.blobs, base_uri=lambda: self.base_uri)
         self.app.route("GET", "/", self._index)
         self.app.route("GET", "/services", self._index)
         self.app.route("GET", "/ui", self._index_ui)
@@ -122,6 +135,9 @@ class ServiceContainer:
             self._server = None
         self.job_manager.shutdown(wait=wait)
         self.registry.unbind_local(self.name)
+        if self._blob_tmp is not None:
+            self._blob_tmp.cleanup()
+            self._blob_tmp = None
 
     # ----------------------------------------------------------- durability
 
@@ -157,6 +173,7 @@ class ServiceContainer:
         }
         if self.cache is not None:
             state["cache"] = self.cache.export()
+        state["blobs"] = self.blobs.export()
         self.journal.snapshot(state)
 
     # ------------------------------------------------------------- security
@@ -230,6 +247,8 @@ class ServiceContainer:
             base_uri_fn=lambda name=config.name: self.service_uri(name),
             resources=self,
             cache=self.cache,
+            blobs=self.blobs,
+            blob_base_fn=lambda: self.base_uri,
         )
         ledger = self._recover_service(service, adapter)
         base_path = f"/services/{config.name}"

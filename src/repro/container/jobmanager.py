@@ -36,6 +36,7 @@ from repro.runtime.pool import ExecutorPool, PoolStats
 __all__ = [
     "INTERRUPTED_ERROR",
     "JobManager",
+    "apply_blob_event",
     "apply_cache_event",
     "apply_job_event",
     "job_document",
@@ -99,6 +100,35 @@ def apply_cache_event(table: dict[str, dict[str, dict]], record: dict[str, Any])
     }
 
 
+def apply_blob_event(table: dict[str, dict[str, Any]], record: dict[str, Any]) -> None:
+    """Fold one blob record into the recovery table (digest → entry).
+
+    Events mirror the blob store's lifecycle: ``commit`` makes a digest
+    known, ``pin``/``unpin`` maintain its owner list, ``collect`` removes
+    it. Replaying the whole journal therefore reproduces the exact pin
+    state at crash time, which is what keeps GC safe across restarts.
+    """
+    if record.get("type") != "blob":
+        return
+    digest, event = record.get("digest"), record.get("event")
+    if not digest or not event:
+        return
+    if event == "collect":
+        table.pop(digest, None)
+        return
+    entry = table.setdefault(digest, {"committed": False, "pins": []})
+    if event == "commit":
+        entry["committed"] = True
+    elif event == "pin":
+        owner = record.get("owner")
+        if owner and owner not in entry["pins"]:
+            entry["pins"].append(owner)
+    elif event == "unpin":
+        owner = record.get("owner")
+        if owner in entry["pins"]:
+            entry["pins"].remove(owner)
+
+
 class JobManager:
     """Runs adapter executions for queued jobs on a fixed thread pool."""
 
@@ -122,6 +152,7 @@ class JobManager:
         self.recovery_warnings: list[str] = []
         self._recovered: dict[str, dict[str, dict]] = {}
         self._recovered_cache: dict[str, dict[str, dict]] = {}
+        self._recovered_blobs: dict[str, dict[str, Any]] = {}
         #: The container's result cache, when one is attached; shutdown
         #: closes it so pending coalesced claims fail instead of hanging.
         self.result_cache = None
@@ -197,6 +228,17 @@ class JobManager:
         """
         return self._recovered_cache.pop(service, {})
 
+    def take_recovered_blobs(self) -> dict[str, dict[str, Any]]:
+        """Claim the replayed blob table (digest → {committed, pins});
+        handed out once, to the container's blob store."""
+        table, self._recovered_blobs = self._recovered_blobs, {}
+        return table
+
+    def record_blob(self, record: dict[str, Any]) -> None:
+        """Journal one blob lifecycle record (commit/pin/unpin/collect)."""
+        if self.journal is not None:
+            self._append(dict(record, type="blob"))
+
     def attach_cache(self, cache: Any) -> None:
         """Adopt the container's result cache: journal its promotions and
         close it on shutdown so pending claimants are failed, not hung."""
@@ -269,16 +311,21 @@ class JobManager:
         self.recovery_warnings = recovery.warnings
         table: dict[str, dict[str, dict]] = {}
         cache_table: dict[str, dict[str, dict]] = {}
+        blob_table: dict[str, dict[str, Any]] = {}
         snapshot = recovery.snapshot or {}
         for service, jobs in (snapshot.get("services") or {}).items():
             table[service] = {job_id: dict(document) for job_id, document in jobs.items()}
         for record in snapshot.get("cache") or []:
             apply_cache_event(cache_table, record)
+        for record in snapshot.get("blobs") or []:
+            apply_blob_event(blob_table, record)
         for record in recovery.records:
             apply_job_event(table, record)
             apply_cache_event(cache_table, record)
+            apply_blob_event(blob_table, record)
         self._recovered = table
         self._recovered_cache = cache_table
+        self._recovered_blobs = blob_table
         if table:
             total = sum(len(jobs) for jobs in table.values())
             logger.info("replayed journal: %d jobs across %d services", total, len(table))

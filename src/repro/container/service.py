@@ -18,7 +18,7 @@ from repro.container.config import ServiceConfig
 from repro.container.jobmanager import JobManager
 from repro.core.description import ServiceDescription
 from repro.core.errors import AdapterError, JobNotFoundError, ServiceError
-from repro.core.filerefs import file_uri, is_file_ref
+from repro.core.filerefs import file_uri, is_file_ref, iter_blob_digests
 from repro.core.files import FileEntry, FileStore
 from repro.core.jobs import Job, JobStore
 from repro.http.client import IDEMPOTENCY_KEY_HEADER, RestClient
@@ -41,6 +41,8 @@ class DeployedService:
         base_uri_fn: Callable[[], str],
         resources: Any,
         cache: "ResultCache | None" = None,
+        blobs: Any = None,
+        blob_base_fn: "Callable[[], str] | None" = None,
     ):
         self.config = config
         self.adapter = adapter
@@ -49,8 +51,15 @@ class DeployedService:
         self.base_uri_fn = base_uri_fn
         self.resources = resources
         self.cache = cache
+        self.blobs = blobs
+        self.blob_base_fn = blob_base_fn
         self.jobs = JobStore()
         self.files = FileStore()
+        # bounds on resolving remote file references, settable per service
+        # in the internal configuration; None means uncapped (historical
+        # behaviour), which benchmarks and trusted deployments may want
+        self.fetch_max_bytes = config.config.get("fetch_max_bytes")
+        self.fetch_timeout = config.config.get("fetch_timeout")
 
     @property
     def description(self) -> ServiceDescription:
@@ -85,6 +94,7 @@ class DeployedService:
             if access is not None:
                 job.extra["owner"] = access.effective_id
             self.jobs.add(job)
+            self._pin_blobs(job, values)
             if fingerprint is not None:
                 # single-flight leader: identical submits from here on
                 # coalesce onto this job instead of executing again
@@ -130,6 +140,7 @@ class DeployedService:
             self.adapter.cancel(self._context(job))
         self.jobs.remove(job_id)
         self.files.delete_job_files(job_id)
+        self._unpin_blobs(job)
         self.job_manager.record_deleted(job)
 
     def get_file(self, job_id: str, file_id: str) -> FileEntry:
@@ -154,7 +165,12 @@ class DeployedService:
             return None
 
     def _fetch_reference(self, reference: dict[str, Any]) -> bytes:
-        return RestClient(self.registry).get_bytes(file_uri(reference))
+        # blob references never reach this fetcher (the fingerprint layer
+        # resolves them from their digest without fetching); plain file
+        # refs are capped like any other reference resolution
+        return RestClient(self.registry).get_bytes(
+            file_uri(reference), max_bytes=self.fetch_max_bytes
+        )
 
     def _claim_cached(self, fingerprint: str, request: Request) -> "Job | None":
         """Resolve a fingerprint against the cache; None means the caller
@@ -186,6 +202,27 @@ class DeployedService:
 
     # ----------------------------------------------------------- internals
 
+    def _pin_blobs(self, job: Job, values: dict[str, Any]) -> None:
+        """Pin every locally held blob the job's inputs reference, so GC
+        cannot collect an input out from under a queued or running job."""
+        if self.blobs is None:
+            return
+        for digest in set(iter_blob_digests(values)):
+            if self.blobs.exists(digest):
+                self.blobs.pin(digest, f"job:{job.id}")
+
+    def _unpin_blobs(self, job: Job) -> None:
+        """Release the deleted job's pins (inputs, results, and anything
+        its adapter stored under ``job:<id>`` via ``store_blob``)."""
+        if self.blobs is None:
+            return
+        owner = f"job:{job.id}"
+        digests = set(iter_blob_digests(job.inputs))
+        if isinstance(job.results, dict):
+            digests.update(iter_blob_digests(job.results))
+        for digest in digests:
+            self.blobs.unpin(digest, owner)
+
     def _context(self, job: Job) -> JobContext:
         return JobContext(
             job=job,
@@ -194,6 +231,10 @@ class DeployedService:
             registry=self.registry,
             base_uri_fn=self.base_uri_fn,
             resources=self.resources,
+            blobs=self.blobs,
+            blob_base_fn=self.blob_base_fn,
+            fetch_max_bytes=self.fetch_max_bytes,
+            fetch_timeout=self.fetch_timeout,
         )
 
     def _execution_thunk(self, job: Job) -> Callable[[], dict[str, Any]]:

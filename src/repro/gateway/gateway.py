@@ -31,7 +31,13 @@ from repro.gateway.balancer import Policy, create_policy
 from repro.gateway.breaker import RetryBudget
 from repro.gateway.idempotency import IdempotencyCache
 from repro.gateway.replicaset import Replica, ReplicaSet, ReplicaState
-from repro.gateway.routing import decode_job_id, rewrite_job_document, rewrite_tree, rewrite_uri
+from repro.gateway.routing import (
+    decode_blob_ref,
+    decode_job_id,
+    rewrite_job_document,
+    rewrite_tree,
+    rewrite_uri,
+)
 from repro.http.app import RestApp
 from repro.http.client import IDEMPOTENCY_KEY_HEADER, X_CACHE_HEADER
 from repro.http.messages import Headers, HttpError, Request, Response
@@ -113,6 +119,10 @@ class ServiceGateway:
         self.app.route("GET", "/services/{name}/jobs/{job_id}", self._get_job)
         self.app.route("DELETE", "/services/{name}/jobs/{job_id}", self._delete_job)
         self.app.route("GET", "/services/{name}/jobs/{job_id}/files/{file_id...}", self._get_file)
+        self.app.route("POST", "/blobs", self._put_blob)
+        self.app.route("PUT", "/blobs/{ref}", self._put_blob)
+        self.app.route("GET", "/blobs/{ref}", self._get_blob)
+        self.app.route("GET", "/blobs/{ref}/manifest", self._get_blob_manifest)
 
     # ----------------------------------------------------------- publishing
 
@@ -218,7 +228,10 @@ class ServiceGateway:
         # then lands identical work on the replica whose result cache most
         # likely already holds it (correctness never depends on this —
         # replicas compute the authoritative fingerprint themselves)
-        balance_key = routing_hint(name, request.body)
+        # body_bytes, not body: a large submission may have been spilled to
+        # a spool by the HTTP core, leaving request.body empty
+        body = request.body_bytes
+        balance_key = routing_hint(name, body)
         tried: set[str] = set()
         saturated = False
         bound_unavailable = False
@@ -243,7 +256,7 @@ class ServiceGateway:
             attempts += 1
             try:
                 response = self.registry.request(
-                    "POST", f"{replica.base_url}/services/{name}", headers=headers, body=request.body
+                    "POST", f"{replica.base_url}/services/{name}", headers=headers, body=body
                 )
             except ConnectError as exc:
                 # nothing reached the replica: safe to try another — unless
@@ -359,6 +372,56 @@ class ServiceGateway:
         )
         return self._proxied(response)
 
+    def _put_blob(self, request: Request, ref: "str | None" = None) -> Response:
+        """Upload through the gateway: placed by content digest.
+
+        A consistent-hash policy then lands re-uploads of the same content
+        (and later digest-keyed fetches) on the same replica, so dedup in
+        the replica's chunk store actually triggers.
+        """
+        digest: str | None = None
+        replica: Replica | None = None
+        if ref is not None:
+            replica_id, digest = decode_blob_ref(ref)
+            if replica_id is not None:
+                replica = self._pin_replica(replica_id)
+        if replica is None:
+            replica, reason = self._select(set(), digest)
+            if replica is None:
+                if reason == "saturated":
+                    return self._unavailable(429, f"all replicas of {self.name!r} are at capacity")
+                return self._unavailable(503, f"no replica of {self.name!r} can take the upload")
+            # _forward_pinned manages its own slot; release the one _select held
+            replica.release_slot()
+        method, path = ("PUT", f"/blobs/{digest}") if digest is not None else ("POST", "/blobs")
+        response = self._forward_pinned(replica, method, path, request, body=request.body_bytes)
+        if not response.ok:
+            return self._proxied(response)
+        document = rewrite_tree(response.json_body, replica, self.base_uri)
+        rewritten = Response.json(document, status=response.status)
+        location = response.headers.get("Location")
+        if location:
+            rewritten.headers.set("Location", rewrite_uri(location, replica, self.base_uri))
+        return rewritten
+
+    def _get_blob(self, request: Request, ref: str) -> Response:
+        return self._proxied(self._blob_response(request, ref, ""))
+
+    def _get_blob_manifest(self, request: Request, ref: str) -> Response:
+        # manifests carry digests only, never URIs: nothing to rewrite
+        return self._proxied(self._blob_response(request, ref, "/manifest"))
+
+    def _blob_response(self, request: Request, ref: str, suffix: str) -> Response:
+        """Fetch a blob resource: pinned when the ref carries a replica
+        prefix, otherwise resolved by content — any replica holding the
+        digest may answer, so 404s fall through to the next one."""
+        replica_id, digest = decode_blob_ref(ref)
+        path = f"/blobs/{digest}{suffix}"
+        if replica_id is not None:
+            return self._forward_pinned(self._pin_replica(replica_id), "GET", path, request)
+        _, response = self._forward_blob_any("GET", path, request, key=digest)
+        return response
+
     # ----------------------------------------------------------- forwarding
 
     def _forward_headers(self, request: Request) -> dict[str, str]:
@@ -434,16 +497,21 @@ class ServiceGateway:
     def _pin(self, job_id: str) -> tuple[Replica, str]:
         """Resolve a public job id to its owning replica (slot not held)."""
         replica_id, raw_id = decode_job_id(job_id)
+        return self._pin_replica(replica_id), raw_id
+
+    def _pin_replica(self, replica_id: str) -> Replica:
         replica = self.replicas.get(replica_id)
         if replica is None:
             raise HttpError(404, f"no replica {replica_id!r} behind this gateway")
         if replica.state is ReplicaState.DOWN:
             raise self._unavailable_error(
-                503, f"replica {replica_id!r} is down; its jobs are unavailable until it recovers"
+                503, f"replica {replica_id!r} is down; its resources are unavailable until it recovers"
             )
-        return replica, raw_id
+        return replica
 
-    def _forward_pinned(self, replica: Replica, method: str, path: str, request: Request) -> Response:
+    def _forward_pinned(
+        self, replica: Replica, method: str, path: str, request: Request, body: bytes = b""
+    ) -> Response:
         if not replica.acquire_slot():
             raise self._unavailable_error(429, f"replica {replica.id!r} is at capacity")
         if not replica.breaker.allow():
@@ -455,7 +523,10 @@ class ServiceGateway:
             )
         try:
             response = self.registry.request(
-                method, self._target(replica, path, request), headers=self._forward_headers(request)
+                method,
+                self._target(replica, path, request),
+                headers=self._forward_headers(request),
+                body=body,
             )
         except TransportError as exc:
             replica.breaker.record_failure()
@@ -467,6 +538,47 @@ class ServiceGateway:
         else:
             replica.breaker.record_success()
         return response
+
+    def _forward_blob_any(
+        self, method: str, path: str, request: Request, key: "str | None" = None
+    ) -> tuple[Replica, Response]:
+        """Resolve a content-addressed resource: a 404 from one replica
+        just means *it* does not hold the blob, so keep trying others.
+        The digest key steers a consistent-hash policy to the likeliest
+        holder first."""
+        tried: set[str] = set()
+        missing = 0
+        saturated = False
+        for _ in range(max(1, len(self.replicas))):
+            replica, reason = self._select(tried, key)
+            if replica is None:
+                saturated = saturated or reason == "saturated"
+                break
+            try:
+                response = self.registry.request(
+                    method, self._target(replica, path, request), headers=self._forward_headers(request)
+                )
+            except TransportError:
+                replica.breaker.record_failure()
+                tried.add(replica.id)
+                continue
+            finally:
+                replica.release_slot()
+            if response.status >= 500:
+                replica.breaker.record_failure()
+                tried.add(replica.id)
+                continue
+            replica.breaker.record_success()
+            if response.status == 404:
+                missing += 1
+                tried.add(replica.id)
+                continue
+            return replica, response
+        if missing and not saturated:
+            raise HttpError(404, f"no replica of {self.name!r} holds this blob")
+        if saturated:
+            raise self._unavailable_error(429, f"all replicas of {self.name!r} are at capacity")
+        raise self._unavailable_error(503, f"no replica of {self.name!r} is reachable")
 
     # ------------------------------------------------------------ responses
 

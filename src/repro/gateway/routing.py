@@ -27,6 +27,7 @@ from repro.gateway.replicaset import ID_SEPARATOR, Replica
 from repro.http.messages import HttpError
 
 _JOB_PATH = re.compile(r"^(/services/[^/]+/jobs/)([^/]+)(.*)$")
+_BLOB_PATH = re.compile(r"^(/blobs/)([^/]+)(.*)$")
 
 
 def encode_job_id(replica_id: str, job_id: str) -> str:
@@ -45,6 +46,20 @@ def decode_job_id(public_id: str) -> tuple[str, str]:
     return replica_id, job_id
 
 
+def decode_blob_ref(public_ref: str) -> "tuple[str | None, str]":
+    """Split a public blob path segment into (replica id, digest).
+
+    Blob digests are bare hex and never contain the separator, so a
+    prefix is unambiguous. Unlike jobs, an *unprefixed* digest is still
+    resolvable — content addressing lets the gateway ask any replica —
+    so the replica id is ``None`` rather than a 404.
+    """
+    replica_id, separator, digest = public_ref.partition(ID_SEPARATOR)
+    if not separator or not replica_id or not digest:
+        return None, public_ref
+    return replica_id, digest
+
+
 def rewrite_uri(uri: str, replica: Replica, gateway_base: str) -> str:
     """Map one replica URI onto the gateway's address space.
 
@@ -59,6 +74,14 @@ def rewrite_uri(uri: str, replica: Replica, gateway_base: str) -> str:
     if match:
         head, job_id, tail = match.groups()
         rest = f"{head}{encode_job_id(replica.id, job_id)}{tail}"
+    else:
+        match = _BLOB_PATH.match(rest)
+        if match:
+            # same prefix scheme as job ids: the digest segment of the URI
+            # names the *copy* on the owning replica. The ``$blob`` digest
+            # field itself is never rewritten — it names the content.
+            head, digest, tail = match.groups()
+            rest = f"{head}{encode_job_id(replica.id, digest)}{tail}"
     return gateway_base.rstrip("/") + rest
 
 

@@ -129,11 +129,19 @@ class RestApp:
 
     def _finalize(self, response: Response, request: Request, request_id: str) -> Response:
         response.headers.set(REQUEST_ID_HEADER, request_id)
-        if request.method == "HEAD" and response.body:
+        if request.method == "HEAD" and (response.body or response.stream is not None):
             # the HEAD contract over every transport: GET's headers and
             # Content-Length, no body bytes
-            response.headers.set("Content-Length", str(len(response.body)))
-            response.body = b""
+            if response.stream is not None:
+                response.headers.set("Content-Length", str(response.content_length or 0))
+                closer = getattr(response.stream, "close", None)
+                if closer is not None:
+                    closer()
+                response.stream = None
+                response.content_length = None
+            else:
+                response.headers.set("Content-Length", str(len(response.body)))
+                response.body = b""
         return response
 
     def _finishing_render(

@@ -204,11 +204,29 @@ class RestClient:
             return None, fresh_etag, True
         return self._decode(response, self.url(path, query)), fresh_etag, False
 
-    def get_bytes(self, path: str, headers: Mapping[str, str] | None = None) -> bytes:
-        """Fetch a binary resource (file contents); raises on error statuses."""
+    def get_bytes(
+        self,
+        path: str,
+        headers: Mapping[str, str] | None = None,
+        max_bytes: "int | None" = None,
+    ) -> bytes:
+        """Fetch a binary resource (file contents); raises on error statuses.
+
+        ``max_bytes`` caps the accepted payload: a longer body raises
+        :class:`ClientError` (413) instead of handing the caller an
+        arbitrarily large buffer — the guard behind bounded file-reference
+        resolution.
+        """
         response = self.request_raw("GET", path, headers=headers)
         if not response.ok and response.status != 206:
             self._decode(response, self.url(path))  # raises ClientError
+        if max_bytes is not None and len(response.body) > max_bytes:
+            raise ClientError(
+                413,
+                f"response body of {len(response.body)} bytes exceeds the"
+                f" caller's {max_bytes}-byte limit",
+                url=self.url(path),
+            )
         return response.body
 
     @staticmethod

@@ -47,11 +47,13 @@ from typing import Callable
 
 from repro.http.app import DEFER_CAPABILITY, DeferredResponse, RestApp
 from repro.http.messages import (
+    DEFAULT_BODY_SPILL_BYTES,
     DEFAULT_MAX_BODY_BYTES,
     HttpError,
     ProtocolError,
     Request,
     RequestParser,
+    Response,
     serialize_response,
 )
 from repro.runtime.pool import ExecutorPool
@@ -140,6 +142,7 @@ class _Connection:
         "pipeline",
         "outbuf",
         "out_offset",
+        "stream",
         "lock",
         "busy",
         "close_after",
@@ -160,6 +163,10 @@ class _Connection:
         #: Bytes accepted for writing but not yet on the wire.
         self.outbuf = bytearray()
         self.out_offset = 0
+        #: Chunk iterator of an in-flight streaming response; the write
+        #: path refills ``outbuf`` from it one chunk at a time, so a
+        #: multi-GB response never occupies more than a chunk of memory.
+        self.stream = None
         #: Guards ``outbuf``/``closed`` against the off-loop writers.
         self.lock = threading.Lock()
         #: A request from this connection is being handled or is parked.
@@ -312,13 +319,23 @@ class _EventLoop:
 
     def _refuse(self, connection: _Connection, error: ProtocolError) -> None:
         """Answer a protocol error and close (the byte stream is unrecoverable)."""
+        with connection.lock:
+            streaming = connection.stream is not None
+        if streaming:
+            # a response is mid-stream; appending an error body would
+            # interleave with its remaining chunks — just sever
+            self._abort(connection)
+            return
         response = HttpError(error.status, error.message).to_response()
         connection.close_after = True
         self._set_interest(connection, reading=False, writing=connection.writing)
         self.core.send_payload(connection, serialize_response(response, close=True))
 
     def _has_backlog(self, connection: _Connection) -> bool:
-        return len(connection.outbuf) - connection.out_offset > 0
+        return (
+            len(connection.outbuf) - connection.out_offset > 0
+            or connection.stream is not None
+        )
 
     def _flush(self, connection: _Connection) -> None:
         """Write pending bytes (loop thread, write-ready socket)."""
@@ -331,26 +348,45 @@ class _EventLoop:
             self._response_done(connection)
 
     def _send_backlog_locked(self, connection: _Connection) -> bool:
-        """Push ``outbuf`` into the socket; True when fully drained.
+        """Push ``outbuf`` (refilled from any stream) into the socket;
+        True when fully drained.
 
-        Caller holds ``connection.lock``. On a dead socket the connection
-        is marked closed and cleanup is scheduled on the loop.
+        Caller holds ``connection.lock``. A streaming response keeps its
+        chunk iterator on the connection; whenever the buffered bytes
+        drain, the next chunk is pulled and sent — so the response body
+        transits the server at one chunk of memory regardless of size.
+        On a dead socket the connection is marked closed and cleanup is
+        scheduled on the loop.
         """
-        while connection.out_offset < len(connection.outbuf):
+        while True:
+            while connection.out_offset < len(connection.outbuf):
+                try:
+                    sent = connection.sock.send(
+                        memoryview(connection.outbuf)[connection.out_offset :]
+                    )
+                except (BlockingIOError, InterruptedError):
+                    return False
+                except OSError:
+                    connection.closed = True
+                    self.call_soon(lambda: self._abort(connection, already_closed=True))
+                    return False
+                connection.out_offset += sent
+            connection.outbuf = bytearray()
+            connection.out_offset = 0
+            if connection.stream is None:
+                return True
             try:
-                sent = connection.sock.send(
-                    memoryview(connection.outbuf)[connection.out_offset :]
-                )
-            except (BlockingIOError, InterruptedError):
-                return False
-            except OSError:
+                chunk = next(connection.stream, None)
+            except Exception:  # noqa: BLE001 - a failing stream kills the connection
+                logger.exception("response stream failed mid-body")
+                connection.stream = None
                 connection.closed = True
                 self.call_soon(lambda: self._abort(connection, already_closed=True))
                 return False
-            connection.out_offset += sent
-        connection.outbuf = bytearray()
-        connection.out_offset = 0
-        return True
+            if chunk is None:
+                connection.stream = None
+                return True
+            connection.outbuf.extend(chunk)
 
     def _response_done(self, connection: _Connection) -> None:
         """Bookkeeping after a complete response hit the wire (loop thread)."""
@@ -426,6 +462,7 @@ class EventLoopCore:
         fault_hook: "Callable[[Request], str | None] | None" = None,
         idle_timeout: float = 60.0,
         max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+        body_spill_bytes: int = DEFAULT_BODY_SPILL_BYTES,
         handler_threads: int = 8,
         loop_threads: int = 1,
         timer_granularity: float = 0.05,
@@ -436,6 +473,7 @@ class EventLoopCore:
         self.fault_hook = fault_hook
         self.idle_timeout = idle_timeout
         self.max_body_bytes = max_body_bytes
+        self.body_spill_bytes = body_spill_bytes
         self.handler_threads = handler_threads
         self.timer_granularity = timer_granularity
         self.connections_accepted = 0
@@ -530,7 +568,9 @@ class EventLoopCore:
     # ------------------------------------------------------------- loop hooks
 
     def new_parser(self) -> RequestParser:
-        return RequestParser(max_body_bytes=self.max_body_bytes)
+        return RequestParser(
+            max_body_bytes=self.max_body_bytes, spill_threshold=self.body_spill_bytes
+        )
 
     def _accept(self) -> None:
         while True:
@@ -580,13 +620,13 @@ class EventLoopCore:
             except DeferredResponse as deferred:
                 self._park(connection, deferred, close_after, head)
                 return
-            payload = serialize_response(response, head=head, close=close_after)
             if decision == "drop-mid-write":
+                payload = serialize_response(
+                    response.materialize(), head=head, close=close_after
+                )
                 self._sever_mid_write(connection, payload)
                 return
-            if close_after:
-                connection.close_after = True
-            self.send_payload(connection, payload)
+            self.send_response(connection, response, head=head, close_after=close_after)
         except Exception:  # noqa: BLE001 - a handler bug must not leak the socket
             logger.exception("event-loop request handling failed")
             connection.loop.call_soon(lambda: connection.loop._abort(connection))
@@ -643,11 +683,7 @@ class EventLoopCore:
             return
         try:
             response = render()
-            if close_after:
-                connection.close_after = True
-            self.send_payload(
-                connection, serialize_response(response, head=head, close=close_after)
-            )
+            self.send_response(connection, response, head=head, close_after=close_after)
         except Exception:  # noqa: BLE001 - render is kernel-wrapped; belt and braces
             logger.exception("deferred response rendering failed")
             connection.loop.call_soon(lambda: connection.loop._abort(connection))
@@ -662,6 +698,46 @@ class EventLoopCore:
         connection.loop.call_soon(lambda: connection.loop._abort(connection))
 
     # ------------------------------------------------------------ write path
+
+    def send_response(
+        self,
+        connection: _Connection,
+        response: "Response",
+        head: bool = False,
+        close_after: bool = False,
+    ) -> None:
+        """Write one response, streaming its body when it carries a chunk
+        iterator; callable from any thread.
+
+        Buffered responses take the single-buffer :meth:`send_payload`
+        path unchanged. A streaming response queues its serialized head
+        and parks the iterator on the connection; the write path (direct
+        drain here, then the loop as the socket accepts bytes) pulls one
+        chunk at a time, so the body never materializes server-side.
+        """
+        if close_after:
+            connection.close_after = True
+        if response.stream is None or head:
+            self.send_payload(
+                connection, serialize_response(response, head=head, close=close_after)
+            )
+            return
+        header = serialize_response(response, close=close_after)
+        loop = connection.loop
+        with connection.lock:
+            if connection.closed:
+                return
+            connection.outbuf.extend(header)
+            connection.stream = response.stream
+            done = loop._send_backlog_locked(connection)
+        if done:
+            loop.call_soon(lambda: loop._response_done(connection))
+        elif not connection.closed:
+            loop.call_soon(
+                lambda: loop._set_interest(
+                    connection, reading=connection.reading, writing=True
+                )
+            )
 
     def send_payload(self, connection: _Connection, payload: bytes) -> None:
         """Write one complete response; callable from any thread.

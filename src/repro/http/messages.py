@@ -8,6 +8,7 @@ resources) and nothing more.
 from __future__ import annotations
 
 import json
+import tempfile
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Mapping
 from urllib.parse import parse_qsl, quote, urlsplit
@@ -48,6 +49,11 @@ DEFAULT_MAX_BODY_BYTES = 64 * 1024 * 1024
 
 #: Largest request-line-plus-headers block the incremental parser buffers.
 DEFAULT_MAX_HEADER_BYTES = 64 * 1024
+
+#: Bodies above this are spilled to an anonymous temp file instead of
+#: being buffered in memory, so a large upload costs O(spill threshold)
+#: RSS rather than O(body) on both server cores.
+DEFAULT_BODY_SPILL_BYTES = 1024 * 1024
 
 
 def reason_phrase(status: int) -> str:
@@ -138,12 +144,50 @@ class HttpError(Exception):
         return Response.json(body, status=self.status)
 
 
+class BodySpool:
+    """A request body spilled to an anonymous temp file.
+
+    Created by the parser for bodies above the spill threshold; deleted
+    by the OS when the last handle drops (``TemporaryFile`` is unlinked
+    at creation), so no cleanup protocol is needed.
+    """
+
+    def __init__(self) -> None:
+        self._file = tempfile.TemporaryFile()
+        self.size = 0
+
+    def write(self, data: bytes) -> None:
+        self._file.write(data)
+        self.size += len(data)
+
+    def read_all(self) -> bytes:
+        self._file.seek(0)
+        return self._file.read()
+
+    def chunks(self, chunk_size: int = 65536) -> Iterator[bytes]:
+        self._file.seek(0)
+        while True:
+            piece = self._file.read(chunk_size)
+            if not piece:
+                return
+            yield piece
+
+    def close(self) -> None:
+        self._file.close()
+
+
 @dataclass
 class Request:
     """An HTTP request as seen by handlers.
 
     ``path`` is the decoded path without the query string; ``query`` holds
     decoded query parameters (first value wins on duplicates).
+
+    Small bodies live in ``body``; a body above the server's spill
+    threshold lives in ``spool`` instead (``body`` is then empty).
+    Handlers that can stream should iterate :meth:`body_chunks`; handlers
+    that need the whole buffer use :attr:`body_bytes`, which works either
+    way.
     """
 
     method: str
@@ -153,6 +197,8 @@ class Request:
     query: dict[str, str] = field(default_factory=dict)
     #: Attributes attached by middleware (e.g. the authenticated identity).
     context: dict[str, Any] = field(default_factory=dict)
+    #: Temp-file-backed body for spilled requests (``None`` ⇒ in ``body``).
+    spool: "BodySpool | None" = None
 
     @classmethod
     def from_target(
@@ -161,6 +207,7 @@ class Request:
         target: str,
         headers: Headers | Mapping[str, str] | None = None,
         body: bytes = b"",
+        spool: "BodySpool | None" = None,
     ) -> "Request":
         """Build a request from a request-target (path plus query string)."""
         parts = urlsplit(target)
@@ -175,12 +222,29 @@ class Request:
             headers=headers,
             body=body,
             query=query,
+            spool=spool,
         )
+
+    @property
+    def body_size(self) -> int:
+        """Total body length, wherever the bytes live."""
+        return self.spool.size if self.spool is not None else len(self.body)
+
+    @property
+    def body_bytes(self) -> bytes:
+        """The whole body as one buffer (reads the spool when spilled)."""
+        return self.spool.read_all() if self.spool is not None else self.body
+
+    def body_chunks(self, chunk_size: int = 65536) -> Iterator[bytes]:
+        """Iterate the body without materializing a spilled one."""
+        if self.spool is not None:
+            return self.spool.chunks(chunk_size)
+        return iter((self.body,)) if self.body else iter(())
 
     @property
     def text(self) -> str:
         """The request body decoded as UTF-8."""
-        return self.body.decode("utf-8")
+        return self.body_bytes.decode("utf-8")
 
     @property
     def json(self) -> Any:
@@ -189,10 +253,11 @@ class Request:
         Raises :class:`HttpError` (400) on malformed or empty bodies so
         handlers can use it directly without their own error handling.
         """
-        if not self.body:
+        data = self.body_bytes
+        if not data:
             raise HttpError(400, "request body is empty, expected JSON")
         try:
-            return json.loads(self.body)
+            return json.loads(data)
         except json.JSONDecodeError as exc:
             raise HttpError(400, f"malformed JSON in request body: {exc}") from exc
 
@@ -235,11 +300,23 @@ class Request:
 
 @dataclass
 class Response:
-    """An HTTP response produced by handlers."""
+    """An HTTP response produced by handlers.
+
+    A *streaming* response carries an iterator of body chunks in
+    ``stream`` (with its exact total length in ``content_length``) instead
+    of a ``body`` buffer; servers write the chunks as the socket drains,
+    so a multi-GB blob GET never holds the payload in memory. Everything
+    else — status, headers, HEAD semantics — is identical.
+    """
 
     status: int = 200
     headers: Headers = field(default_factory=Headers)
     body: bytes = b""
+    #: Chunk iterator for streaming responses (``None`` ⇒ ``body`` holds it).
+    stream: "Iterator[bytes] | None" = None
+    #: Exact byte length of ``stream`` (required when streaming: the
+    #: platform speaks Content-Length framing, not chunked encoding).
+    content_length: "int | None" = None
 
     @classmethod
     def json(
@@ -278,6 +355,31 @@ class Response:
         response = cls.json(data, status=201)
         response.headers.set("Location", quote(location, safe="/:?=&%"))
         return response
+
+    @classmethod
+    def streamed(
+        cls,
+        chunks: Iterator[bytes],
+        length: int,
+        status: int = 200,
+        content_type: str = "application/octet-stream",
+    ) -> "Response":
+        """A streaming response: ``length`` bytes drawn from ``chunks``."""
+        response = cls(status=status, stream=iter(chunks), content_length=length)
+        response.headers.set("Content-Type", content_type)
+        return response
+
+    def materialize(self) -> "Response":
+        """Collapse a streaming response into a buffered one, in place.
+
+        Used by transports that hand the caller a complete response object
+        (the in-process local transport, the threaded test client).
+        """
+        if self.stream is not None:
+            self.body = b"".join(self.stream)
+            self.stream = None
+            self.content_length = None
+        return self
 
     @property
     def text_body(self) -> str:
@@ -329,9 +431,13 @@ class RequestParser:
         self,
         max_header_bytes: int = DEFAULT_MAX_HEADER_BYTES,
         max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+        spill_threshold: int = DEFAULT_BODY_SPILL_BYTES,
     ):
         self.max_header_bytes = max_header_bytes
         self.max_body_bytes = max_body_bytes
+        #: Bodies longer than this go to a :class:`BodySpool` instead of
+        #: memory; ``0`` spills everything, a negative value never spills.
+        self.spill_threshold = spill_threshold
         self._buffer = bytearray()
         self._state = "headers"
         # fields of the request whose body is still arriving
@@ -340,6 +446,7 @@ class RequestParser:
         self._headers: Headers | None = None
         self._length = 0
         self._close_after = False
+        self._spool: "BodySpool | None" = None
 
     @property
     def buffered(self) -> int:
@@ -358,13 +465,29 @@ class RequestParser:
                     if not self._parse_head():
                         break
                 if self._state == "body":
-                    if len(self._buffer) < self._length:
-                        break
-                    body = bytes(self._buffer[: self._length])
-                    del self._buffer[: self._length]
-                    request = Request.from_target(
-                        self._method, self._target, headers=self._headers, body=body
-                    )
+                    if self._spool is not None:
+                        # spill what arrived; the buffer never grows past
+                        # one feed's worth for a spilled body
+                        want = self._length - self._spool.size
+                        take = min(want, len(self._buffer))
+                        if take:
+                            self._spool.write(bytes(self._buffer[:take]))
+                            del self._buffer[:take]
+                        if self._spool.size < self._length:
+                            break
+                        request = Request.from_target(
+                            self._method, self._target, headers=self._headers,
+                            spool=self._spool,
+                        )
+                        self._spool = None
+                    else:
+                        if len(self._buffer) < self._length:
+                            break
+                        body = bytes(self._buffer[: self._length])
+                        del self._buffer[: self._length]
+                        request = Request.from_target(
+                            self._method, self._target, headers=self._headers, body=body
+                        )
                     completed.append((request, self._close_after))
                     self._state = "headers"
         except ProtocolError:
@@ -432,6 +555,11 @@ class RequestParser:
         self._headers = headers
         self._length = length
         self._close_after = close_after
+        self._spool = (
+            BodySpool()
+            if self.spill_threshold >= 0 and length > self.spill_threshold and length > 0
+            else None
+        )
         self._state = "body"
         return True
 
@@ -449,6 +577,10 @@ def serialize_response(
     delayed ACKs. ``head`` omits the body while keeping GET's headers and
     ``Content-Length`` (the HEAD contract); ``close`` advertises that the
     connection will not be reused.
+
+    For a *streaming* response this renders the head only (advertising
+    ``content_length``); the caller is responsible for writing the chunk
+    iterator after it.
     """
     status = response.status
     parts = [f"HTTP/1.1 {status} {reason_phrase(status)}\r\n".encode("latin-1")]
@@ -459,10 +591,15 @@ def serialize_response(
     if "server" not in seen:
         parts.append(f"Server: {server}\r\n".encode("latin-1"))
     if "content-length" not in seen:
-        parts.append(f"Content-Length: {len(response.body)}\r\n".encode("latin-1"))
+        length = (
+            response.content_length
+            if response.stream is not None and response.content_length is not None
+            else len(response.body)
+        )
+        parts.append(f"Content-Length: {length}\r\n".encode("latin-1"))
     if close and "connection" not in seen:
         parts.append(b"Connection: close\r\n")
     parts.append(b"\r\n")
-    if response.body and not head:
+    if response.body and not head and response.stream is None:
         parts.append(response.body)
     return b"".join(parts)

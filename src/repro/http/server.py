@@ -25,7 +25,7 @@ from typing import Callable
 
 from repro.http.app import RestApp
 from repro.http.eventloop import EventLoopCore
-from repro.http.messages import DEFAULT_MAX_BODY_BYTES, Request
+from repro.http.messages import DEFAULT_BODY_SPILL_BYTES, DEFAULT_MAX_BODY_BYTES, Request
 from repro.http.threaded import SUPPORTED_METHODS, ThreadedServerCore
 
 __all__ = ["RestServer", "SUPPORTED_METHODS"]
@@ -53,6 +53,9 @@ class RestServer:
       reaped ones on the event-loop core).
     - ``max_body_bytes`` — request bodies above this answer 413 without
       being buffered (default 64 MB).
+    - ``body_spill_bytes`` — request bodies above this are spilled to an
+      anonymous temp file instead of memory (default 1 MB; ``-1`` keeps
+      everything in memory).
     - ``handler_threads`` / ``loop_threads`` — event-loop core sizing;
       ignored by the threaded core.
     """
@@ -67,6 +70,7 @@ class RestServer:
         server_impl: str = "eventloop",
         idle_timeout: float = 60.0,
         max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+        body_spill_bytes: int = DEFAULT_BODY_SPILL_BYTES,
         handler_threads: int = 8,
         loop_threads: int = 1,
     ):
@@ -79,6 +83,7 @@ class RestServer:
         options: dict[str, object] = {
             "idle_timeout": idle_timeout,
             "max_body_bytes": max_body_bytes,
+            "body_spill_bytes": body_spill_bytes,
         }
         if factory is EventLoopCore:
             options["handler_threads"] = handler_threads

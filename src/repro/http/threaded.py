@@ -22,7 +22,9 @@ from typing import Callable
 
 from repro.http.app import RestApp
 from repro.http.messages import (
+    DEFAULT_BODY_SPILL_BYTES,
     DEFAULT_MAX_BODY_BYTES,
+    BodySpool,
     Headers,
     HttpError,
     Request,
@@ -70,11 +72,26 @@ class _AppRequestHandler(BaseHTTPRequestHandler):
             )
             self.close_connection = True
             return
-        body = self.rfile.read(length) if length else b""
+        spill = getattr(self.server, "body_spill_bytes", DEFAULT_BODY_SPILL_BYTES)
+        body, spool = b"", None
+        if length and spill >= 0 and length > spill:
+            # spill to disk in bounded reads: RSS stays O(read size)
+            spool = BodySpool()
+            remaining = length
+            while remaining:
+                piece = self.rfile.read(min(remaining, 65536))
+                if not piece:
+                    break
+                spool.write(piece)
+                remaining -= len(piece)
+        elif length:
+            body = self.rfile.read(length)
         headers = Headers()
         for name, value in self.headers.items():
             headers.add(name, value)
-        request = Request.from_target(self.command, self.path, headers=headers, body=body)
+        request = Request.from_target(
+            self.command, self.path, headers=headers, body=body, spool=spool
+        )
         hook = getattr(self.server, "fault_hook", None)
         if hook is not None:
             decision = hook(request)
@@ -96,9 +113,19 @@ class _AppRequestHandler(BaseHTTPRequestHandler):
         for name, value in response.headers.items():
             self.send_header(name, value)
         if "content-length" not in seen:
-            self.send_header("Content-Length", str(len(response.body)))
+            length = (
+                response.content_length
+                if response.stream is not None and response.content_length is not None
+                else len(response.body)
+            )
+            self.send_header("Content-Length", str(length))
         self.end_headers()
-        if response.body and self.command != "HEAD":
+        if self.command == "HEAD":
+            return
+        if response.stream is not None:
+            for chunk in response.stream:
+                self.wfile.write(chunk)
+        elif response.body:
             self.wfile.write(response.body)
 
     def _send_partial_then_sever(self, response) -> None:  # noqa: ANN001
@@ -144,6 +171,7 @@ class _Server(ThreadingHTTPServer):
         super().__init__(*args, **kwargs)  # type: ignore[arg-type]
         self.connections_accepted = 0
         self.max_body_bytes = DEFAULT_MAX_BODY_BYTES
+        self.body_spill_bytes = DEFAULT_BODY_SPILL_BYTES
         self._open_lock = threading.Lock()
         self._open_connections: set[socket.socket] = set()
 
@@ -197,12 +225,14 @@ class ThreadedServerCore:
         fault_hook: "Callable[[Request], str | None] | None" = None,
         idle_timeout: float = 60.0,
         max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+        body_spill_bytes: int = DEFAULT_BODY_SPILL_BYTES,
     ):
         handler = type("Handler", (_AppRequestHandler,), {"app": app, "timeout": idle_timeout})
         self._server = _Server((host, port), handler)
         self._server.daemon_threads = True
         self._server.fault_hook = fault_hook
         self._server.max_body_bytes = max_body_bytes
+        self._server.body_spill_bytes = body_spill_bytes
         self.idle_timeout = idle_timeout
         self._thread: threading.Thread | None = None
         #: The threaded core drops idle sockets via the handler-level

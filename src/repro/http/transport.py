@@ -258,7 +258,9 @@ class LocalTransport(Transport):
         if parts.query:
             target += "?" + parts.query
         request = Request.from_target(method, target, headers=Headers(dict(headers or {})), body=body)
-        return app.handle(request)
+        # local callers receive a complete Response object, so a streaming
+        # body is collapsed here (the socket cores are where streaming pays)
+        return app.handle(request).materialize()
 
     @property
     def authorities(self) -> list[str]:

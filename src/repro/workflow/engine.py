@@ -16,7 +16,7 @@ from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
 from enum import Enum
 from typing import Any, Callable, Mapping
 
-from repro.cache import canonical_json
+from repro.cache import canonical_json, normalize_refs
 from repro.client.client import JobFailedError, ServiceProxy
 from repro.http.client import ClientError
 from repro.http.registry import TransportRegistry
@@ -309,7 +309,10 @@ class _Run:
     def _run_service(self, block: ServiceBlock) -> dict[str, Any]:
         inputs = self._block_inputs(block)
         try:
-            memo_key = (block.uri, canonical_json(inputs))
+            # normalize first so two blocks fed the same *content* — blob
+            # refs whose URIs differ only by which replica (or gateway
+            # rewrite) advertises them — share one memo slot
+            memo_key = (block.uri, canonical_json(normalize_refs(inputs)))
         except (TypeError, ValueError):
             # non-JSON input values cannot be canonicalized: no dedup
             return self._submit_service(block, inputs)

@@ -1,0 +1,194 @@
+"""By-reference data passing across containers, pins, and journal recovery."""
+
+import hashlib
+
+import pytest
+
+from repro.cache import job_fingerprint
+from repro.container import ServiceContainer
+from repro.core.filerefs import is_blob_ref
+from repro.http.client import RestClient
+from repro.http.registry import TransportRegistry
+from tests.container.conftest import wait_done
+
+PAYLOAD = b"payload-" * 4096  # 32 KB
+
+
+def producer_config():
+    def produce(context, n):
+        return {"data": context.store_blob(PAYLOAD * n, name="data.bin")}
+
+    return {
+        "description": {
+            "name": "producer",
+            "inputs": {"n": {"schema": {"type": "integer"}}},
+            "outputs": {"data": {"schema": {"type": "object"}}},
+        },
+        "adapter": "python",
+        "config": {"callable": produce},
+    }
+
+
+def consumer_config():
+    def consume(context, data):
+        content = context.input_bytes("data")
+        return {"length": len(content), "digest": hashlib.sha256(content).hexdigest()}
+
+    return {
+        "description": {
+            "name": "consumer",
+            "inputs": {"data": {"schema": {"type": "object"}}},
+            "outputs": {
+                "length": {"schema": {"type": "integer"}},
+                "digest": {"schema": {"type": "string"}},
+            },
+        },
+        "adapter": "python",
+        "config": {"callable": consume},
+    }
+
+
+@pytest.fixture()
+def registry():
+    return TransportRegistry()
+
+
+@pytest.fixture()
+def client(registry):
+    return RestClient(registry)
+
+
+@pytest.fixture()
+def cell(registry):
+    producer = ServiceContainer("dp-producer", handlers=2, registry=registry)
+    consumer = ServiceContainer("dp-consumer", handlers=2, registry=registry)
+    producer.deploy(producer_config())
+    consumer.deploy(consumer_config())
+    yield producer, consumer
+    producer.shutdown()
+    consumer.shutdown()
+
+
+def run(client, uri, payload):
+    created = client.post(uri, payload=payload)
+    return wait_done(client, created["uri"])
+
+
+class TestByReference:
+    def test_producer_emits_blob_reference(self, cell, client):
+        producer, _consumer = cell
+        job = run(client, producer.service_uri("producer"), {"n": 1})
+        assert job["state"] == "DONE"
+        reference = job["results"]["data"]
+        assert is_blob_ref(reference)
+        assert reference["size"] == len(PAYLOAD)
+        assert reference["$file"].startswith(producer.base_uri)
+        # the producing job pins its output
+        assert producer.blobs.pins(reference["$blob"]) == {f"job:{job['id']}"}
+
+    def test_consumer_stages_by_content(self, cell, client):
+        producer, consumer = cell
+        produced = run(client, producer.service_uri("producer"), {"n": 2})
+        reference = produced["results"]["data"]
+        consumed = run(client, consumer.service_uri("consumer"), {"data": reference})
+        assert consumed["state"] == "DONE"
+        assert consumed["results"]["length"] == len(PAYLOAD) * 2
+        assert consumed["results"]["digest"] == reference["$blob"]
+        # staging materialized the blob in the consumer's own store
+        assert consumer.blobs.exists(reference["$blob"])
+
+    def test_restaging_is_local(self, cell, client):
+        """A second consume of the same content does not refetch chunks."""
+        producer, consumer = cell
+        produced = run(client, producer.service_uri("producer"), {"n": 1})
+        reference = produced["results"]["data"]
+        run(client, consumer.service_uri("consumer"), {"data": reference})
+        before = consumer.blobs.stats()
+        run(client, consumer.service_uri("consumer"), {"data": reference})
+        assert consumer.blobs.stats()["blobs"] == before["blobs"]
+
+    def test_input_pin_released_on_delete(self, cell, client):
+        producer, consumer = cell
+        produced = run(client, producer.service_uri("producer"), {"n": 1})
+        reference = produced["results"]["data"]
+        consumed = run(client, consumer.service_uri("consumer"), {"data": reference})
+        digest = reference["$blob"]
+        owner = f"job:{consumed['id']}"
+        # the consumer pinned the staged input for the job's lifetime...
+        assert owner in consumer.blobs.pins(digest)
+        client.delete(consumed["uri"])
+        # ...and the delete released it, leaving the blob GC-able
+        assert owner not in consumer.blobs.pins(digest)
+
+
+class TestFingerprintShortCircuit:
+    def test_blob_ref_fingerprints_without_fetching(self, cell, client):
+        producer, _ = cell
+        produced = run(client, producer.service_uri("producer"), {"n": 1})
+        reference = produced["results"]["data"]
+
+        def refuse(ref):
+            raise AssertionError("blob refs must resolve from the digest, not a fetch")
+
+        by_digest = job_fingerprint("svc", {"data": reference}, fetch=refuse)
+        # equal to hashing the fetched content the slow way
+        plain = {"$file": reference["$file"]}
+        by_content = job_fingerprint("svc", {"data": plain}, fetch=lambda ref: PAYLOAD)
+        assert by_digest == by_content
+
+    def test_rewritten_uri_same_fingerprint(self, cell, client):
+        producer, _ = cell
+        produced = run(client, producer.service_uri("producer"), {"n": 1})
+        reference = dict(produced["results"]["data"])
+        moved = dict(reference, **{"$file": "local://elsewhere/blobs/" + reference["$blob"]})
+        assert job_fingerprint("svc", {"data": reference}) == job_fingerprint(
+            "svc", {"data": moved}
+        )
+
+
+class TestJournalRecovery:
+    def test_pins_survive_cold_restart(self, registry, client, tmp_path):
+        journal_dir = tmp_path / "journal"
+        container = ServiceContainer(
+            "dp-cold", handlers=2, registry=registry, journal_dir=str(journal_dir)
+        )
+        container.deploy(producer_config())
+        job = run(client, container.service_uri("producer"), {"n": 1})
+        digest = job["results"]["data"]["$blob"]
+        owner = f"job:{job['id']}"
+        assert container.blobs.pins(digest) == {owner}
+        container.crash()  # journal closes first, like a real crash
+
+        reborn = ServiceContainer(
+            "dp-cold", handlers=2, registry=registry, journal_dir=str(journal_dir)
+        )
+        try:
+            reborn.deploy(producer_config())
+            assert reborn.blobs.exists(digest)
+            assert reborn.blobs.pins(digest) == {owner}
+            # the journaled pin holds through GC on the fresh incarnation
+            assert reborn.blobs.gc(grace=0)["blobs"] == 0
+            assert reborn.blobs.read(digest) == PAYLOAD
+        finally:
+            reborn.shutdown()
+
+    def test_unpin_survives_cold_restart(self, registry, client, tmp_path):
+        journal_dir = tmp_path / "journal"
+        container = ServiceContainer(
+            "dp-cold2", handlers=2, registry=registry, journal_dir=str(journal_dir)
+        )
+        container.deploy(producer_config())
+        job = run(client, container.service_uri("producer"), {"n": 1})
+        digest = job["results"]["data"]["$blob"]
+        client.delete(job["uri"])
+        container.crash()
+
+        reborn = ServiceContainer(
+            "dp-cold2", handlers=2, registry=registry, journal_dir=str(journal_dir)
+        )
+        try:
+            assert reborn.blobs.pins(digest) == set()
+            # unpinned after the delete: GC may now take it
+            assert reborn.blobs.gc(grace=0)["blobs"] == 1
+        finally:
+            reborn.shutdown()

@@ -1,0 +1,113 @@
+"""Property-based tests for the blob store's content addressing.
+
+The properties the data plane leans on:
+
+- the manifest digest is a function of the *content only* — never of the
+  chunk size the bytes were split with or the buffer sizes they arrived
+  in (this is what makes a blob ref substitutable for fetch-and-hash);
+- PUT → GET is byte-identical for any content;
+- any partition of a blob into ranged GETs reassembles to the whole.
+"""
+
+import hashlib
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blob import BlobStore
+
+contents = st.binary(min_size=0, max_size=8192)
+chunk_sizes = st.integers(min_value=1, max_value=1024)
+
+
+def store_with(tmp_path_factory, chunk_size):
+    return BlobStore(tmp_path_factory.mktemp("blobs"), chunk_size=chunk_size)
+
+
+class TestContentAddressing:
+    @given(content=contents, chunk_size=chunk_sizes)
+    @settings(max_examples=60, deadline=None)
+    def test_digest_is_chunk_boundary_independent(
+        self, tmp_path_factory, content, chunk_size
+    ):
+        """Stores with different chunk sizes agree on every blob's digest,
+        and both agree with a flat sha256 of the content."""
+        one = store_with(tmp_path_factory, chunk_size)
+        other = store_with(tmp_path_factory, max(1, chunk_size // 2) + 7)
+        digest = hashlib.sha256(content).hexdigest()
+        assert one.put_bytes(content).digest == digest
+        assert other.put_bytes(content).digest == digest
+
+    @given(content=contents, chunk_size=chunk_sizes, piece=st.integers(1, 97))
+    @settings(max_examples=60, deadline=None)
+    def test_arrival_buffering_is_irrelevant(
+        self, tmp_path_factory, content, chunk_size, piece
+    ):
+        """Feeding the upload in arbitrary buffer sizes changes nothing."""
+        store = store_with(tmp_path_factory, chunk_size)
+        upload = store.begin_upload()
+        for i in range(0, len(content), piece):
+            upload.write(content[i : i + piece])
+        manifest = upload.commit()
+        assert manifest.digest == hashlib.sha256(content).hexdigest()
+        assert manifest.size == len(content)
+
+
+class TestRoundTrip:
+    @given(content=contents, chunk_size=chunk_sizes)
+    @settings(max_examples=60, deadline=None)
+    def test_put_get_byte_identical(self, tmp_path_factory, content, chunk_size):
+        store = store_with(tmp_path_factory, chunk_size)
+        manifest = store.put_bytes(content)
+        assert store.read(manifest.digest) == content
+
+    @given(
+        content=st.binary(min_size=1, max_size=4096),
+        chunk_size=chunk_sizes,
+        cuts=st.lists(st.integers(min_value=0, max_value=4095), max_size=6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_ranged_gets_reassemble_to_whole(
+        self, tmp_path_factory, content, chunk_size, cuts
+    ):
+        """Any partition of [0, size) into ranges concatenates back."""
+        store = store_with(tmp_path_factory, chunk_size)
+        manifest = store.put_bytes(content)
+        bounds = sorted({c % len(content) for c in cuts} | {0, len(content)})
+        assembled = b"".join(
+            b"".join(store.open_range(manifest.digest, start, end - 1))
+            for start, end in zip(bounds, bounds[1:])
+        )
+        assert assembled == content
+
+    @given(
+        content=st.binary(min_size=1, max_size=4096),
+        chunk_size=chunk_sizes,
+        start=st.integers(min_value=0, max_value=4095),
+        length=st.integers(min_value=1, max_value=4096),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_any_range_matches_slicing(
+        self, tmp_path_factory, content, chunk_size, start, length
+    ):
+        store = store_with(tmp_path_factory, chunk_size)
+        manifest = store.put_bytes(content)
+        start = start % len(content)
+        end = start + length - 1
+        assert b"".join(store.open_range(manifest.digest, start, end)) == content[
+            start : end + 1
+        ]
+
+
+class TestDedup:
+    @given(
+        chunk=st.binary(min_size=16, max_size=64),
+        repeats=st.integers(min_value=2, max_value=8),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_repeated_chunks_stored_once(self, tmp_path_factory, chunk, repeats):
+        store = store_with(tmp_path_factory, len(chunk))
+        store.put_bytes(chunk * repeats)
+        assert store.chunks_deduped == repeats - 1
+        # exactly one chunk file on disk
+        assert len(list(store._chunk_dir.iterdir())) == 1
