@@ -1,0 +1,161 @@
+"""A single-file fleet dashboard over the observability plane.
+
+1. run two service containers behind a replicated gateway, all over
+   loopback TCP, and push a little traffic through (including one
+   deliberate 404 so the error column has something to show);
+2. read the gateway's ``/status`` aggregate — per-replica health and
+   request totals, fleet latency percentiles, job states, error rate —
+   and one traced job's span tree from its ``/trace`` resource;
+3. render both into a self-contained HTML page (no JavaScript, no
+   external assets) and write it next to this script.
+
+Open the result in a browser, or just read the terminal summary.
+
+Run:  python examples/obs_dashboard.py [dashboard.html]
+"""
+
+import html
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.container import ServiceContainer
+from repro.gateway import ServiceGateway
+from repro.http.client import RestClient
+from repro.http.registry import TransportRegistry
+
+SERVICE = {
+    "description": {
+        "name": "double",
+        "inputs": {"x": {"schema": {"type": "number"}}},
+        "outputs": {"y": {"schema": {"type": "number"}}},
+    },
+    "adapter": "python",
+    "config": {"callable": lambda x: {"y": x * 2}},
+}
+
+STYLE = """
+body { font-family: system-ui, sans-serif; margin: 2rem; color: #1a202c; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem; }
+table { border-collapse: collapse; margin-top: .5rem; }
+th, td { border: 1px solid #cbd5e0; padding: .3rem .7rem; text-align: left; }
+th { background: #edf2f7; }
+.ok { color: #276749; font-weight: 600; } .bad { color: #9b2c2c; font-weight: 600; }
+.span { margin-left: 1.5rem; border-left: 2px solid #cbd5e0; padding: .15rem .6rem; }
+.name { font-weight: 600; } .dim { color: #718096; font-size: .85rem; }
+"""
+
+
+def render_replicas(status: dict) -> str:
+    rows = []
+    for replica in status["replicas"]:
+        healthy = "error" not in str(replica.get("scrape", ""))
+        badge = '<span class="ok">up</span>' if healthy else '<span class="bad">unscrapable</span>'
+        requests = replica.get("metrics", {}).get("requests_total", "—")
+        rows.append(
+            f"<tr><td>{html.escape(replica['id'])}</td><td>{badge}</td>"
+            f"<td>{requests}</td><td>{html.escape(str(replica.get('scrape', 'ok')))}</td></tr>"
+        )
+    return (
+        "<table><tr><th>replica</th><th>health</th><th>requests</th><th>scrape</th></tr>"
+        + "".join(rows) + "</table>"
+    )
+
+
+def render_summary(platform: dict) -> str:
+    latency = platform.get("submit_latency_seconds", {})
+    cells = "".join(
+        f"<td>{latency.get(key, 0) * 1e3:.1f} ms</td>" for key in ("p50", "p90", "p99")
+    )
+    error_rate = platform.get("error_rate", 0.0)
+    klass = "ok" if error_rate < 0.005 else "bad"
+    jobs = ", ".join(f"{state}: {count:g}" for state, count in sorted(
+        platform.get("jobs", {}).items())) or "none"
+    return (
+        "<table><tr><th>healthy</th><th>requests</th>"
+        "<th>submit p50</th><th>p90</th><th>p99</th><th>error rate</th><th>jobs</th></tr>"
+        f"<tr><td>{platform['replicas_healthy']}/{platform['replicas_total']}</td>"
+        f"<td>{platform['requests_total']:g}</td>{cells}"
+        f"<td class={klass!r}>{error_rate:.4f}</td><td>{html.escape(jobs)}</td></tr></table>"
+    )
+
+
+def render_trace(tree: list, depth: int = 0) -> str:
+    parts = []
+    for node in tree:
+        label = ", ".join(f"{k}={v}" for k, v in node.get("labels", {}).items())
+        parts.append(
+            f'<div class="span"><span class="name">{html.escape(node["name"])}</span> '
+            f'{node["duration"] * 1e3:.2f} ms '
+            f'<span class="dim">{html.escape(node.get("component", ""))}'
+            f'{" · " + html.escape(label) if label else ""} · {node["link"]}</span>'
+            + render_trace(node.get("children", []), depth + 1)
+            + "</div>"
+        )
+    return "".join(parts)
+
+
+def main() -> None:
+    out_path = Path(sys.argv[1] if len(sys.argv) > 1 else
+                    Path(__file__).parent / "dashboard.html")
+    registry = TransportRegistry()
+    containers = [ServiceContainer(f"replica-{i}", handlers=2, registry=registry)
+                  for i in range(2)]
+    gateway = ServiceGateway(registry=registry, name="demo-gw")
+    try:
+        for container in containers:
+            container.deploy(SERVICE)
+            gateway.add_replica(container.serve().base_url)
+        base = gateway.serve().base_url
+        client = RestClient(registry)
+
+        # --- traffic: 8 submits, poll them done, one deliberate 404 ------
+        uris = []
+        for x in range(8):
+            job = client.post(f"{base}/services/double", payload={"x": x})
+            uris.append(job["uri"])
+        for uri in uris:
+            deadline = time.monotonic() + 10
+            while client.get(uri)["state"] not in ("DONE", "FAILED", "CANCELLED"):
+                if time.monotonic() > deadline:
+                    raise TimeoutError(uri)
+                time.sleep(0.02)
+        missing = client.request_raw("GET", f"{base}/services/nope")
+        assert missing.status == 404
+
+        # --- read the plane ----------------------------------------------
+        status = client.get(f"{base}/status")
+        platform = status["platform"]
+        trace = client.get(f"{uris[0]}/trace")
+        print(f"gateway /status: {platform['replicas_healthy']}/"
+              f"{platform['replicas_total']} replicas healthy, "
+              f"submit p99 {platform['submit_latency_seconds']['p99'] * 1e3:.1f} ms, "
+              f"error rate {platform['error_rate']:.4f}")
+        print(f"trace of {uris[0].rsplit('/', 1)[-1]}: "
+              f"{len(trace['spans'])} spans — "
+              f"{json.dumps([s['name'] for s in trace['spans']])}")
+
+        # --- render --------------------------------------------------------
+        page = (
+            "<!doctype html><html><head><meta charset='utf-8'>"
+            f"<title>MathCloud fleet</title><style>{STYLE}</style></head><body>"
+            f"<h1>MathCloud fleet — {html.escape(base)}</h1>"
+            f"<p class='dim'>generated {time.strftime('%Y-%m-%d %H:%M:%S')} "
+            "from <code>GET /status</code> and <code>GET …/trace</code></p>"
+            "<h2>Fleet</h2>" + render_summary(platform) +
+            "<h2>Replicas</h2>" + render_replicas(status) +
+            f"<h2>Trace of one submit ({html.escape(trace['trace_id'])})</h2>" +
+            render_trace(trace["tree"]) +
+            "</body></html>"
+        )
+        out_path.write_text(page)
+        print(f"\nwrote {out_path} — open it in a browser")
+    finally:
+        gateway.shutdown()
+        for container in containers:
+            container.shutdown()
+
+
+if __name__ == "__main__":
+    main()

@@ -19,6 +19,7 @@ from typing import Any
 from repro.blob.store import BlobError, BlobManifest, BlobStore
 from repro.http.client import RestClient
 from repro.http.registry import TransportRegistry
+from repro.runtime.trace import span
 
 __all__ = ["StagingError", "stage_blob"]
 
@@ -48,6 +49,18 @@ def stage_blob(
     """
     if store.exists(digest):
         return store.manifest(digest)
+    with span("blob.stage", labels={"digest": digest[:16]}):
+        return _stage_remote(store, registry, uri, digest, max_bytes, timeout)
+
+
+def _stage_remote(
+    store: BlobStore,
+    registry: TransportRegistry,
+    uri: str,
+    digest: str,
+    max_bytes: "int | None",
+    timeout: "float | None",
+) -> BlobManifest:
     deadline = None if timeout is None else time.monotonic() + timeout
     client = RestClient(registry)
     try:

@@ -38,6 +38,13 @@ from repro.http.app import RestApp
 from repro.http.messages import HttpError, Request, Response
 from repro.http.registry import TransportRegistry
 from repro.http.server import RestServer
+from repro.observability import (
+    ObservabilityMiddleware,
+    instrument_container,
+    mount_metrics,
+)
+from repro.runtime.metrics import MetricsRegistry
+from repro.runtime.trace import Tracer
 from repro.security.authz import AccessPolicy
 from repro.security.identity import IdentityBroker
 from repro.security.middleware import SecurityMiddleware
@@ -57,15 +64,27 @@ class ServiceContainer:
         journal_dir: "str | Path | None" = None,
         journal_fsync: str = "batch",
         cache: "ResultCache | bool | None" = None,
+        observability: bool = True,
     ):
         self.name = name
         self.registry = registry or TransportRegistry()
         self.app = RestApp(name)
+        # observability is on by default (a production container is blind
+        # without it); the kill switch exists for overhead benchmarks and
+        # minimal embeddings
+        self.metrics: "MetricsRegistry | None" = None
+        self.tracer: "Tracer | None" = None
+        if observability:
+            self.metrics = MetricsRegistry(name)
+            self.tracer = Tracer(name)
+            self.app.add_middleware(ObservabilityMiddleware(self.metrics, self.tracer))
+            mount_metrics(self.app, self.metrics)
         # with a journal directory the manager replays any history it finds
         # there; deploy() consumes the recovered jobs per service
         self.job_manager = JobManager(
             handlers=handlers, name=name, journal_dir=journal_dir, journal_fsync=journal_fsync
         )
+        self.job_manager.tracer = self.tracer
         # the result cache is opt-in: POST-creates-a-new-job is the REST
         # contract unless the operator asks for content-addressed reuse.
         # Explicit bool checks: an *empty* ResultCache is falsy (len == 0)
@@ -98,6 +117,10 @@ class ServiceContainer:
         self.app.route("GET", "/", self._index)
         self.app.route("GET", "/services", self._index)
         self.app.route("GET", "/ui", self._index_ui)
+        if self.metrics is not None:
+            # collectors read live subsystem state at scrape time; wired
+            # last so every attribute they close over exists
+            instrument_container(self)
 
     # ----------------------------------------------------------- publishing
 
@@ -258,6 +281,7 @@ class ServiceContainer:
             service,
             base_uri=lambda name=config.name: self.service_uri(name),
             ledger=ledger,
+            tracer=self.tracer,
         )
         self.app.route("GET", f"{base_path}/ui", self._make_ui_handler(service))
         with self._lock:

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import logging
 import threading
+import time
 import traceback
 from pathlib import Path
 from typing import Any, Callable
@@ -32,6 +33,7 @@ from repro.core.errors import AdapterError, ServiceError
 from repro.core.jobs import Job, JobState, job_document, restore_job
 from repro.durability.journal import Journal
 from repro.runtime.pool import ExecutorPool, PoolStats
+from repro.runtime.trace import SpanContext, activate_span_context, record_span, span
 
 __all__ = [
     "INTERRUPTED_ERROR",
@@ -156,6 +158,10 @@ class JobManager:
         #: The container's result cache, when one is attached; shutdown
         #: closes it so pending coalesced claims fail instead of hanging.
         self.result_cache = None
+        #: The container's span buffer, when observability is on. Spans
+        #: for ``queue.wait`` and ``adapter.run`` are recorded against the
+        #: trace the creating request carried (``job.trace_id``).
+        self.tracer = None
         if journal_dir is not None:
             self.journal = Journal(Path(journal_dir), fsync=journal_fsync)
             self._replay()
@@ -166,12 +172,12 @@ class JobManager:
             raise ServiceError("container is shut down")
         self.adopt(job)
         logger.info("job %s [request %s] queued for %s", job.id, job.request_id or "-", job.service)
-        self._pool.submit(self._process, job, execute)
+        self._pool.submit(self._process, job, execute, time.time())
 
     def run_job(self, job: Job, execute: Callable[[], dict[str, Any]]) -> None:
         """Process a job in the calling thread (sync-mode services)."""
         self.adopt(job)
-        self._process(job, execute)
+        self._process(job, execute, time.time())
 
     def adopt(self, job: Job) -> None:
         """Track ``job`` and journal its creation plus every transition.
@@ -365,8 +371,12 @@ class JobManager:
             with self._track_lock:
                 self._tracked.pop(job.id, None)
 
-    @staticmethod
-    def _process(job: Job, execute: Callable[[], dict[str, Any]]) -> None:
+    def _process(
+        self,
+        job: Job,
+        execute: Callable[[], dict[str, Any]],
+        enqueued: "float | None" = None,
+    ) -> None:
         rid = job.request_id or "-"
         if job.state.terminal:  # cancelled while queued
             logger.info("job %s [request %s] skipped: already %s", job.id, rid, job.state.value)
@@ -376,19 +386,36 @@ class JobManager:
         except ServiceError:
             return  # lost the race against a cancel
         logger.info("job %s [request %s] running for %s", job.id, rid, job.service)
-        try:
-            outputs = execute()
-        except AdapterError as error:
-            job.try_finish(lambda: (JobState.FAILED, error.message))
-            logger.info("job %s [request %s] failed: %s", job.id, rid, error.message)
-            return
-        except Exception as error:  # noqa: BLE001 - adapters may misbehave
-            logger.error(
-                "adapter crashed for job %s [request %s]\n%s", job.id, rid, traceback.format_exc()
+        # both spans hang off the submit that created the job; they are
+        # `follows` links, not children — the creating request has usually
+        # already answered 201 by the time a handler thread picks this up
+        traced = self.tracer is not None and job.trace_id is not None
+        if traced and enqueued is not None:
+            record_span(
+                self.tracer, job.trace_id, job.trace_parent, "queue.wait",
+                start=enqueued, duration=time.time() - enqueued,
+                labels={"service": job.service, "job": job.id},
             )
-            job.try_finish(
-                lambda: (JobState.FAILED, f"internal adapter error: {error}")
-            )
-            return
+        context = SpanContext(self.tracer, job.trace_id, job.trace_parent) if traced else None
+        with activate_span_context(context):
+            with span(
+                "adapter.run",
+                labels={"service": job.service, "job": job.id},
+                link="follows",
+            ):
+                try:
+                    outputs = execute()
+                except AdapterError as error:
+                    job.try_finish(lambda: (JobState.FAILED, error.message))
+                    logger.info("job %s [request %s] failed: %s", job.id, rid, error.message)
+                    return
+                except Exception as error:  # noqa: BLE001 - adapters may misbehave
+                    logger.error(
+                        "adapter crashed for job %s [request %s]\n%s", job.id, rid, traceback.format_exc()
+                    )
+                    job.try_finish(
+                        lambda: (JobState.FAILED, f"internal adapter error: {error}")
+                    )
+                    return
         if job.try_finish(lambda: (JobState.DONE, outputs)):
             logger.info("job %s [request %s] done", job.id, rid)

@@ -25,6 +25,7 @@ from repro.http.client import IDEMPOTENCY_KEY_HEADER, RestClient
 from repro.http.messages import Request
 from repro.http.registry import TransportRegistry
 from repro.jsonschema import ValidationError, validate
+from repro.runtime.trace import current_span_context, span
 
 logger = logging.getLogger(__name__)
 
@@ -78,17 +79,24 @@ class DeployedService:
         values = self.description.validate_inputs(inputs)
         fingerprint = None
         if self.cacheable:
-            fingerprint = self._fingerprint(values)
-        if fingerprint is not None:
-            cached = self._claim_cached(fingerprint, request)
-            if cached is not None:
-                return cached
+            with span("cache.claim", labels={"service": self.name}):
+                fingerprint = self._fingerprint(values)
+                if fingerprint is not None:
+                    cached = self._claim_cached(fingerprint, request)
+                    if cached is not None:
+                        return cached
         try:
             # carry the HTTP layer's correlation id onto the job: handler
             # threads, adapters and backends all log/see the job, not the request
             job = Job(
                 service=self.name, inputs=values, request_id=request.context.get("request_id")
             )
+            # same for the trace: queue.wait/adapter.run spans recorded by
+            # the handler pool attach under the creating request's span
+            trace_context = current_span_context()
+            if trace_context is not None and trace_context.tracer is not None:
+                job.trace_id = trace_context.trace_id
+                job.trace_parent = trace_context.span_id
             job.idempotency_key = request.headers.get(IDEMPOTENCY_KEY_HEADER)
             access = request.context.get("access")
             if access is not None:

@@ -29,6 +29,7 @@ from repro.core.jobs import Job
 from repro.http.app import DEFER_CAPABILITY, RestApp
 from repro.http.client import IDEMPOTENCY_KEY_HEADER, X_CACHE_HEADER
 from repro.http.messages import HttpError, Request, Response
+from repro.runtime.trace import build_trace_tree
 
 
 class ServiceBackend(Protocol):
@@ -191,6 +192,7 @@ def mount_service(
     backend: ServiceBackend,
     base_uri: "str | Callable[[], str]" = "",
     ledger: "SubmitLedger | None" = None,
+    tracer: Any = None,
 ) -> None:
     """Wire the unified REST API for ``backend`` under ``base_path``.
 
@@ -201,7 +203,9 @@ def mount_service(
     ``ledger`` lets the mounter supply a pre-seeded submit ledger — after
     a cold restart the recovered ``Idempotency-Key`` → job bindings go in
     here, so a client replaying an acknowledged POST still gets its
-    original job instead of creating a duplicate.
+    original job instead of creating a duplicate. ``tracer`` (the
+    process's span buffer) additionally mounts ``GET …/jobs/{id}/trace``,
+    the job's timing tree.
     """
 
     ledger = ledger if ledger is not None else SubmitLedger()
@@ -331,10 +335,31 @@ def mount_service(
             response.headers.set("Content-Range", f"bytes {start}-{end}/{entry.size}")
         return response
 
+    def get_trace(request: Request, job_id: str) -> Response:
+        """The job's recorded trace spans, flat and as a nested tree.
+
+        404 when the job exists but carries no trace (created before
+        observability was enabled, or through an untraced path); the
+        flat ``spans`` list is what a fronting gateway merges with its
+        own spans before rebuilding the tree.
+        """
+        try:
+            job = backend.get_job(job_id)
+        except ServiceError as error:
+            raise _to_http_error(error) from error
+        trace_id = getattr(job, "trace_id", None)
+        if tracer is None or trace_id is None:
+            raise HttpError(404, f"no trace recorded for job {job_id!r}")
+        spans = tracer.spans(trace_id)
+        return Response.json(
+            {"trace_id": trace_id, "spans": spans, "tree": build_trace_tree(spans)}
+        )
+
     app.route("GET", base_path, describe)
     app.route("POST", base_path, submit)
     app.route("GET", f"{base_path}/jobs/{{job_id}}", get_job)
     app.route("DELETE", f"{base_path}/jobs/{{job_id}}", delete_job)
+    app.route("GET", f"{base_path}/jobs/{{job_id}}/trace", get_trace)
     app.route("GET", f"{base_path}/jobs/{{job_id}}/files/{{file_id}}", get_file)
 
 

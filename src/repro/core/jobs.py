@@ -82,6 +82,11 @@ class Job:
     #: with the job so key→job bindings survive a cold restart (a replayed
     #: POST after recovery still answers with this job, not a duplicate).
     idempotency_key: str | None = None
+    #: Trace correlation (``X-Trace``): the trace the creating request
+    #: belonged to and the span the job's own spans attach under. Process-
+    #: local and best-effort — never journaled, never in representations.
+    trace_id: str | None = None
+    trace_parent: str | None = None
     #: Extra representation fields (e.g. per-block workflow states).
     extra: dict[str, Any] = field(default_factory=dict)
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False, compare=False)

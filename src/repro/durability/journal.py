@@ -244,6 +244,16 @@ class Journal:
         with self._lock:
             return self._closed
 
+    @property
+    def unsynced_records(self) -> int:
+        """Appended records not yet covered by an fsync (group-commit lag).
+
+        Read without the lock on purpose: this feeds the ``/metrics``
+        scrape, which must never contend with the append path. A slightly
+        stale integer is fine for a gauge.
+        """
+        return self._unsynced
+
     # ------------------------------------------------------------- snapshot
 
     def snapshot(self, state: dict[str, Any]) -> None:

@@ -44,6 +44,14 @@ from repro.http.messages import Headers, HttpError, Request, Response
 from repro.http.registry import TransportRegistry
 from repro.http.server import RestServer
 from repro.http.transport import ConnectError, TransportError
+from repro.observability import (
+    ObservabilityMiddleware,
+    gateway_status,
+    instrument_gateway,
+    mount_metrics,
+)
+from repro.runtime.metrics import MetricsRegistry
+from repro.runtime.trace import Tracer, build_trace_tree, merge_spans, span, trace_headers
 
 logger = logging.getLogger(__name__)
 
@@ -88,6 +96,7 @@ class ServiceGateway:
         idempotency: IdempotencyCache | None = None,
         max_attempts: int = 3,
         retry_after_hint: float = 1.0,
+        observability: bool = True,
     ):
         self.name = name
         self.registry = registry or TransportRegistry()
@@ -105,6 +114,19 @@ class ServiceGateway:
         self.max_attempts = max_attempts
         self.retry_after_hint = retry_after_hint
         self.app = RestApp(name)
+        self.metrics: "MetricsRegistry | None" = None
+        self.tracer: "Tracer | None" = None
+        self._forward_attempts = None
+        if observability:
+            self.metrics = MetricsRegistry(name)
+            self.tracer = Tracer(name)
+            self.app.add_middleware(ObservabilityMiddleware(self.metrics, self.tracer))
+            mount_metrics(self.app, self.metrics)
+            self._forward_attempts = self.metrics.counter(
+                "mc_gateway_forward_attempts_total",
+                "Submit forward attempts to replicas, by outcome.",
+                labels=("outcome",),
+            )
         self._server: RestServer | None = None
         # what the replicas' result caches did with our submits, as seen
         # in their X-Cache answers (surfaced in /health)
@@ -113,16 +135,20 @@ class ServiceGateway:
         self.local_base = self.registry.bind_local(name, self.app)
         self.app.route("GET", "/", self._health)
         self.app.route("GET", "/health", self._health)
+        self.app.route("GET", "/status", self._status)
         self.app.route("GET", "/services", self._index)
         self.app.route("GET", "/services/{name}", self._describe)
         self.app.route("POST", "/services/{name}", self._submit)
         self.app.route("GET", "/services/{name}/jobs/{job_id}", self._get_job)
         self.app.route("DELETE", "/services/{name}/jobs/{job_id}", self._delete_job)
+        self.app.route("GET", "/services/{name}/jobs/{job_id}/trace", self._get_trace)
         self.app.route("GET", "/services/{name}/jobs/{job_id}/files/{file_id...}", self._get_file)
         self.app.route("POST", "/blobs", self._put_blob)
         self.app.route("PUT", "/blobs/{ref}", self._put_blob)
         self.app.route("GET", "/blobs/{ref}", self._get_blob)
         self.app.route("GET", "/blobs/{ref}/manifest", self._get_blob_manifest)
+        if self.metrics is not None:
+            instrument_gateway(self)
 
     # ----------------------------------------------------------- publishing
 
@@ -186,6 +212,10 @@ class ServiceGateway:
         """Replica cache outcomes observed on submits (hit/coalesced/miss)."""
         with self._cache_lock:
             return dict(self._cache_counts)
+
+    def _status(self, request: Request) -> Response:
+        """Platform-wide health: fan out to replica ``/metrics``, merge."""
+        return Response.json(gateway_status(self))
 
     def _index(self, request: Request) -> Response:
         replica, response = self._forward_any("GET", "/services", request)
@@ -255,10 +285,19 @@ class ServiceGateway:
                     break
             attempts += 1
             try:
-                response = self.registry.request(
-                    "POST", f"{replica.base_url}/services/{name}", headers=headers, body=body
-                )
+                with span("gateway.forward", labels={"replica": replica.id, "service": name}):
+                    # recompute the trace header inside the span, so the
+                    # replica's spans parent under this forward attempt
+                    attempt_headers = dict(headers)
+                    attempt_headers.update(trace_headers())
+                    response = self.registry.request(
+                        "POST",
+                        f"{replica.base_url}/services/{name}",
+                        headers=attempt_headers,
+                        body=body,
+                    )
             except ConnectError as exc:
+                self._count_forward("connect-error")
                 # nothing reached the replica: safe to try another — unless
                 # an earlier ambiguous failure bound the key to this one, in
                 # which case only this replica may be retried
@@ -268,6 +307,7 @@ class ServiceGateway:
                 logger.info("gateway %s: POST %s connect failure on %s: %s", self.name, name, replica.id, exc)
                 continue
             except TransportError as exc:
+                self._count_forward("transport-error")
                 replica.breaker.record_failure()
                 if idempotency_key is None:
                     # the replica may have processed the request; replaying
@@ -288,6 +328,7 @@ class ServiceGateway:
             finally:
                 replica.release_slot()
             if response.status >= 500:
+                self._count_forward("server-error")
                 replica.breaker.record_failure()
                 if idempotency_key is None:
                     tried.add(replica.id)
@@ -304,6 +345,7 @@ class ServiceGateway:
                 tried.add(replica.id)
                 self.idempotency.unbind(idempotency_key)
                 continue
+            self._count_forward("ok")
             replica.breaker.record_success()
             if attempts == 1:
                 self.retry_budget.deposit()
@@ -319,6 +361,10 @@ class ServiceGateway:
         if saturated:
             return self._unavailable(429, f"all replicas of {self.name!r} are at capacity")
         return self._unavailable(503, f"no replica of {self.name!r} can take the request")
+
+    def _count_forward(self, outcome: str) -> None:
+        if self._forward_attempts is not None:
+            self._forward_attempts.labels(outcome).inc()
 
     def _bound_replica(self, key: str) -> "tuple[Replica | None, bool]":
         """The replica ``key`` is pinned to, with its in-flight slot held.
@@ -364,6 +410,31 @@ class ServiceGateway:
         replica, raw_id = self._pin(job_id)
         response = self._forward_pinned(replica, "DELETE", f"/services/{name}/jobs/{raw_id}", request)
         return self._proxied(response)
+
+    def _get_trace(self, request: Request, name: str, job_id: str) -> Response:
+        """The job's trace tree, with the gateway's own spans merged in.
+
+        The replica holds the queue/adapter spans; the gateway holds the
+        ``gateway.forward`` spans of the same trace. Merging both sides
+        here yields the complete gateway → replica → adapter tree.
+        """
+        replica, raw_id = self._pin(job_id)
+        response = self._forward_pinned(
+            replica, "GET", f"/services/{name}/jobs/{raw_id}/trace", request
+        )
+        if not response.ok:
+            return self._proxied(response)
+        document = response.json_body
+        if self.tracer is not None and isinstance(document, dict):
+            trace_id = document.get("trace_id")
+            if trace_id:
+                spans = merge_spans(self.tracer.spans(trace_id), document.get("spans") or [])
+                document = {
+                    "trace_id": trace_id,
+                    "spans": spans,
+                    "tree": build_trace_tree(spans),
+                }
+        return Response.json(document, status=response.status)
 
     def _get_file(self, request: Request, name: str, job_id: str, file_id: str) -> Response:
         replica, raw_id = self._pin(job_id)
@@ -433,6 +504,9 @@ class ServiceGateway:
         if request_id:
             # thread the gateway's correlation id through to the replica
             forwarded["X-Request-Id"] = request_id
+        # and the trace context: the ambient span (if any) wins over a
+        # client-supplied X-Trace; an untraced gateway passes it through
+        forwarded.update(trace_headers())
         return forwarded
 
     def _target(self, replica: Replica, path: str, request: Request) -> str:
@@ -522,12 +596,13 @@ class ServiceGateway:
                 retry_after=max(self.retry_after_hint, replica.breaker.retry_after()),
             )
         try:
-            response = self.registry.request(
-                method,
-                self._target(replica, path, request),
-                headers=self._forward_headers(request),
-                body=body,
-            )
+            with span("gateway.forward", labels={"replica": replica.id, "path": path}):
+                response = self.registry.request(
+                    method,
+                    self._target(replica, path, request),
+                    headers=self._forward_headers(request),
+                    body=body,
+                )
         except TransportError as exc:
             replica.breaker.record_failure()
             raise HttpError(502, f"replica {replica.id!r} unreachable: {exc}") from exc

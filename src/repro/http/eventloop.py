@@ -514,6 +514,11 @@ class EventLoopCore:
     def open_connections(self) -> int:
         return sum(len(loop.connections) for loop in self._loops)
 
+    @property
+    def timer_entries(self) -> int:
+        """Live entries across every loop's timer wheel (idle + long-poll)."""
+        return sum(len(loop.wheel) for loop in self._loops)
+
     def start(self) -> None:
         self._pool = ExecutorPool(workers=self.handler_threads, name=f"http-{self.port}")
         accept_loop = self._loops[0]

@@ -129,6 +129,26 @@ class RestServer:
         """Idle keep-alive connections closed by the idle-timeout reaper."""
         return self._core.connections_timed_out
 
+    @property
+    def open_connections(self) -> int:
+        """TCP connections currently open (0 where the core can't say)."""
+        return getattr(self._core, "open_connections", 0)
+
+    @property
+    def timer_entries(self) -> int:
+        """Entries on the event-loop timer wheel (0 on the threaded core)."""
+        return getattr(self._core, "timer_entries", 0)
+
+    def stats(self) -> dict[str, int | str]:
+        """A point-in-time snapshot of the server's connection counters."""
+        return {
+            "impl": self.server_impl,
+            "connections_accepted": self.connections_accepted,
+            "connections_timed_out": self.connections_timed_out,
+            "open_connections": self.open_connections,
+            "timer_entries": self.timer_entries,
+        }
+
     def start(self) -> "RestServer":
         if self._core.started:
             raise RuntimeError("server already started")

@@ -1,0 +1,195 @@
+"""Parser for the Prometheus text exposition format (0.0.4).
+
+Used by the gateway's ``/status`` aggregator to digest replica
+``/metrics`` pages, by the conformance tests, and by the SLO benchmark
+guard — the whole point of the exercise is that the numbers asserted in
+CI come off the wire exactly as an external scraper would see them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["Sample", "Family", "parse_metrics", "histogram_quantile"]
+
+
+@dataclass
+class Sample:
+    name: str
+    labels: dict[str, str]
+    value: float
+
+
+@dataclass
+class Family:
+    name: str
+    kind: str = "untyped"
+    help: str = ""
+    samples: list[Sample] = field(default_factory=list)
+
+    def value(self, **labels: str) -> float | None:
+        """The first sample matching ``labels`` exactly (ignoring ``le``)."""
+        for sample in self.samples:
+            trimmed = {k: v for k, v in sample.labels.items() if k != "le"}
+            if trimmed == labels and not sample.name.endswith(("_sum", "_count", "_bucket")):
+                return sample.value
+        return None
+
+    def total(self) -> float:
+        """Sum of plain (non-histogram-series) samples across label sets."""
+        return sum(
+            s.value for s in self.samples
+            if not s.name.endswith(("_sum", "_count", "_bucket"))
+        )
+
+    def buckets(self, **labels: str) -> list[tuple[float, float]]:
+        """``(le, cumulative_count)`` pairs for one histogram child."""
+        pairs: list[tuple[float, float]] = []
+        for sample in self.samples:
+            if not sample.name.endswith("_bucket"):
+                continue
+            trimmed = {k: v for k, v in sample.labels.items() if k != "le"}
+            if trimmed != labels:
+                continue
+            le = sample.labels.get("le", "")
+            bound = math.inf if le == "+Inf" else float(le)
+            pairs.append((bound, sample.value))
+        pairs.sort(key=lambda p: p[0])
+        return pairs
+
+    def series(self, suffix: str, **labels: str) -> float | None:
+        """The ``_sum``/``_count`` series value for one histogram child."""
+        wanted = self.name + suffix
+        for sample in self.samples:
+            if sample.name == wanted and sample.labels == labels:
+                return sample.value
+        return None
+
+
+def _unescape(value: str) -> str:
+    out: list[str] = []
+    i = 0
+    while i < len(value):
+        c = value[i]
+        if c == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            if nxt == "n":
+                out.append("\n")
+            elif nxt in ('"', "\\"):
+                out.append(nxt)
+            else:
+                out.append(nxt)
+            i += 2
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def _parse_labels(text: str) -> dict[str, str]:
+    labels: dict[str, str] = {}
+    i = 0
+    while i < len(text):
+        # label name up to '='
+        eq = text.index("=", i)
+        name = text[i:eq].strip().strip(",").strip()
+        i = eq + 1
+        if text[i] != '"':
+            raise ValueError(f"unquoted label value at {text[i:]!r}")
+        i += 1
+        raw: list[str] = []
+        while True:
+            c = text[i]
+            if c == "\\":
+                raw.append(text[i:i + 2])
+                i += 2
+                continue
+            if c == '"':
+                i += 1
+                break
+            raw.append(c)
+            i += 1
+        labels[name] = _unescape("".join(raw))
+        if i < len(text) and text[i] == ",":
+            i += 1
+    return labels
+
+
+def _sample_family(sample_name: str, families: dict[str, Family]) -> str:
+    """Map ``foo_bucket``/``foo_sum``/``foo_count`` onto family ``foo``."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            if base in families and families[base].kind == "histogram":
+                return base
+    return sample_name
+
+
+def parse_metrics(text: str) -> dict[str, Family]:
+    """Parse an exposition page into families keyed by base name.
+
+    Raises ``ValueError`` on malformed lines — the conformance suite
+    wants strictness, and /status treats a replica that serves garbage
+    as unhealthy rather than silently partial.
+    """
+    families: dict[str, Family] = {}
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            families.setdefault(name, Family(name)).help = _unescape(help_text)
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            kind = kind.strip()
+            if kind not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                raise ValueError(f"unknown metric type {kind!r} for {name}")
+            families.setdefault(name, Family(name)).kind = kind
+            continue
+        if line.startswith("#"):
+            continue
+        # sample line: name[{labels}] value
+        brace = line.find("{")
+        space = line.find(" ")
+        if brace != -1 and (space == -1 or brace < space):
+            name = line[:brace]
+            close = line.rindex("}")
+            labels = _parse_labels(line[brace + 1:close])
+            value_text = line[close + 1:].strip().split()[0]
+        else:
+            parts = line.split()
+            if len(parts) < 2:
+                raise ValueError(f"malformed sample line: {line!r}")
+            name, value_text = parts[0], parts[1]
+            labels = {}
+        value = float(value_text)
+        family_name = _sample_family(name, families)
+        family = families.setdefault(family_name, Family(family_name))
+        family.samples.append(Sample(name, labels, value))
+    return families
+
+
+def histogram_quantile(q: float, buckets: list[tuple[float, float]]) -> float:
+    """Prometheus-style quantile estimate from cumulative buckets."""
+    if not buckets:
+        return 0.0
+    total = buckets[-1][1]
+    if total == 0:
+        return 0.0
+    rank = q * total
+    previous_bound, previous_count = 0.0, 0.0
+    for bound, count in buckets:
+        if count >= rank and count > previous_count:
+            if bound == math.inf:
+                return previous_bound
+            fraction = (rank - previous_count) / (count - previous_count)
+            return previous_bound + (bound - previous_bound) * fraction
+        previous_bound, previous_count = (
+            (bound, count) if bound != math.inf else (previous_bound, count)
+        )
+    return previous_bound

@@ -18,17 +18,59 @@ from repro.runtime.context import (
     current_request_id,
     new_request_id,
 )
+from repro.runtime.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    render_all_registries,
+)
 from repro.runtime.pool import ExecutorPool, PeriodicTask, PoolStats, TaskHandle
+from repro.runtime.trace import (
+    TRACE_HEADER,
+    SpanContext,
+    Tracer,
+    activate_span_context,
+    build_trace_tree,
+    current_span_context,
+    merge_spans,
+    new_span_id,
+    new_trace_id,
+    parse_trace_header,
+    record_span,
+    span,
+    trace_headers,
+)
 
 __all__ = [
+    "DEFAULT_BUCKETS",
     "REQUEST_ID_HEADER",
+    "TRACE_HEADER",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
     "RequestContext",
+    "SpanContext",
+    "Tracer",
     "ExecutorPool",
     "PeriodicTask",
     "PoolStats",
     "TaskHandle",
     "activate_context",
+    "activate_span_context",
+    "build_trace_tree",
     "current_context",
     "current_request_id",
+    "current_span_context",
+    "merge_spans",
     "new_request_id",
+    "new_span_id",
+    "new_trace_id",
+    "parse_trace_header",
+    "record_span",
+    "render_all_registries",
+    "span",
+    "trace_headers",
 ]

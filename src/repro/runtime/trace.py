@@ -1,0 +1,304 @@
+"""Distributed trace spans over the X-Request-Id correlation layer.
+
+A *trace* is the timing tree of one logical submission as it crosses
+processes: the gateway's forward attempt, the replica's HTTP request,
+the queue wait, the adapter run, cache claims, blob staging.  Each hop
+carries ``X-Trace: <trace_id>/<parent_span_id>`` alongside the existing
+``X-Request-Id``; each process records its own spans into a bounded
+in-memory :class:`Tracer` buffer, and the flat span lists are merged and
+rebuilt into a tree when the job's ``/trace`` resource is read.
+
+Two link kinds, because the submit path is asynchronous:
+
+- ``child`` — a synchronous sub-operation; its interval nests inside
+  its parent's interval (``gateway.forward`` inside the gateway's
+  ``http.request``).
+- ``follows`` — causally ordered but not enclosed: ``queue.wait`` and
+  ``adapter.run`` start after the submit's ``http.request`` span has
+  already answered 201, so only ``parent.start <= span.start`` holds.
+
+Span ids come from :func:`random.getrandbits`, not ``uuid4`` — the
+tracer sits on the TCP submit hot path with a <3% overhead budget and
+``uuid4`` alone costs more than the whole span bookkeeping.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+import threading
+import time
+from collections import OrderedDict
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Mapping
+
+__all__ = [
+    "TRACE_HEADER",
+    "SpanContext",
+    "Tracer",
+    "new_trace_id",
+    "new_span_id",
+    "current_span_context",
+    "activate_span_context",
+    "set_span_context",
+    "reset_span_context",
+    "span",
+    "record_span",
+    "trace_headers",
+    "parse_trace_header",
+    "build_trace_tree",
+    "merge_spans",
+]
+
+TRACE_HEADER = "X-Trace"
+
+_MAX_HEADER_LENGTH = 128
+
+
+def new_trace_id() -> str:
+    return f"t{random.getrandbits(64):016x}"
+
+
+def new_span_id() -> str:
+    return f"{random.getrandbits(64):016x}"
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """The ambient trace position: which tracer, trace, and parent span.
+
+    ``span_id`` is the id new child spans attach under; ``None`` means
+    "root of this trace" (first hop, no upstream parent).
+    """
+
+    tracer: "Tracer | None"
+    trace_id: str
+    span_id: str | None = None
+
+
+_current_span: "ContextVar[SpanContext | None]" = ContextVar(
+    "repro_span_context", default=None
+)
+
+
+def current_span_context() -> SpanContext | None:
+    return _current_span.get()
+
+
+@contextmanager
+def activate_span_context(context: SpanContext | None):
+    """Make ``context`` ambient for the duration of the block.
+
+    ``None`` deactivates tracing inside the block (used to re-establish
+    a captured context on pool threads, which never inherit contextvars).
+    """
+    token = _current_span.set(context)
+    try:
+        yield context
+    finally:
+        _current_span.reset(token)
+
+
+def set_span_context(context: SpanContext | None):
+    """Imperative twin of :func:`activate_span_context` for hot paths
+    where the generator-based context manager is measurable overhead.
+    Returns a token for :func:`reset_span_context`."""
+    return _current_span.set(context)
+
+
+def reset_span_context(token) -> None:
+    _current_span.reset(token)
+
+
+@contextmanager
+def span(name: str, labels: Mapping[str, Any] | None = None, link: str = "child"):
+    """Record a timed span under the ambient context; no-op untraced.
+
+    Yields the child :class:`SpanContext` (or ``None`` when tracing is
+    inactive) so callers can thread it onward explicitly.
+    """
+    context = _current_span.get()
+    if context is None or context.tracer is None:
+        yield None
+        return
+    span_id = new_span_id()
+    child = SpanContext(context.tracer, context.trace_id, span_id)
+    token = _current_span.set(child)
+    start_wall = time.time()
+    start = time.perf_counter()
+    try:
+        yield child
+    finally:
+        duration = time.perf_counter() - start
+        _current_span.reset(token)
+        context.tracer.record({
+            "trace_id": context.trace_id,
+            "span_id": span_id,
+            "parent_id": context.span_id,
+            "name": name,
+            "start": start_wall,
+            "duration": duration,
+            "labels": dict(labels) if labels else {},
+            "link": link,
+            "component": context.tracer.name,
+        })
+
+
+def record_span(
+    tracer: "Tracer | None",
+    trace_id: str | None,
+    parent_id: str | None,
+    name: str,
+    start: float,
+    duration: float,
+    labels: Mapping[str, Any] | None = None,
+    link: str = "follows",
+) -> str | None:
+    """Record a span post-hoc from explicit timing (e.g. ``queue.wait``,
+    measured only once the job leaves the queue).  Returns the span id,
+    or ``None`` when tracing is inactive."""
+    if tracer is None or trace_id is None:
+        return None
+    span_id = new_span_id()
+    tracer.record({
+        "trace_id": trace_id,
+        "span_id": span_id,
+        "parent_id": parent_id,
+        "name": name,
+        "start": start,
+        "duration": max(0.0, duration),
+        "labels": dict(labels) if labels else {},
+        "link": link,
+        "component": tracer.name,
+    })
+    return span_id
+
+
+def trace_headers() -> dict[str, str]:
+    """The hop-by-hop header for the ambient context ({} untraced)."""
+    context = _current_span.get()
+    if context is None or context.span_id is None:
+        return {}
+    return {TRACE_HEADER: f"{context.trace_id}/{context.span_id}"}
+
+
+def parse_trace_header(value: str | None) -> tuple[str, str | None] | None:
+    """``(trace_id, parent_span_id)`` from an ``X-Trace`` value, or
+    ``None`` when absent/malformed.  Values are untrusted input."""
+    if not value or len(value) > _MAX_HEADER_LENGTH:
+        return None
+    value = value.strip()
+    trace_id, separator, parent = value.partition("/")
+    if not trace_id or not _token_ok(trace_id):
+        return None
+    if separator and parent:
+        if not _token_ok(parent):
+            return None
+        return trace_id, parent
+    return trace_id, None
+
+
+_TOKEN_RE = re.compile(r"[A-Za-z0-9_-]+\Z")
+
+
+def _token_ok(token: str) -> bool:
+    return _TOKEN_RE.match(token) is not None
+
+
+class Tracer:
+    """A bounded LRU buffer of spans, keyed by trace id.
+
+    Eviction is two-level: at most ``max_traces`` traces (oldest trace
+    evicted whole) and at most ``max_spans_per_trace`` spans per trace
+    (further spans counted in ``spans_dropped``, never stored).  Reads
+    for rendering take the lock briefly to copy one trace's list.
+    """
+
+    def __init__(self, name: str = "", max_traces: int = 512,
+                 max_spans_per_trace: int = 4096):
+        self.name = name
+        self.max_traces = max_traces
+        self.max_spans_per_trace = max_spans_per_trace
+        self._traces: "OrderedDict[str, list[dict]]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._read_hooks: "list[Callable[[], None]]" = []
+        self.spans_recorded = 0
+        self.spans_dropped = 0
+
+    def on_read(self, hook: "Callable[[], None]") -> None:
+        """Register a callback run before any read — deferred recorders
+        (the request middleware) flush their pending spans here, keeping
+        span bookkeeping off the request hot path."""
+        self._read_hooks.append(hook)
+
+    def _flush_sources(self) -> None:
+        for hook in self._read_hooks:
+            try:
+                hook()
+            except Exception:  # noqa: BLE001 - reads must never fail
+                pass
+
+    def record(self, span_record: dict) -> None:
+        trace_id = span_record["trace_id"]
+        with self._lock:
+            spans = self._traces.get(trace_id)
+            if spans is None:
+                spans = []
+                self._traces[trace_id] = spans
+                while len(self._traces) > self.max_traces:
+                    _, evicted = self._traces.popitem(last=False)
+                    self.spans_dropped += len(evicted)
+            else:
+                self._traces.move_to_end(trace_id)
+            if len(spans) >= self.max_spans_per_trace:
+                self.spans_dropped += 1
+                return
+            spans.append(span_record)
+            self.spans_recorded += 1
+
+    def spans(self, trace_id: str) -> list[dict]:
+        self._flush_sources()
+        with self._lock:
+            return list(self._traces.get(trace_id, ()))
+
+    def trace_ids(self) -> list[str]:
+        self._flush_sources()
+        with self._lock:
+            return list(self._traces)
+
+    @property
+    def buffered_spans(self) -> int:
+        self._flush_sources()
+        with self._lock:
+            return sum(len(spans) for spans in self._traces.values())
+
+
+def merge_spans(*span_lists: Iterable[dict]) -> list[dict]:
+    """Union several processes' span lists, deduplicated by span id
+    (first occurrence wins), ordered by start time."""
+    seen: dict[str, dict] = {}
+    for spans in span_lists:
+        for record in spans:
+            seen.setdefault(record["span_id"], record)
+    return sorted(seen.values(), key=lambda s: (s["start"], s["span_id"]))
+
+
+def build_trace_tree(spans: Iterable[dict]) -> list[dict]:
+    """Nest a flat span list into trees: each node is the span dict plus
+    a ``children`` list sorted by start.  Spans whose parent is absent
+    from the list (partial traces — a replica died, or the scrape raced
+    the job) surface as extra roots rather than disappearing."""
+    nodes = {s["span_id"]: {**s, "children": []} for s in spans}
+    roots: list[dict] = []
+    for node in nodes.values():
+        parent = nodes.get(node.get("parent_id") or "")
+        if parent is not None and parent is not node:
+            parent["children"].append(node)
+        else:
+            roots.append(node)
+    for node in nodes.values():
+        node["children"].sort(key=lambda child: (child["start"], child["span_id"]))
+    roots.sort(key=lambda root: (root["start"], root["span_id"]))
+    return roots

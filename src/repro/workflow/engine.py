@@ -21,6 +21,12 @@ from repro.client.client import JobFailedError, ServiceProxy
 from repro.http.client import ClientError
 from repro.http.registry import TransportRegistry
 from repro.http.transport import TransportError
+from repro.runtime.trace import (
+    activate_span_context,
+    current_span_context,
+    span,
+    trace_headers,
+)
 from repro.workflow.model import (
     Block,
     ConstBlock,
@@ -170,6 +176,10 @@ class _Run:
         self.headers = headers
         self.resume_from = resume_from or {}
         self.checkpoint = checkpoint
+        # captured on the submitting thread: block threads come from a
+        # ThreadPoolExecutor, which never inherits contextvars, so each
+        # block re-activates this before opening its own span
+        self.trace_context = current_span_context()
         self.values: dict[tuple[str, str], Any] = {}
         self.states: dict[str, BlockState] = {
             block_id: BlockState.PENDING for block_id in workflow.blocks
@@ -266,7 +276,9 @@ class _Run:
     def _run_block_guarded(self, block_id: str) -> None:
         block = self.workflow.blocks[block_id]
         try:
-            outputs = self._run_block(block)
+            with activate_span_context(self.trace_context):
+                with span("workflow.block", labels={"block": block_id, "kind": block.kind}):
+                    outputs = self._run_block(block)
         except (JobFailedError, ClientError, TransportError, WorkflowCancelled) as exc:
             self._set_state(block_id, BlockState.FAILED, str(exc))
             return
@@ -350,7 +362,9 @@ class _Run:
         proxy = ServiceProxy(
             block.uri,
             self.engine.registry,
-            headers=self.headers,
+            # the ambient span here is this block's workflow.block span, so
+            # the member service's spans parent under it across the hop
+            headers={**self.headers, **trace_headers()},
             idempotent_submits=True,
             retry_after_cap=block.retry_budget,
         )

@@ -34,6 +34,15 @@ from repro.http.client import IDEMPOTENCY_KEY_HEADER
 from repro.http.messages import HttpError, Request, Response
 from repro.http.registry import TransportRegistry
 from repro.http.server import RestServer
+from repro.observability import ObservabilityMiddleware, instrument_wms, mount_metrics
+from repro.runtime.metrics import MetricsRegistry
+from repro.runtime.trace import (
+    SpanContext,
+    Tracer,
+    activate_span_context,
+    current_span_context,
+    span,
+)
 from repro.security.middleware import ON_BEHALF_HEADER
 from repro.workflow.engine import (
     BlockState,
@@ -110,10 +119,12 @@ class CompositeService:
         workflow: Workflow,
         engine: WorkflowEngine,
         record: "Callable[[dict[str, Any]], None] | None" = None,
+        tracer: "Tracer | None" = None,
     ):
         workflow.validate()
         self.workflow = workflow
         self.engine = engine
+        self.tracer = tracer
         self.description = workflow.to_description()
         self.jobs = JobStore()
         self.files = FileStore()
@@ -139,6 +150,11 @@ class CompositeService:
             request_id=request.context.get("request_id"),
         )
         job.idempotency_key = request.headers.get(IDEMPOTENCY_KEY_HEADER)
+        # the run thread's spans attach under the creating request's span
+        trace_context = current_span_context()
+        if trace_context is not None and trace_context.tracer is not None:
+            job.trace_id = trace_context.trace_id
+            job.trace_parent = trace_context.span_id
         job.extra["blocks"] = {
             block_id: BlockState.PENDING.value for block_id in self.workflow.blocks
         }
@@ -291,16 +307,29 @@ class CompositeService:
                 self._checkpoints.setdefault(job.id, {})[block_id] = outputs
             self._record("block", job, block=block_id, outputs=outputs)
 
+        # runs execute on a dedicated thread, which never inherits the
+        # submitting request's contextvars: re-establish the trace position
+        # captured on the job, then open the run's own span. `follows`, not
+        # `child` — the submit answered 201 long before the run finishes.
+        trace_context = None
+        if self.tracer is not None and job.trace_id is not None:
+            trace_context = SpanContext(self.tracer, job.trace_id, job.trace_parent)
         try:
-            outputs = self.engine.execute(
-                self.workflow,
-                values,
-                observer=observer,
-                cancel_event=job.cancel_event,
-                headers=headers,
-                resume_from=resume_from,
-                on_block_done=checkpoint,
-            )
+            with activate_span_context(trace_context):
+                with span(
+                    "workflow.run",
+                    labels={"workflow": self.workflow.name, "job": job.id},
+                    link="follows",
+                ):
+                    outputs = self.engine.execute(
+                        self.workflow,
+                        values,
+                        observer=observer,
+                        cancel_event=job.cancel_event,
+                        headers=headers,
+                        resume_from=resume_from,
+                        on_block_done=checkpoint,
+                    )
         except WorkflowCancelled:
             return  # the job is already CANCELLED
         except (WorkflowExecutionError, WorkflowError) as exc:
@@ -323,10 +352,18 @@ class WorkflowManagementService:
         credentials: Mapping[str, str] | None = None,
         journal_dir: "str | Path | None" = None,
         journal_fsync: str = "batch",
+        observability: bool = True,
     ):
         self.name = name
         self.registry = registry or TransportRegistry()
         self.app = RestApp(name)
+        self.metrics: "MetricsRegistry | None" = None
+        self.tracer: "Tracer | None" = None
+        if observability:
+            self.metrics = MetricsRegistry(name)
+            self.tracer = Tracer(name)
+            self.app.add_middleware(ObservabilityMiddleware(self.metrics, self.tracer))
+            mount_metrics(self.app, self.metrics)
         #: Headers the WMS itself presents when calling member services
         #: (its service certificate when the federation is secured).
         self.credentials = dict(credentials or {})
@@ -360,6 +397,8 @@ class WorkflowManagementService:
                     f"could not redeploy workflow {workflow_name!r}: {exc}"
                 )
                 logger.warning("skipping unrecoverable workflow %r: %s", workflow_name, exc)
+        if self.metrics is not None:
+            instrument_wms(self)
 
     # ----------------------------------------------------------- publishing
 
@@ -453,7 +492,9 @@ class WorkflowManagementService:
 
     def deploy_workflow(self, workflow: Workflow) -> CompositeService:
         """Save ``workflow`` and publish it as a composite service."""
-        composite = CompositeService(workflow, self.engine, record=self._journal_append)
+        composite = CompositeService(
+            workflow, self.engine, record=self._journal_append, tracer=self.tracer
+        )
         with self._lock:
             if workflow.name in self._composites:
                 raise WorkflowError(f"workflow {workflow.name!r} already deployed")
@@ -481,6 +522,7 @@ class WorkflowManagementService:
             composite,
             base_uri=lambda name=workflow.name: self.service_uri(name),
             ledger=ledger,
+            tracer=self.tracer,
         )
 
         def instance_page(request: Request, job_id: str) -> Response:

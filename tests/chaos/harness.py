@@ -46,6 +46,7 @@ from repro.gateway import ServiceGateway
 from repro.gateway.replicaset import ReplicaSet
 from repro.http.client import IDEMPOTENCY_KEY_HEADER, RestClient
 from repro.http.registry import TransportRegistry
+from tests.waiters import wait_until
 
 #: Scales every seed matrix: 1 is the full suite, CI pull-request runs use
 #: a fraction, soak runs can go above 1.
@@ -310,19 +311,21 @@ class GatewayChaosCell:
 
     def _resolve(self, marker: int, record: dict, deadline: float) -> dict:
         """Retry a rejected submit (same key) on the healed cell until 201."""
-        limit = time.monotonic() + deadline
-        while time.monotonic() < limit:
+        def accepted():
             response = self._post(marker, record["key"])
             if response.status == 201:
                 return response.json_body
             if response.status not in (429, 503):
                 self.fail(f"settle retry of {record['key']} answered {response.status}")
-            time.sleep(0.02)
-        self.fail(f"settle retry of {record['key']} never got a 201")
+            return None
+
+        try:
+            return wait_until(accepted, timeout=deadline, interval=0.02)
+        except TimeoutError:
+            self.fail(f"settle retry of {record['key']} never got a 201")
 
     def _await_terminal(self, uri: str, deadline: float) -> dict:
-        limit = time.monotonic() + deadline
-        while time.monotonic() < limit:
+        def terminal():
             response = self.client.request_raw("GET", uri, query={"wait": 1})
             if response.status == 200 and response.json_body["state"] in (
                 "DONE",
@@ -332,8 +335,12 @@ class GatewayChaosCell:
                 return response.json_body
             if response.status == 404:
                 self.fail(f"acknowledged job {uri} vanished (404 after settle)")
-            time.sleep(0.02)
-        self.fail(f"acknowledged job {uri} never reached a terminal state")
+            return None
+
+        try:
+            return wait_until(terminal, timeout=deadline, interval=0.02)
+        except TimeoutError:
+            self.fail(f"acknowledged job {uri} never reached a terminal state")
 
     # ------------------------------------------------------------ invariants
 
@@ -656,8 +663,7 @@ class CacheChaosCell(GatewayChaosCell):
                 )
 
     def _settled_submit(self, marker: int, deadline: float):
-        limit = time.monotonic() + deadline
-        while time.monotonic() < limit:
+        def accepted():
             response = self._post_plain(marker)
             if response.status == 201:
                 self.check(
@@ -666,8 +672,12 @@ class CacheChaosCell(GatewayChaosCell):
                     f"{response.json_body['id']}",
                 )
                 return response
-            time.sleep(0.02)
-        self.fail(f"settled submit for marker {marker} never got a 201")
+            return None
+
+        try:
+            return wait_until(accepted, timeout=deadline, interval=0.02)
+        except TimeoutError:
+            self.fail(f"settled submit for marker {marker} never got a 201")
 
 
 def run_cache_chaos(

@@ -16,6 +16,7 @@ from repro.batch.cluster import Cluster, ComputeNode
 from repro.batch.job import BatchJob, BatchJobState, JobResources
 from repro.faults import BatchNodeChaos, FaultPlan, Scenario
 from tests.chaos.harness import CHAOS_SCALE, chaos_seeds
+from tests.waiters import wait_until
 
 
 def _payload(job: BatchJob) -> int:
@@ -72,10 +73,10 @@ def test_node_death_under_load(seed, request):
             if job.state is BatchJobState.COMPLETED and job.result != 42:
                 fail(f"job {job_id} completed with wrong result {job.result!r}")
         # the ledger must be conserved: all slots free once everything is done
-        slot_deadline = time.monotonic() + 5.0
-        while cluster.free_slots != cluster.total_slots and time.monotonic() < slot_deadline:
-            time.sleep(0.01)
-        if cluster.free_slots != cluster.total_slots:
+        try:
+            wait_until(lambda: cluster.free_slots == cluster.total_slots,
+                       timeout=5.0, interval=0.01)
+        except TimeoutError:
             fail(
                 f"slot ledger leaked: {cluster.free_slots} free of {cluster.total_slots} "
                 f"with every job terminal (dead={cluster.dead_nodes})"

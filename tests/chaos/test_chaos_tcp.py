@@ -15,7 +15,6 @@ depends on connection-pool state — but the *invariants* are unconditional.
 """
 
 import json
-import time
 from collections import Counter
 
 import pytest
@@ -26,6 +25,7 @@ from repro.http.client import IDEMPOTENCY_KEY_HEADER, RestClient
 from repro.http.registry import TransportRegistry
 from repro.http.transport import TransportError
 from tests.chaos.harness import _WORK, CHAOS_SCALE, chaos_seeds
+from tests.waiters import wait_until
 
 
 @pytest.mark.parametrize("seed", chaos_seeds(16, base=4000))
@@ -61,19 +61,22 @@ def test_server_drops_over_tcp(seed, request):
             key = f"tcp{seed}-k{marker}"
             body = json.dumps({"a": marker, "b": 1}).encode()
             headers = {IDEMPOTENCY_KEY_HEADER: key, "Content-Type": "application/json"}
-            for attempt in range(8):
+            def accepted():
                 try:
-                    response = client.request_raw("POST", service_uri, body=body, headers=headers)
+                    response = client.request_raw(
+                        "POST", service_uri, body=body, headers=headers)
                 except TransportError:
-                    continue  # ambiguous — the key makes the retry safe
+                    return None  # ambiguous — the key makes the retry safe
                 if response.status == 201:
-                    acked[marker] = response.json_body
-                    break
+                    return response.json_body
                 if response.status not in (429, 503):
                     fail(f"keyed POST {key} answered {response.status}")
-                time.sleep(0.02)
-            else:
-                fail(f"keyed POST {key} never accepted in 8 attempts")
+                return None
+
+            try:
+                acked[marker] = wait_until(accepted, timeout=5.0, interval=0.02)
+            except TimeoutError:
+                fail(f"keyed POST {key} never accepted within 5s")
             try:
                 polled = client.request_raw("GET", acked[marker]["uri"])
                 if polled.status == 404:
@@ -81,17 +84,19 @@ def test_server_drops_over_tcp(seed, request):
             except TransportError:
                 pass  # dropped poll; idempotent, nothing to verify
         plan.deactivate()
-        deadline = time.monotonic() + 10.0
         for marker, job in acked.items():
-            while time.monotonic() < deadline:
-                document = client.request_raw("GET", job["uri"], query={"wait": 1}).json_body
+            def finished(uri=job["uri"]):
+                document = client.request_raw("GET", uri, query={"wait": 1}).json_body
                 if document["state"] in ("DONE", "FAILED", "CANCELLED"):
-                    if document["state"] != "DONE":
-                        fail(f"job {job['id']} ended {document['state']}")
-                    break
-                time.sleep(0.02)
-            else:
+                    return document
+                return None
+
+            try:
+                document = wait_until(finished, timeout=10.0, interval=0.02)
+            except TimeoutError:
                 fail(f"job {job['id']} never finished")
+            if document["state"] != "DONE":
+                fail(f"job {job['id']} ended {document['state']}")
         counts = Counter()
         for job in container.service("work").jobs.list():
             counts[job.inputs["a"]] += 1

@@ -221,5 +221,6 @@ def test_unmount_removes_all_routes(client_and_backend):
     backend = EchoBackend()
     mount_service(app, "/services/echo", backend)
     app_routes_removed = unmount_service(app, "/services/echo")
-    assert app_routes_removed == 5
+    # describe, submit, job GET/DELETE, trace, files
+    assert app_routes_removed == 6
     assert len(app.router) == 0

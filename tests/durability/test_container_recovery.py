@@ -17,6 +17,7 @@ from repro.container import ServiceContainer
 from repro.container.adapters.python_adapter import PythonAdapter
 from repro.container.jobmanager import INTERRUPTED_ERROR
 from repro.http.client import IDEMPOTENCY_KEY_HEADER, RestClient
+from tests.waiters import wait_until
 
 
 def work_config(gate: threading.Event):
@@ -50,13 +51,12 @@ def submit(client, uri, x, key):
 
 
 def wait_state(client, uri, states, timeout=10.0):
-    deadline = time.monotonic() + timeout
-    while time.monotonic() < deadline:
+    def reached():
         job = client.get(uri)
-        if job["state"] in states:
-            return job
-        time.sleep(0.01)
-    raise TimeoutError(f"{uri} never reached {states}")
+        return job if job["state"] in states else None
+
+    return wait_until(reached, timeout=timeout, interval=0.01,
+                      message=f"{uri} never reached {states}")
 
 
 class TestKillAndRebuild:

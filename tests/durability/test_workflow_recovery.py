@@ -7,12 +7,12 @@ checkpointed block frontier — completed blocks are *not* re-executed
 """
 
 import threading
-import time
 
 from repro.container import ServiceContainer
 from repro.http.client import IDEMPOTENCY_KEY_HEADER, RestClient
 from repro.workflow.model import DataType, InputBlock, OutputBlock, ServiceBlock, Workflow
 from repro.workflow.wms import WorkflowManagementService
+from tests.waiters import wait_until
 
 
 def build_cell(registry, gate):
@@ -80,13 +80,8 @@ def submit(client, uri, payload, key):
 
 
 def wait_for(predicate, timeout=10.0):
-    deadline = time.monotonic() + timeout
-    while time.monotonic() < deadline:
-        value = predicate()
-        if value:
-            return value
-        time.sleep(0.01)
-    raise TimeoutError("condition never held")
+    return wait_until(predicate, timeout=timeout, interval=0.01,
+                      message="condition never held")
 
 
 class TestResume:

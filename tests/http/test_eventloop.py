@@ -24,6 +24,7 @@ from repro.http.messages import (
     serialize_response,
 )
 from repro.http.server import RestServer
+from tests.waiters import wait_until
 
 
 def ping_app() -> RestApp:
@@ -239,9 +240,8 @@ class TestIdleTimeout:
             socks = [
                 socket.create_connection((server.host, server.port)) for _ in range(4)
             ]
-            deadline = time.monotonic() + 5.0
-            while server.connections_timed_out < 4 and time.monotonic() < deadline:
-                time.sleep(0.05)
+            wait_until(lambda: server.connections_timed_out >= 4,
+                       timeout=5.0, interval=0.05)
             assert server.connections_timed_out == 4
             for sock in socks:
                 sock.settimeout(1.0)

@@ -31,3 +31,17 @@ def test_example_runs(script, args, marker):
     )
     assert completed.returncode == 0, completed.stderr.decode()[-2000:]
     assert marker in completed.stdout, completed.stdout.decode()[-2000:]
+
+
+def test_obs_dashboard_example(tmp_path):
+    out = tmp_path / "dashboard.html"
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "obs_dashboard.py"), str(out)],
+        capture_output=True,
+        timeout=600,
+    )
+    assert completed.returncode == 0, completed.stderr.decode()[-2000:]
+    assert b"replicas healthy" in completed.stdout, completed.stdout.decode()[-2000:]
+    page = out.read_text()
+    assert "adapter.run" in page and "gateway.forward" in page
+    assert "Replicas" in page

@@ -1,0 +1,225 @@
+"""Unit tests for the metrics registry and its text exposition."""
+
+import math
+import threading
+
+import pytest
+
+from repro.observability import histogram_quantile, parse_metrics
+from repro.runtime.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    render_all_registries,
+)
+
+
+class TestNaming:
+    def test_invalid_metric_name_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="invalid metric name"):
+            registry.counter("2bad")
+        with pytest.raises(ValueError, match="invalid metric name"):
+            registry.gauge("has space")
+
+    def test_invalid_label_name_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="invalid label name"):
+            registry.counter("ok_name", labels=("bad-label",))
+
+    def test_reregistration_same_shape_returns_same_family(self):
+        registry = MetricsRegistry()
+        first = registry.counter("mc_x_total", "x", labels=("k",))
+        second = registry.counter("mc_x_total", "different help", labels=("k",))
+        assert first is second
+
+    def test_reregistration_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("mc_x_total", labels=("k",))
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("mc_x_total", labels=("k",))
+        with pytest.raises(ValueError, match="already registered"):
+            registry.counter("mc_x_total", labels=("other",))
+
+
+class TestCounter:
+    def test_monotone_only(self):
+        counter = MetricsRegistry().counter("mc_ops_total")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+        with pytest.raises(ValueError, match="only increase"):
+            counter.inc(-1)
+
+    def test_labeled_children_and_total(self):
+        counter = MetricsRegistry().counter("mc_ops_total", labels=("kind",))
+        counter.labels("read").inc(3)
+        counter.labels("write").inc(4)
+        assert counter.value == 7
+
+    def test_label_arity_checked(self):
+        counter = MetricsRegistry().counter("mc_ops_total", labels=("a", "b"))
+        with pytest.raises(ValueError, match="label values"):
+            counter.labels("only-one")
+
+    def test_unlabeled_counter_renders_zero_before_first_inc(self):
+        registry = MetricsRegistry()
+        registry.counter("mc_idle_total", "never touched")
+        families = parse_metrics(registry.render())
+        assert families["mc_idle_total"].value() == 0
+
+    def test_concurrent_increments_lose_nothing(self):
+        counter = MetricsRegistry().counter("mc_race_total")
+
+        def spin():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=spin) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 8000
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("mc_depth")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(3)
+        assert gauge.value == 12
+
+    def test_negative_values_allowed(self):
+        gauge = MetricsRegistry().gauge("mc_drift")
+        gauge.set(-2.5)
+        assert gauge.value == -2.5
+
+
+class TestHistogram:
+    def test_buckets_cumulative_and_count_consistent(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("mc_lat_seconds", buckets=(0.01, 0.1, 1.0))
+        for value in (0.005, 0.05, 0.5, 5.0):
+            histogram.observe(value)
+        families = parse_metrics(registry.render())
+        family = families["mc_lat_seconds"]
+        buckets = family.buckets()
+        # cumulative: each bucket includes everything below it
+        assert [count for _, count in buckets] == [1, 2, 3, 4]
+        assert buckets[-1][0] == math.inf
+        assert family.series("_count") == 4
+        assert family.series("_sum") == pytest.approx(5.555)
+
+    def test_forced_inf_tail(self):
+        histogram = MetricsRegistry().histogram("mc_h_seconds", buckets=(1.0, 2.0))
+        assert histogram.bounds[-1] == math.inf
+
+    def test_quantile_interpolates(self):
+        histogram = MetricsRegistry().histogram("mc_q_seconds", buckets=(0.1, 0.2, 0.4))
+        for _ in range(90):
+            histogram.observe(0.05)
+        for _ in range(10):
+            histogram.observe(0.15)
+        p50 = histogram.quantile(0.5)
+        assert 0.0 < p50 <= 0.1
+        p99 = histogram.quantile(0.99)
+        assert 0.1 < p99 <= 0.2
+
+    def test_empty_histogram_quantile_is_zero(self):
+        histogram = MetricsRegistry().histogram("mc_e_seconds")
+        assert histogram.quantile(0.99) == 0.0
+
+    def test_empty_unlabeled_histogram_renders_zero_buckets(self):
+        registry = MetricsRegistry()
+        registry.histogram("mc_idle_seconds", buckets=DEFAULT_BUCKETS)
+        family = parse_metrics(registry.render())["mc_idle_seconds"]
+        assert family.series("_count") == 0
+        assert all(count == 0 for _, count in family.buckets())
+
+
+class TestLabelEscaping:
+    def test_quotes_backslashes_newlines_round_trip(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("mc_weird_total", labels=("path",))
+        nasty = 'a"b\\c\nd'
+        counter.labels(nasty).inc(7)
+        text = registry.render()
+        assert '\\"' in text and "\\\\" in text and "\\n" in text
+        family = parse_metrics(text)["mc_weird_total"]
+        assert family.value(path=nasty) == 7
+
+
+class TestCollector:
+    def test_scalar_collector(self):
+        registry = MetricsRegistry()
+        registry.collector("mc_live", "live value", "gauge", lambda: 42)
+        assert parse_metrics(registry.render())["mc_live"].value() == 42
+
+    def test_labeled_collector(self):
+        registry = MetricsRegistry()
+        registry.collector(
+            "mc_states", "by state", "gauge",
+            lambda: [(("up",), 2), (("down",), 1)], labels=("state",),
+        )
+        family = parse_metrics(registry.render())
+        assert family["mc_states"].value(state="up") == 2
+        assert family["mc_states"].value(state="down") == 1
+
+    def test_failing_collector_never_breaks_the_scrape(self):
+        registry = MetricsRegistry()
+        registry.counter("mc_ok_total").inc()
+
+        def broken():
+            raise RuntimeError("backend is on fire")
+
+        registry.collector("mc_broken", "boom", "gauge", broken)
+        families = parse_metrics(registry.render())
+        assert "mc_ok_total" in families
+        assert "mc_broken" not in families
+
+    def test_invalid_collector_kind_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="counter or gauge"):
+            registry.collector("mc_bad", "", "histogram", lambda: 1)
+
+
+class TestRegistryRender:
+    def test_families_sorted_with_help_and_type(self):
+        registry = MetricsRegistry()
+        registry.gauge("mc_b", "second")
+        registry.counter("mc_a_total", "first")
+        text = registry.render()
+        assert text.index("mc_a_total") < text.index("mc_b")
+        assert "# HELP mc_a_total first" in text
+        assert "# TYPE mc_a_total counter" in text
+        assert text.endswith("\n")
+
+    def test_render_all_registries_names_each_section(self):
+        registry = MetricsRegistry("postmortem-probe")
+        registry.counter("mc_probe_total").inc()
+        dump = render_all_registries()
+        assert "registry: postmortem-probe" in dump
+        assert "mc_probe_total 1" in dump
+
+
+class TestPromtextParser:
+    def test_malformed_line_raises(self):
+        with pytest.raises(ValueError):
+            parse_metrics("this is not exposition format at all {{{\n")
+
+    def test_sample_without_type_header_is_untyped(self):
+        family = parse_metrics("lonely_sample 4\n")["lonely_sample"]
+        assert family.kind == "untyped"
+        assert family.value() == 4
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(ValueError, match="unknown metric type"):
+            parse_metrics("# TYPE x exotic\nx 1\n")
+
+    def test_histogram_quantile_helper(self):
+        buckets = [(0.1, 50.0), (0.2, 90.0), (math.inf, 100.0)]
+        p50 = histogram_quantile(0.5, buckets)
+        assert 0.0 < p50 <= 0.1
+        p95 = histogram_quantile(0.95, buckets)
+        assert 0.2 < p95 or p95 == 0.2

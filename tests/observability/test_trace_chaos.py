@@ -1,0 +1,140 @@
+"""Seeded chaos over the traced gateway cell: spans are never lost or
+cross-wired.
+
+Reuses :class:`tests.chaos.harness.GatewayChaosCell` — workload under
+transport faults and replica kills, settle, run the standard invariant
+sweep — and then adds a trace sweep: every acknowledged job's
+``/trace`` resource must yield a well-formed tree whose adapter spans
+belong to exactly one job, and no two jobs may share a trace id or a
+span id.
+
+Warm crashes (transport unbind/rebind) keep the replica process — and
+its tracer — alive, so every trace must be retrievable.  Cold restarts
+build a fresh container over the journal; trace buffers are in-memory
+by design (``Job.trace_id`` is never journaled), so a recovered job's
+trace may 404 — but any trace that *is* retrieved must still verify.
+"""
+
+import pytest
+
+from repro.faults import Scenario
+from repro.observability import verify_trace_tree
+from tests.chaos.harness import GatewayChaosCell, chaos_seeds
+from tests.waiters import wait_until
+
+
+def fault_scenarios(target: str) -> list:
+    return [
+        Scenario("drop", 0.10, target=target),
+        Scenario("connect-refused", 0.10, target=target),
+        Scenario("partial-write", 0.06, target=target),
+        Scenario("delay", 0.12, target=target, delay=0.0, jitter=0.01),
+    ]
+
+
+def warm_crash_scenarios(target: str) -> list:
+    return [
+        Scenario("crash-restart", 0.18, duration=2),
+        Scenario("drop", 0.06, target=target),
+    ]
+
+
+def cold_crash_scenarios(target: str) -> list:
+    return [
+        Scenario("crash-restart", 0.15, duration=2),
+        Scenario("drop", 0.05, target=target),
+    ]
+
+
+def _fetch_trace(cell, uri):
+    return cell.client.request_raw("GET", f"{uri}/trace")
+
+
+def _sweep_traces(cell, allow_missing: bool) -> None:
+    """Post-settle: every acked job's trace verifies; no cross-wiring."""
+    seen_trace_ids: dict[str, str] = {}
+    seen_span_ids: dict[str, str] = {}
+    for record in cell.expected.values():
+        uri = record["acked"]["uri"]
+        response = _fetch_trace(cell, uri)
+        if response.status == 404 and allow_missing:
+            continue  # tracer died with a cold-restarted replica
+        cell.check(
+            response.status == 200,
+            f"trace of acked job {uri} answered {response.status}",
+        )
+        document = response.json_body
+        spans = document["spans"]
+        job = cell.client.get(uri)
+        if job["state"] == "DONE" and "adapter.run" not in {
+            s["name"] for s in spans
+        }:
+            # the adapter.run span closes moments after the job flips to
+            # DONE; re-fetch until it lands rather than racing it
+            document = wait_until(
+                lambda uri=uri: (
+                    lambda d: d if "adapter.run" in {s["name"] for s in d["spans"]} else None
+                )(_fetch_trace(cell, uri).json_body),
+                timeout=5.0,
+                message=f"adapter.run span never appeared for {uri}",
+            )
+            spans = document["spans"]
+
+        for problem in verify_trace_tree(spans, complete=True):
+            cell.fail(f"trace of {uri} violates invariants: {problem}")
+
+        if job["state"] == "DONE":
+            names = {s["name"] for s in spans}
+            cell.check(
+                {"http.request", "gateway.forward", "queue.wait", "adapter.run"} <= names,
+                f"DONE job {uri} is missing hop spans (got {sorted(names)})",
+            )
+
+        # cross-wiring: one job per trace, one trace per job, spans unique
+        trace_id = document["trace_id"]
+        owner = seen_trace_ids.setdefault(trace_id, uri)
+        cell.check(owner == uri, f"trace {trace_id} shared by {owner} and {uri}")
+        adapter_jobs = {
+            s["labels"]["job"] for s in spans
+            if s["name"] in ("queue.wait", "adapter.run")
+        }
+        cell.check(
+            len(adapter_jobs) <= 1,
+            f"trace {trace_id} contains adapter spans from jobs {sorted(adapter_jobs)}",
+        )
+        for span_record in spans:
+            holder = seen_span_ids.setdefault(span_record["span_id"], uri)
+            cell.check(
+                holder == uri,
+                f"span {span_record['span_id']} appears in both {holder} and {uri}",
+            )
+
+
+def run_trace_chaos(seed, scenario_fn, nodeid, ops=8, **cell_options) -> None:
+    cold = cell_options.get("cold", False)
+    cell = GatewayChaosCell(seed, scenario_fn, nodeid=nodeid, **cell_options)
+    try:
+        cell.run_workload(ops=ops)
+        cell.settle()
+        cell.verify()
+        _sweep_traces(cell, allow_missing=cold)
+    finally:
+        cell.shutdown()
+
+
+@pytest.mark.parametrize("seed", chaos_seeds(96, base=8000))
+def test_traces_survive_transport_faults(seed, request):
+    run_trace_chaos(seed, fault_scenarios, request.node.nodeid)
+
+
+@pytest.mark.parametrize("seed", chaos_seeds(96, base=8200))
+def test_traces_survive_warm_replica_crashes(seed, request):
+    run_trace_chaos(
+        seed, warm_crash_scenarios, request.node.nodeid, crashes=True, ops=10)
+
+
+@pytest.mark.parametrize("seed", chaos_seeds(64, base=8400))
+def test_traces_survive_cold_replica_restarts(seed, request):
+    run_trace_chaos(
+        seed, cold_crash_scenarios, request.node.nodeid,
+        crashes=True, cold=True, ops=10)

@@ -6,6 +6,7 @@ import time
 import pytest
 
 from repro.runtime.pool import ExecutorPool, PeriodicTask, PoolStats
+from tests.waiters import wait_until
 
 
 @pytest.fixture()
@@ -41,9 +42,7 @@ class TestExecutorPool:
         handles.append(pool.submit(lambda: 1 / 0))
         for handle in handles:
             assert handle.wait(timeout=5)
-        deadline = time.monotonic() + 5
-        while pool.stats.running and time.monotonic() < deadline:
-            time.sleep(0.005)
+        wait_until(lambda: not pool.stats.running, timeout=5, interval=0.005)
         stats = pool.stats
         assert stats == PoolStats(queued=0, running=0, completed=3, failed=1)
         assert stats.submitted == 4
@@ -54,9 +53,7 @@ class TestExecutorPool:
         try:
             first = pool.submit(gate.wait, 5)
             second = pool.submit(lambda: None)
-            deadline = time.monotonic() + 5
-            while pool.stats.running != 1 and time.monotonic() < deadline:
-                time.sleep(0.005)
+            wait_until(lambda: pool.stats.running == 1, timeout=5, interval=0.005)
             stats = pool.stats
             assert stats.running == 1
             assert stats.queued == 1
@@ -170,9 +167,7 @@ class TestPeriodicTask:
         ticks = []
         task = PeriodicTask(0.02, lambda: ticks.append(1), name="ticker")
         task.start()
-        deadline = time.monotonic() + 5
-        while len(ticks) < 3 and time.monotonic() < deadline:
-            time.sleep(0.01)
+        wait_until(lambda: len(ticks) >= 3, timeout=5, interval=0.01)
         task.stop()
         assert len(ticks) >= 3
         assert not task.running
@@ -208,8 +203,6 @@ class TestPeriodicTask:
                 raise ValueError("transient")
 
         task = PeriodicTask(0.02, flaky, name="flaky").start()
-        deadline = time.monotonic() + 5
-        while len(ticks) < 3 and time.monotonic() < deadline:
-            time.sleep(0.01)
+        wait_until(lambda: len(ticks) >= 3, timeout=5, interval=0.01)
         task.stop()
         assert len(ticks) >= 3

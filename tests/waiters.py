@@ -4,7 +4,10 @@
 used to be copied between test modules. It polls a predicate on a small
 interval, returns its first truthy result, and raises a descriptive
 ``TimeoutError`` — so a hung condition fails loudly with context instead
-of silently burning the suite's time budget.
+of silently burning the suite's time budget. On timeout it appends a
+snapshot of every live metrics registry: the state that explains a hang
+(queue depth, breaker states, in-flight requests) is already being
+exported, so the failure message carries it for free.
 """
 
 from __future__ import annotations
@@ -16,6 +19,18 @@ from typing import Any, Callable
 POLL_INTERVAL = 0.01
 
 
+def _metrics_postmortem() -> str:
+    try:
+        from repro.runtime.metrics import render_all_registries
+
+        snapshot = render_all_registries()
+    except Exception:
+        return ""
+    if not snapshot:
+        return ""
+    return f"\n--- metrics at timeout ---\n{snapshot}"
+
+
 def wait_until(
     predicate: Callable[[], Any],
     timeout: float = 10.0,
@@ -24,7 +39,8 @@ def wait_until(
 ) -> Any:
     """Poll ``predicate`` until it returns a truthy value; return that value.
 
-    Raises ``TimeoutError`` naming the condition after ``timeout`` seconds.
+    Raises ``TimeoutError`` naming the condition after ``timeout`` seconds,
+    with a dump of every live metrics registry appended for post-mortems.
     """
     deadline = time.monotonic() + timeout
     while True:
@@ -32,7 +48,8 @@ def wait_until(
         if value:
             return value
         if time.monotonic() >= deadline:
-            raise TimeoutError(message or f"condition not met within {timeout:g}s: {predicate}")
+            described = message or f"condition not met within {timeout:g}s: {predicate}"
+            raise TimeoutError(described + _metrics_postmortem())
         time.sleep(interval)
 
 

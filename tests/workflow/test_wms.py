@@ -10,6 +10,7 @@ from repro.workflow.jsonio import workflow_to_json
 from repro.workflow.wms import WorkflowManagementService
 
 from tests.workflow.conftest import diamond_workflow
+from tests.waiters import wait_until
 
 
 @pytest.fixture()
@@ -20,13 +21,11 @@ def wms(registry, container):
 
 
 def wait_terminal(client, job_uri, timeout=15.0):
-    deadline = time.time() + timeout
-    while time.time() < deadline:
+    def terminal():
         job = client.get(job_uri)
-        if job["state"] in ("DONE", "FAILED", "CANCELLED"):
-            return job
-        time.sleep(0.01)
-    raise TimeoutError(job_uri)
+        return job if job["state"] in ("DONE", "FAILED", "CANCELLED") else None
+
+    return wait_until(terminal, timeout=timeout, interval=0.01, message=job_uri)
 
 
 class TestCompositeService:
