@@ -1,0 +1,311 @@
+"""Experiment TN1 — fair-share accuracy, admission overhead, flood isolation.
+
+Three guards, recorded in ``benchmarks/BENCH_tenancy.json`` for CI:
+
+- **fair-share ratio error < 10%** — a saturated admission queue with
+  three tenants at 3:2:1 weights; the dispatched share of each tenant
+  over a long drain must match its weight's share of the total;
+- **admission overhead < 3%** — per-request cost of the tenancy plane
+  (attribution middleware, fair-share queue, usage metering) on the TCP
+  submit path, measured as paired interleaved cells exactly like the O1
+  observability guard: handlers parked, best-of-repeats minimum;
+- **zero in-quota failures under flood** — an aggressor hammers a
+  rate-limited tenant through a gateway while two in-quota tenants run
+  their normal workload; the aggressor must eat 429s and the in-quota
+  tenants must see *no* failed request at all.
+"""
+
+import json
+import statistics
+import threading
+import time
+from pathlib import Path
+
+from benchmarks.conftest import full_scale, record_experiment
+from repro.container import ServiceContainer
+from repro.core.jobs import Job
+from repro.gateway import ServiceGateway
+from repro.http.client import RestClient
+from repro.http.registry import TransportRegistry
+from repro.tenancy import AdmissionEntry, FairShareQueue, TenantRegistry, TenantSpec
+from repro.tenancy.registry import TENANT_HEADER
+
+BENCH_PATH = Path(__file__).parent / "BENCH_tenancy.json"
+
+#: Guards from the issue.
+MAX_RATIO_ERROR = 0.10
+MAX_OVERHEAD = 0.03
+
+
+def _config():
+    return {
+        "description": {
+            "name": "work",
+            "inputs": {"x": {"schema": {"type": "number"}}},
+            "outputs": {"y": {"schema": {"type": "number"}}},
+        },
+        "adapter": "python",
+        "config": {"callable": lambda x: {"y": x * 2}},
+    }
+
+
+# ------------------------------------------------------------- fair share
+
+
+def _fair_share_rows(draws):
+    """Saturated backlogs at 3:2:1 weights; measure dispatched shares."""
+    weights = {"gold": 3.0, "silver": 2.0, "bronze": 1.0}
+    registry = TenantRegistry()
+    for name, weight in weights.items():
+        registry.register(TenantSpec(name=name, weight=weight, max_backlog=10**6))
+    queue = FairShareQueue(registry, max_backlog_total=10**6)
+    for name in weights:
+        for _ in range(draws):
+            queue.offer(AdmissionEntry(
+                tenant=name, job=Job(service="work", inputs={}),
+                execute=lambda: {}, enqueued=time.time()))
+    dispatched = {name: 0 for name in weights}
+    for _ in range(draws):
+        dispatched[queue.take().tenant] += 1
+    total_weight = sum(weights.values())
+    rows, worst = [], 0.0
+    for name, weight in weights.items():
+        expected = draws * weight / total_weight
+        error = abs(dispatched[name] - expected) / expected
+        worst = max(worst, error)
+        rows.append({
+            "tenant": name,
+            "weight": weight,
+            "dispatched": dispatched[name],
+            "expected": round(expected, 1),
+            "ratio_error_pct": round(error * 100, 2),
+        })
+    return rows, worst
+
+
+# -------------------------------------------------------------- overhead
+
+
+class _SubmitCell:
+    """One variant on the TCP submit path, handlers parked (as in O1)."""
+
+    def __init__(self, label, tag, tenancy):
+        self.label = label
+        self.gate = threading.Event()
+        gate = self.gate
+        config = _config()
+        config["config"]["callable"] = lambda x: (gate.wait(60), {"y": x * 2})[1]
+        registry = TransportRegistry()
+        self.container = ServiceContainer(f"t1-{tag}", handlers=2, registry=registry)
+        if tenancy:
+            # parked handlers queue every submit: the bench tenant needs
+            # room for the whole block
+            self.container.enable_tenancy(
+                max_backlog_total=10**6,
+            ).register(TenantSpec(name="bench", max_backlog=10**6))
+        self.container.deploy(config)
+        self.client = RestClient(registry)
+        self.uri = f"{self.container.serve().base_url}/services/work"
+        self.latencies: list[float] = []
+
+    def submit_block(self, count, measure=True):
+        for _ in range(count):
+            start = time.perf_counter()
+            response = self.client.request_raw(
+                "POST", self.uri, body=b'{"x": 1}',
+                headers={"Content-Type": "application/json",
+                         TENANT_HEADER: "bench"},
+            )
+            if measure:
+                self.latencies.append(time.perf_counter() - start)
+            assert response.status == 201
+        return self
+
+    def close(self):
+        self.gate.set()
+        self.container.shutdown()
+
+
+def _overhead_repeat(tag, submits):
+    cells = [
+        _SubmitCell("fifo", f"plain-{tag}", tenancy=False),
+        _SubmitCell("fair-share", f"tenant-{tag}", tenancy=True),
+    ]
+    try:
+        for cell in cells:
+            cell.submit_block(20, measure=False)
+        for _ in range(submits):
+            for cell in cells:
+                cell.submit_block(1)
+        medians = {c.label: statistics.median(c.latencies) for c in cells}
+        overhead = medians["fair-share"] / medians["fifo"] - 1.0
+        rows = [
+            {
+                "variant": cell.label,
+                "submits": len(cell.latencies),
+                "median_us": round(medians[cell.label] * 1e6, 1),
+                "p99_us": round(
+                    sorted(cell.latencies)[int(len(cell.latencies) * 0.99)] * 1e6, 1),
+                "overhead_pct": round(
+                    (medians[cell.label] / medians["fifo"] - 1) * 100, 2),
+            }
+            for cell in cells
+        ]
+        return rows, overhead
+    finally:
+        for cell in cells:
+            cell.close()
+
+
+def _overhead_rows(submits):
+    """Best of interleaved repeats — min-of-repeats, as in O1/D1."""
+    repeats = 6
+    block = max(1, submits // repeats)
+    best_rows, best = None, None
+    for repeat in range(repeats):
+        rows, overhead = _overhead_repeat(repeat, block)
+        print(f"  admission overhead repeat {repeat}: {overhead * 100:.2f}%")
+        if best is None or overhead < best:
+            best_rows, best = rows, overhead
+    return best_rows, best
+
+
+# ----------------------------------------------------------------- flood
+
+
+def _flood_isolation(payer_jobs, flood_jobs):
+    """Aggressor vs two in-quota tenants through a rate-limiting gateway."""
+    registry = TransportRegistry()
+    containers = []
+    for index in range(2):
+        container = ServiceContainer(f"t1-flood-{index}", handlers=2,
+                                     registry=registry)
+        container.deploy(_config())
+        containers.append(container)
+    gateway = ServiceGateway(registry=registry, name="t1-flood-gw")
+    for container in containers:
+        gateway.add_replica(container.local_base)
+    tenants = gateway.enable_tenancy()
+    tenants.register(TenantSpec(name="aggressor", rate=50.0, burst=8.0))
+    uri = gateway.service_uri("work")
+    try:
+        outcomes = {"payer-a": [], "payer-b": [], "aggressor": []}
+
+        def run_tenant(tenant, jobs):
+            client = RestClient(registry, retry_after_cap=0.0)
+            for index in range(jobs):
+                response = client.request_raw(
+                    "POST", uri, body=json.dumps({"x": index}).encode(),
+                    headers={"Content-Type": "application/json",
+                             TENANT_HEADER: tenant},
+                )
+                outcomes[tenant].append(response.status)
+
+        threads = [
+            threading.Thread(target=run_tenant, args=("payer-a", payer_jobs)),
+            threading.Thread(target=run_tenant, args=("payer-b", payer_jobs)),
+            threading.Thread(target=run_tenant, args=("aggressor", flood_jobs)),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        rows = []
+        for tenant, statuses in outcomes.items():
+            rows.append({
+                "tenant": tenant,
+                "requests": len(statuses),
+                "accepted": statuses.count(201),
+                "shed_429": statuses.count(429),
+                "failed": sum(1 for s in statuses if s not in (201, 429)),
+            })
+        payer_failures = sum(
+            1 for tenant in ("payer-a", "payer-b")
+            for status in outcomes[tenant] if status != 201
+        )
+        aggressor_sheds = outcomes["aggressor"].count(429)
+        return rows, payer_failures, aggressor_sheds
+    finally:
+        gateway.shutdown()
+        for container in containers:
+            container.shutdown()
+
+
+# ------------------------------------------------------------------ test
+
+
+def test_t1_fair_share_overhead_and_flood_isolation():
+    draws = 6000 if full_scale() else 1200
+    share_rows, ratio_error = _fair_share_rows(draws)
+    submits = 600 if full_scale() else 300
+    overhead_rows, overhead = _overhead_rows(submits)
+    payer_jobs = 60 if full_scale() else 24
+    flood_jobs = 400 if full_scale() else 120
+    flood_rows, payer_failures, aggressor_sheds = _flood_isolation(
+        payer_jobs, flood_jobs)
+
+    record_experiment(
+        "TN1",
+        "Tenancy plane: fair-share accuracy at 3:2:1 weights",
+        share_rows,
+        notes=(
+            f"worst ratio error {ratio_error * 100:.2f}% "
+            f"(limit {MAX_RATIO_ERROR * 100:.0f}%)"
+        ),
+    )
+    record_experiment(
+        "TN1-overhead",
+        "Tenancy plane: admission overhead on the TCP submit path",
+        overhead_rows,
+        notes=(
+            f"handlers parked; admission overhead {overhead * 100:.2f}% "
+            f"(limit {MAX_OVERHEAD * 100:.0f}%)"
+        ),
+    )
+    record_experiment(
+        "TN1-flood",
+        "Tenancy plane: aggressor flood isolation at the gateway",
+        flood_rows,
+        notes=(
+            f"in-quota failures {payer_failures} (limit 0); the aggressor "
+            f"ate {aggressor_sheds} rate-limit 429s"
+        ),
+    )
+
+    guards = {
+        "fair_share_guard": {
+            "metric": "worst per-tenant dispatch ratio error at 3:2:1 weights",
+            "limit_pct": MAX_RATIO_ERROR * 100,
+            "measured_pct": round(ratio_error * 100, 3),
+            "passed": ratio_error < MAX_RATIO_ERROR,
+        },
+        "overhead_guard": {
+            "metric": "TCP submit median overhead, fair-share vs FIFO",
+            "limit_pct": MAX_OVERHEAD * 100,
+            "measured_pct": round(overhead * 100, 2),
+            "passed": overhead < MAX_OVERHEAD,
+        },
+        "flood_isolation_guard": {
+            "metric": "failed requests from in-quota tenants during the flood",
+            "limit": 0,
+            "measured": payer_failures,
+            "passed": payer_failures == 0,
+        },
+    }
+    BENCH_PATH.write_text(
+        json.dumps(
+            {
+                "experiment": "TN1",
+                "recorded_at": time.strftime("%Y-%m-%d %H:%M:%S"),
+                **guards,
+                "fair_share": share_rows,
+                "submit_path": overhead_rows,
+                "flood": flood_rows,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    for name, guard in guards.items():
+        assert guard["passed"], f"{name}: {guard}"

@@ -24,6 +24,8 @@ from repro.container import ServiceContainer
 from repro.gateway import ServiceGateway
 from repro.http.client import RestClient
 from repro.http.registry import TransportRegistry
+from repro.tenancy import TenantSpec
+from repro.tenancy.registry import TENANT_HEADER
 
 SERVICE = {
     "description": {
@@ -81,6 +83,30 @@ def render_summary(platform: dict) -> str:
     )
 
 
+def render_tenants(status: dict) -> str:
+    rows = []
+    for tenant, row in status.get("tenants", {}).items():
+        quota = row.get("quota", {})
+        p99 = row.get("latency_seconds", {}).get("p99")
+        standing = ('<span class="bad">over quota</span>'
+                    if quota.get("over_quota") else '<span class="ok">in quota</span>')
+        rows.append(
+            f"<tr><td>{html.escape(tenant)}</td>"
+            f"<td>{quota.get('weight', 1.0):g}</td>"
+            f"<td>{row['requests_total']:g}</td>"
+            f"<td>{row['shed_total']:g}</td>"
+            f"<td>{row['cpu_seconds_used']:.3f}</td>"
+            f"<td>{row['disk_bytes_used']:g}</td>"
+            f"<td>{f'{p99 * 1e3:.1f} ms' if p99 is not None else '—'}</td>"
+            f"<td>{standing}</td></tr>"
+        )
+    return (
+        "<table><tr><th>tenant</th><th>weight</th><th>requests</th>"
+        "<th>shed</th><th>cpu s used</th><th>disk bytes</th>"
+        "<th>p99</th><th>standing</th></tr>" + "".join(rows) + "</table>"
+    )
+
+
 def render_trace(tree: list, depth: int = 0) -> str:
     parts = []
     for node in tree:
@@ -105,15 +131,21 @@ def main() -> None:
     gateway = ServiceGateway(registry=registry, name="demo-gw")
     try:
         for container in containers:
+            container.enable_tenancy()
             container.deploy(SERVICE)
             gateway.add_replica(container.serve().base_url)
+        tenants = gateway.enable_tenancy()
+        tenants.register(TenantSpec(name="acme", weight=2.0, cpu_quota=3600.0))
+        tenants.register(TenantSpec(name="beta", weight=1.0))
         base = gateway.serve().base_url
         client = RestClient(registry)
 
-        # --- traffic: 8 submits, poll them done, one deliberate 404 ------
+        # --- traffic: 8 submits (two tenants), poll them done, one 404 ---
         uris = []
         for x in range(8):
-            job = client.post(f"{base}/services/double", payload={"x": x})
+            job = client.request_json(
+                "POST", f"{base}/services/double", payload={"x": x},
+                headers={TENANT_HEADER: "acme" if x % 2 else "beta"})
             uris.append(job["uri"])
         for uri in uris:
             deadline = time.monotonic() + 10
@@ -145,6 +177,7 @@ def main() -> None:
             "from <code>GET /status</code> and <code>GET …/trace</code></p>"
             "<h2>Fleet</h2>" + render_summary(platform) +
             "<h2>Replicas</h2>" + render_replicas(status) +
+            "<h2>Tenants</h2>" + render_tenants(status) +
             f"<h2>Trace of one submit ({html.escape(trace['trace_id'])})</h2>" +
             render_trace(trace["tree"]) +
             "</body></html>"

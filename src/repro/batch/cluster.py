@@ -60,6 +60,8 @@ def batch_job_document(job: BatchJob) -> dict[str, Any]:
             "walltime": resources.walltime,
         },
     }
+    if job.tenant:
+        document["tenant"] = job.tenant
     if job.command is not None:
         document["command"] = list(job.command)
         if job.stdin:
@@ -107,6 +109,7 @@ def restore_batch_job(document: dict[str, Any]) -> BatchJob:
         )
     job.id = document["id"]
     job.submitted = document.get("submitted", job.submitted)
+    job.tenant = document.get("tenant")
     return job
 
 
@@ -178,8 +181,12 @@ class Cluster:
         name: str = "cluster",
         journal_dir: "str | Path | None" = None,
         journal_fsync: str = "batch",
+        accounting=None,
     ):
         self.name = name
+        #: Tenant registry charged for reserved slot-time (``wall × nodes
+        #: × ppn``) on terminal transitions, when tenancy is wired in.
+        self.accounting = accounting
         self.nodes = nodes or [ComputeNode("node01", slots=4)]
         seen: set[str] = set()
         for node in self.nodes:
@@ -522,6 +529,13 @@ class Cluster:
                 else:
                     record["result"] = job.result
             self._append(record)
+        if (self.accounting is not None and job.tenant and job.started
+                and job.finished):
+            # reserved slot-time, charged once on the terminal transition:
+            # a cancelled-while-queued job (no started stamp) costs nothing
+            wall = max(0.0, job.finished - job.started)
+            self.accounting.charge(
+                job.tenant, cpu=wall * job.resources.nodes * job.resources.ppn)
         job._done.set()
 
     def _try_allocate(self, job: BatchJob) -> list[str] | None:

@@ -67,6 +67,10 @@ class BatchJob:
     #: Scratch-relative names to collect after the run.
     stage_out: list[str] = field(default_factory=list)
     env: dict[str, str] = field(default_factory=dict)
+    #: Billing tenant, when the submitting layer runs under tenancy: the
+    #: cluster charges ``(finished - started) × nodes × ppn`` CPU-seconds
+    #: to this account on the terminal transition.
+    tenant: str | None = None
 
     # -- filled in by the cluster --
     id: str = ""

@@ -81,6 +81,9 @@ class ClusterAdapter(Adapter):
             stage_in=stage_in,
             stage_out=list(self.stage_out),
             resources=self.resources,
+            # the billing tenant rides from submit through to the cluster's
+            # slot-time accounting
+            tenant=context.job.extra.get("tenant"),
         )
 
     def _render(self, token: str, context: JobContext, stage_in: dict[str, bytes]) -> str:

@@ -103,6 +103,9 @@ class ServiceContainer:
         self._server: RestServer | None = None
         self.local_base = self.registry.bind_local(name, self.app)
         self._security: SecurityMiddleware | None = None
+        #: Tenant registry + gate, set by :meth:`enable_tenancy`.
+        self.tenancy = None
+        self.tenant_gate = None
         # the blob data plane: durable beside the journal when one exists,
         # a temp directory (cleaned up on shutdown) otherwise
         if journal_dir is not None:
@@ -197,6 +200,8 @@ class ServiceContainer:
         if self.cache is not None:
             state["cache"] = self.cache.export()
         state["blobs"] = self.blobs.export()
+        if self.tenancy is not None:
+            state["usage"] = self.tenancy.export()
         self.journal.snapshot(state)
 
     # ------------------------------------------------------------- security
@@ -217,6 +222,42 @@ class ServiceContainer:
             ca, identity_broker=identity_broker, policy_resolver=self._policy_for
         )
         self.app.add_middleware(self._security)
+
+    # -------------------------------------------------------------- tenancy
+
+    def enable_tenancy(self, registry=None, max_backlog_total: int = 256):
+        """Meter and fair-share this container's capacity across tenants.
+
+        Wires the registry's usage deltas through the write-ahead journal
+        (and adopts any balances replayed from it), replaces the FIFO
+        hand-off to the handler pool with a :class:`FairShareQueue`, and
+        adds a :class:`TenantGate` that attributes every request to its
+        billing tenant. The gate does not *enforce* here — quota and
+        backlog checks live in ``DeployedService.submit`` where they can
+        reject before a job exists; rate limits belong to the gateway.
+
+        Call after :meth:`enable_security` (middleware runs in add order,
+        and the gate attributes by the identity security resolved).
+        Returns the registry so callers can declare tenants on it.
+        """
+        from repro.tenancy import FairShareQueue, TenantGate, TenantRegistry
+        from repro.tenancy.gate import instrument_tenancy
+
+        if self.tenancy is not None:
+            raise RuntimeError("tenancy is already enabled")
+        registry = registry or TenantRegistry()
+        registry._journal_fn = self.job_manager.record_usage
+        registry.recover(self.job_manager.take_recovered_usage())
+        self.tenancy = registry
+        self.job_manager.accounting = registry
+        self.job_manager.admission = FairShareQueue(
+            registry, max_backlog_total=max_backlog_total)
+        self.tenant_gate = TenantGate(registry, metrics=self.metrics, enforce=False)
+        self.app.add_middleware(self.tenant_gate)
+        if self.metrics is not None:
+            instrument_tenancy(self.metrics, registry,
+                               admission=self.job_manager.admission, container=self)
+        return registry
 
     def set_policy(self, service_name: str, policy: AccessPolicy | None) -> None:
         """Set or clear a deployed service's access policy at runtime

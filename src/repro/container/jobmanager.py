@@ -34,6 +34,7 @@ from repro.core.jobs import Job, JobState, job_document, restore_job
 from repro.durability.journal import Journal
 from repro.runtime.pool import ExecutorPool, PoolStats
 from repro.runtime.trace import SpanContext, activate_span_context, record_span, span
+from repro.tenancy.registry import DEFAULT_TENANT, apply_usage_event
 
 __all__ = [
     "INTERRUPTED_ERROR",
@@ -41,6 +42,7 @@ __all__ = [
     "apply_blob_event",
     "apply_cache_event",
     "apply_job_event",
+    "apply_usage_event",
     "job_document",
     "restore_job",
 ]
@@ -155,6 +157,12 @@ class JobManager:
         self._recovered: dict[str, dict[str, dict]] = {}
         self._recovered_cache: dict[str, dict[str, dict]] = {}
         self._recovered_blobs: dict[str, dict[str, Any]] = {}
+        self._recovered_usage: dict[str, dict[str, Any]] = {}
+        #: Fair-share admission queue, when tenancy is enabled: jobs park
+        #: here and handler threads drain them by scheduler policy.
+        self.admission = None
+        #: Tenant registry charged for job wall-time, when tenancy is on.
+        self.accounting = None
         #: The container's result cache, when one is attached; shutdown
         #: closes it so pending coalesced claims fail instead of hanging.
         self.result_cache = None
@@ -172,6 +180,19 @@ class JobManager:
             raise ServiceError("container is shut down")
         self.adopt(job)
         logger.info("job %s [request %s] queued for %s", job.id, job.request_id or "-", job.service)
+        if self.admission is not None:
+            from repro.tenancy.admission import AdmissionEntry
+
+            tenant = job.extra.get("tenant", DEFAULT_TENANT)
+            self.admission.offer(AdmissionEntry(
+                tenant=tenant, job=job, execute=execute, enqueued=time.time(),
+                priority=self.admission.registry.spec(tenant).priority,
+            ))
+            # one pool task per offered job: each drain releases whichever
+            # entry the fair-share policy ranks first, not necessarily the
+            # one just offered
+            self._pool.submit(self._drain_admission)
+            return
         self._pool.submit(self._process, job, execute, time.time())
 
     def run_job(self, job: Job, execute: Callable[[], dict[str, Any]]) -> None:
@@ -244,6 +265,17 @@ class JobManager:
         """Journal one blob lifecycle record (commit/pin/unpin/collect)."""
         if self.journal is not None:
             self._append(dict(record, type="blob"))
+
+    def record_usage(self, record: dict[str, Any]) -> None:
+        """Journal one tenant usage delta ({tenant, cpu, disk})."""
+        if self.journal is not None:
+            self._append(dict(record, type="usage"))
+
+    def take_recovered_usage(self) -> dict[str, dict[str, Any]]:
+        """Claim the replayed usage table (tenant → {cpu, disk}); handed
+        out once, to the container's tenant registry."""
+        table, self._recovered_usage = self._recovered_usage, {}
+        return table
 
     def attach_cache(self, cache: Any) -> None:
         """Adopt the container's result cache: journal its promotions and
@@ -325,13 +357,19 @@ class JobManager:
             apply_cache_event(cache_table, record)
         for record in snapshot.get("blobs") or []:
             apply_blob_event(blob_table, record)
+        usage_table: dict[str, dict[str, Any]] = {}
+        for record in snapshot.get("usage") or []:
+            apply_usage_event(usage_table, record)
         for record in recovery.records:
             apply_job_event(table, record)
             apply_cache_event(cache_table, record)
             apply_blob_event(blob_table, record)
+            if record.get("type") == "usage":
+                apply_usage_event(usage_table, record)
         self._recovered = table
         self._recovered_cache = cache_table
         self._recovered_blobs = blob_table
+        self._recovered_usage = usage_table
         if table:
             total = sum(len(jobs) for jobs in table.values())
             logger.info("replayed journal: %d jobs across %d services", total, len(table))
@@ -370,6 +408,20 @@ class JobManager:
         if state.terminal:
             with self._track_lock:
                 self._tracked.pop(job.id, None)
+            if self.accounting is not None:
+                tenant = job.extra.get("tenant")
+                if tenant and job.started and job.finished:
+                    # wall-time of the adapter run, charged exactly once —
+                    # on the terminal transition (recovery restores
+                    # terminal jobs directly, without re-firing it)
+                    self.accounting.charge(
+                        tenant, cpu=max(0.0, job.finished - job.started))
+
+    def _drain_admission(self) -> None:
+        """Pool task: release and process the fair-share queue's pick."""
+        entry = self.admission.take()
+        if entry is not None:
+            self._process(entry.job, entry.execute, entry.enqueued)
 
     def _process(
         self,

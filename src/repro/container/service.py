@@ -17,7 +17,13 @@ from repro.container.adapters.base import Adapter, JobContext
 from repro.container.config import ServiceConfig
 from repro.container.jobmanager import JobManager
 from repro.core.description import ServiceDescription
-from repro.core.errors import AdapterError, JobNotFoundError, ServiceError
+from repro.core.errors import (
+    AdapterError,
+    BacklogFullError,
+    JobNotFoundError,
+    QuotaExceededError,
+    ServiceError,
+)
 from repro.core.filerefs import file_uri, is_file_ref, iter_blob_digests
 from repro.core.files import FileEntry, FileStore
 from repro.core.jobs import Job, JobStore
@@ -85,6 +91,10 @@ class DeployedService:
                     cached = self._claim_cached(fingerprint, request)
                     if cached is not None:
                         return cached
+        # tenancy enforcement happens here — before the job exists — so a
+        # rejection is a clean 429 with nothing to roll back; cache hits
+        # above are exempt (serving a computed result costs no CPU)
+        tenant = self._admit_tenant(request, values)
         try:
             # carry the HTTP layer's correlation id onto the job: handler
             # threads, adapters and backends all log/see the job, not the request
@@ -101,6 +111,8 @@ class DeployedService:
             access = request.context.get("access")
             if access is not None:
                 job.extra["owner"] = access.effective_id
+            if tenant is not None:
+                job.extra["tenant"] = tenant
             self.jobs.add(job)
             self._pin_blobs(job, values)
             if fingerprint is not None:
@@ -208,20 +220,83 @@ class DeployedService:
             )
             return job
 
+    # ------------------------------------------------------------- tenancy
+
+    @property
+    def _tenancy(self):
+        """The container's tenant registry (``None`` when tenancy is off)."""
+        return getattr(self.resources, "tenancy", None)
+
+    def _admit_tenant(self, request: Request, values: dict[str, Any]) -> "str | None":
+        """Resolve the billing tenant and enforce its quotas and backlog.
+
+        Returns the tenant name (``None`` when tenancy is off). Raises a
+        429-shaped :class:`QuotaExceededError` or :class:`BacklogFullError`
+        before any job state exists.
+        """
+        tenancy = self._tenancy
+        if tenancy is None:
+            return None
+        from repro.tenancy.registry import DEFAULT_TENANT
+
+        tenant = request.context.get("tenant") or DEFAULT_TENANT
+        if tenancy.over_cpu(tenant):
+            raise QuotaExceededError(
+                f"tenant {tenant!r} has exhausted its CPU-seconds quota",
+                details={"tenant": tenant, "quota": "cpu"},
+            )
+        # the input walk is only worth its cost for disk-quota'd tenants
+        if (tenancy.spec(tenant).disk_quota is not None
+                and tenancy.over_disk(tenant, self._blob_bytes(values))):
+            raise QuotaExceededError(
+                f"tenant {tenant!r} has exhausted its disk-bytes quota",
+                details={"tenant": tenant, "quota": "disk"},
+            )
+        admission = self.job_manager.admission
+        if (admission is not None and self.config.mode != "sync"
+                and not admission.has_room(tenant)):
+            raise BacklogFullError(
+                f"tenant {tenant!r} admission backlog is full",
+                details={"tenant": tenant},
+            )
+        return tenant
+
+    def _blob_bytes(self, values: dict[str, Any]) -> int:
+        """Bytes of locally held blobs the input values reference — the
+        disk-quota cost the submit would pin."""
+        if self.blobs is None:
+            return 0
+        total = 0
+        for digest in set(iter_blob_digests(values)):
+            if self.blobs.exists(digest):
+                total += self.blobs.manifest(digest).size
+        return total
+
     # ----------------------------------------------------------- internals
 
     def _pin_blobs(self, job: Job, values: dict[str, Any]) -> None:
         """Pin every locally held blob the job's inputs reference, so GC
-        cannot collect an input out from under a queued or running job."""
+        cannot collect an input out from under a queued or running job.
+
+        Pinned bytes are charged to the job's tenant; the charged amount
+        rides ``job.extra`` (journaled with the creation record) so the
+        deletion refund matches exactly, even across a restart."""
         if self.blobs is None:
             return
+        pinned = 0
         for digest in set(iter_blob_digests(values)):
             if self.blobs.exists(digest):
                 self.blobs.pin(digest, f"job:{job.id}")
+                pinned += self.blobs.manifest(digest).size
+        tenancy, tenant = self._tenancy, job.extra.get("tenant")
+        if pinned and tenancy is not None and tenant:
+            job.extra["disk"] = pinned
+            tenancy.charge(tenant, disk=pinned)
 
     def _unpin_blobs(self, job: Job) -> None:
         """Release the deleted job's pins (inputs, results, and anything
-        its adapter stored under ``job:<id>`` via ``store_blob``)."""
+        its adapter stored under ``job:<id>`` via ``store_blob``) and
+        refund the disk bytes the pins were charged."""
         if self.blobs is None:
             return
         owner = f"job:{job.id}"
@@ -230,6 +305,10 @@ class DeployedService:
             digests.update(iter_blob_digests(job.results))
         for digest in digests:
             self.blobs.unpin(digest, owner)
+        tenancy, tenant = self._tenancy, job.extra.get("tenant")
+        charged = job.extra.get("disk", 0)
+        if charged and tenancy is not None and tenant:
+            tenancy.charge(tenant, disk=-int(charged))
 
     def _context(self, job: Job) -> JobContext:
         return JobContext(

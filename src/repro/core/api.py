@@ -183,7 +183,8 @@ def file_uri_for(base_uri: str, job_id: str, file_id: str) -> str:
 
 
 def _to_http_error(error: ServiceError) -> HttpError:
-    return HttpError(error.http_status, error.message, details=error.details)
+    return HttpError(error.http_status, error.message, details=error.details,
+                     retry_after=getattr(error, "retry_after", None))
 
 
 def mount_service(
@@ -247,11 +248,10 @@ def mount_service(
                 # the recorded job was deleted since; treat the key as new
                 ledger.forget(key)
         if not owner:
-            response = HttpError(
-                503, f"a request with Idempotency-Key {key!r} is still in flight"
+            return HttpError(
+                503, f"a request with Idempotency-Key {key!r} is still in flight",
+                retry_after=1.0,
             ).to_response()
-            response.headers.set("Retry-After", "1")
-            return response
         try:
             job = backend.submit(inputs, request)
         except ServiceError as error:

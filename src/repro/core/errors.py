@@ -50,3 +50,17 @@ class AdapterError(ServiceError):
     """Request processing failed inside an adapter or its backend."""
 
     http_status = 500
+
+
+class QuotaExceededError(ServiceError):
+    """The billing tenant has exhausted a CPU or disk quota."""
+
+    http_status = 429
+    retry_after = 5.0
+
+
+class BacklogFullError(ServiceError):
+    """The billing tenant's fair-share backlog is at its bound."""
+
+    http_status = 429
+    retry_after = 1.0

@@ -39,7 +39,7 @@ from repro.gateway.routing import (
     rewrite_uri,
 )
 from repro.http.app import RestApp
-from repro.http.client import IDEMPOTENCY_KEY_HEADER, X_CACHE_HEADER
+from repro.http.client import IDEMPOTENCY_KEY_HEADER, X_CACHE_HEADER, parse_retry_after
 from repro.http.messages import Headers, HttpError, Request, Response
 from repro.http.registry import TransportRegistry
 from repro.http.server import RestServer
@@ -96,6 +96,7 @@ class ServiceGateway:
         idempotency: IdempotencyCache | None = None,
         max_attempts: int = 3,
         retry_after_hint: float = 1.0,
+        retry_after_cap: float = 30.0,
         observability: bool = True,
     ):
         self.name = name
@@ -113,6 +114,11 @@ class ServiceGateway:
         self.idempotency = idempotency if idempotency is not None else IdempotencyCache()
         self.max_attempts = max_attempts
         self.retry_after_hint = retry_after_hint
+        # every Retry-After this gateway emits is clamped to this ceiling,
+        # so a wound-up breaker cannot tell clients to go away for minutes
+        self.retry_after_cap = retry_after_cap
+        #: Per-tenant rate-limit/concurrency gate, set by enable_tenancy.
+        self.tenant_gate = None
         self.app = RestApp(name)
         self.metrics: "MetricsRegistry | None" = None
         self.tracer: "Tracer | None" = None
@@ -178,6 +184,48 @@ class ServiceGateway:
             self._server.stop()
             self._server = None
         self.registry.unbind_local(self.name)
+
+    # -------------------------------------------------------------- tenancy
+
+    def enable_tenancy(self, registry=None):
+        """Enforce per-tenant rate limits and concurrency caps here.
+
+        The gate attributes every request to its billing tenant, answers
+        429 + Retry-After (tenant named in the body) for tenants over
+        their token bucket, concurrency cap, or known-exhausted quota,
+        and negative-caches replica quota sheds (see ``_note_replica_shed``)
+        so repeat offenders stop consuming forward attempts. Returns the
+        registry so callers can declare tenants on it.
+        """
+        from repro.tenancy import TenantGate, TenantRegistry
+        from repro.tenancy.gate import instrument_tenancy
+
+        if self.tenant_gate is not None:
+            raise RuntimeError("tenancy is already enabled")
+        registry = registry or TenantRegistry()
+        self.tenant_gate = TenantGate(registry, metrics=self.metrics, enforce=True)
+        self.app.add_middleware(self.tenant_gate)
+        if self.metrics is not None:
+            instrument_tenancy(self.metrics, registry)
+        return registry
+
+    def _note_replica_shed(self, response: Response) -> None:
+        """Learn from a replica's 429: when the body names an over-quota
+        tenant, suspend that tenant at this gate for the replica's
+        Retry-After — the gateway then sheds its traffic up front instead
+        of burning forward attempts on guaranteed rejections."""
+        try:
+            document = response.json_body
+        except Exception:  # noqa: BLE001 - not JSON: nothing to learn
+            return
+        details = document.get("details") if isinstance(document, dict) else None
+        if not isinstance(details, dict) or "quota" not in details:
+            return
+        tenant = details.get("tenant")
+        if not tenant:
+            return
+        ttl = parse_retry_after(response.headers.get("Retry-After"))
+        self.tenant_gate.suspend(tenant, ttl if ttl is not None else 5.0)
 
     # ----------------------------------------------------------- membership
 
@@ -349,6 +397,8 @@ class ServiceGateway:
             replica.breaker.record_success()
             if attempts == 1:
                 self.retry_budget.deposit()
+            if response.status == 429 and self.tenant_gate is not None:
+                self._note_replica_shed(response)
             rewritten = self._rewrite_submit(response, replica)
             if idempotency_key and response.ok:
                 self.idempotency.put(idempotency_key, replica.id, rewritten)
@@ -665,6 +715,11 @@ class ServiceGateway:
         location = response.headers.get("Location")
         if location:
             rewritten.headers.set("Location", rewrite_uri(location, replica, self.base_uri))
+        retry_after = response.headers.get("Retry-After")
+        if retry_after:
+            # replica backpressure/quota answers keep their hint — the
+            # submit path bypasses _proxied's header copy
+            rewritten.headers.set("Retry-After", retry_after)
         cache_status = response.headers.get(X_CACHE_HEADER)
         if cache_status:
             rewritten.headers.set(X_CACHE_HEADER, cache_status)
@@ -689,7 +744,10 @@ class ServiceGateway:
         self, status: int, message: str, retry_after: float | None = None
     ) -> HttpError:
         error = _RetryableError(status, message)
-        error.retry_after = retry_after if retry_after is not None else self.retry_after_hint
+        error.retry_after = min(
+            self.retry_after_cap,
+            retry_after if retry_after is not None else self.retry_after_hint,
+        )
         return error
 
 

@@ -57,12 +57,16 @@ def parse_retry_after(value: "str | None") -> float | None:
 class ClientError(Exception):
     """An HTTP error response received from a service."""
 
-    def __init__(self, status: int, message: str, details: Any = None, url: str = ""):
+    def __init__(self, status: int, message: str, details: Any = None, url: str = "",
+                 retry_after: float | None = None):
         super().__init__(f"{status}: {message}" + (f" ({url})" if url else ""))
         self.status = status
         self.message = message
         self.details = details
         self.url = url
+        #: The response's ``Retry-After`` in seconds, when it carried one —
+        #: backoff loops (the workflow engine's submit retries) honour it.
+        self.retry_after = retry_after
 
 
 def join_url(base: str, path: str) -> str:
@@ -250,7 +254,10 @@ class RestClient:
                 details = envelope.get("details")
         except (ValueError, UnicodeDecodeError):
             pass
-        raise ClientError(response.status, message, details=details, url=url)
+        raise ClientError(
+            response.status, message, details=details, url=url,
+            retry_after=parse_retry_after(response.headers.get("Retry-After")),
+        )
 
 
 def quote_segment(segment: str) -> str:

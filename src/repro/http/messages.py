@@ -131,17 +131,27 @@ class HttpError(Exception):
     response; the application kernel converts it.
     """
 
-    def __init__(self, status: int, message: str, details: Any = None):
+    #: Optional ``Retry-After`` hint (seconds); subclasses may override
+    #: at class level, and the constructor only shadows it when given.
+    retry_after: float | None = None
+
+    def __init__(self, status: int, message: str, details: Any = None,
+                 retry_after: float | None = None):
         super().__init__(message)
         self.status = status
         self.message = message
         self.details = details
+        if retry_after is not None:
+            self.retry_after = retry_after
 
     def to_response(self) -> "Response":
         body: dict[str, Any] = {"error": self.message, "status": self.status}
         if self.details is not None:
             body["details"] = self.details
-        return Response.json(body, status=self.status)
+        response = Response.json(body, status=self.status)
+        if self.retry_after is not None:
+            response.headers.set("Retry-After", f"{self.retry_after:g}")
+        return response
 
 
 class BodySpool:

@@ -64,12 +64,78 @@ def _scrape_summary(families: dict[str, Family]) -> dict[str, Any]:
     return summary
 
 
+def _merge_tenant_families(tenants: dict[str, dict], families: dict[str, Family]) -> None:
+    """Fold one process's per-tenant families into the aggregate."""
+
+    def row(tenant: str) -> dict:
+        return tenants.setdefault(tenant, {
+            "requests_total": 0.0, "shed_total": 0.0,
+            "cpu_seconds_used": 0.0, "disk_bytes_used": 0.0,
+            "_buckets": {},
+        })
+
+    for name, key in (("mc_tenant_requests_total", "requests_total"),
+                      ("mc_tenant_shed_total", "shed_total"),
+                      ("mc_tenant_cpu_seconds_used", "cpu_seconds_used"),
+                      ("mc_tenant_disk_bytes_used", "disk_bytes_used")):
+        family = families.get(name)
+        if family is None:
+            continue
+        for sample in family.samples:
+            tenant = sample.labels.get("tenant")
+            if tenant:
+                row(tenant)[key] += sample.value
+    latency = families.get("mc_tenant_request_seconds")
+    if latency is not None:
+        seen = {s.labels.get("tenant") for s in latency.samples}
+        for tenant in sorted(t for t in seen if t):
+            buckets = row(tenant)["_buckets"]
+            for bound, count in latency.buckets(tenant=tenant):
+                buckets[bound] = buckets.get(bound, 0.0) + count
+
+
+def _tenant_report(tenants: dict[str, dict], gate: Any) -> dict[str, dict]:
+    """Finish the aggregate: percentiles from merged buckets, quota
+    standings from the gateway's own registry."""
+    standings = {}
+    if gate is not None:
+        standings = {
+            entry["tenant"]: entry for entry in gate.registry.standings()
+        }
+        for tenant in standings:
+            tenants.setdefault(tenant, {
+                "requests_total": 0.0, "shed_total": 0.0,
+                "cpu_seconds_used": 0.0, "disk_bytes_used": 0.0,
+                "_buckets": {},
+            })
+    report: dict[str, dict] = {}
+    for tenant, row in sorted(tenants.items()):
+        buckets = sorted(row.pop("_buckets").items(), key=lambda pair: pair[0])
+        if buckets and buckets[-1][1]:
+            row["latency_seconds"] = {
+                f"p{int(q * 100)}": histogram_quantile(q, buckets)
+                for q in (0.5, 0.9, 0.99)
+            }
+        standing = standings.get(tenant)
+        if standing is not None:
+            row["quota"] = {
+                "weight": standing["weight"],
+                "priority": standing["priority"],
+                "cpu_quota": standing["cpu_quota"],
+                "disk_quota": standing["disk_quota"],
+                "over_quota": standing["over_quota"],
+            }
+        report[tenant] = row
+    return report
+
+
 def gateway_status(gateway: Any) -> dict[str, Any]:
     """Aggregate the fleet's metrics into one status document."""
     merged_buckets: dict[float, float] = {}
     total_requests = total_errors = 0.0
     queue_depth = 0.0
     jobs: dict[str, float] = {}
+    tenants: dict[str, dict] = {}
     replicas: list[dict[str, Any]] = []
     healthy = 0
 
@@ -100,7 +166,13 @@ def gateway_status(gateway: Any) -> dict[str, Any]:
         for state, count in summary.get("jobs", {}).items():
             jobs[state] = jobs.get(state, 0.0) + count
         _merge_buckets(merged_buckets, families.get("mc_http_request_seconds"))
+        _merge_tenant_families(tenants, families)
         replicas.append(report)
+
+    gate = getattr(gateway, "tenant_gate", None)
+    if gateway.metrics is not None and gate is not None:
+        # the gateway's own shed counters and rate-limit view
+        _merge_tenant_families(tenants, parse_metrics(gateway.metrics.render()))
 
     ordered = sorted(merged_buckets.items(), key=lambda pair: pair[0])
     percentiles = {
@@ -116,6 +188,7 @@ def gateway_status(gateway: Any) -> dict[str, Any]:
         "idempotency_entries": len(gateway.idempotency),
         "cache": gateway.cache_stats,
         "replicas": replicas,
+        "tenants": _tenant_report(tenants, gate),
         "platform": {
             "replicas_total": len(replicas),
             "replicas_healthy": healthy,

@@ -1,0 +1,42 @@
+"""Multi-tenant fair-share admission control.
+
+``repro.tenancy`` layers tenants — accounting principals with weights,
+priority classes, and quotas — onto the identities authenticated by
+``repro.security`` and the VO groupings of ``repro.grid.vo``:
+
+- :class:`TenantRegistry` holds per-tenant CPU-second and disk-byte
+  quotas and meters usage; every delta is journaled as a
+  ``{"type": "usage"}`` record through ``repro.durability`` so balances
+  survive cold restart and replay in any order.
+- :class:`FairShareQueue` replaces the FIFO hand-off in front of the
+  ``JobManager`` pool with stride-scheduled, weight-proportional
+  dequeue across priority classes, bounded per-tenant backlog, and
+  preemption of over-quota tenants' queued jobs under pressure.
+- :class:`TenantGate` is REST middleware enforcing per-tenant token
+  -bucket rate limits and concurrency caps at the gateway, answering
+  ``429`` with a capped ``Retry-After`` and the tenant named in the
+  body.
+"""
+
+from repro.tenancy.admission import AdmissionEntry, FairShareQueue
+from repro.tenancy.gate import TenantGate, TokenBucket, instrument_tenancy
+from repro.tenancy.registry import (
+    DEFAULT_TENANT,
+    TENANT_HEADER,
+    TenantRegistry,
+    TenantSpec,
+    apply_usage_event,
+)
+
+__all__ = [
+    "AdmissionEntry",
+    "DEFAULT_TENANT",
+    "FairShareQueue",
+    "TENANT_HEADER",
+    "TenantGate",
+    "TenantRegistry",
+    "TenantSpec",
+    "TokenBucket",
+    "apply_usage_event",
+    "instrument_tenancy",
+]

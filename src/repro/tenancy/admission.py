@@ -1,0 +1,188 @@
+"""Weighted fair-share admission queue for the ``JobManager`` pool.
+
+The queue replaces the FIFO hand-off between ``enqueue`` and the worker
+pool with *stride scheduling*: each tenant carries a ``pass`` value and
+dispatch always picks the backlogged tenant with the smallest pass in
+the highest occupied priority class, then advances that tenant's pass
+by ``1 / weight``.  Over any window, tenant throughputs converge to the
+configured weight ratios, and every backlogged tenant's pass grows
+monotonically toward the front — the starvation-freedom property the
+hypothesis suite asserts.
+
+Two policies sit on top of the basic scheduler:
+
+- **work-conserving demotion** — tenants that are over quota only drain
+  when no in-quota tenant has backlog, so an exhausted account cannot
+  crowd out paying work but idle capacity is never wasted;
+- **preemption under pressure** — when the total backlog bound is hit,
+  ``offer`` interrupts the newest queued job of an over-quota tenant
+  (lowest priority class first) to make room, rather than rejecting the
+  in-quota submitter.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.tenancy.registry import TenantRegistry
+
+
+@dataclass
+class AdmissionEntry:
+    """One admitted job parked until the scheduler releases it."""
+
+    tenant: str
+    job: object
+    execute: Callable
+    enqueued: float
+    priority: int = 0
+    preempted: bool = field(default=False, compare=False)
+
+
+class FairShareQueue:
+    """Stride-scheduled multi-tenant backlog with bounded depth."""
+
+    def __init__(self, registry: TenantRegistry, max_backlog_total: int = 256):
+        self.registry = registry
+        self.max_backlog_total = max_backlog_total
+        self._lock = threading.Lock()
+        self._backlogs: dict[str, list[AdmissionEntry]] = {}
+        self._passes: dict[str, float] = {}
+        self._preempted = 0
+
+    # -- admission ---------------------------------------------------
+
+    def has_room(self, tenant: str) -> bool:
+        """Whether one more job from ``tenant`` fits its backlog bound.
+
+        Called *before* the job object exists, so a full backlog turns
+        into a clean 429 with nothing to roll back.  The total bound is
+        not checked here — ``offer`` resolves total pressure by
+        preempting over-quota work instead of bouncing the submitter.
+        """
+        spec = self.registry.spec(tenant)
+        with self._lock:
+            return len(self._backlogs.get(tenant, ())) < spec.max_backlog
+
+    def offer(self, entry: AdmissionEntry) -> None:
+        """Park an admitted job; under total pressure, preempt.
+
+        Never rejects: per-tenant bounds were enforced by ``has_room``
+        at submit time, and the total bound is relieved by interrupting
+        the newest queued job of an over-quota tenant (lowest priority
+        class first).  If every queued job belongs to in-quota tenants
+        the bound stretches — shedding paid work to enforce a soft
+        memory cap would be the worse failure.
+        """
+        victim = None
+        with self._lock:
+            backlog = self._backlogs.setdefault(entry.tenant, [])
+            if not backlog:
+                # A tenant joining (or returning from idle) starts at the
+                # active minimum pass: it neither inherits a stale lead
+                # nor gets to replay the rounds it sat out.
+                floor = self._min_pass_locked()
+                self._passes[entry.tenant] = max(
+                    self._passes.get(entry.tenant, 0.0), floor)
+            backlog.append(entry)
+            if self._depth_locked() > self.max_backlog_total:
+                victim = self._pick_victim_locked(exclude=entry)
+                if victim is not None:
+                    victim.preempted = True
+                    self._preempted += 1
+        if victim is not None:
+            victim.job.try_interrupt(
+                f"preempted: tenant {victim.tenant!r} is over quota "
+                "and the admission queue is full"
+            )
+
+    # -- dispatch ----------------------------------------------------
+
+    def take(self) -> AdmissionEntry | None:
+        """Release the next job per fair-share policy, or ``None``.
+
+        In-quota tenants are strictly preferred; within the preferred
+        pool, the highest priority class wins, then the smallest pass.
+        Entries whose job went terminal while parked (cancelled or
+        preempted) are dropped silently — their transition was already
+        journaled by the owner.
+        """
+        with self._lock:
+            while True:
+                tenant = self._select_locked()
+                if tenant is None:
+                    return None
+                backlog = self._backlogs[tenant]
+                entry = backlog.pop(0)
+                if not backlog:
+                    del self._backlogs[tenant]
+                spec = self.registry.spec(tenant)
+                self._passes[tenant] = (
+                    self._passes.get(tenant, 0.0) + 1.0 / spec.weight)
+                if entry.job.state.terminal:
+                    continue
+                return entry
+
+    def _select_locked(self) -> str | None:
+        candidates = [t for t in self._backlogs if self._backlogs[t]]
+        if not candidates:
+            return None
+        in_quota = [t for t in candidates if not self.registry.over_quota(t)]
+        pool = in_quota or candidates
+        top = max(self.registry.spec(t).priority for t in pool)
+        pool = [t for t in pool if self.registry.spec(t).priority == top]
+        return min(pool, key=lambda t: (self._passes.get(t, 0.0), t))
+
+    # -- preemption --------------------------------------------------
+
+    def _pick_victim_locked(self, exclude) -> AdmissionEntry | None:
+        """Newest queued entry of an over-quota tenant, lowest priority
+        class first; never the entry that triggered the pressure."""
+        best = None
+        for tenant, backlog in self._backlogs.items():
+            if not self.registry.over_quota(tenant):
+                continue
+            for entry in reversed(backlog):
+                if entry is exclude or entry.preempted:
+                    continue
+                key = (self.registry.spec(tenant).priority, -entry.enqueued)
+                if best is None or key < best[0]:
+                    best = (key, entry)
+                break
+        if best is None:
+            return None
+        entry = best[1]
+        self._backlogs[entry.tenant].remove(entry)
+        if not self._backlogs[entry.tenant]:
+            del self._backlogs[entry.tenant]
+        return entry
+
+    # -- introspection -----------------------------------------------
+
+    def _depth_locked(self) -> int:
+        return sum(len(b) for b in self._backlogs.values())
+
+    def _min_pass_locked(self) -> float:
+        active = [
+            self._passes[t]
+            for t, backlog in self._backlogs.items()
+            if backlog and t in self._passes
+        ]
+        return min(active) if active else 0.0
+
+    def depth(self, tenant: str | None = None) -> int:
+        with self._lock:
+            if tenant is not None:
+                return len(self._backlogs.get(tenant, ()))
+            return self._depth_locked()
+
+    def backlogs(self) -> dict[str, int]:
+        with self._lock:
+            return {t: len(b) for t, b in self._backlogs.items() if b}
+
+    @property
+    def preempted_total(self) -> int:
+        with self._lock:
+            return self._preempted

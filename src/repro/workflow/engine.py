@@ -381,9 +381,12 @@ class _Run:
                 if status in (429, 503) and transient_left > 0:
                     # per-block policy: an overload answer that outlived the
                     # client's Retry-After budget is retried with capped
-                    # backoff before the block is allowed to fail
+                    # backoff before the block is allowed to fail; a server
+                    # that said *when* to come back wins over the heuristic
                     transient_left -= 1
-                    self.cancel_event.wait(backoff)
+                    hinted = getattr(exc, "retry_after", None)
+                    wait = min(hinted, 2.0) if hinted is not None else backoff
+                    self.cancel_event.wait(wait)
                     backoff = min(backoff * 2, 0.5)
                     continue
                 lost = status in (502, 503) or isinstance(exc, TransportError)

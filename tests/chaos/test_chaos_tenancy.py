@@ -1,0 +1,213 @@
+"""Seeded multi-tenant chaos: an aggressor floods a fair-shared cell.
+
+Three payer-class tenants share every replica's handler pool through the
+:class:`~repro.tenancy.FairShareQueue`; one of them — ``flood`` — gets a
+tight per-tenant backlog and submits far more than its share while the
+fault plan drops, delays, warm-crashes and cold-restarts the replicas.
+On top of the PR 3 gateway invariants (no acked job lost, no job
+duplicated, gauges drain) the tenancy plane must hold:
+
+- **no in-quota tenant starves** — every payer job the cell acked ends
+  ``DONE``; none is failed or preempted to make room for the flood;
+- **balances never go negative** — every exported usage row stays
+  ``>= 0`` through any schedule, including across cold restarts;
+- **accounting reconciles with acked work** — in fault-only schedules
+  each replica's CPU balance equals the summed wall-time of exactly the
+  terminal jobs it holds (each charged once, none double- or
+  un-charged);
+- **balances are crash-safe** — tearing every replica down *after* the
+  run and rebuilding from the journal reproduces the live balances
+  bit-for-bit (charges are journaled before they are applied).
+
+The flood tenant's 429s (per-tenant backlog full) must carry
+``Retry-After`` like every other shed — the base workload asserts that
+on every rejection. A failing seed prints a one-line repro command.
+"""
+
+import json
+
+import pytest
+
+from repro.faults import Scenario
+from repro.tenancy import TenantSpec
+from repro.tenancy.registry import TENANT_HEADER
+from tests.chaos.harness import GatewayChaosCell, chaos_seeds
+
+PAYERS = ("payer-a", "payer-b")
+AGGRESSOR = "flood"
+
+
+class TenancyChaosCell(GatewayChaosCell):
+    """A gateway cell whose replicas meter and fair-share three tenants."""
+
+    def _build_container(self, index):
+        container = super()._build_container(index)
+        tenants = container.enable_tenancy()
+        tenants.register(TenantSpec(name="payer-a", weight=2.0))
+        tenants.register(TenantSpec(name="payer-b", weight=1.0))
+        tenants.register(TenantSpec(name=AGGRESSOR, weight=1.0, max_backlog=2))
+        return container
+
+    # ------------------------------------------------------------ workload
+
+    def tenant_of(self, marker: int) -> str:
+        # half the submits are the aggressor's; payer-a gets twice
+        # payer-b's share of the rest, mirroring their weights
+        if marker % 2:
+            return AGGRESSOR
+        return "payer-a" if marker % 3 else "payer-b"
+
+    def _post(self, marker: int, key: str):
+        body = json.dumps({"a": marker, "b": 1}).encode()
+        return self.client.request_raw(
+            "POST",
+            self.service_uri,
+            body=body,
+            headers={
+                "Idempotency-Key": key,
+                "Content-Type": "application/json",
+                TENANT_HEADER: self.tenant_of(marker),
+            },
+        )
+
+    def run_workload(self, ops: int = 8) -> None:
+        # the flood: a burst of aggressor submits before the mixed phase,
+        # so its tight backlog actually fills while faults slow the drain
+        for _ in range(ops):
+            marker = next(self._markers)
+            if self.tenant_of(marker) != AGGRESSOR:
+                continue
+            record = {"key": f"s{self.seed}-k{marker}", "acked": None}
+            self.expected[marker] = record
+            response = self._post(marker, record["key"])
+            if response.status == 201:
+                record["acked"] = response.json_body
+            elif response.status in (429, 503):
+                self.check(
+                    response.headers.get("Retry-After") is not None,
+                    f"{response.status} for {record['key']} lacks Retry-After",
+                )
+            else:
+                self.fail(f"flood POST answered unexpected {response.status}")
+        super().run_workload(ops=ops)
+
+    # ---------------------------------------------------------- invariants
+
+    def verify_tenancy(self, exact: bool) -> None:
+        for container in self.containers:
+            tenants = container.tenancy
+            for row in tenants.export():
+                self.check(
+                    row["cpu"] >= 0 and row["disk"] >= 0,
+                    f"{container.name}: tenant {row['tenant']!r} balance went "
+                    f"negative: {row}",
+                )
+            walls: dict[str, float] = {}
+            for job in container.service("work").jobs.list():
+                tenant = job.extra.get("tenant")
+                self.check(
+                    tenant in PAYERS + (AGGRESSOR,),
+                    f"{container.name}: job {job.id} carries no tenant",
+                )
+                if tenant in PAYERS:
+                    self.check(
+                        job.state.value == "DONE",
+                        f"{container.name}: in-quota tenant {tenant!r} job "
+                        f"{job.id} ended {job.state.value} ({job.error})",
+                    )
+                if job.state.terminal and job.started and job.finished:
+                    walls[tenant] = walls.get(tenant, 0.0) + max(
+                        0.0, job.finished - job.started)
+            if exact:
+                usage = {row["tenant"]: row["cpu"] for row in tenants.export()}
+                for tenant in set(walls) | set(usage):
+                    self.check(
+                        abs(walls.get(tenant, 0.0) - usage.get(tenant, 0.0)) < 1e-6,
+                        f"{container.name}: tenant {tenant!r} charged "
+                        f"{usage.get(tenant, 0.0):.6f}s cpu but owns "
+                        f"{walls.get(tenant, 0.0):.6f}s of terminal wall-time",
+                    )
+
+    def verify_crash_safe_balances(self) -> None:
+        """Tear every replica down and rebuild: journal replay must land
+        on exactly the live balances."""
+        for index in range(len(self.containers)):
+            live = {
+                row["tenant"]: row for row in self.containers[index].tenancy.export()
+            }
+            self.containers[index].crash()
+            self._cold_start(index)
+            replayed = {
+                row["tenant"]: row for row in self.containers[index].tenancy.export()
+            }
+            self.check(
+                set(live) == set(replayed),
+                f"replica {index}: tenants {set(live) ^ set(replayed)} "
+                f"appeared or vanished across the restart",
+            )
+            for tenant, row in live.items():
+                back = replayed[tenant]
+                self.check(
+                    abs(row["cpu"] - back["cpu"]) < 1e-6 and row["disk"] == back["disk"],
+                    f"replica {index}: tenant {tenant!r} balance drifted across "
+                    f"restart: {row} -> {back}",
+                )
+
+
+def run_tenancy_chaos(seed, scenario_fn, nodeid, ops=12, exact=True, **options):
+    cell = TenancyChaosCell(seed, scenario_fn, nodeid=nodeid, **options)
+    try:
+        cell.run_workload(ops=ops)
+        cell.settle()
+        cell.verify()
+        cell.verify_tenancy(exact=exact)
+        if cell._journal_root is not None:
+            cell.verify_crash_safe_balances()
+    finally:
+        cell.shutdown()
+
+
+def transport_scenarios(target: str) -> list:
+    return [
+        Scenario("drop", 0.10, target=target),
+        Scenario("delay", 0.12, target=target, delay=0.02, jitter=0.02),
+    ]
+
+
+def warm_crash_scenarios(target: str) -> list:
+    return [
+        Scenario("crash-restart", 0.12, duration=2),
+        Scenario("drop", 0.06, target=target),
+    ]
+
+
+def cold_restart_scenarios(target: str) -> list:
+    return [
+        Scenario("cold-restart", 0.12, duration=2),
+        Scenario("drop", 0.05, target=target),
+    ]
+
+
+@pytest.mark.parametrize("seed", chaos_seeds(64, base=7000))
+def test_tenant_flood_under_transport_faults(seed, request):
+    """Fault-only schedules: accounting must reconcile *exactly*."""
+    run_tenancy_chaos(seed, transport_scenarios, request.node.nodeid, exact=True)
+
+
+@pytest.mark.parametrize("seed", chaos_seeds(48, base=7500))
+def test_tenant_flood_with_warm_crashes(seed, request):
+    run_tenancy_chaos(
+        seed, warm_crash_scenarios, request.node.nodeid,
+        exact=True, crashes=True,
+    )
+
+
+@pytest.mark.parametrize("seed", chaos_seeds(48, base=8000))
+def test_tenant_accounting_across_cold_restarts(seed, request):
+    """Cold restarts: the dying incarnation's unjournaled work is lost, so
+    the exact-reconciliation check is replaced by the crash-safety sweep
+    (live balances == journal replay) plus non-negativity."""
+    run_tenancy_chaos(
+        seed, cold_restart_scenarios, request.node.nodeid,
+        exact=False, cold=True,
+    )

@@ -19,6 +19,7 @@ CASES = [
     ("workflow_composition.py", [], b"edited: "),
     ("catalogue_demo.py", [], b"alice"),
     ("xray_fitting.py", [], b"conclusion"),
+    ("multi_tenant.py", [], b"HTTP 429"),
 ]
 
 

@@ -1,0 +1,139 @@
+"""FairShareQueue: stride scheduling, priorities, demotion, preemption."""
+
+import time
+
+from repro.core.jobs import Job, JobState
+from repro.tenancy import AdmissionEntry, FairShareQueue, TenantRegistry, TenantSpec
+
+
+def _entry(queue, tenant, name="work"):
+    job = Job(service=name, inputs={})
+    entry = AdmissionEntry(tenant=tenant, job=job, execute=lambda: {},
+                           enqueued=time.time())
+    queue.offer(entry)
+    return entry
+
+
+def _drain_tenants(queue, count):
+    order = []
+    for _ in range(count):
+        entry = queue.take()
+        if entry is None:
+            break
+        order.append(entry.tenant)
+    return order
+
+
+def test_weighted_interleave():
+    registry = TenantRegistry()
+    registry.register(TenantSpec(name="heavy", weight=2.0))
+    registry.register(TenantSpec(name="light", weight=1.0))
+    queue = FairShareQueue(registry)
+    for _ in range(6):
+        _entry(queue, "heavy")
+    for _ in range(3):
+        _entry(queue, "light")
+    order = _drain_tenants(queue, 9)
+    # 2:1 ratio holds over every prefix window of 3
+    for start in (0, 3, 6):
+        window = order[start:start + 3]
+        assert window.count("heavy") == 2, order
+        assert window.count("light") == 1, order
+
+
+def test_priority_classes_are_strict():
+    registry = TenantRegistry()
+    registry.register(TenantSpec(name="gold", priority=1))
+    registry.register(TenantSpec(name="bronze", priority=0))
+    queue = FairShareQueue(registry)
+    for _ in range(2):
+        _entry(queue, "bronze")
+    for _ in range(2):
+        _entry(queue, "gold")
+    assert _drain_tenants(queue, 4) == ["gold", "gold", "bronze", "bronze"]
+
+
+def test_over_quota_tenant_drains_only_when_alone():
+    registry = TenantRegistry()
+    registry.register(TenantSpec(name="busted", cpu_quota=1.0))
+    registry.charge("busted", cpu=2.0)
+    queue = FairShareQueue(registry)
+    _entry(queue, "busted")
+    _entry(queue, "fine")
+    assert queue.take().tenant == "fine"
+    # work-conserving: with no in-quota backlog the over-quota job runs
+    assert queue.take().tenant == "busted"
+    assert queue.take() is None
+
+
+def test_per_tenant_backlog_bound_via_has_room():
+    registry = TenantRegistry()
+    registry.register(TenantSpec(name="t", max_backlog=2))
+    queue = FairShareQueue(registry)
+    assert queue.has_room("t")
+    _entry(queue, "t")
+    _entry(queue, "t")
+    assert not queue.has_room("t")
+    queue.take()
+    assert queue.has_room("t")
+
+
+def test_total_pressure_preempts_newest_over_quota_entry():
+    registry = TenantRegistry()
+    registry.register(TenantSpec(name="hog", cpu_quota=1.0))
+    registry.charge("hog", cpu=5.0)
+    queue = FairShareQueue(registry, max_backlog_total=3)
+    first = _entry(queue, "hog")
+    second = _entry(queue, "hog")
+    _entry(queue, "payer")
+    victim_trigger = _entry(queue, "payer")  # 4th entry: over the bound
+    assert queue.preempted_total == 1
+    # the newest queued hog entry was interrupted, not the payer's
+    assert second.job.state is JobState.FAILED
+    assert "preempted" in second.job.error
+    assert first.job.state is JobState.WAITING
+    assert victim_trigger.job.state is JobState.WAITING
+    # the preempted entry never dispatches
+    tenants = _drain_tenants(queue, 4)
+    assert tenants.count("hog") == 1
+
+
+def test_no_preemption_when_everyone_in_quota():
+    registry = TenantRegistry()
+    queue = FairShareQueue(registry, max_backlog_total=2)
+    entries = [_entry(queue, "a"), _entry(queue, "b"), _entry(queue, "c")]
+    assert queue.preempted_total == 0
+    assert all(e.job.state is JobState.WAITING for e in entries)
+    assert len(_drain_tenants(queue, 5)) == 3
+
+
+def test_terminal_entries_are_skipped_silently():
+    registry = TenantRegistry()
+    queue = FairShareQueue(registry)
+    cancelled = _entry(queue, "t")
+    cancelled.job.mark_cancelled()
+    live = _entry(queue, "t")
+    taken = queue.take()
+    assert taken is live
+    assert queue.take() is None
+
+
+def test_reactivating_tenant_rejoins_at_active_floor():
+    registry = TenantRegistry()
+    registry.register(TenantSpec(name="steady", weight=1.0))
+    registry.register(TenantSpec(name="bursty", weight=1.0))
+    queue = FairShareQueue(registry)
+    # bursty runs one job and goes idle; steady then runs many
+    _entry(queue, "bursty")
+    queue.take()
+    for _ in range(10):
+        _entry(queue, "steady")
+    for _ in range(10):
+        queue.take()
+    # bursty returns: it must not owe or be owed the rounds it sat out
+    for _ in range(2):
+        _entry(queue, "bursty")
+        _entry(queue, "steady")
+    order = _drain_tenants(queue, 4)
+    assert order.count("bursty") == 2
+    assert order.count("steady") == 2
