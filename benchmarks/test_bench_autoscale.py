@@ -1,0 +1,398 @@
+"""E1 — elastic replica autoscaling: throughput that tracks load.
+
+Four guarded measurements:
+
+- **scaling** — end-to-end job throughput through one gateway as the
+  replica pool grows 1 → 4 → 8 → 16 (quick scale stops at 4). The pool
+  runs sleep-bound jobs, so ideal scaling is linear in handler count;
+  the guard requires >= 0.7x linear at the largest pool.
+- **reaction** — ticks the control loop needs to answer a load spike
+  with a scale-up decision; the guard requires under 2 control periods.
+- **drain rebalancing** — a replica is retired mid-run via the drain
+  protocol; the guard requires 0 lost and 0 duplicated jobs, with every
+  migrated job executing exactly once.
+- **node death** — a replica crashes mid-run and the scaler's replace
+  path evicts and respawns it; every acknowledged job must either still
+  resolve or re-resolve through its Idempotency-Key to exactly one live
+  job: 0 lost, 0 duplicated.
+
+Writes ``benchmarks/BENCH_autoscale.json``; CI re-checks the guards.
+"""
+
+import json
+import threading
+import time
+from collections import Counter
+from pathlib import Path
+
+from repro.autoscale import Autoscaler, InProcessProvisioner, ScalerPolicy
+from repro.container import ServiceContainer
+from repro.gateway import ServiceGateway
+from repro.http.client import IDEMPOTENCY_KEY_HEADER, RestClient
+from repro.http.registry import TransportRegistry
+
+from .conftest import full_scale, record_experiment, stopwatch
+
+GUARDS_PATH = Path(__file__).parent / "BENCH_autoscale.json"
+
+#: Minimum acceptable fraction of linear scaling at the largest pool.
+SCALING_FLOOR = 0.7
+#: Maximum control periods before the scaler answers a load spike.
+REACTION_LIMIT_TICKS = 2
+
+
+def _sleep_service(seconds: float) -> dict:
+    def work(marker):
+        time.sleep(seconds)
+        return {"result": marker}
+
+    return {
+        "description": {
+            "name": "work",
+            "inputs": {"marker": {"schema": {"type": "string"}}},
+            "outputs": {"result": {"schema": {"type": "string"}}},
+        },
+        "adapter": "python",
+        "config": {"callable": work},
+    }
+
+
+def _tracked_service(executions: Counter, lock: threading.Lock) -> dict:
+    def work(marker):
+        with lock:
+            executions[marker] += 1
+        return {"result": marker}
+
+    return {
+        "description": {
+            "name": "work",
+            "inputs": {"marker": {"schema": {"type": "string"}}},
+            "outputs": {"result": {"schema": {"type": "string"}}},
+        },
+        "adapter": "python",
+        "config": {"callable": work},
+    }
+
+
+# ------------------------------------------------------------- throughput
+
+
+def _measure_throughput(replicas: int, jobs_per_replica: int, sleep_s: float,
+                        submit_threads: int) -> dict:
+    registry = TransportRegistry()
+    containers = []
+    gateway = ServiceGateway(registry=registry, name=f"a1gw{replicas}")
+    try:
+        for index in range(replicas):
+            container = ServiceContainer(
+                f"a1p{replicas}n{index}", handlers=2, registry=registry
+            )
+            container.deploy(_sleep_service(sleep_s))
+            containers.append(container)
+            gateway.add_replica(container.local_base)
+        total = replicas * jobs_per_replica
+        uri = gateway.service_uri("work")
+        chunks = [range(start, total, submit_threads) for start in range(submit_threads)]
+
+        def submit(chunk):
+            client = RestClient(registry, retry_after_cap=0.0)
+            for index in chunk:
+                client.post(uri, payload={"marker": f"j{index}"})
+
+        def done_count() -> int:
+            return sum(
+                1
+                for container in containers
+                for job in container.service("work").jobs.list()
+                if job.state.value == "DONE"
+            )
+
+        def run() -> None:
+            workers = [threading.Thread(target=submit, args=(chunk,)) for chunk in chunks]
+            for worker in workers:
+                worker.start()
+            for worker in workers:
+                worker.join()
+            deadline = time.monotonic() + 60.0
+            while done_count() < total and time.monotonic() < deadline:
+                time.sleep(0.002)
+
+        elapsed, _ = stopwatch(run)
+        finished = done_count()
+        assert finished == total, f"{total - finished} jobs never finished"
+        return {
+            "replicas": replicas,
+            "handlers": replicas * 2,
+            "jobs": total,
+            "elapsed_s": round(elapsed, 4),
+            "throughput_jobs_s": round(total / elapsed, 1),
+        }
+    finally:
+        gateway.shutdown()
+        for container in containers:
+            container.shutdown()
+
+
+# --------------------------------------------------------------- reaction
+
+
+def _measure_reaction() -> int:
+    """Ticks from load spike to the scaler's scale-up decision."""
+    registry = TransportRegistry()
+    gate = threading.Event()
+
+    def factory(replica_id):
+        container = ServiceContainer(f"a1r-{replica_id}", handlers=2, registry=registry)
+
+        def held(marker):
+            gate.wait(10.0)
+            return {"result": marker}
+
+        container.deploy(
+            {
+                "description": {
+                    "name": "work",
+                    "inputs": {"marker": {"schema": {"type": "string"}}},
+                    "outputs": {"result": {"schema": {"type": "string"}}},
+                },
+                "adapter": "python",
+                "config": {"callable": held},
+            }
+        )
+        return container
+
+    gateway = ServiceGateway(registry=registry, name="a1rgw")
+    provisioner = InProcessProvisioner(factory)
+    scaler = Autoscaler(
+        gateway,
+        provisioner,
+        policy=ScalerPolicy(min_replicas=1, max_replicas=4, scale_up_load=2.0, hold_ticks=1),
+    )
+    try:
+        scaler.scale_up(1)
+        client = RestClient(registry, retry_after_cap=0.0)
+        for index in range(6):
+            client.post(gateway.service_uri("work"), payload={"marker": f"m{index}"})
+        for tick in range(1, 6):
+            if scaler.tick().action == "scale-up":
+                return tick
+        return 99
+    finally:
+        gate.set()
+        gateway.shutdown()
+        provisioner.shutdown()
+
+
+# ------------------------------------------------------- churn rebalancing
+
+
+def _churn_cell(registry, executions, lock, prefix):
+    def factory(replica_id):
+        container = ServiceContainer(f"{prefix}-{replica_id}", handlers=2, registry=registry)
+        container.deploy(_tracked_service(executions, lock))
+        return container
+
+    gateway = ServiceGateway(registry=registry, name=f"{prefix}gw", policy="consistent-hash")
+    provisioner = InProcessProvisioner(factory)
+    scaler = Autoscaler(
+        gateway,
+        provisioner,
+        policy=ScalerPolicy(min_replicas=1, max_replicas=4, dead_after=1, drain_timeout=10.0),
+    )
+    return gateway, provisioner, scaler
+
+
+def _await_done(client, uri, deadline_s=10.0) -> "dict | None":
+    deadline = time.monotonic() + deadline_s
+    while time.monotonic() < deadline:
+        response = client.request_raw("GET", uri, query={"wait": "1"})
+        if response.status == 200 and response.json_body["state"] == "DONE":
+            return response.json_body
+        if response.status == 404:
+            return None
+        time.sleep(0.01)
+    return None
+
+
+def _measure_drain_rebalance(jobs: int) -> dict:
+    """Retire a replica mid-run; count lost and duplicated jobs."""
+    registry = TransportRegistry()
+    executions: Counter = Counter()
+    lock = threading.Lock()
+    gateway, provisioner, scaler = _churn_cell(registry, executions, lock, "a1d")
+    try:
+        scaler.scale_up(3)
+        client = RestClient(registry, retry_after_cap=0.0)
+        docs = []
+        for index in range(jobs):
+            docs.append(
+                client.post(gateway.service_uri("work"), payload={"marker": f"d{index}"})
+            )
+            if index == jobs // 3:
+                victim = gateway.replicas.ids()[0]
+                decision = scaler.scale_down(victim)
+                assert decision["action"] == "scale-down", decision
+        lost = sum(1 for doc in docs if _await_done(client, doc["uri"]) is None)
+        counts: Counter = Counter()
+        for container in provisioner.containers.values():
+            for job in container.service("work").jobs.list():
+                counts[job.inputs["marker"]] += 1
+        duplicated = sum(1 for marker, count in counts.items() if count > 1)
+        multi_runs = sum(1 for marker, count in executions.items() if count > 1)
+        return {
+            "scenario": "scale-down mid-run",
+            "jobs": jobs,
+            "lost": lost,
+            "duplicated": duplicated,
+            "executed_twice": multi_runs,
+        }
+    finally:
+        gateway.shutdown()
+        provisioner.shutdown()
+
+
+def _measure_death_rebalance(jobs: int) -> dict:
+    """Crash a replica mid-run; the scaler replaces it; acked jobs must
+    re-resolve through their keys to exactly one live job each."""
+    registry = TransportRegistry()
+    executions: Counter = Counter()
+    lock = threading.Lock()
+    gateway, provisioner, scaler = _churn_cell(registry, executions, lock, "a1k")
+    try:
+        scaler.scale_up(2)
+        client = RestClient(registry, retry_after_cap=0.0)
+        records = []
+        for index in range(jobs):
+            key = f"k{index}"
+            doc = client.request_json(
+                "POST",
+                gateway.service_uri("work"),
+                payload={"marker": f"n{index}"},
+                headers={IDEMPOTENCY_KEY_HEADER: key},
+            )
+            records.append((key, f"n{index}", doc))
+            if index == jobs // 2:
+                victim = gateway.replicas.ids()[0]
+                provisioner.get(victim).crash()
+                for _ in range(gateway.replicas.down_after):
+                    gateway.replicas.check_now()
+                decision = scaler.tick()
+                assert decision.action == "replace", decision
+        lost = 0
+        for key, marker, doc in records:
+            final = _await_done(client, doc["uri"])
+            if final is None:
+                # the ack died with the crashed replica: its key must
+                # re-mint exactly one replacement on a survivor
+                response = client.request_raw(
+                    "POST",
+                    gateway.service_uri("work"),
+                    body=json.dumps({"marker": marker}).encode(),
+                    headers={
+                        IDEMPOTENCY_KEY_HEADER: key,
+                        "Content-Type": "application/json",
+                    },
+                )
+                if response.status != 201 or _await_done(client, response.json_body["uri"]) is None:
+                    lost += 1
+        counts: Counter = Counter()
+        for container in provisioner.containers.values():
+            for job in container.service("work").jobs.list():
+                counts[job.inputs["marker"]] += 1
+        duplicated = sum(1 for marker, count in counts.items() if count > 1)
+        return {
+            "scenario": "node death mid-run",
+            "jobs": jobs,
+            "lost": lost,
+            "duplicated": duplicated,
+            "executed_twice": sum(1 for _, c in executions.items() if c > 1),
+        }
+    finally:
+        gateway.shutdown()
+        provisioner.shutdown()
+
+
+# ------------------------------------------------------------------ test
+
+
+def test_e1_autoscale_throughput_and_rebalancing():
+    if full_scale():
+        pool_sizes, jobs_per_replica, sleep_s, threads = [1, 4, 8, 16], 24, 0.02, 8
+        churn_jobs = 120
+    else:
+        pool_sizes, jobs_per_replica, sleep_s, threads = [1, 4], 16, 0.01, 4
+        churn_jobs = 48
+
+    scaling_rows = [
+        _measure_throughput(n, jobs_per_replica, sleep_s, threads) for n in pool_sizes
+    ]
+    base = scaling_rows[0]["throughput_jobs_s"]
+    for row in scaling_rows:
+        row["speedup"] = round(row["throughput_jobs_s"] / base, 2)
+        row["efficiency"] = round(row["speedup"] / row["replicas"], 3)
+    largest = scaling_rows[-1]
+
+    reaction_ticks = _measure_reaction()
+    drain_row = _measure_drain_rebalance(churn_jobs)
+    death_row = _measure_death_rebalance(churn_jobs)
+
+    scaling_guard = {
+        "metric": f"throughput at {largest['replicas']} replicas vs linear",
+        "limit": SCALING_FLOOR,
+        "measured": largest["efficiency"],
+        "passed": largest["efficiency"] >= SCALING_FLOOR,
+    }
+    reaction_guard = {
+        "metric": "control periods from load spike to scale-up",
+        "limit": REACTION_LIMIT_TICKS,
+        "measured": reaction_ticks,
+        "passed": reaction_ticks <= REACTION_LIMIT_TICKS,
+    }
+    drain_guard = {
+        "metric": "jobs lost + duplicated across a mid-run scale-down",
+        "limit": 0,
+        "measured": drain_row["lost"] + drain_row["duplicated"],
+        "passed": drain_row["lost"] == 0 and drain_row["duplicated"] == 0,
+    }
+    death_guard = {
+        "metric": "jobs lost + duplicated across a mid-run node death",
+        "limit": 0,
+        "measured": death_row["lost"] + death_row["duplicated"],
+        "passed": death_row["lost"] == 0 and death_row["duplicated"] == 0,
+    }
+
+    record_experiment(
+        "E1",
+        "Elastic autoscaling: throughput vs replica pool size",
+        scaling_rows,
+        notes=(
+            f"scale-up reaction: {reaction_ticks} tick(s); "
+            f"scaling floor {SCALING_FLOOR:.0%} of linear at the largest pool"
+        ),
+    )
+    record_experiment(
+        "E1-churn",
+        "Drain-not-drop rebalancing under membership churn",
+        [drain_row, death_row],
+        notes="lost = acked jobs unresolvable after settle; duplicated = markers owning >1 live job",
+    )
+    GUARDS_PATH.write_text(
+        json.dumps(
+            {
+                "experiment": "E1",
+                "recorded_at": time.strftime("%Y-%m-%d %H:%M:%S"),
+                "scaling_guard": scaling_guard,
+                "reaction_guard": reaction_guard,
+                "drain_guard": drain_guard,
+                "death_guard": death_guard,
+                "scaling": scaling_rows,
+                "churn": [drain_row, death_row],
+            },
+            indent=2,
+        )
+    )
+
+    assert scaling_guard["passed"], scaling_guard
+    assert reaction_guard["passed"], reaction_guard
+    assert drain_guard["passed"], (drain_guard, drain_row)
+    assert death_guard["passed"], (death_guard, death_row)

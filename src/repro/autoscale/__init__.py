@@ -1,0 +1,22 @@
+"""Elastic replica autoscaling with live shard rebalancing.
+
+The control loop (:class:`Autoscaler`) watches per-replica load — queue
+depth and handler activity scraped from each replica's ``/metrics`` page,
+the gateway's own in-flight gauges, and request-latency percentiles — and
+grows or shrinks the replica pool behind a
+:class:`~repro.gateway.ServiceGateway` through a pluggable
+:class:`ReplicaProvisioner`. Scale-down *drains*: the retiring replica's
+jobs are handed to its ring successor over the standard REST API before
+the replica leaves the set (see ``ServiceGateway.retire``).
+"""
+
+from repro.autoscale.provisioner import InProcessProvisioner, ReplicaProvisioner
+from repro.autoscale.scaler import Autoscaler, ScalerDecision, ScalerPolicy
+
+__all__ = [
+    "Autoscaler",
+    "InProcessProvisioner",
+    "ReplicaProvisioner",
+    "ScalerDecision",
+    "ScalerPolicy",
+]

@@ -1,0 +1,137 @@
+"""Replica provisioners: how the autoscaler gets and releases capacity.
+
+The scaler decides *when* to change the pool; a provisioner knows *how* —
+where containers come from, how to quiesce one for the drain protocol,
+and how to tear one down. :class:`InProcessProvisioner` builds
+:class:`~repro.container.ServiceContainer` instances in this process
+(tests, benchmarks, single-host deployments); the same interface is the
+seam for subprocess or remote provisioners later — quiesce and busy map
+onto an admin endpoint instead of direct method calls.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+from typing import Any, Callable
+
+logger = logging.getLogger(__name__)
+
+__all__ = ["InProcessProvisioner", "ReplicaProvisioner"]
+
+
+class ReplicaProvisioner:
+    """The capacity backend the autoscaler drives.
+
+    Implementations manage the replica lifecycle behind stable ids:
+
+    - :meth:`spawn` brings up a fresh replica and returns its base URL;
+    - :meth:`quiesce` stops it *starting* queued work (running jobs
+      finish) — the precondition for migrating its WAITING jobs safely;
+    - :meth:`busy` reports how many jobs are still executing there;
+    - :meth:`retire` shuts a quiesced, migrated replica down cleanly;
+    - :meth:`kill` tears one down abruptly (crash path / chaos).
+    """
+
+    def spawn(self, replica_id: str) -> str:
+        raise NotImplementedError
+
+    def quiesce(self, replica_id: str) -> None:
+        raise NotImplementedError
+
+    def busy(self, replica_id: str) -> int:
+        raise NotImplementedError
+
+    def retire(self, replica_id: str) -> None:
+        raise NotImplementedError
+
+    def kill(self, replica_id: str) -> None:
+        raise NotImplementedError
+
+    def wait_idle(self, replica_id: str, timeout: float = 10.0) -> bool:
+        """Block until no job is executing on ``replica_id`` (or timeout).
+
+        Call after :meth:`quiesce`: the count only goes down once no new
+        work starts. Returns True when the replica went idle in time.
+        """
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.busy(replica_id) == 0:
+                return True
+            time.sleep(0.01)
+        return self.busy(replica_id) == 0
+
+
+class InProcessProvisioner(ReplicaProvisioner):
+    """Builds replica containers in this process via a factory callable.
+
+    ``factory(replica_id)`` must return a started
+    :class:`~repro.container.ServiceContainer` (services deployed, bound
+    on the shared transport registry); its ``local_base`` becomes the
+    replica's base URL.
+    """
+
+    def __init__(self, factory: Callable[[str], Any]):
+        self.factory = factory
+        self._lock = threading.Lock()
+        self._containers: dict[str, Any] = {}
+
+    @property
+    def containers(self) -> dict[str, Any]:
+        with self._lock:
+            return dict(self._containers)
+
+    def get(self, replica_id: str) -> Any:
+        with self._lock:
+            return self._containers.get(replica_id)
+
+    def spawn(self, replica_id: str) -> str:
+        container = self.factory(replica_id)
+        with self._lock:
+            if replica_id in self._containers:
+                raise ValueError(f"replica {replica_id!r} already provisioned")
+            self._containers[replica_id] = container
+        return container.local_base
+
+    def quiesce(self, replica_id: str) -> None:
+        container = self._require(replica_id)
+        container.job_manager.quiesce()
+
+    def busy(self, replica_id: str) -> int:
+        container = self.get(replica_id)
+        if container is None:
+            return 0
+        return container.job_manager.running_count()
+
+    def retire(self, replica_id: str) -> None:
+        with self._lock:
+            container = self._containers.pop(replica_id, None)
+        if container is not None:
+            container.shutdown()
+
+    def kill(self, replica_id: str) -> None:
+        with self._lock:
+            container = self._containers.pop(replica_id, None)
+        if container is not None:
+            try:
+                container.crash()
+            except Exception:  # noqa: BLE001 - killing a broken container
+                logger.exception("killing replica %s raised", replica_id)
+
+    def shutdown(self) -> None:
+        """Tear down every provisioned container (test/bench teardown)."""
+        with self._lock:
+            containers = list(self._containers.values())
+            self._containers.clear()
+        for container in containers:
+            try:
+                container.shutdown()
+            except Exception:  # noqa: BLE001 - best-effort teardown
+                logger.exception("container shutdown raised")
+
+    def _require(self, replica_id: str) -> Any:
+        container = self.get(replica_id)
+        if container is None:
+            raise KeyError(replica_id)
+        return container

@@ -1,0 +1,385 @@
+"""The autoscaler control loop: load in, membership changes out.
+
+Each :meth:`Autoscaler.tick` is one deterministic control decision — the
+live loop just runs ticks on a :class:`~repro.runtime.pool.PeriodicTask`,
+and tests/benchmarks call :meth:`tick` directly for reproducible
+schedules. A tick:
+
+1. scrapes per-replica load (queue depth + running handlers from each
+   replica's ``/metrics`` page, the gateway's own in-flight gauge as the
+   floor, request-latency p95 when the policy sets an SLO);
+2. evicts-and-replaces replicas that have been ``DOWN`` for
+   ``dead_after`` consecutive ticks (their jobs died with them — only a
+   *live* replica can drain);
+3. compares average load per live replica against the policy's
+   thresholds and scales up (spawn + join) or down (drain → quiesce →
+   migrate → retire — see ``ServiceGateway.retire``), at most one
+   scaling action per ``hold_ticks`` window so the loop cannot flap.
+
+Every decision lands in a bounded deque (surfaced in ``/health`` and
+``/status``) and in the ``mc_scaler_*`` metrics.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.gateway.replicaset import ReplicaState
+from repro.http.transport import TransportError
+from repro.observability.promtext import histogram_quantile, parse_metrics
+from repro.runtime.pool import PeriodicTask
+
+logger = logging.getLogger(__name__)
+
+__all__ = ["Autoscaler", "ScalerDecision", "ScalerPolicy"]
+
+
+@dataclass
+class ScalerPolicy:
+    """Thresholds and bounds for the control loop."""
+
+    min_replicas: int = 1
+    max_replicas: int = 8
+    #: Average (queued + running + gateway in-flight) per live replica
+    #: at or above which the pool grows.
+    scale_up_load: float = 4.0
+    #: ... at or below which the pool shrinks (must leave hysteresis
+    #: room below ``scale_up_load`` or the loop oscillates).
+    scale_down_load: float = 0.5
+    #: Request-latency p95 (seconds) that also triggers scale-up, when
+    #: replicas expose the ``mc_http_request_seconds`` histogram. None
+    #: disables the latency trigger.
+    latency_slo: "float | None" = None
+    #: Ticks to hold after any membership change before acting again.
+    hold_ticks: int = 2
+    #: Consecutive ticks a replica may report DOWN before it is evicted
+    #: and replaced.
+    dead_after: int = 3
+    #: How long a scale-down waits for running jobs to finish.
+    drain_timeout: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.min_replicas < 1 or self.max_replicas < self.min_replicas:
+            raise ValueError("need 1 <= min_replicas <= max_replicas")
+        if self.scale_down_load >= self.scale_up_load:
+            raise ValueError("scale_down_load must sit below scale_up_load")
+
+
+@dataclass
+class ScalerDecision:
+    """One tick's outcome, kept for /health and the decision metrics."""
+
+    tick: int
+    action: str  # hold | scale-up | scale-down | replace | retire-failed
+    reason: str
+    load: float
+    replicas: int
+    details: dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "tick": self.tick,
+            "action": self.action,
+            "reason": self.reason,
+            "load": round(self.load, 3),
+            "replicas": self.replicas,
+            **({"details": self.details} if self.details else {}),
+        }
+
+
+class Autoscaler:
+    """Drives a gateway's replica pool from observed load."""
+
+    def __init__(
+        self,
+        gateway: Any,
+        provisioner: Any,
+        policy: ScalerPolicy | None = None,
+        interval: float = 1.0,
+        id_prefix: str = "as",
+        decision_history: int = 64,
+    ):
+        self.gateway = gateway
+        self.provisioner = provisioner
+        self.policy = policy or ScalerPolicy()
+        self.interval = interval
+        self.id_prefix = id_prefix
+        self.decisions: "deque[ScalerDecision]" = deque(maxlen=decision_history)
+        self._lock = threading.Lock()
+        self._tick_count = 0
+        self._spawned = 0
+        self._cooldown = 0
+        self._down_ticks: dict[str, int] = {}
+        self._task: PeriodicTask | None = None
+        gateway.autoscaler = self
+        self._decisions_metric = None
+        self._load_metric = None
+        metrics = getattr(gateway, "metrics", None)
+        if metrics is not None:
+            self._decisions_metric = metrics.counter(
+                "mc_scaler_decisions_total",
+                "Autoscaler tick outcomes, by action.",
+                labels=("action",),
+            )
+            self._load_metric = metrics.gauge(
+                "mc_scaler_load",
+                "Average load per live replica at the last scaler tick.",
+            )
+            metrics.collector(
+                "mc_scaler_replicas",
+                "Replicas currently in the gateway's pool.",
+                "gauge",
+                lambda: len(gateway.replicas),
+            )
+
+    # ------------------------------------------------------------- lifecycle
+
+    def start(self) -> "Autoscaler":
+        if self._task is not None:
+            raise RuntimeError("autoscaler already started")
+        self._task = PeriodicTask(self.interval, self.tick, name="autoscaler")
+        self._task.start()
+        return self
+
+    def stop(self) -> None:
+        if self._task is None:
+            return
+        self._task.stop()
+        self._task = None
+
+    # ----------------------------------------------------------- observation
+
+    def observe(self) -> dict[str, float]:
+        """Per-replica load: queued + running (scraped) + gateway in-flight.
+
+        A replica whose ``/metrics`` page is unreachable contributes its
+        gateway-side in-flight gauge alone — the loop degrades, it does
+        not stall.
+        """
+        loads: dict[str, float] = {}
+        for entry in self.gateway.replicas.snapshot():
+            if entry["state"] == ReplicaState.DOWN.value or entry.get("draining"):
+                continue
+            load = float(entry["in_flight"])
+            scraped = self._scrape(entry["url"])
+            if scraped is not None:
+                queued = scraped.get("mc_pool_queued")
+                running = scraped.get("mc_pool_running")
+                load += (queued.total() if queued else 0.0)
+                load += (running.total() if running else 0.0)
+                if self.policy.latency_slo is not None:
+                    p95 = self._latency_p95(scraped)
+                    if p95 is not None and p95 >= self.policy.latency_slo:
+                        # over-SLO latency counts as saturation even when
+                        # the queue gauge alone looks calm
+                        load = max(load, self.policy.scale_up_load)
+            loads[entry["id"]] = load
+        return loads
+
+    def _scrape(self, base_url: str) -> "dict[str, Any] | None":
+        try:
+            response = self.gateway.registry.request("GET", f"{base_url}/metrics")
+        except TransportError:
+            return None
+        if not response.ok:
+            return None
+        try:
+            return parse_metrics(response.body.decode("utf-8", "replace"))
+        except ValueError:
+            return None
+
+    @staticmethod
+    def _latency_p95(families: dict[str, Any]) -> "float | None":
+        family = families.get("mc_http_request_seconds")
+        if family is None:
+            return None
+        merged: dict[float, float] = {}
+        for sample in family.samples:
+            if not sample.name.endswith("_bucket"):
+                continue
+            le = sample.labels.get("le", "")
+            bound = float("inf") if le == "+Inf" else float(le or "inf")
+            merged[bound] = merged.get(bound, 0.0) + sample.value
+        if not merged:
+            return None
+        return histogram_quantile(0.95, sorted(merged.items()))
+
+    # ----------------------------------------------------------- the control
+
+    def tick(self) -> ScalerDecision:
+        """One deterministic control decision (thread-safe, reentrant-free)."""
+        with self._lock:
+            return self._tick_locked()
+
+    def _tick_locked(self) -> ScalerDecision:
+        self._tick_count += 1
+        decision = self._replace_dead()
+        if decision is None:
+            loads = self.observe()
+            live = len(loads)
+            load = (sum(loads.values()) / live) if live else 0.0
+            if self._load_metric is not None:
+                self._load_metric.set(load)
+            decision = self._decide(loads, live, load)
+        self.decisions.append(decision)
+        if self._decisions_metric is not None:
+            self._decisions_metric.labels(decision.action).inc()
+        if decision.action != "hold":
+            logger.info(
+                "scaler tick %d: %s (%s; load=%.2f, replicas=%d)",
+                decision.tick, decision.action, decision.reason,
+                decision.load, decision.replicas,
+            )
+        return decision
+
+    def _decide(self, loads: dict[str, float], live: int, load: float) -> ScalerDecision:
+        policy = self.policy
+        if self._cooldown > 0:
+            self._cooldown -= 1
+            return self._decision("hold", "cooling down", load)
+        if live < policy.min_replicas:
+            grown = self.scale_up(policy.min_replicas - live)
+            return self._decision(
+                "scale-up", "below minimum pool size", load, details={"added": grown}
+            )
+        if load >= policy.scale_up_load and live < policy.max_replicas:
+            grown = self.scale_up(1)
+            return self._decision(
+                "scale-up", f"load {load:.2f} >= {policy.scale_up_load}", load,
+                details={"added": grown},
+            )
+        if load <= policy.scale_down_load and live > policy.min_replicas:
+            victim = self._pick_victim(loads)
+            if victim is not None:
+                outcome = self.scale_down(victim)
+                return self._decision(
+                    outcome["action"], outcome["reason"], load, details=outcome,
+                )
+        return self._decision("hold", "load within band", load)
+
+    def _decision(
+        self, action: str, reason: str, load: float, details: "dict[str, Any] | None" = None
+    ) -> ScalerDecision:
+        return ScalerDecision(
+            tick=self._tick_count,
+            action=action,
+            reason=reason,
+            load=load,
+            replicas=len(self.gateway.replicas),
+            details=details or {},
+        )
+
+    # ------------------------------------------------------------- actuation
+
+    def scale_up(self, count: int = 1) -> list[str]:
+        """Spawn ``count`` replicas and join them to the gateway's pool."""
+        added: list[str] = []
+        for _ in range(max(0, count)):
+            if len(self.gateway.replicas) >= self.policy.max_replicas:
+                break
+            replica_id = f"{self.id_prefix}{self._spawned}"
+            self._spawned += 1
+            base_url = self.provisioner.spawn(replica_id)
+            self.gateway.add_replica(base_url, replica_id=replica_id)
+            added.append(replica_id)
+        if added:
+            self._cooldown = self.policy.hold_ticks
+        return added
+
+    def scale_down(self, replica_id: str) -> dict[str, Any]:
+        """Retire one replica through the full drain protocol."""
+        self.gateway.drain(replica_id)
+        self.provisioner.quiesce(replica_id)
+        self.provisioner.wait_idle(replica_id, timeout=self.policy.drain_timeout)
+        try:
+            summary = self.gateway.retire(
+                replica_id, drain_timeout=self.policy.drain_timeout
+            )
+        except (RuntimeError, KeyError) as error:
+            # nothing was dropped: the replica is still DRAINING with all
+            # its jobs; the next tick below the threshold retries it
+            logger.warning("retiring %s failed, will retry: %s", replica_id, error)
+            return {"action": "retire-failed", "reason": str(error), "replica": replica_id}
+        self.provisioner.retire(replica_id)
+        self._down_ticks.pop(replica_id, None)
+        self._cooldown = self.policy.hold_ticks
+        return {
+            "action": "scale-down",
+            "reason": f"retired {replica_id} -> {summary['successor']}",
+            **summary,
+        }
+
+    def _pick_victim(self, loads: dict[str, float]) -> "str | None":
+        """Which replica to retire: a half-drained one first (retry), else
+        the least-loaded live one."""
+        for entry in self.gateway.replicas.snapshot():
+            if entry.get("draining"):
+                return entry["id"]
+        if not loads:
+            return None
+        return min(sorted(loads), key=lambda rid: loads[rid])
+
+    def _replace_dead(self) -> "ScalerDecision | None":
+        """Evict replicas DOWN for ``dead_after`` ticks; respawn to floor.
+
+        A dead replica cannot drain — its unfinished jobs are lost from
+        the gateway's view (clients holding Idempotency-Keys re-mint them
+        elsewhere; the dead container's journal still has them for a
+        later cold restart).
+        """
+        down_now: set[str] = set()
+        for entry in self.gateway.replicas.snapshot():
+            if entry["state"] == ReplicaState.DOWN.value:
+                down_now.add(entry["id"])
+                self._down_ticks[entry["id"]] = self._down_ticks.get(entry["id"], 0) + 1
+        for replica_id in list(self._down_ticks):
+            if replica_id not in down_now:
+                del self._down_ticks[replica_id]
+        dead = [
+            replica_id
+            for replica_id, ticks in self._down_ticks.items()
+            if ticks >= self.policy.dead_after
+        ]
+        if not dead:
+            return None
+        replaced: list[str] = []
+        for replica_id in dead:
+            try:
+                self.gateway.evict(replica_id)
+            except KeyError:
+                pass
+            self.provisioner.kill(replica_id)
+            del self._down_ticks[replica_id]
+        deficit = self.policy.min_replicas - len(self.gateway.replicas)
+        if deficit > 0:
+            replaced = self.scale_up(deficit)
+        self._cooldown = self.policy.hold_ticks
+        return self._decision(
+            "replace",
+            f"evicted dead {', '.join(sorted(dead))}",
+            0.0,
+            details={"evicted": sorted(dead), "respawned": replaced},
+        )
+
+    # ------------------------------------------------------------ reporting
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "interval": self.interval,
+            "ticks": self._tick_count,
+            "cooldown": self._cooldown,
+            "policy": {
+                "min_replicas": self.policy.min_replicas,
+                "max_replicas": self.policy.max_replicas,
+                "scale_up_load": self.policy.scale_up_load,
+                "scale_down_load": self.policy.scale_down_load,
+                "latency_slo": self.policy.latency_slo,
+                "hold_ticks": self.policy.hold_ticks,
+                "dead_after": self.policy.dead_after,
+            },
+            "decisions": [decision.to_json() for decision in list(self.decisions)[-10:]],
+        }

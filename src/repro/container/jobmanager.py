@@ -148,6 +148,7 @@ class JobManager:
         self.handlers = handlers
         self._pool = ExecutorPool(workers=handlers, name=f"{name}-handler")
         self._stopped = False
+        self._quiesced = False
         #: Live (non-terminal) jobs this manager has adopted, by id.
         self._tracked: dict[str, Job] = {}
         self._track_lock = threading.Lock()
@@ -212,22 +213,52 @@ class JobManager:
             if not job.state.terminal:
                 self._tracked[job.id] = job
         if self.journal is not None:
-            record: dict[str, Any] = {
-                "type": "job",
-                "event": "created",
-                "service": job.service,
-                "id": job.id,
-                "inputs": job.inputs,
-                "created": job.created,
-            }
-            if job.request_id is not None:
-                record["request_id"] = job.request_id
-            if job.idempotency_key is not None:
-                record["key"] = job.idempotency_key
-            if job.extra:
-                record["extra"] = dict(job.extra)
-            self._append(record)
+            self._append(self._creation_record(job))
         job.subscribe(self._on_transition)
+
+    def import_job(self, job: Job) -> None:
+        """Adopt a handed-off job from a retiring replica.
+
+        Journals the job's creation record and — when the handoff arrived
+        already terminal — its terminal record, so the handoff survives a
+        cold restart in the standard journal format. Terminal imports are
+        *not* charged to tenancy accounting: the origin replica already
+        billed the tenant for the work, and handing the finished job over
+        must not bill it twice. Non-terminal imports subscribe the normal
+        transition observer — their (re-)execution here is journaled and
+        billed exactly like locally created work.
+        """
+        with self._track_lock:
+            if job.id in self._tracked:
+                return
+            if not job.state.terminal:
+                self._tracked[job.id] = job
+        if self.journal is not None:
+            self._append(self._creation_record(job))
+            if job.state.terminal:
+                self._append(self._transition_record(job, job.state))
+        if not job.state.terminal:
+            job.subscribe(self._on_transition)
+
+    def quiesce(self) -> None:
+        """Stop *starting* queued work (the drain protocol's first step).
+
+        Jobs already running finish normally; WAITING jobs stay WAITING so
+        the retire path can migrate them to the ring successor without the
+        risk of this pool picking one up concurrently — the one way a
+        handoff could execute the same job twice.
+        """
+        self._quiesced = True
+
+    @property
+    def quiesced(self) -> bool:
+        return self._quiesced
+
+    def running_count(self) -> int:
+        """Jobs currently executing (the drain waits for this to hit 0)."""
+        with self._track_lock:
+            jobs = list(self._tracked.values())
+        return sum(1 for job in jobs if job.state is JobState.RUNNING)
 
     def record_deleted(self, job: Job) -> None:
         """Journal that a job resource was deleted (recovery must not
@@ -381,30 +412,50 @@ class JobManager:
         except Exception as error:  # noqa: BLE001 - journaling is best-effort
             logger.error("journal append failed for %s: %s", record.get("id"), error)
 
+    def _creation_record(self, job: Job) -> dict[str, Any]:
+        record: dict[str, Any] = {
+            "type": "job",
+            "event": "created",
+            "service": job.service,
+            "id": job.id,
+            "inputs": job.inputs,
+            "created": job.created,
+        }
+        if job.request_id is not None:
+            record["request_id"] = job.request_id
+        if job.idempotency_key is not None:
+            record["key"] = job.idempotency_key
+        if job.extra:
+            record["extra"] = dict(job.extra)
+        return record
+
+    def _transition_record(self, job: Job, state: JobState) -> dict[str, Any]:
+        record: dict[str, Any] = {
+            "type": "job",
+            "event": state.value.lower() if state.terminal else "running",
+            "service": job.service,
+            "id": job.id,
+        }
+        if state is JobState.RUNNING:
+            record["started"] = job.started
+        elif state is JobState.DONE:
+            record["event"] = "done"
+            record["results"] = job.results
+            record["finished"] = job.finished
+        elif state is JobState.FAILED:
+            record["event"] = "failed"
+            record["error"] = job.error
+            record["finished"] = job.finished
+            if job.extra:
+                record["extra"] = dict(job.extra)
+        elif state is JobState.CANCELLED:
+            record["event"] = "cancelled"
+            record["finished"] = job.finished
+        return record
+
     def _on_transition(self, job: Job, state: JobState) -> None:
         if self.journal is not None:
-            record: dict[str, Any] = {
-                "type": "job",
-                "event": state.value.lower() if state.terminal else "running",
-                "service": job.service,
-                "id": job.id,
-            }
-            if state is JobState.RUNNING:
-                record["started"] = job.started
-            elif state is JobState.DONE:
-                record["event"] = "done"
-                record["results"] = job.results
-                record["finished"] = job.finished
-            elif state is JobState.FAILED:
-                record["event"] = "failed"
-                record["error"] = job.error
-                record["finished"] = job.finished
-                if job.extra:
-                    record["extra"] = dict(job.extra)
-            elif state is JobState.CANCELLED:
-                record["event"] = "cancelled"
-                record["finished"] = job.finished
-            self._append(record)
+            self._append(self._transition_record(job, state))
         if state.terminal:
             with self._track_lock:
                 self._tracked.pop(job.id, None)
@@ -419,6 +470,8 @@ class JobManager:
 
     def _drain_admission(self) -> None:
         """Pool task: release and process the fair-share queue's pick."""
+        if self._quiesced:
+            return
         entry = self.admission.take()
         if entry is not None:
             self._process(entry.job, entry.execute, entry.enqueued)
@@ -432,6 +485,10 @@ class JobManager:
         rid = job.request_id or "-"
         if job.state.terminal:  # cancelled while queued
             logger.info("job %s [request %s] skipped: already %s", job.id, rid, job.state.value)
+            return
+        if self._quiesced:
+            # draining for retirement: leave the job WAITING for migration
+            logger.info("job %s [request %s] parked: manager is quiesced", job.id, rid)
             return
         try:
             job.mark_running()

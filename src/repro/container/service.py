@@ -10,12 +10,13 @@ own contract fails loudly instead of shipping malformed results.
 from __future__ import annotations
 
 import logging
+import time
 from typing import Any, Callable
 
 from repro.cache import CacheClosedError, FingerprintError, ResultCache, job_fingerprint
 from repro.container.adapters.base import Adapter, JobContext
 from repro.container.config import ServiceConfig
-from repro.container.jobmanager import JobManager
+from repro.container.jobmanager import INTERRUPTED_ERROR, JobManager
 from repro.core.description import ServiceDescription
 from repro.core.errors import (
     AdapterError,
@@ -26,7 +27,7 @@ from repro.core.errors import (
 )
 from repro.core.filerefs import file_uri, is_file_ref, iter_blob_digests
 from repro.core.files import FileEntry, FileStore
-from repro.core.jobs import Job, JobStore
+from repro.core.jobs import Job, JobState, JobStore, restore_job
 from repro.http.client import IDEMPOTENCY_KEY_HEADER, RestClient
 from repro.http.messages import Request
 from repro.http.registry import TransportRegistry
@@ -144,6 +145,155 @@ class DeployedService:
         resource complete.
         """
         self.job_manager.enqueue(job, self._execution_thunk(job))
+
+    # ------------------------------------------------------------- handoff
+
+    def list_jobs(self) -> list[Job]:
+        """Every job this service currently holds (the drain protocol
+        enumerates these to migrate them to the ring successor)."""
+        return self.jobs.list()
+
+    def import_job(self, document: dict[str, Any]) -> "tuple[Job, bool]":
+        """Adopt one handed-off job document from a retiring replica.
+
+        Idempotent on job id: re-importing an id this service already
+        holds returns the existing job unchanged, so the gateway's retire
+        loop can safely retry a partially applied handoff. Inputs are not
+        re-validated — they were validated by the origin replica at submit
+        time and the document arrives over the trusted gateway path.
+
+        What happens to the job depends on the state it arrived in:
+
+        - terminal: restored as-is (results/error intact), journaled, and
+          — for ``DONE`` jobs of cacheable services — seeded into the
+          result cache so identical submits keep hitting. *Not* charged
+          to tenancy here: the origin already billed the work.
+        - non-terminal, cached elsewhere: if an identical job is already
+          done or in flight here, the import completes from (or coalesces
+          onto) that leader instead of executing again.
+        - non-terminal, idempotent adapter: re-enqueued for a fresh
+          execution under the same id and key binding.
+        - non-terminal, non-idempotent adapter: failed as interrupted —
+          re-execution is not safe, and the origin may have had side
+          effects in flight.
+
+        File resources and blob pins are *not* migrated; result file URIs
+        keep pointing at wherever the origin wrote them.
+
+        Returns ``(job, created)`` where ``created`` is False when the id
+        was already present.
+        """
+        job_id = document.get("id")
+        if not job_id:
+            raise ServiceError("job document has no id")
+        try:
+            return self.jobs.get(job_id), False
+        except JobNotFoundError:
+            pass
+        job = restore_job(self.name, document)
+        if job.state.terminal:
+            # overwrite, not setdefault: a job can migrate more than once
+            # (requeued and run here, then handed on again) and the marker
+            # must record the *last* hop's mode — accounting uses it to
+            # tell locally-executed work from work charged at the origin
+            job.extra["handoff"] = "terminal"
+            self.jobs.add(job)
+            self.job_manager.import_job(job)
+            if job.state is JobState.DONE and self.cacheable:
+                fingerprint = self._fingerprint(job.inputs)
+                if fingerprint is not None:
+                    self.cache.seed(
+                        fingerprint, self.name, job.id, job.finished or time.time()
+                    )
+            return job, True
+        # in-flight at the origin; arrives WAITING (restore_job never
+        # resurrects RUNNING — the origin's handler is gone)
+        fingerprint = self._fingerprint(job.inputs) if self.cacheable else None
+        if fingerprint is not None:
+            leader = self._claim_leader(fingerprint, exclude=job.id)
+            if leader is not None:
+                # identical work already done (or running) here: finish
+                # the import from the leader instead of executing again
+                job.extra["handoff"] = "cached"
+                self.jobs.add(job)
+                self.job_manager.import_job(job)
+                self._finish_from(job, leader)
+                return job, True
+            # miss: we own the fingerprint; the imported job becomes the
+            # single-flight leader (or the claim is released below)
+        if getattr(self.adapter, "idempotent", False):
+            job.extra["handoff"] = "requeued"
+            try:
+                self.jobs.add(job)
+                if fingerprint is not None:
+                    self.cache.register(fingerprint, self.name, job)
+                self.requeue(job)
+            except BaseException:
+                if fingerprint is not None:
+                    self.cache.invalidate_job(job.id)
+                    self.cache.release(fingerprint)
+                raise
+            return job, True
+        if fingerprint is not None:
+            self.cache.release(fingerprint)
+        job.extra["handoff"] = "interrupted"
+        job.try_interrupt(INTERRUPTED_ERROR)
+        self.jobs.add(job)
+        self.job_manager.import_job(job)
+        return job, True
+
+    def _claim_leader(self, fingerprint: str, exclude: str) -> "Job | None":
+        """Resolve a handoff fingerprint against the cache.
+
+        Returns the live leader job, or None on a miss — in which case
+        the caller owns the fingerprint and must ``register`` or
+        ``release`` it (same contract as :meth:`_claim_cached`, minus the
+        request plumbing the import path doesn't have).
+        """
+        while True:
+            try:
+                kind, job_id = self.cache.claim(fingerprint)
+            except CacheClosedError as exc:
+                raise ServiceError("container is shut down") from exc
+            if kind == "miss":
+                return None
+            if job_id == exclude:
+                # the entry points at the very job being imported (a
+                # retried handoff raced a deletion); recompute instead
+                self.cache.invalidate_job(job_id)
+                continue
+            try:
+                return self.jobs.get(job_id)
+            except JobNotFoundError:
+                self.cache.invalidate_job(job_id)
+                continue
+
+    def _finish_from(self, job: Job, leader: Job) -> None:
+        """Complete an imported job from its cache leader's outcome.
+
+        Subscribes to the leader: ``DONE`` copies its results onto the
+        import (zero wall-time — serving a computed result is free, same
+        as a cache hit at submit); ``FAILED``/``CANCELLED`` falls back to
+        a fresh execution when the adapter allows it, else the import
+        fails as interrupted. Terminal leaders fire immediately.
+        """
+
+        def on_leader_done(leader_job: Job, state: JobState) -> None:
+            if not state.terminal or job.state.terminal:
+                return
+            if state is JobState.DONE:
+                try:
+                    job.mark_running()
+                except ServiceError:  # lost a race with a concurrent cancel
+                    return
+                job.try_finish(lambda: (JobState.DONE, leader_job.results))
+            elif getattr(self.adapter, "idempotent", False):
+                job.extra["handoff"] = "requeued"
+                self.requeue(job)
+            else:
+                job.try_interrupt(INTERRUPTED_ERROR)
+
+        leader.subscribe(on_leader_done)
 
     def get_job(self, job_id: str) -> Job:
         return self.jobs.get(job_id)

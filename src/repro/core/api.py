@@ -25,7 +25,7 @@ from typing import Any, Callable, Protocol
 
 from repro.core.errors import ServiceError
 from repro.core.files import FileEntry
-from repro.core.jobs import Job
+from repro.core.jobs import Job, job_document
 from repro.http.app import DEFER_CAPABILITY, RestApp
 from repro.http.client import IDEMPOTENCY_KEY_HEADER, X_CACHE_HEADER
 from repro.http.messages import HttpError, Request, Response
@@ -335,6 +335,51 @@ def mount_service(
             response.headers.set("Content-Range", f"bytes {start}-{end}/{entry.size}")
         return response
 
+    def list_jobs(request: Request) -> Response:
+        """The service's job index in journal form (the drain protocol's
+        source side: a gateway enumerates a retiring replica's jobs here
+        before handing them to the ring successor)."""
+        lister = getattr(backend, "list_jobs", None)
+        if lister is None:
+            raise HttpError(404, "this service does not expose a job index")
+        documents = [job_document(job) for job in lister()]
+        return Response.json({"service": backend.describe().get("name"),
+                              "count": len(documents), "jobs": documents})
+
+    def import_job(request: Request, job_id: str) -> Response:
+        """Adopt a handed-off job document under its original id.
+
+        An action subresource rather than a PUT on the job itself, so
+        the public job resource keeps its Table 1 method matrix.
+        Idempotent: re-importing an id that already exists answers 200
+        with the existing job; a first import answers 201. The imported
+        ``Idempotency-Key`` binding is seeded into the submit ledger, so
+        a client replay of the original POST binds to the migrated job on
+        this backend exactly as it would have on the retired one.
+        """
+        importer = getattr(backend, "import_job", None)
+        if importer is None:
+            raise HttpError(404, "this service does not accept job imports")
+        document = request.json if request.body else {}
+        if not isinstance(document, dict):
+            raise HttpError(400, "job import body must be a JSON object")
+        declared = document.get("id")
+        if declared is not None and declared != job_id:
+            raise HttpError(409, f"document id {declared!r} does not match URI id {job_id!r}")
+        document = dict(document, id=job_id)
+        try:
+            job, created = importer(document)
+        except ServiceError as error:
+            raise _to_http_error(error) from error
+        if job.idempotency_key:
+            ledger.store(job.idempotency_key, job.id)
+        location = job_uri(_advertised(), job.id)
+        response = Response.json(
+            job.representation(uri=location), status=201 if created else 200
+        )
+        response.headers.set("Location", location)
+        return response
+
     def get_trace(request: Request, job_id: str) -> Response:
         """The job's recorded trace spans, flat and as a nested tree.
 
@@ -357,7 +402,9 @@ def mount_service(
 
     app.route("GET", base_path, describe)
     app.route("POST", base_path, submit)
+    app.route("GET", f"{base_path}/jobs", list_jobs)
     app.route("GET", f"{base_path}/jobs/{{job_id}}", get_job)
+    app.route("POST", f"{base_path}/jobs/{{job_id}}/import", import_job)
     app.route("DELETE", f"{base_path}/jobs/{{job_id}}", delete_job)
     app.route("GET", f"{base_path}/jobs/{{job_id}}/trace", get_trace)
     app.route("GET", f"{base_path}/jobs/{{job_id}}/files/{{file_id}}", get_file)

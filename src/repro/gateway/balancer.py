@@ -53,6 +53,45 @@ def _hash_point(value: str) -> int:
     return int.from_bytes(hashlib.sha1(value.encode("utf-8")).digest()[:8], "big")
 
 
+#: Virtual nodes per replica on the canonical ring. Shared by the policy,
+#: the drain protocol's successor computation and the property tests, so
+#: they all agree on who owns what.
+DEFAULT_RING_POINTS = 64
+
+
+def build_ring(ids: "Sequence[str]", points_per_replica: int = DEFAULT_RING_POINTS) -> "list[tuple[int, str]]":
+    """The canonical hash ring over a replica-id membership."""
+    return sorted(
+        (_hash_point(f"{replica_id}#{vnode}"), replica_id)
+        for replica_id in sorted(set(ids))
+        for vnode in range(points_per_replica)
+    )
+
+
+def ring_owner(
+    ids: "Sequence[str]", key: str, points_per_replica: int = DEFAULT_RING_POINTS
+) -> "str | None":
+    """The member of ``ids`` owning ``key`` on the canonical ring."""
+    ring = build_ring(ids, points_per_replica)
+    if not ring:
+        return None
+    index = bisect.bisect_right([point for point, _ in ring], _hash_point(key)) % len(ring)
+    return ring[index][1]
+
+
+def ring_successor(
+    ids: "Sequence[str]", member: str, points_per_replica: int = DEFAULT_RING_POINTS
+) -> "str | None":
+    """Who inherits ``member``'s keys when it leaves the membership.
+
+    Defined as the owner of ``member``'s own hash point on the ring the
+    *remaining* members form — the replica the drain protocol hands a
+    retiring replica's jobs to. ``None`` when nobody remains.
+    """
+    remaining = [replica_id for replica_id in ids if replica_id != member]
+    return ring_owner(remaining, member, points_per_replica)
+
+
 class ConsistentHashPolicy:
     """A hash ring with virtual nodes per replica.
 
@@ -62,12 +101,23 @@ class ConsistentHashPolicy:
     the default.
     """
 
-    def __init__(self, points_per_replica: int = 64):
+    def __init__(self, points_per_replica: int = DEFAULT_RING_POINTS):
         self.points_per_replica = points_per_replica
         self._lock = threading.Lock()
         self._ring_for: tuple[str, ...] = ()
         self._ring: list[tuple[int, str]] = []
         self._fallback = RoundRobinPolicy()
+
+    def forget(self, replica_id: str) -> None:
+        """Drop the memoised ring if it references ``replica_id``.
+
+        Called on ring removal so a long-lived gateway does not keep the
+        last pre-retirement ring (with its 64 points per departed member)
+        alive after a scale-down.
+        """
+        with self._lock:
+            if replica_id in self._ring_for:
+                self._ring_for, self._ring = (), []
 
     def choose(self, candidates: Sequence[Replica], key: str | None = None) -> Replica:
         if key is None:
@@ -82,11 +132,7 @@ class ConsistentHashPolicy:
         with self._lock:
             if ids == self._ring_for:
                 return self._ring
-            ring = sorted(
-                (_hash_point(f"{replica_id}#{vnode}"), replica_id)
-                for replica_id in ids
-                for vnode in range(self.points_per_replica)
-            )
+            ring = build_ring(ids, self.points_per_replica)
             self._ring_for, self._ring = ids, ring
             return ring
 

@@ -21,14 +21,17 @@ prefixes simply stack).
 
 from __future__ import annotations
 
+import json
 import logging
 import threading
+import time
 from typing import Any
 from urllib.parse import urlencode
 
 from repro.cache import routing_hint
-from repro.gateway.balancer import Policy, create_policy
+from repro.gateway.balancer import Policy, create_policy, ring_successor
 from repro.gateway.breaker import RetryBudget
+from repro.gateway.handoff import HandoffTable
 from repro.gateway.idempotency import IdempotencyCache
 from repro.gateway.replicaset import Replica, ReplicaSet, ReplicaState
 from repro.gateway.routing import (
@@ -119,6 +122,15 @@ class ServiceGateway:
         self.retry_after_cap = retry_after_cap
         #: Per-tenant rate-limit/concurrency gate, set by enable_tenancy.
         self.tenant_gate = None
+        #: Where retired replicas' jobs went: old job-id prefixes stay
+        #: resolvable through this table after a retirement.
+        self.handoffs = HandoffTable()
+        #: In-progress retirements: replica id -> the successor a failed
+        #: migration already (partially) copied jobs to, so retries stick.
+        self._retiring: dict[str, str] = {}
+        #: The autoscaler driving this gateway's membership, if any
+        #: (attached by :class:`repro.autoscale.Autoscaler`).
+        self.autoscaler = None
         self.app = RestApp(name)
         self.metrics: "MetricsRegistry | None" = None
         self.tracer: "Tracer | None" = None
@@ -233,27 +245,203 @@ class ServiceGateway:
         return self.replicas.add(base_url, replica_id=replica_id)
 
     def evict(self, replica_id: str) -> None:
-        """Remove a replica permanently; its cached submit responses go too
-        (they advertise job URIs that can no longer be served)."""
+        """Remove a replica permanently (crashed, or dead past recovery).
+
+        Unlike :meth:`retire`, nothing is migrated — there is nobody to
+        ask. Every piece of gateway state keyed to the replica goes with
+        it: cached submit responses and key bindings (they point at jobs
+        that died with the replica), the balancer's ring memo, and any
+        handoff redirects that end at it — so gateway memory stays
+        bounded no matter how much membership churn it sees.
+
+        Retired prefixes whose handoff chain ends at the dead replica
+        lose their cached submits too: those entries were kept across the
+        retirement because the jobs had moved here, and the jobs just
+        died — replaying the stored 201 would acknowledge a job nobody
+        holds anymore.
+        """
         self.replicas.remove(replica_id)
+        self._retiring.pop(replica_id, None)
+        orphaned = [
+            old for old, target in self.handoffs.snapshot().items()
+            if target == replica_id
+        ]
+        self._forget_replica(replica_id)
         dropped = self.idempotency.invalidate_replica(replica_id)
+        for old_id in orphaned:
+            dropped += self.idempotency.invalidate_replica(old_id)
         if dropped:
             logger.info("gateway %s evicted %s, dropped %d cached submits", self.name, replica_id, dropped)
+
+    def drain(self, replica_id: str) -> Replica:
+        """Flag a replica DRAINING: spread routes stop selecting it while
+        pinned job routes keep working. First (reversible) step of
+        :meth:`retire`; undo with :meth:`undrain`."""
+        return self.replicas.drain(replica_id)
+
+    def undrain(self, replica_id: str) -> None:
+        """Cancel a drain (the scaler changed its mind before retiring)."""
+        replica = self.replicas.get(replica_id)
+        if replica is not None:
+            replica.stop_draining()
+
+    def retire(
+        self,
+        replica_id: str,
+        successor_id: "str | None" = None,
+        drain_timeout: float = 10.0,
+    ) -> dict[str, Any]:
+        """Drain a replica and hand every job it holds to its successor.
+
+        The drain protocol (drain, don't drop):
+
+        1. the replica enters ``DRAINING`` — no new submits route to it;
+        2. the gateway waits for its own in-flight forwards to finish;
+        3. every job the replica holds — finished results included — is
+           imported by the successor over the standard API (``GET
+           /services/{name}/jobs`` → ``PUT`` each document), raw job ids
+           preserved;
+        4. the replica leaves the set and the handoff table records where
+           its jobs went, so old public job URIs (and Idempotency-Key
+           bindings) resolve to the successor from now on.
+
+        Cached idempotent submit responses are deliberately *kept*: their
+        job URIs stay valid through the handoff table. Any migration
+        failure aborts the retirement with the replica still DRAINING —
+        jobs are never dropped halfway; the caller may retry.
+
+        The caller is responsible for quiescing the replica's own queue
+        first (see ``JobManager.quiesce``); migrating a WAITING job that
+        the origin then also executes is the one way to run work twice.
+
+        Returns a summary: retired id, successor id, jobs migrated.
+        """
+        replica = self.replicas.get(replica_id)
+        if replica is None:
+            raise KeyError(replica_id)
+        replica.start_draining()
+        if successor_id is None:
+            successor_id = self._sticky_successor(replica_id)
+        if successor_id is None:
+            successor_id = self._successor_for(replica_id)
+        if successor_id is None or successor_id == replica_id:
+            raise RuntimeError(f"no live successor for replica {replica_id!r}")
+        successor = self.replicas.get(successor_id)
+        if successor is None:
+            raise KeyError(successor_id)
+        # the choice must be sticky across retries: a partially applied
+        # migration has already copied jobs to this successor, and a retry
+        # that picked a different one would duplicate them
+        self._retiring[replica_id] = successor_id
+        deadline = time.monotonic() + drain_timeout
+        while replica.in_flight > 0 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        migrated = self._migrate_jobs(replica, successor)
+        self._retiring.pop(replica_id, None)
+        self.replicas.discard(replica_id)
+        self.handoffs.record(replica_id, successor_id)
+        forget = getattr(self.policy, "forget", None)
+        if forget is not None:
+            forget(replica_id)
+        logger.info(
+            "gateway %s retired %s -> %s (%d jobs migrated)",
+            self.name, replica_id, successor_id, migrated,
+        )
+        return {"retired": replica_id, "successor": successor_id, "migrated": migrated}
+
+    def _sticky_successor(self, replica_id: str) -> "str | None":
+        """The successor a previous (failed) retirement already copied
+        jobs to. If that successor has since retired itself, its copies
+        moved on with it — follow the handoff chain; if it died, the
+        copies died too and the entry is dropped so a fresh pick is safe."""
+        recorded = self._retiring.get(replica_id)
+        while recorded is not None and self.replicas.get(recorded) is None:
+            recorded = self.handoffs.resolve(recorded)
+        if recorded is None:
+            self._retiring.pop(replica_id, None)
+        return recorded
+
+    def _successor_for(self, replica_id: str) -> "str | None":
+        """The ring successor among live (not draining, not down) peers."""
+        candidates = [
+            r.id
+            for r in self.replicas.replicas()
+            if r.id == replica_id or r.state in (ReplicaState.HEALTHY, ReplicaState.DEGRADED)
+        ]
+        return ring_successor(candidates, replica_id)
+
+    def _forget_replica(self, replica_id: str) -> None:
+        forget = getattr(self.policy, "forget", None)
+        if forget is not None:
+            forget(replica_id)
+        self.handoffs.forget(replica_id)
+
+    def _migrate_jobs(self, source: Replica, target: Replica) -> int:
+        """Copy every job ``source`` holds to ``target`` via the API.
+
+        All-or-nothing per retirement: any failure raises (the import
+        endpoint is idempotent on job id, so a retried retirement simply
+        re-posts documents the successor already adopted).
+        """
+        index = self._migration_get(source, f"{source.base_url}/services")
+        migrated = 0
+        for entry in index.get("services") or []:
+            name = entry.get("name")
+            if not name:
+                continue
+            listing = self._migration_get(source, f"{source.base_url}/services/{name}/jobs")
+            for document in listing.get("jobs") or []:
+                payload = dict(document)
+                payload["extra"] = dict(payload.get("extra") or {}, handoff_from=source.id)
+                try:
+                    response = self.registry.request(
+                        "POST",
+                        f"{target.base_url}/services/{name}/jobs/{payload['id']}/import",
+                        headers={"Content-Type": "application/json"},
+                        body=json.dumps(payload).encode("utf-8"),
+                    )
+                except TransportError as exc:
+                    raise RuntimeError(
+                        f"handoff of job {payload['id']} to {target.id} failed: {exc}"
+                    ) from exc
+                if response.status not in (200, 201):
+                    raise RuntimeError(
+                        f"handoff of job {payload['id']} to {target.id} "
+                        f"rejected with {response.status}"
+                    )
+                migrated += 1
+        return migrated
+
+    def _migration_get(self, source: Replica, url: str) -> dict[str, Any]:
+        try:
+            response = self.registry.request("GET", url)
+        except TransportError as exc:
+            raise RuntimeError(f"cannot enumerate retiring replica {source.id}: {exc}") from exc
+        if not response.ok:
+            raise RuntimeError(
+                f"retiring replica {source.id} answered {response.status} for {url}"
+            )
+        document = response.json_body
+        return document if isinstance(document, dict) else {}
 
     # ------------------------------------------------------------- handlers
 
     def _health(self, request: Request) -> Response:
-        return Response.json(
-            {
-                "gateway": self.name,
-                "uri": self.base_uri,
-                "policy": self.policy_name,
-                "replicas": self.replicas.snapshot(),
-                "retry_budget": self.retry_budget.balance,
-                "idempotency_entries": len(self.idempotency),
-                "cache": self.cache_stats,
-            }
-        )
+        replicas = self.replicas.snapshot()
+        document = {
+            "gateway": self.name,
+            "uri": self.base_uri,
+            "policy": self.policy_name,
+            "replicas": replicas,
+            "draining": sum(1 for r in replicas if r.get("draining")),
+            "handoffs": self.handoffs.snapshot(),
+            "retry_budget": self.retry_budget.balance,
+            "idempotency_entries": len(self.idempotency),
+            "cache": self.cache_stats,
+        }
+        if self.autoscaler is not None:
+            document["autoscaler"] = self.autoscaler.snapshot()
+        return Response.json(document)
 
     @property
     def cache_stats(self) -> dict[str, int]:
@@ -423,17 +611,24 @@ class ServiceGateway:
         unbound (normal selection applies), ``(None, True)`` when it is
         bound but the replica cannot take the request right now — the
         caller must answer 503 rather than risk a duplicate elsewhere. A
-        binding to an evicted replica is dropped: the ambiguous job (if it
-        ever existed) died with the replica, so a fresh placement is the
-        only way forward.
+        binding to a *retired* replica follows the handoff chain — the
+        successor imported the ambiguous job (if it exists) with its key
+        binding, so its submit ledger deduplicates — and the key is
+        rebound there. A binding to an *evicted* replica is dropped: the
+        ambiguous job (if it ever existed) died with the replica, so a
+        fresh placement is the only way forward.
         """
         bound_id = self.idempotency.binding(key)
         if bound_id is None:
             return None, False
         replica = self.replicas.get(bound_id)
         if replica is None:
-            self.idempotency.unbind(key)
-            return None, False
+            successor_id = self.handoffs.resolve(bound_id)
+            replica = self.replicas.get(successor_id) if successor_id is not None else None
+            if replica is None:
+                self.idempotency.unbind(key)
+                return None, False
+            self.idempotency.bind(key, replica.id)
         if replica.state is ReplicaState.DOWN or not replica.acquire_slot():
             return None, True
         if not replica.breaker.allow():
@@ -625,6 +820,12 @@ class ServiceGateway:
 
     def _pin_replica(self, replica_id: str) -> Replica:
         replica = self.replicas.get(replica_id)
+        if replica is None:
+            # retired? its jobs (raw ids intact) live on at the successor,
+            # so the old public URI keeps resolving
+            successor_id = self.handoffs.resolve(replica_id)
+            if successor_id is not None:
+                replica = self.replicas.get(successor_id)
         if replica is None:
             raise HttpError(404, f"no replica {replica_id!r} behind this gateway")
         if replica.state is ReplicaState.DOWN:

@@ -1,0 +1,76 @@
+"""The handoff table: where a retired replica's jobs went.
+
+When the drain protocol retires a replica, every job it owned is imported
+by its ring successor *keeping its raw job id* — only the replica-id
+prefix of the public id changes. The gateway records the retirement here
+so the old public URIs stay valid: a pinned route whose prefix names a
+retired replica resolves through this table to the live successor.
+
+Chains compress on write: when ``B`` (itself a successor of ``A``)
+retires to ``C``, the ``A → B`` entry is rewritten to ``A → C``, so
+resolution is a single bounded lookup no matter how much churn the
+gateway has seen. Entries are a bounded LRU — a gateway that has retired
+thousands of replicas forgets the oldest redirects rather than growing
+without bound (the jobs themselves age out long before that).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+__all__ = ["HandoffTable"]
+
+
+class HandoffTable:
+    """Bounded retired-replica → successor map with chain compression."""
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._successor: "OrderedDict[str, str]" = OrderedDict()
+
+    def record(self, retired_id: str, successor_id: str) -> None:
+        """Record a retirement; existing chains ending at ``retired_id``
+        are rewritten to point at the new successor."""
+        if retired_id == successor_id:
+            raise ValueError("a replica cannot be its own successor")
+        with self._lock:
+            for old, target in list(self._successor.items()):
+                if target == retired_id:
+                    self._successor[old] = successor_id
+            self._successor[retired_id] = successor_id
+            self._successor.move_to_end(retired_id)
+            while len(self._successor) > self.capacity:
+                self._successor.popitem(last=False)
+
+    def resolve(self, replica_id: str) -> "str | None":
+        """The live end of ``replica_id``'s handoff chain, or None."""
+        with self._lock:
+            successor = self._successor.get(replica_id)
+            if successor is not None:
+                self._successor.move_to_end(replica_id)
+            return successor
+
+    def forget(self, replica_id: str) -> int:
+        """Drop every entry involving ``replica_id`` (evicted, not
+        retired: there is no live successor to redirect to). Returns the
+        number of entries dropped."""
+        with self._lock:
+            stale = [
+                old for old, target in self._successor.items()
+                if old == replica_id or target == replica_id
+            ]
+            for old in stale:
+                del self._successor[old]
+            return len(stale)
+
+    def snapshot(self) -> dict[str, str]:
+        with self._lock:
+            return dict(self._successor)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._successor)

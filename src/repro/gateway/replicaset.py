@@ -39,6 +39,8 @@ class ReplicaState(str, Enum):
     HEALTHY = "HEALTHY"
     DEGRADED = "DEGRADED"
     DOWN = "DOWN"
+    #: Retiring: pinned job routes still work, new submits go elsewhere.
+    DRAINING = "DRAINING"
 
 
 class Replica:
@@ -57,6 +59,7 @@ class Replica:
         self.max_in_flight = max_in_flight
         self._lock = threading.Lock()
         self._state = ReplicaState.HEALTHY
+        self._draining = False
         self._in_flight = 0
         self._consecutive_failures = 0
         self._consecutive_successes = 0
@@ -64,8 +67,30 @@ class Replica:
 
     @property
     def state(self) -> ReplicaState:
+        """Health state, with the drain flag overlaid.
+
+        A draining replica reports ``DRAINING`` (the gateway's spread
+        routes skip it; pinned routes keep working) unless its probes say
+        it is actually ``DOWN`` — a dead replica cannot drain.
+        """
         with self._lock:
+            if self._draining and self._state is not ReplicaState.DOWN:
+                return ReplicaState.DRAINING
             return self._state
+
+    @property
+    def draining(self) -> bool:
+        with self._lock:
+            return self._draining
+
+    def start_draining(self) -> None:
+        with self._lock:
+            self._draining = True
+
+    def stop_draining(self) -> None:
+        """Cancel a drain (the scaler changed its mind before retirement)."""
+        with self._lock:
+            self._draining = False
 
     @property
     def in_flight(self) -> int:
@@ -121,7 +146,11 @@ class Replica:
     def snapshot(self) -> dict[str, Any]:
         """The replica's row in gateway health reports."""
         with self._lock:
-            state = self._state.value
+            if self._draining and self._state is not ReplicaState.DOWN:
+                state = ReplicaState.DRAINING.value
+            else:
+                state = self._state.value
+            draining = self._draining
             in_flight = self._in_flight
             failures = self._consecutive_failures
             last_probe = self._last_probe
@@ -129,6 +158,7 @@ class Replica:
             "id": self.id,
             "url": self.base_url,
             "state": state,
+            "draining": draining,
             "in_flight": in_flight,
             "max_in_flight": self.max_in_flight,
             "consecutive_failures": failures,
@@ -191,14 +221,34 @@ class ReplicaSet:
             self._replicas[replica_id] = replica
             return replica
 
-    def remove(self, replica_id: str) -> None:
+    def remove(self, replica_id: str) -> Replica:
         with self._lock:
-            if self._replicas.pop(replica_id, None) is None:
-                raise KeyError(replica_id)
+            replica = self._replicas.pop(replica_id, None)
+        if replica is None:
+            raise KeyError(replica_id)
+        return replica
+
+    def discard(self, replica_id: str) -> "Replica | None":
+        """Remove tolerantly: concurrent retire/evict must not crash the
+        loser of the race. Returns the replica, or None if already gone."""
+        with self._lock:
+            return self._replicas.pop(replica_id, None)
+
+    def drain(self, replica_id: str) -> Replica:
+        """Flag a replica DRAINING (spread routes stop selecting it)."""
+        replica = self.get(replica_id)
+        if replica is None:
+            raise KeyError(replica_id)
+        replica.start_draining()
+        return replica
 
     def get(self, replica_id: str) -> Replica | None:
         with self._lock:
             return self._replicas.get(replica_id)
+
+    def ids(self) -> list[str]:
+        with self._lock:
+            return list(self._replicas)
 
     def replicas(self) -> list[Replica]:
         """All replicas in registration order (stable for round-robin)."""

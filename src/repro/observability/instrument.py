@@ -419,10 +419,22 @@ def instrument_gateway(gateway: Any) -> None:
     metrics.collector(
         "mc_gateway_replica_in_flight", "Requests in flight to each replica.",
         "gauge", replica_in_flight, labels=("replica",))
+    def replica_draining():
+        return [((entry["id"],), 1 if entry.get("draining") else 0)
+                for entry in gateway.replicas.snapshot()]
+
     metrics.collector(
         "mc_gateway_breaker_state",
         "Per-replica circuit breaker state (0=closed, 1=open, 2=half-open).",
         "gauge", breaker_states, labels=("replica",))
+    metrics.collector(
+        "mc_gateway_replica_draining",
+        "Whether each replica is draining for retirement (1=draining).",
+        "gauge", replica_draining, labels=("replica",))
+    metrics.collector(
+        "mc_gateway_handoff_entries",
+        "Retired-replica redirects the gateway still resolves.",
+        "gauge", lambda: len(getattr(gateway, "handoffs", ())))
     metrics.collector(
         "mc_gateway_retry_budget", "Retry-budget tokens available.",
         "gauge", lambda: gateway.retry_budget.balance)

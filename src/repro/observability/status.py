@@ -180,6 +180,8 @@ def gateway_status(gateway: Any) -> dict[str, Any]:
         for q in (0.5, 0.9, 0.99)
     } if ordered and ordered[-1][1] else {}
 
+    handoffs = getattr(gateway, "handoffs", None)
+    autoscaler = getattr(gateway, "autoscaler", None)
     return {
         "gateway": gateway.name,
         "uri": gateway.base_uri,
@@ -188,10 +190,15 @@ def gateway_status(gateway: Any) -> dict[str, Any]:
         "idempotency_entries": len(gateway.idempotency),
         "cache": gateway.cache_stats,
         "replicas": replicas,
+        "handoffs": handoffs.snapshot() if handoffs is not None else {},
+        "autoscaler": autoscaler.snapshot() if autoscaler is not None else None,
         "tenants": _tenant_report(tenants, gate),
         "platform": {
             "replicas_total": len(replicas),
             "replicas_healthy": healthy,
+            "replicas_draining": sum(
+                1 for entry in gateway.replicas.snapshot() if entry.get("draining")
+            ),
             "requests_total": total_requests,
             "error_rate": (total_errors / total_requests) if total_requests else 0.0,
             "queue_depth": queue_depth,

@@ -1,0 +1,375 @@
+"""The autoscaler: elastic membership with drain-not-drop rebalancing.
+
+Every test drives ``Autoscaler.tick`` by hand — the control decision is
+deterministic given the observed load, so no test depends on the
+background loop's timing.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.autoscale import Autoscaler, InProcessProvisioner, ScalerPolicy
+from repro.container import ServiceContainer
+from repro.gateway import ServiceGateway
+from repro.gateway.balancer import build_ring, ring_owner, ring_successor
+from repro.gateway.handoff import HandoffTable
+from repro.http.client import IDEMPOTENCY_KEY_HEADER, RestClient
+from repro.http.registry import TransportRegistry
+
+from tests.waiters import wait_until
+
+_EXECUTIONS: "dict[str, list[str]]" = {}
+_EXECUTIONS_LOCK = threading.Lock()
+
+
+def _count_execution(marker, value):
+    with _EXECUTIONS_LOCK:
+        _EXECUTIONS.setdefault(marker, []).append(value)
+
+
+def _service_configs(gate: threading.Event):
+    def add(a, b):
+        return {"result": a + b}
+
+    def tracked(marker):
+        _count_execution(marker, "run")
+        return {"result": marker}
+
+    def slow(marker=""):
+        gate.wait(10.0)
+        return {"result": marker}
+
+    return [
+        {
+            "description": {
+                "name": "add",
+                "inputs": {
+                    "a": {"schema": {"type": "number"}},
+                    "b": {"schema": {"type": "number"}},
+                },
+                "outputs": {"result": {"schema": {"type": "number"}}},
+            },
+            "adapter": "python",
+            "config": {"callable": add},
+        },
+        {
+            "description": {
+                "name": "tracked",
+                "inputs": {"marker": {"schema": {"type": "string"}}},
+                "outputs": {"result": {"schema": {"type": "string"}}},
+            },
+            "adapter": "python",
+            # each marker is distinct input → distinct fingerprint, so
+            # the execution count per marker is a duplication detector
+            "config": {"callable": tracked},
+        },
+        {
+            "description": {
+                "name": "slow",
+                "inputs": {"marker": {"schema": {"type": "string"}}},
+                "outputs": {"result": {"schema": {"type": "string"}}},
+            },
+            "adapter": "python",
+            "config": {"callable": slow},
+        },
+    ]
+
+
+@pytest.fixture()
+def cell(request):
+    """A gateway + provisioner + scaler cell with hand-driven ticks."""
+    registry = TransportRegistry()
+    gate = threading.Event()
+    _EXECUTIONS.clear()
+
+    def factory(replica_id):
+        container = ServiceContainer(
+            f"c-{replica_id}", handlers=2, registry=registry, observability=True
+        )
+        for config in _service_configs(gate):
+            container.deploy(config)
+        return container
+
+    gateway = ServiceGateway(registry=registry, name="as-gw", policy="consistent-hash")
+    provisioner = InProcessProvisioner(factory)
+    request.addfinalizer(provisioner.shutdown)
+    request.addfinalizer(gateway.shutdown)
+    request.addfinalizer(gate.set)
+    client = RestClient(registry, retry_after_cap=0.0)
+    return {
+        "registry": registry,
+        "gateway": gateway,
+        "provisioner": provisioner,
+        "client": client,
+        "gate": gate,
+    }
+
+
+def make_scaler(cell, **policy_kwargs):
+    policy = ScalerPolicy(**policy_kwargs)
+    scaler = Autoscaler(cell["gateway"], cell["provisioner"], policy=policy)
+    return scaler
+
+
+class TestRingHelpers:
+    def test_ring_is_deterministic_and_order_free(self):
+        ids = ["r0", "r1", "r2"]
+        assert build_ring(ids) == build_ring(list(reversed(ids)))
+        assert ring_owner(ids, "j-abc") == ring_owner(list(reversed(ids)), "j-abc")
+
+    def test_owner_is_a_member_and_stable_under_unrelated_leave(self):
+        ids = [f"r{i}" for i in range(8)]
+        owner = ring_owner(ids, "j-feed")
+        assert owner in ids
+        bystanders = [i for i in ids if i != owner]
+        # removing a non-owner never moves the key
+        survivors = [i for i in ids if i != bystanders[0]]
+        assert ring_owner(survivors, "j-feed") == owner
+
+    def test_successor_excludes_the_member_itself(self):
+        ids = [f"r{i}" for i in range(4)]
+        for member in ids:
+            successor = ring_successor(ids, member)
+            assert successor in ids and successor != member
+        assert ring_successor(["only"], "only") is None
+        assert ring_owner([], "j-x") is None
+
+
+class TestHandoffTable:
+    def test_record_resolve_and_chain_compression(self):
+        table = HandoffTable()
+        table.record("a", "b")
+        table.record("b", "c")
+        # a's chain compressed on write: one hop to the live end
+        assert table.resolve("a") == "c"
+        assert table.resolve("b") == "c"
+        assert table.snapshot() == {"a": "c", "b": "c"}
+
+    def test_self_successor_rejected(self):
+        with pytest.raises(ValueError):
+            HandoffTable().record("a", "a")
+
+    def test_forget_drops_both_directions(self):
+        table = HandoffTable()
+        table.record("a", "b")
+        table.record("x", "y")
+        assert table.forget("b") == 1  # a → b
+        assert table.resolve("a") is None
+        assert table.resolve("x") == "y"
+
+    def test_capacity_is_bounded_lru(self):
+        table = HandoffTable(capacity=3)
+        for i in range(6):
+            table.record(f"r{i}", "live")
+        assert len(table) == 3
+        assert table.resolve("r0") is None
+        assert table.resolve("r5") == "live"
+
+
+class TestDrainProtocol:
+    def test_draining_replica_takes_no_new_submits(self, cell):
+        scaler = make_scaler(cell, min_replicas=1, max_replicas=4)
+        scaler.scale_up(2)
+        gateway, client = cell["gateway"], cell["client"]
+        victim = gateway.replicas.ids()[0]
+        gateway.drain(victim)
+        for i in range(12):
+            job = client.post(gateway.service_uri("add"), payload={"a": i, "b": 1})
+            assert not job["id"].startswith(f"{victim}.")
+        health = client.get(gateway.base_uri + "/health")
+        assert health["draining"] == 1
+        states = {row["id"]: row["state"] for row in health["replicas"]}
+        assert states[victim] == "DRAINING"
+
+    def test_retire_migrates_done_and_waiting_jobs(self, cell):
+        scaler = make_scaler(cell, min_replicas=1, max_replicas=4, drain_timeout=5.0)
+        scaler.scale_up(2)
+        gateway, client, provisioner = cell["gateway"], cell["client"], cell["provisioner"]
+
+        done = [
+            client.get(
+                client.post(
+                    gateway.service_uri("tracked"), payload={"marker": f"d{i}"}
+                )["uri"],
+                query={"wait": "5"},
+            )
+            for i in range(6)
+        ]
+        assert all(job["state"] == "DONE" for job in done)
+
+        # park queued work on one replica: block both its handlers, then
+        # quiesce so further queued jobs stay WAITING for migration
+        victim = gateway.replicas.ids()[0]
+        survivor = [r for r in gateway.replicas.ids() if r != victim][0]
+        victim_base = gateway.replicas.get(victim).base_url
+        blocked = [
+            cell["registry"]
+            .request(
+                "POST",
+                f"{victim_base}/services/slow",
+                headers={"Content-Type": "application/json"},
+                body=b'{"marker": "block"}',
+            )
+            .json_body
+            for _ in range(2)
+        ]
+        waiting = [
+            cell["registry"]
+            .request(
+                "POST",
+                f"{victim_base}/services/tracked",
+                headers={"Content-Type": "application/json"},
+                body=f'{{"marker": "w{i}"}}'.encode(),
+            )
+            .json_body
+            for i in range(4)
+        ]
+        gateway.drain(victim)
+        provisioner.quiesce(victim)
+        cell["gate"].set()  # running jobs finish; WAITING stays parked
+        assert provisioner.wait_idle(victim, timeout=5.0)
+        summary = gateway.retire(victim)
+        assert summary["successor"] == survivor
+        assert summary["migrated"] >= len(waiting) + len(blocked)
+        provisioner.retire(victim)
+
+        # old public URIs — victim prefix — resolve through the handoff
+        for job in done:
+            final = client.get(job["uri"])
+            assert final["state"] == "DONE"
+        # migrated WAITING jobs re-execute on the successor and finish
+        for job in waiting:
+            public = f"{gateway.service_uri('tracked')}/jobs/{victim}.{job['id']}"
+            final = client.get(public, query={"wait": "5"})
+            assert final["state"] == "DONE"
+        # exactly one execution per marker: nothing ran twice
+        with _EXECUTIONS_LOCK:
+            for i in range(4):
+                assert len(_EXECUTIONS.get(f"w{i}", [])) == 1
+        # membership reflects the retirement immediately, no stale entries
+        health = client.get(gateway.base_uri + "/health")
+        assert [row["id"] for row in health["replicas"]] == [survivor]
+        assert health["handoffs"] == {victim: survivor}
+
+    def test_idempotency_key_survives_retirement(self, cell):
+        scaler = make_scaler(cell, min_replicas=1, max_replicas=4)
+        scaler.scale_up(2)
+        gateway, client, provisioner = cell["gateway"], cell["client"], cell["provisioner"]
+        cell["gate"].set()
+        headers = {IDEMPOTENCY_KEY_HEADER: "ik-retire"}
+        first = client.request_json(
+            "POST", gateway.service_uri("add"), payload={"a": 4, "b": 5}, headers=headers
+        )
+        owner = first["id"].split(".", 1)[0]
+        assert client.get(first["uri"], query={"wait": "5"})["state"] == "DONE"
+        provisioner.quiesce(owner)
+        provisioner.wait_idle(owner, timeout=5.0)
+        gateway.drain(owner)
+        gateway.retire(owner)
+        provisioner.retire(owner)
+        # the cached submit response replays; its URI resolves via handoff
+        replay = client.request_json(
+            "POST", gateway.service_uri("add"), payload={"a": 4, "b": 5}, headers=headers
+        )
+        assert replay["id"] == first["id"]
+        assert client.get(replay["uri"])["results"] == {"result": 9}
+
+    def test_retire_without_successor_fails_loud(self, cell):
+        scaler = make_scaler(cell)
+        scaler.scale_up(1)
+        only = cell["gateway"].replicas.ids()[0]
+        with pytest.raises(RuntimeError):
+            cell["gateway"].retire(only)
+        # nothing was dropped: the replica is still in the set, draining
+        assert cell["gateway"].replicas.get(only) is not None
+
+
+class TestControlLoop:
+    def test_scales_up_within_two_ticks_of_load(self, cell):
+        scaler = make_scaler(
+            cell, min_replicas=1, max_replicas=4, scale_up_load=2.0, hold_ticks=1
+        )
+        scaler.scale_up(1)
+        gateway, client = cell["gateway"], cell["client"]
+        # 2 blocked handlers + queued work: load well over threshold
+        for i in range(6):
+            client.post(gateway.service_uri("slow"), payload={"marker": f"s{i}"})
+        before = len(gateway.replicas)
+        decisions = [scaler.tick(), scaler.tick()]
+        assert any(d.action == "scale-up" for d in decisions)
+        assert len(gateway.replicas) == before + 1
+        cell["gate"].set()
+
+    def test_scales_down_when_idle(self, cell):
+        scaler = make_scaler(
+            cell,
+            min_replicas=1,
+            max_replicas=4,
+            scale_down_load=0.5,
+            hold_ticks=0,
+            drain_timeout=5.0,
+        )
+        scaler.scale_up(3)
+        cell["gate"].set()
+        gateway = cell["gateway"]
+        decision = scaler.tick()
+        assert decision.action == "scale-down"
+        assert len(gateway.replicas) == 2
+        assert len(cell["provisioner"].containers) == 2
+        # and the pool never shrinks below the floor
+        scaler.tick()
+        assert len(gateway.replicas) >= scaler.policy.min_replicas
+
+    def test_replaces_dead_replicas(self, cell):
+        scaler = make_scaler(cell, min_replicas=2, max_replicas=4, dead_after=2)
+        scaler.scale_up(2)
+        gateway, provisioner = cell["gateway"], cell["provisioner"]
+        victim = gateway.replicas.ids()[0]
+        container = provisioner.get(victim)
+        container.crash()
+        # probes must observe the death
+        for _ in range(gateway.replicas.down_after):
+            gateway.replicas.check_now()
+        decisions = [scaler.tick() for _ in range(3)]
+        replace = [d for d in decisions if d.action == "replace"]
+        assert replace and victim in replace[0].details["evicted"]
+        assert len(gateway.replicas) == 2
+        assert victim not in gateway.replicas.ids()
+
+    def test_snapshot_and_health_expose_decisions(self, cell):
+        scaler = make_scaler(cell, min_replicas=1)
+        scaler.scale_up(1)
+        scaler.tick()
+        snapshot = scaler.snapshot()
+        assert snapshot["ticks"] == 1
+        assert snapshot["decisions"]
+        health = cell["client"].get(cell["gateway"].base_uri + "/health")
+        assert health["autoscaler"]["policy"]["min_replicas"] == 1
+
+    def test_background_loop_runs_ticks(self, cell):
+        scaler = make_scaler(cell, min_replicas=1)
+        scaler.scale_up(1)
+        scaler.interval = 0.05
+        scaler.start()
+        try:
+            wait_until(lambda: scaler.snapshot()["ticks"] >= 2, timeout=5.0)
+        finally:
+            scaler.stop()
+
+    def test_quiesced_manager_parks_queued_jobs(self, cell):
+        scaler = make_scaler(cell)
+        scaler.scale_up(1)
+        replica_id = cell["gateway"].replicas.ids()[0]
+        container = cell["provisioner"].get(replica_id)
+        client, gateway = cell["client"], cell["gateway"]
+        for _ in range(2):
+            client.post(gateway.service_uri("slow"), payload={"marker": "q"})
+        queued = client.post(gateway.service_uri("add"), payload={"a": 1, "b": 1})
+        container.job_manager.quiesce()
+        cell["gate"].set()
+        wait_until(lambda: container.job_manager.running_count() == 0, timeout=5.0)
+        time.sleep(0.05)  # parked _process calls have run by now
+        final = client.get(queued["uri"])
+        assert final["state"] == "WAITING"

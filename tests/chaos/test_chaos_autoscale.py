@@ -1,0 +1,388 @@
+"""Seeded membership-churn chaos: the cell scales while the workload runs.
+
+The autoscale tentpole's promise is that ring membership changes *drain*
+instead of *drop*: a scale-down hands a replica's jobs to its ring
+successor before the replica leaves, a scale-up starts taking new work
+immediately, and a node death loses only what died with the node — never
+an acknowledged job that the client can still re-resolve by its key.
+
+Each seed drives a :class:`GatewayChaosCell` whose membership changes
+between workload operations, with the events drawn from a dedicated
+seeded stream (``plan.stream("churn")``) so every schedule is a pure
+function of the seed:
+
+- **scale-up** — a fresh replica container is built and joins the ring;
+- **scale-down** — a live replica is drained (gateway stops routing new
+  submits, its job manager quiesces, the pool goes idle) and retired;
+  its journal-format job documents move to the ring successor.  A
+  retirement whose migration is clipped by an injected fault leaves the
+  replica ``DRAINING`` and is retried on the healed cell — exactly the
+  scaler's behaviour;
+- **node death** — a replica crashes without drain and is evicted.  Its
+  acknowledged jobs 404 afterwards (there is nobody to ask); the settle
+  phase re-resolves each one through its Idempotency-Key on a surviving
+  replica, which must mint exactly one replacement.
+
+On top of the base sweep (every key owns exactly one live job, gauges
+drain, retry budget in range) the churn runs assert:
+
+- retired prefixes still resolve — old public URIs answer through the
+  handoff table, dead prefixes answer 404 and nothing else;
+- ``/health`` lists exactly the live membership, no stale rows;
+- per-tenant quota balances reconcile on every surviving replica: each
+  replica's CPU charge equals the summed wall-time of the terminal jobs
+  it *executed* (jobs imported already-terminal were charged at their
+  origin and are excluded), and no balance ever goes negative.
+"""
+
+import json
+
+import pytest
+
+from repro.faults import Scenario
+from repro.gateway.replicaset import ID_SEPARATOR
+from repro.tenancy import TenantSpec
+from repro.tenancy.registry import TENANT_HEADER
+from repro.http.messages import Headers, Request
+from tests.chaos.harness import GatewayChaosCell, chaos_seeds
+from tests.waiters import wait_until
+
+PAYERS = ("payer-a", "payer-b")
+
+
+def _prefix(public_id: str) -> str:
+    return public_id.split(ID_SEPARATOR, 1)[0]
+
+
+def _raw(public_id: str) -> str:
+    return public_id.split(ID_SEPARATOR, 1)[1]
+
+
+class ChurnChaosCell(GatewayChaosCell):
+    """A gateway cell whose replica membership changes mid-run.
+
+    ``drains`` enables graceful scale-down events, ``deaths`` enables
+    crash-and-evict events; scale-ups are always on. The cell starts at
+    two replicas and never churns below one active (non-draining)
+    member, mirroring the scaler's ``min_replicas`` floor.
+    """
+
+    MAX_LIVE = 5
+
+    def __init__(self, seed, scenario_fn, nodeid="", drains=True, deaths=False, **options):
+        self.drains = drains
+        self.deaths = deaths
+        #: replica id -> live container (the base ``containers`` list and
+        #: this map shrink together on retirement and death)
+        self.by_id: dict = {}
+        self.retired: set[str] = set()
+        self.dead: set[str] = set()
+        #: draining replicas whose migration hit a fault — retried at settle
+        self.pending_retire: list[str] = []
+        self.graveyard: list = []
+        options.setdefault("replicas", 2)
+        super().__init__(seed, scenario_fn, nodeid=nodeid, **options)
+        self._next_index = len(self.containers)
+        self.by_id = {
+            replica.id: container
+            for replica, container in zip(self.gateway.replicas.replicas(), self.containers)
+        }
+
+    def _build_container(self, index):
+        container = super()._build_container(index)
+        tenants = container.enable_tenancy()
+        tenants.register(TenantSpec(name="payer-a", weight=2.0))
+        tenants.register(TenantSpec(name="payer-b", weight=1.0))
+        return container
+
+    def shutdown(self):
+        super().shutdown()
+        for container in self.graveyard:
+            try:
+                container.shutdown()
+            except Exception:
+                pass  # crashed containers are already torn down
+
+    # ------------------------------------------------------------ churn events
+
+    def _active_ids(self) -> list:
+        return sorted(
+            rid for rid in self.by_id
+            if rid not in self.pending_retire
+        )
+
+    def churn_step(self, chooser) -> None:
+        roll = chooser.random()
+        active = self._active_ids()
+        if roll < 0.30:
+            if len(self.by_id) < self.MAX_LIVE:
+                self._spawn()
+        elif roll < 0.52 and self.drains:
+            if len(active) >= 2:
+                self._drain_retire(chooser.choice(active))
+        elif roll < 0.66 and self.deaths:
+            if len(active) >= 2:
+                self._kill(chooser.choice(active))
+
+    def _spawn(self) -> None:
+        index = self._next_index
+        self._next_index += 1
+        container = self._build_container(index)
+        self.containers.append(container)
+        replica = self.gateway.add_replica(container.local_base)
+        self.by_id[replica.id] = container
+
+    def _drain_retire(self, victim: str) -> None:
+        """The scaler's scale-down protocol, inline: drain, quiesce, retire."""
+        self.gateway.drain(victim)
+        container = self.by_id[victim]
+        container.job_manager.quiesce()
+        try:
+            wait_until(
+                lambda: container.job_manager.running_count() == 0,
+                timeout=5.0, interval=0.01,
+            )
+        except TimeoutError:
+            self.fail(f"draining replica {victim} never went idle")
+        try:
+            self.gateway.retire(victim, drain_timeout=5.0)
+        except (RuntimeError, KeyError):
+            # the migration (or successor pick) was clipped by a fault;
+            # the replica stays DRAINING and the retirement retries at
+            # settle — nothing may be half-moved
+            self.pending_retire.append(victim)
+            return
+        self._discard(victim)
+        self.retired.add(victim)
+
+    def _kill(self, victim: str) -> None:
+        """Node death: no drain, no migration — evict and move on."""
+        container = self.by_id.pop(victim)
+        self.containers.remove(container)
+        self.dead.add(victim)
+        container.crash()
+        self.graveyard.append(container)
+        self.gateway.replicas.check_now()
+        self.gateway.evict(victim)
+
+    def _discard(self, victim: str) -> None:
+        container = self.by_id.pop(victim)
+        self.containers.remove(container)
+        container.shutdown()
+
+    # -------------------------------------------------------------- workload
+
+    def tenant_of(self, marker: int) -> str:
+        return PAYERS[marker % 2]
+
+    def _post(self, marker: int, key: str):
+        body = json.dumps({"a": marker, "b": 1}).encode()
+        return self.client.request_raw(
+            "POST",
+            self.service_uri,
+            body=body,
+            headers={
+                "Idempotency-Key": key,
+                "Content-Type": "application/json",
+                TENANT_HEADER: self.tenant_of(marker),
+            },
+        )
+
+    def run_workload(self, ops: int = 8) -> None:
+        chooser = self.plan.stream("workload")
+        churner = self.plan.stream("churn")
+        for _ in range(ops):
+            self.churn_step(churner)
+            roll = chooser.random()
+            acked = [m for m, record in self.expected.items() if record["acked"]]
+            if roll < 0.55 or not acked:
+                self.submit_op()
+            elif roll < 0.8:
+                self.poll_op(chooser.choice(acked))
+            else:
+                self.poll_op(chooser.choice(acked), wait=0.05)
+
+    def poll_op(self, marker: int, wait: float = 0.0) -> None:
+        record = self.expected[marker]
+        uri = record["acked"]["uri"]
+        query = {"wait": wait} if wait else None
+        response = self.client.request_raw("GET", uri, query=query)
+        if response.status == 200:
+            # after a handoff the serving replica's prefix replaces the
+            # retired one, but the raw id must never change
+            self.check(
+                _raw(response.json_body["id"]) == _raw(record["acked"]["id"]),
+                f"poll of {uri} answered a different job",
+            )
+        elif response.status == 404:
+            self.check(
+                self._ack_is_gone(record["acked"]["id"]),
+                f"acknowledged job {uri} vanished (404) without a node death",
+            )
+        elif response.status in (429, 503):
+            self.check(
+                response.headers.get("Retry-After") is not None,
+                f"{response.status} for GET {uri} lacks Retry-After",
+            )
+        elif response.status != 502:
+            self.fail(f"acknowledged job {uri} answered unexpected {response.status}")
+
+    def _ack_is_gone(self, public_id: str) -> bool:
+        """True when the ack's owner — or the live end of its handoff
+        chain — died without drain, losing the job legitimately."""
+        prefix = _prefix(public_id)
+        if prefix in self.dead:
+            return True
+        return (
+            prefix in self.retired
+            and self.gateway.handoffs.resolve(prefix) is None
+        )
+
+    # ---------------------------------------------------------------- settle
+
+    def settle(self, deadline: float = 10.0) -> None:
+        self.plan.deactivate()
+        self.gateway.replicas.check_now()
+        # finish the retirements whose migration was clipped mid-run: on
+        # the healed cell they must land (this is the scaler's retry)
+        for victim in list(self.pending_retire):
+            container = self.by_id[victim]
+            try:
+                wait_until(
+                    lambda: container.job_manager.running_count() == 0,
+                    timeout=deadline, interval=0.01,
+                )
+            except TimeoutError:
+                self.fail(f"half-drained replica {victim} never went idle")
+            try:
+                self.gateway.retire(victim, drain_timeout=deadline)
+            except (RuntimeError, KeyError) as error:
+                self.fail(f"settled retirement of {victim} failed: {error}")
+            self.pending_retire.remove(victim)
+            self._discard(victim)
+            self.retired.add(victim)
+        # acks that died with their replica re-resolve through their key
+        for marker, record in self.expected.items():
+            acked = record["acked"]
+            if acked is None or not self._ack_is_gone(acked["id"]):
+                continue
+            response = self.client.request_raw("GET", acked["uri"])
+            if response.status == 404:
+                record["acked"] = None
+        super().settle(deadline)
+
+    # ------------------------------------------------------------ invariants
+
+    def verify_churn(self) -> None:
+        """Membership hygiene after the sweep: views, prefixes, gauges."""
+        health = self.gateway.app.handle(
+            Request(method="GET", path="/health", headers=Headers())
+        ).json_body
+        self.check(
+            {row["id"] for row in health["replicas"]} == set(self.by_id),
+            f"/health lists {[r['id'] for r in health['replicas']]}, "
+            f"live membership is {sorted(self.by_id)}",
+        )
+        for victim in self.dead:
+            self.check(
+                self.gateway.handoffs.resolve(victim) is None,
+                f"dead replica {victim} left a handoff redirect behind",
+            )
+        for victim in self.retired:
+            target = self.gateway.handoffs.resolve(victim)
+            self.check(
+                target is None or target in self.by_id,
+                f"retired prefix {victim} resolves to non-live {target!r}",
+            )
+        for rid, container in self.by_id.items():
+            self.check(
+                container.job_manager.running_count() == 0,
+                f"replica {rid} still reports running jobs after settle",
+            )
+
+    def verify_quota(self) -> None:
+        """Tenant balances reconcile on every surviving replica.
+
+        A replica's CPU charge must equal the wall-time of the terminal
+        jobs it executed. Jobs imported already-terminal (``handoff:
+        terminal``/``interrupted``) were charged at their origin replica
+        — which has left the cell — and are excluded from the local
+        wall-time; everything a replica ran itself (fresh submits,
+        requeued or cache-joined imports) is charged exactly once, here.
+        """
+        for rid, container in self.by_id.items():
+            tenants = container.tenancy
+            for row in tenants.export():
+                self.check(
+                    row["cpu"] >= 0 and row["disk"] >= 0,
+                    f"{rid}: tenant {row['tenant']!r} balance went negative: {row}",
+                )
+            walls: dict[str, float] = {}
+            for job in container.service("work").jobs.list():
+                tenant = job.extra.get("tenant")
+                self.check(
+                    tenant in PAYERS,
+                    f"{rid}: job {job.id} carries unknown tenant {tenant!r}",
+                )
+                if job.extra.get("handoff") in ("terminal", "interrupted"):
+                    continue
+                if job.state.terminal and job.started and job.finished:
+                    walls[tenant] = walls.get(tenant, 0.0) + max(
+                        0.0, job.finished - job.started)
+            usage = {row["tenant"]: row["cpu"] for row in tenants.export()}
+            for tenant in set(walls) | set(usage):
+                self.check(
+                    abs(walls.get(tenant, 0.0) - usage.get(tenant, 0.0)) < 1e-6,
+                    f"{rid}: tenant {tenant!r} charged {usage.get(tenant, 0.0):.6f}s "
+                    f"cpu but owns {walls.get(tenant, 0.0):.6f}s of terminal wall-time",
+                )
+
+
+def run_churn_chaos(seed, scenario_fn, nodeid, ops=8, **options):
+    cell = ChurnChaosCell(seed, scenario_fn, nodeid=nodeid, **options)
+    try:
+        cell.run_workload(ops=ops)
+        cell.settle()
+        cell.verify()
+        cell.verify_churn()
+        cell.verify_quota()
+    finally:
+        cell.shutdown()
+
+
+def churn_transport_scenarios(target: str) -> list:
+    return [
+        Scenario("drop", 0.08, target=target),
+        Scenario("delay", 0.10, target=target, delay=0.01, jitter=0.01),
+    ]
+
+
+def quiet_scenarios(target: str) -> list:
+    return [Scenario("delay", 0.05, target=target, delay=0.005, jitter=0.005)]
+
+
+@pytest.mark.parametrize("seed", chaos_seeds(96, base=9000))
+def test_scale_churn_under_transport_faults(seed, request):
+    """Scale-ups and drains interleave the workload while the transport
+    drops and delays gateway→replica traffic; every acked job survives."""
+    run_churn_chaos(seed, churn_transport_scenarios, request.node.nodeid)
+
+
+@pytest.mark.parametrize("seed", chaos_seeds(80, base=9600))
+def test_node_death_mid_run(seed, request):
+    """Replicas die without drain; only their own jobs may 404, and each
+    re-resolves via its Idempotency-Key to exactly one replacement."""
+    run_churn_chaos(
+        seed, quiet_scenarios, request.node.nodeid,
+        drains=False, deaths=True,
+    )
+
+
+@pytest.mark.parametrize("seed", chaos_seeds(80, base=10300))
+def test_mixed_churn_with_drains_and_deaths(seed, request):
+    """The full schedule: joins, drains and deaths in one run, under
+    transport faults — the union of everything above must still hold."""
+    run_churn_chaos(
+        seed, churn_transport_scenarios, request.node.nodeid,
+        drains=True, deaths=True, ops=10,
+    )

@@ -212,6 +212,19 @@ class TestMethodMatrix:
         response = client.request_raw(method, path)
         assert response.status == 405
 
+    @pytest.mark.parametrize(
+        ("method", "path"),
+        [("GET", "jobs"), ("POST", "jobs/j-1/import")],
+    )
+    def test_handoff_routes_404_without_backend_support(
+        self, client_and_backend, method, path
+    ):
+        # the job index / import routes exist for the drain protocol, but
+        # a backend that does not implement them answers 404, not 405
+        client, _ = client_and_backend
+        response = client.request_raw(method, path)
+        assert response.status == 404
+
 
 def test_unmount_removes_all_routes(client_and_backend):
     client, _ = client_and_backend
@@ -221,6 +234,6 @@ def test_unmount_removes_all_routes(client_and_backend):
     backend = EchoBackend()
     mount_service(app, "/services/echo", backend)
     app_routes_removed = unmount_service(app, "/services/echo")
-    # describe, submit, job GET/DELETE, trace, files
-    assert app_routes_removed == 6
+    # describe, submit, job index/import, job GET/PUT/DELETE, trace, files
+    assert app_routes_removed == 8
     assert len(app.router) == 0

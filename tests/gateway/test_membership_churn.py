@@ -1,0 +1,170 @@
+"""Membership churn hygiene: dynamic /health and /status, bounded memory.
+
+Two regressions guarded here:
+
+- the gateway's health/status views must track adds and removals
+  immediately and thread-safely — a scrape racing a membership change
+  sees a consistent snapshot, and a retired replica never leaves a stale
+  row behind;
+- nothing keyed to a removed replica may keep its state alive: the
+  ``Replica`` object (breaker, gauges), the balancer's memoised ring,
+  idempotency entries and handoff redirects must all be reclaimable, so
+  a gateway that churns replicas for weeks stays bounded.
+"""
+
+import gc
+import threading
+import weakref
+
+from repro.container import ServiceContainer
+from repro.gateway import ServiceGateway
+from repro.gateway.balancer import ConsistentHashPolicy
+from repro.http.client import IDEMPOTENCY_KEY_HEADER, RestClient
+from repro.http.messages import Headers, Request
+from repro.http.registry import TransportRegistry
+
+_ECHO = {
+    "description": {
+        "name": "echo",
+        "inputs": {"value": {"schema": {"type": "string"}}},
+        "outputs": {"value": {"schema": {"type": "string"}}},
+    },
+    "adapter": "python",
+    "config": {"callable": lambda value: {"value": value}},
+}
+
+
+def _get(gateway, path):
+    return gateway.app.handle(Request(method="GET", path=path, headers=Headers()))
+
+
+class TestDynamicHealth:
+    def test_add_and_remove_reflect_within_one_scrape(self):
+        registry = TransportRegistry()
+        container = ServiceContainer("mc-a", handlers=1, registry=registry)
+        container.deploy(_ECHO)
+        gateway = ServiceGateway(registry=registry, name="gw-dyn")
+        try:
+            gateway.add_replica(container.local_base, replica_id="r0")
+            assert [r["id"] for r in _get(gateway, "/health").json_body["replicas"]] == ["r0"]
+            gateway.add_replica(container.local_base, replica_id="r1")
+            rows = _get(gateway, "/health").json_body["replicas"]
+            assert [r["id"] for r in rows] == ["r0", "r1"]
+            gateway.evict("r1")
+            document = _get(gateway, "/health").json_body
+            assert [r["id"] for r in document["replicas"]] == ["r0"]
+            status = _get(gateway, "/status").json_body
+            assert [r["id"] for r in status["replicas"]] == ["r0"]
+            assert status["platform"]["replicas_total"] == 1
+        finally:
+            gateway.shutdown()
+            container.shutdown()
+
+    def test_scrapes_race_membership_changes_safely(self):
+        registry = TransportRegistry()
+        container = ServiceContainer("mc-b", handlers=1, registry=registry)
+        container.deploy(_ECHO)
+        gateway = ServiceGateway(registry=registry, name="gw-race")
+        failures: list[BaseException] = []
+        stop = threading.Event()
+
+        def scrape():
+            while not stop.is_set():
+                try:
+                    for path in ("/health", "/status"):
+                        document = _get(gateway, path).json_body
+                        for row in document["replicas"]:
+                            assert "id" in row and "state" in row
+                except BaseException as error:  # noqa: BLE001 - collected
+                    failures.append(error)
+                    return
+
+        threads = [threading.Thread(target=scrape) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        try:
+            for round_number in range(30):
+                rid = f"c{round_number}"
+                gateway.add_replica(container.local_base, replica_id=rid)
+                gateway.evict(rid)
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=5.0)
+            gateway.shutdown()
+            container.shutdown()
+        assert not failures
+        assert len(gateway.replicas) == 0
+
+
+class TestBoundedMemoryUnderChurn:
+    def test_replica_state_is_reclaimed_after_evict(self):
+        registry = TransportRegistry()
+        container = ServiceContainer("mc-c", handlers=1, registry=registry)
+        container.deploy(_ECHO)
+        gateway = ServiceGateway(
+            registry=registry, name="gw-mem", policy="consistent-hash"
+        )
+        client = RestClient(registry, retry_after_cap=0.0)
+        try:
+            refs = []
+            for round_number in range(8):
+                rid = f"c{round_number}"
+                replica = gateway.add_replica(container.local_base, replica_id=rid)
+                refs.append(weakref.ref(replica))
+                # exercise every per-replica structure: submit (ring memo,
+                # breaker, idempotency entry) then evict
+                client.request_json(
+                    "POST",
+                    gateway.service_uri("echo"),
+                    payload={"value": str(round_number)},
+                    headers={IDEMPOTENCY_KEY_HEADER: f"ik-{round_number}"},
+                )
+                del replica
+                gateway.evict(rid)
+            gc.collect()
+            alive = [ref for ref in refs if ref() is not None]
+            assert not alive, f"{len(alive)} retired Replica objects still referenced"
+            # idempotency entries for evicted replicas are gone too
+            assert len(gateway.idempotency) == 0
+            assert len(gateway.handoffs) == 0
+        finally:
+            gateway.shutdown()
+            container.shutdown()
+
+    def test_policy_ring_memo_forgets_removed_replicas(self):
+        policy = ConsistentHashPolicy()
+        registry = TransportRegistry()
+        container = ServiceContainer("mc-d", handlers=1, registry=registry)
+        container.deploy(_ECHO)
+        gateway = ServiceGateway(registry=registry, name="gw-ring", policy=policy)
+        client = RestClient(registry, retry_after_cap=0.0)
+        try:
+            for rid in ("p0", "p1"):
+                gateway.add_replica(container.local_base, replica_id=rid)
+            client.post(gateway.service_uri("echo"), payload={"value": "x"})
+            assert policy._ring_for  # memoised after a keyed submit
+            gateway.evict("p1")
+            assert "p1" not in policy._ring_for
+            gateway.evict("p0")
+            assert policy._ring_for == () and policy._ring == []
+        finally:
+            gateway.shutdown()
+            container.shutdown()
+
+    def test_handoff_table_stays_bounded_over_many_retirements(self):
+        registry = TransportRegistry()
+        container = ServiceContainer("mc-e", handlers=1, registry=registry)
+        container.deploy(_ECHO)
+        gateway = ServiceGateway(registry=registry, name="gw-ho")
+        try:
+            gateway.add_replica(container.local_base, replica_id="keeper")
+            for round_number in range(gateway.handoffs.capacity + 50):
+                rid = f"t{round_number}"
+                gateway.add_replica(container.local_base, replica_id=rid)
+                gateway.retire(rid, successor_id="keeper")
+            assert len(gateway.handoffs) == gateway.handoffs.capacity
+            assert len(gateway.replicas) == 1
+        finally:
+            gateway.shutdown()
+            container.shutdown()

@@ -1,0 +1,201 @@
+"""Federation at depth 2 under elastic membership: a gateway of gateways
+over 16 replica containers, with live drains and an autoscaled cell.
+
+Topology (the paper's composition story, scaled):
+
+    top gateway ── org-a gateway ── 8 containers
+               └── org-b gateway ── 8 containers
+
+Job-id prefixes stack (``top.mid.raw``), so every invariant the drain
+protocol gives a flat cell must hold *through* the stack: a replica
+retired inside org-a keeps every public URI the top gateway ever issued
+resolving, and the client never learns the membership changed.
+"""
+
+import threading
+
+import pytest
+
+from repro.autoscale import Autoscaler, InProcessProvisioner, ScalerPolicy
+from repro.container import ServiceContainer
+from repro.gateway import ServiceGateway
+from repro.http.client import IDEMPOTENCY_KEY_HEADER, RestClient
+from repro.http.registry import TransportRegistry
+from tests.waiters import wait_until
+
+_ADD = {
+    "description": {
+        "name": "add",
+        "inputs": {
+            "a": {"schema": {"type": "number"}},
+            "b": {"schema": {"type": "number"}},
+        },
+        "outputs": {"result": {"schema": {"type": "number"}}},
+    },
+    "adapter": "python",
+    "config": {"callable": lambda a, b: {"result": a + b}},
+}
+
+
+def _slow_config(gate: threading.Event):
+    def slow(marker):
+        gate.wait(10.0)
+        return {"result": marker}
+
+    return {
+        "description": {
+            "name": "slow",
+            "inputs": {"marker": {"schema": {"type": "string"}}},
+            "outputs": {"result": {"schema": {"type": "string"}}},
+        },
+        "adapter": "python",
+        "config": {"callable": slow},
+    }
+
+
+def _build_org(registry, org, count, request):
+    """One organization: ``count`` replica containers behind a gateway."""
+    containers = []
+    for index in range(count):
+        container = ServiceContainer(f"{org}-n{index}", handlers=2, registry=registry)
+        container.deploy(_ADD)
+        containers.append(container)
+        request.addfinalizer(container.shutdown)
+    gateway = ServiceGateway(registry=registry, name=f"{org}-gw", policy="consistent-hash")
+    request.addfinalizer(gateway.shutdown)
+    for container in containers:
+        gateway.add_replica(container.local_base)
+    return containers, gateway
+
+
+class TestDepthTwoFederation:
+    def test_sixteen_replicas_with_a_mid_run_drain(self, request):
+        registry = TransportRegistry()
+        containers_a, org_a = _build_org(registry, "org-a", 8, request)
+        containers_b, org_b = _build_org(registry, "org-b", 8, request)
+        top = ServiceGateway(registry=registry, name="fed-top", policy="consistent-hash")
+        request.addfinalizer(top.shutdown)
+        top.add_replica(org_a.local_base, replica_id="org-a")
+        top.add_replica(org_b.local_base, replica_id="org-b")
+        client = RestClient(registry, retry_after_cap=0.0)
+
+        docs = []
+        for index in range(32):
+            doc = client.request_json(
+                "POST",
+                top.service_uri("add"),
+                payload={"a": index, "b": 1},
+                headers={IDEMPOTENCY_KEY_HEADER: f"fed-{index}"},
+            )
+            docs.append(doc)
+
+        # prefixes stack: top replica id, then org replica id, then raw
+        routes = set()
+        for doc in docs:
+            org, inner = doc["id"].split(".")[:2]
+            assert org in ("org-a", "org-b")
+            routes.add((org, inner))
+        # the keyed submits spread across both organizations and well
+        # beyond a handful of the 16 leaf replicas
+        assert {org for org, _ in routes} == {"org-a", "org-b"}
+        assert len(routes) >= 6
+
+        for doc in docs:
+            final = client.get(doc["uri"], query={"wait": "5"})
+            assert final["state"] == "DONE"
+
+        # drain one org-a replica that actually served jobs, mid-run:
+        # quiesce its pool, wait idle, retire — the org gateway hands its
+        # jobs to the ring successor and records the redirect
+        victim = next(inner for org, inner in routes if org == "org-a")
+        base_url = org_a.replicas.get(victim).base_url
+        container = next(c for c in containers_a if c.local_base == base_url)
+        container.job_manager.quiesce()
+        wait_until(lambda: container.job_manager.running_count() == 0, timeout=5.0)
+        summary = org_a.retire(victim, drain_timeout=5.0)
+        assert summary["migrated"] >= 1
+        assert len(org_a.replicas) == 7
+
+        # every URI the top gateway issued still resolves — including the
+        # ones whose jobs just moved — and the raw ids never changed
+        for doc in docs:
+            final = client.get(doc["uri"])
+            assert final["state"] == "DONE"
+            assert final["id"].split(".")[-1] == doc["id"].split(".")[-1]
+            assert final["results"] == {"result": doc["inputs"]["a"] + 1}
+
+        # the top gateway never saw the membership change
+        health = client.get(top.base_uri + "/health")
+        assert {row["id"] for row in health["replicas"]} == {"org-a", "org-b"}
+        assert all(row["state"] == "HEALTHY" for row in health["replicas"])
+
+        # replays of the original keys still bind to the original jobs
+        replay = client.request_raw(
+            "POST",
+            top.service_uri("add"),
+            body=b'{"a": 0, "b": 1}',
+            headers={
+                IDEMPOTENCY_KEY_HEADER: "fed-0",
+                "Content-Type": "application/json",
+            },
+        )
+        assert replay.status == 201
+        assert replay.json_body["id"] == docs[0]["id"]
+
+    def test_autoscaled_cell_behind_a_federation(self, request):
+        """One organization's pool is elastic: the scaler grows it under
+        load and shrinks it when idle, invisibly to the top gateway."""
+        registry = TransportRegistry()
+        gate = threading.Event()
+        request.addfinalizer(gate.set)
+
+        def factory(replica_id):
+            container = ServiceContainer(
+                f"fed-as-{replica_id}", handlers=2, registry=registry, observability=True
+            )
+            container.deploy(_ADD)
+            container.deploy(_slow_config(gate))
+            return container
+
+        org = ServiceGateway(registry=registry, name="org-el-gw", policy="consistent-hash")
+        provisioner = InProcessProvisioner(factory)
+        request.addfinalizer(provisioner.shutdown)
+        request.addfinalizer(org.shutdown)
+        scaler = Autoscaler(
+            org,
+            provisioner,
+            policy=ScalerPolicy(
+                min_replicas=1,
+                max_replicas=4,
+                scale_up_load=2.0,
+                scale_down_load=0.5,
+                hold_ticks=0,
+                drain_timeout=5.0,
+            ),
+        )
+        scaler.scale_up(1)
+
+        top = ServiceGateway(registry=registry, name="fed-el-top")
+        request.addfinalizer(top.shutdown)
+        top.add_replica(org.local_base, replica_id="org-el")
+        client = RestClient(registry, retry_after_cap=0.0)
+
+        held = [
+            client.post(top.service_uri("slow"), payload={"marker": f"m{i}"})
+            for i in range(6)
+        ]
+        assert scaler.tick().action == "scale-up"
+        assert len(org.replicas) == 2
+
+        gate.set()
+        for doc in held:
+            final = client.get(doc["uri"], query={"wait": "5"})
+            assert final["state"] == "DONE"
+
+        # idle now: the scaler retires back to the floor, draining — the
+        # held jobs' public URIs (issued by the top gateway) keep working
+        decision = scaler.tick()
+        assert decision.action == "scale-down"
+        assert len(org.replicas) == 1
+        for doc in held:
+            assert client.get(doc["uri"])["state"] == "DONE"
